@@ -1,0 +1,127 @@
+// Command rpexp runs the Section 7 simulation campaign and prints the
+// series behind Figures 9-12: percentage of success and relative cost per
+// heuristic and per load factor λ.
+//
+// Usage:
+//
+//	rpexp                          # homogeneous + heterogeneous, defaults
+//	rpexp -case homo -trees 30 -max 120
+//	rpexp -csv results.csv         # machine-readable long-form output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		which   = flag.String("case", "both", "campaign: homo, hetero, qos, bw, both or all")
+		trees   = flag.Int("trees", 30, "trees per lambda")
+		minSize = flag.Int("min", 15, "minimum problem size s = |C|+|N|")
+		maxSize = flag.Int("max", 120, "maximum problem size")
+		seed    = flag.Int64("seed", 1, "random seed")
+		budget  = flag.Int("bound-nodes", 60, "branch-and-bound budget per tree")
+		csvFile = flag.String("csv", "", "also write long-form CSV to this file")
+	)
+	flag.Parse()
+
+	var csv *os.File
+	if *csvFile != "" {
+		f, err := os.Create(*csvFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		csv = f
+	}
+
+	runOne := func(hetero bool) {
+		label, figs := "Homogeneous", "Figures 9 & 10"
+		if hetero {
+			label, figs = "Heterogeneous", "Figures 11 & 12"
+		}
+		res, err := experiments.Run(experiments.Config{
+			Heterogeneous:  hetero,
+			TreesPerLambda: *trees,
+			MinSize:        *minSize,
+			MaxSize:        *maxSize,
+			Seed:           *seed,
+			BoundNodes:     *budget,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("=== %s case (%s) ===\n\n", label, figs)
+		fmt.Println("Percentage of success:")
+		fmt.Println(res.SuccessTable())
+		fmt.Println("Relative cost (lower bound / heuristic cost, failures count 0):")
+		fmt.Println(res.RelCostTable())
+		if csv != nil {
+			if err := res.WriteCSV(csv); err != nil {
+				fatalf("csv: %v", err)
+			}
+		}
+	}
+
+	runQoS := func() {
+		res, err := experiments.RunQoS(experiments.QoSConfig{
+			TreesPerRange: *trees,
+			MinSize:       *minSize,
+			MaxSize:       *maxSize,
+			Seed:          *seed,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println("=== QoS campaign (extension: Section 10 future work) ===")
+		fmt.Println()
+		fmt.Println("Percentage of success under tightening QoS (q ~ U[1,range]):")
+		fmt.Println(res.Table())
+	}
+
+	runBW := func() {
+		res, err := experiments.RunBW(experiments.BWConfig{
+			TreesPerFactor: *trees,
+			MinSize:        *minSize,
+			MaxSize:        *maxSize,
+			Seed:           *seed,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println("=== Bandwidth campaign (extension: Section 10 future work) ===")
+		fmt.Println()
+		fmt.Println("Percentage of success under tightening link bandwidth:")
+		fmt.Println(res.Table())
+	}
+
+	switch *which {
+	case "homo":
+		runOne(false)
+	case "hetero":
+		runOne(true)
+	case "qos":
+		runQoS()
+	case "bw":
+		runBW()
+	case "both":
+		runOne(false)
+		runOne(true)
+	case "all":
+		runOne(false)
+		runOne(true)
+		runQoS()
+		runBW()
+	default:
+		fatalf("unknown -case %q", *which)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rpexp: "+format+"\n", args...)
+	os.Exit(1)
+}

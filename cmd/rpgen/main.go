@@ -1,0 +1,60 @@
+// Command rpgen generates random Replica Placement instances as JSON.
+//
+// Usage:
+//
+//	rpgen -nodes 20 -clients 40 -lambda 0.5 -seed 7 -o tree.json
+//	rpgen -hetero -qos 3 -bw 0.8            # constrained heterogeneous
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+)
+
+func main() {
+	var (
+		nodes   = flag.Int("nodes", 10, "number of internal nodes (candidate servers)")
+		clients = flag.Int("clients", 0, "number of clients (default: equal to -nodes)")
+		lambda  = flag.Float64("lambda", 0.5, "target load factor Σr/ΣW")
+		hetero  = flag.Bool("hetero", false, "heterogeneous capacities (1:4 spread)")
+		unit    = flag.Bool("unit-costs", false, "storage cost 1 per node (Replica Counting) instead of s_j = W_j")
+		qos     = flag.Int("qos", 0, "per-client QoS hop bound drawn from [1,N] (0 disables)")
+		bw      = flag.Float64("bw", 0, "bandwidth factor: link caps at factor x subtree traffic (0 disables)")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	in := gen.Instance(gen.Config{
+		Internal:      *nodes,
+		Clients:       *clients,
+		Lambda:        *lambda,
+		Heterogeneous: *hetero,
+		UnitCosts:     *unit,
+		QoSRange:      *qos,
+		BWFactor:      *bw,
+	}, *seed)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("creating %s: %v", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if _, err := in.WriteTo(w); err != nil {
+		fatalf("writing instance: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "generated %s load=%.3f totalR=%d totalW=%d\n",
+		in.Tree, in.Load(), in.TotalRequests(), in.TotalCapacity())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rpgen: "+format+"\n", args...)
+	os.Exit(1)
+}

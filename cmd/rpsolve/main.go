@@ -1,0 +1,138 @@
+// Command rpsolve solves a Replica Placement instance (JSON, as produced
+// by rpgen) with a chosen solver and prints the placement and its cost.
+//
+// Usage:
+//
+//	rpsolve -in tree.json -solver MB                 # MixedBest heuristic
+//	rpsolve -in tree.json -solver optimal            # Multiple/homogeneous optimum
+//	rpsolve -in tree.json -solver brute -policy Upwards
+//	rpsolve -in tree.json -solver all                # every heuristic, one line each
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/heuristics"
+	"repro/internal/render"
+)
+
+func main() {
+	var (
+		inFile  = flag.String("in", "", "instance file (JSON; required)")
+		solver  = flag.String("solver", "MB", "solver: a heuristic name (CTDA, CTDLF, CBU, UTD, UBCF, MTD, MBU, MG, MB), 'optimal', 'closest-optimal', 'brute' or 'all'")
+		policy  = flag.String("policy", "Multiple", "policy for -solver brute: Closest, Upwards or Multiple")
+		verbose = flag.Bool("v", false, "print the full assignment, not just the replica set")
+		outFile = flag.String("o", "", "write the solution as JSON to this file (single-solver modes only)")
+		trace   = flag.Bool("trace", false, "with -solver optimal: print the pass-by-pass decision trace (Figure 6 style)")
+	)
+	flag.Parse()
+	if *inFile == "" {
+		fatalf("missing -in")
+	}
+	f, err := os.Open(*inFile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	in, err := core.ReadInstance(f)
+	f.Close()
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	saveTo = *outFile
+	if *outFile != "" && *solver == "all" {
+		fatalf("-o cannot be combined with -solver all")
+	}
+	switch *solver {
+	case "all":
+		for _, h := range heuristics.All {
+			report(in, h.Name, h.Policy, *verbose, func() (*core.Solution, error) { return h.Run(in) })
+		}
+		report(in, "MB", core.Multiple, *verbose, func() (*core.Solution, error) { return heuristics.MB(in) })
+	case "optimal":
+		if *trace {
+			tr, err := exact.MultipleHomogeneousTrace(in)
+			if err != nil {
+				fatalf("optimal: %v", err)
+			}
+			fmt.Print(tr)
+		}
+		report(in, "optimal(Multiple/homogeneous)", core.Multiple, *verbose,
+			func() (*core.Solution, error) { return exact.MultipleHomogeneous(in) })
+	case "closest-optimal":
+		report(in, "optimal(Closest/homogeneous)", core.Closest, *verbose,
+			func() (*core.Solution, error) { return exact.ClosestHomogeneous(in) })
+	case "brute":
+		p, ok := parsePolicy(*policy)
+		if !ok {
+			fatalf("unknown policy %q", *policy)
+		}
+		report(in, "brute("+p.String()+")", p, *verbose,
+			func() (*core.Solution, error) { return exact.BruteForce(in, p) })
+	default:
+		h, ok := heuristics.ByName(*solver)
+		if !ok {
+			fatalf("unknown solver %q", *solver)
+		}
+		report(in, h.Name, h.Policy, *verbose, func() (*core.Solution, error) { return h.Run(in) })
+	}
+}
+
+func parsePolicy(s string) (core.Policy, bool) {
+	switch strings.ToLower(s) {
+	case "closest":
+		return core.Closest, true
+	case "upwards":
+		return core.Upwards, true
+	case "multiple":
+		return core.Multiple, true
+	}
+	return 0, false
+}
+
+// saveTo is the -o destination; empty disables saving.
+var saveTo string
+
+func report(in *core.Instance, name string, p core.Policy, verbose bool, run func() (*core.Solution, error)) {
+	sol, err := run()
+	switch {
+	case errors.Is(err, exact.ErrNoSolution) || errors.Is(err, heuristics.ErrNoSolution):
+		fmt.Printf("%-12s no solution\n", name)
+		return
+	case err != nil:
+		fatalf("%s: %v", name, err)
+	}
+	if verr := sol.Validate(in, p); verr != nil {
+		fatalf("%s produced an invalid solution: %v", name, verr)
+	}
+	fmt.Printf("%-12s cost=%-8d replicas=%d %v\n", name, sol.StorageCost(in), sol.ReplicaCount(), sol.Replicas())
+	if saveTo != "" {
+		data, err := json.MarshalIndent(sol, "", "  ")
+		if err != nil {
+			fatalf("encoding solution: %v", err)
+		}
+		if err := os.WriteFile(saveTo, append(data, '\n'), 0o644); err != nil {
+			fatalf("writing %s: %v", saveTo, err)
+		}
+	}
+	if verbose {
+		if err := render.Summary(os.Stdout, in, sol); err != nil {
+			fatalf("rendering summary: %v", err)
+		}
+		if err := render.Tree(os.Stdout, in, render.Options{Solution: sol, ShowQoS: true, ShowBandwidth: true}); err != nil {
+			fatalf("rendering tree: %v", err)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rpsolve: "+format+"\n", args...)
+	os.Exit(1)
+}

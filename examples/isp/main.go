@@ -1,0 +1,98 @@
+// ISP models a heterogeneous service-provider tree with QoS constraints:
+// big iron near the core, small boxes at the edge, and latency-sensitive
+// clients that must be served within a bounded number of hops. The
+// example computes the LP lower bound, runs QoS-aware heuristics, and
+// shows how tightening the QoS bound forces replicas toward the edge and
+// drives the cost up.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	replica "repro"
+	"repro/internal/heuristics"
+)
+
+// buildISP returns a 3-level heterogeneous tree: core (capacity 600),
+// 3 aggregation switches (capacity 200), 9 edge boxes (capacity 60), two
+// clients per edge box. Storage cost equals capacity (Replica Cost).
+func buildISP(qos int) (*replica.Instance, error) {
+	b := replica.NewTreeBuilder()
+	core := b.AddRoot()
+	type tier struct {
+		id int
+		w  int64
+	}
+	nodes := []tier{{core, 600}}
+	var clients []int
+	for a := 0; a < 3; a++ {
+		agg := b.AddNode(core)
+		nodes = append(nodes, tier{agg, 200})
+		for e := 0; e < 3; e++ {
+			edge := b.AddNode(agg)
+			nodes = append(nodes, tier{edge, 60})
+			clients = append(clients, b.AddClient(edge), b.AddClient(edge))
+		}
+	}
+	t, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	in := replica.NewInstance(t)
+	for _, n := range nodes {
+		in.W[n.id] = n.w
+		in.S[n.id] = n.w
+	}
+	for i, c := range clients {
+		in.R[c] = int64(20 + 7*(i%5)) // 20..48 requests per client
+	}
+	if qos > 0 {
+		in.Q = make([]int, t.Len())
+		for i := range in.Q {
+			in.Q[i] = replica.NoQoS
+		}
+		for _, c := range clients {
+			in.Q[c] = qos
+		}
+	}
+	return in, nil
+}
+
+func main() {
+	for _, qos := range []int{0, 3, 2, 1} {
+		in, err := buildISP(qos)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "no QoS bound"
+		if qos > 0 {
+			label = fmt.Sprintf("QoS ≤ %d hops", qos)
+		}
+		fmt.Printf("=== %s ===\n", label)
+		fmt.Printf("demand %d, capacity %d (λ = %.2f)\n",
+			in.TotalRequests(), in.TotalCapacity(), in.Load())
+
+		bound, exact, err := replica.LowerBound(in, replica.Multiple, 300)
+		if err != nil {
+			fmt.Printf("lower bound: infeasible (%v)\n\n", err)
+			continue
+		}
+		fmt.Printf("LP lower bound: %.0f (exact=%v)\n", bound, exact)
+
+		for _, h := range heuristics.AllQoS {
+			sol, err := h.Run(in)
+			if err != nil {
+				fmt.Printf("  %-9s (%s): no solution\n", h.Name, h.Policy)
+				continue
+			}
+			if verr := sol.Validate(in, h.Policy); verr != nil {
+				log.Fatalf("%s: invalid solution: %v", h.Name, verr)
+			}
+			fmt.Printf("  %-9s (%s): cost %5d with %d replicas, quality %.0f%% of bound\n",
+				h.Name, h.Policy, sol.StorageCost(in), sol.ReplicaCount(),
+				100*bound/float64(sol.StorageCost(in)))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,76 @@
+// Quickstart: build a small distribution tree by hand, place replicas
+// optimally under the Multiple policy, compare with a heuristic and the
+// LP lower bound.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	replica "repro"
+)
+
+func main() {
+	// A three-level tree: the root serves two regional nodes; each region
+	// serves two access nodes; clients hang off the access nodes.
+	//
+	//                     root
+	//            regionA        regionB
+	//           a1     a2      b1     b2
+	//          30,20  25      40     15,10
+	b := replica.NewTreeBuilder()
+	root := b.AddRoot()
+	regionA := b.AddNode(root)
+	regionB := b.AddNode(root)
+	a1 := b.AddNode(regionA)
+	a2 := b.AddNode(regionA)
+	b1 := b.AddNode(regionB)
+	b2 := b.AddNode(regionB)
+
+	demands := map[int]int64{}
+	for _, d := range []struct {
+		parent int
+		r      int64
+	}{{a1, 30}, {a1, 20}, {a2, 25}, {b1, 40}, {b2, 15}, {b2, 10}} {
+		demands[b.AddClient(d.parent)] = d.r
+	}
+	t, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	in := replica.NewInstance(t)
+	for _, n := range []int{root, regionA, regionB, a1, a2, b1, b2} {
+		in.W[n] = 50 // each server handles 50 requests/s
+		in.S[n] = 1  // homogeneous: count replicas
+	}
+	for c, r := range demands {
+		in.R[c] = r
+	}
+	fmt.Printf("tree: %v, total demand %d, load λ = %.2f\n\n",
+		t, in.TotalRequests(), in.Load())
+
+	// The paper's optimal algorithm for Multiple on homogeneous platforms.
+	opt, err := replica.OptimalMultipleHomogeneous(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal Multiple placement: %d replicas at %v\n",
+		opt.ReplicaCount(), opt.Replicas())
+	fmt.Printf("  assignment: %v\n\n", opt)
+
+	// A heuristic for comparison.
+	mb, err := replica.MixedBest(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MixedBest heuristic: %d replicas at %v\n", mb.ReplicaCount(), mb.Replicas())
+
+	// And the LP lower bound certifying quality.
+	bound, exact, err := replica.LowerBound(in, replica.Multiple, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LP lower bound: %.1f (exact=%v) — optimal is within [%.0f, %d]\n",
+		bound, exact, bound, opt.StorageCost(in))
+}

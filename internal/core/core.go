@@ -1,0 +1,271 @@
+// Package core defines the Replica Placement problem of Benoit, Rehn and
+// Robert ("Strategies for Replica Placement in Tree Networks", IPDPS 2007):
+// problem instances on distribution trees, the three access policies
+// (Closest, Upwards, Multiple), solutions (replica sets plus request
+// assignments) and their validation, and the cost functions of the paper
+// (storage cost, replica count, read/update costs and their linear
+// combination).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/tree"
+)
+
+// Policy selects which replica(s) may serve a client's requests.
+type Policy int
+
+const (
+	// Closest is the classical policy: all requests of a client are served
+	// by the first replica on the path from the client to the root.
+	Closest Policy = iota
+	// Upwards is the general single-server policy: all requests of a client
+	// are served by one replica anywhere on its path to the root.
+	Upwards
+	// Multiple allows the requests of one client to be split among several
+	// replicas on its path to the root.
+	Multiple
+)
+
+// Policies lists all three access policies in the paper's order.
+var Policies = []Policy{Closest, Upwards, Multiple}
+
+func (p Policy) String() string {
+	switch p {
+	case Closest:
+		return "Closest"
+	case Upwards:
+		return "Upwards"
+	case Multiple:
+		return "Multiple"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// NoQoS marks a client without a QoS bound, and NoBandwidth a link without
+// a bandwidth cap.
+const (
+	NoQoS       = -1
+	NoBandwidth = int64(-1)
+)
+
+// Instance is a Replica Placement problem instance: a distribution tree
+// plus the per-vertex parameters of Section 2. All slices are indexed by
+// vertex id; entries for vertices of the wrong kind are ignored (e.g. W of
+// a client).
+type Instance struct {
+	Tree *tree.Tree
+
+	// R is the number of requests per time unit issued by each client
+	// (r_i). Zero for internal vertices.
+	R []int64
+
+	// W is the processing capacity of each internal vertex (W_j): the
+	// number of requests it can serve per time unit when holding a replica.
+	W []int64
+
+	// S is the storage cost of placing a replica on each internal vertex
+	// (s_j). For the Replica Cost problem s_j = W_j; for Replica Counting
+	// s_j = 1.
+	S []int64
+
+	// Q is the per-client QoS bound (q_i): the maximum allowed distance
+	// from the client to any server holding part of its requests. NoQoS
+	// disables the constraint for that client. Nil disables QoS entirely.
+	Q []int
+
+	// Comm is the communication time of the link v -> parent(v) for each
+	// non-root vertex. When nil, every link counts as one hop, so QoS
+	// bounds are hop-distance bounds (the paper's "QoS=distance").
+	Comm []int64
+
+	// BW is the bandwidth of the link v -> parent(v): the maximum number of
+	// requests it can carry per time unit. NoBandwidth (or a nil slice)
+	// means unbounded.
+	BW []int64
+}
+
+// NewInstance allocates an instance with the given tree and zeroed
+// parameter vectors (QoS, Comm and BW left nil, i.e. unconstrained).
+func NewInstance(t *tree.Tree) *Instance {
+	n := t.Len()
+	return &Instance{
+		Tree: t,
+		R:    make([]int64, n),
+		W:    make([]int64, n),
+		S:    make([]int64, n),
+	}
+}
+
+// Validate checks that the instance is well formed: parameter vectors have
+// the right length, requests/capacities/costs are non-negative and sit on
+// vertices of the right kind.
+func (in *Instance) Validate() error {
+	if in.Tree == nil {
+		return errors.New("core: instance has no tree")
+	}
+	n := in.Tree.Len()
+	if len(in.R) != n || len(in.W) != n || len(in.S) != n {
+		return fmt.Errorf("core: parameter vectors must have length %d (R=%d W=%d S=%d)",
+			n, len(in.R), len(in.W), len(in.S))
+	}
+	if in.Q != nil && len(in.Q) != n {
+		return fmt.Errorf("core: Q must have length %d, got %d", n, len(in.Q))
+	}
+	if in.Comm != nil && len(in.Comm) != n {
+		return fmt.Errorf("core: Comm must have length %d, got %d", n, len(in.Comm))
+	}
+	if in.BW != nil && len(in.BW) != n {
+		return fmt.Errorf("core: BW must have length %d, got %d", n, len(in.BW))
+	}
+	for v := 0; v < n; v++ {
+		if in.Tree.IsClient(v) {
+			if in.R[v] < 0 {
+				return fmt.Errorf("core: client %d has negative requests %d", v, in.R[v])
+			}
+			if in.Q != nil && in.Q[v] < 0 && in.Q[v] != NoQoS {
+				return fmt.Errorf("core: client %d has invalid QoS %d", v, in.Q[v])
+			}
+		} else {
+			if in.W[v] < 0 {
+				return fmt.Errorf("core: node %d has negative capacity %d", v, in.W[v])
+			}
+			if in.S[v] < 0 {
+				return fmt.Errorf("core: node %d has negative storage cost %d", v, in.S[v])
+			}
+			if in.R[v] != 0 {
+				return fmt.Errorf("core: internal node %d has requests %d", v, in.R[v])
+			}
+		}
+		if in.Comm != nil && v != in.Tree.Root() && in.Comm[v] < 0 {
+			return fmt.Errorf("core: link %d has negative comm time", v)
+		}
+		if in.BW != nil && v != in.Tree.Root() && in.BW[v] < 0 && in.BW[v] != NoBandwidth {
+			return fmt.Errorf("core: link %d has invalid bandwidth %d", v, in.BW[v])
+		}
+	}
+	return nil
+}
+
+// TotalRequests returns the sum of all client requests.
+func (in *Instance) TotalRequests() int64 {
+	var sum int64
+	for _, c := range in.Tree.Clients() {
+		sum += in.R[c]
+	}
+	return sum
+}
+
+// TotalCapacity returns the sum of all server capacities.
+func (in *Instance) TotalCapacity() int64 {
+	var sum int64
+	for _, j := range in.Tree.Internal() {
+		sum += in.W[j]
+	}
+	return sum
+}
+
+// Load returns λ = Σ r_i / Σ W_j, the paper's load factor.
+func (in *Instance) Load() float64 {
+	cap := in.TotalCapacity()
+	if cap == 0 {
+		return 0
+	}
+	return float64(in.TotalRequests()) / float64(cap)
+}
+
+// Homogeneous reports whether all internal vertices share one capacity.
+func (in *Instance) Homogeneous() bool {
+	nodes := in.Tree.Internal()
+	for _, j := range nodes[1:] {
+		if in.W[j] != in.W[nodes[0]] {
+			return false
+		}
+	}
+	return true
+}
+
+// HasQoS reports whether any client carries a finite QoS bound.
+func (in *Instance) HasQoS() bool {
+	if in.Q == nil {
+		return false
+	}
+	for _, c := range in.Tree.Clients() {
+		if in.Q[c] != NoQoS {
+			return true
+		}
+	}
+	return false
+}
+
+// HasBandwidth reports whether any link carries a finite bandwidth cap.
+func (in *Instance) HasBandwidth() bool {
+	if in.BW == nil {
+		return false
+	}
+	for v := 0; v < in.Tree.Len(); v++ {
+		if v != in.Tree.Root() && in.BW[v] != NoBandwidth {
+			return true
+		}
+	}
+	return false
+}
+
+// Dist returns the QoS distance from client/vertex v up to its ancestor a:
+// the sum of Comm over the links of path[v -> a], or the hop count when
+// Comm is nil.
+func (in *Instance) Dist(v, a int) int64 {
+	if in.Comm == nil {
+		return int64(in.Tree.Dist(v, a))
+	}
+	var d int64
+	for _, u := range in.Tree.PathLinks(v, a) {
+		d += in.Comm[u]
+	}
+	return d
+}
+
+// QoSAllows reports whether server s may hold requests of client c under
+// the instance's QoS constraints. s must be an ancestor of c.
+func (in *Instance) QoSAllows(c, s int) bool {
+	if in.Q == nil || in.Q[c] == NoQoS {
+		return true
+	}
+	return in.Dist(c, s) <= int64(in.Q[c])
+}
+
+// TrivialLowerBound returns ceil(Σ r_i / W) for homogeneous instances — the
+// obvious Replica Counting lower bound of Section 3.4. It panics on
+// heterogeneous instances.
+func (in *Instance) TrivialLowerBound() int64 {
+	if !in.Homogeneous() {
+		panic("core: TrivialLowerBound requires a homogeneous instance")
+	}
+	w := in.W[in.Tree.Internal()[0]]
+	if w == 0 {
+		return 0
+	}
+	r := in.TotalRequests()
+	return (r + w - 1) / w
+}
+
+// Clone returns a deep copy of the instance (sharing the immutable tree).
+func (in *Instance) Clone() *Instance {
+	cp := &Instance{Tree: in.Tree}
+	cp.R = append([]int64(nil), in.R...)
+	cp.W = append([]int64(nil), in.W...)
+	cp.S = append([]int64(nil), in.S...)
+	if in.Q != nil {
+		cp.Q = append([]int(nil), in.Q...)
+	}
+	if in.Comm != nil {
+		cp.Comm = append([]int64(nil), in.Comm...)
+	}
+	if in.BW != nil {
+		cp.BW = append([]int64(nil), in.BW...)
+	}
+	return cp
+}

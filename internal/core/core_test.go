@@ -1,0 +1,338 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tree"
+)
+
+// star builds a root with k internal children, each with one client of the
+// given requests; returns instance with capacity w on all nodes, s=1.
+func star(k int, reqs []int64, w int64) (*Instance, []int, []int) {
+	b := tree.NewBuilder()
+	r := b.AddRoot()
+	nodes := []int{r}
+	var clients []int
+	for i := 0; i < k; i++ {
+		n := b.AddNode(r)
+		nodes = append(nodes, n)
+		clients = append(clients, b.AddClient(n))
+	}
+	in := NewInstance(b.MustBuild())
+	for _, n := range nodes {
+		in.W[n] = w
+		in.S[n] = 1
+	}
+	for i, c := range clients {
+		in.R[c] = reqs[i]
+	}
+	return in, nodes, clients
+}
+
+func TestPolicyString(t *testing.T) {
+	if Closest.String() != "Closest" || Upwards.String() != "Upwards" || Multiple.String() != "Multiple" {
+		t.Errorf("policy names wrong")
+	}
+	if !strings.Contains(Policy(9).String(), "9") {
+		t.Errorf("unknown policy should include number")
+	}
+	if len(Policies) != 3 {
+		t.Errorf("Policies = %v", Policies)
+	}
+}
+
+func TestInstanceBasics(t *testing.T) {
+	in, nodes, clients := star(3, []int64{5, 7, 9}, 10)
+	if err := in.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := in.TotalRequests(); got != 21 {
+		t.Errorf("TotalRequests = %d", got)
+	}
+	if got := in.TotalCapacity(); got != 40 {
+		t.Errorf("TotalCapacity = %d", got)
+	}
+	if got := in.Load(); got != 21.0/40.0 {
+		t.Errorf("Load = %v", got)
+	}
+	if !in.Homogeneous() {
+		t.Error("expected homogeneous")
+	}
+	in2 := in.Clone()
+	in2.W[nodes[1]] = 99
+	if in2.Homogeneous() {
+		t.Error("clone should be heterogeneous after edit")
+	}
+	if !in.Homogeneous() {
+		t.Error("edit to clone leaked into original")
+	}
+	if got := in.TrivialLowerBound(); got != 3 { // ceil(21/10)
+		t.Errorf("TrivialLowerBound = %d", got)
+	}
+	if in.HasQoS() || in.HasBandwidth() {
+		t.Error("unconstrained instance reports constraints")
+	}
+	_ = clients
+}
+
+func TestTrivialLowerBoundPanicsHeterogeneous(t *testing.T) {
+	in, nodes, _ := star(2, []int64{1, 1}, 5)
+	in.W[nodes[1]] = 7
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for heterogeneous TrivialLowerBound")
+		}
+	}()
+	in.TrivialLowerBound()
+}
+
+func TestInstanceValidateErrors(t *testing.T) {
+	in, nodes, clients := star(2, []int64{1, 2}, 4)
+	cases := []struct {
+		name string
+		mut  func(*Instance)
+	}{
+		{"nil tree", func(i *Instance) { i.Tree = nil }},
+		{"short R", func(i *Instance) { i.R = i.R[:1] }},
+		{"neg request", func(i *Instance) { i.R[clients[0]] = -1 }},
+		{"neg capacity", func(i *Instance) { i.W[nodes[0]] = -2 }},
+		{"neg storage", func(i *Instance) { i.S[nodes[1]] = -2 }},
+		{"requests on node", func(i *Instance) { i.R[nodes[1]] = 3 }},
+		{"bad Q len", func(i *Instance) { i.Q = []int{1} }},
+		{"bad Q value", func(i *Instance) { i.Q = make([]int, i.Tree.Len()); i.Q[clients[0]] = -7 }},
+		{"bad comm len", func(i *Instance) { i.Comm = []int64{0} }},
+		{"neg comm", func(i *Instance) { i.Comm = make([]int64, i.Tree.Len()); i.Comm[nodes[1]] = -1 }},
+		{"bad bw len", func(i *Instance) { i.BW = []int64{0} }},
+		{"bad bw value", func(i *Instance) { i.BW = make([]int64, i.Tree.Len()); i.BW[nodes[1]] = -5 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := in.Clone()
+			tc.mut(bad)
+			if err := bad.Validate(); err == nil {
+				t.Errorf("want validation error")
+			}
+		})
+	}
+}
+
+func TestQoSDistances(t *testing.T) {
+	// chain root(0) - n1 - client
+	b := tree.NewBuilder()
+	r := b.AddRoot()
+	n1 := b.AddNode(r)
+	c := b.AddClient(n1)
+	in := NewInstance(b.MustBuild())
+	in.W[r], in.W[n1] = 5, 5
+	in.S[r], in.S[n1] = 1, 1
+	in.R[c] = 3
+
+	if in.Dist(c, n1) != 1 || in.Dist(c, r) != 2 {
+		t.Errorf("hop distances wrong")
+	}
+	in.Comm = make([]int64, in.Tree.Len())
+	in.Comm[c] = 4
+	in.Comm[n1] = 10
+	if in.Dist(c, n1) != 4 || in.Dist(c, r) != 14 {
+		t.Errorf("comm distances wrong: %d %d", in.Dist(c, n1), in.Dist(c, r))
+	}
+
+	in.Comm = nil
+	in.Q = make([]int, in.Tree.Len())
+	for i := range in.Q {
+		in.Q[i] = NoQoS
+	}
+	in.Q[c] = 1
+	if !in.HasQoS() {
+		t.Error("HasQoS should be true")
+	}
+	if !in.QoSAllows(c, n1) || in.QoSAllows(c, r) {
+		t.Errorf("QoSAllows wrong")
+	}
+}
+
+func TestSolutionValidateHappyPaths(t *testing.T) {
+	in, nodes, clients := star(2, []int64{3, 4}, 10)
+	root := nodes[0]
+
+	// Single replica at the root serving everything: valid for all three
+	// policies.
+	sol := NewSolution(in.Tree.Len())
+	sol.AddPortion(clients[0], root, 3)
+	sol.AddPortion(clients[1], root, 4)
+	for _, p := range Policies {
+		if err := sol.Validate(in, p); err != nil {
+			t.Errorf("%v: %v", p, err)
+		}
+	}
+	if sol.StorageCost(in) != 1 || sol.ReplicaCount() != 1 {
+		t.Errorf("costs wrong: %d %d", sol.StorageCost(in), sol.ReplicaCount())
+	}
+
+	// Splitting one client across two servers: only Multiple.
+	split := NewSolution(in.Tree.Len())
+	split.AddPortion(clients[0], nodes[1], 2)
+	split.AddPortion(clients[0], root, 1)
+	split.AddPortion(clients[1], root, 4)
+	if err := split.Validate(in, Multiple); err != nil {
+		t.Errorf("Multiple: %v", err)
+	}
+	if err := split.Validate(in, Upwards); err == nil {
+		t.Error("Upwards must reject split assignment")
+	}
+	if err := split.Validate(in, Closest); err == nil {
+		t.Error("Closest must reject split assignment")
+	}
+}
+
+func TestSolutionValidateClosestBlocking(t *testing.T) {
+	in, nodes, clients := star(1, []int64{2}, 10)
+	root, n1, c := nodes[0], nodes[1], clients[0]
+
+	// Serve c at the root while n1 holds a replica: Upwards-legal,
+	// Closest-illegal.
+	sol := NewSolution(in.Tree.Len())
+	sol.AddPortion(c, root, 2)
+	sol.DeclareReplica(n1)
+	if err := sol.Validate(in, Upwards); err != nil {
+		t.Errorf("Upwards: %v", err)
+	}
+	if err := sol.Validate(in, Closest); err == nil {
+		t.Error("Closest must reject traversing a replica")
+	}
+}
+
+func TestSolutionValidateErrors(t *testing.T) {
+	in, nodes, clients := star(2, []int64{3, 4}, 3)
+	root := nodes[0]
+
+	t.Run("under-assigned", func(t *testing.T) {
+		sol := NewSolution(in.Tree.Len())
+		sol.AddPortion(clients[0], root, 2)
+		sol.AddPortion(clients[1], nodes[2], 4)
+		if err := sol.Validate(in, Multiple); err == nil ||
+			!strings.Contains(err.Error(), "assigned") {
+			t.Errorf("want coverage error, got %v", err)
+		}
+	})
+	t.Run("capacity exceeded", func(t *testing.T) {
+		sol := NewSolution(in.Tree.Len())
+		sol.AddPortion(clients[0], root, 3)
+		sol.AddPortion(clients[1], root, 4)
+		if err := sol.Validate(in, Multiple); err == nil ||
+			!strings.Contains(err.Error(), "capacity") {
+			t.Errorf("want capacity error, got %v", err)
+		}
+	})
+	t.Run("not an ancestor", func(t *testing.T) {
+		sol := NewSolution(in.Tree.Len())
+		sol.AddPortion(clients[0], nodes[2], 3) // nodes[2] is a sibling branch
+		sol.AddPortion(clients[1], nodes[2], 4)
+		if err := sol.Validate(in, Multiple); err == nil ||
+			!strings.Contains(err.Error(), "ancestor") {
+			t.Errorf("want ancestry error, got %v", err)
+		}
+	})
+	t.Run("replica on client", func(t *testing.T) {
+		sol := NewSolution(in.Tree.Len())
+		sol.AddPortion(clients[0], nodes[1], 3)
+		sol.AddPortion(clients[1], nodes[2], 3)
+		sol.AddPortion(clients[1], root, 1)
+		sol.DeclareReplica(clients[0])
+		if err := sol.Validate(in, Multiple); err == nil {
+			t.Error("want error for replica on a client")
+		}
+	})
+	t.Run("assignment on internal vertex", func(t *testing.T) {
+		sol := NewSolution(in.Tree.Len())
+		sol.Assign[nodes[1]] = []Portion{{Server: root, Load: 1}}
+		if err := sol.Validate(in, Multiple); err == nil {
+			t.Error("want error for internal-vertex assignment")
+		}
+	})
+	t.Run("wrong size", func(t *testing.T) {
+		sol := NewSolution(2)
+		if err := sol.Validate(in, Multiple); err == nil {
+			t.Error("want error for wrong solution size")
+		}
+	})
+	t.Run("qos violated", func(t *testing.T) {
+		qin := in.Clone()
+		qin.Q = make([]int, qin.Tree.Len())
+		for i := range qin.Q {
+			qin.Q[i] = NoQoS
+		}
+		qin.Q[clients[0]] = 1
+		sol := NewSolution(in.Tree.Len())
+		sol.AddPortion(clients[0], root, 3) // distance 2 > 1
+		sol.AddPortion(clients[1], nodes[2], 4)
+		if err := sol.Validate(qin, Multiple); err == nil ||
+			!strings.Contains(err.Error(), "QoS") {
+			t.Errorf("want QoS error, got %v", err)
+		}
+	})
+	t.Run("bandwidth violated", func(t *testing.T) {
+		bin, bnodes, bclients := star(2, []int64{3, 4}, 10)
+		bin.BW = make([]int64, bin.Tree.Len())
+		for i := range bin.BW {
+			bin.BW[i] = NoBandwidth
+		}
+		bin.BW[bnodes[1]] = 2 // link n1 -> root
+		sol := NewSolution(bin.Tree.Len())
+		sol.AddPortion(bclients[0], bnodes[0], 3) // 3 requests traverse n1's link
+		sol.AddPortion(bclients[1], bnodes[2], 4)
+		if err := sol.Validate(bin, Multiple); err == nil ||
+			!strings.Contains(err.Error(), "bandwidth") {
+			t.Errorf("want bandwidth error, got %v", err)
+		}
+	})
+}
+
+func TestServerLoadsAndLinkFlows(t *testing.T) {
+	in, nodes, clients := star(2, []int64{3, 4}, 10)
+	root := nodes[0]
+	sol := NewSolution(in.Tree.Len())
+	sol.AddPortion(clients[0], nodes[1], 1)
+	sol.AddPortion(clients[0], root, 2)
+	sol.AddPortion(clients[1], root, 4)
+
+	loads := sol.ServerLoads(in.Tree.Len())
+	if loads[nodes[1]] != 1 || loads[root] != 6 {
+		t.Errorf("loads = %v", loads)
+	}
+	flows := sol.LinkFlows(in)
+	// client0 link carries 3; n1 link carries 2 (portion served above);
+	// client1 link carries 4; n2 link carries 4.
+	if flows[clients[0]] != 3 || flows[nodes[1]] != 2 ||
+		flows[clients[1]] != 4 || flows[nodes[2]] != 4 {
+		t.Errorf("flows = %v", flows)
+	}
+}
+
+func TestAddPortionMergesAndIgnoresZero(t *testing.T) {
+	in, nodes, clients := star(1, []int64{5}, 10)
+	sol := NewSolution(in.Tree.Len())
+	sol.AddPortion(clients[0], nodes[0], 2)
+	sol.AddPortion(clients[0], nodes[0], 3)
+	sol.AddPortion(clients[0], nodes[1], 0)
+	if len(sol.Assign[clients[0]]) != 1 || sol.Assign[clients[0]][0].Load != 5 {
+		t.Errorf("merge failed: %v", sol.Assign[clients[0]])
+	}
+	if sol.ReplicaCount() != 1 {
+		t.Errorf("zero-load portion created a replica")
+	}
+	if !sol.IsReplica(nodes[0]) || sol.IsReplica(nodes[1]) {
+		t.Errorf("IsReplica wrong")
+	}
+}
+
+func TestSolutionString(t *testing.T) {
+	in, nodes, clients := star(1, []int64{5}, 10)
+	sol := NewSolution(in.Tree.Len())
+	sol.AddPortion(clients[0], nodes[1], 5)
+	s := sol.String()
+	if !strings.Contains(s, "R={1}") && !strings.Contains(s, "R={") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+// This file implements the extended objective functions of Section 8.2:
+// read cost, update (write) cost and their linear combination with the
+// storage cost.
+
+// ReadCost returns the total communication cost of answering requests: for
+// every portion, load × distance from the client to the serving replica
+// (Comm-weighted distance, or hops when Comm is nil).
+func (sol *Solution) ReadCost(in *Instance) int64 {
+	var cost int64
+	for c, ps := range sol.Assign {
+		for _, p := range ps {
+			cost += p.Load * in.Dist(c, p.Server)
+		}
+	}
+	return cost
+}
+
+// UpdateCost returns the write-propagation cost: the total Comm weight (or
+// edge count) of the minimal subtree of the network connecting all
+// replicas. This follows Wolfson and Milo's model where an update is
+// propagated along the minimum spanning tree of the replica set; in a tree
+// network that spanning tree is the unique minimal connecting subtree.
+// Solutions with fewer than two replicas have zero update cost.
+func (sol *Solution) UpdateCost(in *Instance) int64 {
+	reps := sol.Replicas()
+	if len(reps) < 2 {
+		return 0
+	}
+	t := in.Tree
+	// An edge v -> parent(v) belongs to the minimal connecting subtree iff
+	// subtree(v) contains at least one replica but not all of them.
+	inSub := make([]int, t.Len()) // replicas inside subtree(v)
+	for _, v := range t.PostOrder() {
+		if sol.IsReplica(v) {
+			inSub[v]++
+		}
+		for _, c := range t.Children(v) {
+			inSub[v] += inSub[c]
+		}
+	}
+	var cost int64
+	for v := 0; v < t.Len(); v++ {
+		if v == t.Root() {
+			continue
+		}
+		if inSub[v] > 0 && inSub[v] < len(reps) {
+			if in.Comm == nil {
+				cost++
+			} else {
+				cost += in.Comm[v]
+			}
+		}
+	}
+	return cost
+}
+
+// CostModel weights the three cost components of Section 8.2. The paper's
+// base objective is CostModel{Alpha: 1}.
+type CostModel struct {
+	Alpha float64 // weight of the storage (replica) cost
+	Beta  float64 // weight of the read cost
+	Gamma float64 // weight of the update cost
+}
+
+// StorageOnly is the paper's primary objective: minimize Σ s_j alone.
+var StorageOnly = CostModel{Alpha: 1}
+
+// Cost evaluates the combined objective α·storage + β·read + γ·update.
+func (m CostModel) Cost(in *Instance, sol *Solution) float64 {
+	c := m.Alpha * float64(sol.StorageCost(in))
+	if m.Beta != 0 {
+		c += m.Beta * float64(sol.ReadCost(in))
+	}
+	if m.Gamma != 0 {
+		c += m.Gamma * float64(sol.UpdateCost(in))
+	}
+	return c
+}

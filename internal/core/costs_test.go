@@ -1,0 +1,217 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/tree"
+)
+
+func TestReadCost(t *testing.T) {
+	in, nodes, clients := star(2, []int64{3, 4}, 10)
+	root := nodes[0]
+	sol := NewSolution(in.Tree.Len())
+	sol.AddPortion(clients[0], nodes[1], 3) // dist 1
+	sol.AddPortion(clients[1], root, 4)     // dist 2
+	if got := sol.ReadCost(in); got != 3*1+4*2 {
+		t.Errorf("ReadCost = %d, want 11", got)
+	}
+	// Comm-weighted distances.
+	in.Comm = make([]int64, in.Tree.Len())
+	for i := range in.Comm {
+		in.Comm[i] = 5
+	}
+	if got := sol.ReadCost(in); got != 3*5+4*10 {
+		t.Errorf("weighted ReadCost = %d, want 55", got)
+	}
+}
+
+func TestUpdateCost(t *testing.T) {
+	// root(0) with children n1, n2; n1 has child n3. Clients hang off n3
+	// and n2.
+	b := tree.NewBuilder()
+	r := b.AddRoot()
+	n1 := b.AddNode(r)
+	n2 := b.AddNode(r)
+	n3 := b.AddNode(n1)
+	c1 := b.AddClient(n3)
+	c2 := b.AddClient(n2)
+	in := NewInstance(b.MustBuild())
+	for _, n := range []int{r, n1, n2, n3} {
+		in.W[n] = 10
+		in.S[n] = 1
+	}
+	in.R[c1], in.R[c2] = 2, 3
+
+	t.Run("no replicas", func(t *testing.T) {
+		sol := NewSolution(in.Tree.Len())
+		if sol.UpdateCost(in) != 0 {
+			t.Error("empty solution should cost 0")
+		}
+	})
+	t.Run("single replica", func(t *testing.T) {
+		sol := NewSolution(in.Tree.Len())
+		sol.AddPortion(c1, r, 2)
+		sol.AddPortion(c2, r, 3)
+		if sol.UpdateCost(in) != 0 {
+			t.Error("single replica should cost 0")
+		}
+	})
+	t.Run("two replicas via root", func(t *testing.T) {
+		sol := NewSolution(in.Tree.Len())
+		sol.AddPortion(c1, n3, 2)
+		sol.AddPortion(c2, n2, 3)
+		// Minimal subtree connecting n3 and n2: edges n3-n1, n1-r, n2-r.
+		if got := sol.UpdateCost(in); got != 3 {
+			t.Errorf("UpdateCost = %d, want 3", got)
+		}
+	})
+	t.Run("nested replicas", func(t *testing.T) {
+		sol := NewSolution(in.Tree.Len())
+		sol.AddPortion(c1, n3, 1)
+		sol.AddPortion(c1, n1, 1)
+		sol.AddPortion(c2, n2, 3)
+		sol.DeclareReplica(r)
+		// Connecting {n3, n1, n2, r}: edges n3-n1, n1-r, n2-r => 3.
+		if got := sol.UpdateCost(in); got != 3 {
+			t.Errorf("UpdateCost = %d, want 3", got)
+		}
+	})
+	t.Run("weighted", func(t *testing.T) {
+		win := in.Clone()
+		win.Comm = make([]int64, win.Tree.Len())
+		win.Comm[n3] = 7
+		win.Comm[n1] = 2
+		win.Comm[n2] = 4
+		sol := NewSolution(in.Tree.Len())
+		sol.AddPortion(c1, n3, 2)
+		sol.AddPortion(c2, n2, 3)
+		if got := sol.UpdateCost(win); got != 13 {
+			t.Errorf("weighted UpdateCost = %d, want 13", got)
+		}
+	})
+}
+
+func TestCostModel(t *testing.T) {
+	in, nodes, clients := star(2, []int64{3, 4}, 10)
+	sol := NewSolution(in.Tree.Len())
+	sol.AddPortion(clients[0], nodes[1], 3)
+	sol.AddPortion(clients[1], nodes[2], 4)
+
+	if got := StorageOnly.Cost(in, sol); got != 2 {
+		t.Errorf("StorageOnly = %v, want 2", got)
+	}
+	m := CostModel{Alpha: 1, Beta: 2, Gamma: 10}
+	// storage 2, read (3+4)*1 = 7, update: two replicas connected through
+	// the root = 2 edges.
+	want := 1.0*2 + 2.0*7 + 10.0*2
+	if got := m.Cost(in, sol); got != want {
+		t.Errorf("combined = %v, want %v", got, want)
+	}
+}
+
+func TestTotalFlows(t *testing.T) {
+	in, nodes, _ := star(3, []int64{5, 7, 9}, 10)
+	tf := in.TotalFlows()
+	if tf[nodes[0]] != 21 || tf[nodes[1]] != 5 || tf[nodes[3]] != 9 {
+		t.Errorf("TotalFlows = %v", tf)
+	}
+}
+
+func TestCanonicalFlows(t *testing.T) {
+	in, nodes := Figure6()
+	cflow, sat, nsn := in.CanonicalFlows(10)
+	n1, n3, n6, n10 := nodes[0], nodes[2], nodes[5], nodes[9]
+	for _, s := range []int{n1, n3, n6, n10} {
+		if !sat[s] {
+			t.Errorf("node %d should be saturated", s)
+		}
+	}
+	satCount := 0
+	for _, b := range sat {
+		if b {
+			satCount++
+		}
+	}
+	if satCount != 4 {
+		t.Errorf("saturated count = %d, want 4", satCount)
+	}
+	if cflow[n1] != 8 {
+		t.Errorf("cflow(root) = %d, want 8", cflow[n1])
+	}
+	if nsn[n1] != 4 {
+		t.Errorf("nsn(root) = %d, want 4", nsn[n1])
+	}
+	// Lemma 2: cflow = tflow - nsn*W for every vertex.
+	tf := in.TotalFlows()
+	for v := 0; v < in.Tree.Len(); v++ {
+		if cflow[v] != tf[v]-int64(nsn[v])*10 {
+			t.Errorf("Lemma 2 violated at %d: cflow %d tflow %d nsn %d", v, cflow[v], tf[v], nsn[v])
+		}
+	}
+}
+
+func TestResidualFlows(t *testing.T) {
+	in, nodes, clients := star(2, []int64{3, 4}, 10)
+	sol := NewSolution(in.Tree.Len())
+	sol.AddPortion(clients[0], nodes[1], 2)
+	sol.AddPortion(clients[0], nodes[0], 1)
+	sol.AddPortion(clients[1], nodes[0], 4)
+	rf := sol.ResidualFlows(in)
+	if rf[nodes[1]] != 1 { // client0's 1 request served above n1
+		t.Errorf("residual at n1 = %d, want 1", rf[nodes[1]])
+	}
+	if rf[nodes[2]] != 4 {
+		t.Errorf("residual at n2 = %d, want 4", rf[nodes[2]])
+	}
+	if rf[nodes[0]] != 0 {
+		t.Errorf("residual at root = %d, want 0", rf[nodes[0]])
+	}
+}
+
+func TestFixturesAreValidInstances(t *testing.T) {
+	fixtures := map[string]*Instance{
+		"fig1a": Figure1('a'),
+		"fig1b": Figure1('b'),
+		"fig1c": Figure1('c'),
+		"fig2":  Figure2(3),
+		"fig3":  Figure3(3),
+		"fig4":  Figure4(5, 10),
+		"fig5":  Figure5(4, 8),
+	}
+	fig6, _ := Figure6()
+	fixtures["fig6"] = fig6
+	for name, in := range fixtures {
+		if err := in.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	// Figure invariants from the paper.
+	if got := Figure2(4).Tree.NumInternal(); got != 2*4+2 {
+		t.Errorf("fig2 internal = %d, want 10", got)
+	}
+	if got := Figure3(4).Tree.NumInternal(); got != 3*4+1 {
+		t.Errorf("fig3 internal = %d, want 13", got)
+	}
+	if got := Figure5(4, 8).TrivialLowerBound(); got != 2 {
+		t.Errorf("fig5 trivial bound = %d, want 2", got)
+	}
+}
+
+func TestFixturePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"fig1": func() { Figure1('z') },
+		"fig2": func() { Figure2(0) },
+		"fig3": func() { Figure3(0) },
+		"fig4": func() { Figure4(1, 0) },
+		"fig5": func() { Figure5(3, 8) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("want panic")
+				}
+			}()
+			f()
+		})
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestInstanceJSONRoundTrip(t *testing.T) {
+	in, nodes, clients := star(2, []int64{3, 4}, 10)
+	in.Q = make([]int, in.Tree.Len())
+	for i := range in.Q {
+		in.Q[i] = NoQoS
+	}
+	in.Q[clients[0]] = 2
+	in.BW = make([]int64, in.Tree.Len())
+	for i := range in.BW {
+		in.BW[i] = NoBandwidth
+	}
+	in.BW[nodes[1]] = 100
+
+	var buf bytes.Buffer
+	if _, err := in.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	back, err := ReadInstance(&buf)
+	if err != nil {
+		t.Fatalf("ReadInstance: %v", err)
+	}
+	if !reflect.DeepEqual(back.R, in.R) || !reflect.DeepEqual(back.W, in.W) ||
+		!reflect.DeepEqual(back.S, in.S) || !reflect.DeepEqual(back.Q, in.Q) ||
+		!reflect.DeepEqual(back.BW, in.BW) {
+		t.Errorf("round trip mismatch")
+	}
+	if back.Tree.Len() != in.Tree.Len() || back.Tree.Root() != in.Tree.Root() {
+		t.Errorf("tree mismatch")
+	}
+}
+
+func TestReadInstanceRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"parents":[0],"is_client":[false]}`,
+		// valid tree but negative request
+		`{"parents":[-1,0],"is_client":[false,true],"requests":[0,-3],"capacities":[1,0],"storage_costs":[1,0]}`,
+		// vector length mismatch
+		`{"parents":[-1,0],"is_client":[false,true],"requests":[0],"capacities":[1,0],"storage_costs":[1,0]}`,
+	}
+	for i, src := range cases {
+		if _, err := ReadInstance(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestInstanceJSONOmitsOptional(t *testing.T) {
+	in, _, _ := star(1, []int64{1}, 2)
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "qos") || strings.Contains(string(data), "bandwidth") {
+		t.Errorf("optional fields should be omitted: %s", data)
+	}
+}

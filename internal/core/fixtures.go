@@ -1,0 +1,209 @@
+package core
+
+import "repro/internal/tree"
+
+// This file builds the pedagogical instances of Section 3 (Figures 1-5).
+// They are exported because the exact solvers, heuristics and examples all
+// exercise them; each constructor documents the paper's claim about it.
+
+// Figure1 builds the two-node chain of Figure 1 (s1 child of root s2, both
+// with W = 1) in one of three variants:
+//
+//	variant "a": one client with 1 request  (all policies solvable)
+//	variant "b": two clients with 1 request (Upwards/Multiple only)
+//	variant "c": one client with 2 requests (Multiple only)
+//
+// It returns the instance with s_j = 1 (Replica Counting).
+func Figure1(variant byte) *Instance {
+	b := tree.NewBuilder()
+	s2 := b.AddRoot()
+	s1 := b.AddNode(s2)
+	var clients []int
+	switch variant {
+	case 'a':
+		clients = []int{b.AddClient(s1)}
+	case 'b':
+		clients = []int{b.AddClient(s1), b.AddClient(s1)}
+	case 'c':
+		clients = []int{b.AddClient(s1)}
+	default:
+		panic("core: Figure1 variant must be 'a', 'b' or 'c'")
+	}
+	in := NewInstance(b.MustBuild())
+	in.W[s1], in.W[s2] = 1, 1
+	in.S[s1], in.S[s2] = 1, 1
+	for _, c := range clients {
+		in.R[c] = 1
+	}
+	if variant == 'c' {
+		in.R[clients[0]] = 2
+	}
+	return in
+}
+
+// Figure2 builds the Upwards-versus-Closest gap instance: 2n+2 internal
+// nodes of capacity W = n and 2n+1 unit clients arranged so that Upwards
+// needs 3 replicas while Closest needs n+2.
+//
+// Topology (matching the figure): the root s_{2n+2} has one client child
+// and one node child s_{2n+1}; s_{2n+1} has 2n node children s_1..s_{2n},
+// each with one unit client.
+func Figure2(n int) *Instance {
+	if n < 1 {
+		panic("core: Figure2 requires n >= 1")
+	}
+	b := tree.NewBuilder()
+	root := b.AddRoot() // s_{2n+2}
+	crt := b.AddClient(root)
+	mid := b.AddNode(root) // s_{2n+1}
+	leaves := make([]int, 0, 2*n)
+	clients := []int{crt}
+	for i := 0; i < 2*n; i++ {
+		s := b.AddNode(mid)
+		leaves = append(leaves, s)
+		clients = append(clients, b.AddClient(s))
+	}
+	in := NewInstance(b.MustBuild())
+	for _, s := range append([]int{root, mid}, leaves...) {
+		in.W[s] = int64(n)
+		in.S[s] = 1
+	}
+	for _, c := range clients {
+		in.R[c] = 1
+	}
+	return in
+}
+
+// Figure3 builds the homogeneous Multiple-versus-Upwards instance: root r
+// with a client of n requests and n children s_j; each s_j has children v_j
+// and w_j; v_j has a client of n requests, w_j a client of n+1 requests.
+// All 3n+1 internal nodes have W = 2n. Multiple needs n+1 replicas,
+// Upwards needs 2n.
+func Figure3(n int) *Instance {
+	if n < 1 {
+		panic("core: Figure3 requires n >= 1")
+	}
+	b := tree.NewBuilder()
+	r := b.AddRoot()
+	nodes := []int{r}
+	clientReqs := map[int]int64{b.AddClient(r): int64(n)}
+	for j := 0; j < n; j++ {
+		s := b.AddNode(r)
+		v := b.AddNode(s)
+		w := b.AddNode(s)
+		nodes = append(nodes, s, v, w)
+		clientReqs[b.AddClient(v)] = int64(n)
+		clientReqs[b.AddClient(w)] = int64(n + 1)
+	}
+	in := NewInstance(b.MustBuild())
+	for _, s := range nodes {
+		in.W[s] = int64(2 * n)
+		in.S[s] = 1
+	}
+	for c, r := range clientReqs {
+		in.R[c] = r
+	}
+	return in
+}
+
+// Figure4 builds the heterogeneous Multiple-versus-Upwards instance: chain
+// s3 (root, W = K·n) -> s2 (W = n) -> s1 (W = n); s1 has a client with n+1
+// requests and s2 has a client with n−1 requests. Storage costs equal
+// capacities (Replica Cost). Multiple costs 2n; Upwards costs (K+1)n.
+func Figure4(n, k int64) *Instance {
+	if n < 2 || k < 1 {
+		panic("core: Figure4 requires n >= 2, k >= 1")
+	}
+	b := tree.NewBuilder()
+	s3 := b.AddRoot()
+	s2 := b.AddNode(s3)
+	s1 := b.AddNode(s2)
+	c1 := b.AddClient(s1) // n+1 requests
+	c2 := b.AddClient(s2) // n-1 requests
+	in := NewInstance(b.MustBuild())
+	in.W[s1], in.W[s2], in.W[s3] = n, n, k*n
+	in.S[s1], in.S[s2], in.S[s3] = n, n, k*n
+	in.R[c1], in.R[c2] = n+1, n-1
+	return in
+}
+
+// Figure5 builds the lower-bound gap instance: root r with one client of W
+// requests and n children s_j, each with one client of W/n requests. All
+// capacities W; the trivial bound is 2 but every policy needs n+1 replicas.
+// W must be divisible by n.
+func Figure5(n int, w int64) *Instance {
+	if n < 1 || w%int64(n) != 0 {
+		panic("core: Figure5 requires n >= 1 and n | w")
+	}
+	b := tree.NewBuilder()
+	r := b.AddRoot()
+	nodes := []int{r}
+	creqs := map[int]int64{b.AddClient(r): w}
+	for j := 0; j < n; j++ {
+		s := b.AddNode(r)
+		nodes = append(nodes, s)
+		creqs[b.AddClient(s)] = w / int64(n)
+	}
+	in := NewInstance(b.MustBuild())
+	for _, s := range nodes {
+		in.W[s] = w
+		in.S[s] = 1
+	}
+	for c, r := range creqs {
+		in.R[c] = r
+	}
+	return in
+}
+
+// Figure6 builds a worked example for the optimal Multiple/homogeneous
+// algorithm of Section 4.1, analogous to the paper's Figure 6 (whose exact
+// topology is not recoverable from the scanned source). The network has 11
+// internal nodes n1..n11 with W = 10 and is engineered so that the
+// algorithm's trace is fully determined:
+//
+//   - pass 1 saturates n10 (flow 12), n6 (flow 14), n3 (flow 19) and the
+//     root n1 (flow 18), leaving a residual root flow of 8;
+//   - pass 2 first picks n4 with useful flow 7, then — all useful flows
+//     having dropped to 1 — picks n2, the first such node in depth-first
+//     order, exactly as in the paper's narrative;
+//   - pass 3 must split the 15-request client between n3 and the root, and
+//     the 12-request client between n10 and n4's subtree accounting.
+//
+// It returns the instance plus the ids of n1..n11 (index i holds n_{i+1}).
+func Figure6() (*Instance, []int) {
+	b := tree.NewBuilder()
+	n1 := b.AddRoot()
+	n2 := b.AddNode(n1)
+	c2 := b.AddClient(n2) // r = 2
+	n3 := b.AddNode(n1)
+	c15 := b.AddClient(n3) // r = 15 (split across servers in pass 3)
+	c2b := b.AddClient(n3) // r = 2
+	n5 := b.AddNode(n3)
+	c1a := b.AddClient(n5) // r = 1
+	c1b := b.AddClient(n5) // r = 1
+	n4 := b.AddNode(n1)
+	n6 := b.AddNode(n4)
+	n7 := b.AddNode(n6)
+	c7a := b.AddClient(n7) // r = 7
+	n8 := b.AddNode(n6)
+	c7b := b.AddClient(n8) // r = 7
+	n9 := b.AddNode(n4)
+	n10 := b.AddNode(n9)
+	c12 := b.AddClient(n10) // r = 12
+	n11 := b.AddNode(n9)
+	c1c := b.AddClient(n11) // r = 1
+
+	in := NewInstance(b.MustBuild())
+	nodes := []int{n1, n2, n3, n4, n5, n6, n7, n8, n9, n10, n11}
+	for _, s := range nodes {
+		in.W[s] = 10
+		in.S[s] = 1
+	}
+	for c, r := range map[int]int64{
+		c2: 2, c15: 15, c2b: 2, c1a: 1, c1b: 1,
+		c7a: 7, c7b: 7, c12: 12, c1c: 1,
+	} {
+		in.R[c] = r
+	}
+	return in, nodes
+}

@@ -1,0 +1,78 @@
+package core
+
+// This file implements the flow quantities of Section 4.1, used both by the
+// optimal Multiple/homogeneous algorithm and by validation utilities.
+
+// TotalFlows returns tflow: for every vertex v, the total number of
+// requests issued in subtree(v) (tflow_v = Σ r_i over clients below v,
+// including v itself if it is a client).
+func (in *Instance) TotalFlows() []int64 {
+	t := in.Tree
+	tf := make([]int64, t.Len())
+	for _, v := range t.PostOrder() {
+		if t.IsClient(v) {
+			tf[v] = in.R[v]
+			continue
+		}
+		for _, c := range t.Children(v) {
+			tf[v] += tf[c]
+		}
+	}
+	return tf
+}
+
+// CanonicalFlows computes the canonical flow cflow and the saturated-node
+// structure of Section 4.1.3 for a homogeneous capacity w: processing
+// vertices bottom-up, a vertex whose incoming flow reaches w is "saturated"
+// (it would host a fully used replica) and forwards flow - w upwards.
+// It returns the canonical flow per vertex, the saturated set as a boolean
+// vector, and nsn (the number of saturated vertices in each subtree).
+func (in *Instance) CanonicalFlows(w int64) (cflow []int64, saturated []bool, nsn []int) {
+	t := in.Tree
+	cflow = make([]int64, t.Len())
+	saturated = make([]bool, t.Len())
+	nsn = make([]int, t.Len())
+	for _, v := range t.PostOrder() {
+		if t.IsClient(v) {
+			cflow[v] = in.R[v]
+			continue
+		}
+		var f int64
+		x := 0
+		for _, c := range t.Children(v) {
+			f += cflow[c]
+			x += nsn[c]
+		}
+		if w > 0 && f >= w {
+			saturated[v] = true
+			cflow[v] = f - w
+			nsn[v] = x + 1
+		} else {
+			cflow[v] = f
+			nsn[v] = x
+		}
+	}
+	return cflow, saturated, nsn
+}
+
+// ResidualFlows returns, for every vertex v, the number of requests issued
+// in subtree(v) that the solution serves at a server strictly above v (the
+// flow of §4.1.3 for a given placement: flow_v = tflow_v − Σ loads of
+// servers in subtree(v)).
+func (sol *Solution) ResidualFlows(in *Instance) []int64 {
+	t := in.Tree
+	loads := sol.ServerLoads(t.Len())
+	tf := in.TotalFlows()
+	served := make([]int64, t.Len())
+	for _, v := range t.PostOrder() {
+		served[v] = loads[v]
+		for _, c := range t.Children(v) {
+			served[v] += served[c]
+		}
+	}
+	out := make([]int64, t.Len())
+	for v := range out {
+		out[v] = tf[v] - served[v]
+	}
+	return out
+}

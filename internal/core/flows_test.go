@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tree"
+)
+
+// randomInstanceFor builds a deterministic random-ish instance from quick
+// inputs without importing gen (which would create an import cycle in
+// tests' spirit: gen depends on core).
+func randomInstanceFor(seed int64, size uint8, w int64) *Instance {
+	n := int(size%12) + 2
+	b := tree.NewBuilder()
+	nodes := []int{b.AddRoot()}
+	s := seed
+	next := func(mod int) int {
+		s = s*6364136223846793005 + 1442695040888963407
+		v := int((s >> 33) % int64(mod))
+		if v < 0 {
+			v += mod
+		}
+		return v
+	}
+	for i := 1; i < n; i++ {
+		nodes = append(nodes, b.AddNode(nodes[next(len(nodes))]))
+	}
+	var clients []int
+	for i := 0; i < n+2; i++ {
+		clients = append(clients, b.AddClient(nodes[next(len(nodes))]))
+	}
+	in := NewInstance(b.MustBuild())
+	for _, j := range nodes {
+		in.W[j] = w
+		in.S[j] = 1
+	}
+	for _, c := range clients {
+		in.R[c] = int64(next(50))
+	}
+	return in
+}
+
+// TestQuickCanonicalFlowLemmas property-tests the Section 4.1.3 flow
+// identities on random instances: Lemma 2 (cflow = tflow − nsn·W),
+// Proposition 1 (non-saturated nodes carry cflow < W) and Corollary 1
+// (tflow ≥ nsn·W).
+func TestQuickCanonicalFlowLemmas(t *testing.T) {
+	f := func(seed int64, size uint8, wRaw uint8) bool {
+		w := int64(wRaw%40) + 1
+		in := randomInstanceFor(seed, size, w)
+		tf := in.TotalFlows()
+		cflow, sat, nsn := in.CanonicalFlows(w)
+		for v := 0; v < in.Tree.Len(); v++ {
+			if cflow[v] != tf[v]-int64(nsn[v])*w { // Lemma 2
+				return false
+			}
+			if tf[v] < int64(nsn[v])*w { // Corollary 1
+				return false
+			}
+			if in.Tree.IsInternal(v) && !sat[v] && cflow[v] >= w { // Prop. 1
+				return false
+			}
+			if in.Tree.IsClient(v) && (sat[v] || nsn[v] != 0) {
+				return false
+			}
+		}
+		// The root's canonical flow equals total requests minus W per
+		// saturated node.
+		root := in.Tree.Root()
+		return cflow[root] == in.TotalRequests()-int64(nsn[root])*w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickResidualFlowsOfValidSolutions: for any valid Multiple solution
+// (built by serving everything at the root when feasible), residuals are
+// non-negative everywhere and zero at the root.
+func TestQuickResidualFlows(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		in := randomInstanceFor(seed, size, 1<<40) // enormous capacity
+		sol := NewSolution(in.Tree.Len())
+		root := in.Tree.Root()
+		for _, c := range in.Tree.Clients() {
+			if in.R[c] > 0 {
+				sol.AddPortion(c, root, in.R[c])
+			}
+		}
+		if err := sol.Validate(in, Multiple); err != nil {
+			return false
+		}
+		rf := sol.ResidualFlows(in)
+		for v := 0; v < in.Tree.Len(); v++ {
+			if rf[v] < 0 {
+				return false
+			}
+		}
+		// Serving everything at the root leaves residual = tflow below it.
+		tf := in.TotalFlows()
+		for v := 0; v < in.Tree.Len(); v++ {
+			if v == root {
+				if rf[v] != 0 {
+					return false
+				}
+			} else if rf[v] != tf[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTrivialBoundBelowOptimalLoad: ⌈Σr/W⌉ never exceeds the replica
+// count of the all-nodes placement when that placement is feasible.
+func TestQuickTrivialBound(t *testing.T) {
+	f := func(seed int64, size uint8, wRaw uint8) bool {
+		w := int64(wRaw%40) + 1
+		in := randomInstanceFor(seed, size, w)
+		lb := in.TrivialLowerBound()
+		// The bound can never exceed the total requests (each replica
+		// serves at least one request in a minimal solution).
+		if lb > in.TotalRequests() {
+			return false
+		}
+		return lb >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

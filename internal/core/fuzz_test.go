@@ -1,0 +1,77 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzReadInstance checks that arbitrary bytes never panic the instance
+// decoder and that everything it accepts passes full validation (so a
+// decoded instance is always safe to hand to the solvers). Run with
+// `go test -fuzz=FuzzReadInstance ./internal/core` for live fuzzing; the
+// seed corpus runs under plain `go test`.
+func FuzzReadInstance(f *testing.F) {
+	valid, err := json.Marshal(Figure1('a'))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(valid))
+	f.Add(`{"parents":[-1,0],"is_client":[false,true],"requests":[0,3],"capacities":[5,0],"storage_costs":[1,0]}`)
+	f.Add(`{"parents":[0],"is_client":[false]}`)
+	f.Add(`{"parents":[-1],"is_client":[true]}`)
+	f.Add(`{"parents":[-1,0,0],"is_client":[false,true,true],"requests":[0,1,2],"capacities":[9,0,0],"storage_costs":[1,0,0],"qos":[-1,1,2],"bandwidth":[-1,5,5]}`)
+	f.Add(`[]`)
+	f.Add(`{`)
+	f.Fuzz(func(t *testing.T, src string) {
+		in, err := ReadInstance(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if verr := in.Validate(); verr != nil {
+			t.Fatalf("decoder accepted an invalid instance: %v\ninput: %s", verr, src)
+		}
+		// Round-trip stability: encode and decode again.
+		data, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if _, err := ReadInstance(strings.NewReader(string(data))); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}
+
+// FuzzSolutionDecode checks the solution decoder likewise.
+func FuzzSolutionDecode(f *testing.F) {
+	sol := NewSolution(3)
+	sol.AddPortion(2, 0, 5)
+	valid, err := json.Marshal(sol)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(valid))
+	f.Add(`{"vertices":2,"assign":[{"client":1,"portions":[{"Server":0,"Load":1}]}]}`)
+	f.Add(`{"vertices":-1}`)
+	f.Add(`null`)
+	f.Fuzz(func(t *testing.T, src string) {
+		var s Solution
+		if err := json.Unmarshal([]byte(src), &s); err != nil {
+			return
+		}
+		// Accepted solutions must be structurally sound: replica ids in
+		// range, positive portions.
+		for _, r := range s.Replicas() {
+			if r < 0 || r >= len(s.Assign) {
+				t.Fatalf("replica %d out of range after decode: %s", r, src)
+			}
+		}
+		for _, ps := range s.Assign {
+			for _, p := range ps {
+				if p.Load <= 0 {
+					t.Fatalf("non-positive portion after decode: %s", src)
+				}
+			}
+		}
+	})
+}

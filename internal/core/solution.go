@@ -1,0 +1,238 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Portion is a share of one client's requests handled by one server.
+type Portion struct {
+	Server int   // internal vertex holding a replica
+	Load   int64 // number of requests served there, > 0
+}
+
+// Solution is a replica placement together with the request assignment: for
+// each client, the list of (server, load) portions that cover its requests.
+// Replicas with zero assigned load are legal (they still pay storage cost)
+// but none of the solvers in this module produce them.
+type Solution struct {
+	// Assign maps each client vertex id to its portions. Indexed by vertex
+	// id over the whole tree; entries of internal vertices are nil.
+	Assign [][]Portion
+
+	// replicas caches the sorted replica set; rebuilt lazily.
+	replicas []int
+	extra    []int // replicas declared without load (rare, explicit)
+}
+
+// NewSolution returns an empty solution for an instance's tree size.
+func NewSolution(n int) *Solution {
+	return &Solution{Assign: make([][]Portion, n)}
+}
+
+// AddPortion assigns load requests of client c to server s, merging with an
+// existing portion for the same server.
+func (sol *Solution) AddPortion(c, s int, load int64) {
+	if load == 0 {
+		return
+	}
+	sol.replicas = nil
+	for i := range sol.Assign[c] {
+		if sol.Assign[c][i].Server == s {
+			sol.Assign[c][i].Load += load
+			return
+		}
+	}
+	sol.Assign[c] = append(sol.Assign[c], Portion{Server: s, Load: load})
+}
+
+// DeclareReplica marks s as a replica even if no load is assigned to it.
+// Used only to express pathological placements in tests.
+func (sol *Solution) DeclareReplica(s int) {
+	sol.replicas = nil
+	sol.extra = append(sol.extra, s)
+}
+
+// Replicas returns the sorted set of servers used by the solution (any
+// server appearing in a portion, plus declared replicas).
+func (sol *Solution) Replicas() []int {
+	if sol.replicas != nil {
+		return sol.replicas
+	}
+	set := make(map[int]bool)
+	for _, ps := range sol.Assign {
+		for _, p := range ps {
+			set[p.Server] = true
+		}
+	}
+	for _, s := range sol.extra {
+		set[s] = true
+	}
+	out := make([]int, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	sol.replicas = out
+	return out
+}
+
+// IsReplica reports whether s is in the replica set.
+func (sol *Solution) IsReplica(s int) bool {
+	r := sol.Replicas()
+	i := sort.SearchInts(r, s)
+	return i < len(r) && r[i] == s
+}
+
+// ServerLoads returns the total load assigned to each vertex (indexed by
+// vertex id; zero for non-servers).
+func (sol *Solution) ServerLoads(n int) []int64 {
+	loads := make([]int64, n)
+	for _, ps := range sol.Assign {
+		for _, p := range ps {
+			loads[p.Server] += p.Load
+		}
+	}
+	return loads
+}
+
+// StorageCost returns Σ s_j over the replica set — the paper's objective.
+func (sol *Solution) StorageCost(in *Instance) int64 {
+	var cost int64
+	for _, s := range sol.Replicas() {
+		cost += in.S[s]
+	}
+	return cost
+}
+
+// ReplicaCount returns |R|, the Replica Counting objective.
+func (sol *Solution) ReplicaCount() int { return len(sol.Replicas()) }
+
+// LinkFlows returns, for each non-root vertex v, the total number of
+// requests traversing the link v -> parent(v) under this assignment.
+func (sol *Solution) LinkFlows(in *Instance) []int64 {
+	flows := make([]int64, in.Tree.Len())
+	for c, ps := range sol.Assign {
+		for _, p := range ps {
+			for _, u := range in.Tree.PathLinks(c, p.Server) {
+				flows[u] += p.Load
+			}
+		}
+	}
+	return flows
+}
+
+// Validate checks the solution against the instance under the given access
+// policy: full coverage of every client, servers are internal ancestors,
+// capacities, the single-server rule (Closest/Upwards), the
+// closest-blocking rule (Closest), QoS bounds and link bandwidths. A nil
+// return value means the solution is feasible for the policy.
+func (sol *Solution) Validate(in *Instance, p Policy) error {
+	t := in.Tree
+	if len(sol.Assign) != t.Len() {
+		return fmt.Errorf("core: solution sized %d for tree of %d vertices", len(sol.Assign), t.Len())
+	}
+	for _, s := range sol.Replicas() {
+		if s < 0 || s >= t.Len() || t.IsClient(s) {
+			return fmt.Errorf("core: replica %d is not an internal vertex", s)
+		}
+	}
+	for v, ps := range sol.Assign {
+		if len(ps) == 0 {
+			continue
+		}
+		if !t.IsClient(v) {
+			return fmt.Errorf("core: internal vertex %d has an assignment", v)
+		}
+	}
+	// Coverage, ancestry, QoS, single-server.
+	for _, c := range t.Clients() {
+		ps := sol.Assign[c]
+		var sum int64
+		for _, p := range ps {
+			if p.Load <= 0 {
+				return fmt.Errorf("core: client %d has non-positive portion %d on server %d", c, p.Load, p.Server)
+			}
+			if !t.IsAncestor(p.Server, c) {
+				return fmt.Errorf("core: server %d is not an ancestor of client %d", p.Server, c)
+			}
+			if !in.QoSAllows(c, p.Server) {
+				return fmt.Errorf("core: client %d violates QoS at server %d (dist %d > q %d)",
+					c, p.Server, in.Dist(c, p.Server), in.Q[c])
+			}
+			sum += p.Load
+		}
+		if sum != in.R[c] {
+			return fmt.Errorf("core: client %d assigned %d of %d requests", c, sum, in.R[c])
+		}
+		if p != Multiple && len(ps) > 1 {
+			return fmt.Errorf("core: client %d uses %d servers under the %v policy", c, len(ps), p)
+		}
+	}
+	// Closest: the chosen server must be the first replica on the path.
+	if p == Closest {
+		for _, c := range t.Clients() {
+			ps := sol.Assign[c]
+			if len(ps) == 0 {
+				continue
+			}
+			for _, a := range t.Ancestors(c) {
+				if a == ps[0].Server {
+					break
+				}
+				if sol.IsReplica(a) {
+					return fmt.Errorf("core: client %d served by %d but traverses replica %d (Closest)",
+						c, ps[0].Server, a)
+				}
+			}
+		}
+	}
+	// Capacities.
+	loads := sol.ServerLoads(t.Len())
+	for _, s := range sol.Replicas() {
+		if loads[s] > in.W[s] {
+			return fmt.Errorf("core: server %d load %d exceeds capacity %d", s, loads[s], in.W[s])
+		}
+	}
+	// Bandwidths.
+	if in.HasBandwidth() {
+		flows := sol.LinkFlows(in)
+		for v := 0; v < t.Len(); v++ {
+			if v == t.Root() || in.BW[v] == NoBandwidth {
+				continue
+			}
+			if flows[v] > in.BW[v] {
+				return fmt.Errorf("core: link %d->%d flow %d exceeds bandwidth %d",
+					v, t.Parent(v), flows[v], in.BW[v])
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the placement compactly: replica list plus per-client
+// assignments, e.g. "R={1,3} c4->{1:5} c5->{1:2,3:3}".
+func (sol *Solution) String() string {
+	out := "R={"
+	for i, s := range sol.Replicas() {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprint(s)
+	}
+	out += "}"
+	for c, ps := range sol.Assign {
+		if len(ps) == 0 {
+			continue
+		}
+		out += fmt.Sprintf(" c%d->{", c)
+		for i, p := range ps {
+			if i > 0 {
+				out += ","
+			}
+			out += fmt.Sprintf("%d:%d", p.Server, p.Load)
+		}
+		out += "}"
+	}
+	return out
+}

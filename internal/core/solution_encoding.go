@@ -1,0 +1,69 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonSolution is the wire format of a Solution: one entry per client
+// that has an assignment.
+type jsonSolution struct {
+	// Assign maps client vertex ids (as array indices via the Client
+	// field) to portions.
+	Assign []jsonAssignment `json:"assign"`
+	// Extra lists replicas declared without load.
+	Extra []int `json:"extra_replicas,omitempty"`
+	// Vertices is the tree size the solution was built for.
+	Vertices int `json:"vertices"`
+}
+
+type jsonAssignment struct {
+	Client   int       `json:"client"`
+	Portions []Portion `json:"portions"`
+}
+
+// MarshalJSON encodes the solution compactly (only assigned clients).
+func (sol *Solution) MarshalJSON() ([]byte, error) {
+	js := jsonSolution{Vertices: len(sol.Assign), Extra: sol.extra}
+	for c, ps := range sol.Assign {
+		if len(ps) > 0 {
+			js.Assign = append(js.Assign, jsonAssignment{Client: c, Portions: ps})
+		}
+	}
+	return json.Marshal(js)
+}
+
+// UnmarshalJSON decodes a solution produced by MarshalJSON. Structural
+// validation against an instance still requires Validate.
+func (sol *Solution) UnmarshalJSON(data []byte) error {
+	var js jsonSolution
+	if err := json.Unmarshal(data, &js); err != nil {
+		return err
+	}
+	if js.Vertices <= 0 {
+		return fmt.Errorf("core: solution with invalid vertex count %d", js.Vertices)
+	}
+	ns := NewSolution(js.Vertices)
+	for _, a := range js.Assign {
+		if a.Client < 0 || a.Client >= js.Vertices {
+			return fmt.Errorf("core: solution client %d out of range", a.Client)
+		}
+		for _, p := range a.Portions {
+			if p.Server < 0 || p.Server >= js.Vertices {
+				return fmt.Errorf("core: solution server %d out of range", p.Server)
+			}
+			if p.Load <= 0 {
+				return fmt.Errorf("core: non-positive portion %d", p.Load)
+			}
+			ns.AddPortion(a.Client, p.Server, p.Load)
+		}
+	}
+	for _, s := range js.Extra {
+		if s < 0 || s >= js.Vertices {
+			return fmt.Errorf("core: extra replica %d out of range", s)
+		}
+		ns.DeclareReplica(s)
+	}
+	*sol = *ns
+	return nil
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestSolutionJSONRoundTrip(t *testing.T) {
+	in, nodes, clients := star(2, []int64{3, 4}, 10)
+	sol := NewSolution(in.Tree.Len())
+	sol.AddPortion(clients[0], nodes[1], 2)
+	sol.AddPortion(clients[0], nodes[0], 1)
+	sol.AddPortion(clients[1], nodes[0], 4)
+	sol.DeclareReplica(nodes[2])
+
+	data, err := json.Marshal(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Solution
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Replicas(), sol.Replicas()) {
+		t.Errorf("replicas: %v vs %v", back.Replicas(), sol.Replicas())
+	}
+	for c := range sol.Assign {
+		if len(sol.Assign[c]) != len(back.Assign[c]) {
+			t.Fatalf("client %d portions differ", c)
+		}
+	}
+	if err := back.Validate(in, Multiple); err != nil {
+		t.Errorf("decoded solution invalid: %v", err)
+	}
+}
+
+func TestSolutionJSONRejectsBad(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"vertices":0}`,
+		`{"vertices":3,"assign":[{"client":9,"portions":[]}]}`,
+		`{"vertices":3,"assign":[{"client":1,"portions":[{"Server":9,"Load":1}]}]}`,
+		`{"vertices":3,"assign":[{"client":1,"portions":[{"Server":0,"Load":0}]}]}`,
+		`{"vertices":3,"extra_replicas":[7]}`,
+	}
+	for i, src := range cases {
+		var s Solution
+		if err := json.Unmarshal([]byte(src), &s); err == nil {
+			t.Errorf("case %d: want error for %s", i, src)
+		}
+	}
+}
+
+func TestSolutionJSONEmpty(t *testing.T) {
+	sol := NewSolution(4)
+	data, err := json.Marshal(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Solution
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ReplicaCount() != 0 || len(back.Assign) != 4 {
+		t.Errorf("empty round trip broken: %v", back)
+	}
+}

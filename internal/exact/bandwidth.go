@@ -1,0 +1,90 @@
+package exact
+
+import (
+	"repro/internal/core"
+	"repro/internal/maxflow"
+)
+
+// assignMultipleBW decides feasibility of a replica set under the
+// Multiple policy with link-bandwidth caps (no QoS) and returns an
+// assignment. Requests travel upward through tree links, so the problem
+// is a single-commodity flow: source -> clients (r_i), every vertex ->
+// its parent (link bandwidth), every replica -> sink (capacity). Integral
+// capacities give an integral max flow; the per-client portions are then
+// recovered by decomposing the flow bottom-up.
+func assignMultipleBW(in *core.Instance, repl []bool) (*core.Solution, error) {
+	t := in.Tree
+	n := t.Len()
+	g := maxflow.New(n + 2)
+	src, sink := n, n+1
+
+	var total int64
+	for _, c := range t.Clients() {
+		if in.R[c] > 0 {
+			g.AddEdge(src, c, in.R[c])
+			total += in.R[c]
+		}
+	}
+	serve := make(map[int]maxflow.EdgeHandle, n) // v -> handle of v->sink
+	for v := 0; v < n; v++ {
+		if v != t.Root() {
+			cap := maxflow.Inf
+			if in.BW != nil && in.BW[v] != core.NoBandwidth {
+				cap = in.BW[v]
+			}
+			g.AddEdge(v, t.Parent(v), cap)
+		}
+		if t.IsInternal(v) && repl[v] && in.W[v] > 0 {
+			serve[v] = g.AddEdge(v, sink, in.W[v])
+		}
+	}
+	if g.Run(src, sink) != total {
+		return nil, ErrNoSolution
+	}
+
+	// Flow decomposition: walk bottom-up carrying (client, amount) parcels.
+	type parcel struct {
+		client int
+		amount int64
+	}
+	carried := make([][]parcel, n)
+	sol := core.NewSolution(n)
+	for _, v := range t.PostOrder() {
+		var have []parcel
+		if t.IsClient(v) {
+			if in.R[v] > 0 {
+				have = []parcel{{client: v, amount: in.R[v]}}
+			}
+		} else {
+			for _, c := range t.Children(v) {
+				have = append(have, carried[c]...)
+				carried[c] = nil
+			}
+			if h, ok := serve[v]; ok {
+				load := g.Flow(h)
+				rest := have[:0]
+				for _, p := range have {
+					if load > 0 {
+						take := p.amount
+						if take > load {
+							take = load
+						}
+						sol.AddPortion(p.client, v, take)
+						load -= take
+						p.amount -= take
+					}
+					if p.amount > 0 {
+						rest = append(rest, p)
+					}
+				}
+				have = rest
+			}
+		}
+		carried[v] = have
+	}
+	if len(carried[t.Root()]) > 0 {
+		// Cannot happen when the max flow saturated the source.
+		return nil, ErrNoSolution
+	}
+	return sol, nil
+}

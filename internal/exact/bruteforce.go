@@ -1,0 +1,251 @@
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/maxflow"
+)
+
+// MaxBruteForceNodes caps the instance size accepted by the brute-force
+// solvers: they enumerate all 2^|N| replica subsets.
+const MaxBruteForceNodes = 20
+
+// BruteForce computes an optimal solution for the given policy by
+// exhaustive enumeration of replica subsets, checking feasibility of each
+// subset exactly (deterministic assignment for Closest, backtracking for
+// Upwards, max-flow for Multiple). It honours QoS constraints for all
+// policies and bandwidth constraints for Closest and Upwards; combining
+// bandwidth with Multiple is rejected (use the LP instead).
+//
+// It is exponential and refuses instances with more than
+// MaxBruteForceNodes internal vertices. It exists to validate the
+// polynomial algorithms and heuristics.
+func BruteForce(in *core.Instance, p core.Policy) (*core.Solution, error) {
+	t := in.Tree
+	n := t.NumInternal()
+	if n > MaxBruteForceNodes {
+		return nil, fmt.Errorf("exact: brute force limited to %d nodes, got %d", MaxBruteForceNodes, n)
+	}
+	if p == core.Multiple && in.HasBandwidth() && in.HasQoS() {
+		return nil, errors.New("exact: brute force does not combine Multiple with both bandwidth and QoS constraints (use the LP)")
+	}
+	nodes := t.Internal()
+	var best *core.Solution
+	var bestCost int64
+	for mask := 0; mask < 1<<n; mask++ {
+		var cost int64
+		repl := make([]bool, t.Len())
+		for b := 0; b < n; b++ {
+			if mask&(1<<b) != 0 {
+				repl[nodes[b]] = true
+				cost += in.S[nodes[b]]
+			}
+		}
+		if best != nil && cost >= bestCost {
+			continue
+		}
+		var sol *core.Solution
+		var err error
+		switch p {
+		case core.Closest:
+			sol, err = assignClosest(in, repl)
+		case core.Upwards:
+			sol, err = assignUpwards(in, repl)
+		case core.Multiple:
+			if in.HasBandwidth() {
+				sol, err = assignMultipleBW(in, repl)
+			} else {
+				sol, err = assignMultiple(in, repl)
+			}
+		default:
+			return nil, fmt.Errorf("exact: unknown policy %v", p)
+		}
+		if err != nil {
+			continue
+		}
+		// Cost of the solution actually built (unused replicas dropped).
+		c := sol.StorageCost(in)
+		if best == nil || c < bestCost {
+			best, bestCost = sol, c
+		}
+	}
+	if best == nil {
+		return nil, ErrNoSolution
+	}
+	return best, nil
+}
+
+// assignUpwards decides by backtracking whether every client can be mapped
+// to a single replica on its path (capacity, QoS and bandwidth aware), and
+// returns one such assignment. Clients are placed in non-increasing
+// request order, which prunes heavily.
+func assignUpwards(in *core.Instance, repl []bool) (*core.Solution, error) {
+	t := in.Tree
+	// Candidate servers per client.
+	type cand struct {
+		client  int
+		servers []int
+	}
+	var cands []cand
+	for _, c := range t.Clients() {
+		if in.R[c] == 0 {
+			continue
+		}
+		var servers []int
+		for _, a := range t.Ancestors(c) {
+			if repl[a] && in.QoSAllows(c, a) && in.W[a] >= in.R[c] {
+				servers = append(servers, a)
+			}
+		}
+		if len(servers) == 0 {
+			return nil, ErrNoSolution
+		}
+		cands = append(cands, cand{client: c, servers: servers})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		return in.R[cands[i].client] > in.R[cands[j].client]
+	})
+
+	hasBW := in.HasBandwidth()
+	capLeft := append([]int64(nil), in.W...)
+	bwLeft := append([]int64(nil), in.BW...)
+	choice := make([]int, len(cands))
+
+	var try func(k int) bool
+	try = func(k int) bool {
+		if k == len(cands) {
+			return true
+		}
+		c := cands[k].client
+		r := in.R[c]
+		for _, s := range cands[k].servers {
+			if capLeft[s] < r {
+				continue
+			}
+			if hasBW {
+				ok := true
+				for _, u := range t.PathLinks(c, s) {
+					if in.BW[u] != core.NoBandwidth && bwLeft[u] < r {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				for _, u := range t.PathLinks(c, s) {
+					if in.BW[u] != core.NoBandwidth {
+						bwLeft[u] -= r
+					}
+				}
+			}
+			capLeft[s] -= r
+			choice[k] = s
+			if try(k + 1) {
+				return true
+			}
+			capLeft[s] += r
+			if hasBW {
+				for _, u := range t.PathLinks(c, s) {
+					if in.BW[u] != core.NoBandwidth {
+						bwLeft[u] += r
+					}
+				}
+			}
+		}
+		return false
+	}
+	if !try(0) {
+		return nil, ErrNoSolution
+	}
+	sol := core.NewSolution(t.Len())
+	for k, cd := range cands {
+		sol.AddPortion(cd.client, choice[k], in.R[cd.client])
+	}
+	return sol, nil
+}
+
+// assignMultiple decides feasibility of a replica set under the Multiple
+// policy via max-flow on the client/server bipartite transportation graph
+// (QoS-aware), and extracts an assignment from the optimal flow.
+func assignMultiple(in *core.Instance, repl []bool) (*core.Solution, error) {
+	t := in.Tree
+	clients := t.Clients()
+	nodes := t.Internal()
+	// Vertex layout: 0..|C|-1 clients, |C|..|C|+|N|-1 servers, then s, t.
+	g := maxflow.New(len(clients) + len(nodes) + 2)
+	src := len(clients) + len(nodes)
+	sink := src + 1
+	cIdx := make(map[int]int, len(clients))
+	for i, c := range clients {
+		cIdx[c] = i
+	}
+	nIdx := make(map[int]int, len(nodes))
+	for i, j := range nodes {
+		nIdx[j] = i
+	}
+	var total int64
+	for i, c := range clients {
+		if in.R[c] == 0 {
+			continue
+		}
+		g.AddEdge(src, i, in.R[c])
+		total += in.R[c]
+	}
+	for i, j := range nodes {
+		if repl[j] {
+			g.AddEdge(len(clients)+i, sink, in.W[j])
+		}
+	}
+	type arc struct {
+		c, s   int
+		handle maxflow.EdgeHandle
+	}
+	var arcs []arc
+	for _, c := range clients {
+		if in.R[c] == 0 {
+			continue
+		}
+		for _, a := range t.Ancestors(c) {
+			if repl[a] && in.QoSAllows(c, a) {
+				h := g.AddEdge(cIdx[c], len(clients)+nIdx[a], in.R[c])
+				arcs = append(arcs, arc{c: c, s: a, handle: h})
+			}
+		}
+	}
+	if g.Run(src, sink) != total {
+		return nil, ErrNoSolution
+	}
+	sol := core.NewSolution(t.Len())
+	for _, a := range arcs {
+		if f := g.Flow(a.handle); f > 0 {
+			sol.AddPortion(a.c, a.s, f)
+		}
+	}
+	return sol, nil
+}
+
+// FeasibleReplicaSet reports whether the given replica set (as a boolean
+// vector over vertices) admits a valid assignment under the policy. Same
+// constraint support as BruteForce.
+func FeasibleReplicaSet(in *core.Instance, p core.Policy, repl []bool) bool {
+	var err error
+	switch p {
+	case core.Closest:
+		_, err = assignClosest(in, repl)
+	case core.Upwards:
+		_, err = assignUpwards(in, repl)
+	case core.Multiple:
+		if in.HasBandwidth() && !in.HasQoS() {
+			_, err = assignMultipleBW(in, repl)
+		} else {
+			_, err = assignMultiple(in, repl)
+		}
+	default:
+		return false
+	}
+	return err == nil
+}

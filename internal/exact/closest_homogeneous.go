@@ -1,0 +1,120 @@
+package exact
+
+import (
+	"errors"
+
+	"repro/internal/core"
+)
+
+// ClosestHomogeneous solves Replica Counting optimally under the Closest
+// policy on a homogeneous platform (the polynomial case the paper cites
+// from Cidon et al. and Liu et al.).
+//
+// Under Closest, a replica at node s absorbs every request of subtree(s)
+// not already absorbed strictly below s, so a placement is exactly a
+// partition of the clients into subtree regions of weight at most W. The
+// minimum number of regions is found by the classical minimum
+// tree-partitioning greedy (Kundu & Misra): walk the tree bottom-up and,
+// whenever the uncovered flow entering a node exceeds W, promote the
+// internal child carrying the heaviest uncovered flow to a replica,
+// repeating until the node's inflow fits. Only internal children can be
+// promoted — a region must contain a server — so an instance whose client
+// children alone overflow a node is infeasible.
+//
+// Optimality is cross-checked against the brute-force solver in the tests.
+func ClosestHomogeneous(in *core.Instance) (*core.Solution, error) {
+	if !in.Homogeneous() {
+		return nil, errors.New("exact: ClosestHomogeneous requires a homogeneous instance")
+	}
+	if in.HasQoS() || in.HasBandwidth() {
+		return nil, errors.New("exact: ClosestHomogeneous does not support QoS or bandwidth constraints")
+	}
+	t := in.Tree
+	w := in.W[t.Internal()[0]]
+	if in.TotalRequests() == 0 {
+		return core.NewSolution(t.Len()), nil
+	}
+	if w <= 0 {
+		return nil, ErrNoSolution
+	}
+
+	flow := make([]int64, t.Len()) // uncovered flow leaving each vertex
+	repl := make([]bool, t.Len())
+	for _, v := range t.PostOrder() {
+		if t.IsClient(v) {
+			flow[v] = in.R[v]
+			continue
+		}
+		var f int64
+		for _, c := range t.Children(v) {
+			f += flow[c]
+		}
+		for f > w {
+			// Promote the internal child with the heaviest uncovered flow.
+			best := -1
+			for _, c := range t.Children(v) {
+				if t.IsInternal(c) && !repl[c] && flow[c] > 0 &&
+					(best < 0 || flow[c] > flow[best]) {
+					best = c
+				}
+			}
+			if best < 0 {
+				return nil, ErrNoSolution // client children alone overflow v
+			}
+			repl[best] = true
+			f -= flow[best]
+			flow[best] = 0
+		}
+		flow[v] = f
+	}
+	root := t.Root()
+	if flow[root] > 0 {
+		repl[root] = true
+	}
+	return assignClosest(in, repl)
+}
+
+// assignClosest builds the (unique) Closest assignment induced by a replica
+// set: every client is served by the first replica on its path to the
+// root. It returns ErrNoSolution if some client has no replica above it or
+// a server's load exceeds its capacity.
+func assignClosest(in *core.Instance, repl []bool) (*core.Solution, error) {
+	t := in.Tree
+	sol := core.NewSolution(t.Len())
+	loads := make([]int64, t.Len())
+	for _, c := range t.Clients() {
+		if in.R[c] == 0 {
+			continue
+		}
+		server := -1
+		for _, a := range t.Ancestors(c) {
+			if repl[a] {
+				server = a
+				break
+			}
+		}
+		if server < 0 {
+			return nil, ErrNoSolution
+		}
+		if !in.QoSAllows(c, server) {
+			return nil, ErrNoSolution
+		}
+		sol.AddPortion(c, server, in.R[c])
+		loads[server] += in.R[c]
+	}
+	for _, j := range t.Internal() {
+		if loads[j] > in.W[j] {
+			return nil, ErrNoSolution
+		}
+	}
+	if in.HasBandwidth() {
+		flows := sol.LinkFlows(in)
+		for v := 0; v < t.Len(); v++ {
+			if v != t.Root() && in.BW[v] != core.NoBandwidth && flows[v] > in.BW[v] {
+				return nil, ErrNoSolution
+			}
+		}
+	}
+	// Replicas that serve no client are dropped (they only add cost).
+	return sol, nil
+}

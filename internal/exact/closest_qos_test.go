@@ -1,0 +1,142 @@
+package exact
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// TestClosestQoSOptimal cross-validates the QoS-aware Closest greedy
+// against brute force on many random QoS-constrained instances.
+func TestClosestQoSOptimal(t *testing.T) {
+	for seed := int64(0); seed < 250; seed++ {
+		cfg := gen.Config{
+			Internal:  3 + int(seed%6),
+			Clients:   2 + int(seed%7),
+			Lambda:    0.2 + float64(seed%8)/10.0,
+			UnitCosts: true,
+			QoSRange:  1 + int(seed%4),
+		}
+		in := gen.Instance(cfg, seed)
+		fast, ferr := ClosestHomogeneousQoS(in)
+		slow, serr := BruteForce(in, core.Closest)
+		if (ferr == nil) != (serr == nil) {
+			t.Fatalf("seed %d: feasibility mismatch: fast=%v slow=%v", seed, ferr, serr)
+		}
+		if ferr != nil {
+			continue
+		}
+		if err := fast.Validate(in, core.Closest); err != nil {
+			t.Fatalf("seed %d: invalid fast solution: %v", seed, err)
+		}
+		if fast.ReplicaCount() != slow.ReplicaCount() {
+			t.Fatalf("seed %d: count %d != optimal %d", seed, fast.ReplicaCount(), slow.ReplicaCount())
+		}
+	}
+}
+
+// TestClosestQoSNoBoundsEqualsBase: without QoS bounds the solver matches
+// the base ClosestHomogeneous.
+func TestClosestQoSNoBoundsEqualsBase(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		in := gen.Instance(gen.Config{
+			Internal: 4 + int(seed%5), Clients: 4 + int(seed%6),
+			Lambda: 0.3 + float64(seed%5)/10.0, UnitCosts: true,
+		}, seed+3000)
+		a, aerr := ClosestHomogeneousQoS(in)
+		b, berr := ClosestHomogeneous(in)
+		if (aerr == nil) != (berr == nil) {
+			t.Fatalf("seed %d: feasibility mismatch", seed)
+		}
+		if aerr == nil && a.ReplicaCount() != b.ReplicaCount() {
+			t.Fatalf("seed %d: %d != %d", seed, a.ReplicaCount(), b.ReplicaCount())
+		}
+	}
+}
+
+// TestClosestQoSForcesEdgePlacement: a tight QoS bound forces replicas at
+// the leaves even when a single root replica would have enough capacity.
+func TestClosestQoSForcesEdgePlacement(t *testing.T) {
+	in := core.Figure2(2) // root + mid + 4 leaf nodes, W = 2
+	// Without QoS the optimum is n+2 = 4 replicas.
+	base, err := ClosestHomogeneousQoS(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.ReplicaCount() != 4 {
+		t.Errorf("unbounded count = %d, want 4", base.ReplicaCount())
+	}
+	// q = 1: every leaf client must be served by its own parent node, and
+	// the root client by the root.
+	in.Q = make([]int, in.Tree.Len())
+	for i := range in.Q {
+		in.Q[i] = core.NoQoS
+	}
+	for _, c := range in.Tree.Clients() {
+		in.Q[c] = 1
+	}
+	sol, err := ClosestHomogeneousQoS(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Validate(in, core.Closest); err != nil {
+		t.Fatal(err)
+	}
+	if sol.ReplicaCount() != 5 { // 4 leaves + root
+		t.Errorf("q=1 count = %d, want 5", sol.ReplicaCount())
+	}
+}
+
+func TestClosestQoSInfeasible(t *testing.T) {
+	// A client whose QoS excludes every server.
+	in := core.Figure1('a')
+	in.Q = make([]int, in.Tree.Len())
+	for i := range in.Q {
+		in.Q[i] = core.NoQoS
+	}
+	in.Q[in.Tree.Clients()[0]] = 0
+	if _, err := ClosestHomogeneousQoS(in); !errors.Is(err, ErrNoSolution) {
+		t.Errorf("want ErrNoSolution, got %v", err)
+	}
+}
+
+func TestClosestQoSRejects(t *testing.T) {
+	het := core.Figure4(5, 10)
+	if _, err := ClosestHomogeneousQoS(het); err == nil {
+		t.Error("want error for heterogeneous instance")
+	}
+}
+
+// TestClosestQoSWeightedLinks: comm-weighted distances are honoured.
+func TestClosestQoSWeightedLinks(t *testing.T) {
+	in := core.Figure1('a') // s2 -> s1 -> client, all capacities 1
+	in.Comm = make([]int64, in.Tree.Len())
+	c := in.Tree.Clients()[0]
+	root := in.Tree.Root()
+	var s1 int
+	for _, j := range in.Tree.Internal() {
+		if j != root {
+			s1 = j
+		}
+	}
+	in.Comm[c] = 2  // client -> s1 costs 2
+	in.Comm[s1] = 5 // s1 -> root costs 5
+	in.Q = make([]int, in.Tree.Len())
+	for i := range in.Q {
+		in.Q[i] = core.NoQoS
+	}
+	in.Q[c] = 3 // s1 reachable (2), root not (7)
+	sol, err := ClosestHomogeneousQoS(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.IsReplica(s1) || sol.IsReplica(root) {
+		t.Errorf("replicas = %v, want exactly {s1}", sol.Replicas())
+	}
+	in.Q[c] = 1 // nothing reachable
+	if _, err := ClosestHomogeneousQoS(in); !errors.Is(err, ErrNoSolution) {
+		t.Errorf("want ErrNoSolution, got %v", err)
+	}
+}

@@ -1,0 +1,218 @@
+// Package exact provides the exact solvers for the Replica Cost /
+// Replica Counting problems: the paper's optimal polynomial algorithm for
+// the Multiple policy on homogeneous platforms (Section 4.1), an optimal
+// greedy for the Closest policy on homogeneous platforms, and exponential
+// brute-force optimal solvers for all three policies used to validate the
+// polynomial algorithms and the heuristics on small instances.
+package exact
+
+import (
+	"errors"
+
+	"repro/internal/core"
+)
+
+// ErrNoSolution is returned when an instance admits no feasible placement
+// under the requested policy.
+var ErrNoSolution = errors.New("exact: no feasible solution")
+
+// MultipleHomogeneous solves Replica Counting optimally under the Multiple
+// policy on a homogeneous platform, implementing the three-pass algorithm
+// of Section 4.1 (Algorithms 1-3):
+//
+//	pass 1: saturate nodes bottom-up — every node whose subtree flow
+//	        reaches W receives a replica serving exactly W requests;
+//	pass 2: while flow still reaches the root, repeatedly grant a replica
+//	        to the free node with maximal useful flow (ties broken by
+//	        depth-first order, as in the paper's worked example);
+//	pass 3: assign client requests to servers bottom-up, splitting a
+//	        client between servers when needed.
+//
+// It returns ErrNoSolution when the instance is infeasible. The instance
+// must be homogeneous; QoS and bandwidth constraints are not supported
+// (this is the paper's "Only server capacities" setting).
+func MultipleHomogeneous(in *core.Instance) (*core.Solution, error) {
+	if !in.Homogeneous() {
+		return nil, errors.New("exact: MultipleHomogeneous requires a homogeneous instance")
+	}
+	if in.HasQoS() || in.HasBandwidth() {
+		return nil, errors.New("exact: MultipleHomogeneous does not support QoS or bandwidth constraints")
+	}
+	t := in.Tree
+	w := in.W[t.Internal()[0]]
+	if w <= 0 {
+		if in.TotalRequests() == 0 {
+			return core.NewSolution(t.Len()), nil
+		}
+		return nil, ErrNoSolution
+	}
+
+	// Pass 1: canonical flows; saturated nodes get replicas.
+	flow := make([]int64, t.Len())
+	repl := make([]bool, t.Len())
+	for _, v := range t.PostOrder() {
+		if t.IsClient(v) {
+			flow[v] = in.R[v]
+			continue
+		}
+		var f int64
+		for _, c := range t.Children(v) {
+			f += flow[c]
+		}
+		if f >= w {
+			f -= w
+			repl[v] = true
+		}
+		flow[v] = f
+	}
+
+	root := t.Root()
+	switch {
+	case flow[root] == 0:
+		// Optimal already.
+	case flow[root] <= w && !repl[root]:
+		// One extra replica at the root finishes the job.
+		repl[root] = true
+		flow[root] = 0
+	default:
+		// Pass 2: place extra replicas by maximal useful flow.
+		if err := passTwo(in, w, flow, repl); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pass 3: bottom-up request assignment.
+	sol := passThree(in, w, repl)
+	if sol == nil {
+		return nil, ErrNoSolution
+	}
+	return sol, nil
+}
+
+// passTwo implements Algorithm 2: repeatedly select the free node with the
+// maximal useful flow uflow_j = min over path[j -> root] of flow, granting
+// it a replica and deducting the absorbed requests along its path.
+func passTwo(in *core.Instance, w int64, flow []int64, repl []bool) error {
+	t := in.Tree
+	root := t.Root()
+	uflow := make([]int64, t.Len())
+	for flow[root] != 0 {
+		free := false
+		for _, j := range t.Internal() {
+			if !repl[j] {
+				free = true
+				break
+			}
+		}
+		if !free {
+			return ErrNoSolution
+		}
+		// Useful flows, top-down.
+		var maxNode int
+		var maxUflow int64 = 0
+		maxNode = -1
+		for _, v := range t.PreOrder() {
+			if t.IsClient(v) {
+				continue
+			}
+			if v == root {
+				uflow[v] = flow[v]
+			} else {
+				uflow[v] = min64(flow[v], uflow[t.Parent(v)])
+			}
+			// Pre-order visit doubles as the paper's depth-first
+			// tie-break: strict inequality keeps the first maximum.
+			if !repl[v] && uflow[v] > maxUflow {
+				maxUflow = uflow[v]
+				maxNode = v
+			}
+		}
+		if maxNode < 0 || maxUflow == 0 {
+			return ErrNoSolution
+		}
+		repl[maxNode] = true
+		flow[maxNode] -= maxUflow
+		for _, a := range t.Ancestors(maxNode) {
+			flow[a] -= maxUflow
+		}
+	}
+	return nil
+}
+
+// passThree implements Algorithm 3: a post-order sweep that lets every
+// replica absorb pending client requests from its subtree up to W,
+// splitting at most one client per replica. It returns nil if requests
+// remain unassigned at the root (which cannot happen after successful
+// passes 1-2; kept as a defensive check).
+func passThree(in *core.Instance, w int64, repl []bool) *core.Solution {
+	t := in.Tree
+	sol := core.NewSolution(t.Len())
+	remaining := make([]int64, t.Len()) // r'_i per client
+	for _, c := range t.Clients() {
+		remaining[c] = in.R[c]
+	}
+	pending := make([][]int, t.Len()) // C(s): clients with remaining requests
+
+	for _, v := range t.PostOrder() {
+		if t.IsClient(v) {
+			if remaining[v] > 0 {
+				pending[v] = []int{v}
+			}
+			continue
+		}
+		var acc []int
+		for _, c := range t.Children(v) {
+			acc = append(acc, pending[c]...)
+			pending[c] = nil
+		}
+		if repl[v] {
+			var load int64
+			rest := acc[:0]
+			for _, i := range acc {
+				if remaining[i] <= w-load {
+					sol.AddPortion(i, v, remaining[i])
+					load += remaining[i]
+					remaining[i] = 0
+				} else {
+					rest = append(rest, i)
+				}
+			}
+			acc = rest
+			if len(acc) > 0 && load < w {
+				i := acc[0]
+				x := w - load
+				sol.AddPortion(i, v, x)
+				remaining[i] -= x
+			}
+			// A replica starved of all its load by pass-3's greedy order is
+			// simply dropped: the remaining placement already covers every
+			// request, so the solution can only get cheaper. (The
+			// optimality proof implies this never happens after successful
+			// passes 1-2.)
+		}
+		pending[v] = acc
+	}
+	for _, c := range t.Clients() {
+		if remaining[c] > 0 {
+			return nil
+		}
+	}
+	return sol
+}
+
+// MultipleHomogeneousCount returns only the optimal replica count, or
+// ErrNoSolution. It is a convenience wrapper around MultipleHomogeneous.
+func MultipleHomogeneousCount(in *core.Instance) (int, error) {
+	sol, err := MultipleHomogeneous(in)
+	if err != nil {
+		return 0, err
+	}
+	return sol.ReplicaCount(), nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,133 @@
+package exact
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Trace records the decision sequence of the Section 4.1 optimal
+// algorithm, mirroring the narrative of the paper's Figure 6: which nodes
+// pass 1 saturates, which nodes pass 2 selects (with their useful flows),
+// and the final assignment.
+type Trace struct {
+	// Pass1Replicas are the saturated nodes, in post-order.
+	Pass1Replicas []int
+	// RootFlowAfterPass1 is the residual flow at the root after pass 1.
+	RootFlowAfterPass1 int64
+	// Pass2Picks lists pass 2's selections in order.
+	Pass2Picks []Pass2Pick
+	// Solution is the final placement (nil if infeasible).
+	Solution *core.Solution
+}
+
+// Pass2Pick is one pass-2 selection.
+type Pass2Pick struct {
+	Node       int
+	UsefulFlow int64
+}
+
+// String renders the trace in the style of the paper's walk-through.
+func (tr *Trace) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pass 1: saturated %v, residual root flow %d\n",
+		tr.Pass1Replicas, tr.RootFlowAfterPass1)
+	for i, p := range tr.Pass2Picks {
+		fmt.Fprintf(&sb, "pass 2 step %d: node %d with useful flow %d\n", i+1, p.Node, p.UsefulFlow)
+	}
+	if tr.Solution != nil {
+		fmt.Fprintf(&sb, "pass 3: %v\n", tr.Solution)
+	} else {
+		sb.WriteString("infeasible\n")
+	}
+	return sb.String()
+}
+
+// MultipleHomogeneousTrace runs the optimal Multiple/homogeneous
+// algorithm and returns both the solution and the full decision trace.
+// The solution is identical to MultipleHomogeneous's.
+func MultipleHomogeneousTrace(in *core.Instance) (*Trace, error) {
+	if !in.Homogeneous() {
+		return nil, fmt.Errorf("exact: MultipleHomogeneousTrace requires a homogeneous instance")
+	}
+	if in.HasQoS() || in.HasBandwidth() {
+		return nil, fmt.Errorf("exact: MultipleHomogeneousTrace does not support QoS or bandwidth constraints")
+	}
+	t := in.Tree
+	w := in.W[t.Internal()[0]]
+	tr := &Trace{}
+	if w <= 0 {
+		if in.TotalRequests() == 0 {
+			tr.Solution = core.NewSolution(t.Len())
+			return tr, nil
+		}
+		return nil, ErrNoSolution
+	}
+
+	flow := make([]int64, t.Len())
+	repl := make([]bool, t.Len())
+	for _, v := range t.PostOrder() {
+		if t.IsClient(v) {
+			flow[v] = in.R[v]
+			continue
+		}
+		var f int64
+		for _, c := range t.Children(v) {
+			f += flow[c]
+		}
+		if f >= w {
+			f -= w
+			repl[v] = true
+			tr.Pass1Replicas = append(tr.Pass1Replicas, v)
+		}
+		flow[v] = f
+	}
+	root := t.Root()
+	tr.RootFlowAfterPass1 = flow[root]
+
+	switch {
+	case flow[root] == 0:
+	case flow[root] <= w && !repl[root]:
+		repl[root] = true
+		flow[root] = 0
+		tr.Pass2Picks = append(tr.Pass2Picks, Pass2Pick{Node: root, UsefulFlow: tr.RootFlowAfterPass1})
+	default:
+		// Pass 2, instrumented copy of passTwo.
+		uflow := make([]int64, t.Len())
+		for flow[root] != 0 {
+			maxNode := -1
+			var maxUflow int64
+			for _, v := range t.PreOrder() {
+				if t.IsClient(v) {
+					continue
+				}
+				if v == root {
+					uflow[v] = flow[v]
+				} else {
+					uflow[v] = min64(flow[v], uflow[t.Parent(v)])
+				}
+				if !repl[v] && uflow[v] > maxUflow {
+					maxUflow = uflow[v]
+					maxNode = v
+				}
+			}
+			if maxNode < 0 || maxUflow == 0 {
+				return nil, ErrNoSolution
+			}
+			tr.Pass2Picks = append(tr.Pass2Picks, Pass2Pick{Node: maxNode, UsefulFlow: maxUflow})
+			repl[maxNode] = true
+			flow[maxNode] -= maxUflow
+			for _, a := range t.Ancestors(maxNode) {
+				flow[a] -= maxUflow
+			}
+		}
+	}
+
+	sol := passThree(in, w, repl)
+	if sol == nil {
+		return nil, ErrNoSolution
+	}
+	tr.Solution = sol
+	return tr, nil
+}

@@ -1,0 +1,87 @@
+package exact
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// TestTraceFigure6 asserts the exact pass-2 narrative on the Figure 6
+// network: first n4 with useful flow 7, then n2 with useful flow 1.
+func TestTraceFigure6(t *testing.T) {
+	in, nodes := core.Figure6()
+	n1, n2, n3, n4 := nodes[0], nodes[1], nodes[2], nodes[3]
+	n6, n10 := nodes[5], nodes[9]
+
+	tr, err := MultipleHomogeneousTrace(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPass1 := map[int]bool{n1: true, n3: true, n6: true, n10: true}
+	if len(tr.Pass1Replicas) != 4 {
+		t.Fatalf("pass1 = %v, want 4 nodes", tr.Pass1Replicas)
+	}
+	for _, v := range tr.Pass1Replicas {
+		if !wantPass1[v] {
+			t.Errorf("unexpected pass-1 replica %d", v)
+		}
+	}
+	if tr.RootFlowAfterPass1 != 8 {
+		t.Errorf("root flow after pass 1 = %d, want 8", tr.RootFlowAfterPass1)
+	}
+	want := []Pass2Pick{{Node: n4, UsefulFlow: 7}, {Node: n2, UsefulFlow: 1}}
+	if len(tr.Pass2Picks) != len(want) {
+		t.Fatalf("pass2 = %v, want %v", tr.Pass2Picks, want)
+	}
+	for i := range want {
+		if tr.Pass2Picks[i] != want[i] {
+			t.Errorf("pass2[%d] = %v, want %v", i, tr.Pass2Picks[i], want[i])
+		}
+	}
+	out := tr.String()
+	for _, s := range []string{"pass 1", "pass 2 step 1", "useful flow 7", "pass 3"} {
+		if !strings.Contains(out, s) {
+			t.Errorf("trace text missing %q:\n%s", s, out)
+		}
+	}
+}
+
+// TestTraceMatchesPlainSolver: the instrumented path returns exactly the
+// same solutions as MultipleHomogeneous.
+func TestTraceMatchesPlainSolver(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		in := gen.Instance(gen.Config{
+			Internal: 4 + int(seed%6), Clients: 4 + int(seed%8),
+			Lambda: 0.2 + float64(seed%8)/10.0, UnitCosts: true,
+		}, seed+7000)
+		plain, perr := MultipleHomogeneous(in)
+		tr, terr := MultipleHomogeneousTrace(in)
+		if (perr == nil) != (terr == nil) {
+			t.Fatalf("seed %d: feasibility differs: %v vs %v", seed, perr, terr)
+		}
+		if perr != nil {
+			continue
+		}
+		if plain.ReplicaCount() != tr.Solution.ReplicaCount() {
+			t.Fatalf("seed %d: counts differ: %d vs %d",
+				seed, plain.ReplicaCount(), tr.Solution.ReplicaCount())
+		}
+		if err := tr.Solution.Validate(in, core.Multiple); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestTraceRejects(t *testing.T) {
+	if _, err := MultipleHomogeneousTrace(core.Figure4(5, 10)); err == nil {
+		t.Error("want error for heterogeneous instance")
+	}
+	over := core.Figure1('a')
+	over.R[over.Tree.Clients()[0]] = 100
+	if _, err := MultipleHomogeneousTrace(over); !errors.Is(err, ErrNoSolution) {
+		t.Errorf("want ErrNoSolution, got %v", err)
+	}
+}

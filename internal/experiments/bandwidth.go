@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gen"
+	"repro/internal/heuristics"
+)
+
+// This file implements the second future-work campaign of Section 10:
+// the policy comparison under link-bandwidth constraints. The paper
+// conjectures that bandwidth caps "may require a better global
+// load-balancing along the tree, thereby favoring Multiple over Upwards";
+// the sweep measures exactly that, using one bandwidth-aware heuristic
+// per policy and MG-BW's exact Multiple+bandwidth feasibility as the
+// reference column.
+
+// BWNames lists the series of the bandwidth campaign.
+var BWNames = []string{"CTDA-BW", "UBCF-BW", "MG-BW"}
+
+// BWConfig parameterizes the bandwidth sweep.
+type BWConfig struct {
+	// Factors are the bandwidth factors: every link is capped at
+	// factor × the traffic it would carry if everything were served at
+	// the root. 0 means uncapped. Default {0, 1.0, 0.8, 0.6, 0.4, 0.2}.
+	Factors []float64
+	// Lambda is the load factor (default 0.3).
+	Lambda float64
+	// TreesPerFactor (default 30), MinSize/MaxSize (defaults 15/90) and
+	// Seed (default 1) mirror Config.
+	TreesPerFactor   int
+	MinSize, MaxSize int
+	Seed             int64
+}
+
+func (c BWConfig) withDefaults() BWConfig {
+	if len(c.Factors) == 0 {
+		c.Factors = []float64{0, 1.0, 0.8, 0.6, 0.4, 0.2}
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 0.3
+	}
+	if c.TreesPerFactor <= 0 {
+		c.TreesPerFactor = 30
+	}
+	if c.MinSize <= 0 {
+		c.MinSize = 15
+	}
+	if c.MaxSize < c.MinSize {
+		c.MaxSize = 90
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// BWRow aggregates one bandwidth tightness level.
+type BWRow struct {
+	Factor   float64 // 0 = uncapped
+	Trees    int
+	Solvable int // Multiple+BW feasible (MG-BW is exact)
+	Success  map[string]int
+}
+
+// BWResults is the outcome of RunBW.
+type BWResults struct {
+	Config BWConfig
+	Rows   []BWRow
+}
+
+// RunBW executes the bandwidth campaign.
+func RunBW(cfg BWConfig) (*BWResults, error) {
+	cfg = cfg.withDefaults()
+	res := &BWResults{Config: cfg}
+	for fi, factor := range cfg.Factors {
+		row := BWRow{Factor: factor, Trees: cfg.TreesPerFactor, Success: map[string]int{}}
+		genCfg := gen.Config{Lambda: cfg.Lambda, UnitCosts: true, BWFactor: factor}
+		seed := cfg.Seed + int64(fi)*899_981
+		insts := gen.SizeSweep(genCfg, seed, cfg.TreesPerFactor, cfg.MinSize, cfg.MaxSize)
+		for _, in := range insts {
+			for _, h := range heuristics.AllBW {
+				sol, err := h.Run(in)
+				if err != nil {
+					continue
+				}
+				if verr := sol.Validate(in, h.Policy); verr != nil {
+					return nil, fmt.Errorf("experiments: %s produced invalid solution: %w", h.Name, verr)
+				}
+				row.Success[h.Name]++
+				if h.Name == "MG-BW" {
+					row.Solvable++ // MG-BW decides feasibility exactly
+				}
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the success series per bandwidth tightness.
+func (r *BWResults) Table() string {
+	var sb strings.Builder
+	writeRowf(&sb, append([]string{"bwfac"}, append(append([]string{}, BWNames...), "exact")...))
+	for _, row := range r.Rows {
+		label := "inf"
+		if row.Factor > 0 {
+			label = fmt.Sprintf("%.1f", row.Factor)
+		}
+		cells := []string{label}
+		for _, name := range BWNames {
+			cells = append(cells, fmt.Sprintf("%.2f", float64(row.Success[name])/float64(row.Trees)))
+		}
+		cells = append(cells, fmt.Sprintf("%.2f", float64(row.Solvable)/float64(row.Trees)))
+		writeRowf(&sb, cells)
+	}
+	return sb.String()
+}

@@ -1,0 +1,285 @@
+// Package experiments implements the Section 7 simulation campaign: for a
+// sweep of load factors λ, generate random trees, run every heuristic,
+// compute the LP-based lower bound, and aggregate the two metrics of the
+// paper — percentage of success (Figures 9 and 11) and relative cost
+// rcost = (1/|Tλ|) Σ costLP/costh (Figures 10 and 12, with costh = +∞ for
+// failed runs).
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/heuristics"
+	"repro/internal/lpbound"
+)
+
+// Names lists the series of every figure, in the paper's legend order:
+// the eight heuristics, MixedBest, and the LP row (success only).
+var Names = []string{"CTDA", "CTDLF", "CBU", "UTD", "UBCF", "MG", "MTD", "MBU", "MB"}
+
+// Config parameterizes a campaign. The zero value reproduces a scaled-down
+// version of the paper's plan (its trees went up to s = 400 with GLPK; the
+// pure-Go bound solver favours smaller defaults — see DESIGN.md).
+type Config struct {
+	// Heterogeneous selects the Figure 11/12 variant.
+	Heterogeneous bool
+	// Lambdas are the target loads. Default 0.1..0.9 step 0.1.
+	Lambdas []float64
+	// TreesPerLambda is the number of random trees per λ. Default 30.
+	TreesPerLambda int
+	// MinSize/MaxSize bound the problem size s = |C| + |N|.
+	// Defaults 15 and 120.
+	MinSize, MaxSize int
+	// Seed drives all generation. Default 1.
+	Seed int64
+	// BoundNodes is the branch-and-bound budget per tree for the refined
+	// LP bound. Default 60.
+	BoundNodes int
+	// Parallelism is the number of worker goroutines evaluating trees.
+	// Values below 1 select GOMAXPROCS. Results are independent of the
+	// worker count: every tree is generated from its own seed and
+	// aggregated in index order.
+	Parallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.Lambdas) == 0 {
+		c.Lambdas = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	}
+	if c.TreesPerLambda <= 0 {
+		c.TreesPerLambda = 30
+	}
+	if c.MinSize <= 0 {
+		c.MinSize = 15
+	}
+	if c.MaxSize < c.MinSize {
+		c.MaxSize = 120
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.BoundNodes <= 0 {
+		c.BoundNodes = 60
+	}
+	return c
+}
+
+// Row aggregates one λ value.
+type Row struct {
+	Lambda float64
+	Trees  int
+	// LPSolvable counts trees feasible under the Multiple policy (the
+	// paper's "number of solutions obtained by the linear program").
+	LPSolvable int
+	// Success counts trees solved per heuristic.
+	Success map[string]int
+	// RelCost is the paper's rcost per heuristic: the average over
+	// LP-solvable trees of bound/cost, counting failures as zero.
+	RelCost map[string]float64
+	// BoundExact counts trees whose refined bound closed within budget.
+	BoundExact int
+}
+
+// Results is a full campaign outcome.
+type Results struct {
+	Config Config
+	Rows   []Row
+}
+
+// treeOutcome is the per-tree measurement produced by a worker.
+type treeOutcome struct {
+	costs      map[string]int64
+	solvable   bool
+	bound      float64
+	boundExact bool
+	err        error
+}
+
+// evaluateTree runs every heuristic and the refined bound on one tree.
+func evaluateTree(in *core.Instance, boundNodes int) treeOutcome {
+	out := treeOutcome{costs: map[string]int64{}}
+	run := func(name string, f heuristics.Func) {
+		if sol, err := f(in); err == nil {
+			out.costs[name] = sol.StorageCost(in)
+		}
+	}
+	for _, h := range heuristics.All {
+		run(h.Name, h.Run)
+	}
+	run("MB", heuristics.MB)
+
+	// Feasibility of the Multiple policy decides LP solvability (MG is
+	// exact on feasibility and far cheaper than the LP).
+	if _, ok := out.costs["MG"]; !ok {
+		return out
+	}
+	out.solvable = true
+
+	// Refined bound, seeded with the best heuristic cost.
+	opts := lpbound.Options{MaxNodes: boundNodes}
+	if c, ok := out.costs["MB"]; ok {
+		opts.Incumbent = float64(c)
+	}
+	b, err := lpbound.Refined(in, core.Multiple, opts)
+	if err != nil {
+		if errors.Is(err, lpbound.ErrInfeasible) {
+			// MG solved it, so the relaxation cannot be infeasible.
+			out.err = fmt.Errorf("experiments: bound infeasible on an MG-solvable tree")
+		} else {
+			out.err = err
+		}
+		return out
+	}
+	out.bound = b.Value
+	out.boundExact = b.Exact
+	return out
+}
+
+// Run executes the campaign. It is deterministic in Config.Seed,
+// regardless of Config.Parallelism: trees are generated from per-index
+// seeds up front and evaluated independently by a worker pool.
+func Run(cfg Config) (*Results, error) {
+	cfg = cfg.withDefaults()
+	workers := cfg.Parallelism
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res := &Results{Config: cfg}
+	for li, lambda := range cfg.Lambdas {
+		row := Row{
+			Lambda:  lambda,
+			Trees:   cfg.TreesPerLambda,
+			Success: map[string]int{},
+			RelCost: map[string]float64{},
+		}
+		genCfg := gen.Config{
+			Lambda:        lambda,
+			Heterogeneous: cfg.Heterogeneous,
+			UnitCosts:     !cfg.Heterogeneous,
+		}
+		seed := cfg.Seed + int64(li)*1_000_003
+		insts := gen.SizeSweep(genCfg, seed, cfg.TreesPerLambda, cfg.MinSize, cfg.MaxSize)
+
+		outcomes := make([]treeOutcome, len(insts))
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					outcomes[i] = evaluateTree(insts[i], cfg.BoundNodes)
+				}
+			}()
+		}
+		for i := range insts {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+
+		for _, out := range outcomes {
+			if out.err != nil {
+				return nil, out.err
+			}
+			for name := range out.costs {
+				row.Success[name]++
+			}
+			if !out.solvable {
+				continue
+			}
+			row.LPSolvable++
+			if out.boundExact {
+				row.BoundExact++
+			}
+			for _, name := range Names {
+				if c, ok := out.costs[name]; ok && c > 0 {
+					row.RelCost[name] += out.bound / float64(c)
+				}
+			}
+		}
+		if row.LPSolvable > 0 {
+			for _, name := range Names {
+				row.RelCost[name] /= float64(row.LPSolvable)
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// SuccessTable renders the Figure 9/11 series: per λ, the fraction of
+// trees each heuristic solved, plus the LP row.
+func (r *Results) SuccessTable() string {
+	var sb strings.Builder
+	header := append([]string{"lambda"}, Names...)
+	header = append(header, "LP")
+	writeRowf(&sb, header)
+	for _, row := range r.Rows {
+		cells := []string{fmt.Sprintf("%.1f", row.Lambda)}
+		for _, name := range Names {
+			cells = append(cells, fmt.Sprintf("%.2f", float64(row.Success[name])/float64(row.Trees)))
+		}
+		cells = append(cells, fmt.Sprintf("%.2f", float64(row.LPSolvable)/float64(row.Trees)))
+		writeRowf(&sb, cells)
+	}
+	return sb.String()
+}
+
+// RelCostTable renders the Figure 10/12 series: per λ, the average
+// bound/cost ratio per heuristic over LP-solvable trees.
+func (r *Results) RelCostTable() string {
+	var sb strings.Builder
+	writeRowf(&sb, append([]string{"lambda"}, Names...))
+	for _, row := range r.Rows {
+		cells := []string{fmt.Sprintf("%.1f", row.Lambda)}
+		for _, name := range Names {
+			cells = append(cells, fmt.Sprintf("%.2f", row.RelCost[name]))
+		}
+		writeRowf(&sb, cells)
+	}
+	return sb.String()
+}
+
+func writeRowf(sb *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(sb, "%-6s", c)
+	}
+	sb.WriteByte('\n')
+}
+
+// WriteCSV emits both metrics in long form:
+// case,metric,lambda,series,value.
+func (r *Results) WriteCSV(w io.Writer) error {
+	cs := "homogeneous"
+	if r.Config.Heterogeneous {
+		cs = "heterogeneous"
+	}
+	var rows []string
+	for _, row := range r.Rows {
+		for _, name := range Names {
+			rows = append(rows,
+				fmt.Sprintf("%s,success,%.1f,%s,%.4f", cs, row.Lambda, name,
+					float64(row.Success[name])/float64(row.Trees)),
+				fmt.Sprintf("%s,rcost,%.1f,%s,%.4f", cs, row.Lambda, name, row.RelCost[name]))
+		}
+		rows = append(rows, fmt.Sprintf("%s,success,%.1f,LP,%.4f", cs, row.Lambda,
+			float64(row.LPSolvable)/float64(row.Trees)))
+	}
+	sort.Strings(rows)
+	if _, err := io.WriteString(w, "case,metric,lambda,series,value\n"+strings.Join(rows, "\n")+"\n"); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallConfig keeps unit-test campaigns fast.
+func smallConfig(het bool) Config {
+	return Config{
+		Heterogeneous:  het,
+		Lambdas:        []float64{0.2, 0.5, 0.8},
+		TreesPerLambda: 6,
+		MinSize:        15,
+		MaxSize:        40,
+		Seed:           7,
+		BoundNodes:     20,
+	}
+}
+
+func TestRunHomogeneous(t *testing.T) {
+	res, err := Run(smallConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// MG and MB succeed on every LP-solvable tree (completeness).
+		if row.Success["MG"] < row.LPSolvable || row.Success["MB"] < row.LPSolvable {
+			t.Errorf("lambda %.1f: MG/MB success %d/%d below LP %d",
+				row.Lambda, row.Success["MG"], row.Success["MB"], row.LPSolvable)
+		}
+		// No heuristic can beat LP solvability.
+		for name, s := range row.Success {
+			if s > row.LPSolvable {
+				t.Errorf("lambda %.1f: %s solved %d > LP %d", row.Lambda, name, s, row.LPSolvable)
+			}
+		}
+		// Relative costs are ratios in [0, 1+eps].
+		for name, rc := range row.RelCost {
+			if rc < 0 || rc > 1.0001 {
+				t.Errorf("lambda %.1f: rcost[%s] = %v out of range", row.Lambda, name, rc)
+			}
+		}
+		// MB dominates every individual heuristic on relative cost.
+		for _, name := range Names {
+			if name == "MB" {
+				continue
+			}
+			if row.RelCost[name] > row.RelCost["MB"]+1e-9 {
+				t.Errorf("lambda %.1f: rcost[%s]=%v beats MB=%v",
+					row.Lambda, name, row.RelCost[name], row.RelCost["MB"])
+			}
+		}
+	}
+	// Closest heuristics must lose success as λ grows (the paper's main
+	// qualitative finding): at 0.8 they solve no more than at 0.2.
+	first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+	for _, name := range []string{"CTDA", "CTDLF", "CBU"} {
+		if last.Success[name] > first.Success[name] {
+			t.Errorf("%s success grew with load: %d -> %d", name, first.Success[name], last.Success[name])
+		}
+	}
+}
+
+func TestRunHeterogeneous(t *testing.T) {
+	res, err := Run(smallConfig(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row.Success["MG"] != row.LPSolvable {
+			t.Errorf("lambda %.1f: MG success %d != LP %d", row.Lambda, row.Success["MG"], row.LPSolvable)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := smallConfig(false)
+	cfg.Lambdas = []float64{0.5}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SuccessTable() != b.SuccessTable() || a.RelCostTable() != b.RelCostTable() {
+		t.Error("campaign is not deterministic")
+	}
+}
+
+func TestTables(t *testing.T) {
+	res, err := Run(smallConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.SuccessTable()
+	if !strings.Contains(st, "lambda") || !strings.Contains(st, "LP") {
+		t.Errorf("success table malformed:\n%s", st)
+	}
+	if got := strings.Count(st, "\n"); got != 4 { // header + 3 lambdas
+		t.Errorf("success table rows = %d", got)
+	}
+	rt := res.RelCostTable()
+	if !strings.Contains(rt, "MB") {
+		t.Errorf("relcost table malformed:\n%s", rt)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	res, err := Run(smallConfig(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "case,metric,lambda,series,value\n") {
+		t.Errorf("missing header: %q", out[:40])
+	}
+	if !strings.Contains(out, "heterogeneous,success,0.5,LP,") {
+		t.Errorf("missing LP rows")
+	}
+	// 3 lambdas x (9 series x 2 metrics + LP) = 57 data rows.
+	if got := strings.Count(out, "\n"); got != 58 {
+		t.Errorf("CSV rows = %d, want 58", got)
+	}
+}
+
+// TestParallelismInvariance: the campaign outcome is identical regardless
+// of worker count.
+func TestParallelismInvariance(t *testing.T) {
+	base := smallConfig(false)
+	base.Lambdas = []float64{0.4}
+	serial := base
+	serial.Parallelism = 1
+	wide := base
+	wide.Parallelism = 8
+	a, err := Run(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SuccessTable() != b.SuccessTable() || a.RelCostTable() != b.RelCostTable() {
+		t.Errorf("parallel run differs from serial:\n%s\nvs\n%s", a.SuccessTable(), b.SuccessTable())
+	}
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/heuristics"
+	"repro/internal/lpbound"
+)
+
+// This file implements the campaign the paper lists as future work
+// (Section 10): re-running the policy comparison in the presence of QoS
+// constraints. For each QoS tightness we measure how often the QoS-aware
+// heuristics (one per policy) still find solutions, against the exact
+// Multiple+QoS feasibility given by the LP relaxation (integral for the
+// Multiple transportation polytope).
+
+// QoSNames lists the series of the QoS campaign.
+var QoSNames = []string{"CTDA-QoS", "UBCF-QoS", "MG-QoS"}
+
+// QoSConfig parameterizes the QoS sweep.
+type QoSConfig struct {
+	// Ranges are the QoS draws: clients get q ~ U[1, range]; 0 means
+	// unconstrained. Default {0, 6, 4, 3, 2, 1}.
+	Ranges []int
+	// Lambda is the load factor (default 0.3).
+	Lambda float64
+	// TreesPerRange (default 30), MinSize/MaxSize (defaults 15/90) and
+	// Seed (default 1) mirror Config.
+	TreesPerRange    int
+	MinSize, MaxSize int
+	Seed             int64
+}
+
+func (c QoSConfig) withDefaults() QoSConfig {
+	if len(c.Ranges) == 0 {
+		c.Ranges = []int{0, 6, 4, 3, 2, 1}
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = 0.3
+	}
+	if c.TreesPerRange <= 0 {
+		c.TreesPerRange = 30
+	}
+	if c.MinSize <= 0 {
+		c.MinSize = 15
+	}
+	if c.MaxSize < c.MinSize {
+		c.MaxSize = 90
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// QoSRow aggregates one QoS tightness level.
+type QoSRow struct {
+	Range    int // 0 = unconstrained
+	Trees    int
+	Solvable int // Multiple+QoS feasible per the LP
+	Success  map[string]int
+}
+
+// QoSResults is the outcome of RunQoS.
+type QoSResults struct {
+	Config QoSConfig
+	Rows   []QoSRow
+}
+
+// RunQoS executes the QoS campaign.
+func RunQoS(cfg QoSConfig) (*QoSResults, error) {
+	cfg = cfg.withDefaults()
+	res := &QoSResults{Config: cfg}
+	for ri, qr := range cfg.Ranges {
+		row := QoSRow{Range: qr, Trees: cfg.TreesPerRange, Success: map[string]int{}}
+		genCfg := gen.Config{Lambda: cfg.Lambda, UnitCosts: true, QoSRange: qr}
+		seed := cfg.Seed + int64(ri)*999_983
+		insts := gen.SizeSweep(genCfg, seed, cfg.TreesPerRange, cfg.MinSize, cfg.MaxSize)
+		for _, in := range insts {
+			feasible, err := lpbound.Feasible(in, core.Multiple)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: qos feasibility: %w", err)
+			}
+			if feasible {
+				row.Solvable++
+			}
+			for _, h := range heuristics.AllQoS {
+				sol, err := h.Run(in)
+				if err != nil {
+					continue
+				}
+				if verr := sol.Validate(in, h.Policy); verr != nil {
+					return nil, fmt.Errorf("experiments: %s produced invalid solution: %w", h.Name, verr)
+				}
+				row.Success[h.Name]++
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the success series per QoS tightness.
+func (r *QoSResults) Table() string {
+	var sb strings.Builder
+	writeRowf(&sb, append([]string{"qos"}, append(append([]string{}, QoSNames...), "LP")...))
+	for _, row := range r.Rows {
+		label := "inf"
+		if row.Range > 0 {
+			label = fmt.Sprintf("%d", row.Range)
+		}
+		cells := []string{label}
+		for _, name := range QoSNames {
+			cells = append(cells, fmt.Sprintf("%.2f", float64(row.Success[name])/float64(row.Trees)))
+		}
+		cells = append(cells, fmt.Sprintf("%.2f", float64(row.Solvable)/float64(row.Trees)))
+		writeRowf(&sb, cells)
+	}
+	return sb.String()
+}

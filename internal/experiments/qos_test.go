@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunQoS(t *testing.T) {
+	res, err := RunQoS(QoSConfig{
+		Ranges:        []int{0, 4, 1},
+		Lambda:        0.3,
+		TreesPerRange: 8,
+		MinSize:       15,
+		MaxSize:       40,
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// No heuristic may solve more trees than the exact feasibility.
+		for name, s := range row.Success {
+			if s > row.Solvable {
+				t.Errorf("qos=%d: %s solved %d > LP %d", row.Range, name, s, row.Solvable)
+			}
+		}
+	}
+	// Tightening QoS can only reduce solvability: the unconstrained row
+	// dominates the q<=1 row.
+	if res.Rows[2].Solvable > res.Rows[0].Solvable {
+		t.Errorf("solvability grew under tighter QoS: %d -> %d",
+			res.Rows[0].Solvable, res.Rows[2].Solvable)
+	}
+	// The Multiple-policy variant dominates the Closest one.
+	for _, row := range res.Rows {
+		if row.Success["CTDA-QoS"] > row.Success["MG-QoS"] {
+			t.Errorf("qos=%d: Closest variant beats Multiple variant", row.Range)
+		}
+	}
+	table := res.Table()
+	if !strings.Contains(table, "inf") || !strings.Contains(table, "MG-QoS") {
+		t.Errorf("table malformed:\n%s", table)
+	}
+}
+
+func TestRunQoSDeterminism(t *testing.T) {
+	cfg := QoSConfig{Ranges: []int{3}, TreesPerRange: 5, MinSize: 15, MaxSize: 30, Seed: 9}
+	a, err := RunQoS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunQoS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table() != b.Table() {
+		t.Error("QoS campaign not deterministic")
+	}
+}
+
+func TestRunBW(t *testing.T) {
+	res, err := RunBW(BWConfig{
+		Factors:        []float64{0, 0.8, 0.2},
+		Lambda:         0.3,
+		TreesPerFactor: 8,
+		MinSize:        15,
+		MaxSize:        40,
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		for name, s := range row.Success {
+			if s > row.Solvable {
+				t.Errorf("bw=%.1f: %s solved %d > exact %d", row.Factor, name, s, row.Solvable)
+			}
+		}
+		if row.Success["CTDA-BW"] > row.Success["MG-BW"] {
+			t.Errorf("bw=%.1f: Closest variant beats Multiple variant", row.Factor)
+		}
+	}
+	// Tighter links can only hurt: the 0.2 row cannot beat the uncapped one.
+	if res.Rows[2].Solvable > res.Rows[0].Solvable {
+		t.Errorf("solvability grew under tighter bandwidth: %d -> %d",
+			res.Rows[0].Solvable, res.Rows[2].Solvable)
+	}
+	if !strings.Contains(res.Table(), "inf") {
+		t.Errorf("table malformed:\n%s", res.Table())
+	}
+}

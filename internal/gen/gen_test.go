@@ -1,0 +1,133 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestDefaults(t *testing.T) {
+	in := Instance(Config{}, 1)
+	if err := in.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if in.Tree.NumInternal() != 10 || in.Tree.NumClients() != 10 {
+		t.Errorf("sizes = %d/%d, want 10/10", in.Tree.NumInternal(), in.Tree.NumClients())
+	}
+	if !in.Homogeneous() {
+		t.Error("default should be homogeneous")
+	}
+	if in.HasQoS() || in.HasBandwidth() {
+		t.Error("default should be unconstrained")
+	}
+	// s_j = W_j by default (Replica Cost).
+	for _, j := range in.Tree.Internal() {
+		if in.S[j] != in.W[j] {
+			t.Errorf("S[%d]=%d, W=%d", j, in.S[j], in.W[j])
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Instance(Config{Internal: 8, Clients: 12, Heterogeneous: true}, 42)
+	b := Instance(Config{Internal: 8, Clients: 12, Heterogeneous: true}, 42)
+	if a.Tree.Len() != b.Tree.Len() {
+		t.Fatal("non-deterministic size")
+	}
+	for v := 0; v < a.Tree.Len(); v++ {
+		if a.R[v] != b.R[v] || a.W[v] != b.W[v] || a.Tree.Parent(v) != b.Tree.Parent(v) {
+			t.Fatalf("non-deterministic at vertex %d", v)
+		}
+	}
+	c := Instance(Config{Internal: 8, Clients: 12, Heterogeneous: true}, 43)
+	same := true
+	for v := 0; v < a.Tree.Len() && same; v++ {
+		same = a.R[v] == c.R[v] && a.Tree.Parent(v) == c.Tree.Parent(v)
+	}
+	if same {
+		t.Error("different seeds produced identical instances")
+	}
+}
+
+func TestLambdaTargeting(t *testing.T) {
+	for _, lambda := range []float64{0.1, 0.5, 0.9} {
+		for _, het := range []bool{false, true} {
+			in := Instance(Config{Internal: 30, Clients: 30, Lambda: lambda, Heterogeneous: het}, 7)
+			got := in.Load()
+			if math.Abs(got-lambda) > 0.15*lambda+0.05 {
+				t.Errorf("lambda=%.1f het=%v: load=%.3f too far off", lambda, het, got)
+			}
+		}
+	}
+}
+
+func TestHeterogeneousSpread(t *testing.T) {
+	in := Instance(Config{Internal: 40, Clients: 40, Heterogeneous: true}, 3)
+	if in.Homogeneous() {
+		t.Error("heterogeneous instance has uniform capacities")
+	}
+	var min, max int64 = 1 << 60, 0
+	for _, j := range in.Tree.Internal() {
+		if in.W[j] < min {
+			min = in.W[j]
+		}
+		if in.W[j] > max {
+			max = in.W[j]
+		}
+	}
+	if max < 2*min {
+		t.Errorf("spread too small: min=%d max=%d", min, max)
+	}
+}
+
+func TestUnitCosts(t *testing.T) {
+	in := Instance(Config{UnitCosts: true}, 5)
+	for _, j := range in.Tree.Internal() {
+		if in.S[j] != 1 {
+			t.Errorf("S[%d] = %d, want 1", j, in.S[j])
+		}
+	}
+}
+
+func TestQoSAndBandwidth(t *testing.T) {
+	in := Instance(Config{QoSRange: 3, BWFactor: 0.8}, 11)
+	if err := in.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !in.HasQoS() || !in.HasBandwidth() {
+		t.Fatal("constraints missing")
+	}
+	for _, c := range in.Tree.Clients() {
+		if in.Q[c] < 1 || in.Q[c] > 3 {
+			t.Errorf("Q[%d] = %d out of range", c, in.Q[c])
+		}
+	}
+	for _, j := range in.Tree.Internal() {
+		if in.Q[j] != core.NoQoS {
+			t.Errorf("internal vertex %d has QoS", j)
+		}
+	}
+}
+
+func TestBatchAndSizeSweep(t *testing.T) {
+	batch := Batch(Config{Internal: 5, Clients: 5}, 9, 4)
+	if len(batch) != 4 {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	for _, in := range batch {
+		if err := in.Validate(); err != nil {
+			t.Errorf("batch instance invalid: %v", err)
+		}
+	}
+	sweep := SizeSweep(Config{}, 13, 10, 15, 60)
+	for _, in := range sweep {
+		s := in.Tree.Len()
+		if s < 15 || s > 61 {
+			t.Errorf("size %d out of range", s)
+		}
+		if err := in.Validate(); err != nil {
+			t.Errorf("sweep instance invalid: %v", err)
+		}
+	}
+}

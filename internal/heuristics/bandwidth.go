@@ -1,0 +1,170 @@
+package heuristics
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// This file implements bandwidth-aware variants of one heuristic per
+// policy — the paper's second future-work axis ("including bandwidth
+// constraints may require a better global load-balancing along the tree,
+// thereby favoring Multiple over Upwards", Section 10). Each variant
+// treats per-link capacities as hard limits while routing requests
+// upward.
+
+// MGBW is the Multiple greedy with bandwidth awareness. Because the base
+// greedy already absorbs as many requests as possible at every node, the
+// traffic it sends across each link is the minimum over all assignments;
+// MGBW therefore decides feasibility of Multiple + bandwidth exactly: it
+// fails only when the pending overflow of some subtree exceeds the link
+// capacity in every solution.
+func MGBW(in *core.Instance) (*core.Solution, error) {
+	st := newState(in)
+	t := in.Tree
+	for _, s := range t.PostOrder() {
+		if t.IsClient(s) {
+			// A client's full demand must cross its own uplink.
+			if in.BW != nil && in.BW[s] != core.NoBandwidth && st.rrem[s] > in.BW[s] {
+				return nil, ErrNoSolution
+			}
+			continue
+		}
+		if st.inreq[s] > 0 && in.W[s] > 0 {
+			take := st.inreq[s]
+			if take > in.W[s] {
+				take = in.W[s]
+			}
+			st.deleteMultiple(s, take, false)
+		}
+		if s != t.Root() && in.BW != nil && in.BW[s] != core.NoBandwidth &&
+			st.inreq[s] > in.BW[s] {
+			return nil, ErrNoSolution
+		}
+	}
+	return st.finish()
+}
+
+// UBCFBW is UBCF with bandwidth awareness: a client only considers
+// ancestors reachable without exhausting any link's residual bandwidth,
+// and reserves that bandwidth when assigned.
+func UBCFBW(in *core.Instance) (*core.Solution, error) {
+	t := in.Tree
+	sol := core.NewSolution(t.Len())
+	capLeft := append([]int64(nil), in.W...)
+	var bwLeft []int64
+	if in.BW != nil {
+		bwLeft = append([]int64(nil), in.BW...)
+	}
+	residual := func(v int) int64 {
+		if bwLeft == nil || bwLeft[v] == core.NoBandwidth {
+			return 1 << 60
+		}
+		return bwLeft[v]
+	}
+
+	clients := append([]int(nil), t.Clients()...)
+	sort.SliceStable(clients, func(a, b int) bool {
+		return in.R[clients[a]] > in.R[clients[b]]
+	})
+	for _, c := range clients {
+		r := in.R[c]
+		if r == 0 {
+			continue
+		}
+		best := -1
+		pathOK := residual(c) >= r // the client's own uplink
+		for _, a := range t.Ancestors(c) {
+			if !pathOK {
+				break
+			}
+			if capLeft[a] >= r && in.QoSAllows(c, a) &&
+				(best < 0 || capLeft[a] < capLeft[best]) {
+				best = a
+			}
+			pathOK = residual(a) >= r // link a -> parent(a), for the next hop
+		}
+		if best < 0 {
+			return nil, ErrNoSolution
+		}
+		capLeft[best] -= r
+		if bwLeft != nil {
+			for _, u := range t.PathLinks(c, best) {
+				if bwLeft[u] != core.NoBandwidth {
+					bwLeft[u] -= r
+				}
+			}
+		}
+		sol.AddPortion(c, best, r)
+	}
+	return sol, nil
+}
+
+// CTDABW is CTDA with bandwidth awareness: a node may absorb its subtree
+// only if every pending client's demand fits through the links between
+// the client and the node.
+func CTDABW(in *core.Instance) (*core.Solution, error) {
+	st := newState(in)
+	t := in.Tree
+	fits := func(s int) bool {
+		if in.BW == nil {
+			return true
+		}
+		// Under Closest, the flow on a link u -> parent(u) inside
+		// subtree(s) is the whole pending demand below u.
+		var walk func(v int) bool
+		walk = func(v int) bool {
+			for _, c := range t.Children(v) {
+				var below int64
+				if t.IsClient(c) {
+					below = st.rrem[c]
+				} else {
+					below = st.inreq[c]
+				}
+				if below == 0 {
+					continue
+				}
+				if in.BW[c] != core.NoBandwidth && below > in.BW[c] {
+					return false
+				}
+				if t.IsInternal(c) && !walk(c) {
+					return false
+				}
+			}
+			return true
+		}
+		return walk(s)
+	}
+	for {
+		added := false
+		queue := []int{t.Root()}
+		for len(queue) > 0 {
+			s := queue[0]
+			queue = queue[1:]
+			if st.repl[s] {
+				continue
+			}
+			if in.W[s] >= st.inreq[s] && st.inreq[s] > 0 && fits(s) {
+				st.serveAll(s)
+				added = true
+				continue
+			}
+			for _, c := range t.Children(s) {
+				if t.IsInternal(c) {
+					queue = append(queue, c)
+				}
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	return st.finish()
+}
+
+// AllBW lists the bandwidth-aware variants in registry form.
+var AllBW = []Heuristic{
+	{"CTDA-BW", "ClosestTopDownAllBandwidth", core.Closest, CTDABW},
+	{"UBCF-BW", "UpwardsBigClientFirstBandwidth", core.Upwards, UBCFBW},
+	{"MG-BW", "MultipleGreedyBandwidth", core.Multiple, MGBW},
+}

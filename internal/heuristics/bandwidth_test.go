@@ -1,0 +1,150 @@
+package heuristics
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+)
+
+func bwInstance(seed int64, factor float64) *core.Instance {
+	return gen.Instance(gen.Config{
+		Internal: 5, Clients: 8, Lambda: 0.4, BWFactor: factor,
+	}, seed)
+}
+
+func TestBWVariantsValid(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		in := bwInstance(seed, 0.5)
+		for _, h := range AllBW {
+			sol, err := h.Run(in)
+			if errors.Is(err, ErrNoSolution) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, h.Name, err)
+			}
+			if verr := sol.Validate(in, h.Policy); verr != nil {
+				t.Fatalf("seed %d %s: invalid: %v", seed, h.Name, verr)
+			}
+		}
+	}
+}
+
+// TestMGBWExactFeasibility: MGBW succeeds exactly when the Multiple+BW
+// instance is feasible (cross-checked against the max-flow brute force).
+func TestMGBWExactFeasibility(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		in := gen.Instance(gen.Config{
+			Internal: 4, Clients: 6,
+			Lambda:   0.4 + float64(seed%5)/10.0,
+			BWFactor: 0.3 + float64(seed%7)/10.0,
+		}, seed+50)
+		_, mgErr := MGBW(in)
+		_, bfErr := exact.BruteForce(in, core.Multiple)
+		if (mgErr == nil) != (bfErr == nil) {
+			t.Fatalf("seed %d: MGBW err=%v, brute force err=%v", seed, mgErr, bfErr)
+		}
+	}
+}
+
+// TestBWVariantsRespectLinks: tight links that the base heuristics would
+// overload are honoured by the variants.
+func TestBWVariantsRespectLinks(t *testing.T) {
+	// Figure 1(b): two unit clients under s1, W = 1 everywhere. One
+	// client must be served at the root, crossing the s1 link.
+	in := core.Figure1('b')
+	root := in.Tree.Root()
+	var s1 int
+	for _, j := range in.Tree.Internal() {
+		if j != root {
+			s1 = j
+		}
+	}
+	in.BW = make([]int64, in.Tree.Len())
+	for i := range in.BW {
+		in.BW[i] = core.NoBandwidth
+	}
+	in.BW[s1] = 0 // nothing may cross s1 -> root
+
+	if _, err := MGBW(in); !errors.Is(err, ErrNoSolution) {
+		t.Errorf("MGBW: want ErrNoSolution, got %v", err)
+	}
+	if _, err := UBCFBW(in); !errors.Is(err, ErrNoSolution) {
+		t.Errorf("UBCFBW: want ErrNoSolution, got %v", err)
+	}
+	// The base UBCF ignores the link and produces an invalid solution.
+	sol, err := UBCF(in)
+	if err != nil {
+		t.Fatalf("UBCF: %v", err)
+	}
+	if verr := sol.Validate(in, core.Upwards); verr == nil {
+		t.Error("base UBCF should overload the blocked link")
+	}
+	// With bandwidth 1 everything works again.
+	in.BW[s1] = 1
+	for _, h := range AllBW {
+		if h.Name == "CTDA-BW" {
+			continue // Closest stays infeasible on fig1b regardless
+		}
+		sol, err := h.Run(in)
+		if err != nil {
+			t.Errorf("%s: %v", h.Name, err)
+			continue
+		}
+		if verr := sol.Validate(in, h.Policy); verr != nil {
+			t.Errorf("%s: %v", h.Name, verr)
+		}
+	}
+}
+
+// TestCTDABWBlocksOversizedSubtrees: a Closest replica may not absorb a
+// subtree whose internal links cannot carry the demand.
+func TestCTDABWBlocksOversizedSubtrees(t *testing.T) {
+	// Chain root -> s1 with a heavy client under s1; serving at the root
+	// requires the s1 uplink. CTDA-BW must serve at s1 instead.
+	in := core.Figure1('a')
+	root := in.Tree.Root()
+	c := in.Tree.Clients()[0]
+	var s1 int
+	for _, j := range in.Tree.Internal() {
+		if j != root {
+			s1 = j
+		}
+	}
+	in.R[c] = 5
+	in.W[root], in.W[s1] = 10, 10
+	in.BW = make([]int64, in.Tree.Len())
+	for i := range in.BW {
+		in.BW[i] = core.NoBandwidth
+	}
+	in.BW[s1] = 2 // the uplink cannot carry the 5 requests
+	sol, err := CTDABW(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.IsReplica(s1) || sol.IsReplica(root) {
+		t.Errorf("replicas = %v, want exactly {s1}", sol.Replicas())
+	}
+	if verr := sol.Validate(in, core.Closest); verr != nil {
+		t.Fatal(verr)
+	}
+}
+
+// TestBWVariantsDegradeGracefully: without bandwidth caps the variants
+// agree with their base heuristics on feasibility.
+func TestBWVariantsDegradeGracefully(t *testing.T) {
+	base := map[string]Func{"CTDA-BW": CTDA, "UBCF-BW": UBCF, "MG-BW": MG}
+	for seed := int64(0); seed < 30; seed++ {
+		in := gen.Instance(gen.Config{Internal: 6, Clients: 9, Lambda: 0.4}, seed+400)
+		for _, h := range AllBW {
+			_, verr := h.Run(in)
+			_, berr := base[h.Name](in)
+			if (verr == nil) != (berr == nil) {
+				t.Errorf("seed %d %s: feasibility differs without BW", seed, h.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package heuristics
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// CTDA is ClosestTopDownAll (Algorithm 4): breadth-first traversals from
+// the root; any node able to process every pending request of its subtree
+// becomes a replica (absorbing all of them) and its subtree is not
+// explored further. Traversals repeat until one adds no replica.
+func CTDA(in *core.Instance) (*core.Solution, error) {
+	st := newState(in)
+	t := in.Tree
+	for {
+		added := false
+		queue := []int{t.Root()}
+		for len(queue) > 0 {
+			s := queue[0]
+			queue = queue[1:]
+			if st.repl[s] {
+				continue
+			}
+			if in.W[s] >= st.inreq[s] && st.inreq[s] > 0 {
+				st.serveAll(s)
+				added = true
+				continue
+			}
+			for _, c := range t.Children(s) {
+				if t.IsInternal(c) {
+					queue = append(queue, c)
+				}
+			}
+		}
+		if !added {
+			break
+		}
+	}
+	return st.finish()
+}
+
+// CTDLF is ClosestTopDownLargestFirst: the breadth-first traversal treats
+// the child subtree with the most pending requests first, and stops as
+// soon as one replica has been placed; it is re-run once per replica.
+func CTDLF(in *core.Instance) (*core.Solution, error) {
+	st := newState(in)
+	t := in.Tree
+	for {
+		added := false
+		queue := []int{t.Root()}
+		for len(queue) > 0 && !added {
+			s := queue[0]
+			queue = queue[1:]
+			if st.repl[s] {
+				continue
+			}
+			if in.W[s] >= st.inreq[s] && st.inreq[s] > 0 {
+				st.serveAll(s)
+				added = true
+				continue
+			}
+			kids := make([]int, 0, len(t.Children(s)))
+			for _, c := range t.Children(s) {
+				if t.IsInternal(c) {
+					kids = append(kids, c)
+				}
+			}
+			sort.SliceStable(kids, func(a, b int) bool {
+				return st.inreq[kids[a]] > st.inreq[kids[b]]
+			})
+			queue = append(queue, kids...)
+		}
+		if !added {
+			break
+		}
+	}
+	return st.finish()
+}
+
+// CBU is ClosestBottomUp (Algorithm 5): a bottom-up sweep placing a
+// replica on every node able to process all pending requests of its
+// subtree; nodes that cannot defer to their ancestors.
+func CBU(in *core.Instance) (*core.Solution, error) {
+	st := newState(in)
+	for _, s := range in.Tree.PostOrder() {
+		if in.Tree.IsClient(s) {
+			continue
+		}
+		if in.W[s] >= st.inreq[s] && st.inreq[s] > 0 {
+			st.serveAll(s)
+		}
+	}
+	return st.finish()
+}

@@ -1,0 +1,184 @@
+// Package heuristics implements the eight polynomial heuristics of
+// Section 6 for the Replica Cost problem — three for the Closest policy
+// (CTDA, CTDLF, CBU), two for Upwards (UTD, UBCF), three for Multiple
+// (MTD, MBU, MG) — plus the MixedBest combination used in the Section 7
+// experiments. All heuristics run in worst-case quadratic time in the
+// problem size s = |C| + |N| and return fully validated solutions.
+package heuristics
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// ErrNoSolution is returned when a heuristic fails to cover all requests.
+// This does not imply the instance is infeasible (except for MG, which is
+// exact on feasibility for the Multiple policy).
+var ErrNoSolution = errors.New("heuristics: no solution found")
+
+// Func is a placement heuristic.
+type Func func(in *core.Instance) (*core.Solution, error)
+
+// Heuristic describes one registered heuristic.
+type Heuristic struct {
+	// Name is the paper's short name (e.g. "CTDA").
+	Name string
+	// Long is the paper's full name (e.g. "ClosestTopDownAll").
+	Long string
+	// Policy is the access policy the produced solutions obey.
+	Policy core.Policy
+	// Run executes the heuristic.
+	Run Func
+}
+
+// All lists the eight heuristics in the paper's presentation order.
+// MixedBest is separate (see MB) because it composes the other eight.
+var All = []Heuristic{
+	{"CTDA", "ClosestTopDownAll", core.Closest, CTDA},
+	{"CTDLF", "ClosestTopDownLargestFirst", core.Closest, CTDLF},
+	{"CBU", "ClosestBottomUp", core.Closest, CBU},
+	{"UTD", "UpwardsTopDown", core.Upwards, UTD},
+	{"UBCF", "UpwardsBigClientFirst", core.Upwards, UBCF},
+	{"MTD", "MultipleTopDown", core.Multiple, MTD},
+	{"MBU", "MultipleBottomUp", core.Multiple, MBU},
+	{"MG", "MultipleGreedy", core.Multiple, MG},
+}
+
+// ByName returns the registered heuristic with the given short name.
+func ByName(name string) (Heuristic, bool) {
+	for _, h := range All {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	if name == "MB" {
+		return Heuristic{"MB", "MixedBest", core.Multiple, MB}, true
+	}
+	return Heuristic{}, false
+}
+
+// state is the shared mutable working set of a heuristic run: pending
+// requests per subtree (the paper's inreq), remaining requests per client,
+// and the solution being built.
+type state struct {
+	in    *core.Instance
+	inreq []int64 // pending requests reaching each vertex from its subtree
+	rrem  []int64 // remaining (unassigned) requests per client
+	sol   *core.Solution
+	repl  []bool
+}
+
+func newState(in *core.Instance) *state {
+	t := in.Tree
+	st := &state{
+		in:    in,
+		inreq: make([]int64, t.Len()),
+		rrem:  make([]int64, t.Len()),
+		sol:   core.NewSolution(t.Len()),
+		repl:  make([]bool, t.Len()),
+	}
+	for _, v := range t.PostOrder() {
+		if t.IsClient(v) {
+			st.rrem[v] = in.R[v]
+			st.inreq[v] = in.R[v]
+			continue
+		}
+		for _, c := range t.Children(v) {
+			st.inreq[v] += st.inreq[c]
+		}
+	}
+	return st
+}
+
+// assign gives x pending requests of client c to server s, updating the
+// inreq of every ancestor of c (the paper's deleteRequests bookkeeping).
+func (st *state) assign(c, s int, x int64) {
+	if x <= 0 {
+		return
+	}
+	st.sol.AddPortion(c, s, x)
+	st.rrem[c] -= x
+	st.inreq[c] -= x
+	for _, a := range st.in.Tree.Ancestors(c) {
+		st.inreq[a] -= x
+	}
+	st.repl[s] = true
+}
+
+// pendingClients returns the clients under s that still have requests, in
+// subtree id order.
+func (st *state) pendingClients(s int) []int {
+	var out []int
+	for _, c := range st.in.Tree.ClientsUnder(s) {
+		if st.rrem[c] > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// serveAll assigns every pending request under s to s (used by the Closest
+// heuristics, whose replicas always absorb their whole pending subtree).
+func (st *state) serveAll(s int) {
+	for _, c := range st.pendingClients(s) {
+		st.assign(c, s, st.rrem[c])
+	}
+	st.repl[s] = true
+}
+
+// finish validates coverage and returns the built solution.
+func (st *state) finish() (*core.Solution, error) {
+	if st.inreq[st.in.Tree.Root()] != 0 {
+		return nil, ErrNoSolution
+	}
+	return st.sol, nil
+}
+
+// sortedByRemaining returns pending clients under s ordered by remaining
+// requests (descending if desc, else ascending), ties broken by id.
+func (st *state) sortedByRemaining(s int, desc bool) []int {
+	cs := st.pendingClients(s)
+	sort.SliceStable(cs, func(a, b int) bool {
+		if desc {
+			return st.rrem[cs[a]] > st.rrem[cs[b]]
+		}
+		return st.rrem[cs[a]] < st.rrem[cs[b]]
+	})
+	return cs
+}
+
+// deleteSingle implements the Upwards deleteRequests (Algorithm 6): remove
+// whole clients in non-increasing request order while they fit in budget.
+func (st *state) deleteSingle(s int, budget int64) {
+	for _, c := range st.sortedByRemaining(s, true) {
+		if st.rrem[c] <= budget {
+			budget -= st.rrem[c]
+			st.assign(c, s, st.rrem[c])
+			if budget == 0 {
+				return
+			}
+		}
+	}
+}
+
+// deleteMultiple implements the Multiple delete (Algorithm 10, with the
+// obvious typo fixed: the partial deletion subtracts the deleted amount,
+// not the client's residue): whole clients while they fit, then one
+// partial from the next client in order. desc selects the MTD ordering
+// (non-increasing); MBU uses non-decreasing.
+func (st *state) deleteMultiple(s int, budget int64, desc bool) {
+	for _, c := range st.sortedByRemaining(s, desc) {
+		if st.rrem[c] <= budget {
+			budget -= st.rrem[c]
+			st.assign(c, s, st.rrem[c])
+			if budget == 0 {
+				return
+			}
+		} else {
+			st.assign(c, s, budget)
+			return
+		}
+	}
+}

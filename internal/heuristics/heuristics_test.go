@@ -1,0 +1,255 @@
+package heuristics
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+)
+
+// runAll executes every registered heuristic (plus MB) on the instance and
+// validates each produced solution under the heuristic's policy.
+func runAll(t *testing.T, in *core.Instance) map[string]*core.Solution {
+	t.Helper()
+	out := map[string]*core.Solution{}
+	for _, h := range All {
+		sol, err := h.Run(in)
+		if errors.Is(err, ErrNoSolution) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name, err)
+		}
+		if verr := sol.Validate(in, h.Policy); verr != nil {
+			t.Fatalf("%s produced an invalid %v solution: %v", h.Name, h.Policy, verr)
+		}
+		out[h.Name] = sol
+	}
+	if sol, err := MB(in); err == nil {
+		if verr := sol.Validate(in, core.Multiple); verr != nil {
+			t.Fatalf("MB produced an invalid solution: %v", verr)
+		}
+		out["MB"] = sol
+	}
+	return out
+}
+
+func TestAllValidOnRandomInstances(t *testing.T) {
+	for seed := int64(0); seed < 80; seed++ {
+		in := gen.Instance(gen.Config{
+			Internal:      4 + int(seed%8),
+			Clients:       3 + int(seed%9),
+			Lambda:        0.1 + float64(seed%9)/10.0,
+			Heterogeneous: seed%2 == 1,
+		}, seed)
+		runAll(t, in)
+	}
+}
+
+// TestCostAboveOptimum checks every heuristic's cost is at least its
+// policy's optimum (brute force) on small instances.
+func TestCostAboveOptimum(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		in := gen.Instance(gen.Config{
+			Internal:      3 + int(seed%4),
+			Clients:       3 + int(seed%4),
+			Lambda:        0.3 + float64(seed%5)/10.0,
+			Heterogeneous: seed%2 == 1,
+		}, seed+100)
+		opt := map[core.Policy]int64{}
+		feas := map[core.Policy]bool{}
+		for _, p := range core.Policies {
+			if sol, err := exact.BruteForce(in, p); err == nil {
+				opt[p] = sol.StorageCost(in)
+				feas[p] = true
+			}
+		}
+		for _, h := range All {
+			sol, err := h.Run(in)
+			if err != nil {
+				continue
+			}
+			if !feas[h.Policy] {
+				t.Fatalf("seed %d: %s found a solution on a %v-infeasible instance", seed, h.Name, h.Policy)
+			}
+			if c := sol.StorageCost(in); c < opt[h.Policy] {
+				t.Errorf("seed %d: %s cost %d below optimum %d", seed, h.Name, c, opt[h.Policy])
+			}
+		}
+	}
+}
+
+// TestMGCompleteness: MG finds a solution exactly when the Multiple policy
+// admits one (Section 6.3 claims MG "always finds a solution to the
+// problem if there exists one").
+func TestMGCompleteness(t *testing.T) {
+	for seed := int64(0); seed < 80; seed++ {
+		in := gen.Instance(gen.Config{
+			Internal:      3 + int(seed%5),
+			Clients:       3 + int(seed%6),
+			Lambda:        0.5 + float64(seed%5)/10.0, // include heavy loads
+			Heterogeneous: seed%2 == 0,
+		}, seed+300)
+		_, mgErr := MG(in)
+		_, bfErr := exact.BruteForce(in, core.Multiple)
+		if (mgErr == nil) != (bfErr == nil) {
+			t.Fatalf("seed %d: MG err=%v, brute force err=%v", seed, mgErr, bfErr)
+		}
+	}
+}
+
+// TestFigure1Existence mirrors the Figure 1 feasibility table at the
+// heuristic level: on (b) the Closest heuristics must fail while Upwards
+// and Multiple ones succeed; on (c) only the Multiple ones succeed.
+func TestFigure1Existence(t *testing.T) {
+	b := core.Figure1('b')
+	solsB := runAll(t, b)
+	for _, name := range []string{"CTDA", "CTDLF", "CBU"} {
+		if _, ok := solsB[name]; ok {
+			t.Errorf("fig1b: %s should fail", name)
+		}
+	}
+	for _, name := range []string{"UTD", "UBCF", "MTD", "MBU", "MG", "MB"} {
+		if _, ok := solsB[name]; !ok {
+			t.Errorf("fig1b: %s should succeed", name)
+		}
+	}
+	c := core.Figure1('c')
+	solsC := runAll(t, c)
+	for _, name := range []string{"CTDA", "CTDLF", "CBU", "UTD", "UBCF"} {
+		if _, ok := solsC[name]; ok {
+			t.Errorf("fig1c: %s should fail", name)
+		}
+	}
+	for _, name := range []string{"MTD", "MBU", "MG", "MB"} {
+		if _, ok := solsC[name]; !ok {
+			t.Errorf("fig1c: %s should succeed", name)
+		}
+	}
+}
+
+// TestFigure2Heuristics: on the Upwards-vs-Closest gap instance, UTD finds
+// the 3-replica solution of Section 3.2; CTDLF reaches the Closest optimum
+// n+2 (its largest-first order lets the middle node absorb the tail),
+// while CTDA and CBU give every leaf its own replica (2n+1 total).
+func TestFigure2Heuristics(t *testing.T) {
+	const n = 3
+	in := core.Figure2(n)
+	sols := runAll(t, in)
+	if sol := sols["UTD"]; sol == nil || sol.ReplicaCount() != 3 {
+		t.Errorf("UTD replicas = %v, want 3", sols["UTD"])
+	}
+	if sol := sols["CTDLF"]; sol == nil || sol.ReplicaCount() != n+2 {
+		t.Errorf("CTDLF replicas = %v, want %d", sols["CTDLF"], n+2)
+	}
+	for _, name := range []string{"CTDA", "CBU"} {
+		sol := sols[name]
+		if sol == nil {
+			t.Errorf("%s failed on fig2", name)
+			continue
+		}
+		if sol.ReplicaCount() != 2*n+1 {
+			t.Errorf("%s replicas = %d, want %d", name, sol.ReplicaCount(), 2*n+1)
+		}
+	}
+	if sol := sols["MB"]; sol == nil || sol.ReplicaCount() != 3 {
+		t.Errorf("MB should pick the 3-replica solution")
+	}
+}
+
+// TestMBPicksBest: MB's cost is the minimum over all successful
+// heuristics.
+func TestMBPicksBest(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		in := gen.Instance(gen.Config{
+			Internal: 5, Clients: 6,
+			Lambda:        0.5,
+			Heterogeneous: seed%2 == 0,
+		}, seed+700)
+		sols := runAll(t, in)
+		mb, ok := sols["MB"]
+		if !ok {
+			continue
+		}
+		for name, sol := range sols {
+			if name == "MB" {
+				continue
+			}
+			if sol.StorageCost(in) < mb.StorageCost(in) {
+				t.Errorf("seed %d: %s cost %d beats MB cost %d",
+					seed, name, sol.StorageCost(in), mb.StorageCost(in))
+			}
+		}
+	}
+}
+
+// TestClosestSolutionsAreUpwardsSolutions: policy hierarchy at the
+// solution level (Section 3).
+func TestClosestSolutionsAreUpwardsSolutions(t *testing.T) {
+	in := gen.Instance(gen.Config{Internal: 6, Clients: 8, Lambda: 0.4}, 11)
+	sols := runAll(t, in)
+	for _, name := range []string{"CTDA", "CTDLF", "CBU"} {
+		if sol := sols[name]; sol != nil {
+			if err := sol.Validate(in, core.Upwards); err != nil {
+				t.Errorf("%s solution not Upwards-valid: %v", name, err)
+			}
+			if err := sol.Validate(in, core.Multiple); err != nil {
+				t.Errorf("%s solution not Multiple-valid: %v", name, err)
+			}
+		}
+	}
+	for _, name := range []string{"UTD", "UBCF"} {
+		if sol := sols[name]; sol != nil {
+			if err := sol.Validate(in, core.Multiple); err != nil {
+				t.Errorf("%s solution not Multiple-valid: %v", name, err)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"CTDA", "CTDLF", "CBU", "UTD", "UBCF", "MTD", "MBU", "MG", "MB"} {
+		h, ok := ByName(name)
+		if !ok || h.Run == nil {
+			t.Errorf("ByName(%q) missing", name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) should fail")
+	}
+}
+
+// TestZeroRequestClients: clients with zero requests need no server.
+func TestZeroRequestClients(t *testing.T) {
+	in := core.Figure1('a')
+	in.R[in.Tree.Clients()[0]] = 0
+	for _, h := range All {
+		sol, err := h.Run(in)
+		if err != nil {
+			t.Errorf("%s failed on zero-request instance: %v", h.Name, err)
+			continue
+		}
+		if sol.ReplicaCount() != 0 {
+			t.Errorf("%s placed %d replicas for zero requests", h.Name, sol.ReplicaCount())
+		}
+	}
+}
+
+// TestHeavySingleClient: a client larger than every capacity defeats the
+// single-server policies but not Multiple.
+func TestHeavySingleClient(t *testing.T) {
+	in := core.Figure1('c') // r=2, W=1: needs splitting
+	for _, name := range []string{"MTD", "MBU", "MG"} {
+		h, _ := ByName(name)
+		sol, err := h.Run(in)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if sol.ReplicaCount() != 2 {
+			t.Errorf("%s replicas = %d, want 2", name, sol.ReplicaCount())
+		}
+	}
+}

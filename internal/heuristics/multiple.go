@@ -1,0 +1,108 @@
+package heuristics
+
+import (
+	"repro/internal/core"
+)
+
+// MTD is MultipleTopDown: the UTD pass structure with the Multiple delete
+// procedure (Algorithm 10), which may split one client between servers so
+// that every first-pass replica is fully saturated.
+func MTD(in *core.Instance) (*core.Solution, error) {
+	return multipleTwoPass(in, true, true)
+}
+
+// MBU is MultipleBottomUp (Algorithms 11-12): the first pass walks the
+// tree bottom-up and saturates every node whose pending subtree requests
+// exhaust its capacity, deleting small clients first; the second pass is
+// top-down as in MTD.
+func MBU(in *core.Instance) (*core.Solution, error) {
+	return multipleTwoPass(in, false, false)
+}
+
+// multipleTwoPass factors MTD and MBU: topDown selects the first-pass
+// orientation and desc the delete order (non-increasing for MTD,
+// non-decreasing for MBU).
+func multipleTwoPass(in *core.Instance, topDown, desc bool) (*core.Solution, error) {
+	st := newState(in)
+	t := in.Tree
+
+	// First pass: saturate exhausted nodes.
+	order := t.PreOrder()
+	if !topDown {
+		order = t.PostOrder()
+	}
+	for _, s := range order {
+		if t.IsClient(s) {
+			continue
+		}
+		if st.inreq[s] >= in.W[s] && st.inreq[s] > 0 && in.W[s] > 0 {
+			st.repl[s] = true
+			st.deleteMultiple(s, in.W[s], desc)
+		}
+	}
+
+	// Second pass: top-down, a non-replica node with pending requests
+	// absorbs all of them (its capacity suffices since it was not
+	// exhausted during the first pass and pending only shrinks).
+	var pass2 func(s int)
+	pass2 = func(s int) {
+		if !st.repl[s] && st.inreq[s] > 0 {
+			st.repl[s] = true
+			st.deleteMultiple(s, st.inreq[s], desc)
+			return
+		}
+		for _, c := range t.Children(s) {
+			if t.IsInternal(c) && st.inreq[c] > 0 {
+				pass2(c)
+			}
+		}
+	}
+	if st.inreq[t.Root()] > 0 {
+		pass2(t.Root())
+	}
+	return st.finish()
+}
+
+// MG is MultipleGreedy: a single bottom-up sweep in which every node
+// absorbs as many pending requests as its capacity allows (like pass 3 of
+// the optimal Section 4.1 algorithm with all nodes eligible). On
+// heterogeneous platforms its cost can be far from optimal, but it finds a
+// solution whenever one exists under the Multiple policy.
+func MG(in *core.Instance) (*core.Solution, error) {
+	st := newState(in)
+	for _, s := range in.Tree.PostOrder() {
+		if in.Tree.IsClient(s) {
+			continue
+		}
+		if st.inreq[s] > 0 && in.W[s] > 0 {
+			take := st.inreq[s]
+			if take > in.W[s] {
+				take = in.W[s]
+			}
+			st.deleteMultiple(s, take, false)
+		}
+	}
+	return st.finish()
+}
+
+// MB is MixedBest: run all eight heuristics and keep the cheapest valid
+// solution. Because any Closest or Upwards solution is also a Multiple
+// solution, MB is a Multiple-policy heuristic; like MG it always finds a
+// solution when one exists.
+func MB(in *core.Instance) (*core.Solution, error) {
+	var best *core.Solution
+	var bestCost int64
+	for _, h := range All {
+		sol, err := h.Run(in)
+		if err != nil {
+			continue
+		}
+		if c := sol.StorageCost(in); best == nil || c < bestCost {
+			best, bestCost = sol, c
+		}
+	}
+	if best == nil {
+		return nil, ErrNoSolution
+	}
+	return best, nil
+}

@@ -1,0 +1,116 @@
+package heuristics
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+)
+
+// TestQuickAllFamiliesAllConfigs property-tests every heuristic family
+// (base, QoS-aware, bandwidth-aware) across randomized generator
+// configurations: whatever a heuristic returns must validate under its
+// policy on that instance — including the constraint dimensions the base
+// heuristics ignore being caught by Validate when present.
+func TestQuickAllFamiliesAllConfigs(t *testing.T) {
+	f := func(seed int64, knobs uint16) bool {
+		cfg := gen.Config{
+			Internal:      3 + int(knobs%8),
+			Clients:       3 + int((knobs>>3)%10),
+			Lambda:        0.15 + float64((knobs>>6)%8)/10.0,
+			Heterogeneous: knobs&(1<<9) != 0,
+			UnitCosts:     knobs&(1<<10) != 0,
+		}
+		qos := knobs&(1<<11) != 0
+		bw := knobs&(1<<12) != 0
+		if qos {
+			cfg.QoSRange = 1 + int((knobs>>13)%3)
+		}
+		if bw {
+			cfg.BWFactor = 0.4 + float64((knobs>>13)%5)/10.0
+		}
+		in := gen.Instance(cfg, seed)
+		if err := in.Validate(); err != nil {
+			return false
+		}
+
+		check := func(h Heuristic, honorsQoS, honorsBW bool) bool {
+			sol, err := h.Run(in)
+			if errors.Is(err, ErrNoSolution) {
+				return true
+			}
+			if err != nil {
+				return false
+			}
+			// Validate against a view with only the constraints the
+			// heuristic claims to honour; the others are not its contract.
+			view := in.Clone()
+			if !honorsQoS {
+				view.Q = nil
+			}
+			if !honorsBW {
+				view.BW = nil
+			}
+			return sol.Validate(view, h.Policy) == nil
+		}
+		for _, h := range All {
+			if !check(h, false, false) {
+				t.Logf("base %s failed on seed=%d knobs=%d", h.Name, seed, knobs)
+				return false
+			}
+		}
+		for _, h := range AllQoS {
+			if !check(h, true, false) {
+				t.Logf("qos %s failed on seed=%d knobs=%d", h.Name, seed, knobs)
+				return false
+			}
+		}
+		for _, h := range AllBW {
+			if !check(h, false, true) {
+				t.Logf("bw %s failed on seed=%d knobs=%d", h.Name, seed, knobs)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMixedBestDominance: MB's storage cost never exceeds any
+// individual heuristic's on the same instance.
+func TestQuickMixedBestDominance(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		in := gen.Instance(gen.Config{
+			Internal: 3 + int(sz%7),
+			Clients:  4 + int(sz%9),
+			Lambda:   0.35,
+		}, seed)
+		mb, err := MB(in)
+		if errors.Is(err, ErrNoSolution) {
+			// Then nobody may succeed.
+			for _, h := range All {
+				if _, herr := h.Run(in); herr == nil {
+					return false
+				}
+			}
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		for _, h := range All {
+			if sol, herr := h.Run(in); herr == nil {
+				if sol.StorageCost(in) < mb.StorageCost(in) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+package heuristics
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+)
+
+func qosInstance(seed int64, qosRange int) *core.Instance {
+	return gen.Instance(gen.Config{
+		Internal: 6, Clients: 9, Lambda: 0.4, QoSRange: qosRange,
+	}, seed)
+}
+
+func TestQoSVariantsValid(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		in := qosInstance(seed, 3)
+		for _, h := range AllQoS {
+			sol, err := h.Run(in)
+			if errors.Is(err, ErrNoSolution) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, h.Name, err)
+			}
+			if verr := sol.Validate(in, h.Policy); verr != nil {
+				t.Fatalf("seed %d %s: invalid: %v", seed, h.Name, verr)
+			}
+		}
+	}
+}
+
+// TestQoSVariantsRespectBounds: the base (QoS-oblivious) heuristics can
+// violate QoS, the variants never do. Build a chain where the only
+// capacity sits at the root but QoS forbids it.
+func TestQoSVariantsRespectBounds(t *testing.T) {
+	in := core.Figure1('a') // s2 (root) -> s1 -> client, W = 1, r = 1
+	in.Q = make([]int, in.Tree.Len())
+	for i := range in.Q {
+		in.Q[i] = core.NoQoS
+	}
+	c := in.Tree.Clients()[0]
+	in.Q[c] = 1 // only s1 is eligible
+	root := in.Tree.Root()
+	var s1 int
+	for _, j := range in.Tree.Internal() {
+		if j != root {
+			s1 = j
+		}
+	}
+	in.W[s1] = 0 // force the base heuristics to the root
+
+	for _, h := range AllQoS {
+		if _, err := h.Run(in); !errors.Is(err, ErrNoSolution) {
+			t.Errorf("%s: want ErrNoSolution, got %v", h.Name, err)
+		}
+	}
+	// The base UBCF happily violates QoS by serving at the root.
+	sol, err := UBCF(in)
+	if err != nil {
+		t.Fatalf("UBCF: %v", err)
+	}
+	if verr := sol.Validate(in, core.Upwards); verr == nil {
+		t.Error("base UBCF should violate QoS here")
+	}
+}
+
+// TestMGQoSAgainstBruteForce: MGQoS never succeeds on Multiple+QoS
+// instances that brute force proves infeasible, and its solutions always
+// validate.
+func TestMGQoSAgainstBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		in := gen.Instance(gen.Config{
+			Internal: 4, Clients: 5, Lambda: 0.5, QoSRange: 2,
+		}, seed+600)
+		sol, err := MGQoS(in)
+		_, bfErr := exact.BruteForce(in, core.Multiple)
+		if err == nil {
+			if verr := sol.Validate(in, core.Multiple); verr != nil {
+				t.Fatalf("seed %d: invalid MGQoS solution: %v", seed, verr)
+			}
+			if bfErr != nil {
+				t.Fatalf("seed %d: MGQoS solved a brute-force-infeasible instance", seed)
+			}
+		}
+	}
+}
+
+// TestQoSVariantsDegradeGracefully: without QoS bounds, the variants still
+// produce valid solutions comparable to their base versions.
+func TestQoSVariantsDegradeGracefully(t *testing.T) {
+	in := gen.Instance(gen.Config{Internal: 6, Clients: 9, Lambda: 0.4}, 5)
+	base := map[string]Func{"CTDA-QoS": CTDA, "UBCF-QoS": UBCF, "MG-QoS": MG}
+	for _, h := range AllQoS {
+		qsol, qerr := h.Run(in)
+		bsol, berr := base[h.Name](in)
+		if (qerr == nil) != (berr == nil) {
+			t.Errorf("%s: feasibility differs without QoS (qos=%v base=%v)", h.Name, qerr, berr)
+			continue
+		}
+		if qerr == nil && qsol.StorageCost(in) <= 0 && bsol.StorageCost(in) > 0 {
+			t.Errorf("%s: degenerate cost", h.Name)
+		}
+	}
+}

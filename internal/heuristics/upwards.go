@@ -1,0 +1,84 @@
+package heuristics
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// UTD is UpwardsTopDown (Algorithms 7-8): a first depth-first pass makes a
+// replica of every node whose pending subtree requests exhaust its
+// capacity, deleting whole clients (largest first) up to that capacity; a
+// second pass adds non-exhausted servers that absorb everything still
+// pending below them.
+func UTD(in *core.Instance) (*core.Solution, error) {
+	st := newState(in)
+	t := in.Tree
+
+	// First pass, depth-first from the root.
+	var pass1 func(s int)
+	pass1 = func(s int) {
+		if st.inreq[s] >= in.W[s] && st.inreq[s] > 0 {
+			st.repl[s] = true
+			st.deleteSingle(s, in.W[s])
+		}
+		for _, c := range t.Children(s) {
+			if t.IsInternal(c) {
+				pass1(c)
+			}
+		}
+	}
+	pass1(t.Root())
+
+	// Second pass: first non-replica node with pending requests takes all
+	// of them (its capacity suffices: see Section 6.2).
+	var pass2 func(s int)
+	pass2 = func(s int) {
+		if !st.repl[s] && st.inreq[s] > 0 {
+			st.repl[s] = true
+			st.deleteSingle(s, st.inreq[s])
+			return
+		}
+		for _, c := range t.Children(s) {
+			if t.IsInternal(c) && st.inreq[c] > 0 {
+				pass2(c)
+			}
+		}
+	}
+	if st.inreq[t.Root()] > 0 {
+		pass2(t.Root())
+	}
+	return st.finish()
+}
+
+// UBCF is UpwardsBigClientFirst (Algorithm 9): clients in non-increasing
+// request order each pick, among the ancestors whose remaining capacity
+// fits all their requests, the one with minimal remaining capacity.
+func UBCF(in *core.Instance) (*core.Solution, error) {
+	t := in.Tree
+	sol := core.NewSolution(t.Len())
+	capLeft := append([]int64(nil), in.W...)
+
+	clients := append([]int(nil), t.Clients()...)
+	sort.SliceStable(clients, func(a, b int) bool {
+		return in.R[clients[a]] > in.R[clients[b]]
+	})
+	for _, c := range clients {
+		r := in.R[c]
+		if r == 0 {
+			continue
+		}
+		best := -1
+		for _, a := range t.Ancestors(c) {
+			if capLeft[a] >= r && (best < 0 || capLeft[a] < capLeft[best]) {
+				best = a
+			}
+		}
+		if best < 0 {
+			return nil, ErrNoSolution
+		}
+		capLeft[best] -= r
+		sol.AddPortion(c, best, r)
+	}
+	return sol, nil
+}

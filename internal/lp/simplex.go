@@ -1,0 +1,396 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize    cᵀx
+//	subject to  a_i · x  (≤ | = | ≥)  b_i   for each row i
+//	            x ≥ 0
+//
+// It is the substrate behind the paper's Section 5 linear programming
+// formulation and the Section 7.1 lower bound (the paper used GLPK; this
+// solver replaces it with a stdlib-only implementation). Degeneracy is
+// handled by switching from Dantzig pricing to Bland's rule after a stall,
+// which guarantees termination.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint relation.
+type Op int
+
+const (
+	LE Op = iota // a·x ≤ b
+	EQ           // a·x = b
+	GE           // a·x ≥ b
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case EQ:
+		return "=="
+	case GE:
+		return ">="
+	}
+	return "?"
+}
+
+// Term is one coefficient of a sparse constraint row.
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+// Constraint is a sparse row a·x (op) b.
+type Constraint struct {
+	Terms []Term
+	Op    Op
+	RHS   float64
+}
+
+// Problem is an LP under construction. Variables are dense indices
+// [0, NumVars); all variables are implicitly non-negative.
+type Problem struct {
+	NumVars int
+	Obj     []float64 // minimization objective, length NumVars
+	Rows    []Constraint
+}
+
+// NewProblem returns a problem with n non-negative variables and a zero
+// objective.
+func NewProblem(n int) *Problem {
+	return &Problem{NumVars: n, Obj: make([]float64, n)}
+}
+
+// SetObjective sets the coefficient of variable v in the minimization
+// objective.
+func (p *Problem) SetObjective(v int, c float64) { p.Obj[v] = c }
+
+// AddConstraint appends a row. Terms may mention each variable at most
+// once.
+func (p *Problem) AddConstraint(terms []Term, op Op, rhs float64) {
+	p.Rows = append(p.Rows, Constraint{Terms: terms, Op: op, RHS: rhs})
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "?"
+}
+
+// Solution holds an LP optimum.
+type Solution struct {
+	Status Status
+	Value  float64   // objective value (meaningful when Optimal)
+	X      []float64 // primal values, length NumVars (when Optimal)
+}
+
+const eps = 1e-9
+
+// ErrIterationLimit is returned if the simplex fails to converge within
+// the safety iteration budget (should not happen with Bland's rule; kept
+// as a hard stop against numerical pathologies).
+var ErrIterationLimit = errors.New("lp: iteration limit exceeded")
+
+// Solve runs the two-phase simplex method and returns the optimum, the
+// infeasibility/unboundedness status, or ErrIterationLimit.
+func (p *Problem) Solve() (*Solution, error) {
+	m := len(p.Rows)
+	n := p.NumVars
+
+	// Normalize rows to b >= 0, then add one slack (LE), one surplus (GE)
+	// per row, and one artificial variable per EQ/GE row (and per LE row
+	// whose slack cannot seed the basis, i.e. none after normalization).
+	type rowInfo struct {
+		op  Op
+		rhs float64
+	}
+	rows := make([]rowInfo, m)
+	dense := make([][]float64, m)
+	for i, r := range p.Rows {
+		d := make([]float64, n)
+		for _, t := range r.Terms {
+			if t.Var < 0 || t.Var >= n {
+				return nil, fmt.Errorf("lp: row %d references variable %d of %d", i, t.Var, n)
+			}
+			d[t.Var] += t.Coef
+		}
+		op, rhs := r.Op, r.RHS
+		if rhs < 0 {
+			for j := range d {
+				d[j] = -d[j]
+			}
+			rhs = -rhs
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		dense[i] = d
+		rows[i] = rowInfo{op: op, rhs: rhs}
+	}
+
+	slackOf := make([]int, m) // column of slack/surplus, -1 if none
+	artOf := make([]int, m)   // column of artificial, -1 if none
+	cols := n                 // running column count
+	for i := range rows {
+		switch rows[i].op {
+		case LE:
+			slackOf[i] = cols
+			cols++
+			artOf[i] = -1
+		case GE:
+			slackOf[i] = cols
+			cols++
+			artOf[i] = cols
+			cols++
+		case EQ:
+			slackOf[i] = -1
+			artOf[i] = cols
+			cols++
+		}
+	}
+	numArt := 0
+	for i := range rows {
+		if artOf[i] >= 0 {
+			numArt++
+		}
+	}
+
+	// Tableau: m rows × (cols + 1); last column is RHS.
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	for i := range rows {
+		t := make([]float64, cols+1)
+		copy(t, dense[i])
+		if slackOf[i] >= 0 {
+			if rows[i].op == LE {
+				t[slackOf[i]] = 1
+			} else {
+				t[slackOf[i]] = -1
+			}
+		}
+		if artOf[i] >= 0 {
+			t[artOf[i]] = 1
+			basis[i] = artOf[i]
+		} else {
+			basis[i] = slackOf[i]
+		}
+		t[cols] = rows[i].rhs
+		tab[i] = t
+	}
+
+	s := &simplex{tab: tab, basis: basis, cols: cols, numVars: n}
+
+	if numArt > 0 {
+		// Phase 1: minimize the sum of artificials.
+		phase1 := make([]float64, cols)
+		for i := range rows {
+			if artOf[i] >= 0 {
+				phase1[artOf[i]] = 1
+			}
+		}
+		val, err := s.run(phase1, nil)
+		if err != nil {
+			return nil, err
+		}
+		if val > 1e-7 {
+			return &Solution{Status: Infeasible}, nil
+		}
+		// Drive any residual artificial out of the basis (degenerate).
+		isArt := make([]bool, cols)
+		for i := range rows {
+			if artOf[i] >= 0 {
+				isArt[artOf[i]] = true
+			}
+		}
+		for i := range s.basis {
+			if !isArt[s.basis[i]] {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < cols && !pivoted; j++ {
+				if !isArt[j] && math.Abs(s.tab[i][j]) > eps {
+					s.pivot(i, j)
+					pivoted = true
+				}
+			}
+			// A row with only artificial support is redundant (all-zero
+			// after phase 1); leaving the artificial basic at value 0 is
+			// harmless as long as it never re-enters, which the banned
+			// list below enforces.
+		}
+		s.banned = isArt
+	}
+
+	// Phase 2: original objective (padded to all columns).
+	obj := make([]float64, cols)
+	copy(obj, p.Obj)
+	if _, err := s.run(obj, s.banned); err != nil {
+		return nil, err
+	}
+	if s.unbounded {
+		return &Solution{Status: Unbounded}, nil
+	}
+
+	x := make([]float64, n)
+	for i, b := range s.basis {
+		if b < n {
+			x[b] = s.tab[i][cols]
+		}
+	}
+	var val float64
+	for j := 0; j < n; j++ {
+		val += p.Obj[j] * x[j]
+	}
+	return &Solution{Status: Optimal, Value: val, X: x}, nil
+}
+
+// simplex carries the mutable tableau state across phases.
+type simplex struct {
+	tab       [][]float64
+	basis     []int
+	cols      int
+	numVars   int
+	banned    []bool // columns that may not enter (artificials in phase 2)
+	unbounded bool
+}
+
+// run optimizes the given objective over the current tableau. It returns
+// the objective value reached (for phase 1 feasibility checks).
+func (s *simplex) run(obj []float64, banned []bool) (float64, error) {
+	m := len(s.tab)
+	cols := s.cols
+	// Reduced objective row: z_j - c_j, computed fresh.
+	z := make([]float64, cols+1)
+	for j := 0; j <= cols; j++ {
+		z[j] = 0
+	}
+	for j := 0; j < cols; j++ {
+		z[j] = -obj[j]
+	}
+	for i := 0; i < m; i++ {
+		cb := obj[s.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j <= cols; j++ {
+			z[j] += cb * s.tab[i][j]
+		}
+	}
+
+	s.unbounded = false
+	maxIter := 200 * (m + cols + 10)
+	blandAfter := 20 * (m + cols + 10)
+	for iter := 0; ; iter++ {
+		if iter > maxIter {
+			return 0, ErrIterationLimit
+		}
+		// Entering column: most positive reduced cost (Dantzig), or the
+		// first positive one (Bland) once we may be cycling.
+		enter := -1
+		if iter < blandAfter {
+			best := eps
+			for j := 0; j < cols; j++ {
+				if banned != nil && banned[j] {
+					continue
+				}
+				if z[j] > best {
+					best = z[j]
+					enter = j
+				}
+			}
+		} else {
+			for j := 0; j < cols; j++ {
+				if banned != nil && banned[j] {
+					continue
+				}
+				if z[j] > eps {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			// z[cols] tracks Σ c_B · b, the objective value of the current
+			// basic solution.
+			return z[cols], nil
+		}
+		// Leaving row: minimum ratio; Bland tie-break by basis index.
+		leave := -1
+		var bestRatio float64
+		for i := 0; i < m; i++ {
+			a := s.tab[i][enter]
+			if a <= eps {
+				continue
+			}
+			ratio := s.tab[i][cols] / a
+			if leave < 0 || ratio < bestRatio-eps ||
+				(ratio < bestRatio+eps && s.basis[i] < s.basis[leave]) {
+				leave = i
+				bestRatio = ratio
+			}
+		}
+		if leave < 0 {
+			s.unbounded = true
+			return math.Inf(-1), nil
+		}
+		s.pivot(leave, enter)
+		// Update reduced row.
+		f := z[enter]
+		if f != 0 {
+			for j := 0; j <= s.cols; j++ {
+				z[j] -= f * s.tab[leave][j]
+			}
+			z[enter] = 0
+		}
+	}
+}
+
+// pivot makes column enter basic in row leave.
+func (s *simplex) pivot(leave, enter int) {
+	m := len(s.tab)
+	cols := s.cols
+	row := s.tab[leave]
+	d := row[enter]
+	for j := 0; j <= cols; j++ {
+		row[j] /= d
+	}
+	row[enter] = 1
+	for i := 0; i < m; i++ {
+		if i == leave {
+			continue
+		}
+		f := s.tab[i][enter]
+		if f == 0 {
+			continue
+		}
+		t := s.tab[i]
+		for j := 0; j <= cols; j++ {
+			t[j] -= f * row[j]
+		}
+		t[enter] = 0
+	}
+	s.basis[leave] = enter
+}

@@ -1,0 +1,273 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestBasicLE(t *testing.T) {
+	// min -x - 2y  s.t. x + y <= 4, x <= 2, y <= 3  => x=1? Let's check:
+	// maximize x + 2y: best y=3, x=1 -> 7.
+	p := NewProblem(2)
+	p.SetObjective(0, -1)
+	p.SetObjective(1, -2)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, LE, 4)
+	p.AddConstraint([]Term{{0, 1}}, LE, 2)
+	p.AddConstraint([]Term{{1, 1}}, LE, 3)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Value, -7) {
+		t.Fatalf("got %v value %v, want -7", sol.Status, sol.Value)
+	}
+	if !approx(sol.X[0], 1) || !approx(sol.X[1], 3) {
+		t.Errorf("x = %v, want [1 3]", sol.X)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// min x + y  s.t. x + y = 5, x - y = 1  => x=3, y=2, value 5.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 5)
+	p.AddConstraint([]Term{{0, 1}, {1, -1}}, EQ, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Value, 5) || !approx(sol.X[0], 3) || !approx(sol.X[1], 2) {
+		t.Fatalf("got %v %v %v", sol.Status, sol.Value, sol.X)
+	}
+}
+
+func TestGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 10, x >= 2 => y=8? value 2*2+3*8=28 vs
+	// x=10,y=0: 20. Optimal x=10.
+	p := NewProblem(2)
+	p.SetObjective(0, 2)
+	p.SetObjective(1, 3)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, GE, 10)
+	p.AddConstraint([]Term{{0, 1}}, GE, 2)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Value, 20) {
+		t.Fatalf("got %v value %v, want 20", sol.Status, sol.Value)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.AddConstraint([]Term{{0, 1}}, GE, 5)
+	p.AddConstraint([]Term{{0, 1}}, LE, 3)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("got %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective(0, -1)
+	p.AddConstraint([]Term{{0, 1}}, GE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Fatalf("got %v, want unbounded", sol.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -3  (i.e. x >= 3)
+	p := NewProblem(1)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]Term{{0, -1}}, LE, -3)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Value, 3) {
+		t.Fatalf("got %v %v, want optimal 3", sol.Status, sol.Value)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// Classic cycling-prone problem (Beale); Bland fallback must solve it.
+	p := NewProblem(4)
+	p.SetObjective(0, -0.75)
+	p.SetObjective(1, 150)
+	p.SetObjective(2, -0.02)
+	p.SetObjective(3, 6)
+	p.AddConstraint([]Term{{0, 0.25}, {1, -60}, {2, -0.04}, {3, 9}}, LE, 0)
+	p.AddConstraint([]Term{{0, 0.5}, {1, -90}, {2, -0.02}, {3, 3}}, LE, 0)
+	p.AddConstraint([]Term{{2, 1}}, LE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Value, -0.05) {
+		t.Fatalf("got %v %v, want optimal -0.05", sol.Status, sol.Value)
+	}
+}
+
+func TestBadVariableIndex(t *testing.T) {
+	p := NewProblem(1)
+	p.AddConstraint([]Term{{3, 1}}, LE, 1)
+	if _, err := p.Solve(); err == nil {
+		t.Fatal("want error for out-of-range variable")
+	}
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// Duplicate equality rows create a redundant artificial row.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 2)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 4)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 4)
+	p.AddConstraint([]Term{{0, 2}, {1, 2}}, EQ, 8)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Value, 4) {
+		t.Fatalf("got %v %v, want optimal 4 (x=4,y=0)", sol.Status, sol.Value)
+	}
+}
+
+func TestZeroRows(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !approx(sol.Value, 0) {
+		t.Fatalf("got %v %v", sol.Status, sol.Value)
+	}
+}
+
+// TestRandomVsEnumeration compares the simplex optimum against vertex
+// enumeration on random 2-variable LPs (feasible region bounded in a box),
+// exploiting that an LP optimum lies at a vertex of the polytope.
+func TestRandomVsEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nc := rng.Intn(4) + 1
+		type row struct{ a, b, c float64 }
+		rows := make([]row, nc)
+		for i := range rows {
+			rows[i] = row{float64(rng.Intn(9) - 4), float64(rng.Intn(9) - 4), float64(rng.Intn(20))}
+		}
+		// Box 0 <= x,y <= 10 keeps it bounded.
+		obj := [2]float64{float64(rng.Intn(9) - 4), float64(rng.Intn(9) - 4)}
+
+		p := NewProblem(2)
+		p.SetObjective(0, obj[0])
+		p.SetObjective(1, obj[1])
+		for _, r := range rows {
+			p.AddConstraint([]Term{{0, r.a}, {1, r.b}}, LE, r.c)
+		}
+		p.AddConstraint([]Term{{0, 1}}, LE, 10)
+		p.AddConstraint([]Term{{1, 1}}, LE, 10)
+		sol, err := p.Solve()
+		if err != nil {
+			return false
+		}
+		// Enumerate candidate vertices: intersections of all boundary
+		// pairs (including axes and box walls).
+		type line struct{ a, b, c float64 }
+		var lines []line
+		for _, r := range rows {
+			lines = append(lines, line{r.a, r.b, r.c})
+		}
+		lines = append(lines,
+			line{1, 0, 0}, line{0, 1, 0}, // axes as equalities x=0, y=0
+			line{1, 0, 10}, line{0, 1, 10})
+		feas := func(x, y float64) bool {
+			if x < -1e-7 || y < -1e-7 || x > 10+1e-7 || y > 10+1e-7 {
+				return false
+			}
+			for _, r := range rows {
+				if r.a*x+r.b*y > r.c+1e-7 {
+					return false
+				}
+			}
+			return true
+		}
+		best := math.Inf(1)
+		found := false
+		for i := 0; i < len(lines); i++ {
+			for j := i + 1; j < len(lines); j++ {
+				l1, l2 := lines[i], lines[j]
+				det := l1.a*l2.b - l2.a*l1.b
+				if math.Abs(det) < 1e-12 {
+					continue
+				}
+				x := (l1.c*l2.b - l2.c*l1.b) / det
+				y := (l1.a*l2.c - l2.a*l1.c) / det
+				if feas(x, y) {
+					found = true
+					v := obj[0]*x + obj[1]*y
+					if v < best {
+						best = v
+					}
+				}
+			}
+		}
+		if !found {
+			return sol.Status == Infeasible
+		}
+		return sol.Status == Optimal && math.Abs(sol.Value-best) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSimplexMedium(b *testing.B) {
+	// A transportation-style LP: 30 x 20 assignment with capacities.
+	rng := rand.New(rand.NewSource(1))
+	const cl, sv = 30, 20
+	cost := make([][]float64, cl)
+	for i := range cost {
+		cost[i] = make([]float64, sv)
+		for j := range cost[i] {
+			cost[i][j] = float64(rng.Intn(10) + 1)
+		}
+	}
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		p := NewProblem(cl * sv)
+		for i := 0; i < cl; i++ {
+			terms := make([]Term, sv)
+			for j := 0; j < sv; j++ {
+				p.SetObjective(i*sv+j, cost[i][j])
+				terms[j] = Term{i*sv + j, 1}
+			}
+			p.AddConstraint(terms, EQ, 5)
+		}
+		for j := 0; j < sv; j++ {
+			terms := make([]Term, cl)
+			for i := 0; i < cl; i++ {
+				terms[i] = Term{i*sv + j, 1}
+			}
+			p.AddConstraint(terms, LE, 10)
+		}
+		if _, err := p.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

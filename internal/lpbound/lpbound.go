@@ -1,0 +1,196 @@
+// Package lpbound computes the lower bounds of Section 7.1 on the optimal
+// replica cost: the fully rational relaxation of the Section 5 linear
+// program, and the refined bound that keeps the placement variables x_j
+// integral while relaxing the assignment variables — solved here by
+// branch-and-bound over the x_j with LP relaxations at every node (the
+// paper used GLPK for the same mixed program).
+//
+// The branch-and-bound is budgeted: when the node budget runs out, the
+// minimum over the still-open subproblem bounds and the best incumbent is
+// returned, which is still a valid lower bound on the optimal cost.
+package lpbound
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/lp"
+	"repro/internal/lpmodel"
+)
+
+// ErrInfeasible is returned when the relaxation itself is infeasible, i.e.
+// the instance has no solution under the policy even with fractional
+// replicas.
+var ErrInfeasible = errors.New("lpbound: LP relaxation infeasible")
+
+// Bound is the result of a lower-bound computation.
+type Bound struct {
+	// Value is a valid lower bound on the optimal storage cost.
+	Value float64
+	// Exact reports that Value is the exact optimum of the mixed program
+	// (branch-and-bound completed within budget).
+	Exact bool
+	// Nodes is the number of branch-and-bound nodes solved.
+	Nodes int
+}
+
+// Rational solves the fully relaxed LP (all variables rational) and
+// returns its optimal value — the weakest bound of Section 5.3.
+func Rational(in *core.Instance, p core.Policy) (float64, error) {
+	m, err := lpmodel.Build(in, p)
+	if err != nil {
+		if errors.Is(err, lpmodel.ErrInfeasible) {
+			return 0, ErrInfeasible
+		}
+		return 0, err
+	}
+	sol, err := m.Prob.Solve()
+	if err != nil {
+		return 0, err
+	}
+	switch sol.Status {
+	case lp.Optimal:
+		return sol.Value, nil
+	case lp.Infeasible:
+		return 0, ErrInfeasible
+	default:
+		return 0, fmt.Errorf("lpbound: unexpected LP status %v", sol.Status)
+	}
+}
+
+// Options tunes the Refined branch-and-bound.
+type Options struct {
+	// MaxNodes bounds the number of LP relaxations solved. Zero means the
+	// default of 400.
+	MaxNodes int
+	// Incumbent, when positive, seeds the search with the cost of a known
+	// feasible solution (e.g. a heuristic's), pruning every subproblem
+	// whose relaxation already reaches it. It must be a genuine feasible
+	// cost or the returned bound may be wrong.
+	Incumbent float64
+}
+
+const intTol = 1e-6
+
+// Refined computes the Section 7.1 refined bound for the instance under
+// the given policy: minimize Σ s_j x_j with x_j ∈ {0,1} and rational
+// assignment variables. The Multiple policy is the paper's choice for the
+// experimental campaign, but any policy's model can be refined.
+func Refined(in *core.Instance, p core.Policy, opts Options) (Bound, error) {
+	if opts.MaxNodes <= 0 {
+		opts.MaxNodes = 400
+	}
+	m, err := lpmodel.Build(in, p)
+	if err != nil {
+		if errors.Is(err, lpmodel.ErrInfeasible) {
+			return Bound{}, ErrInfeasible
+		}
+		return Bound{}, err
+	}
+
+	// All storage costs are integers, so any node bound may be rounded up.
+	ceilInt := func(v float64) float64 { return math.Ceil(v - 1e-7) }
+
+	type node struct {
+		fixed map[int]int // x column -> 0/1
+		bound float64     // parent LP bound (for best-first bookkeeping)
+	}
+	stack := []node{{fixed: map[int]int{}, bound: 0}}
+	incumbent := math.Inf(1)
+	if opts.Incumbent > 0 {
+		incumbent = opts.Incumbent
+	}
+	nodes := 0
+	openMin := func() float64 {
+		mn := incumbent
+		for _, nd := range stack {
+			if nd.bound < mn {
+				mn = nd.bound
+			}
+		}
+		return mn
+	}
+
+	for len(stack) > 0 {
+		if nodes >= opts.MaxNodes {
+			// Budget exhausted: valid bound is the min over open nodes and
+			// the incumbent.
+			return Bound{Value: openMin(), Exact: false, Nodes: nodes}, nil
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if nd.bound >= incumbent {
+			continue // dominated
+		}
+		prob := m.CloneProblem()
+		for col, val := range nd.fixed {
+			m.FixX(prob, col, val)
+		}
+		sol, err := prob.Solve()
+		if err != nil {
+			return Bound{}, err
+		}
+		nodes++
+		if sol.Status == lp.Infeasible {
+			continue
+		}
+		if sol.Status != lp.Optimal {
+			return Bound{}, fmt.Errorf("lpbound: unexpected LP status %v", sol.Status)
+		}
+		val := ceilInt(sol.Value)
+		if val >= incumbent {
+			continue
+		}
+		// Most fractional x.
+		branch := -1
+		worst := intTol
+		for _, j := range in.Tree.Internal() {
+			col := m.X[j]
+			f := sol.X[col]
+			frac := math.Min(f-math.Floor(f), math.Ceil(f)-f)
+			if frac > worst {
+				worst = frac
+				branch = col
+			}
+		}
+		if branch < 0 {
+			// Integral x: candidate incumbent.
+			if val < incumbent {
+				incumbent = val
+			}
+			continue
+		}
+		// Depth-first: explore the x=1 child last (popped first) — placing
+		// the fractional replica tends to reach feasible incumbents fast.
+		for _, v := range []int{0, 1} {
+			child := node{fixed: make(map[int]int, len(nd.fixed)+1), bound: val}
+			for k, vv := range nd.fixed {
+				child.fixed[k] = vv
+			}
+			child.fixed[branch] = v
+			stack = append(stack, child)
+		}
+	}
+	if math.IsInf(incumbent, 1) {
+		return Bound{}, ErrInfeasible
+	}
+	return Bound{Value: incumbent, Exact: true, Nodes: nodes}, nil
+}
+
+// Feasible reports whether the instance admits any solution under the
+// policy according to the LP relaxation. For the Multiple policy without
+// bandwidth constraints the relaxation is exact (the assignment polytope
+// is integral), so this decides feasibility precisely; for single-server
+// policies it is only a necessary condition.
+func Feasible(in *core.Instance, p core.Policy) (bool, error) {
+	_, err := Rational(in, p)
+	if errors.Is(err, ErrInfeasible) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}

@@ -1,0 +1,188 @@
+package lpbound
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+)
+
+func TestRationalFigure5(t *testing.T) {
+	// Figure 5 with unit costs: the fully rational bound equals Σr/W = 2
+	// only if requests can spread, which the star allows fractionally;
+	// the true optimum is n+1 = 5 — the bound is valid but loose, exactly
+	// the Section 3.4 message.
+	in := core.Figure5(4, 8)
+	v, err := Rational(in, core.Multiple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 2-1e-6 {
+		t.Errorf("rational bound %v below trivial bound 2", v)
+	}
+	if v > 5+1e-6 {
+		t.Errorf("rational bound %v above optimum 5", v)
+	}
+}
+
+func TestRefinedEqualsMultipleOptimum(t *testing.T) {
+	// With integral x and rational y, the Multiple mixed program is exact
+	// (transportation integrality), so Refined must match brute force.
+	for seed := int64(0); seed < 40; seed++ {
+		in := gen.Instance(gen.Config{
+			Internal:      3 + int(seed%4),
+			Clients:       2 + int(seed%5),
+			Lambda:        0.3 + float64(seed%6)/10.0,
+			Heterogeneous: seed%2 == 0,
+		}, seed+500)
+		b, err := Refined(in, core.Multiple, Options{})
+		bf, bferr := exact.BruteForce(in, core.Multiple)
+		if errors.Is(err, ErrInfeasible) {
+			if bferr == nil {
+				t.Fatalf("seed %d: refined infeasible but brute force solved", seed)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if bferr != nil {
+			t.Fatalf("seed %d: refined %v but brute force failed: %v", seed, b.Value, bferr)
+		}
+		if !b.Exact {
+			t.Logf("seed %d: budget exhausted after %d nodes", seed, b.Nodes)
+			if b.Value > float64(bf.StorageCost(in))+1e-6 {
+				t.Fatalf("seed %d: truncated bound %v above optimum %d", seed, b.Value, bf.StorageCost(in))
+			}
+			continue
+		}
+		if math.Abs(b.Value-float64(bf.StorageCost(in))) > 1e-6 {
+			t.Errorf("seed %d: refined %v != optimum %d", seed, b.Value, bf.StorageCost(in))
+		}
+	}
+}
+
+func TestBoundHierarchy(t *testing.T) {
+	// rational <= refined <= optimum, for each policy, on random
+	// instances.
+	for seed := int64(0); seed < 25; seed++ {
+		in := gen.Instance(gen.Config{
+			Internal: 3 + int(seed%3),
+			Clients:  3 + int(seed%4),
+			Lambda:   0.4,
+		}, seed+900)
+		for _, p := range core.Policies {
+			rat, rerr := Rational(in, p)
+			ref, ferr := Refined(in, p, Options{})
+			opt, oerr := exact.BruteForce(in, p)
+			if rerr != nil || ferr != nil {
+				// Relaxation infeasible implies integer infeasible.
+				if oerr == nil && (errors.Is(rerr, ErrInfeasible) || errors.Is(ferr, ErrInfeasible)) {
+					t.Fatalf("seed %d %v: relaxation infeasible but optimum exists", seed, p)
+				}
+				continue
+			}
+			if rat > ref.Value+1e-6 {
+				t.Errorf("seed %d %v: rational %v > refined %v", seed, p, rat, ref.Value)
+			}
+			if oerr == nil && ref.Value > float64(opt.StorageCost(in))+1e-6 {
+				t.Errorf("seed %d %v: refined %v > optimum %d", seed, p, ref.Value, opt.StorageCost(in))
+			}
+		}
+	}
+}
+
+func TestRefinedBudgetTruncation(t *testing.T) {
+	in := gen.Instance(gen.Config{Internal: 10, Clients: 12, Lambda: 0.7, Heterogeneous: true}, 77)
+	full, err := Refined(in, core.Multiple, Options{MaxNodes: 4000})
+	if errors.Is(err, ErrInfeasible) {
+		t.Skip("instance infeasible")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc, err := Refined(in, core.Multiple, Options{MaxNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trunc.Exact && trunc.Nodes > 3 {
+		t.Errorf("truncated run solved %d nodes", trunc.Nodes)
+	}
+	if trunc.Value > full.Value+1e-6 {
+		t.Errorf("truncated bound %v exceeds full bound %v", trunc.Value, full.Value)
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	// Figure 1(c) is Multiple-feasible; its relaxation agrees.
+	ok, err := Feasible(core.Figure1('c'), core.Multiple)
+	if err != nil || !ok {
+		t.Errorf("fig1c: %v %v", ok, err)
+	}
+	// Overloaded instance: total requests exceed total capacity.
+	in := core.Figure1('a')
+	in.R[in.Tree.Clients()[0]] = 100
+	ok, err = Feasible(in, core.Multiple)
+	if err != nil || ok {
+		t.Errorf("overloaded: feasible=%v err=%v, want false", ok, err)
+	}
+}
+
+func TestRefinedInfeasible(t *testing.T) {
+	in := core.Figure1('a')
+	in.R[in.Tree.Clients()[0]] = 100
+	if _, err := Refined(in, core.Multiple, Options{}); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestRefinedRespectsQoSPruning(t *testing.T) {
+	in := core.Figure1('a')
+	in.Q = make([]int, in.Tree.Len())
+	for i := range in.Q {
+		in.Q[i] = core.NoQoS
+	}
+	in.Q[in.Tree.Clients()[0]] = 0
+	if _, err := Refined(in, core.Multiple, Options{}); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("want ErrInfeasible, got %v", err)
+	}
+}
+
+// TestRefinedEqualsTheorem1Algorithm: on homogeneous unit-cost instances,
+// the refined bound (exact Multiple mixed optimum) must coincide with the
+// Section 4.1 polynomial algorithm — two completely independent solvers
+// agreeing on the optimum.
+func TestRefinedEqualsTheorem1Algorithm(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		in := gen.Instance(gen.Config{
+			Internal:  4 + int(seed%6),
+			Clients:   4 + int(seed%8),
+			Lambda:    0.2 + float64(seed%8)/10.0,
+			UnitCosts: true,
+		}, seed+8100)
+		alg, aerr := exact.MultipleHomogeneous(in)
+		b, berr := Refined(in, core.Multiple, Options{MaxNodes: 4000})
+		if errors.Is(berr, ErrInfeasible) {
+			if aerr == nil {
+				t.Fatalf("seed %d: LP infeasible but algorithm solved", seed)
+			}
+			continue
+		}
+		if berr != nil {
+			t.Fatalf("seed %d: %v", seed, berr)
+		}
+		if aerr != nil {
+			t.Fatalf("seed %d: algorithm failed on LP-feasible instance: %v", seed, aerr)
+		}
+		if !b.Exact {
+			continue // budget blown: inequality is still checked below
+		}
+		if math.Abs(b.Value-float64(alg.ReplicaCount())) > 1e-6 {
+			t.Fatalf("seed %d: refined optimum %v != algorithm %d",
+				seed, b.Value, alg.ReplicaCount())
+		}
+	}
+}

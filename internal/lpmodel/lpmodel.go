@@ -1,0 +1,243 @@
+// Package lpmodel translates Replica Placement instances into the linear
+// programs of Section 5, one formulation per access policy. Variables:
+//
+//	x_j        1 iff internal node j holds a replica (always present);
+//	y_{i,j}    single-server policies: 1 iff j = server(i);
+//	           Multiple: the number of requests of client i served at j.
+//
+// The paper's z_{i,l} link variables are implied: a request of client i
+// crosses link u -> parent(u) exactly when it is served at parent(u) or
+// above, so z_{i,u} = Σ_{j ∈ Ancestors(u)} y_{i,j}. Every constraint that
+// mentions z (bandwidth caps, the Closest blocking rule) is therefore
+// expressed directly over y, which keeps the program substantially
+// smaller than the literal Section 5 formulation without changing its
+// feasible set or optimum.
+//
+// QoS constraints are handled by pruning: a variable y_{i,j} is simply not
+// created when dist(i,j) > q_i, which is equivalent to (and tighter in
+// practice than) the paper's dist(i,j)·y_{i,j} ≤ q_i rows.
+package lpmodel
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lp"
+)
+
+// ErrInfeasible is returned by Build when some client has no eligible
+// server at all (its QoS bound excludes every ancestor), making the
+// instance trivially infeasible under any policy.
+var ErrInfeasible = errors.New("lpmodel: a client has no eligible server")
+
+// YVar records the meaning of one y variable.
+type YVar struct {
+	Client, Server int
+	Var            int
+}
+
+// Model is a built LP plus the bookkeeping to interpret its solution.
+type Model struct {
+	Prob   *lp.Problem
+	Policy core.Policy
+
+	// X maps each vertex id to the column of x_j (-1 for clients).
+	X []int
+	// Y lists every created y variable.
+	Y []YVar
+}
+
+// Build constructs the LP for the instance under the given policy. The
+// returned model's Prob minimizes Σ s_j x_j with 0 ≤ x_j ≤ 1 and the
+// policy's assignment/capacity/bandwidth rows; solved as-is it yields the
+// fully rational relaxation of Section 5.3.
+func Build(in *core.Instance, p core.Policy) (*Model, error) {
+	t := in.Tree
+	m := &Model{Policy: p, X: make([]int, t.Len())}
+
+	// Column layout: x variables first, then y.
+	numX := t.NumInternal()
+	for v := range m.X {
+		m.X[v] = -1
+	}
+	for i, j := range t.Internal() {
+		m.X[j] = i
+	}
+	yStart := numX
+	yOf := make(map[[2]int]int)
+	for _, c := range t.Clients() {
+		if in.R[c] == 0 {
+			continue
+		}
+		for _, a := range t.Ancestors(c) {
+			if !in.QoSAllows(c, a) {
+				continue
+			}
+			col := yStart + len(m.Y)
+			m.Y = append(m.Y, YVar{Client: c, Server: a, Var: col})
+			yOf[[2]int{c, a}] = col
+		}
+	}
+
+	prob := lp.NewProblem(numX + len(m.Y))
+	m.Prob = prob
+	for _, j := range t.Internal() {
+		prob.SetObjective(m.X[j], float64(in.S[j]))
+		// 0 ≤ x_j ≤ 1.
+		prob.AddConstraint([]lp.Term{{Var: m.X[j], Coef: 1}}, lp.LE, 1)
+	}
+
+	// Per-client coverage rows.
+	yByClient := make(map[int][]YVar)
+	yByServer := make(map[int][]YVar)
+	for _, yv := range m.Y {
+		yByClient[yv.Client] = append(yByClient[yv.Client], yv)
+		yByServer[yv.Server] = append(yByServer[yv.Server], yv)
+	}
+	for _, c := range t.Clients() {
+		if in.R[c] == 0 {
+			continue
+		}
+		ys := yByClient[c]
+		if len(ys) == 0 {
+			return nil, fmt.Errorf("client %d: %w", c, ErrInfeasible)
+		}
+		terms := make([]lp.Term, len(ys))
+		for k, yv := range ys {
+			terms[k] = lp.Term{Var: yv.Var, Coef: 1}
+		}
+		switch p {
+		case core.Closest, core.Upwards:
+			// Σ_j y_{i,j} = 1.
+			prob.AddConstraint(terms, lp.EQ, 1)
+		case core.Multiple:
+			// Σ_j y_{i,j} = r_i.
+			prob.AddConstraint(terms, lp.EQ, float64(in.R[c]))
+		default:
+			return nil, fmt.Errorf("lpmodel: unknown policy %v", p)
+		}
+	}
+
+	// Capacity rows: Σ_i r_i y_{i,j} ≤ W_j x_j (single server) or
+	// Σ_i y_{i,j} ≤ W_j x_j (Multiple).
+	for _, j := range t.Internal() {
+		ys := yByServer[j]
+		if len(ys) == 0 {
+			continue
+		}
+		terms := make([]lp.Term, 0, len(ys)+1)
+		for _, yv := range ys {
+			coef := 1.0
+			if p != core.Multiple {
+				coef = float64(in.R[yv.Client])
+			}
+			terms = append(terms, lp.Term{Var: yv.Var, Coef: coef})
+		}
+		terms = append(terms, lp.Term{Var: m.X[j], Coef: -float64(in.W[j])})
+		prob.AddConstraint(terms, lp.LE, 0)
+	}
+
+	// Bandwidth rows: for every capped link u -> parent(u),
+	// Σ_{i below u} Σ_{j ∈ Ancestors(u)} load(y_{i,j}) ≤ BW_u.
+	if in.HasBandwidth() {
+		anc := make(map[int]map[int]bool) // vertex -> its strict ancestors
+		ancSet := func(v int) map[int]bool {
+			if s, ok := anc[v]; ok {
+				return s
+			}
+			s := make(map[int]bool)
+			for _, a := range t.Ancestors(v) {
+				s[a] = true
+			}
+			anc[v] = s
+			return s
+		}
+		for u := 0; u < t.Len(); u++ {
+			if u == t.Root() || in.BW[u] == core.NoBandwidth {
+				continue
+			}
+			above := ancSet(u)
+			var terms []lp.Term
+			for _, c := range t.ClientsUnder(u) {
+				for _, yv := range yByClient[c] {
+					if !above[yv.Server] {
+						continue
+					}
+					coef := 1.0
+					if p != core.Multiple {
+						coef = float64(in.R[c])
+					}
+					terms = append(terms, lp.Term{Var: yv.Var, Coef: coef})
+				}
+			}
+			if len(terms) > 0 {
+				prob.AddConstraint(terms, lp.LE, float64(in.BW[u]))
+			}
+		}
+	}
+
+	// Closest blocking rows (Section 5.1, reduced form): for every client
+	// i, server candidate j ≠ root, and client i' under j:
+	//   y_{i,j} + Σ_{j' ∈ Ancestors(j)} y_{i',j'} ≤ 1,
+	// i.e. if i is served at j, no client below j may be served above j.
+	if p == core.Closest {
+		for _, yv := range m.Y {
+			j := yv.Server
+			if j == t.Root() {
+				continue
+			}
+			for _, c2 := range t.ClientsUnder(j) {
+				if in.R[c2] == 0 {
+					continue
+				}
+				terms := []lp.Term{{Var: yv.Var, Coef: 1}}
+				for _, j2 := range t.Ancestors(j) {
+					if col, ok := yOf[[2]int{c2, j2}]; ok {
+						terms = append(terms, lp.Term{Var: col, Coef: 1})
+					}
+				}
+				if len(terms) > 1 {
+					prob.AddConstraint(terms, lp.LE, 1)
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// FixX returns a copy of the model's problem with x_j forced to the given
+// binary value (used by the branch-and-bound refinement).
+func (m *Model) FixX(prob *lp.Problem, xCol int, val int) {
+	prob.AddConstraint([]lp.Term{{Var: xCol, Coef: 1}}, lp.EQ, float64(val))
+}
+
+// CloneProblem deep-copies the underlying LP so branch-and-bound nodes can
+// append fixing rows independently.
+func (m *Model) CloneProblem() *lp.Problem {
+	cp := lp.NewProblem(m.Prob.NumVars)
+	copy(cp.Obj, m.Prob.Obj)
+	cp.Rows = append(cp.Rows, m.Prob.Rows...)
+	return cp
+}
+
+// ExtractSolution converts an integral LP point into a core.Solution
+// (Multiple policy semantics for y under Multiple, single-server
+// otherwise). Values are rounded to the nearest integer; it is the
+// caller's responsibility to ensure the point is integral.
+func (m *Model) ExtractSolution(in *core.Instance, x []float64) *core.Solution {
+	sol := core.NewSolution(in.Tree.Len())
+	for _, yv := range m.Y {
+		v := x[yv.Var]
+		var load int64
+		if m.Policy == core.Multiple {
+			load = int64(v + 0.5)
+		} else if v > 0.5 {
+			load = in.R[yv.Client]
+		}
+		if load > 0 {
+			sol.AddPortion(yv.Client, yv.Server, load)
+		}
+	}
+	return sol
+}

@@ -1,0 +1,202 @@
+package lpmodel
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/lp"
+)
+
+func solve(t *testing.T, in *core.Instance, p core.Policy) *lp.Solution {
+	t.Helper()
+	m, err := Build(in, p)
+	if err != nil {
+		t.Fatalf("Build(%v): %v", p, err)
+	}
+	sol, err := m.Prob.Solve()
+	if err != nil {
+		t.Fatalf("Solve(%v): %v", p, err)
+	}
+	return sol
+}
+
+func TestRelaxationFigure1(t *testing.T) {
+	// Figure 1(c): one client with 2 requests, two nodes with W=1, s=1.
+	// Fully rational Multiple relaxation: x1 = x2 = 1 is forced (each
+	// server must absorb one request), value 2.
+	in := core.Figure1('c')
+	sol := solve(t, in, core.Multiple)
+	if sol.Status != lp.Optimal || math.Abs(sol.Value-2) > 1e-6 {
+		t.Errorf("Multiple relaxation: %v %v, want optimal 2", sol.Status, sol.Value)
+	}
+	// Single-server relaxations are also LP-feasible (y may split
+	// fractionally), so they do NOT prove infeasibility here.
+	solU := solve(t, in, core.Upwards)
+	if solU.Status != lp.Optimal {
+		t.Errorf("Upwards relaxation: %v", solU.Status)
+	}
+}
+
+func TestVariableCounts(t *testing.T) {
+	in := core.Figure2(2) // 6 internal nodes, 5 clients
+	m, err := Build(in, core.Multiple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.X); got != in.Tree.Len() {
+		t.Errorf("len(X) = %d", got)
+	}
+	// Every client contributes one y per ancestor.
+	wantY := 0
+	for _, c := range in.Tree.Clients() {
+		wantY += len(in.Tree.Ancestors(c))
+	}
+	if len(m.Y) != wantY {
+		t.Errorf("len(Y) = %d, want %d", len(m.Y), wantY)
+	}
+	// QoS pruning removes distant servers.
+	q := in.Clone()
+	q.Q = make([]int, q.Tree.Len())
+	for i := range q.Q {
+		q.Q[i] = core.NoQoS
+	}
+	for _, c := range q.Tree.Clients() {
+		q.Q[c] = 1
+	}
+	mq, err := Build(q, core.Multiple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mq.Y) != q.Tree.NumClients() {
+		t.Errorf("QoS-pruned len(Y) = %d, want %d", len(mq.Y), q.Tree.NumClients())
+	}
+}
+
+func TestInfeasibleQoS(t *testing.T) {
+	in := core.Figure1('a')
+	in.Q = make([]int, in.Tree.Len())
+	for i := range in.Q {
+		in.Q[i] = core.NoQoS
+	}
+	in.Q[in.Tree.Clients()[0]] = 0 // no server within distance 0
+	_, err := Build(in, core.Multiple)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestUnknownPolicy(t *testing.T) {
+	in := core.Figure1('a')
+	if _, err := Build(in, core.Policy(9)); err == nil {
+		t.Error("want error for unknown policy")
+	}
+}
+
+func TestClosestBlockingRows(t *testing.T) {
+	// The blocking rows forbid serving client c1 at s1 while client c2
+	// (also under s1) is served above s1. Figure 1(b) has two unit
+	// clients under s1: forcing y_{c1,s1} = 1 and y_{c2,root} = 1 must be
+	// LP-infeasible under Closest but feasible under Upwards.
+	in := core.Figure1('b')
+	root := in.Tree.Root()
+	var s1 int
+	for _, j := range in.Tree.Internal() {
+		if j != root {
+			s1 = j
+		}
+	}
+	c1, c2 := in.Tree.Clients()[0], in.Tree.Clients()[1]
+	for _, p := range []core.Policy{core.Closest, core.Upwards} {
+		m, err := Build(in, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prob := m.CloneProblem()
+		for _, yv := range m.Y {
+			if yv.Client == c1 && yv.Server == s1 {
+				prob.AddConstraint([]lp.Term{{Var: yv.Var, Coef: 1}}, lp.EQ, 1)
+			}
+			if yv.Client == c2 && yv.Server == root {
+				prob.AddConstraint([]lp.Term{{Var: yv.Var, Coef: 1}}, lp.EQ, 1)
+			}
+		}
+		sol, err := prob.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantFeasible := p == core.Upwards
+		if (sol.Status == lp.Optimal) != wantFeasible {
+			t.Errorf("%v: status %v, want feasible=%v", p, sol.Status, wantFeasible)
+		}
+	}
+}
+
+func TestBandwidthRows(t *testing.T) {
+	// Figure 1(b) with the s1 -> s2 link blocked: the Multiple LP must
+	// then serve both clients at s1, which exceeds W=1 -> infeasible.
+	in := core.Figure1('b')
+	root := in.Tree.Root()
+	var s1 int
+	for _, j := range in.Tree.Internal() {
+		if j != root {
+			s1 = j
+		}
+	}
+	in.BW = make([]int64, in.Tree.Len())
+	for i := range in.BW {
+		in.BW[i] = core.NoBandwidth
+	}
+	in.BW[s1] = 0
+	m, err := Build(in, core.Multiple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := m.Prob.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+	// With bandwidth 1 the instance works again.
+	in.BW[s1] = 1
+	m, err = Build(in, core.Multiple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err = m.Prob.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Optimal {
+		t.Errorf("status = %v, want optimal", sol.Status)
+	}
+}
+
+func TestExtractSolutionMultiple(t *testing.T) {
+	// On a feasible instance, solving with x fixed integral yields an
+	// extractable valid solution (Multiple transportation integrality).
+	in := gen.Instance(gen.Config{Internal: 5, Clients: 6, Lambda: 0.4}, 3)
+	m, err := Build(in, core.Multiple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := m.CloneProblem()
+	for _, j := range in.Tree.Internal() {
+		m.FixX(prob, m.X[j], 1) // place replicas everywhere
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	cs := m.ExtractSolution(in, sol.X)
+	if err := cs.Validate(in, core.Multiple); err != nil {
+		t.Errorf("extracted solution invalid: %v", err)
+	}
+}

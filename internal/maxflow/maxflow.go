@@ -1,0 +1,123 @@
+// Package maxflow implements Dinic's maximum-flow algorithm on integer
+// capacities. It is the feasibility substrate for the Multiple access
+// policy: deciding whether a replica set can absorb all client requests is
+// a transportation problem, and integral capacities guarantee an integral
+// optimal flow.
+package maxflow
+
+import "fmt"
+
+// Inf is a practically unbounded capacity.
+const Inf = int64(1) << 60
+
+type edge struct {
+	to   int
+	cap  int64
+	flow int64
+	rev  int // index of the reverse edge in adj[to]
+}
+
+// Graph is a flow network under construction or after a Run. Vertices are
+// dense ids in [0, n).
+type Graph struct {
+	adj   [][]edge
+	level []int
+	iter  []int
+}
+
+// New returns a graph with n vertices and no edges.
+func New(n int) *Graph {
+	return &Graph{adj: make([][]edge, n)}
+}
+
+// Len returns the number of vertices.
+func (g *Graph) Len() int { return len(g.adj) }
+
+// AddEdge adds a directed edge from -> to with the given capacity and
+// returns a handle usable with Flow after running the algorithm.
+func (g *Graph) AddEdge(from, to int, cap int64) EdgeHandle {
+	if cap < 0 {
+		panic(fmt.Sprintf("maxflow: negative capacity %d", cap))
+	}
+	g.adj[from] = append(g.adj[from], edge{to: to, cap: cap, rev: len(g.adj[to])})
+	g.adj[to] = append(g.adj[to], edge{to: from, cap: 0, rev: len(g.adj[from]) - 1})
+	return EdgeHandle{from: from, idx: len(g.adj[from]) - 1}
+}
+
+// EdgeHandle identifies an edge added with AddEdge.
+type EdgeHandle struct {
+	from, idx int
+}
+
+// Flow returns the flow routed through the edge after Run.
+func (g *Graph) Flow(h EdgeHandle) int64 { return g.adj[h.from][h.idx].flow }
+
+func (g *Graph) bfs(s, t int) bool {
+	for i := range g.level {
+		g.level[i] = -1
+	}
+	queue := make([]int, 0, len(g.adj))
+	queue = append(queue, s)
+	g.level[s] = 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[v] {
+			if e.cap-e.flow > 0 && g.level[e.to] < 0 {
+				g.level[e.to] = g.level[v] + 1
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return g.level[t] >= 0
+}
+
+func (g *Graph) dfs(v, t int, f int64) int64 {
+	if v == t {
+		return f
+	}
+	for ; g.iter[v] < len(g.adj[v]); g.iter[v]++ {
+		e := &g.adj[v][g.iter[v]]
+		if e.cap-e.flow <= 0 || g.level[e.to] != g.level[v]+1 {
+			continue
+		}
+		d := g.dfs(e.to, t, min64(f, e.cap-e.flow))
+		if d > 0 {
+			e.flow += d
+			g.adj[e.to][e.rev].flow -= d
+			return d
+		}
+	}
+	return 0
+}
+
+// Run computes the maximum flow from s to t and returns its value. It may
+// be called once per graph.
+func (g *Graph) Run(s, t int) int64 {
+	if s == t {
+		panic("maxflow: source equals sink")
+	}
+	g.level = make([]int, len(g.adj))
+	g.iter = make([]int, len(g.adj))
+	var total int64
+	for g.bfs(s, t) {
+		for i := range g.iter {
+			g.iter[i] = 0
+		}
+		for {
+			f := g.dfs(s, t, Inf)
+			if f == 0 {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

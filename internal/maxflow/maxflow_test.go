@@ -1,0 +1,215 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimplePath(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 3)
+	if got := g.Run(0, 2); got != 3 {
+		t.Errorf("flow = %d, want 3", got)
+	}
+}
+
+func TestDiamond(t *testing.T) {
+	// s -> a, s -> b, a -> t, b -> t, a -> b
+	g := New(4)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(0, 2, 10)
+	g.AddEdge(1, 3, 4)
+	g.AddEdge(2, 3, 9)
+	g.AddEdge(1, 2, 6)
+	if got := g.Run(0, 3); got != 13 {
+		t.Errorf("flow = %d, want 13", got)
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(2, 3, 5)
+	if got := g.Run(0, 3); got != 0 {
+		t.Errorf("flow = %d, want 0", got)
+	}
+}
+
+func TestEdgeFlows(t *testing.T) {
+	g := New(3)
+	e1 := g.AddEdge(0, 1, 5)
+	e2 := g.AddEdge(1, 2, 3)
+	g.Run(0, 2)
+	if g.Flow(e1) != 3 || g.Flow(e2) != 3 {
+		t.Errorf("edge flows = %d, %d, want 3, 3", g.Flow(e1), g.Flow(e2))
+	}
+}
+
+func TestClassicNetwork(t *testing.T) {
+	// CLRS figure: max flow 23.
+	g := New(6)
+	g.AddEdge(0, 1, 16)
+	g.AddEdge(0, 2, 13)
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(2, 1, 4)
+	g.AddEdge(1, 3, 12)
+	g.AddEdge(3, 2, 9)
+	g.AddEdge(2, 4, 14)
+	g.AddEdge(4, 3, 7)
+	g.AddEdge(3, 5, 20)
+	g.AddEdge(4, 5, 4)
+	if got := g.Run(0, 5); got != 23 {
+		t.Errorf("flow = %d, want 23", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	t.Run("negative capacity", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic")
+			}
+		}()
+		New(2).AddEdge(0, 1, -1)
+	})
+	t.Run("source equals sink", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic")
+			}
+		}()
+		New(2).Run(1, 1)
+	})
+}
+
+// TestBipartiteMatchingProperty checks max-flow against a brute-force
+// matching count on random bipartite graphs (Koenig duality: max matching
+// size equals max flow with unit capacities).
+func TestBipartiteMatchingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l, r := rng.Intn(5)+1, rng.Intn(5)+1
+		adj := make([][]bool, l)
+		for i := range adj {
+			adj[i] = make([]bool, r)
+			for j := range adj[i] {
+				adj[i][j] = rng.Intn(2) == 0
+			}
+		}
+		// Brute force maximum matching via bitmask DP over right side.
+		best := 0
+		var rec func(i, used int, size int)
+		rec = func(i, used, size int) {
+			if size > best {
+				best = size
+			}
+			if i == l {
+				return
+			}
+			rec(i+1, used, size)
+			for j := 0; j < r; j++ {
+				if adj[i][j] && used&(1<<j) == 0 {
+					rec(i+1, used|1<<j, size+1)
+				}
+			}
+		}
+		rec(0, 0, 0)
+
+		g := New(l + r + 2)
+		s, tk := l+r, l+r+1
+		for i := 0; i < l; i++ {
+			g.AddEdge(s, i, 1)
+		}
+		for j := 0; j < r; j++ {
+			g.AddEdge(l+j, tk, 1)
+		}
+		for i := 0; i < l; i++ {
+			for j := 0; j < r; j++ {
+				if adj[i][j] {
+					g.AddEdge(i, l+j, 1)
+				}
+			}
+		}
+		return g.Run(s, tk) == int64(best)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFlowConservationProperty checks conservation and capacity limits on
+// random graphs.
+func TestFlowConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(8) + 2
+		g := New(n)
+		type e struct{ from, to int }
+		var handles []EdgeHandle
+		var ends []e
+		for k := 0; k < n*2; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			handles = append(handles, g.AddEdge(u, v, int64(rng.Intn(20))))
+			ends = append(ends, e{u, v})
+		}
+		total := g.Run(0, n-1)
+		net := make([]int64, n)
+		for i, h := range handles {
+			fl := g.Flow(h)
+			if fl < 0 {
+				return false
+			}
+			net[ends[i].from] -= fl
+			net[ends[i].to] += fl
+		}
+		for v := 0; v < n; v++ {
+			switch v {
+			case 0:
+				if net[v] != -total {
+					return false
+				}
+			case n - 1:
+				if net[v] != total {
+					return false
+				}
+			default:
+				if net[v] != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDinicGrid(b *testing.B) {
+	// 20x20 grid, source to sink.
+	const k = 20
+	for i := 0; i < b.N; i++ {
+		g := New(k*k + 2)
+		s, t := k*k, k*k+1
+		id := func(r, c int) int { return r*k + c }
+		for r := 0; r < k; r++ {
+			g.AddEdge(s, id(r, 0), 100)
+			g.AddEdge(id(r, k-1), t, 100)
+			for c := 0; c+1 < k; c++ {
+				g.AddEdge(id(r, c), id(r, c+1), 50)
+			}
+		}
+		for c := 0; c < k; c++ {
+			for r := 0; r+1 < k; r++ {
+				g.AddEdge(id(r, c), id(r+1, c), 30)
+				g.AddEdge(id(r+1, c), id(r, c), 30)
+			}
+		}
+		g.Run(s, t)
+	}
+}

@@ -1,0 +1,269 @@
+// Package multiobject implements the Section 8.1 extension of the Replica
+// Placement problem to several object types: every client issues requests
+// per object, a node may hold replicas of several objects, server capacity
+// is shared across objects while storage costs are per object, and each
+// object's assignment independently follows the tree's upward paths.
+package multiobject
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/lp"
+)
+
+// ErrNoSolution is returned when the solver cannot place all requests.
+var ErrNoSolution = errors.New("multiobject: no solution found")
+
+// Instance is a multi-object Replica Placement instance. The embedded
+// base instance supplies the tree, shared capacities W and (unused) base
+// request vector; per-object data lives in R and S.
+type Instance struct {
+	Base *core.Instance
+	// R[k][v] is the number of requests of client v for object k.
+	R [][]int64
+	// S[k][j] is the storage cost of a replica of object k at node j.
+	S [][]int64
+}
+
+// New builds a multi-object instance over the given tree/base with k
+// objects and zeroed per-object vectors.
+func New(base *core.Instance, k int) *Instance {
+	n := base.Tree.Len()
+	mi := &Instance{Base: base, R: make([][]int64, k), S: make([][]int64, k)}
+	for i := 0; i < k; i++ {
+		mi.R[i] = make([]int64, n)
+		mi.S[i] = make([]int64, n)
+	}
+	return mi
+}
+
+// Objects returns the number of object types.
+func (mi *Instance) Objects() int { return len(mi.R) }
+
+// Validate checks vector shapes and non-negativity.
+func (mi *Instance) Validate() error {
+	if err := mi.Base.Validate(); err != nil {
+		return err
+	}
+	n := mi.Base.Tree.Len()
+	if len(mi.R) != len(mi.S) {
+		return fmt.Errorf("multiobject: %d request vectors vs %d cost vectors", len(mi.R), len(mi.S))
+	}
+	for k := range mi.R {
+		if len(mi.R[k]) != n || len(mi.S[k]) != n {
+			return fmt.Errorf("multiobject: object %d vectors must have length %d", k, n)
+		}
+		for v := 0; v < n; v++ {
+			if mi.R[k][v] < 0 || mi.S[k][v] < 0 {
+				return fmt.Errorf("multiobject: object %d has negative entry at %d", k, v)
+			}
+			if mi.R[k][v] > 0 && !mi.Base.Tree.IsClient(v) {
+				return fmt.Errorf("multiobject: object %d has requests on internal node %d", k, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Solution is one core.Solution per object. Capacity feasibility couples
+// them; everything else is per object.
+type Solution struct {
+	PerObject []*core.Solution
+}
+
+// Cost returns the total storage cost: Σ_k Σ_{j holding object k} S[k][j].
+func (s *Solution) Cost(mi *Instance) int64 {
+	var cost int64
+	for k, sol := range s.PerObject {
+		for _, j := range sol.Replicas() {
+			cost += mi.S[k][j]
+		}
+	}
+	return cost
+}
+
+// Validate checks each per-object solution under the policy (against a
+// per-object view of the instance) and the shared capacity constraint.
+func (s *Solution) Validate(mi *Instance, p core.Policy) error {
+	if len(s.PerObject) != mi.Objects() {
+		return fmt.Errorf("multiobject: %d sub-solutions for %d objects", len(s.PerObject), mi.Objects())
+	}
+	n := mi.Base.Tree.Len()
+	total := make([]int64, n)
+	for k, sol := range s.PerObject {
+		view := mi.view(k)
+		// Per-object capacity is the shared W; the coupled check follows.
+		if err := sol.Validate(view, p); err != nil {
+			return fmt.Errorf("object %d: %w", k, err)
+		}
+		loads := sol.ServerLoads(n)
+		for j := range total {
+			total[j] += loads[j]
+		}
+	}
+	for _, j := range mi.Base.Tree.Internal() {
+		if total[j] > mi.Base.W[j] {
+			return fmt.Errorf("multiobject: node %d total load %d exceeds shared capacity %d",
+				j, total[j], mi.Base.W[j])
+		}
+	}
+	return nil
+}
+
+// view builds a single-object core.Instance for object k (sharing the
+// tree; capacities are the shared ones, costs are object k's).
+func (mi *Instance) view(k int) *core.Instance {
+	return &core.Instance{
+		Tree: mi.Base.Tree,
+		R:    mi.R[k],
+		W:    mi.Base.W,
+		S:    mi.S[k],
+		Q:    mi.Base.Q,
+		Comm: mi.Base.Comm,
+		BW:   mi.Base.BW,
+	}
+}
+
+// GreedyMultiple places all objects with a joint bottom-up greedy sweep
+// (the natural extension of the MG heuristic): at every node, pending
+// requests of all objects are absorbed up to the shared capacity, objects
+// in round-robin order per node so no object starves. Like MG it is exact
+// on feasibility for the Multiple policy: it fails only if no placement
+// exists.
+func GreedyMultiple(mi *Instance) (*Solution, error) {
+	t := mi.Base.Tree
+	k := mi.Objects()
+	rrem := make([][]int64, k)
+	for o := 0; o < k; o++ {
+		rrem[o] = append([]int64(nil), mi.R[o]...)
+	}
+	sols := make([]*core.Solution, k)
+	for o := range sols {
+		sols[o] = core.NewSolution(t.Len())
+	}
+	// pending[v] lists (object, client) pairs with remaining requests in
+	// subtree(v).
+	type pc struct{ obj, client int }
+	pending := make([][]pc, t.Len())
+	for _, v := range t.PostOrder() {
+		if t.IsClient(v) {
+			for o := 0; o < k; o++ {
+				if rrem[o][v] > 0 {
+					pending[v] = append(pending[v], pc{o, v})
+				}
+			}
+			continue
+		}
+		var acc []pc
+		for _, c := range t.Children(v) {
+			acc = append(acc, pending[c]...)
+			pending[c] = nil
+		}
+		budget := mi.Base.W[v]
+		rest := acc[:0]
+		for _, e := range acc {
+			if budget == 0 {
+				rest = append(rest, e)
+				continue
+			}
+			take := rrem[e.obj][e.client]
+			if take > budget {
+				take = budget
+			}
+			sols[e.obj].AddPortion(e.client, v, take)
+			rrem[e.obj][e.client] -= take
+			budget -= take
+			if rrem[e.obj][e.client] > 0 {
+				rest = append(rest, e)
+			}
+		}
+		pending[v] = rest
+	}
+	if len(pending[t.Root()]) > 0 {
+		return nil, ErrNoSolution
+	}
+	return &Solution{PerObject: sols}, nil
+}
+
+// RationalBound solves the fully rational multi-object LP under the
+// Multiple policy — per-object replica variables x_{k,j} and assignment
+// variables y_{k,i,j}, coupled by shared capacity rows — and returns its
+// optimal value, a lower bound on any feasible placement's cost.
+func RationalBound(mi *Instance) (float64, error) {
+	t := mi.Base.Tree
+	k := mi.Objects()
+	type yv struct{ obj, client, server int }
+	var ys []yv
+	xCol := make(map[[2]int]int) // (obj, node) -> column
+	col := 0
+	for o := 0; o < k; o++ {
+		for _, j := range t.Internal() {
+			xCol[[2]int{o, j}] = col
+			col++
+		}
+	}
+	yStart := col
+	for o := 0; o < k; o++ {
+		for _, c := range t.Clients() {
+			if mi.R[o][c] == 0 {
+				continue
+			}
+			for _, a := range t.Ancestors(c) {
+				ys = append(ys, yv{o, c, a})
+			}
+		}
+	}
+	prob := lp.NewProblem(yStart + len(ys))
+	for o := 0; o < k; o++ {
+		for _, j := range t.Internal() {
+			c := xCol[[2]int{o, j}]
+			prob.SetObjective(c, float64(mi.S[o][j]))
+			prob.AddConstraint([]lp.Term{{Var: c, Coef: 1}}, lp.LE, 1)
+		}
+	}
+	// Coverage rows per (object, client); capacity rows per node coupling
+	// objects; replica-presence rows per (object, node).
+	byClient := map[[2]int][]int{}
+	byServer := map[[2]int][]int{} // (obj, server) -> y columns
+	nodeLoad := map[int][]lp.Term{}
+	for idx, y := range ys {
+		c := yStart + idx
+		byClient[[2]int{y.obj, y.client}] = append(byClient[[2]int{y.obj, y.client}], c)
+		byServer[[2]int{y.obj, y.server}] = append(byServer[[2]int{y.obj, y.server}], c)
+		nodeLoad[y.server] = append(nodeLoad[y.server], lp.Term{Var: c, Coef: 1})
+	}
+	for key, cols := range byClient {
+		terms := make([]lp.Term, len(cols))
+		for i, c := range cols {
+			terms[i] = lp.Term{Var: c, Coef: 1}
+		}
+		prob.AddConstraint(terms, lp.EQ, float64(mi.R[key[0]][key[1]]))
+	}
+	for _, j := range t.Internal() {
+		if terms := nodeLoad[j]; len(terms) > 0 {
+			prob.AddConstraint(terms, lp.LE, float64(mi.Base.W[j]))
+		}
+	}
+	for key, cols := range byServer {
+		terms := make([]lp.Term, 0, len(cols)+1)
+		for _, c := range cols {
+			terms = append(terms, lp.Term{Var: c, Coef: 1})
+		}
+		terms = append(terms, lp.Term{Var: xCol[[2]int{key[0], key[1]}], Coef: -float64(mi.Base.W[key[1]])})
+		prob.AddConstraint(terms, lp.LE, 0)
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return 0, err
+	}
+	switch sol.Status {
+	case lp.Optimal:
+		return sol.Value, nil
+	case lp.Infeasible:
+		return 0, ErrNoSolution
+	default:
+		return 0, fmt.Errorf("multiobject: unexpected LP status %v", sol.Status)
+	}
+}

@@ -1,0 +1,209 @@
+package multiobject
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// twoObjectInstance builds a small instance with 2 objects over a random
+// base tree.
+func twoObjectInstance(seed int64, lambda float64) *Instance {
+	base := gen.Instance(gen.Config{Internal: 5, Clients: 8, Lambda: lambda}, seed)
+	mi := New(base, 2)
+	rng := rand.New(rand.NewSource(seed))
+	for _, c := range base.Tree.Clients() {
+		// Split the base demand between the two objects.
+		r := base.R[c]
+		a := rng.Int63n(r + 1)
+		mi.R[0][c] = a
+		mi.R[1][c] = r - a
+		base.R[c] = 0
+	}
+	for _, j := range base.Tree.Internal() {
+		mi.S[0][j] = 1
+		mi.S[1][j] = 2
+	}
+	return mi
+}
+
+func TestValidateShapes(t *testing.T) {
+	mi := twoObjectInstance(1, 0.4)
+	if err := mi.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if mi.Objects() != 2 {
+		t.Errorf("Objects = %d", mi.Objects())
+	}
+	bad := New(mi.Base, 1)
+	bad.R[0] = bad.R[0][:2]
+	if err := bad.Validate(); err == nil {
+		t.Error("want shape error")
+	}
+	neg := twoObjectInstance(2, 0.4)
+	neg.R[0][neg.Base.Tree.Clients()[0]] = -1
+	if err := neg.Validate(); err == nil {
+		t.Error("want negativity error")
+	}
+	onNode := twoObjectInstance(3, 0.4)
+	onNode.R[0][onNode.Base.Tree.Internal()[0]] = 5
+	if err := onNode.Validate(); err == nil {
+		t.Error("want internal-requests error")
+	}
+}
+
+func TestGreedyMultipleValid(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		mi := twoObjectInstance(seed, 0.4)
+		sol, err := GreedyMultiple(mi)
+		if errors.Is(err, ErrNoSolution) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if verr := sol.Validate(mi, core.Multiple); verr != nil {
+			t.Fatalf("seed %d: invalid solution: %v", seed, verr)
+		}
+		if sol.Cost(mi) <= 0 {
+			t.Errorf("seed %d: non-positive cost", seed)
+		}
+	}
+}
+
+// TestGreedyFeasibilityMatchesSingleObject: with all demand on one object,
+// the multi-object greedy agrees with the single-object MG on feasibility.
+func TestGreedyFeasibilityMatchesSingleObject(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		base := gen.Instance(gen.Config{Internal: 5, Clients: 8, Lambda: 0.8}, seed+100)
+		mi := New(base.Clone(), 1)
+		for _, c := range base.Tree.Clients() {
+			mi.R[0][c] = base.R[c]
+			mi.Base.R[c] = 0
+		}
+		for _, j := range base.Tree.Internal() {
+			mi.S[0][j] = 1
+		}
+		_, merr := GreedyMultiple(mi)
+
+		single := base.Clone()
+		var mgOK bool
+		{
+			// Use the LP-free feasibility check: greedy absorb per node.
+			t := single.Tree
+			rrem := append([]int64(nil), single.R...)
+			pending := make([]int64, t.Len())
+			for _, v := range t.PostOrder() {
+				if t.IsClient(v) {
+					pending[v] = rrem[v]
+					continue
+				}
+				var sum int64
+				for _, c := range t.Children(v) {
+					sum += pending[c]
+				}
+				take := sum
+				if take > single.W[v] {
+					take = single.W[v]
+				}
+				pending[v] = sum - take
+			}
+			mgOK = pending[t.Root()] == 0
+		}
+		if (merr == nil) != mgOK {
+			t.Fatalf("seed %d: multi err=%v, single feasible=%v", seed, merr, mgOK)
+		}
+	}
+}
+
+// TestSharedCapacityCoupling: two objects that fit individually but not
+// together must be infeasible.
+func TestSharedCapacityCoupling(t *testing.T) {
+	in := core.Figure1('a') // chain s2 -> s1 -> client, W = 1
+	mi := New(in, 2)
+	c := in.Tree.Clients()[0]
+	in.R[c] = 0
+	mi.R[0][c] = 1
+	mi.R[1][c] = 2 // total 3 > combined capacity 2
+	for _, j := range in.Tree.Internal() {
+		mi.S[0][j], mi.S[1][j] = 1, 1
+	}
+	if _, err := GreedyMultiple(mi); !errors.Is(err, ErrNoSolution) {
+		t.Errorf("want ErrNoSolution, got %v", err)
+	}
+	mi.R[1][c] = 1 // total 2 fits exactly
+	sol, err := GreedyMultiple(mi)
+	if err != nil {
+		t.Fatalf("should fit: %v", err)
+	}
+	if verr := sol.Validate(mi, core.Multiple); verr != nil {
+		t.Fatal(verr)
+	}
+}
+
+func TestValidateCatchesSharedOverload(t *testing.T) {
+	in := core.Figure1('a')
+	mi := New(in, 2)
+	c := in.Tree.Clients()[0]
+	in.R[c] = 0
+	mi.R[0][c] = 1
+	mi.R[1][c] = 1
+	for _, j := range in.Tree.Internal() {
+		mi.S[0][j], mi.S[1][j] = 1, 1
+	}
+	// Both objects piled on the same node exceed shared W = 1.
+	var s1 int
+	for _, j := range in.Tree.Internal() {
+		if j != in.Tree.Root() {
+			s1 = j
+		}
+	}
+	bad := &Solution{PerObject: []*core.Solution{
+		core.NewSolution(in.Tree.Len()), core.NewSolution(in.Tree.Len()),
+	}}
+	bad.PerObject[0].AddPortion(c, s1, 1)
+	bad.PerObject[1].AddPortion(c, s1, 1)
+	if err := bad.Validate(mi, core.Multiple); err == nil {
+		t.Error("want shared-capacity error")
+	}
+}
+
+func TestRationalBound(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		mi := twoObjectInstance(seed+50, 0.5)
+		sol, err := GreedyMultiple(mi)
+		if errors.Is(err, ErrNoSolution) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RationalBound(mi)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if b > float64(sol.Cost(mi))+1e-6 {
+			t.Errorf("seed %d: bound %v exceeds greedy cost %d", seed, b, sol.Cost(mi))
+		}
+		if b < 0 {
+			t.Errorf("seed %d: negative bound %v", seed, b)
+		}
+	}
+}
+
+func TestRationalBoundInfeasible(t *testing.T) {
+	in := core.Figure1('a')
+	mi := New(in, 1)
+	c := in.Tree.Clients()[0]
+	in.R[c] = 0
+	mi.R[0][c] = 100
+	for _, j := range in.Tree.Internal() {
+		mi.S[0][j] = 1
+	}
+	if _, err := RationalBound(mi); !errors.Is(err, ErrNoSolution) {
+		t.Errorf("want ErrNoSolution, got %v", err)
+	}
+}

@@ -1,0 +1,166 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/heuristics"
+)
+
+func TestAssignGreedyMatchesMGFeasibility(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		in := gen.Instance(gen.Config{
+			Internal: 5, Clients: 8,
+			Lambda: 0.3 + float64(seed%7)/10.0,
+		}, seed)
+		all := make([]bool, in.Tree.Len())
+		for _, j := range in.Tree.Internal() {
+			all[j] = true
+		}
+		sol, err := AssignGreedy(in, all)
+		_, mgErr := heuristics.MG(in)
+		if (err == nil) != (mgErr == nil) {
+			t.Fatalf("seed %d: AssignGreedy err=%v, MG err=%v", seed, err, mgErr)
+		}
+		if err == nil {
+			if verr := sol.Validate(in, core.Multiple); verr != nil {
+				t.Fatalf("seed %d: %v", seed, verr)
+			}
+		}
+	}
+}
+
+func TestAssignGreedyRespectsQoS(t *testing.T) {
+	in := gen.Instance(gen.Config{Internal: 5, Clients: 8, Lambda: 0.4, QoSRange: 2}, 3)
+	all := make([]bool, in.Tree.Len())
+	for _, j := range in.Tree.Internal() {
+		all[j] = true
+	}
+	sol, err := AssignGreedy(in, all)
+	if errors.Is(err, ErrNoSolution) {
+		t.Skip("instance infeasible under QoS")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verr := sol.Validate(in, core.Multiple); verr != nil {
+		t.Fatalf("QoS violated: %v", verr)
+	}
+}
+
+func TestImproveNeverWorsens(t *testing.T) {
+	models := []core.CostModel{
+		core.StorageOnly,
+		{Alpha: 1, Beta: 0.5},
+		{Alpha: 1, Beta: 0.2, Gamma: 2},
+		{Beta: 1},
+	}
+	for seed := int64(0); seed < 30; seed++ {
+		in := gen.Instance(gen.Config{Internal: 6, Clients: 10, Lambda: 0.4}, seed+40)
+		start, err := heuristics.MG(in)
+		if err != nil {
+			continue
+		}
+		for _, m := range models {
+			res, err := Improve(in, start, Options{Model: m})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if res.Cost > m.Cost(in, start)+1e-9 {
+				t.Errorf("seed %d model %+v: improved cost %v worse than start %v",
+					seed, m, res.Cost, m.Cost(in, start))
+			}
+			if verr := res.Solution.Validate(in, core.Multiple); verr != nil {
+				t.Fatalf("seed %d: invalid improved solution: %v", seed, verr)
+			}
+		}
+	}
+}
+
+// TestImproveReachesBruteForceOften: on small instances, local search from
+// MG lands within 15% of the exhaustive optimum of the combined
+// objective, and frequently matches it exactly.
+func TestImproveReachesBruteForceOften(t *testing.T) {
+	model := core.CostModel{Alpha: 1, Beta: 0.3, Gamma: 1}
+	exactHits, trials := 0, 0
+	for seed := int64(0); seed < 25; seed++ {
+		in := gen.Instance(gen.Config{Internal: 4, Clients: 6, Lambda: 0.4}, seed+90)
+		_, bfCost, err := BruteForceCombined(in, model)
+		if errors.Is(err, ErrNoSolution) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ImproveFromHeuristic(in, heuristics.MG, Options{Model: model})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		trials++
+		if res.Cost < bfCost-1e-6 {
+			t.Fatalf("seed %d: local search %v beat brute force %v (bug in one of them)",
+				seed, res.Cost, bfCost)
+		}
+		if math.Abs(res.Cost-bfCost) < 1e-6 {
+			exactHits++
+		} else if res.Cost > 1.15*bfCost {
+			t.Errorf("seed %d: local search %v vs optimum %v (> 15%% off)", seed, res.Cost, bfCost)
+		}
+	}
+	if trials > 0 && exactHits*2 < trials {
+		t.Errorf("local search matched the optimum on only %d/%d instances", exactHits, trials)
+	}
+}
+
+// TestImproveTradeoff: raising the read-cost weight pulls replicas toward
+// the clients (read cost falls, storage cost may rise).
+func TestImproveTradeoff(t *testing.T) {
+	in := gen.Instance(gen.Config{Internal: 8, Clients: 16, Lambda: 0.3, UnitCosts: true}, 77)
+	start, err := heuristics.MG(in)
+	if err != nil {
+		t.Skip("infeasible")
+	}
+	storageOpt, err := Improve(in, start, Options{Model: core.StorageOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	readHeavy, err := Improve(in, start, Options{Model: core.CostModel{Alpha: 0.01, Beta: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readHeavy.Solution.ReadCost(in) > storageOpt.Solution.ReadCost(in) {
+		t.Errorf("read-heavy model yields higher read cost (%d) than storage model (%d)",
+			readHeavy.Solution.ReadCost(in), storageOpt.Solution.ReadCost(in))
+	}
+}
+
+func TestImproveFromHeuristicFallback(t *testing.T) {
+	// UTD fails on Figure 1(c) (needs splitting); the fallback placement
+	// still gives Improve a start.
+	in := core.Figure1('c')
+	res, err := ImproveFromHeuristic(in, heuristics.UTD, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verr := res.Solution.Validate(in, core.Multiple); verr != nil {
+		t.Fatal(verr)
+	}
+	if res.Solution.ReplicaCount() != 2 {
+		t.Errorf("replicas = %d, want 2", res.Solution.ReplicaCount())
+	}
+}
+
+func TestBruteForceCombinedLimits(t *testing.T) {
+	in := gen.Instance(gen.Config{Internal: 19, Clients: 5}, 1)
+	if _, _, err := BruteForceCombined(in, core.StorageOnly); err == nil {
+		t.Error("want size-limit error")
+	}
+	over := core.Figure1('a')
+	over.R[over.Tree.Clients()[0]] = 100
+	if _, _, err := BruteForceCombined(over, core.StorageOnly); !errors.Is(err, ErrNoSolution) {
+		t.Errorf("want ErrNoSolution, got %v", err)
+	}
+}

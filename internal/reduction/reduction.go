@@ -1,0 +1,282 @@
+// Package reduction implements the NP-hardness gadgets of Section 4
+// constructively: the 3-PARTITION reduction behind Theorem 2 (Upwards is
+// NP-complete on homogeneous platforms, Figure 7) and the 2-PARTITION
+// reduction behind Theorem 3 (all policies are NP-complete on
+// heterogeneous platforms, Figure 8). Each gadget maps instances forward,
+// maps solutions backward, and is verified in both directions by the
+// tests, which is as close as executable code gets to "reproducing" a
+// complexity table.
+package reduction
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/tree"
+)
+
+// ThreePartition is a 3-PARTITION instance: 3m integers with sum m·B,
+// each in (B/4, B/2); the question is whether they split into m triples
+// of sum B.
+type ThreePartition struct {
+	A []int64
+	B int64
+}
+
+// NewThreePartition validates and wraps the integers. It requires
+// len(a) = 3m, Σa = mB and B/4 < a_i < B/2 (the strong NP-completeness
+// preconditions).
+func NewThreePartition(a []int64) (*ThreePartition, error) {
+	if len(a) == 0 || len(a)%3 != 0 {
+		return nil, fmt.Errorf("reduction: need 3m integers, got %d", len(a))
+	}
+	m := int64(len(a) / 3)
+	var sum int64
+	for _, v := range a {
+		sum += v
+	}
+	if sum%m != 0 {
+		return nil, fmt.Errorf("reduction: sum %d not divisible by m=%d", sum, m)
+	}
+	b := sum / m
+	for _, v := range a {
+		if 4*v <= b || 2*v >= b {
+			return nil, fmt.Errorf("reduction: %d outside (B/4, B/2) for B=%d", v, b)
+		}
+	}
+	return &ThreePartition{A: append([]int64(nil), a...), B: b}, nil
+}
+
+// UpwardsGadget is the Theorem 2 construction plus its bookkeeping.
+type UpwardsGadget struct {
+	Instance *core.Instance
+	Part     *ThreePartition
+	// Clients[i] is the vertex of the client carrying a_i requests.
+	Clients []int
+	// Nodes[j] is the j-th chain node (all of capacity B); Nodes[0] is the
+	// deepest (the parent of all clients), Nodes[m-1] the root.
+	Nodes []int
+	// TargetCost is the storage cost bound of the decision question (mB).
+	TargetCost int64
+}
+
+// BuildUpwards constructs the Figure 7 platform: a chain of m nodes with
+// capacity and storage cost B, the deepest of which parents all 3m
+// clients. The 3-PARTITION instance is a yes-instance iff the Replica
+// Cost / Upwards decision problem with bound mB is.
+func BuildUpwards(p *ThreePartition) *UpwardsGadget {
+	m := len(p.A) / 3
+	b := tree.NewBuilder()
+	nodes := make([]int, m)
+	nodes[m-1] = b.AddRoot() // n_m
+	for j := m - 2; j >= 0; j-- {
+		nodes[j] = b.AddNode(nodes[j+1])
+	}
+	clients := make([]int, len(p.A))
+	for i := range p.A {
+		clients[i] = b.AddClient(nodes[0])
+	}
+	in := core.NewInstance(b.MustBuild())
+	for _, n := range nodes {
+		in.W[n] = p.B
+		in.S[n] = p.B
+	}
+	for i, c := range clients {
+		in.R[c] = p.A[i]
+	}
+	return &UpwardsGadget{
+		Instance:   in,
+		Part:       p,
+		Clients:    clients,
+		Nodes:      nodes,
+		TargetCost: int64(m) * p.B,
+	}
+}
+
+// SolutionFromTriples turns a 3-PARTITION certificate (triples[k] lists
+// the indices of the k-th triple) into an Upwards solution of cost mB.
+func (g *UpwardsGadget) SolutionFromTriples(triples [][]int) (*core.Solution, error) {
+	m := len(g.Nodes)
+	if len(triples) != m {
+		return nil, fmt.Errorf("reduction: %d triples for m=%d", len(triples), m)
+	}
+	sol := core.NewSolution(g.Instance.Tree.Len())
+	seen := make([]bool, len(g.Clients))
+	for k, tr := range triples {
+		var sum int64
+		for _, i := range tr {
+			if i < 0 || i >= len(g.Clients) || seen[i] {
+				return nil, fmt.Errorf("reduction: bad index %d in triple %d", i, k)
+			}
+			seen[i] = true
+			sum += g.Part.A[i]
+			sol.AddPortion(g.Clients[i], g.Nodes[k], g.Part.A[i])
+		}
+		if sum != g.Part.B {
+			return nil, fmt.Errorf("reduction: triple %d sums to %d, want %d", k, sum, g.Part.B)
+		}
+	}
+	return sol, nil
+}
+
+// TriplesFromSolution extracts a 3-PARTITION certificate from any valid
+// Upwards solution of cost at most mB (the Theorem 2 backward direction).
+func (g *UpwardsGadget) TriplesFromSolution(sol *core.Solution) ([][]int, error) {
+	in := g.Instance
+	if err := sol.Validate(in, core.Upwards); err != nil {
+		return nil, fmt.Errorf("reduction: invalid solution: %w", err)
+	}
+	if c := sol.StorageCost(in); c > g.TargetCost {
+		return nil, fmt.Errorf("reduction: cost %d exceeds target %d", c, g.TargetCost)
+	}
+	nodeIdx := make(map[int]int, len(g.Nodes))
+	for j, n := range g.Nodes {
+		nodeIdx[n] = j
+	}
+	groups := make([][]int, len(g.Nodes))
+	for i, c := range g.Clients {
+		ps := sol.Assign[c]
+		if len(ps) != 1 {
+			return nil, fmt.Errorf("reduction: client %d not single-served", c)
+		}
+		groups[nodeIdx[ps[0].Server]] = append(groups[nodeIdx[ps[0].Server]], i)
+	}
+	for j, grp := range groups {
+		if len(grp) != 3 {
+			return nil, fmt.Errorf("reduction: node %d serves %d clients, want 3", j, len(grp))
+		}
+	}
+	return groups, nil
+}
+
+// TwoPartition is a 2-PARTITION instance: does a subset of A sum to S/2?
+type TwoPartition struct {
+	A []int64
+	S int64 // ΣA, must be even for a yes-instance to exist
+}
+
+// NewTwoPartition wraps the integers (all positive, even total). An odd
+// total is rejected: such instances are trivially no-instances and the
+// Figure 8 gadget — which uses S/2 exactly — is only faithful for even S.
+func NewTwoPartition(a []int64) (*TwoPartition, error) {
+	if len(a) == 0 {
+		return nil, errors.New("reduction: empty 2-PARTITION instance")
+	}
+	var sum int64
+	for _, v := range a {
+		if v <= 0 {
+			return nil, fmt.Errorf("reduction: non-positive value %d", v)
+		}
+		sum += v
+	}
+	if sum%2 != 0 {
+		return nil, fmt.Errorf("reduction: odd total %d is a trivial no-instance", sum)
+	}
+	return &TwoPartition{A: append([]int64(nil), a...), S: sum}, nil
+}
+
+// CostGadget is the Theorem 3 construction.
+type CostGadget struct {
+	Instance *core.Instance
+	Part     *TwoPartition
+	// Nodes[i] is the node above client i with W = s = a_i; Root has
+	// W = s = S/2 + 1; ExtraClient is the unit client under the root.
+	Nodes       []int
+	Clients     []int
+	Root        int
+	ExtraClient int
+	// TargetCost is the decision bound S + 1.
+	TargetCost int64
+}
+
+// BuildCost constructs the Figure 8 platform: the root (capacity and cost
+// S/2+1) parents m nodes n_i (capacity and cost a_i, each with one client
+// of a_i requests) plus one unit client. The 2-PARTITION instance is a
+// yes-instance iff Replica Cost with bound S+1 is — under Closest and
+// under Multiple alike.
+func BuildCost(p *TwoPartition) *CostGadget {
+	b := tree.NewBuilder()
+	root := b.AddRoot()
+	extra := b.AddClient(root)
+	nodes := make([]int, len(p.A))
+	clients := make([]int, len(p.A))
+	for i := range p.A {
+		nodes[i] = b.AddNode(root)
+		clients[i] = b.AddClient(nodes[i])
+	}
+	in := core.NewInstance(b.MustBuild())
+	in.W[root] = p.S/2 + 1
+	in.S[root] = p.S/2 + 1
+	in.R[extra] = 1
+	for i := range p.A {
+		in.W[nodes[i]] = p.A[i]
+		in.S[nodes[i]] = p.A[i]
+		in.R[clients[i]] = p.A[i]
+	}
+	return &CostGadget{
+		Instance:    in,
+		Part:        p,
+		Nodes:       nodes,
+		Clients:     clients,
+		Root:        root,
+		ExtraClient: extra,
+		TargetCost:  p.S + 1,
+	}
+}
+
+// SolutionFromSubset turns a subset I with Σ_{i∈I} a_i = S/2 into a
+// placement of cost S+1 valid for both Closest and Multiple: replicas on
+// {n_i : i ∈ I} and the root.
+func (g *CostGadget) SolutionFromSubset(subset []int) (*core.Solution, error) {
+	inSet := make([]bool, len(g.Part.A))
+	var sum int64
+	for _, i := range subset {
+		if i < 0 || i >= len(g.Part.A) || inSet[i] {
+			return nil, fmt.Errorf("reduction: bad subset index %d", i)
+		}
+		inSet[i] = true
+		sum += g.Part.A[i]
+	}
+	if 2*sum != g.Part.S {
+		return nil, fmt.Errorf("reduction: subset sums to %d, want %d", sum, g.Part.S/2)
+	}
+	sol := core.NewSolution(g.Instance.Tree.Len())
+	sol.AddPortion(g.ExtraClient, g.Root, 1)
+	for i := range g.Part.A {
+		if inSet[i] {
+			sol.AddPortion(g.Clients[i], g.Nodes[i], g.Part.A[i])
+		} else {
+			sol.AddPortion(g.Clients[i], g.Root, g.Part.A[i])
+		}
+	}
+	return sol, nil
+}
+
+// SubsetFromSolution extracts a 2-PARTITION certificate from any valid
+// solution of cost at most S+1 under the given policy (Closest, Upwards
+// or Multiple — the Theorem 3 argument covers all three).
+func (g *CostGadget) SubsetFromSolution(sol *core.Solution, p core.Policy) ([]int, error) {
+	in := g.Instance
+	if err := sol.Validate(in, p); err != nil {
+		return nil, fmt.Errorf("reduction: invalid solution: %w", err)
+	}
+	if c := sol.StorageCost(in); c > g.TargetCost {
+		return nil, fmt.Errorf("reduction: cost %d exceeds target %d", c, g.TargetCost)
+	}
+	if !sol.IsReplica(g.Root) {
+		return nil, errors.New("reduction: root must hold a replica (unit client)")
+	}
+	var subset []int
+	var sum int64
+	for i := range g.Part.A {
+		if sol.IsReplica(g.Nodes[i]) {
+			subset = append(subset, i)
+			sum += g.Part.A[i]
+		}
+	}
+	if 2*sum != g.Part.S {
+		return nil, fmt.Errorf("reduction: replica subset sums to %d, want %d", sum, g.Part.S/2)
+	}
+	return subset, nil
+}

@@ -1,0 +1,274 @@
+package reduction
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+)
+
+// solve3Partition decides 3-PARTITION by exhaustive search, returning the
+// triples of a yes-instance.
+func solve3Partition(p *ThreePartition) [][]int {
+	m := len(p.A) / 3
+	used := make([]bool, len(p.A))
+	triples := make([][]int, 0, m)
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == m {
+			return true
+		}
+		// First unused index anchors the triple (canonical order).
+		first := -1
+		for i, u := range used {
+			if !u {
+				first = i
+				break
+			}
+		}
+		used[first] = true
+		for j := first + 1; j < len(p.A); j++ {
+			if used[j] {
+				continue
+			}
+			used[j] = true
+			for l := j + 1; l < len(p.A); l++ {
+				if used[l] || p.A[first]+p.A[j]+p.A[l] != p.B {
+					continue
+				}
+				used[l] = true
+				triples = append(triples, []int{first, j, l})
+				if rec(k + 1) {
+					return true
+				}
+				triples = triples[:len(triples)-1]
+				used[l] = false
+			}
+			used[j] = false
+		}
+		used[first] = false
+		return false
+	}
+	if rec(0) {
+		return triples
+	}
+	return nil
+}
+
+// solve2Partition decides 2-PARTITION exhaustively.
+func solve2Partition(p *TwoPartition) []int {
+	if p.S%2 != 0 {
+		return nil
+	}
+	n := len(p.A)
+	for mask := 1; mask < 1<<n; mask++ {
+		var sum int64
+		var subset []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sum += p.A[i]
+				subset = append(subset, i)
+			}
+		}
+		if 2*sum == p.S {
+			return subset
+		}
+	}
+	return nil
+}
+
+func TestNewThreePartitionValidation(t *testing.T) {
+	if _, err := NewThreePartition([]int64{1, 2}); err == nil {
+		t.Error("want error for non-3m length")
+	}
+	if _, err := NewThreePartition([]int64{10, 10, 10, 10, 10, 11}); err == nil {
+		t.Error("want error for non-divisible sum")
+	}
+	// 3, 3, 3: B = 9 but 3 > 9/4 ok... 2*3=6 < 9 ok -> valid single triple.
+	if _, err := NewThreePartition([]int64{3, 3, 3}); err != nil {
+		t.Errorf("balanced triple rejected: %v", err)
+	}
+	// Out-of-range element (a_i >= B/2).
+	if _, err := NewThreePartition([]int64{1, 4, 4}); err == nil {
+		t.Error("want error for element >= B/2")
+	}
+}
+
+// TestReduction3PartitionForward: a yes 3-PARTITION certificate maps to a
+// valid Upwards solution of cost exactly mB.
+func TestReduction3PartitionForward(t *testing.T) {
+	p, err := NewThreePartition([]int64{10, 11, 12, 10, 10, 13, 9, 11, 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildUpwards(p)
+	triples := solve3Partition(p)
+	if triples == nil {
+		t.Fatal("instance should be solvable")
+	}
+	sol, err := g.SolutionFromTriples(triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verr := sol.Validate(g.Instance, core.Upwards); verr != nil {
+		t.Fatalf("invalid gadget solution: %v", verr)
+	}
+	if c := sol.StorageCost(g.Instance); c != g.TargetCost {
+		t.Errorf("cost = %d, want %d", c, g.TargetCost)
+	}
+	// And back again.
+	back, err := g.TriplesFromSolution(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(triples) {
+		t.Errorf("round trip lost triples")
+	}
+}
+
+// TestReduction3PartitionEquivalence: on random small instances, the
+// 3-PARTITION answer matches whether the gadget's optimal Upwards cost
+// meets the bound mB.
+func TestReduction3PartitionEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tested := 0
+	for tested < 25 {
+		// Random m=2..3, values near B/3 so the (B/4, B/2) window holds.
+		m := 2 + rng.Intn(2)
+		base := int64(30)
+		a := make([]int64, 3*m)
+		var sum int64
+		for i := range a {
+			a[i] = base + int64(rng.Intn(9)-4)
+			sum += a[i]
+		}
+		// Adjust the last value so the sum is divisible by m.
+		a[len(a)-1] -= sum % int64(m)
+		p, err := NewThreePartition(a)
+		if err != nil {
+			continue
+		}
+		tested++
+		g := BuildUpwards(p)
+		direct := solve3Partition(p) != nil
+		sol, err := exact.BruteForce(g.Instance, core.Upwards)
+		viaGadget := err == nil && sol.StorageCost(g.Instance) <= g.TargetCost
+		if direct != viaGadget {
+			t.Fatalf("a=%v: 3-PARTITION=%v but gadget=%v", a, direct, viaGadget)
+		}
+		if viaGadget {
+			if _, err := g.TriplesFromSolution(sol); err != nil {
+				t.Fatalf("a=%v: certificate extraction failed: %v", a, err)
+			}
+		}
+	}
+}
+
+func TestNewTwoPartitionValidation(t *testing.T) {
+	if _, err := NewTwoPartition(nil); err == nil {
+		t.Error("want error for empty instance")
+	}
+	if _, err := NewTwoPartition([]int64{3, -1}); err == nil {
+		t.Error("want error for negative value")
+	}
+	if _, err := NewTwoPartition([]int64{1, 2}); err == nil {
+		t.Error("want error for odd total")
+	}
+}
+
+// TestReduction2PartitionForward: a subset certificate maps to a valid
+// solution of cost S+1 for both Closest and Multiple.
+func TestReduction2PartitionForward(t *testing.T) {
+	p, err := NewTwoPartition([]int64{3, 1, 1, 2, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildCost(p)
+	subset := solve2Partition(p)
+	if subset == nil {
+		t.Fatal("instance should be solvable")
+	}
+	sol, err := g.SolutionFromSubset(subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []core.Policy{core.Closest, core.Upwards, core.Multiple} {
+		if verr := sol.Validate(g.Instance, pol); verr != nil {
+			t.Errorf("%v: %v", pol, verr)
+		}
+	}
+	if c := sol.StorageCost(g.Instance); c != g.TargetCost {
+		t.Errorf("cost = %d, want %d", c, g.TargetCost)
+	}
+	if _, err := g.SubsetFromSolution(sol, core.Closest); err != nil {
+		t.Errorf("subset extraction: %v", err)
+	}
+}
+
+// TestReduction2PartitionEquivalence: the 2-PARTITION answer matches
+// whether the gadget's optimal cost meets S+1, for Closest and Multiple.
+func TestReduction2PartitionEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(4)
+		a := make([]int64, n)
+		var sum int64
+		for i := range a {
+			a[i] = 1 + int64(rng.Intn(6))
+			sum += a[i]
+		}
+		if sum%2 != 0 {
+			a[0]++ // force an even total: the gadget requires it
+		}
+		p, err := NewTwoPartition(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := BuildCost(p)
+		direct := solve2Partition(p) != nil
+		for _, pol := range []core.Policy{core.Closest, core.Multiple} {
+			sol, err := exact.BruteForce(g.Instance, pol)
+			viaGadget := err == nil && sol.StorageCost(g.Instance) <= g.TargetCost
+			if direct != viaGadget {
+				t.Fatalf("a=%v %v: 2-PARTITION=%v but gadget=%v (cost %v)",
+					a, pol, direct, viaGadget, sol)
+			}
+			if viaGadget {
+				if _, err := g.SubsetFromSolution(sol, pol); err != nil {
+					t.Fatalf("a=%v %v: certificate extraction failed: %v", a, pol, err)
+				}
+			}
+		}
+	}
+}
+
+func TestGadgetErrorPaths(t *testing.T) {
+	p, _ := NewThreePartition([]int64{3, 3, 3})
+	g := BuildUpwards(p)
+	if _, err := g.SolutionFromTriples([][]int{{0, 1}}); err == nil {
+		t.Error("want error for wrong triple count")
+	}
+	if _, err := g.SolutionFromTriples([][]int{{0, 0, 1}}); err == nil {
+		t.Error("want error for repeated index")
+	}
+	if _, err := g.SolutionFromTriples([][]int{{0, 1, 2}}); err != nil {
+		t.Errorf("valid triple rejected: %v", err)
+	}
+
+	p2, _ := NewTwoPartition([]int64{2, 2})
+	g2 := BuildCost(p2)
+	if _, err := g2.SolutionFromSubset([]int{0, 1}); err == nil {
+		t.Error("want error for over-full subset")
+	}
+	if _, err := g2.SolutionFromSubset([]int{7}); err == nil {
+		t.Error("want error for bad index")
+	}
+	sol, err := g2.SolutionFromSubset([]int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g2.SubsetFromSolution(sol, core.Multiple); err != nil {
+		t.Errorf("extraction failed: %v", err)
+	}
+}

@@ -1,0 +1,104 @@
+// Package render draws problem instances and solutions as ASCII trees,
+// for CLI output and debugging. A rendered vertex shows its id, kind,
+// parameters and — when a solution is supplied — its replica marker and
+// assigned load.
+package render
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Options controls rendering.
+type Options struct {
+	// Solution, when non-nil, annotates replicas and loads.
+	Solution *core.Solution
+	// ShowQoS and ShowBandwidth include the optional constraint fields.
+	ShowQoS       bool
+	ShowBandwidth bool
+}
+
+// Tree writes the instance as an indented ASCII tree:
+//
+//	n0 [W=10 s=1] *replica load=7/10
+//	├── n1 [W=10 s=1]
+//	│   └── c3 (r=5) -> {n0:5}
+//	└── c2 (r=2) -> {n0:2}
+func Tree(w io.Writer, in *core.Instance, opts Options) error {
+	var loads []int64
+	if opts.Solution != nil {
+		loads = opts.Solution.ServerLoads(in.Tree.Len())
+	}
+	var sb strings.Builder
+	var walk func(v int, prefix string, last bool)
+	walk = func(v int, prefix string, isLast bool) {
+		connector := "├── "
+		childPrefix := prefix + "│   "
+		if isLast {
+			connector = "└── "
+			childPrefix = prefix + "    "
+		}
+		if v == in.Tree.Root() {
+			connector, childPrefix = "", ""
+		}
+		sb.WriteString(prefix + connector + vertexLabel(in, v, opts, loads) + "\n")
+		kids := in.Tree.Children(v)
+		for i, c := range kids {
+			walk(c, childPrefix, i == len(kids)-1)
+		}
+	}
+	walk(in.Tree.Root(), "", true)
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func vertexLabel(in *core.Instance, v int, opts Options, loads []int64) string {
+	t := in.Tree
+	var b strings.Builder
+	if t.IsClient(v) {
+		fmt.Fprintf(&b, "c%d (r=%d)", v, in.R[v])
+		if opts.ShowQoS && in.Q != nil && in.Q[v] != core.NoQoS {
+			fmt.Fprintf(&b, " q=%d", in.Q[v])
+		}
+		if opts.Solution != nil && len(opts.Solution.Assign[v]) > 0 {
+			b.WriteString(" -> {")
+			for i, p := range opts.Solution.Assign[v] {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "n%d:%d", p.Server, p.Load)
+			}
+			b.WriteString("}")
+		}
+	} else {
+		fmt.Fprintf(&b, "n%d [W=%d s=%d]", v, in.W[v], in.S[v])
+		if opts.Solution != nil && opts.Solution.IsReplica(v) {
+			fmt.Fprintf(&b, " *replica load=%d/%d", loads[v], in.W[v])
+		}
+	}
+	if opts.ShowBandwidth && in.BW != nil && v != t.Root() && in.BW[v] != core.NoBandwidth {
+		fmt.Fprintf(&b, " bw=%d", in.BW[v])
+	}
+	return b.String()
+}
+
+// Summary writes a one-paragraph description of a solution: cost,
+// replica count, per-replica utilization.
+func Summary(w io.Writer, in *core.Instance, sol *core.Solution) error {
+	loads := sol.ServerLoads(in.Tree.Len())
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "storage cost %d, %d replicas, read cost %d, update cost %d\n",
+		sol.StorageCost(in), sol.ReplicaCount(), sol.ReadCost(in), sol.UpdateCost(in))
+	for _, s := range sol.Replicas() {
+		util := 0.0
+		if in.W[s] > 0 {
+			util = 100 * float64(loads[s]) / float64(in.W[s])
+		}
+		fmt.Fprintf(&sb, "  n%-4d load %6d / %-6d (%5.1f%%)\n", s, loads[s], in.W[s], util)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,82 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/gen"
+)
+
+func TestTreeBasic(t *testing.T) {
+	in, _ := core.Figure6()
+	var sb strings.Builder
+	if err := Tree(&sb, in, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"n0 [W=10 s=1]", "├──", "└──", "(r=15)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// One line per vertex.
+	if got := strings.Count(out, "\n"); got != in.Tree.Len() {
+		t.Errorf("lines = %d, want %d", got, in.Tree.Len())
+	}
+}
+
+func TestTreeWithSolution(t *testing.T) {
+	in, _ := core.Figure6()
+	sol, err := exact.MultipleHomogeneous(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Tree(&sb, in, Options{Solution: sol}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "*replica") != sol.ReplicaCount() {
+		t.Errorf("replica markers = %d, want %d:\n%s",
+			strings.Count(out, "*replica"), sol.ReplicaCount(), out)
+	}
+	if !strings.Contains(out, "-> {") {
+		t.Errorf("missing assignments:\n%s", out)
+	}
+}
+
+func TestTreeConstraintAnnotations(t *testing.T) {
+	in := gen.Instance(gen.Config{Internal: 4, Clients: 5, QoSRange: 2, BWFactor: 0.5}, 1)
+	var sb strings.Builder
+	if err := Tree(&sb, in, Options{ShowQoS: true, ShowBandwidth: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, " q=") || !strings.Contains(out, " bw=") {
+		t.Errorf("missing constraint annotations:\n%s", out)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	in, _ := core.Figure6()
+	sol, err := exact.MultipleHomogeneous(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Summary(&sb, in, sol); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "storage cost 6") {
+		t.Errorf("missing cost line:\n%s", out)
+	}
+	if got := strings.Count(out, "n"); got < sol.ReplicaCount() {
+		t.Errorf("missing per-replica lines:\n%s", out)
+	}
+	if !strings.Contains(out, "100.0%") { // pass-1 saturated replicas
+		t.Errorf("expected a fully utilized replica:\n%s", out)
+	}
+}

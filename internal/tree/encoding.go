@@ -1,0 +1,70 @@
+package tree
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// jsonTree is the wire format of a Tree: a parent array (None == -1 for the
+// root) and a parallel client-flag array.
+type jsonTree struct {
+	Parents  []int  `json:"parents"`
+	IsClient []bool `json:"is_client"`
+}
+
+// MarshalJSON encodes the tree as {"parents": [...], "is_client": [...]}.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonTree{Parents: t.parent, IsClient: t.isClient})
+}
+
+// UnmarshalJSON decodes and validates a tree produced by MarshalJSON.
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	var jt jsonTree
+	if err := json.Unmarshal(data, &jt); err != nil {
+		return err
+	}
+	nt, err := FromParents(jt.Parents, jt.IsClient)
+	if err != nil {
+		return err
+	}
+	*t = *nt
+	return nil
+}
+
+// WriteDOT writes the tree in Graphviz DOT format. Internal vertices are
+// boxes labeled "nID"; clients are circles labeled "cID". label, if non-nil,
+// supplies an extra annotation per vertex.
+func (t *Tree) WriteDOT(w io.Writer, label func(v int) string) error {
+	var sb strings.Builder
+	sb.WriteString("digraph tree {\n  rankdir=BT;\n")
+	for v := 0; v < t.Len(); v++ {
+		extra := ""
+		if label != nil {
+			if s := label(v); s != "" {
+				extra = "\\n" + s
+			}
+		}
+		if t.isClient[v] {
+			fmt.Fprintf(&sb, "  v%d [shape=circle,label=\"c%d%s\"];\n", v, v, extra)
+		} else {
+			fmt.Fprintf(&sb, "  v%d [shape=box,label=\"n%d%s\"];\n", v, v, extra)
+		}
+	}
+	for v := 0; v < t.Len(); v++ {
+		if p := t.parent[v]; p != None {
+			fmt.Fprintf(&sb, "  v%d -> v%d;\n", v, p)
+		}
+	}
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String returns a compact single-line description, e.g.
+// "tree{V=5 N=2 C=3 root=0 height=2}".
+func (t *Tree) String() string {
+	return fmt.Sprintf("tree{V=%d N=%d C=%d root=%d height=%d}",
+		t.Len(), t.NumInternal(), t.NumClients(), t.root, t.Height())
+}

@@ -1,0 +1,344 @@
+// Package tree implements the distribution-tree substrate used by the
+// replica-placement algorithms: a rooted tree whose leaves are clients and
+// whose internal vertices are candidate server locations.
+//
+// Vertices are dense integer ids in [0, Len). The tree is immutable once
+// built (see Builder). All path/ancestor helpers follow the paper's
+// conventions: Ancestors(v) excludes v itself and ends at the root, and the
+// "link" of a non-root vertex v is the edge v -> parent(v).
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// None marks the absence of a vertex (e.g. the parent of the root).
+const None = -1
+
+// Tree is an immutable rooted tree partitioned into internal vertices
+// (candidate servers, the paper's set N) and clients (leaves, the set C).
+type Tree struct {
+	parent   []int
+	children [][]int
+	isClient []bool
+	root     int
+	depth    []int
+
+	internal []int // internal vertex ids, in id order
+	clients  []int // client vertex ids, in id order
+
+	postOrder []int // all vertices, children before parents
+	preOrder  []int // all vertices, parents before children
+
+	clientsUnder [][]int // per internal vertex: client ids in its subtree
+	subtreeSize  []int   // number of vertices in subtree(v), including v
+}
+
+// Len returns the total number of vertices (clients + internal).
+func (t *Tree) Len() int { return len(t.parent) }
+
+// NumInternal returns |N|, the number of internal vertices.
+func (t *Tree) NumInternal() int { return len(t.internal) }
+
+// NumClients returns |C|, the number of clients.
+func (t *Tree) NumClients() int { return len(t.clients) }
+
+// Root returns the root vertex id. The root is always an internal vertex.
+func (t *Tree) Root() int { return t.root }
+
+// Parent returns the parent of v, or None for the root.
+func (t *Tree) Parent(v int) int { return t.parent[v] }
+
+// Children returns the children of v. The returned slice must not be
+// modified.
+func (t *Tree) Children(v int) []int { return t.children[v] }
+
+// IsClient reports whether v is a client (leaf).
+func (t *Tree) IsClient(v int) bool { return t.isClient[v] }
+
+// IsInternal reports whether v is an internal vertex (candidate server).
+func (t *Tree) IsInternal(v int) bool { return !t.isClient[v] }
+
+// Internal returns the internal vertex ids in increasing id order.
+// The returned slice must not be modified.
+func (t *Tree) Internal() []int { return t.internal }
+
+// Clients returns the client vertex ids in increasing id order.
+// The returned slice must not be modified.
+func (t *Tree) Clients() []int { return t.clients }
+
+// Depth returns the number of edges between v and the root.
+func (t *Tree) Depth(v int) int { return t.depth[v] }
+
+// Height returns the maximum depth over all vertices.
+func (t *Tree) Height() int {
+	h := 0
+	for _, d := range t.depth {
+		if d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+// PostOrder returns all vertices with children listed before parents.
+// The returned slice must not be modified.
+func (t *Tree) PostOrder() []int { return t.postOrder }
+
+// PreOrder returns all vertices with parents listed before children (a
+// depth-first traversal from the root). The returned slice must not be
+// modified.
+func (t *Tree) PreOrder() []int { return t.preOrder }
+
+// Ancestors returns the vertices on the path from v (excluded) to the root
+// (included), closest first — the paper's Ancestors(v).
+func (t *Tree) Ancestors(v int) []int {
+	var out []int
+	for p := t.parent[v]; p != None; p = t.parent[p] {
+		out = append(out, p)
+	}
+	return out
+}
+
+// IsAncestor reports whether a is a strict ancestor of v.
+func (t *Tree) IsAncestor(a, v int) bool {
+	if a == v {
+		return false
+	}
+	for p := t.parent[v]; p != None; p = t.parent[p] {
+		if p == a {
+			return true
+		}
+	}
+	return false
+}
+
+// InSubtree reports whether v lies in subtree(s), including v == s.
+func (t *Tree) InSubtree(v, s int) bool {
+	return v == s || t.IsAncestor(s, v)
+}
+
+// Dist returns the number of edges on the path from v up to its ancestor a
+// (a may equal v, giving 0). It panics if a is not v or an ancestor of v.
+func (t *Tree) Dist(v, a int) int {
+	d := 0
+	for u := v; u != a; u = t.parent[u] {
+		if u == None {
+			panic(fmt.Sprintf("tree: %d is not an ancestor of %d", a, v))
+		}
+		d++
+	}
+	return d
+}
+
+// PathLinks returns the vertices whose parent-links form the path from v up
+// to ancestor a: the links are u -> parent(u) for each returned u. The path
+// v -> a has Dist(v, a) links.
+func (t *Tree) PathLinks(v, a int) []int {
+	var out []int
+	for u := v; u != a; u = t.parent[u] {
+		out = append(out, u)
+	}
+	return out
+}
+
+// ClientsUnder returns the clients in subtree(v) for an internal vertex v,
+// in increasing id order. For a client v it returns {v}. The returned slice
+// must not be modified.
+func (t *Tree) ClientsUnder(v int) []int { return t.clientsUnder[v] }
+
+// SubtreeSize returns the number of vertices in subtree(v), including v.
+func (t *Tree) SubtreeSize(v int) int { return t.subtreeSize[v] }
+
+// Builder incrementally constructs a Tree. The zero value is ready to use.
+// The first added vertex must be the internal root (AddRoot).
+type Builder struct {
+	parent   []int
+	isClient []bool
+	root     int
+	hasRoot  bool
+	err      error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{root: None} }
+
+func (b *Builder) fail(err error) int {
+	if b.err == nil {
+		b.err = err
+	}
+	return None
+}
+
+// AddRoot adds the root (an internal vertex) and returns its id.
+func (b *Builder) AddRoot() int {
+	if b.hasRoot {
+		return b.fail(errors.New("tree: root already added"))
+	}
+	b.hasRoot = true
+	b.root = len(b.parent)
+	b.parent = append(b.parent, None)
+	b.isClient = append(b.isClient, false)
+	return b.root
+}
+
+func (b *Builder) add(parent int, client bool) int {
+	if b.err != nil {
+		return None
+	}
+	if !b.hasRoot {
+		return b.fail(errors.New("tree: AddRoot must be called first"))
+	}
+	if parent < 0 || parent >= len(b.parent) {
+		return b.fail(fmt.Errorf("tree: parent %d out of range", parent))
+	}
+	if b.isClient[parent] {
+		return b.fail(fmt.Errorf("tree: parent %d is a client and cannot have children", parent))
+	}
+	id := len(b.parent)
+	b.parent = append(b.parent, parent)
+	b.isClient = append(b.isClient, client)
+	return id
+}
+
+// AddNode adds an internal vertex under parent and returns its id.
+func (b *Builder) AddNode(parent int) int { return b.add(parent, false) }
+
+// AddClient adds a client (leaf) under parent and returns its id.
+func (b *Builder) AddClient(parent int) int { return b.add(parent, true) }
+
+// Build finalizes the tree. It returns an error if the builder recorded an
+// error or the structure is invalid (no root, client with children, ...).
+func (b *Builder) Build() (*Tree, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if !b.hasRoot {
+		return nil, errors.New("tree: empty tree")
+	}
+	return FromParents(b.parent, b.isClient)
+}
+
+// MustBuild is Build that panics on error; intended for tests and examples.
+func (b *Builder) MustBuild() *Tree {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// FromParents constructs a Tree from a parent array (None for the root) and
+// a per-vertex client flag. It validates the structure: exactly one root,
+// the root is internal, clients are leaves, all vertices reach the root.
+func FromParents(parent []int, isClient []bool) (*Tree, error) {
+	n := len(parent)
+	if n == 0 {
+		return nil, errors.New("tree: empty tree")
+	}
+	if len(isClient) != n {
+		return nil, fmt.Errorf("tree: parent/isClient length mismatch: %d vs %d", n, len(isClient))
+	}
+	t := &Tree{
+		parent:   append([]int(nil), parent...),
+		isClient: append([]bool(nil), isClient...),
+		root:     None,
+	}
+	t.children = make([][]int, n)
+	for v, p := range t.parent {
+		switch {
+		case p == None:
+			if t.root != None {
+				return nil, fmt.Errorf("tree: multiple roots (%d and %d)", t.root, v)
+			}
+			t.root = v
+		case p < 0 || p >= n:
+			return nil, fmt.Errorf("tree: vertex %d has out-of-range parent %d", v, p)
+		case t.isClient[p]:
+			return nil, fmt.Errorf("tree: client %d has a child %d", p, v)
+		default:
+			t.children[p] = append(t.children[p], v)
+		}
+	}
+	if t.root == None {
+		return nil, errors.New("tree: no root")
+	}
+	if t.isClient[t.root] {
+		return nil, errors.New("tree: root is a client")
+	}
+	// Depth + reachability + traversal orders via an explicit stack.
+	t.depth = make([]int, n)
+	seen := make([]bool, n)
+	t.preOrder = make([]int, 0, n)
+	stack := []int{t.root}
+	seen[t.root] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		t.preOrder = append(t.preOrder, v)
+		// Push children in reverse so they are visited in declared order.
+		ch := t.children[v]
+		for i := len(ch) - 1; i >= 0; i-- {
+			c := ch[i]
+			if seen[c] {
+				return nil, fmt.Errorf("tree: vertex %d visited twice (cycle)", c)
+			}
+			seen[c] = true
+			t.depth[c] = t.depth[v] + 1
+			stack = append(stack, c)
+		}
+	}
+	if len(t.preOrder) != n {
+		return nil, fmt.Errorf("tree: %d vertices unreachable from root", n-len(t.preOrder))
+	}
+	// Post-order: reverse of a preorder that pushes children in declared
+	// order would not do; compute directly by reversing a "parents first,
+	// right-to-left children" traversal.
+	t.postOrder = make([]int, 0, n)
+	stack = append(stack[:0], t.root)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		t.postOrder = append(t.postOrder, v)
+		stack = append(stack, t.children[v]...)
+	}
+	for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+		t.postOrder[i], t.postOrder[j] = t.postOrder[j], t.postOrder[i]
+	}
+
+	t.internal = make([]int, 0, n)
+	t.clients = make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		if t.isClient[v] {
+			t.clients = append(t.clients, v)
+		} else {
+			t.internal = append(t.internal, v)
+		}
+	}
+	// clientsUnder + subtreeSize by post-order accumulation.
+	t.clientsUnder = make([][]int, n)
+	t.subtreeSize = make([]int, n)
+	for _, v := range t.postOrder {
+		t.subtreeSize[v] = 1
+		if t.isClient[v] {
+			t.clientsUnder[v] = []int{v}
+			continue
+		}
+		var acc []int
+		for _, c := range t.children[v] {
+			acc = append(acc, t.clientsUnder[c]...)
+			t.subtreeSize[v] += t.subtreeSize[c]
+		}
+		sort.Ints(acc)
+		t.clientsUnder[v] = acc
+	}
+	return t, nil
+}
+
+// Parents returns a copy of the parent array (None for the root).
+func (t *Tree) Parents() []int { return append([]int(nil), t.parent...) }
+
+// ClientFlags returns a copy of the per-vertex client flags.
+func (t *Tree) ClientFlags() []bool { return append([]bool(nil), t.isClient...) }

@@ -1,0 +1,339 @@
+package tree
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildChain returns root -> n1 -> ... each internal, with one client under
+// the deepest node.
+func buildChain(t *testing.T, depth int) *Tree {
+	t.Helper()
+	b := NewBuilder()
+	v := b.AddRoot()
+	for i := 0; i < depth; i++ {
+		v = b.AddNode(v)
+	}
+	b.AddClient(v)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return tr
+}
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder()
+	r := b.AddRoot()
+	n1 := b.AddNode(r)
+	n2 := b.AddNode(r)
+	c1 := b.AddClient(n1)
+	c2 := b.AddClient(n2)
+	c3 := b.AddClient(n2)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if tr.Len() != 6 || tr.NumInternal() != 3 || tr.NumClients() != 3 {
+		t.Fatalf("sizes: got V=%d N=%d C=%d", tr.Len(), tr.NumInternal(), tr.NumClients())
+	}
+	if tr.Root() != r {
+		t.Errorf("root = %d, want %d", tr.Root(), r)
+	}
+	if tr.Parent(c1) != n1 || tr.Parent(n1) != r || tr.Parent(r) != None {
+		t.Errorf("parents wrong")
+	}
+	if !tr.IsClient(c3) || tr.IsClient(n2) {
+		t.Errorf("client flags wrong")
+	}
+	want := []int{c2, c3}
+	if got := tr.Children(n2); !reflect.DeepEqual(got, want) {
+		t.Errorf("Children(n2) = %v, want %v", got, want)
+	}
+	if got := tr.ClientsUnder(r); !reflect.DeepEqual(got, []int{c1, c2, c3}) {
+		t.Errorf("ClientsUnder(root) = %v", got)
+	}
+	if got := tr.ClientsUnder(n2); !reflect.DeepEqual(got, []int{c2, c3}) {
+		t.Errorf("ClientsUnder(n2) = %v", got)
+	}
+	if tr.SubtreeSize(r) != 6 || tr.SubtreeSize(n2) != 3 || tr.SubtreeSize(c1) != 1 {
+		t.Errorf("subtree sizes wrong")
+	}
+}
+
+func TestAncestorsAndPaths(t *testing.T) {
+	tr := buildChain(t, 3) // root=0,1,2,3, client=4
+	anc := tr.Ancestors(4)
+	if !reflect.DeepEqual(anc, []int{3, 2, 1, 0}) {
+		t.Fatalf("Ancestors(4) = %v", anc)
+	}
+	if tr.Dist(4, 0) != 4 || tr.Dist(4, 3) != 1 || tr.Dist(2, 2) != 0 {
+		t.Errorf("Dist wrong")
+	}
+	if got := tr.PathLinks(4, 1); !reflect.DeepEqual(got, []int{4, 3, 2}) {
+		t.Errorf("PathLinks = %v", got)
+	}
+	if !tr.IsAncestor(0, 4) || tr.IsAncestor(4, 0) || tr.IsAncestor(2, 2) {
+		t.Errorf("IsAncestor wrong")
+	}
+	if !tr.InSubtree(4, 2) || !tr.InSubtree(2, 2) || tr.InSubtree(1, 2) {
+		t.Errorf("InSubtree wrong")
+	}
+	if tr.Depth(4) != 4 || tr.Height() != 4 {
+		t.Errorf("Depth/Height wrong")
+	}
+}
+
+func TestTraversalOrders(t *testing.T) {
+	b := NewBuilder()
+	r := b.AddRoot()
+	n1 := b.AddNode(r)
+	n2 := b.AddNode(r)
+	c1 := b.AddClient(n1)
+	c2 := b.AddClient(n2)
+	tr := b.MustBuild()
+
+	pre := tr.PreOrder()
+	if pre[0] != r {
+		t.Errorf("preorder must start at root, got %v", pre)
+	}
+	post := tr.PostOrder()
+	if post[len(post)-1] != r {
+		t.Errorf("postorder must end at root, got %v", post)
+	}
+	pos := make(map[int]int)
+	for i, v := range post {
+		pos[v] = i
+	}
+	// Children before parents in post-order.
+	for _, v := range []int{n1, n2, c1, c2} {
+		if pos[v] >= pos[tr.Parent(v)] {
+			t.Errorf("postorder: %d not before parent %d", v, tr.Parent(v))
+		}
+	}
+	// Parents before children in pre-order.
+	ppos := make(map[int]int)
+	for i, v := range pre {
+		ppos[v] = i
+	}
+	for _, v := range []int{n1, n2, c1, c2} {
+		if ppos[v] <= ppos[tr.Parent(v)] {
+			t.Errorf("preorder: %d not after parent %d", v, tr.Parent(v))
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("double root", func(t *testing.T) {
+		b := NewBuilder()
+		b.AddRoot()
+		b.AddRoot()
+		if _, err := b.Build(); err == nil {
+			t.Error("want error for double root")
+		}
+	})
+	t.Run("no root", func(t *testing.T) {
+		if _, err := NewBuilder().Build(); err == nil {
+			t.Error("want error for empty tree")
+		}
+	})
+	t.Run("child before root", func(t *testing.T) {
+		b := NewBuilder()
+		b.AddNode(0)
+		if _, err := b.Build(); err == nil {
+			t.Error("want error for node before root")
+		}
+	})
+	t.Run("client parent", func(t *testing.T) {
+		b := NewBuilder()
+		r := b.AddRoot()
+		c := b.AddClient(r)
+		b.AddNode(c)
+		if _, err := b.Build(); err == nil {
+			t.Error("want error for child of client")
+		}
+	})
+	t.Run("bad parent id", func(t *testing.T) {
+		b := NewBuilder()
+		b.AddRoot()
+		b.AddNode(99)
+		if _, err := b.Build(); err == nil {
+			t.Error("want error for out-of-range parent")
+		}
+	})
+}
+
+func TestFromParentsErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		parents  []int
+		isClient []bool
+	}{
+		{"empty", nil, nil},
+		{"mismatch", []int{None}, []bool{false, true}},
+		{"two roots", []int{None, None}, []bool{false, false}},
+		{"no root", []int{1, 0}, []bool{false, false}},
+		{"client root", []int{None}, []bool{true}},
+		{"client with child", []int{None, 0, 1}, []bool{false, true, true}},
+		{"out of range", []int{None, 7}, []bool{false, true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := FromParents(tc.parents, tc.isClient); err == nil {
+				t.Errorf("FromParents(%v,%v): want error", tc.parents, tc.isClient)
+			}
+		})
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	b := NewBuilder()
+	r := b.AddRoot()
+	n := b.AddNode(r)
+	b.AddClient(n)
+	b.AddClient(r)
+	tr := b.MustBuild()
+
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var back Tree
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(back.Parents(), tr.Parents()) ||
+		!reflect.DeepEqual(back.ClientFlags(), tr.ClientFlags()) {
+		t.Errorf("round trip mismatch")
+	}
+	if back.Root() != tr.Root() || back.Height() != tr.Height() {
+		t.Errorf("derived fields mismatch")
+	}
+}
+
+func TestJSONInvalid(t *testing.T) {
+	var tr Tree
+	if err := json.Unmarshal([]byte(`{"parents":[0],"is_client":[false]}`), &tr); err == nil {
+		t.Error("want error for self-parent")
+	}
+	if err := json.Unmarshal([]byte(`{`), &tr); err == nil {
+		t.Error("want error for bad json")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	tr := buildChain(t, 1)
+	var buf bytes.Buffer
+	if err := tr.WriteDOT(&buf, func(v int) string {
+		if tr.IsClient(v) {
+			return "r=3"
+		}
+		return ""
+	}); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "v2 -> v1", "v1 -> v0", "r=3", "shape=circle", "shape=box"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStringer(t *testing.T) {
+	tr := buildChain(t, 2)
+	s := tr.String()
+	if !strings.Contains(s, "V=4") || !strings.Contains(s, "height=3") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// randomParents builds a random valid (parents, isClient) pair from a seed.
+func randomParents(rng *rand.Rand, n int) ([]int, []bool) {
+	parents := make([]int, n)
+	isClient := make([]bool, n)
+	parents[0] = None
+	internal := []int{0}
+	for v := 1; v < n; v++ {
+		parents[v] = internal[rng.Intn(len(internal))]
+		if rng.Intn(3) == 0 || v == 1 {
+			internal = append(internal, v)
+		} else {
+			isClient[v] = true
+		}
+	}
+	return parents, isClient
+}
+
+// TestQuickInvariants property-tests structural invariants on random trees.
+func TestQuickInvariants(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		n := int(sz%60) + 2
+		rng := rand.New(rand.NewSource(seed))
+		parents, isClient := randomParents(rng, n)
+		tr, err := FromParents(parents, isClient)
+		if err != nil {
+			return false
+		}
+		if tr.NumClients()+tr.NumInternal() != tr.Len() {
+			return false
+		}
+		// Every client is a leaf; every vertex reaches the root; depth is
+		// consistent with the parent relation.
+		for v := 0; v < tr.Len(); v++ {
+			if tr.IsClient(v) && len(tr.Children(v)) != 0 {
+				return false
+			}
+			if v != tr.Root() && tr.Depth(v) != tr.Depth(tr.Parent(v))+1 {
+				return false
+			}
+			if v != tr.Root() {
+				anc := tr.Ancestors(v)
+				if len(anc) != tr.Depth(v) || anc[len(anc)-1] != tr.Root() {
+					return false
+				}
+			}
+		}
+		// ClientsUnder(root) is exactly Clients().
+		cu := append([]int(nil), tr.ClientsUnder(tr.Root())...)
+		sort.Ints(cu)
+		if len(cu) != len(tr.Clients()) {
+			return false
+		}
+		for i := range cu {
+			if cu[i] != tr.Clients()[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubtreeSizeSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	parents, isClient := randomParents(rng, 40)
+	tr, err := FromParents(parents, isClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum over leaves of depth+1 relations: subtree sizes must satisfy
+	// size(v) = 1 + sum over children.
+	for _, v := range tr.Internal() {
+		sum := 1
+		for _, c := range tr.Children(v) {
+			sum += tr.SubtreeSize(c)
+		}
+		if tr.SubtreeSize(v) != sum {
+			t.Errorf("SubtreeSize(%d) = %d, want %d", v, tr.SubtreeSize(v), sum)
+		}
+	}
+}

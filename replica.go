@@ -1,0 +1,228 @@
+// Package replica is the public API of this library, a faithful
+// reproduction of Benoit, Rehn and Robert, "Strategies for Replica
+// Placement in Tree Networks" (IPDPS 2007).
+//
+// The problem: a fixed distribution tree has clients at the leaves (each
+// issuing r_i requests) and candidate servers at the internal vertices
+// (capacity W_j, storage cost s_j). Replicas must be placed, and requests
+// routed to replicas on each client's path to the root, at minimal total
+// storage cost, under one of three access policies:
+//
+//   - Closest:  each client uses the first replica above it (classical);
+//   - Upwards:  each client uses one replica anywhere on its path;
+//   - Multiple: a client's requests may split across several replicas.
+//
+// The package re-exports the implementation from the internal packages:
+// exact solvers (the paper's optimal Multiple/homogeneous algorithm, an
+// optimal Closest/homogeneous greedy, brute force for validation), the
+// eight Section 6 heuristics plus MixedBest, LP-based lower bounds
+// (Section 5/7.1), QoS and bandwidth constraints, random instance
+// generation, and the Section 7 experimental campaign.
+//
+// Quick start:
+//
+//	b := replica.NewTreeBuilder()
+//	root := b.AddRoot()
+//	n1 := b.AddNode(root)
+//	c1 := b.AddClient(n1)
+//	in := replica.NewInstance(b.MustBuild())
+//	in.W[root], in.W[n1] = 10, 10
+//	in.S[root], in.S[n1] = 1, 1
+//	in.R[c1] = 7
+//	sol, err := replica.OptimalMultipleHomogeneous(in)
+package replica
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/heuristics"
+	"repro/internal/lpbound"
+	"repro/internal/optimize"
+	"repro/internal/render"
+	"repro/internal/tree"
+)
+
+// Core model types, re-exported.
+type (
+	// Instance is a Replica Placement problem instance.
+	Instance = core.Instance
+	// Solution is a replica placement plus request assignment.
+	Solution = core.Solution
+	// Policy selects the access policy.
+	Policy = core.Policy
+	// Portion is one (server, load) share of a client's requests.
+	Portion = core.Portion
+	// CostModel weights storage/read/update costs (Section 8.2).
+	CostModel = core.CostModel
+	// Tree is the distribution-tree topology.
+	Tree = tree.Tree
+	// TreeBuilder incrementally constructs a Tree.
+	TreeBuilder = tree.Builder
+)
+
+// Access policies.
+const (
+	Closest  = core.Closest
+	Upwards  = core.Upwards
+	Multiple = core.Multiple
+)
+
+// Sentinels for unconstrained clients and links.
+const (
+	NoQoS       = core.NoQoS
+	NoBandwidth = core.NoBandwidth
+)
+
+// Policies lists the three access policies in the paper's order.
+var Policies = core.Policies
+
+// NewTreeBuilder returns an empty tree builder.
+func NewTreeBuilder() *TreeBuilder { return tree.NewBuilder() }
+
+// NewInstance allocates an instance over the tree with zeroed parameters.
+func NewInstance(t *Tree) *Instance { return core.NewInstance(t) }
+
+// ErrNoSolution is returned by solvers when the instance is infeasible
+// (or, for heuristics, when the heuristic fails to find a placement).
+var ErrNoSolution = exact.ErrNoSolution
+
+// OptimalMultipleHomogeneous runs the paper's polynomial optimal
+// algorithm (Section 4.1) for the Multiple policy on homogeneous
+// platforms.
+func OptimalMultipleHomogeneous(in *Instance) (*Solution, error) {
+	return exact.MultipleHomogeneous(in)
+}
+
+// OptimalClosestHomogeneous runs the optimal bottom-up greedy for the
+// Closest policy on homogeneous platforms.
+func OptimalClosestHomogeneous(in *Instance) (*Solution, error) {
+	return exact.ClosestHomogeneous(in)
+}
+
+// BruteForce computes an optimal solution by exhaustive enumeration
+// (exponential; small instances only — see exact.MaxBruteForceNodes).
+func BruteForce(in *Instance, p Policy) (*Solution, error) {
+	return exact.BruteForce(in, p)
+}
+
+// HeuristicNames lists the Section 6 heuristics plus "MB" (MixedBest).
+func HeuristicNames() []string {
+	names := make([]string, 0, len(heuristics.All)+1)
+	for _, h := range heuristics.All {
+		names = append(names, h.Name)
+	}
+	return append(names, "MB")
+}
+
+// Solve runs the named heuristic ("CTDA", "CTDLF", "CBU", "UTD", "UBCF",
+// "MTD", "MBU", "MG" or "MB").
+func Solve(in *Instance, heuristic string) (*Solution, error) {
+	h, ok := heuristics.ByName(heuristic)
+	if !ok {
+		return nil, &UnknownHeuristicError{Name: heuristic}
+	}
+	return h.Run(in)
+}
+
+// UnknownHeuristicError reports an unregistered heuristic name.
+type UnknownHeuristicError struct{ Name string }
+
+func (e *UnknownHeuristicError) Error() string {
+	return "replica: unknown heuristic " + e.Name
+}
+
+// MixedBest runs all eight heuristics and returns the cheapest valid
+// solution (a Multiple-policy solution).
+func MixedBest(in *Instance) (*Solution, error) { return heuristics.MB(in) }
+
+// RationalBound returns the fully rational LP relaxation value — a weak
+// lower bound on the optimal storage cost (Section 5.3).
+func RationalBound(in *Instance, p Policy) (float64, error) {
+	return lpbound.Rational(in, p)
+}
+
+// LowerBound computes the Section 7.1 refined bound (integer placement
+// variables, rational assignments) via budgeted branch-and-bound; the
+// result is a valid lower bound even when truncated.
+func LowerBound(in *Instance, p Policy, maxNodes int) (value float64, exact bool, err error) {
+	b, err := lpbound.Refined(in, p, lpbound.Options{MaxNodes: maxNodes})
+	if err != nil {
+		return 0, false, err
+	}
+	return b.Value, b.Exact, nil
+}
+
+// GenConfig re-exports the random instance generator configuration.
+type GenConfig = gen.Config
+
+// Generate builds a seeded random instance.
+func Generate(cfg GenConfig, seed int64) *Instance { return gen.Instance(cfg, seed) }
+
+// CampaignConfig re-exports the Section 7 experiment configuration.
+type CampaignConfig = experiments.Config
+
+// CampaignResults re-exports the campaign outcome.
+type CampaignResults = experiments.Results
+
+// RunCampaign executes the Section 7 simulation campaign (Figures 9-12).
+func RunCampaign(cfg CampaignConfig) (*CampaignResults, error) {
+	return experiments.Run(cfg)
+}
+
+// OptimalClosestHomogeneousQoS solves Closest/homogeneous with QoS
+// distance bounds (the polynomial case the paper cites from Liu et al.).
+func OptimalClosestHomogeneousQoS(in *Instance) (*Solution, error) {
+	return exact.ClosestHomogeneousQoS(in)
+}
+
+// SolveQoS runs the QoS-aware variant for the given policy ("Closest" ->
+// CTDA-QoS, "Upwards" -> UBCF-QoS, "Multiple" -> MG-QoS).
+func SolveQoS(in *Instance, p Policy) (*Solution, error) {
+	for _, h := range heuristics.AllQoS {
+		if h.Policy == p {
+			return h.Run(in)
+		}
+	}
+	return nil, &UnknownHeuristicError{Name: "qos:" + p.String()}
+}
+
+// SolveBandwidth runs the bandwidth-aware variant for the given policy
+// ("Closest" -> CTDA-BW, "Upwards" -> UBCF-BW, "Multiple" -> MG-BW).
+// MG-BW decides Multiple+bandwidth feasibility exactly.
+func SolveBandwidth(in *Instance, p Policy) (*Solution, error) {
+	for _, h := range heuristics.AllBW {
+		if h.Policy == p {
+			return h.Run(in)
+		}
+	}
+	return nil, &UnknownHeuristicError{Name: "bw:" + p.String()}
+}
+
+// OptimizeOptions re-exports the combined-objective local search options.
+type OptimizeOptions = optimize.Options
+
+// Optimize improves a Multiple-policy solution under a combined
+// storage/read/update objective (Section 8.2) by local search over
+// replica sets. The result is never worse than the start.
+func Optimize(in *Instance, start *Solution, opts OptimizeOptions) (*Solution, float64, error) {
+	res, err := optimize.Improve(in, start, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Solution, res.Cost, nil
+}
+
+// RenderTree writes the instance (and optionally a solution's placement)
+// as an ASCII tree.
+func RenderTree(w io.Writer, in *Instance, sol *Solution) error {
+	return render.Tree(w, in, render.Options{Solution: sol, ShowQoS: true, ShowBandwidth: true})
+}
+
+// RenderSummary writes a per-replica utilization summary of a solution.
+func RenderSummary(w io.Writer, in *Instance, sol *Solution) error {
+	return render.Summary(w, in, sol)
+}

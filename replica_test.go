@@ -1,0 +1,196 @@
+package replica_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	replica "repro"
+)
+
+// buildSmall constructs the quickstart tree used across facade tests.
+func buildSmall(t *testing.T) (*replica.Instance, []int, []int) {
+	t.Helper()
+	b := replica.NewTreeBuilder()
+	root := b.AddRoot()
+	n1 := b.AddNode(root)
+	n2 := b.AddNode(root)
+	c1 := b.AddClient(n1)
+	c2 := b.AddClient(n2)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := replica.NewInstance(tree)
+	nodes := []int{root, n1, n2}
+	for _, n := range nodes {
+		in.W[n] = 10
+		in.S[n] = 1
+	}
+	in.R[c1], in.R[c2] = 6, 8
+	return in, nodes, []int{c1, c2}
+}
+
+func TestFacadeOptimalSolvers(t *testing.T) {
+	in, _, _ := buildSmall(t)
+	mu, err := replica.OptimalMultipleHomogeneous(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mu.Validate(in, replica.Multiple); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := replica.OptimalClosestHomogeneous(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Validate(in, replica.Closest); err != nil {
+		t.Fatal(err)
+	}
+	if mu.ReplicaCount() > cl.ReplicaCount() {
+		t.Errorf("Multiple optimum %d above Closest optimum %d", mu.ReplicaCount(), cl.ReplicaCount())
+	}
+	bf, err := replica.BruteForce(in, replica.Upwards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.ReplicaCount() < mu.ReplicaCount() || bf.ReplicaCount() > cl.ReplicaCount() {
+		t.Errorf("policy hierarchy broken: %d %d %d", mu.ReplicaCount(), bf.ReplicaCount(), cl.ReplicaCount())
+	}
+}
+
+func TestFacadeHeuristics(t *testing.T) {
+	in, _, _ := buildSmall(t)
+	names := replica.HeuristicNames()
+	if len(names) != 9 || names[len(names)-1] != "MB" {
+		t.Fatalf("HeuristicNames = %v", names)
+	}
+	for _, name := range names {
+		if _, err := replica.Solve(in, name); err != nil &&
+			!errors.Is(err, replica.ErrNoSolution) && !isHeuristicFail(err) {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	var unknown *replica.UnknownHeuristicError
+	if _, err := replica.Solve(in, "nope"); !errors.As(err, &unknown) {
+		t.Errorf("want UnknownHeuristicError, got %v", err)
+	}
+	mb, err := replica.MixedBest(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mb.Validate(in, replica.Multiple); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func isHeuristicFail(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "no solution")
+}
+
+func TestFacadeBounds(t *testing.T) {
+	in, _, _ := buildSmall(t)
+	rat, err := replica.RationalBound(in, replica.Multiple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, exactB, err := replica.LowerBound(in, replica.Multiple, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exactB {
+		t.Error("tiny instance should close exactly")
+	}
+	if rat > lb+1e-9 {
+		t.Errorf("rational %v above refined %v", rat, lb)
+	}
+	opt, _ := replica.OptimalMultipleHomogeneous(in)
+	if lb > float64(opt.StorageCost(in))+1e-9 {
+		t.Errorf("bound %v above optimum %d", lb, opt.StorageCost(in))
+	}
+}
+
+func TestFacadeGenerateAndCampaign(t *testing.T) {
+	in := replica.Generate(replica.GenConfig{Internal: 6, Clients: 10, Lambda: 0.4}, 3)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := replica.RunCampaign(replica.CampaignConfig{
+		Lambdas:        []float64{0.3},
+		TreesPerLambda: 3,
+		MinSize:        15,
+		MaxSize:        30,
+		Seed:           2,
+		BoundNodes:     10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+}
+
+func TestFacadeQoS(t *testing.T) {
+	in, nodes, clients := buildSmall(t)
+	in.Q = make([]int, in.Tree.Len())
+	for i := range in.Q {
+		in.Q[i] = replica.NoQoS
+	}
+	in.Q[clients[0]] = 1
+	sol, err := replica.OptimalClosestHomogeneousQoS(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.IsReplica(nodes[1]) {
+		t.Errorf("q=1 must force a replica at the client's parent: %v", sol.Replicas())
+	}
+	for _, p := range replica.Policies {
+		qs, err := replica.SolveQoS(in, p)
+		if err != nil {
+			t.Errorf("SolveQoS(%v): %v", p, err)
+			continue
+		}
+		if verr := qs.Validate(in, p); verr != nil {
+			t.Errorf("SolveQoS(%v): invalid: %v", p, verr)
+		}
+	}
+}
+
+func TestFacadeOptimize(t *testing.T) {
+	in, _, _ := buildSmall(t)
+	start, err := replica.MixedBest(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := replica.CostModel{Alpha: 1, Beta: 0.5}
+	sol, cost, err := replica.Optimize(in, start, replica.OptimizeOptions{Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost > model.Cost(in, start)+1e-9 {
+		t.Errorf("optimize worsened: %v vs %v", cost, model.Cost(in, start))
+	}
+	if err := sol.Validate(in, replica.Multiple); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeRender(t *testing.T) {
+	in, _, _ := buildSmall(t)
+	sol, _ := replica.OptimalMultipleHomogeneous(in)
+	var sb strings.Builder
+	if err := replica.RenderTree(&sb, in, sol); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "*replica") {
+		t.Errorf("render missing replicas:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := replica.RenderSummary(&sb, in, sol); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "storage cost") {
+		t.Errorf("summary missing cost:\n%s", sb.String())
+	}
+}
