@@ -13,7 +13,10 @@
 package replica_test
 
 import (
+	"context"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	replica "repro"
 	"repro/internal/core"
@@ -24,6 +27,7 @@ import (
 	"repro/internal/lpbound"
 	"repro/internal/optimize"
 	"repro/internal/reduction"
+	"repro/internal/service"
 )
 
 // --- Table 1: complexity of the six problem variants ---
@@ -350,6 +354,78 @@ func BenchmarkFacadeEndToEnd(b *testing.B) {
 		if err := sol.Validate(in, replica.Multiple); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Serving subsystem (internal/service, cmd/rpserve) ---
+
+// BenchmarkEngineSolve contrasts a cold solve (cache bypassed) with a
+// cached one on the same instance: the cached path is the hot-traffic
+// case the service is built for.
+func BenchmarkEngineSolve(b *testing.B) {
+	in := gen.Instance(gen.Config{Internal: 50, Clients: 100, Lambda: 0.4, UnitCosts: true}, 13)
+	e := service.NewEngine(service.EngineOptions{})
+	defer closeEngine(b, e)
+	ctx := context.Background()
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Solve(ctx, service.Request{
+				Instance: in, Solver: "mb", Options: service.Options{NoCache: true},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		req := service.Request{Instance: in, Solver: "mb"}
+		if _, err := e.Solve(ctx, req); err != nil { // warm the cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Solve(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineThroughput drives parallel mixed-solver requests over a
+// pool of distinct instances — the serving hot path with a realistic
+// hit/miss mix — and reports the end-of-run cache hit rate.
+func BenchmarkEngineThroughput(b *testing.B) {
+	insts := gen.Batch(gen.Config{Internal: 30, Clients: 60, Lambda: 0.4, UnitCosts: true}, 29, 16)
+	solvers := []string{"mb", "optimal", "closest-optimal", "mg", "ctda", "ubcf"}
+	e := service.NewEngine(service.EngineOptions{})
+	defer closeEngine(b, e)
+	ctx := context.Background()
+	var i atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := int(i.Add(1))
+			req := service.Request{
+				Instance: insts[n%len(insts)],
+				Solver:   solvers[n%len(solvers)],
+			}
+			if _, err := e.Solve(ctx, req); err != nil {
+				// b.Fatal must not run on a RunParallel worker goroutine.
+				b.Error(err)
+				return
+			}
+		}
+	})
+	st := e.Stats()
+	if st.Requests > 0 {
+		b.ReportMetric(float64(st.CacheHits)/float64(st.Requests), "hit_rate")
+	}
+}
+
+func closeEngine(b *testing.B, e *service.Engine) {
+	b.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := e.Close(ctx); err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -12,7 +12,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"repro/internal/core"
 	"repro/internal/lpbound"
@@ -37,15 +36,8 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	var p core.Policy
-	switch strings.ToLower(*policy) {
-	case "closest":
-		p = core.Closest
-	case "upwards":
-		p = core.Upwards
-	case "multiple":
-		p = core.Multiple
-	default:
+	p, ok := core.ParsePolicy(*policy)
+	if !ok {
 		fatalf("unknown policy %q", *policy)
 	}
 

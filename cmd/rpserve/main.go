@@ -1,0 +1,91 @@
+// Command rpserve runs the replica-placement engine as a long-running
+// HTTP daemon: concurrent solves over every registered solver (exact,
+// heuristics, MixedBest, QoS/bandwidth variants), LP bounds, seeded
+// instance generation and streamed experiment campaigns, with a keyed
+// solution cache in front of the worker pool.
+//
+// Usage:
+//
+//	rpserve -addr :8080 -workers 8 -cache 4096 -timeout 60s
+//
+// Endpoints (all JSON):
+//
+//	GET  /healthz      liveness + engine counters
+//	GET  /v1/solvers   solver registry listing
+//	POST /v1/solve     {"instance": ..., "solver": "MB"}
+//	POST /v1/bound     {"instance": ..., "solver": "refined", "policy": "Multiple"}
+//	POST /v1/generate  {"config": {"Internal": 10, "Lambda": 0.5}, "seed": 7}
+//	POST /v1/campaign  {"config": {"TreesPerLambda": 10}}   (streams NDJSON rows)
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, and
+// queued plus in-flight jobs drain within -drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "job queue depth before backpressure (0 = 4x workers)")
+		cache   = flag.Int("cache", 4096, "cached results (negative disables retention)")
+		timeout = flag.Duration("timeout", 60*time.Second, "default per-job deadline")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	engine := service.NewEngine(service.EngineOptions{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cache,
+		DefaultTimeout: *timeout,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(engine),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("rpserve: listening on %s (%d workers)", *addr, engine.Stats().Workers)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("rpserve: %v, draining for up to %s", sig, *drain)
+	case err := <-errc:
+		fatalf("%v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("rpserve: http shutdown: %v", err)
+	}
+	if err := engine.Close(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("rpserve: engine shutdown: %v", err)
+	}
+	log.Printf("rpserve: bye")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rpserve: "+format+"\n", args...)
+	os.Exit(1)
+}

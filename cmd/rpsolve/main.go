@@ -46,16 +46,15 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	saveTo = *outFile
-	if *outFile != "" && *solver == "all" {
+	if *outFile != "" && strings.EqualFold(*solver, "all") {
 		fatalf("-o cannot be combined with -solver all")
 	}
-	switch *solver {
+	switch strings.ToLower(*solver) {
 	case "all":
 		for _, h := range heuristics.All {
-			report(in, h.Name, h.Policy, *verbose, func() (*core.Solution, error) { return h.Run(in) })
+			report(in, h.Name, h.Policy, *verbose, *outFile, func() (*core.Solution, error) { return h.Run(in) })
 		}
-		report(in, "MB", core.Multiple, *verbose, func() (*core.Solution, error) { return heuristics.MB(in) })
+		report(in, "MB", core.Multiple, *verbose, *outFile, func() (*core.Solution, error) { return heuristics.MB(in) })
 	case "optimal":
 		if *trace {
 			tr, err := exact.MultipleHomogeneousTrace(in)
@@ -64,43 +63,39 @@ func main() {
 			}
 			fmt.Print(tr)
 		}
-		report(in, "optimal(Multiple/homogeneous)", core.Multiple, *verbose,
+		report(in, "optimal(Multiple/homogeneous)", core.Multiple, *verbose, *outFile,
 			func() (*core.Solution, error) { return exact.MultipleHomogeneous(in) })
 	case "closest-optimal":
-		report(in, "optimal(Closest/homogeneous)", core.Closest, *verbose,
+		report(in, "optimal(Closest/homogeneous)", core.Closest, *verbose, *outFile,
 			func() (*core.Solution, error) { return exact.ClosestHomogeneous(in) })
 	case "brute":
-		p, ok := parsePolicy(*policy)
+		p, ok := core.ParsePolicy(*policy)
 		if !ok {
 			fatalf("unknown policy %q", *policy)
 		}
-		report(in, "brute("+p.String()+")", p, *verbose,
+		report(in, "brute("+p.String()+")", p, *verbose, *outFile,
 			func() (*core.Solution, error) { return exact.BruteForce(in, p) })
 	default:
-		h, ok := heuristics.ByName(*solver)
+		h, ok := heuristicByFold(*solver)
 		if !ok {
 			fatalf("unknown solver %q", *solver)
 		}
-		report(in, h.Name, h.Policy, *verbose, func() (*core.Solution, error) { return h.Run(in) })
+		report(in, h.Name, h.Policy, *verbose, *outFile, func() (*core.Solution, error) { return h.Run(in) })
 	}
 }
 
-func parsePolicy(s string) (core.Policy, bool) {
-	switch strings.ToLower(s) {
-	case "closest":
-		return core.Closest, true
-	case "upwards":
-		return core.Upwards, true
-	case "multiple":
-		return core.Multiple, true
+// heuristicByFold is heuristics.ByName with case-insensitive matching,
+// so `-solver mb` and `-solver ctda` work like `-policy` already does.
+func heuristicByFold(name string) (heuristics.Heuristic, bool) {
+	if h, ok := heuristics.ByName(name); ok {
+		return h, true
 	}
-	return 0, false
+	return heuristics.ByName(strings.ToUpper(name))
 }
 
-// saveTo is the -o destination; empty disables saving.
-var saveTo string
-
-func report(in *core.Instance, name string, p core.Policy, verbose bool, run func() (*core.Solution, error)) {
+// report runs one solver, prints its one-line result, and optionally
+// saves the solution as JSON to saveTo (empty disables saving).
+func report(in *core.Instance, name string, p core.Policy, verbose bool, saveTo string, run func() (*core.Solution, error)) {
 	sol, err := run()
 	switch {
 	case errors.Is(err, exact.ErrNoSolution) || errors.Is(err, heuristics.ErrNoSolution):

@@ -10,6 +10,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/tree"
 )
@@ -43,6 +44,16 @@ func (p Policy) String() string {
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
+}
+
+// ParsePolicy parses a policy name, case-insensitively.
+func ParsePolicy(s string) (Policy, bool) {
+	for _, p := range Policies {
+		if strings.EqualFold(s, p.String()) {
+			return p, true
+		}
+	}
+	return 0, false
 }
 
 // NoQoS marks a client without a QoS bound, and NoBandwidth a link without

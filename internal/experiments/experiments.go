@@ -48,6 +48,11 @@ type Config struct {
 	// worker count: every tree is generated from its own seed and
 	// aggregated in index order.
 	Parallelism int
+	// Progress, when non-nil, is called with each aggregated row as soon
+	// as its λ completes, in λ order. It lets callers stream campaign
+	// progress; it has no effect on the produced rows. A non-nil return
+	// aborts the campaign before the next λ, and Run returns that error.
+	Progress func(Row) error `json:"-"`
 }
 
 func (c Config) withDefaults() Config {
@@ -212,6 +217,11 @@ func Run(cfg Config) (*Results, error) {
 			}
 		}
 		res.Rows = append(res.Rows, row)
+		if cfg.Progress != nil {
+			if err := cfg.Progress(row); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return res, nil
 }

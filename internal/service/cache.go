@@ -1,0 +1,84 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheEntry is one keyed computation. The first requester owns the
+// computation; every later requester for the same key blocks on ready
+// (single-flight), so N concurrent identical requests cost one backend
+// run.
+type cacheEntry struct {
+	ready chan struct{} // closed when res/err are set
+	res   Result
+	err   error
+	elem  *list.Element // LRU position; nil while in flight or evicted
+}
+
+// cache is an LRU solution cache with single-flight de-duplication of
+// concurrent computations for the same key.
+type cache struct {
+	mu      sync.Mutex
+	max     int // maximum completed entries retained; <=0 disables retention
+	entries map[string]*cacheEntry
+	lru     *list.List // of string keys, front = most recent
+
+	hits, misses, evictions uint64
+}
+
+func newCache(max int) *cache {
+	return &cache{max: max, entries: map[string]*cacheEntry{}, lru: list.New()}
+}
+
+// claim returns the entry for key, creating it when absent. owner
+// reports whether the caller created it and so MUST eventually call
+// complete — otherwise every waiter on the entry blocks forever. A
+// non-owner waits on entry.ready without holding any engine resource.
+func (c *cache) claim(key string) (e *cacheEntry, owner bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		c.hits++
+		if e.elem != nil {
+			c.lru.MoveToFront(e.elem)
+		}
+		return e, false
+	}
+	e = &cacheEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	return e, true
+}
+
+// complete publishes the owner's result to all waiters and retains it
+// in the LRU. Failed computations (other than deterministic NoSolution
+// results, which arrive as res) are not retained, so a later request
+// recomputes.
+func (c *cache) complete(key string, e *cacheEntry, res Result, err error) {
+	e.res, e.err = res, err
+	close(e.ready)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil || c.max <= 0 {
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		return
+	}
+	e.elem = c.lru.PushFront(key)
+	for c.lru.Len() > c.max {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.entries, tail.Value.(string))
+		c.evictions++
+	}
+}
+
+// stats returns a consistent snapshot of the cache counters.
+func (c *cache) stats() (hits, misses, evictions uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.lru.Len()
+}

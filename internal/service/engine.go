@@ -1,0 +1,397 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ErrEngineClosed is returned by Solve after Close has begun.
+var ErrEngineClosed = errors.New("service: engine closed")
+
+// ErrUnknownSolver reports a request for an unregistered solver name.
+type ErrUnknownSolver struct{ Name string }
+
+func (e *ErrUnknownSolver) Error() string {
+	return fmt.Sprintf("service: unknown solver %q", e.Name)
+}
+
+// Options are the per-request knobs. They are part of the cache key
+// where they affect the result (BoundNodes) and not where they don't
+// (Timeout, NoCache, IncludeSolution).
+type Options struct {
+	// Timeout caps queue wait plus computation for this request; zero
+	// selects the engine default. On expiry the caller gets
+	// context.DeadlineExceeded, but an already-started computation runs
+	// to completion and still populates the cache.
+	Timeout time.Duration
+	// NoCache bypasses cache lookup and retention for this request.
+	NoCache bool
+	// BoundNodes is the branch-and-bound budget for refined-bound
+	// solvers (default lpbound's 400). Ignored by other backends.
+	BoundNodes int
+	// IncludeSolution asks for the full assignment in the response, not
+	// just the replica set and cost.
+	IncludeSolution bool
+}
+
+// Request names one computation: a solver (or solver family, resolved
+// against Policy) applied to an instance.
+type Request struct {
+	Instance *core.Instance
+	// Solver is a registry name ("mb", "optimal", "lp-refined-multiple",
+	// ...) or a family name ("brute", "lp-rational", "lp-refined")
+	// qualified by Policy. Matching is case-insensitive.
+	Solver string
+	// Policy qualifies family solver names; ignored when Solver is
+	// already concrete.
+	Policy  core.Policy
+	Options Options
+}
+
+// Response is the outcome of a request.
+type Response struct {
+	Solver string `json:"solver"`
+	Policy string `json:"policy"`
+	// NoSolution is set when the backend found no placement (for exact
+	// solvers: proved infeasibility).
+	NoSolution bool `json:"no_solution,omitempty"`
+	// Cost, ReplicaCount and Replicas describe a found placement.
+	Cost         int64 `json:"cost,omitempty"`
+	ReplicaCount int   `json:"replica_count,omitempty"`
+	Replicas     []int `json:"replicas,omitempty"`
+	// Solution is the full assignment (Options.IncludeSolution).
+	Solution *core.Solution `json:"solution,omitempty"`
+	// Bound carries a bound backend's result.
+	Bound *BoundPayload `json:"bound,omitempty"`
+	// Cached reports that the response was served from the cache or an
+	// in-flight identical computation.
+	Cached bool `json:"cached"`
+	// ElapsedMS is the request's wall time inside the engine.
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// BoundPayload is the bound part of a Response.
+type BoundPayload struct {
+	Value float64 `json:"value"`
+	// Exact reports whether the bound is the model's true optimum (the
+	// branch-and-bound closed within budget; always true for rational).
+	Exact bool `json:"exact"`
+}
+
+// Stats is a snapshot of the engine counters.
+type Stats struct {
+	Requests     uint64 `json:"requests"`
+	Computations uint64 `json:"computations"`
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	Evictions    uint64 `json:"evictions"`
+	CacheEntries int    `json:"cache_entries"`
+	Errors       uint64 `json:"errors"`
+	InFlight     int64  `json:"in_flight"`
+	Workers      int    `json:"workers"`
+}
+
+// EngineOptions configures NewEngine. The zero value selects sensible
+// defaults throughout.
+type EngineOptions struct {
+	// Workers is the number of solver goroutines (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of queued jobs before Solve applies
+	// backpressure by blocking (default 4×Workers).
+	QueueDepth int
+	// CacheSize is the number of retained results (default 4096;
+	// negative disables retention, keeping only in-flight
+	// de-duplication).
+	CacheSize int
+	// DefaultTimeout is the per-job deadline when a request does not set
+	// one (default 60s).
+	DefaultTimeout time.Duration
+	// Registry overrides the solver set (default NewRegistry()).
+	Registry *Registry
+}
+
+func (o EngineOptions) withDefaults() EngineOptions {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.Workers
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 4096
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 60 * time.Second
+	}
+	if o.Registry == nil {
+		o.Registry = NewRegistry()
+	}
+	return o
+}
+
+// Engine is a long-running concurrent replica-placement service: a
+// solver registry behind a bounded worker pool with a keyed solution
+// cache. All methods are safe for concurrent use.
+type Engine struct {
+	opts  EngineOptions
+	cache *cache
+	jobs  chan *job
+
+	mu     sync.RWMutex // guards closed and the jobs channel close
+	closed bool
+	wg     sync.WaitGroup // worker goroutines
+
+	requests, computations, errors atomic.Uint64
+	inFlight                       atomic.Int64
+}
+
+type job struct {
+	ctx    context.Context
+	solver Solver
+	in     *core.Instance
+	opt    Options
+	start  time.Time
+	// entry/key are set for cache-owner jobs: the worker must complete
+	// the entry (even if the caller is gone) so waiters are released.
+	entry *cacheEntry
+	key   string
+	done  chan struct{}
+	resp  *Response
+	err   error
+}
+
+// defaultBoundNodes mirrors lpbound's Refined default, so an explicit
+// budget of 400 and "use the default" hash to the same cache key.
+const defaultBoundNodes = 400
+
+// NewEngine starts an engine and its worker pool.
+func NewEngine(opts EngineOptions) *Engine {
+	opts = opts.withDefaults()
+	e := &Engine{
+		opts:  opts,
+		cache: newCache(opts.CacheSize),
+		jobs:  make(chan *job, opts.QueueDepth),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Registry exposes the engine's solver set (for listings).
+func (e *Engine) Registry() *Registry { return e.opts.Registry }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	hits, misses, ev, entries := e.cache.stats()
+	return Stats{
+		Requests:     e.requests.Load(),
+		Computations: e.computations.Load(),
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		Evictions:    ev,
+		CacheEntries: entries,
+		Errors:       e.errors.Load(),
+		InFlight:     e.inFlight.Load(),
+		Workers:      e.opts.Workers,
+	}
+}
+
+// Solve schedules the request on the worker pool and waits for its
+// result, the request deadline, or ctx. Identical concurrent requests
+// share one backend computation; identical repeated requests are served
+// from the cache.
+func (e *Engine) Solve(ctx context.Context, req Request) (*Response, error) {
+	e.requests.Add(1)
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		// Reject up front — even cache hits — so a draining engine stops
+		// taking traffic uniformly. (The enqueue below re-checks under
+		// the lock to stay race-free with Close.)
+		return nil, ErrEngineClosed
+	}
+	if req.Instance == nil {
+		return nil, errors.New("service: request without instance")
+	}
+	if err := req.Instance.Validate(); err != nil {
+		return nil, err
+	}
+	solver, ok := e.opts.Registry.Resolve(req.Solver, req.Policy)
+	if !ok {
+		return nil, &ErrUnknownSolver{Name: req.Solver}
+	}
+
+	timeout := req.Options.Timeout
+	if timeout <= 0 {
+		timeout = e.opts.DefaultTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	// Normalize the options that feed the cache key: only budgeted bound
+	// solvers consume BoundNodes, so for every other backend a stray
+	// budget must not split the key space.
+	opt := req.Options
+	if !solver.BoundBudget {
+		opt.BoundNodes = 0
+	} else if opt.BoundNodes <= 0 {
+		opt.BoundNodes = defaultBoundNodes
+	}
+
+	start := time.Now()
+	j := &job{ctx: ctx, solver: solver, in: req.Instance, opt: opt, start: start, done: make(chan struct{})}
+	if !opt.NoCache {
+		j.key = Key(req.Instance, solver.Name, opt)
+		entry, owner := e.cache.claim(j.key)
+		if !owner {
+			// Served by whoever owns the computation — without holding a
+			// worker slot, so duplicate-heavy traffic can't starve the pool.
+			select {
+			case <-entry.ready:
+				if entry.err != nil {
+					e.errors.Add(1)
+					return nil, entry.err
+				}
+				return e.buildResponse(j, entry.res, true), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		j.entry = entry
+	}
+
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		e.abandon(j, ErrEngineClosed)
+		return nil, ErrEngineClosed
+	}
+	select {
+	case e.jobs <- j:
+		e.mu.RUnlock()
+	case <-ctx.Done():
+		e.mu.RUnlock()
+		e.abandon(j, ctx.Err())
+		return nil, ctx.Err()
+	}
+
+	select {
+	case <-j.done:
+		if j.err != nil {
+			e.errors.Add(1)
+		}
+		return j.resp, j.err
+	case <-ctx.Done():
+		// The job may still be picked up and computed; the result then
+		// lands in the cache for later requests.
+		return nil, ctx.Err()
+	}
+}
+
+// abandon releases a claimed cache entry whose job never reached a
+// worker, so waiters don't block forever. The error is not retained, so
+// the next request recomputes.
+func (e *Engine) abandon(j *job, err error) {
+	if j.entry != nil {
+		e.cache.complete(j.key, j.entry, Result{}, err)
+	}
+}
+
+// worker drains the job queue until the engine closes.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for j := range e.jobs {
+		e.run(j)
+	}
+}
+
+func (e *Engine) run(j *job) {
+	e.inFlight.Add(1)
+	defer e.inFlight.Add(-1)
+	if j.entry == nil && j.ctx.Err() != nil {
+		// Uncached job whose caller is already gone: nothing waits on the
+		// result, don't burn a worker on it. (A cache-owner job computes
+		// regardless — waiters and future requests want its entry.)
+		j.err = j.ctx.Err()
+		close(j.done)
+		return
+	}
+
+	e.computations.Add(1)
+	res, err := j.solver.Run(j.in, j.opt)
+	if err == nil && res.Solution != nil {
+		if verr := res.Solution.Validate(j.in, j.solver.Policy); verr != nil {
+			res, err = Result{}, fmt.Errorf("service: solver %s produced an invalid solution: %w", j.solver.Name, verr)
+		}
+	}
+	if j.entry != nil {
+		e.cache.complete(j.key, j.entry, res, err)
+	}
+	if err != nil {
+		j.err = err
+	} else {
+		j.resp = e.buildResponse(j, res, false)
+	}
+	close(j.done)
+}
+
+// buildResponse assembles the wire response for a computed or cached
+// result.
+func (e *Engine) buildResponse(j *job, res Result, cached bool) *Response {
+	resp := &Response{
+		Solver:     j.solver.Name,
+		Policy:     j.solver.Policy.String(),
+		NoSolution: res.NoSolution,
+		Cached:     cached,
+		ElapsedMS:  float64(time.Since(j.start)) / float64(time.Millisecond),
+	}
+	if res.HasBound && !res.NoSolution {
+		resp.Bound = &BoundPayload{Value: res.Bound, Exact: res.BoundExact}
+	}
+	if res.Solution != nil {
+		resp.Cost = res.Solution.StorageCost(j.in)
+		resp.ReplicaCount = res.Solution.ReplicaCount()
+		resp.Replicas = res.Solution.Replicas()
+		if j.opt.IncludeSolution {
+			resp.Solution = res.Solution
+		}
+	}
+	return resp
+}
+
+// Close gracefully shuts the engine down: new Solve calls fail with
+// ErrEngineClosed, queued and in-flight jobs are drained, and Close
+// returns when the pool has stopped or ctx expires (the workers then
+// finish in the background).
+func (e *Engine) Close(ctx context.Context) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	close(e.jobs)
+	e.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Key returns the canonical cache key of a request: a SHA-256 over a
+// deterministic binary encoding of the tree shape, every parameter
+// vector (including absence of the optional QoS/Comm/BW vectors), the
+// canonical solver name, and the result-affecting options. Two requests
+// with equal keys are guaranteed to describe the same computation, so
+// the cache may serve one's result for the other.
+func Key(in *core.Instance, solver string, opt Options) string {
+	h := sha256.New()
+	writeTag(h, "tree")
+	writeInts(h, in.Tree.Parents())
+	writeBools(h, in.Tree.ClientFlags())
+	writeTag(h, "r")
+	writeInt64s(h, in.R)
+	writeTag(h, "w")
+	writeInt64s(h, in.W)
+	writeTag(h, "s")
+	writeInt64s(h, in.S)
+	writeTag(h, "q")
+	writeInts(h, in.Q)
+	writeTag(h, "comm")
+	writeInt64s(h, in.Comm)
+	writeTag(h, "bw")
+	writeInt64s(h, in.BW)
+	writeTag(h, "solver")
+	writeTag(h, strings.ToLower(strings.TrimSpace(solver)))
+	writeTag(h, "opts")
+	writeUint64(h, uint64(opt.BoundNodes))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func writeTag(h hash.Hash, tag string) {
+	writeUint64(h, uint64(len(tag)))
+	h.Write([]byte(tag))
+}
+
+func writeUint64(h hash.Hash, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	h.Write(buf[:])
+}
+
+// writeInt64s length-prefixes the vector; a nil slice encodes with
+// length 0 and an explicit absence marker so nil and empty differ from
+// any present vector.
+func writeInt64s(h hash.Hash, v []int64) {
+	if v == nil {
+		writeUint64(h, ^uint64(0))
+		return
+	}
+	writeUint64(h, uint64(len(v)))
+	for _, x := range v {
+		writeUint64(h, uint64(x))
+	}
+}
+
+func writeInts(h hash.Hash, v []int) {
+	if v == nil {
+		writeUint64(h, ^uint64(0))
+		return
+	}
+	writeUint64(h, uint64(len(v)))
+	for _, x := range v {
+		writeUint64(h, uint64(int64(x)))
+	}
+}
+
+func writeBools(h hash.Hash, v []bool) {
+	writeUint64(h, uint64(len(v)))
+	for _, x := range v {
+		if x {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+)
+
+// NewHandler returns the HTTP API served by cmd/rpserve:
+//
+//	GET  /healthz      liveness plus engine counters
+//	GET  /v1/solvers   the solver registry listing
+//	POST /v1/solve     run a solver on an instance
+//	POST /v1/bound     run an LP bound (shorthand for the lp-* solvers)
+//	POST /v1/generate  build a seeded random instance
+//	POST /v1/campaign  run a Section 7 campaign, streaming one JSON
+//	                   line per λ as it completes (NDJSON)
+//
+// All request and response bodies are JSON. Errors are
+// {"error": "..."} with a matching status code.
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, healthPayload{Status: "ok", Stats: e.Stats()})
+	})
+	mux.HandleFunc("GET /v1/solvers", func(w http.ResponseWriter, r *http.Request) {
+		solvers := e.Registry().Solvers()
+		out := make([]solverInfo, 0, len(solvers))
+		for _, s := range solvers {
+			out = append(out, solverInfo{Name: s.Name, Long: s.Long, Policy: s.Policy.String(), Kind: s.Kind})
+		}
+		writeJSON(w, http.StatusOK, solversPayload{Solvers: out})
+	})
+	mux.HandleFunc("POST /v1/solve", func(w http.ResponseWriter, r *http.Request) {
+		handleSolve(e, w, r, "")
+	})
+	mux.HandleFunc("POST /v1/bound", func(w http.ResponseWriter, r *http.Request) {
+		handleSolve(e, w, r, "lp-")
+	})
+	mux.HandleFunc("POST /v1/generate", handleGenerate)
+	mux.HandleFunc("POST /v1/campaign", handleCampaign)
+	return mux
+}
+
+type healthPayload struct {
+	Status string `json:"status"`
+	Stats  Stats  `json:"stats"`
+}
+
+type solverInfo struct {
+	Name   string `json:"name"`
+	Long   string `json:"long"`
+	Policy string `json:"policy"`
+	Kind   string `json:"kind"`
+}
+
+type solversPayload struct {
+	Solvers []solverInfo `json:"solvers"`
+}
+
+// wireOptions is the JSON form of Options (times in milliseconds).
+type wireOptions struct {
+	TimeoutMS       int64 `json:"timeout_ms,omitempty"`
+	NoCache         bool  `json:"no_cache,omitempty"`
+	BoundNodes      int   `json:"bound_nodes,omitempty"`
+	IncludeSolution bool  `json:"include_solution,omitempty"`
+}
+
+func (wo wireOptions) options() Options {
+	return Options{
+		Timeout:         time.Duration(wo.TimeoutMS) * time.Millisecond,
+		NoCache:         wo.NoCache,
+		BoundNodes:      wo.BoundNodes,
+		IncludeSolution: wo.IncludeSolution,
+	}
+}
+
+// solveRequest is the /v1/solve and /v1/bound body. For /v1/bound the
+// solver defaults to "refined" and names the bound method ("rational"
+// or "refined"), qualified by the policy.
+type solveRequest struct {
+	Instance *core.Instance `json:"instance"`
+	Solver   string         `json:"solver"`
+	Policy   string         `json:"policy"`
+	Options  wireOptions    `json:"options"`
+}
+
+func handleSolve(e *Engine, w http.ResponseWriter, r *http.Request, prefix string) {
+	var req solveRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Instance == nil {
+		writeError(w, http.StatusBadRequest, errors.New("missing instance"))
+		return
+	}
+	policy := core.Multiple
+	if req.Policy != "" {
+		p, ok := core.ParsePolicy(req.Policy)
+		if !ok {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown policy %q", req.Policy))
+			return
+		}
+		policy = p
+	}
+	solver := req.Solver
+	if prefix != "" { // the /v1/bound shorthand
+		if solver == "" {
+			solver = "refined"
+		}
+		solver = prefix + solver
+	} else if solver == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing solver"))
+		return
+	}
+	resp, err := e.Solve(r.Context(), Request{
+		Instance: req.Instance,
+		Solver:   solver,
+		Policy:   policy,
+		Options:  req.Options.options(),
+	})
+	if err != nil {
+		var unknown *ErrUnknownSolver
+		switch {
+		case errors.As(err, &unknown):
+			writeError(w, http.StatusNotFound, err)
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, err)
+		case errors.Is(err, ErrEngineClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			// Instance-shape problems were already rejected at decode time
+			// (UnmarshalJSON fully validates), so what reaches here is a
+			// server-side fault, not a bad request.
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// generateRequest is the /v1/generate body. Config uses the field names
+// of gen.Config (e.g. {"Internal": 10, "Lambda": 0.5}).
+type generateRequest struct {
+	Config gen.Config `json:"config"`
+	Seed   int64      `json:"seed"`
+}
+
+type generatePayload struct {
+	Instance *core.Instance `json:"instance"`
+	Load     float64        `json:"load"`
+	Vertices int            `json:"vertices"`
+}
+
+func handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req generateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	in := gen.Instance(req.Config, req.Seed)
+	writeJSON(w, http.StatusOK, generatePayload{Instance: in, Load: in.Load(), Vertices: in.Tree.Len()})
+}
+
+// campaignRequest is the /v1/campaign body. Config uses the field names
+// of experiments.Config.
+type campaignRequest struct {
+	Config experiments.Config `json:"config"`
+}
+
+// campaignRow is one streamed NDJSON line.
+type campaignRow struct {
+	Lambda     float64            `json:"lambda"`
+	Trees      int                `json:"trees"`
+	LPSolvable int                `json:"lp_solvable"`
+	BoundExact int                `json:"bound_exact"`
+	Success    map[string]int     `json:"success"`
+	RelCost    map[string]float64 `json:"rel_cost"`
+}
+
+type campaignDone struct {
+	Done bool `json:"done"`
+	Rows int  `json:"rows"`
+}
+
+func handleCampaign(w http.ResponseWriter, r *http.Request) {
+	var req campaignRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	cfg := req.Config
+	rows := 0
+	cfg.Progress = func(row experiments.Row) error {
+		// Abort between λ values once the client is gone (or the stream
+		// write fails) — a disconnected campaign must not keep burning
+		// every core to completion.
+		if err := r.Context().Err(); err != nil {
+			return err
+		}
+		rows++
+		if err := enc.Encode(campaignRow{
+			Lambda:     row.Lambda,
+			Trees:      row.Trees,
+			LPSolvable: row.LPSolvable,
+			BoundExact: row.BoundExact,
+			Success:    row.Success,
+			RelCost:    row.RelCost,
+		}); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	if _, err := experiments.Run(cfg); err != nil {
+		// Headers are already out; report the failure in-stream.
+		enc.Encode(map[string]string{"error": err.Error()})
+		return
+	}
+	enc.Encode(campaignDone{Done: true, Rows: rows})
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,252 @@
+// Package service is the serving subsystem of the library: it turns the
+// one-shot solvers of the paper (exact algorithms, the Section 6
+// heuristics, MixedBest, the QoS/bandwidth variants and the LP-based
+// lower bounds) into a long-running concurrent engine suitable for a
+// daemon. It provides a solver registry unifying every backend behind one
+// Request type, a bounded worker-pool scheduler with per-job deadlines
+// and graceful shutdown, a solution cache keyed by a canonical instance
+// hash, and the HTTP handler used by cmd/rpserve.
+//
+// Later scaling work (sharding, batching, multi-process backends) is
+// expected to implement the same Backend signature and plug into the
+// registry without touching the engine or the HTTP layer.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/heuristics"
+	"repro/internal/lpbound"
+)
+
+// Result is the outcome of one backend computation: a placement for
+// solution solvers, or a lower-bound value for the LP backends.
+type Result struct {
+	// Solution is the placement, nil for bound backends and for
+	// NoSolution outcomes.
+	Solution *core.Solution
+	// NoSolution records that the backend proved (exact solvers) or
+	// reported (heuristics) infeasibility. It is a successful outcome,
+	// not an error, and is cached like any other.
+	NoSolution bool
+	// HasBound marks a bound backend's result; Bound is then the value
+	// and BoundExact whether the branch-and-bound closed within budget.
+	HasBound   bool
+	Bound      float64
+	BoundExact bool
+}
+
+// Backend computes a Result for an instance. Implementations must be
+// safe for concurrent use and deterministic in their inputs — the cache
+// relies on both.
+type Backend func(in *core.Instance, opt Options) (Result, error)
+
+// Solver is one registered backend.
+type Solver struct {
+	// Name is the canonical (lower-case) registry key, e.g. "mb",
+	// "optimal", "brute-upwards", "lp-refined-multiple". Lookups are
+	// case-insensitive.
+	Name string
+	// Long is a human-readable description for the /v1/solvers listing.
+	Long string
+	// Policy is the access policy of produced solutions (or the policy a
+	// bound is computed for).
+	Policy core.Policy
+	// Kind classifies the backend: "exact", "heuristic", "mixed",
+	// "qos", "bandwidth" or "bound".
+	Kind string
+	// BoundBudget marks backends that consume Options.BoundNodes; for
+	// all others the engine zeroes the budget before cache keying so a
+	// stray value cannot split the key space.
+	BoundBudget bool
+	// Run executes the backend.
+	Run Backend
+}
+
+// IsBound reports whether the solver produces lower bounds rather than
+// placements.
+func (s Solver) IsBound() bool { return s.Kind == "bound" }
+
+// Registry maps solver names to backends. The zero value is unusable;
+// use NewRegistry (the full default set) or new(Registry) plus Register.
+type Registry struct {
+	byName map[string]Solver
+	order  []string
+}
+
+// Register adds a solver; it fails on duplicate or empty names. The
+// name is canonicalized to lower case.
+func (r *Registry) Register(s Solver) error {
+	name := strings.ToLower(strings.TrimSpace(s.Name))
+	if name == "" {
+		return fmt.Errorf("service: solver with empty name")
+	}
+	if s.Run == nil {
+		return fmt.Errorf("service: solver %q has no backend", name)
+	}
+	if r.byName == nil {
+		r.byName = map[string]Solver{}
+	}
+	if _, dup := r.byName[name]; dup {
+		return fmt.Errorf("service: duplicate solver %q", name)
+	}
+	s.Name = name
+	r.byName[name] = s
+	r.order = append(r.order, name)
+	return nil
+}
+
+// Lookup finds a solver by name, case-insensitively.
+func (r *Registry) Lookup(name string) (Solver, bool) {
+	s, ok := r.byName[strings.ToLower(strings.TrimSpace(name))]
+	return s, ok
+}
+
+// Resolve finds a solver by name, falling back to the policy-qualified
+// family name (e.g. "brute" + Upwards -> "brute-upwards", "lp-refined" +
+// Multiple -> "lp-refined-multiple").
+func (r *Registry) Resolve(name string, p core.Policy) (Solver, bool) {
+	if s, ok := r.Lookup(name); ok {
+		return s, true
+	}
+	return r.Lookup(name + "-" + strings.ToLower(p.String()))
+}
+
+// Solvers lists the registered solvers in registration order.
+func (r *Registry) Solvers() []Solver {
+	out := make([]Solver, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.byName[name])
+	}
+	return out
+}
+
+// Names lists the registered solver names, sorted.
+func (r *Registry) Names() []string {
+	out := append([]string(nil), r.order...)
+	sort.Strings(out)
+	return out
+}
+
+// solutionBackend lifts a plain solver function into a Backend, mapping
+// the library's no-solution sentinels to Result.NoSolution.
+func solutionBackend(f func(in *core.Instance) (*core.Solution, error)) Backend {
+	return func(in *core.Instance, _ Options) (Result, error) {
+		sol, err := f(in)
+		switch {
+		case err == nil:
+			return Result{Solution: sol}, nil
+		case isNoSolution(err):
+			return Result{NoSolution: true}, nil
+		default:
+			return Result{}, err
+		}
+	}
+}
+
+func isNoSolution(err error) bool {
+	return errors.Is(err, exact.ErrNoSolution) || errors.Is(err, heuristics.ErrNoSolution)
+}
+
+// NewRegistry builds the full default registry: the exact solvers, the
+// eight Section 6 heuristics plus MixedBest, the QoS and bandwidth
+// variants, and the rational/refined LP bounds for every policy.
+func NewRegistry() *Registry {
+	r := new(Registry)
+	must := func(err error) {
+		if err != nil {
+			panic(err) // registration of the built-in set cannot fail
+		}
+	}
+
+	must(r.Register(Solver{
+		Name: "optimal", Long: "optimal Multiple/homogeneous (Section 4.1)",
+		Policy: core.Multiple, Kind: "exact",
+		Run: solutionBackend(exact.MultipleHomogeneous),
+	}))
+	must(r.Register(Solver{
+		Name: "closest-optimal", Long: "optimal Closest/homogeneous greedy",
+		Policy: core.Closest, Kind: "exact",
+		Run: solutionBackend(exact.ClosestHomogeneous),
+	}))
+	must(r.Register(Solver{
+		Name: "closest-qos-optimal", Long: "optimal Closest/homogeneous with QoS bounds",
+		Policy: core.Closest, Kind: "exact",
+		Run: solutionBackend(exact.ClosestHomogeneousQoS),
+	}))
+	for _, p := range core.Policies {
+		p := p
+		must(r.Register(Solver{
+			Name:   "brute-" + strings.ToLower(p.String()),
+			Long:   "exhaustive search, " + p.String() + " policy (small instances)",
+			Policy: p, Kind: "exact",
+			Run: solutionBackend(func(in *core.Instance) (*core.Solution, error) {
+				return exact.BruteForce(in, p)
+			}),
+		}))
+	}
+
+	for _, h := range heuristics.All {
+		must(r.Register(Solver{
+			Name: h.Name, Long: h.Long, Policy: h.Policy, Kind: "heuristic",
+			Run: solutionBackend(h.Run),
+		}))
+	}
+	must(r.Register(Solver{
+		Name: "mb", Long: "MixedBest: cheapest of the eight heuristics",
+		Policy: core.Multiple, Kind: "mixed",
+		Run: solutionBackend(heuristics.MB),
+	}))
+	for _, h := range heuristics.AllQoS {
+		must(r.Register(Solver{
+			Name: h.Name, Long: h.Long, Policy: h.Policy, Kind: "qos",
+			Run: solutionBackend(h.Run),
+		}))
+	}
+	for _, h := range heuristics.AllBW {
+		must(r.Register(Solver{
+			Name: h.Name, Long: h.Long, Policy: h.Policy, Kind: "bandwidth",
+			Run: solutionBackend(h.Run),
+		}))
+	}
+
+	for _, p := range core.Policies {
+		p := p
+		must(r.Register(Solver{
+			Name:   "lp-rational-" + strings.ToLower(p.String()),
+			Long:   "fully rational LP relaxation bound, " + p.String() + " policy (Section 5.3)",
+			Policy: p, Kind: "bound",
+			Run: func(in *core.Instance, _ Options) (Result, error) {
+				v, err := lpbound.Rational(in, p)
+				if errors.Is(err, lpbound.ErrInfeasible) {
+					return Result{NoSolution: true, HasBound: true}, nil
+				}
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{HasBound: true, Bound: v, BoundExact: true}, nil
+			},
+		}))
+		must(r.Register(Solver{
+			Name:   "lp-refined-" + strings.ToLower(p.String()),
+			Long:   "refined bound (integer placements, rational assignments), " + p.String() + " policy (Section 7.1)",
+			Policy: p, Kind: "bound", BoundBudget: true,
+			Run: func(in *core.Instance, opt Options) (Result, error) {
+				b, err := lpbound.Refined(in, p, lpbound.Options{MaxNodes: opt.BoundNodes})
+				if errors.Is(err, lpbound.ErrInfeasible) {
+					return Result{NoSolution: true, HasBound: true}, nil
+				}
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{HasBound: true, Bound: b.Value, BoundExact: b.Exact}, nil
+			},
+		}))
+	}
+	return r
+}

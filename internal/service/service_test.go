@@ -1,0 +1,518 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/heuristics"
+)
+
+// testInstance is a small feasible homogeneous instance (5 internal
+// nodes keeps brute force comfortable).
+func testInstance(t testing.TB) *core.Instance {
+	t.Helper()
+	in := gen.Instance(gen.Config{Internal: 5, Clients: 10, Lambda: 0.3, UnitCosts: true}, 1)
+	if _, err := heuristics.MG(in); err != nil {
+		t.Fatalf("test instance infeasible: %v", err)
+	}
+	return in
+}
+
+// countingRegistry wraps a single "stub" solver that counts backend
+// invocations and optionally sleeps, for cache and shutdown tests.
+func countingRegistry(t testing.TB, delay time.Duration, calls *atomic.Int64) *Registry {
+	t.Helper()
+	r := new(Registry)
+	err := r.Register(Solver{
+		Name: "stub", Long: "counting stub", Policy: core.Multiple, Kind: "heuristic",
+		Run: func(in *core.Instance, opt Options) (Result, error) {
+			calls.Add(1)
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			return solutionBackend(heuristics.MG)(in, opt)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func newTestEngine(t testing.TB, opts EngineOptions) *Engine {
+	t.Helper()
+	e := NewEngine(opts)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		e.Close(ctx)
+	})
+	return e
+}
+
+func TestRegistryDefaultSet(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{
+		"optimal", "closest-optimal", "closest-qos-optimal",
+		"brute-closest", "brute-upwards", "brute-multiple",
+		"ctda", "ctdlf", "cbu", "utd", "ubcf", "mtd", "mbu", "mg", "mb",
+		"ctda-qos", "ubcf-qos", "mg-qos", "ctda-bw", "ubcf-bw", "mg-bw",
+		"lp-rational-closest", "lp-rational-upwards", "lp-rational-multiple",
+		"lp-refined-closest", "lp-refined-upwards", "lp-refined-multiple",
+	} {
+		if _, ok := r.Lookup(name); !ok {
+			t.Errorf("missing solver %q", name)
+		}
+	}
+	if got := len(r.Solvers()); got != 27 {
+		t.Errorf("registry has %d solvers, want 27", got)
+	}
+}
+
+func TestRegistryLookupCaseInsensitive(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"MB", "mb", "Mb", "  CTDA ", "Lp-Refined-Multiple"} {
+		if _, ok := r.Lookup(name); !ok {
+			t.Errorf("Lookup(%q) failed", name)
+		}
+	}
+}
+
+func TestRegistryResolveFamily(t *testing.T) {
+	r := NewRegistry()
+	s, ok := r.Resolve("brute", core.Upwards)
+	if !ok || s.Name != "brute-upwards" {
+		t.Errorf("Resolve(brute, Upwards) = %q, %v", s.Name, ok)
+	}
+	s, ok = r.Resolve("lp-refined", core.Multiple)
+	if !ok || s.Name != "lp-refined-multiple" {
+		t.Errorf("Resolve(lp-refined, Multiple) = %q, %v", s.Name, ok)
+	}
+	// A concrete name wins regardless of policy.
+	s, ok = r.Resolve("mg", core.Closest)
+	if !ok || s.Name != "mg" {
+		t.Errorf("Resolve(mg, Closest) = %q, %v", s.Name, ok)
+	}
+	if _, ok := r.Resolve("nope", core.Multiple); ok {
+		t.Error("Resolve(nope) unexpectedly succeeded")
+	}
+}
+
+func TestRegistryRejectsDuplicatesAndEmpty(t *testing.T) {
+	r := new(Registry)
+	ok := Solver{Name: "x", Kind: "heuristic", Run: solutionBackend(heuristics.MG)}
+	if err := r.Register(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(ok); err == nil {
+		t.Error("duplicate registration succeeded")
+	}
+	if err := r.Register(Solver{Name: " ", Run: ok.Run}); err == nil {
+		t.Error("empty name registration succeeded")
+	}
+	if err := r.Register(Solver{Name: "y"}); err == nil {
+		t.Error("nil backend registration succeeded")
+	}
+}
+
+func TestKeyCanonical(t *testing.T) {
+	in := testInstance(t)
+	k1 := Key(in, "mb", Options{})
+	if k2 := Key(in.Clone(), "mb", Options{}); k2 != k1 {
+		t.Error("clone hashed differently")
+	}
+	if k2 := Key(in, "MB", Options{}); k2 != k1 {
+		t.Error("solver name hashing is case-sensitive")
+	}
+	if k2 := Key(in, "mg", Options{}); k2 == k1 {
+		t.Error("different solvers share a key")
+	}
+	if k2 := Key(in, "mb", Options{BoundNodes: 9}); k2 == k1 {
+		t.Error("different bound budgets share a key")
+	}
+	if k2 := Key(in, "mb", Options{NoCache: true, IncludeSolution: true, Timeout: time.Second}); k2 != k1 {
+		t.Error("result-neutral options changed the key")
+	}
+
+	mod := in.Clone()
+	mod.W[mod.Tree.Internal()[0]]++
+	if Key(mod, "mb", Options{}) == k1 {
+		t.Error("capacity change kept the key")
+	}
+	qos := in.Clone()
+	qos.Q = make([]int, in.Tree.Len())
+	for i := range qos.Q {
+		qos.Q[i] = core.NoQoS
+	}
+	if Key(qos, "mb", Options{}) == k1 {
+		t.Error("adding a (trivial) QoS vector kept the key")
+	}
+}
+
+// TestEngineSolveEverySolver runs every registered solver end-to-end
+// through the pool on one instance.
+func TestEngineSolveEverySolver(t *testing.T) {
+	in := testInstance(t)
+	e := newTestEngine(t, EngineOptions{Workers: 4})
+	for _, s := range e.Registry().Solvers() {
+		resp, err := e.Solve(context.Background(), Request{Instance: in, Solver: s.Name})
+		if err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+			continue
+		}
+		if resp.Solver != s.Name || resp.Policy != s.Policy.String() {
+			t.Errorf("%s: echoed %q/%q", s.Name, resp.Solver, resp.Policy)
+		}
+		switch {
+		case resp.NoSolution:
+			// Heuristics may legitimately fail; exact Multiple must not.
+			if s.Name == "optimal" || s.Name == "mg" {
+				t.Errorf("%s: no solution on a feasible instance", s.Name)
+			}
+		case s.IsBound():
+			if resp.Bound == nil || resp.Bound.Value <= 0 {
+				t.Errorf("%s: bound missing or non-positive: %+v", s.Name, resp.Bound)
+			}
+		default:
+			if resp.Cost <= 0 || resp.ReplicaCount != len(resp.Replicas) {
+				t.Errorf("%s: bad solution summary %+v", s.Name, resp)
+			}
+		}
+	}
+}
+
+func TestEngineSolutionRoundTrip(t *testing.T) {
+	in := testInstance(t)
+	e := newTestEngine(t, EngineOptions{Workers: 2})
+	resp, err := e.Solve(context.Background(), Request{
+		Instance: in, Solver: "optimal", Options: Options{IncludeSolution: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Solution == nil {
+		t.Fatal("IncludeSolution ignored")
+	}
+	if err := resp.Solution.Validate(in, core.Multiple); err != nil {
+		t.Fatalf("returned solution invalid: %v", err)
+	}
+	if got := resp.Solution.StorageCost(in); got != resp.Cost {
+		t.Errorf("cost mismatch: summary %d, solution %d", resp.Cost, got)
+	}
+}
+
+func TestEngineCacheAccounting(t *testing.T) {
+	var calls atomic.Int64
+	e := newTestEngine(t, EngineOptions{Workers: 2, Registry: countingRegistry(t, 0, &calls)})
+	in := testInstance(t)
+	req := Request{Instance: in, Solver: "stub"}
+
+	first, err := e.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Error("first solve reported cached")
+	}
+	second, err := e.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Error("second identical solve not served from cache")
+	}
+	if first.Cost != second.Cost || first.ReplicaCount != second.ReplicaCount {
+		t.Errorf("cached response differs: %+v vs %+v", first, second)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("backend ran %d times, want 1", n)
+	}
+	st := e.Stats()
+	if st.CacheMisses != 1 || st.CacheHits != 1 || st.Computations != 1 || st.Requests != 2 {
+		t.Errorf("stats = %+v, want 1 miss / 1 hit / 1 computation / 2 requests", st)
+	}
+}
+
+func TestEngineNoCacheOption(t *testing.T) {
+	var calls atomic.Int64
+	e := newTestEngine(t, EngineOptions{Workers: 2, Registry: countingRegistry(t, 0, &calls)})
+	in := testInstance(t)
+	for i := 0; i < 2; i++ {
+		if _, err := e.Solve(context.Background(), Request{
+			Instance: in, Solver: "stub", Options: Options{NoCache: true},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("backend ran %d times with NoCache, want 2", n)
+	}
+}
+
+// TestEngineSingleFlight is the acceptance-criteria test: N parallel
+// solves of the same instance trigger exactly one backend computation.
+func TestEngineSingleFlight(t *testing.T) {
+	const parallel = 16
+	var calls atomic.Int64
+	e := newTestEngine(t, EngineOptions{
+		Workers: 8, QueueDepth: 2 * parallel,
+		Registry: countingRegistry(t, 50*time.Millisecond, &calls),
+	})
+	in := testInstance(t)
+
+	var wg sync.WaitGroup
+	costs := make([]int64, parallel)
+	errs := make([]error, parallel)
+	for i := 0; i < parallel; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := e.Solve(context.Background(), Request{Instance: in.Clone(), Solver: "stub"})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			costs[i] = resp.Cost
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("solve %d: %v", i, err)
+		}
+	}
+	for i := 1; i < parallel; i++ {
+		if costs[i] != costs[0] {
+			t.Fatalf("divergent costs: %v", costs)
+		}
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("backend ran %d times for %d parallel identical solves, want 1", n, parallel)
+	}
+}
+
+// TestWaitersDoNotHoldWorkers pins the scheduling property that
+// duplicate requests waiting on an in-flight computation do not occupy
+// pool slots: with 2 workers, one slow computation and several
+// duplicates of it, an unrelated fast request must still get through
+// promptly on the second worker.
+func TestWaitersDoNotHoldWorkers(t *testing.T) {
+	slow := testInstance(t)
+	fast := gen.Instance(gen.Config{Internal: 5, Clients: 10, Lambda: 0.3, UnitCosts: true}, 99)
+	var calls atomic.Int64
+	r := new(Registry)
+	if err := r.Register(Solver{
+		Name: "slow", Policy: core.Multiple, Kind: "heuristic",
+		Run: func(in *core.Instance, opt Options) (Result, error) {
+			calls.Add(1)
+			time.Sleep(500 * time.Millisecond)
+			return solutionBackend(heuristics.MG)(in, opt)
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Solver{
+		Name: "fast", Policy: core.Multiple, Kind: "heuristic",
+		Run: solutionBackend(heuristics.MG),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e := newTestEngine(t, EngineOptions{Workers: 2, QueueDepth: 16, Registry: r})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := e.Solve(context.Background(), Request{Instance: slow, Solver: "slow"}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	// Give the duplicates time to claim/queue, then race the fast one.
+	time.Sleep(50 * time.Millisecond)
+	start := time.Now()
+	if _, err := e.Solve(context.Background(), Request{Instance: fast, Solver: "fast"}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 250*time.Millisecond {
+		t.Errorf("fast request took %v behind duplicate waiters; want well under the 500ms slow solve", d)
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Errorf("slow backend ran %d times, want 1", n)
+	}
+}
+
+// TestBoundNodesKeyNormalization pins the cache-key rule: BoundNodes
+// only splits keys for budgeted bound solvers, and the default budget
+// hashes like an explicit 400.
+func TestBoundNodesKeyNormalization(t *testing.T) {
+	var calls atomic.Int64
+	e := newTestEngine(t, EngineOptions{Workers: 1, Registry: countingRegistry(t, 0, &calls)})
+	in := testInstance(t)
+	for _, opt := range []Options{{}, {BoundNodes: 123}} {
+		if _, err := e.Solve(context.Background(), Request{Instance: in, Solver: "stub", Options: opt}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("stray BoundNodes split the key for a non-bound solver: %d computations", n)
+	}
+
+	e2 := newTestEngine(t, EngineOptions{Workers: 1})
+	for _, opt := range []Options{{}, {BoundNodes: 400}} {
+		if _, err := e2.Solve(context.Background(), Request{
+			Instance: in, Solver: "lp-refined-multiple", Options: opt,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := e2.Stats(); st.Computations != 1 {
+		t.Errorf("default and explicit-400 refined budgets hashed differently: %d computations", st.Computations)
+	}
+	// A genuinely different budget is a different computation.
+	if _, err := e2.Solve(context.Background(), Request{
+		Instance: in, Solver: "lp-refined-multiple", Options: Options{BoundNodes: 7},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if st := e2.Stats(); st.Computations != 2 {
+		t.Errorf("distinct refined budget did not recompute: %d computations", st.Computations)
+	}
+}
+
+func TestEngineDeadline(t *testing.T) {
+	var calls atomic.Int64
+	e := newTestEngine(t, EngineOptions{Workers: 1, Registry: countingRegistry(t, 300*time.Millisecond, &calls)})
+	_, err := e.Solve(context.Background(), Request{
+		Instance: testInstance(t), Solver: "stub", Options: Options{Timeout: 20 * time.Millisecond},
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestEngineUnknownSolver(t *testing.T) {
+	e := newTestEngine(t, EngineOptions{Workers: 1})
+	_, err := e.Solve(context.Background(), Request{Instance: testInstance(t), Solver: "nope"})
+	var unknown *ErrUnknownSolver
+	if !errors.As(err, &unknown) || unknown.Name != "nope" {
+		t.Fatalf("err = %v, want ErrUnknownSolver{nope}", err)
+	}
+}
+
+func TestEngineRejectsInvalidInstance(t *testing.T) {
+	e := newTestEngine(t, EngineOptions{Workers: 1})
+	if _, err := e.Solve(context.Background(), Request{Solver: "mb"}); err == nil {
+		t.Error("nil instance accepted")
+	}
+	bad := testInstance(t).Clone()
+	bad.R = bad.R[:1]
+	if _, err := e.Solve(context.Background(), Request{Instance: bad, Solver: "mb"}); err == nil {
+		t.Error("malformed instance accepted")
+	}
+}
+
+// TestEngineGracefulShutdown checks that Close drains the in-flight job
+// (the caller still gets its result) and rejects later submissions.
+func TestEngineGracefulShutdown(t *testing.T) {
+	var calls atomic.Int64
+	e := NewEngine(EngineOptions{Workers: 1, Registry: countingRegistry(t, 150*time.Millisecond, &calls)})
+	in := testInstance(t)
+
+	type outcome struct {
+		resp *Response
+		err  error
+	}
+	got := make(chan outcome, 1)
+	go func() {
+		resp, err := e.Solve(context.Background(), Request{Instance: in, Solver: "stub"})
+		got <- outcome{resp, err}
+	}()
+	// Wait for the job to be in flight so Close has something to drain.
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Stats().InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := e.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	out := <-got
+	if out.err != nil || out.resp == nil || out.resp.Cost <= 0 {
+		t.Fatalf("in-flight job was not drained: %+v, %v", out.resp, out.err)
+	}
+	if _, err := e.Solve(context.Background(), Request{Instance: in, Solver: "stub"}); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("post-close solve: err = %v, want ErrEngineClosed", err)
+	}
+	if err := e.Close(ctx); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	var calls atomic.Int64
+	e := newTestEngine(t, EngineOptions{Workers: 1, CacheSize: 1, Registry: countingRegistry(t, 0, &calls)})
+	a := gen.Instance(gen.Config{Internal: 5, Clients: 10, Lambda: 0.3, UnitCosts: true}, 1)
+	b := gen.Instance(gen.Config{Internal: 5, Clients: 10, Lambda: 0.3, UnitCosts: true}, 2)
+	for _, in := range []*core.Instance{a, b, a} {
+		if _, err := e.Solve(context.Background(), Request{Instance: in, Solver: "stub"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := calls.Load(); n != 3 {
+		t.Errorf("backend ran %d times, want 3 (a evicted by b)", n)
+	}
+	st := e.Stats()
+	if st.Evictions == 0 || st.CacheEntries != 1 {
+		t.Errorf("stats = %+v, want evictions > 0 and one retained entry", st)
+	}
+}
+
+// TestNoSolutionCached checks that deterministic infeasibility results
+// are cached like any other outcome.
+func TestNoSolutionCached(t *testing.T) {
+	// λ > 1 guarantees total demand exceeds capacity: infeasible.
+	in := gen.Instance(gen.Config{Internal: 4, Clients: 8, Lambda: 8, UnitCosts: true}, 3)
+	var calls atomic.Int64
+	e := newTestEngine(t, EngineOptions{Workers: 1, Registry: countingRegistry(t, 0, &calls)})
+	for i := 0; i < 2; i++ {
+		resp, err := e.Solve(context.Background(), Request{Instance: in, Solver: "stub"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.NoSolution {
+			t.Fatalf("overloaded instance solved: %+v", resp)
+		}
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("backend ran %d times, want 1 (NoSolution cached)", n)
+	}
+}
+
+func TestResolveTrimsAndFolds(t *testing.T) {
+	e := newTestEngine(t, EngineOptions{Workers: 1})
+	in := testInstance(t)
+	for _, name := range []string{"MB", " mb ", "Optimal", "LP-RATIONAL", "brute"} {
+		req := Request{Instance: in, Solver: name, Policy: core.Multiple}
+		if _, err := e.Solve(context.Background(), req); err != nil {
+			t.Errorf("Solve(%q): %v", name, err)
+		}
+	}
+	if !strings.Contains(strings.Join(e.Registry().Names(), ","), "lp-refined-multiple") {
+		t.Error("Names() missing lp-refined-multiple")
+	}
+}

@@ -34,6 +34,7 @@ package replica
 
 import (
 	"io"
+	"net/http"
 
 	"repro/internal/core"
 	"repro/internal/exact"
@@ -43,6 +44,7 @@ import (
 	"repro/internal/lpbound"
 	"repro/internal/optimize"
 	"repro/internal/render"
+	"repro/internal/service"
 	"repro/internal/tree"
 )
 
@@ -215,6 +217,36 @@ func Optimize(in *Instance, start *Solution, opts OptimizeOptions) (*Solution, f
 	}
 	return res.Solution, res.Cost, nil
 }
+
+// Serving subsystem, re-exported. Engine is a long-running concurrent
+// solver service: every exact solver, heuristic, QoS/bandwidth variant
+// and LP bound behind one request interface, scheduled on a bounded
+// worker pool with a canonical-hash solution cache. cmd/rpserve exposes
+// it over HTTP.
+type (
+	// Engine is the concurrent placement engine.
+	Engine = service.Engine
+	// EngineOptions configures NewEngine; its zero value is ready to use.
+	EngineOptions = service.EngineOptions
+	// ServiceRequest names one computation (instance + solver + options).
+	ServiceRequest = service.Request
+	// ServiceResponse is the outcome of a ServiceRequest.
+	ServiceResponse = service.Response
+	// ServiceOptions are the per-request knobs (deadline, cache bypass,
+	// bound budget).
+	ServiceOptions = service.Options
+	// SolverRegistry maps solver names to backends; custom backends
+	// (e.g. sharded or remote solvers) register here.
+	SolverRegistry = service.Registry
+)
+
+// NewEngine starts a concurrent placement engine and its worker pool.
+// Callers must Close it to release the workers.
+func NewEngine(opts EngineOptions) *Engine { return service.NewEngine(opts) }
+
+// NewServiceHandler returns the engine's HTTP API (the one cmd/rpserve
+// serves), for embedding into an existing server.
+func NewServiceHandler(e *Engine) http.Handler { return service.NewHandler(e) }
 
 // RenderTree writes the instance (and optionally a solution's placement)
 // as an ASCII tree.
