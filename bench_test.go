@@ -13,7 +13,12 @@
 package replica_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -33,11 +38,14 @@ import (
 // --- Table 1: complexity of the six problem variants ---
 
 // BenchmarkTable1_MultipleHomogeneous measures the polynomial optimal
-// algorithm (Theorem 1) across sizes; time should grow polynomially.
+// algorithm (Theorem 1) across sizes; time should grow polynomially and
+// the reported allocations are exactly the returned Solution (the solver
+// scratch is pooled).
 func BenchmarkTable1_MultipleHomogeneous(b *testing.B) {
 	for _, size := range []int{50, 200, 800} {
 		in := gen.Instance(gen.Config{Internal: size, Clients: 2 * size, Lambda: 0.5, UnitCosts: true}, 42)
 		b.Run(sizeName(size), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := exact.MultipleHomogeneous(in); err != nil {
 					b.Fatal(err)
@@ -69,7 +77,7 @@ func BenchmarkTable1_UpwardsExponential(b *testing.B) {
 		in := gen.Instance(gen.Config{Internal: size, Clients: size, Lambda: 0.5, UnitCosts: true}, 7)
 		b.Run(sizeName(size), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				_, _ = exact.BruteForce(in, core.Upwards)
+				_, _ = exact.BruteForce(context.Background(), in, core.Upwards)
 			}
 		})
 	}
@@ -84,7 +92,7 @@ func BenchmarkFig02_UpwardsVsClosest(b *testing.B) {
 	in := core.Figure2(n)
 	var up, cl int
 	for i := 0; i < b.N; i++ {
-		u, err := exact.BruteForce(in, core.Upwards)
+		u, err := exact.BruteForce(context.Background(), in, core.Upwards)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -108,7 +116,7 @@ func BenchmarkFig03_MultipleVsUpwards(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		u, err := exact.BruteForce(in, core.Upwards)
+		u, err := exact.BruteForce(context.Background(), in, core.Upwards)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -123,11 +131,11 @@ func BenchmarkFig04_HeterogeneousGap(b *testing.B) {
 	in := core.Figure4(5, 20)
 	var mu, up int64
 	for i := 0; i < b.N; i++ {
-		m, err := exact.BruteForce(in, core.Multiple)
+		m, err := exact.BruteForce(context.Background(), in, core.Multiple)
 		if err != nil {
 			b.Fatal(err)
 		}
-		u, err := exact.BruteForce(in, core.Upwards)
+		u, err := exact.BruteForce(context.Background(), in, core.Upwards)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -171,7 +179,7 @@ func BenchmarkFig07_ThreePartitionGadget(b *testing.B) {
 	}
 	for i := 0; i < b.N; i++ {
 		g := reduction.BuildUpwards(p)
-		if _, err := exact.BruteForce(g.Instance, core.Upwards); err != nil {
+		if _, err := exact.BruteForce(context.Background(), g.Instance, core.Upwards); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -184,7 +192,7 @@ func BenchmarkFig08_TwoPartitionGadget(b *testing.B) {
 	}
 	for i := 0; i < b.N; i++ {
 		g := reduction.BuildCost(p)
-		if _, err := exact.BruteForce(g.Instance, core.Multiple); err != nil {
+		if _, err := exact.BruteForce(context.Background(), g.Instance, core.Multiple); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -255,12 +263,14 @@ func BenchmarkHeuristics(b *testing.B) {
 	for _, h := range heuristics.All {
 		h := h
 		b.Run(h.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_, _ = h.Run(in)
 			}
 		})
 	}
 	b.Run("MB", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_, _ = heuristics.MB(in)
 		}
@@ -285,7 +295,7 @@ func BenchmarkLPBound_Refined(b *testing.B) {
 		seedCost = float64(sol.StorageCost(in))
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := lpbound.Refined(in, core.Multiple,
+		if _, err := lpbound.Refined(context.Background(), in, core.Multiple,
 			lpbound.Options{MaxNodes: 50, Incumbent: seedCost}); err != nil {
 			b.Fatal(err)
 		}
@@ -326,7 +336,7 @@ func BenchmarkAblation_IncumbentSeeding(b *testing.B) {
 	seed := float64(sol.StorageCost(in))
 	b.Run("seeded", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := lpbound.Refined(in, core.Multiple,
+			if _, err := lpbound.Refined(context.Background(), in, core.Multiple,
 				lpbound.Options{MaxNodes: 200, Incumbent: seed}); err != nil {
 				b.Fatal(err)
 			}
@@ -334,7 +344,7 @@ func BenchmarkAblation_IncumbentSeeding(b *testing.B) {
 	})
 	b.Run("unseeded", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := lpbound.Refined(in, core.Multiple,
+			if _, err := lpbound.Refined(context.Background(), in, core.Multiple,
 				lpbound.Options{MaxNodes: 200}); err != nil {
 				b.Fatal(err)
 			}
@@ -418,6 +428,93 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	if st.Requests > 0 {
 		b.ReportMetric(float64(st.CacheHits)/float64(st.Requests), "hit_rate")
 	}
+}
+
+// BenchmarkEngineSolveBatch measures the batch path's amortization: 64
+// request-vector variations of one topology, solved as one POST /v1/batch
+// (topology decoded and preprocessed once, results streamed as NDJSON)
+// versus the equivalent loop of single POST /v1/solve requests, each of
+// which re-ships, re-decodes and re-validates the full instance. Both
+// paths bypass the solution cache so the comparison measures transport,
+// preprocessing and computation, not memoization. On multicore hosts the
+// batch additionally fans its variations across the worker pool.
+func BenchmarkEngineSolveBatch(b *testing.B) {
+	const variations = 64
+	in := gen.Instance(gen.Config{Internal: 100, Clients: 200, Lambda: 0.4, UnitCosts: true}, 31)
+	vars := make([]service.BatchVariation, variations)
+	for i := range vars {
+		r := append([]int64(nil), in.R...)
+		for _, c := range in.Tree.Clients() {
+			r[c] += int64(i % 7)
+		}
+		vars[i] = service.BatchVariation{R: r}
+	}
+
+	e := service.NewEngine(service.EngineOptions{})
+	defer closeEngine(b, e)
+	srv := httptest.NewServer(service.NewHandler(e))
+	defer srv.Close()
+
+	// Pre-marshal every request body: both paths reuse their bytes, so
+	// the measured difference is server-side decode + preprocess + solve
+	// + transport, not client-side encoding.
+	batchBody, err := json.Marshal(map[string]any{
+		"topology": map[string]any{
+			"parents":   in.Tree.Parents(),
+			"is_client": in.Tree.ClientFlags(),
+		},
+		"solver":     "mg",
+		"options":    map[string]any{"no_cache": true},
+		"base":       map[string]any{"requests": in.R, "capacities": in.W, "storage_costs": in.S},
+		"variations": vars,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	solveBodies := make([][]byte, variations)
+	for i, v := range vars {
+		inst := *in
+		inst.R = v.R
+		solveBodies[i], err = json.Marshal(map[string]any{
+			"instance": &inst,
+			"solver":   "mg",
+			"options":  map[string]any{"no_cache": true},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	post := func(b *testing.B, path string, body []byte) []byte {
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("%s: status %d: %s", path, resp.StatusCode, data)
+		}
+		return data
+	}
+
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out := post(b, "/v1/batch", batchBody)
+			if n := bytes.Count(out, []byte("\n")); n != variations+1 {
+				b.Fatalf("batch stream has %d lines, want %d", n, variations+1)
+			}
+		}
+	})
+	b.Run("loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, body := range solveBodies {
+				post(b, "/v1/solve", body)
+			}
+		}
+	})
 }
 
 func closeEngine(b *testing.B, e *service.Engine) {
@@ -507,6 +604,7 @@ func BenchmarkHeuristicScaling(b *testing.B) {
 	for _, size := range []int{50, 200, 800} {
 		in := gen.Instance(gen.Config{Internal: size, Clients: 2 * size, Lambda: 0.4}, 5)
 		b.Run(sizeName(size), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_, _ = heuristics.MB(in)
 			}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -51,7 +52,7 @@ func main() {
 	}
 	fmt.Printf("rational bound:  %.4f\n", rat)
 
-	ref, err := lpbound.Refined(in, p, lpbound.Options{MaxNodes: *nodes})
+	ref, err := lpbound.Refined(context.Background(), in, p, lpbound.Options{MaxNodes: *nodes})
 	if err != nil {
 		fatalf("refined: %v", err)
 	}

@@ -10,10 +10,12 @@
 //
 // Endpoints (all JSON):
 //
-//	GET  /healthz      liveness + engine counters
-//	GET  /v1/solvers   solver registry listing
+//	GET  /healthz      liveness + engine counters (incl. per-solver cache stats)
+//	GET  /v1/solvers   solver registry listing with cache counters
 //	POST /v1/solve     {"instance": ..., "solver": "MB"}
 //	POST /v1/bound     {"instance": ..., "solver": "refined", "policy": "Multiple"}
+//	POST /v1/batch     {"topology": ..., "solver": ..., "base": ..., "variations": [...]}
+//	                   (one tree, N parameter vectors; streams NDJSON results)
 //	POST /v1/generate  {"config": {"Internal": 10, "Lambda": 0.5}, "seed": 7}
 //	POST /v1/campaign  {"config": {"TreesPerLambda": 10}}   (streams NDJSON rows)
 //

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -74,7 +75,7 @@ func main() {
 			fatalf("unknown policy %q", *policy)
 		}
 		report(in, "brute("+p.String()+")", p, *verbose, *outFile,
-			func() (*core.Solution, error) { return exact.BruteForce(in, p) })
+			func() (*core.Solution, error) { return exact.BruteForce(context.Background(), in, p) })
 	default:
 		h, ok := heuristicByFold(*solver)
 		if !ok {

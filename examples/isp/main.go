@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -73,7 +74,7 @@ func main() {
 		fmt.Printf("demand %d, capacity %d (λ = %.2f)\n",
 			in.TotalRequests(), in.TotalCapacity(), in.Load())
 
-		bound, exact, err := replica.LowerBound(in, replica.Multiple, 300)
+		bound, exact, err := replica.LowerBound(context.Background(), in, replica.Multiple, 300)
 		if err != nil {
 			fmt.Printf("lower bound: infeasible (%v)\n\n", err)
 			continue

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -14,7 +15,7 @@ import (
 func feasibility(in *core.Instance) string {
 	out := ""
 	for _, p := range core.Policies {
-		_, err := exact.BruteForce(in, p)
+		_, err := exact.BruteForce(context.Background(), in, p)
 		mark := "yes"
 		if err != nil {
 			mark = "no "
@@ -25,7 +26,7 @@ func feasibility(in *core.Instance) string {
 }
 
 func cost(in *core.Instance, p core.Policy) int64 {
-	sol, err := exact.BruteForce(in, p)
+	sol, err := exact.BruteForce(context.Background(), in, p)
 	if err != nil {
 		return -1
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -67,7 +68,7 @@ func main() {
 	fmt.Printf("MixedBest heuristic: %d replicas at %v\n", mb.ReplicaCount(), mb.Replicas())
 
 	// And the LP lower bound certifying quality.
-	bound, exact, err := replica.LowerBound(in, replica.Multiple, 200)
+	bound, exact, err := replica.LowerBound(context.Background(), in, replica.Multiple, 200)
 	if err != nil {
 		log.Fatal(err)
 	}

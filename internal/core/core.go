@@ -233,7 +233,7 @@ func (in *Instance) Dist(v, a int) int64 {
 		return int64(in.Tree.Dist(v, a))
 	}
 	var d int64
-	for _, u := range in.Tree.PathLinks(v, a) {
+	for u := v; u != a; u = in.Tree.Parent(u) {
 		d += in.Comm[u]
 	}
 	return d

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/tree"
 )
 
 // Portion is a share of one client's requests handled by one server.
@@ -28,6 +30,30 @@ type Solution struct {
 // NewSolution returns an empty solution for an instance's tree size.
 func NewSolution(n int) *Solution {
 	return &Solution{Assign: make([][]Portion, n)}
+}
+
+// NewSolutionFromPortions materializes a Solution from per-vertex portion
+// buffers (typically a solver's pooled scratch): one backing slab plus the
+// per-client headers, iterated in clients order. The buffers are copied,
+// never retained, so the returned Solution owns its memory — this is the
+// single allocation site of the zero-allocation solver cores.
+func NewSolutionFromPortions(ports [][]Portion, clients []int) *Solution {
+	total := 0
+	for _, c := range clients {
+		total += len(ports[c])
+	}
+	sol := NewSolution(len(ports))
+	slab := make([]Portion, 0, total)
+	for _, c := range clients {
+		ps := ports[c]
+		if len(ps) == 0 {
+			continue
+		}
+		start := len(slab)
+		slab = append(slab, ps...)
+		sol.Assign[c] = slab[start:len(slab):len(slab)]
+	}
+	return sol
 }
 
 // AddPortion assigns load requests of client c to server s, merging with an
@@ -114,7 +140,7 @@ func (sol *Solution) LinkFlows(in *Instance) []int64 {
 	flows := make([]int64, in.Tree.Len())
 	for c, ps := range sol.Assign {
 		for _, p := range ps {
-			for _, u := range in.Tree.PathLinks(c, p.Server) {
+			for u := c; u != p.Server; u = in.Tree.Parent(u) {
 				flows[u] += p.Load
 			}
 		}
@@ -176,10 +202,7 @@ func (sol *Solution) Validate(in *Instance, p Policy) error {
 			if len(ps) == 0 {
 				continue
 			}
-			for _, a := range t.Ancestors(c) {
-				if a == ps[0].Server {
-					break
-				}
+			for a := t.Parent(c); a != tree.None && a != ps[0].Server; a = t.Parent(a) {
 				if sol.IsReplica(a) {
 					return fmt.Errorf("core: client %d served by %d but traverses replica %d (Closest)",
 						c, ps[0].Server, a)

@@ -1,0 +1,64 @@
+package exact
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// TestMultipleHomogeneousSteadyStateAllocs pins the scratch-pool
+// contract: once the pool is warm, a solve allocates only the returned
+// Solution (struct + assignment headers + one portion slab), nothing
+// proportional to the work done.
+func TestMultipleHomogeneousSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	in := gen.Instance(gen.Config{Internal: 100, Clients: 200, Lambda: 0.5, UnitCosts: true}, 42)
+	if _, err := MultipleHomogeneous(in); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := MultipleHomogeneous(in); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const limit = 8 // the returned Solution, with headroom for a mid-run GC refilling the pool
+	if allocs > limit {
+		t.Errorf("MultipleHomogeneous: %.1f allocs/run, want <= %d", allocs, limit)
+	}
+}
+
+// TestBruteForceCancellation: an expired context stops the subset
+// enumeration instead of running the full 2^|N| sweep.
+func TestBruteForceCancellation(t *testing.T) {
+	in := gen.Instance(gen.Config{Internal: MaxBruteForceNodes, Clients: 30, Lambda: 0.5, UnitCosts: true}, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := BruteForce(ctx, in, core.Upwards)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("cancelled brute force took %v", d)
+	}
+
+	// A deadline that fires mid-run also stops the sweep.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel2()
+	start = time.Now()
+	_, err = BruteForce(ctx2, in, core.Upwards)
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		// The sweep may legitimately finish under the deadline on a fast
+		// machine; only a non-context error is a failure.
+		t.Fatalf("err = %v, want nil or context.DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("deadlined brute force took %v", d)
+	}
+}

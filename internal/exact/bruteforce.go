@@ -1,17 +1,23 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/core"
 	"repro/internal/maxflow"
+	"repro/internal/tree"
 )
 
 // MaxBruteForceNodes caps the instance size accepted by the brute-force
 // solvers: they enumerate all 2^|N| replica subsets.
 const MaxBruteForceNodes = 20
+
+// bruteCancelStride is how many replica subsets BruteForce enumerates
+// between context checks.
+const bruteCancelStride = 1024
 
 // BruteForce computes an optimal solution for the given policy by
 // exhaustive enumeration of replica subsets, checking feasibility of each
@@ -21,9 +27,11 @@ const MaxBruteForceNodes = 20
 // bandwidth with Multiple is rejected (use the LP instead).
 //
 // It is exponential and refuses instances with more than
-// MaxBruteForceNodes internal vertices. It exists to validate the
-// polynomial algorithms and heuristics.
-func BruteForce(in *core.Instance, p core.Policy) (*core.Solution, error) {
+// MaxBruteForceNodes internal vertices; ctx cancellation is observed every
+// bruteCancelStride subsets, so an expired deadline stops the enumeration
+// promptly. It exists to validate the polynomial algorithms and
+// heuristics.
+func BruteForce(ctx context.Context, in *core.Instance, p core.Policy) (*core.Solution, error) {
 	t := in.Tree
 	n := t.NumInternal()
 	if n > MaxBruteForceNodes {
@@ -36,6 +44,9 @@ func BruteForce(in *core.Instance, p core.Policy) (*core.Solution, error) {
 	var best *core.Solution
 	var bestCost int64
 	for mask := 0; mask < 1<<n; mask++ {
+		if mask%bruteCancelStride == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		var cost int64
 		repl := make([]bool, t.Len())
 		for b := 0; b < n; b++ {
@@ -95,7 +106,7 @@ func assignUpwards(in *core.Instance, repl []bool) (*core.Solution, error) {
 			continue
 		}
 		var servers []int
-		for _, a := range t.Ancestors(c) {
+		for a := t.Parent(c); a != tree.None; a = t.Parent(a) {
 			if repl[a] && in.QoSAllows(c, a) && in.W[a] >= in.R[c] {
 				servers = append(servers, a)
 			}
@@ -127,7 +138,7 @@ func assignUpwards(in *core.Instance, repl []bool) (*core.Solution, error) {
 			}
 			if hasBW {
 				ok := true
-				for _, u := range t.PathLinks(c, s) {
+				for u := c; u != s; u = t.Parent(u) {
 					if in.BW[u] != core.NoBandwidth && bwLeft[u] < r {
 						ok = false
 						break
@@ -136,7 +147,7 @@ func assignUpwards(in *core.Instance, repl []bool) (*core.Solution, error) {
 				if !ok {
 					continue
 				}
-				for _, u := range t.PathLinks(c, s) {
+				for u := c; u != s; u = t.Parent(u) {
 					if in.BW[u] != core.NoBandwidth {
 						bwLeft[u] -= r
 					}
@@ -149,7 +160,7 @@ func assignUpwards(in *core.Instance, repl []bool) (*core.Solution, error) {
 			}
 			capLeft[s] += r
 			if hasBW {
-				for _, u := range t.PathLinks(c, s) {
+				for u := c; u != s; u = t.Parent(u) {
 					if in.BW[u] != core.NoBandwidth {
 						bwLeft[u] += r
 					}
@@ -209,7 +220,7 @@ func assignMultiple(in *core.Instance, repl []bool) (*core.Solution, error) {
 		if in.R[c] == 0 {
 			continue
 		}
-		for _, a := range t.Ancestors(c) {
+		for a := t.Parent(c); a != tree.None; a = t.Parent(a) {
 			if repl[a] && in.QoSAllows(c, a) {
 				h := g.AddEdge(cIdx[c], len(clients)+nIdx[a], in.R[c])
 				arcs = append(arcs, arc{c: c, s: a, handle: h})

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/core"
+	"repro/internal/tree"
 )
 
 // ClosestHomogeneous solves Replica Counting optimally under the Closest
@@ -87,7 +88,7 @@ func assignClosest(in *core.Instance, repl []bool) (*core.Solution, error) {
 			continue
 		}
 		server := -1
-		for _, a := range t.Ancestors(c) {
+		for a := t.Parent(c); a != tree.None; a = t.Parent(a) {
 			if repl[a] {
 				server = a
 				break

@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -21,7 +22,7 @@ func TestClosestQoSOptimal(t *testing.T) {
 		}
 		in := gen.Instance(cfg, seed)
 		fast, ferr := ClosestHomogeneousQoS(in)
-		slow, serr := BruteForce(in, core.Closest)
+		slow, serr := BruteForce(context.Background(), in, core.Closest)
 		if (ferr == nil) != (serr == nil) {
 			t.Fatalf("seed %d: feasibility mismatch: fast=%v slow=%v", seed, ferr, serr)
 		}

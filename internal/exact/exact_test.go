@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -40,7 +41,7 @@ func TestFigure1_ExistencePerPolicy(t *testing.T) {
 	for _, r := range rows {
 		in := core.Figure1(r.variant)
 		for _, p := range core.Policies {
-			sol, err := BruteForce(in, p)
+			sol, err := BruteForce(context.Background(), in, p)
 			got := err == nil
 			if got != r.want[p] {
 				t.Errorf("fig1%c %v: solvable=%v, want %v", r.variant, p, got, r.want[p])
@@ -59,11 +60,11 @@ func TestFigure1_ExistencePerPolicy(t *testing.T) {
 func TestFigure2_UpwardsVsClosest(t *testing.T) {
 	for _, n := range []int{1, 2, 3, 4} {
 		in := core.Figure2(n)
-		up, err := BruteForce(in, core.Upwards)
+		up, err := BruteForce(context.Background(), in, core.Upwards)
 		if err != nil {
 			t.Fatalf("n=%d Upwards: %v", n, err)
 		}
-		cl, err := BruteForce(in, core.Closest)
+		cl, err := BruteForce(context.Background(), in, core.Closest)
 		if err != nil {
 			t.Fatalf("n=%d Closest: %v", n, err)
 		}
@@ -98,7 +99,7 @@ func TestFigure3_MultipleVsUpwards(t *testing.T) {
 		if got := solveCount(t, in); got != n+1 {
 			t.Errorf("n=%d: Multiple count = %d, want %d", n, got, n+1)
 		}
-		up, err := BruteForce(in, core.Upwards)
+		up, err := BruteForce(context.Background(), in, core.Upwards)
 		if err != nil {
 			t.Fatalf("n=%d Upwards: %v", n, err)
 		}
@@ -113,14 +114,14 @@ func TestFigure3_MultipleVsUpwards(t *testing.T) {
 func TestFigure4_HeterogeneousGap(t *testing.T) {
 	const n, k = 5, 10
 	in := core.Figure4(n, k)
-	mu, err := BruteForce(in, core.Multiple)
+	mu, err := BruteForce(context.Background(), in, core.Multiple)
 	if err != nil {
 		t.Fatalf("Multiple: %v", err)
 	}
 	if got := mu.StorageCost(in); got != 2*n {
 		t.Errorf("Multiple cost = %d, want %d", got, 2*n)
 	}
-	up, err := BruteForce(in, core.Upwards)
+	up, err := BruteForce(context.Background(), in, core.Upwards)
 	if err != nil {
 		t.Fatalf("Upwards: %v", err)
 	}
@@ -145,7 +146,7 @@ func TestFigure5_LowerBoundGap(t *testing.T) {
 		t.Fatalf("trivial bound = %d", in.TrivialLowerBound())
 	}
 	for _, p := range core.Policies {
-		sol, err := BruteForce(in, p)
+		sol, err := BruteForce(context.Background(), in, p)
 		if err != nil {
 			t.Fatalf("%v: %v", p, err)
 		}
@@ -208,7 +209,7 @@ func TestFigure6_WorkedExample(t *testing.T) {
 		t.Errorf("split = %v, want n3:6 n1:9", byServer)
 	}
 	// Cross-check optimality against brute force.
-	bf, err := BruteForce(in, core.Multiple)
+	bf, err := BruteForce(context.Background(), in, core.Multiple)
 	if err != nil {
 		t.Fatalf("BruteForce: %v", err)
 	}
@@ -229,7 +230,7 @@ func TestMultipleHomogeneousOptimal(t *testing.T) {
 		}
 		in := gen.Instance(cfg, seed)
 		fast, ferr := MultipleHomogeneous(in)
-		slow, serr := BruteForce(in, core.Multiple)
+		slow, serr := BruteForce(context.Background(), in, core.Multiple)
 		if (ferr == nil) != (serr == nil) {
 			t.Fatalf("seed %d: feasibility mismatch: fast=%v slow=%v", seed, ferr, serr)
 		}
@@ -257,7 +258,7 @@ func TestClosestHomogeneousOptimal(t *testing.T) {
 		}
 		in := gen.Instance(cfg, seed)
 		fast, ferr := ClosestHomogeneous(in)
-		slow, serr := BruteForce(in, core.Closest)
+		slow, serr := BruteForce(context.Background(), in, core.Closest)
 		if (ferr == nil) != (serr == nil) {
 			t.Fatalf("seed %d: feasibility mismatch: fast=%v slow=%v", seed, ferr, serr)
 		}
@@ -288,7 +289,7 @@ func TestPolicyHierarchy(t *testing.T) {
 		costs := map[core.Policy]int64{}
 		feasible := map[core.Policy]bool{}
 		for _, p := range core.Policies {
-			sol, err := BruteForce(in, p)
+			sol, err := BruteForce(context.Background(), in, p)
 			if err == nil {
 				feasible[p] = true
 				costs[p] = sol.StorageCost(in)
@@ -351,11 +352,11 @@ func TestZeroCapacity(t *testing.T) {
 
 func TestBruteForceLimits(t *testing.T) {
 	in := gen.Instance(gen.Config{Internal: MaxBruteForceNodes + 1, Clients: 3}, 1)
-	if _, err := BruteForce(in, core.Closest); err == nil {
+	if _, err := BruteForce(context.Background(), in, core.Closest); err == nil {
 		t.Error("want size-limit error")
 	}
 	small := core.Figure1('a')
-	if _, err := BruteForce(small, core.Policy(42)); err == nil {
+	if _, err := BruteForce(context.Background(), small, core.Policy(42)); err == nil {
 		t.Error("want unknown-policy error")
 	}
 }
@@ -393,7 +394,7 @@ func TestBruteForceWithQoS(t *testing.T) {
 		in.Q[c] = 1
 	}
 	for _, p := range core.Policies {
-		sol, err := BruteForce(in, p)
+		sol, err := BruteForce(context.Background(), in, p)
 		if err != nil {
 			// With q=1, each leaf node must hold a replica; the root's own
 			// client forces a root replica; capacity n=2 suffices.
@@ -422,11 +423,11 @@ func TestBruteForceWithBandwidth(t *testing.T) {
 		}
 	}
 	in.BW[s1] = 0
-	if _, err := BruteForce(in, core.Upwards); err == nil {
+	if _, err := BruteForce(context.Background(), in, core.Upwards); err == nil {
 		t.Error("Upwards should be infeasible with blocked link")
 	}
 	in.BW[s1] = 1
-	if _, err := BruteForce(in, core.Upwards); err != nil {
+	if _, err := BruteForce(context.Background(), in, core.Upwards); err != nil {
 		t.Errorf("Upwards should be feasible with bw 1: %v", err)
 	}
 }
@@ -442,7 +443,7 @@ func TestBruteForceMultipleBandwidthSolutions(t *testing.T) {
 			Lambda:   0.3 + float64(seed%6)/10.0,
 			BWFactor: 0.3 + float64(seed%6)/10.0,
 		}, seed+4400)
-		sol, err := BruteForce(in, core.Multiple)
+		sol, err := BruteForce(context.Background(), in, core.Multiple)
 		if errors.Is(err, ErrNoSolution) {
 			continue
 		}
@@ -456,7 +457,7 @@ func TestBruteForceMultipleBandwidthSolutions(t *testing.T) {
 		// stay equal: optimal cost without BW <= with BW.
 		free := in.Clone()
 		free.BW = nil
-		fsol, ferr := BruteForce(free, core.Multiple)
+		fsol, ferr := BruteForce(context.Background(), free, core.Multiple)
 		if ferr != nil {
 			t.Fatalf("seed %d: uncapped version infeasible", seed)
 		}
@@ -471,12 +472,12 @@ func TestBruteForceMultipleBandwidthSolutions(t *testing.T) {
 // combination.
 func TestBruteForceRejectsBWPlusQoSMultiple(t *testing.T) {
 	in := gen.Instance(gen.Config{Internal: 3, Clients: 3, QoSRange: 2, BWFactor: 0.8}, 1)
-	if _, err := BruteForce(in, core.Multiple); err == nil || errors.Is(err, ErrNoSolution) {
+	if _, err := BruteForce(context.Background(), in, core.Multiple); err == nil || errors.Is(err, ErrNoSolution) {
 		t.Errorf("want explicit unsupported-combination error, got %v", err)
 	}
 	// Closest and Upwards support the combination.
 	for _, p := range []core.Policy{core.Closest, core.Upwards} {
-		if _, err := BruteForce(in, p); err != nil && !errors.Is(err, ErrNoSolution) {
+		if _, err := BruteForce(context.Background(), in, p); err != nil && !errors.Is(err, ErrNoSolution) {
 			t.Errorf("%v: %v", p, err)
 		}
 	}

@@ -8,13 +8,62 @@ package exact
 
 import (
 	"errors"
+	"sync"
 
 	"repro/internal/core"
+	"repro/internal/tree"
 )
 
 // ErrNoSolution is returned when an instance admits no feasible placement
 // under the requested policy.
 var ErrNoSolution = errors.New("exact: no feasible solution")
+
+// mhScratch is the pooled working set of MultipleHomogeneous: the flow
+// and useful-flow vectors, replica flags, pass-3 residues and assignment
+// buffers. A steady-state solve allocates only the returned Solution.
+type mhScratch struct {
+	flow      []int64
+	uflow     []int64
+	remaining []int64
+	repl      []bool
+	stack     []int
+	ports     [][]core.Portion
+}
+
+var mhPool = sync.Pool{New: func() any { return new(mhScratch) }}
+
+func (sc *mhScratch) reset(n int) {
+	grow := func(s []int64) []int64 {
+		if cap(s) < n {
+			return make([]int64, n)
+		}
+		return s[:n]
+	}
+	sc.flow = grow(sc.flow)
+	sc.uflow = grow(sc.uflow)
+	sc.remaining = grow(sc.remaining)
+	if cap(sc.repl) < n {
+		sc.repl = make([]bool, n)
+	}
+	sc.repl = sc.repl[:n]
+	if cap(sc.stack) < n {
+		sc.stack = make([]int, 0, n)
+	}
+	sc.stack = sc.stack[:0]
+	if cap(sc.ports) < n {
+		ports := make([][]core.Portion, n)
+		copy(ports, sc.ports)
+		sc.ports = ports
+	}
+	sc.ports = sc.ports[:n]
+	for v := 0; v < n; v++ {
+		sc.flow[v] = 0
+		sc.uflow[v] = 0
+		sc.remaining[v] = 0
+		sc.repl[v] = false
+		sc.ports[v] = sc.ports[v][:0]
+	}
+}
 
 // MultipleHomogeneous solves Replica Counting optimally under the Multiple
 // policy on a homogeneous platform, implementing the three-pass algorithm
@@ -47,9 +96,12 @@ func MultipleHomogeneous(in *core.Instance) (*core.Solution, error) {
 		return nil, ErrNoSolution
 	}
 
+	sc := mhPool.Get().(*mhScratch)
+	defer mhPool.Put(sc)
+	sc.reset(t.Len())
+	flow, repl := sc.flow, sc.repl
+
 	// Pass 1: canonical flows; saturated nodes get replicas.
-	flow := make([]int64, t.Len())
-	repl := make([]bool, t.Len())
 	for _, v := range t.PostOrder() {
 		if t.IsClient(v) {
 			flow[v] = in.R[v]
@@ -76,13 +128,13 @@ func MultipleHomogeneous(in *core.Instance) (*core.Solution, error) {
 		flow[root] = 0
 	default:
 		// Pass 2: place extra replicas by maximal useful flow.
-		if err := passTwo(in, w, flow, repl); err != nil {
+		if err := passTwo(in, w, sc); err != nil {
 			return nil, err
 		}
 	}
 
 	// Pass 3: bottom-up request assignment.
-	sol := passThree(in, w, repl)
+	sol := passThree(in, w, sc)
 	if sol == nil {
 		return nil, ErrNoSolution
 	}
@@ -92,112 +144,124 @@ func MultipleHomogeneous(in *core.Instance) (*core.Solution, error) {
 // passTwo implements Algorithm 2: repeatedly select the free node with the
 // maximal useful flow uflow_j = min over path[j -> root] of flow, granting
 // it a replica and deducting the absorbed requests along its path.
-func passTwo(in *core.Instance, w int64, flow []int64, repl []bool) error {
+//
+// Useful flows are maintained incrementally: a grant changes flow only on
+// the granted path, so the refresh walks down from the root and prunes
+// every subtree whose entry uflow is unchanged and which does not contain
+// the granted node, instead of re-sweeping the whole tree per replica.
+func passTwo(in *core.Instance, w int64, sc *mhScratch) error {
 	t := in.Tree
 	root := t.Root()
-	uflow := make([]int64, t.Len())
+	flow, repl, uflow := sc.flow, sc.repl, sc.uflow
+
+	// Initial useful flows, top-down. A client never has children, so the
+	// recurrence closes over the internal vertices alone.
+	for _, v := range t.PreOrderInternal() {
+		if v == root {
+			uflow[v] = flow[v]
+		} else {
+			uflow[v] = min64(flow[v], uflow[t.Parent(v)])
+		}
+	}
+
 	for flow[root] != 0 {
-		free := false
-		for _, j := range t.Internal() {
-			if !repl[j] {
-				free = true
-				break
-			}
-		}
-		if !free {
-			return ErrNoSolution
-		}
-		// Useful flows, top-down.
-		var maxNode int
-		var maxUflow int64 = 0
-		maxNode = -1
-		for _, v := range t.PreOrder() {
-			if t.IsClient(v) {
-				continue
-			}
-			if v == root {
-				uflow[v] = flow[v]
-			} else {
-				uflow[v] = min64(flow[v], uflow[t.Parent(v)])
-			}
-			// Pre-order visit doubles as the paper's depth-first
-			// tie-break: strict inequality keeps the first maximum.
+		// Selection: preorder scan keeps the paper's depth-first tie-break
+		// (strict inequality retains the first maximum).
+		maxNode := -1
+		var maxUflow int64
+		for _, v := range t.PreOrderInternal() {
 			if !repl[v] && uflow[v] > maxUflow {
 				maxUflow = uflow[v]
 				maxNode = v
 			}
 		}
 		if maxNode < 0 || maxUflow == 0 {
+			// No free node can still push flow to the root.
 			return ErrNoSolution
 		}
 		repl[maxNode] = true
 		flow[maxNode] -= maxUflow
-		for _, a := range t.Ancestors(maxNode) {
+		for a := t.Parent(maxNode); a != tree.None; a = t.Parent(a) {
 			flow[a] -= maxUflow
 		}
+
+		// Incremental refresh: flow changed only on path[maxNode -> root],
+		// so a vertex's uflow can change only if its own flow changed (it
+		// is on the path) or its parent's uflow changed. Skip every
+		// subtree where neither holds.
+		stack := append(sc.stack[:0], root)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			nu := flow[v]
+			if v != root {
+				nu = min64(flow[v], uflow[t.Parent(v)])
+			}
+			changed := nu != uflow[v]
+			uflow[v] = nu
+			for _, c := range t.Children(v) {
+				if t.IsClient(c) {
+					continue
+				}
+				if changed || t.InSubtree(maxNode, c) {
+					stack = append(stack, c)
+				}
+			}
+		}
+		sc.stack = stack[:0]
 	}
 	return nil
 }
 
 // passThree implements Algorithm 3: a post-order sweep that lets every
 // replica absorb pending client requests from its subtree up to W,
-// splitting at most one client per replica. It returns nil if requests
+// splitting at most one client per replica. Pending clients of a subtree
+// are its preorder-contiguous ClientsUnder view filtered by a positive
+// residue, so the sweep allocates nothing. It returns nil if requests
 // remain unassigned at the root (which cannot happen after successful
 // passes 1-2; kept as a defensive check).
-func passThree(in *core.Instance, w int64, repl []bool) *core.Solution {
+func passThree(in *core.Instance, w int64, sc *mhScratch) *core.Solution {
 	t := in.Tree
-	sol := core.NewSolution(t.Len())
-	remaining := make([]int64, t.Len()) // r'_i per client
+	remaining, repl := sc.remaining, sc.repl // r'_i per client
 	for _, c := range t.Clients() {
 		remaining[c] = in.R[c]
 	}
-	pending := make([][]int, t.Len()) // C(s): clients with remaining requests
 
 	for _, v := range t.PostOrder() {
-		if t.IsClient(v) {
-			if remaining[v] > 0 {
-				pending[v] = []int{v}
-			}
+		if t.IsClient(v) || !repl[v] {
 			continue
 		}
-		var acc []int
-		for _, c := range t.Children(v) {
-			acc = append(acc, pending[c]...)
-			pending[c] = nil
-		}
-		if repl[v] {
-			var load int64
-			rest := acc[:0]
-			for _, i := range acc {
-				if remaining[i] <= w-load {
-					sol.AddPortion(i, v, remaining[i])
-					load += remaining[i]
-					remaining[i] = 0
-				} else {
-					rest = append(rest, i)
-				}
+		var load int64
+		split := -1 // first client that did not fit whole
+		for _, c := range t.ClientsUnder(v) {
+			if remaining[c] == 0 {
+				continue
 			}
-			acc = rest
-			if len(acc) > 0 && load < w {
-				i := acc[0]
-				x := w - load
-				sol.AddPortion(i, v, x)
-				remaining[i] -= x
+			if remaining[c] <= w-load {
+				sc.ports[c] = append(sc.ports[c], core.Portion{Server: v, Load: remaining[c]})
+				load += remaining[c]
+				remaining[c] = 0
+			} else if split < 0 {
+				split = c
 			}
-			// A replica starved of all its load by pass-3's greedy order is
-			// simply dropped: the remaining placement already covers every
-			// request, so the solution can only get cheaper. (The
-			// optimality proof implies this never happens after successful
-			// passes 1-2.)
 		}
-		pending[v] = acc
+		if split >= 0 && load < w {
+			x := w - load
+			sc.ports[split] = append(sc.ports[split], core.Portion{Server: v, Load: x})
+			remaining[split] -= x
+		}
+		// A replica starved of all its load by pass-3's greedy order is
+		// simply dropped: the remaining placement already covers every
+		// request, so the solution can only get cheaper. (The
+		// optimality proof implies this never happens after successful
+		// passes 1-2.)
 	}
 	for _, c := range t.Clients() {
 		if remaining[c] > 0 {
 			return nil
 		}
 	}
-	return sol
+	return core.NewSolutionFromPortions(sc.ports, t.Clients())
 }
 
 // MultipleHomogeneousCount returns only the optimal replica count, or

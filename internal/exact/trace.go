@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/tree"
 )
 
 // Trace records the decision sequence of the Section 4.1 optimal
@@ -65,8 +66,9 @@ func MultipleHomogeneousTrace(in *core.Instance) (*Trace, error) {
 		return nil, ErrNoSolution
 	}
 
-	flow := make([]int64, t.Len())
-	repl := make([]bool, t.Len())
+	sc := new(mhScratch)
+	sc.reset(t.Len())
+	flow, repl := sc.flow, sc.repl
 	for _, v := range t.PostOrder() {
 		if t.IsClient(v) {
 			flow[v] = in.R[v]
@@ -93,7 +95,9 @@ func MultipleHomogeneousTrace(in *core.Instance) (*Trace, error) {
 		flow[root] = 0
 		tr.Pass2Picks = append(tr.Pass2Picks, Pass2Pick{Node: root, UsefulFlow: tr.RootFlowAfterPass1})
 	default:
-		// Pass 2, instrumented copy of passTwo.
+		// Pass 2, instrumented full-sweep reference implementation of
+		// passTwo (the solver proper maintains useful flows incrementally;
+		// selections are identical).
 		uflow := make([]int64, t.Len())
 		for flow[root] != 0 {
 			maxNode := -1
@@ -118,13 +122,13 @@ func MultipleHomogeneousTrace(in *core.Instance) (*Trace, error) {
 			tr.Pass2Picks = append(tr.Pass2Picks, Pass2Pick{Node: maxNode, UsefulFlow: maxUflow})
 			repl[maxNode] = true
 			flow[maxNode] -= maxUflow
-			for _, a := range t.Ancestors(maxNode) {
+			for a := t.Parent(maxNode); a != tree.None; a = t.Parent(a) {
 				flow[a] -= maxUflow
 			}
 		}
 	}
 
-	sol := passThree(in, w, repl)
+	sol := passThree(in, w, sc)
 	if sol == nil {
 		return nil, ErrNoSolution
 	}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -24,6 +25,27 @@ import (
 // Names lists the series of every figure, in the paper's legend order:
 // the eight heuristics, MixedBest, and the LP row (success only).
 var Names = []string{"CTDA", "CTDLF", "CBU", "UTD", "UBCF", "MG", "MTD", "MBU", "MB"}
+
+// numSeries is len(Names), as a constant so per-tree outcomes can be
+// dense arrays instead of maps.
+const (
+	numSeries = 9
+	mgOrdinal = 5 // index of "MG" in Names
+	mbOrdinal = 8 // index of "MB" in Names
+)
+
+// ordinal indexes heuristic short names into the dense per-tree cost
+// arrays (the campaign's hot path avoids per-tree maps entirely).
+var ordinal = func() map[string]int {
+	if len(Names) != numSeries || Names[mgOrdinal] != "MG" || Names[mbOrdinal] != "MB" {
+		panic("experiments: Names out of sync with ordinals")
+	}
+	m := make(map[string]int, len(Names))
+	for i, n := range Names {
+		m[n] = i
+	}
+	return m
+}()
 
 // Config parameterizes a campaign. The zero value reproduces a scaled-down
 // version of the paper's plan (its trees went up to s = 400 with GLPK; the
@@ -53,6 +75,10 @@ type Config struct {
 	// progress; it has no effect on the produced rows. A non-nil return
 	// aborts the campaign before the next λ, and Run returns that error.
 	Progress func(Row) error `json:"-"`
+	// Context, when non-nil, cancels the campaign mid-λ: the bound
+	// computations observe it between branch-and-bound nodes, and Run
+	// returns the context error. Nil means context.Background().
+	Context context.Context `json:"-"`
 }
 
 func (c Config) withDefaults() Config {
@@ -99,9 +125,13 @@ type Results struct {
 	Rows   []Row
 }
 
-// treeOutcome is the per-tree measurement produced by a worker.
+// treeOutcome is the per-tree measurement produced by a worker. Costs are
+// a dense array indexed by heuristic ordinal (the order of Names), not a
+// map: one campaign evaluates thousands of trees and the scratch-pooled
+// heuristics no longer allocate, so the aggregation should not either.
 type treeOutcome struct {
-	costs      map[string]int64
+	costs      [numSeries]int64
+	solved     [numSeries]bool
 	solvable   bool
 	bound      float64
 	boundExact bool
@@ -109,11 +139,13 @@ type treeOutcome struct {
 }
 
 // evaluateTree runs every heuristic and the refined bound on one tree.
-func evaluateTree(in *core.Instance, boundNodes int) treeOutcome {
-	out := treeOutcome{costs: map[string]int64{}}
+func evaluateTree(ctx context.Context, in *core.Instance, boundNodes int) treeOutcome {
+	var out treeOutcome
 	run := func(name string, f heuristics.Func) {
 		if sol, err := f(in); err == nil {
-			out.costs[name] = sol.StorageCost(in)
+			i := ordinal[name]
+			out.costs[i] = sol.StorageCost(in)
+			out.solved[i] = true
 		}
 	}
 	for _, h := range heuristics.All {
@@ -123,17 +155,17 @@ func evaluateTree(in *core.Instance, boundNodes int) treeOutcome {
 
 	// Feasibility of the Multiple policy decides LP solvability (MG is
 	// exact on feasibility and far cheaper than the LP).
-	if _, ok := out.costs["MG"]; !ok {
+	if !out.solved[mgOrdinal] {
 		return out
 	}
 	out.solvable = true
 
 	// Refined bound, seeded with the best heuristic cost.
 	opts := lpbound.Options{MaxNodes: boundNodes}
-	if c, ok := out.costs["MB"]; ok {
-		opts.Incumbent = float64(c)
+	if out.solved[mbOrdinal] {
+		opts.Incumbent = float64(out.costs[mbOrdinal])
 	}
-	b, err := lpbound.Refined(in, core.Multiple, opts)
+	b, err := lpbound.Refined(ctx, in, core.Multiple, opts)
 	if err != nil {
 		if errors.Is(err, lpbound.ErrInfeasible) {
 			// MG solved it, so the relaxation cannot be infeasible.
@@ -153,6 +185,10 @@ func evaluateTree(in *core.Instance, boundNodes int) treeOutcome {
 // seeds up front and evaluated independently by a worker pool.
 func Run(cfg Config) (*Results, error) {
 	cfg = cfg.withDefaults()
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	workers := cfg.Parallelism
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
@@ -181,7 +217,7 @@ func Run(cfg Config) (*Results, error) {
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					outcomes[i] = evaluateTree(insts[i], cfg.BoundNodes)
+					outcomes[i] = evaluateTree(ctx, insts[i], cfg.BoundNodes)
 				}
 			}()
 		}
@@ -195,8 +231,10 @@ func Run(cfg Config) (*Results, error) {
 			if out.err != nil {
 				return nil, out.err
 			}
-			for name := range out.costs {
-				row.Success[name]++
+			for i, name := range Names {
+				if out.solved[i] {
+					row.Success[name]++
+				}
 			}
 			if !out.solvable {
 				continue
@@ -205,9 +243,9 @@ func Run(cfg Config) (*Results, error) {
 			if out.boundExact {
 				row.BoundExact++
 			}
-			for _, name := range Names {
-				if c, ok := out.costs[name]; ok && c > 0 {
-					row.RelCost[name] += out.bound / float64(c)
+			for i, name := range Names {
+				if out.solved[i] && out.costs[i] > 0 {
+					row.RelCost[name] += out.bound / float64(out.costs[i])
 				}
 			}
 		}

@@ -1,9 +1,8 @@
 package heuristics
 
 import (
-	"sort"
-
 	"repro/internal/core"
+	"repro/internal/tree"
 )
 
 // This file implements bandwidth-aware variants of one heuristic per
@@ -19,14 +18,15 @@ import (
 // MGBW therefore decides feasibility of Multiple + bandwidth exactly: it
 // fails only when the pending overflow of some subtree exceeds the link
 // capacity in every solution.
-func MGBW(in *core.Instance) (*core.Solution, error) {
-	st := newState(in)
-	t := in.Tree
+func MGBW(in *core.Instance) (*core.Solution, error) { return run(in, mgBW) }
+
+func mgBW(st *state) error {
+	in, t := st.in, st.in.Tree
 	for _, s := range t.PostOrder() {
 		if t.IsClient(s) {
 			// A client's full demand must cross its own uplink.
 			if in.BW != nil && in.BW[s] != core.NoBandwidth && st.rrem[s] > in.BW[s] {
-				return nil, ErrNoSolution
+				return ErrNoSolution
 			}
 			continue
 		}
@@ -39,7 +39,7 @@ func MGBW(in *core.Instance) (*core.Solution, error) {
 		}
 		if s != t.Root() && in.BW != nil && in.BW[s] != core.NoBandwidth &&
 			st.inreq[s] > in.BW[s] {
-			return nil, ErrNoSolution
+			return ErrNoSolution
 		}
 	}
 	return st.finish()
@@ -48,103 +48,100 @@ func MGBW(in *core.Instance) (*core.Solution, error) {
 // UBCFBW is UBCF with bandwidth awareness: a client only considers
 // ancestors reachable without exhausting any link's residual bandwidth,
 // and reserves that bandwidth when assigned.
-func UBCFBW(in *core.Instance) (*core.Solution, error) {
-	t := in.Tree
-	sol := core.NewSolution(t.Len())
-	capLeft := append([]int64(nil), in.W...)
-	var bwLeft []int64
-	if in.BW != nil {
-		bwLeft = append([]int64(nil), in.BW...)
+func UBCFBW(in *core.Instance) (*core.Solution, error) { return run(in, ubcfBW) }
+
+func ubcfBW(st *state) error {
+	in, t := st.in, st.in.Tree
+	copy(st.capLeft, in.W)
+	hasBW := in.BW != nil
+	if hasBW {
+		copy(st.bwLeft, in.BW)
 	}
 	residual := func(v int) int64 {
-		if bwLeft == nil || bwLeft[v] == core.NoBandwidth {
+		if !hasBW || st.bwLeft[v] == core.NoBandwidth {
 			return 1 << 60
 		}
-		return bwLeft[v]
+		return st.bwLeft[v]
 	}
 
-	clients := append([]int(nil), t.Clients()...)
-	sort.SliceStable(clients, func(a, b int) bool {
-		return in.R[clients[a]] > in.R[clients[b]]
-	})
-	for _, c := range clients {
-		r := in.R[c]
-		if r == 0 {
-			continue
+	order := st.order[:0]
+	for _, c := range t.Clients() {
+		if in.R[c] > 0 {
+			order = append(order, c)
 		}
+	}
+	sortByKey(order, in.R, true, st.tmp)
+	for _, c := range order {
+		r := in.R[c]
 		best := -1
 		pathOK := residual(c) >= r // the client's own uplink
-		for _, a := range t.Ancestors(c) {
+		for a := t.Parent(c); a != tree.None; a = t.Parent(a) {
 			if !pathOK {
 				break
 			}
-			if capLeft[a] >= r && in.QoSAllows(c, a) &&
-				(best < 0 || capLeft[a] < capLeft[best]) {
+			if st.capLeft[a] >= r && in.QoSAllows(c, a) &&
+				(best < 0 || st.capLeft[a] < st.capLeft[best]) {
 				best = a
 			}
 			pathOK = residual(a) >= r // link a -> parent(a), for the next hop
 		}
 		if best < 0 {
-			return nil, ErrNoSolution
+			return ErrNoSolution
 		}
-		capLeft[best] -= r
-		if bwLeft != nil {
-			for _, u := range t.PathLinks(c, best) {
-				if bwLeft[u] != core.NoBandwidth {
-					bwLeft[u] -= r
+		st.capLeft[best] -= r
+		if hasBW {
+			for u := c; u != best; u = t.Parent(u) {
+				if st.bwLeft[u] != core.NoBandwidth {
+					st.bwLeft[u] -= r
 				}
 			}
 		}
-		sol.AddPortion(c, best, r)
+		st.assign(c, best, r)
 	}
-	return sol, nil
+	return nil
 }
 
 // CTDABW is CTDA with bandwidth awareness: a node may absorb its subtree
 // only if every pending client's demand fits through the links between
 // the client and the node.
-func CTDABW(in *core.Instance) (*core.Solution, error) {
-	st := newState(in)
-	t := in.Tree
-	fits := func(s int) bool {
-		if in.BW == nil {
-			return true
-		}
-		// Under Closest, the flow on a link u -> parent(u) inside
-		// subtree(s) is the whole pending demand below u.
-		var walk func(v int) bool
-		walk = func(v int) bool {
-			for _, c := range t.Children(v) {
-				var below int64
-				if t.IsClient(c) {
-					below = st.rrem[c]
-				} else {
-					below = st.inreq[c]
-				}
-				if below == 0 {
-					continue
-				}
-				if in.BW[c] != core.NoBandwidth && below > in.BW[c] {
-					return false
-				}
-				if t.IsInternal(c) && !walk(c) {
-					return false
-				}
-			}
-			return true
-		}
-		return walk(s)
+func CTDABW(in *core.Instance) (*core.Solution, error) { return run(in, ctdaBW) }
+
+// bwFits reports whether node s can absorb its whole pending subtree
+// without overflowing a link. Under Closest, the flow on a link
+// u -> parent(u) inside subtree(s) is the whole pending demand below u;
+// the subtree is walked as its preorder interval, skipping nothing (links
+// under a zero-pending vertex carry zero and pass trivially).
+func (st *state) bwFits(s int) bool {
+	in, t := st.in, st.in.Tree
+	if in.BW == nil {
+		return true
 	}
+	for _, v := range t.Subtree(s) {
+		if v == s {
+			continue
+		}
+		below := st.inreq[v]
+		if t.IsClient(v) {
+			below = st.rrem[v]
+		}
+		if below > 0 && in.BW[v] != core.NoBandwidth && below > in.BW[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func ctdaBW(st *state) error {
+	in, t := st.in, st.in.Tree
 	for {
 		added := false
-		queue := []int{t.Root()}
-		for len(queue) > 0 {
-			s := queue[0]
-			queue = queue[1:]
+		queue := append(st.queue[:0], t.Root())
+		for head := 0; head < len(queue); head++ {
+			s := queue[head]
 			if st.repl[s] {
 				continue
 			}
-			if in.W[s] >= st.inreq[s] && st.inreq[s] > 0 && fits(s) {
+			if in.W[s] >= st.inreq[s] && st.inreq[s] > 0 && st.bwFits(s) {
 				st.serveAll(s)
 				added = true
 				continue

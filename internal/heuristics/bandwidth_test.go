@@ -1,6 +1,7 @@
 package heuristics
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -43,7 +44,7 @@ func TestMGBWExactFeasibility(t *testing.T) {
 			BWFactor: 0.3 + float64(seed%7)/10.0,
 		}, seed+50)
 		_, mgErr := MGBW(in)
-		_, bfErr := exact.BruteForce(in, core.Multiple)
+		_, bfErr := exact.BruteForce(context.Background(), in, core.Multiple)
 		if (mgErr == nil) != (bfErr == nil) {
 			t.Fatalf("seed %d: MGBW err=%v, brute force err=%v", seed, mgErr, bfErr)
 		}

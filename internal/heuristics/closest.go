@@ -1,8 +1,6 @@
 package heuristics
 
 import (
-	"sort"
-
 	"repro/internal/core"
 )
 
@@ -10,15 +8,15 @@ import (
 // the root; any node able to process every pending request of its subtree
 // becomes a replica (absorbing all of them) and its subtree is not
 // explored further. Traversals repeat until one adds no replica.
-func CTDA(in *core.Instance) (*core.Solution, error) {
-	st := newState(in)
-	t := in.Tree
+func CTDA(in *core.Instance) (*core.Solution, error) { return run(in, ctda) }
+
+func ctda(st *state) error {
+	in, t := st.in, st.in.Tree
 	for {
 		added := false
-		queue := []int{t.Root()}
-		for len(queue) > 0 {
-			s := queue[0]
-			queue = queue[1:]
+		queue := append(st.queue[:0], t.Root())
+		for head := 0; head < len(queue); head++ {
+			s := queue[head]
 			if st.repl[s] {
 				continue
 			}
@@ -43,15 +41,15 @@ func CTDA(in *core.Instance) (*core.Solution, error) {
 // CTDLF is ClosestTopDownLargestFirst: the breadth-first traversal treats
 // the child subtree with the most pending requests first, and stops as
 // soon as one replica has been placed; it is re-run once per replica.
-func CTDLF(in *core.Instance) (*core.Solution, error) {
-	st := newState(in)
-	t := in.Tree
+func CTDLF(in *core.Instance) (*core.Solution, error) { return run(in, ctdlf) }
+
+func ctdlf(st *state) error {
+	in, t := st.in, st.in.Tree
 	for {
 		added := false
-		queue := []int{t.Root()}
-		for len(queue) > 0 && !added {
-			s := queue[0]
-			queue = queue[1:]
+		queue := append(st.queue[:0], t.Root())
+		for head := 0; head < len(queue) && !added; head++ {
+			s := queue[head]
 			if st.repl[s] {
 				continue
 			}
@@ -60,16 +58,13 @@ func CTDLF(in *core.Instance) (*core.Solution, error) {
 				added = true
 				continue
 			}
-			kids := make([]int, 0, len(t.Children(s)))
+			k := len(queue)
 			for _, c := range t.Children(s) {
 				if t.IsInternal(c) {
-					kids = append(kids, c)
+					queue = append(queue, c)
 				}
 			}
-			sort.SliceStable(kids, func(a, b int) bool {
-				return st.inreq[kids[a]] > st.inreq[kids[b]]
-			})
-			queue = append(queue, kids...)
+			sortByKey(queue[k:], st.inreq, true, st.tmp)
 		}
 		if !added {
 			break
@@ -81,10 +76,12 @@ func CTDLF(in *core.Instance) (*core.Solution, error) {
 // CBU is ClosestBottomUp (Algorithm 5): a bottom-up sweep placing a
 // replica on every node able to process all pending requests of its
 // subtree; nodes that cannot defer to their ancestors.
-func CBU(in *core.Instance) (*core.Solution, error) {
-	st := newState(in)
-	for _, s := range in.Tree.PostOrder() {
-		if in.Tree.IsClient(s) {
+func CBU(in *core.Instance) (*core.Solution, error) { return run(in, cbu) }
+
+func cbu(st *state) error {
+	in, t := st.in, st.in.Tree
+	for _, s := range t.PostOrder() {
+		if t.IsClient(s) {
 			continue
 		}
 		if in.W[s] >= st.inreq[s] && st.inreq[s] > 0 {

@@ -1,6 +1,7 @@
 package heuristics
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -61,7 +62,7 @@ func TestCostAboveOptimum(t *testing.T) {
 		opt := map[core.Policy]int64{}
 		feas := map[core.Policy]bool{}
 		for _, p := range core.Policies {
-			if sol, err := exact.BruteForce(in, p); err == nil {
+			if sol, err := exact.BruteForce(context.Background(), in, p); err == nil {
 				opt[p] = sol.StorageCost(in)
 				feas[p] = true
 			}
@@ -93,7 +94,7 @@ func TestMGCompleteness(t *testing.T) {
 			Heterogeneous: seed%2 == 0,
 		}, seed+300)
 		_, mgErr := MG(in)
-		_, bfErr := exact.BruteForce(in, core.Multiple)
+		_, bfErr := exact.BruteForce(context.Background(), in, core.Multiple)
 		if (mgErr == nil) != (bfErr == nil) {
 			t.Fatalf("seed %d: MG err=%v, brute force err=%v", seed, mgErr, bfErr)
 		}

@@ -7,24 +7,23 @@ import (
 // MTD is MultipleTopDown: the UTD pass structure with the Multiple delete
 // procedure (Algorithm 10), which may split one client between servers so
 // that every first-pass replica is fully saturated.
-func MTD(in *core.Instance) (*core.Solution, error) {
-	return multipleTwoPass(in, true, true)
-}
+func MTD(in *core.Instance) (*core.Solution, error) { return run(in, mtd) }
+
+func mtd(st *state) error { return multipleTwoPass(st, true, true) }
 
 // MBU is MultipleBottomUp (Algorithms 11-12): the first pass walks the
 // tree bottom-up and saturates every node whose pending subtree requests
 // exhaust its capacity, deleting small clients first; the second pass is
 // top-down as in MTD.
-func MBU(in *core.Instance) (*core.Solution, error) {
-	return multipleTwoPass(in, false, false)
-}
+func MBU(in *core.Instance) (*core.Solution, error) { return run(in, mbu) }
+
+func mbu(st *state) error { return multipleTwoPass(st, false, false) }
 
 // multipleTwoPass factors MTD and MBU: topDown selects the first-pass
 // orientation and desc the delete order (non-increasing for MTD,
 // non-decreasing for MBU).
-func multipleTwoPass(in *core.Instance, topDown, desc bool) (*core.Solution, error) {
-	st := newState(in)
-	t := in.Tree
+func multipleTwoPass(st *state, topDown, desc bool) error {
+	in, t := st.in, st.in.Tree
 
 	// First pass: saturate exhausted nodes.
 	order := t.PreOrder()
@@ -41,24 +40,19 @@ func multipleTwoPass(in *core.Instance, topDown, desc bool) (*core.Solution, err
 		}
 	}
 
-	// Second pass: top-down, a non-replica node with pending requests
-	// absorbs all of them (its capacity suffices since it was not
-	// exhausted during the first pass and pending only shrinks).
-	var pass2 func(s int)
-	pass2 = func(s int) {
-		if !st.repl[s] && st.inreq[s] > 0 {
+	// Second pass: top-down, the first non-replica node of a branch with
+	// pending requests absorbs all of them (its capacity suffices since it
+	// was not exhausted during the first pass and pending only shrinks).
+	// Absorbing zeroes every descendant's inreq, so the preorder scan is
+	// the recursive descent of Algorithm 8.
+	if st.inreq[t.Root()] > 0 {
+		for _, s := range t.PreOrder() {
+			if t.IsClient(s) || st.repl[s] || st.inreq[s] == 0 {
+				continue
+			}
 			st.repl[s] = true
 			st.deleteMultiple(s, st.inreq[s], desc)
-			return
 		}
-		for _, c := range t.Children(s) {
-			if t.IsInternal(c) && st.inreq[c] > 0 {
-				pass2(c)
-			}
-		}
-	}
-	if st.inreq[t.Root()] > 0 {
-		pass2(t.Root())
 	}
 	return st.finish()
 }
@@ -68,10 +62,12 @@ func multipleTwoPass(in *core.Instance, topDown, desc bool) (*core.Solution, err
 // the optimal Section 4.1 algorithm with all nodes eligible). On
 // heterogeneous platforms its cost can be far from optimal, but it finds a
 // solution whenever one exists under the Multiple policy.
-func MG(in *core.Instance) (*core.Solution, error) {
-	st := newState(in)
-	for _, s := range in.Tree.PostOrder() {
-		if in.Tree.IsClient(s) {
+func MG(in *core.Instance) (*core.Solution, error) { return run(in, mg) }
+
+func mg(st *state) error {
+	in, t := st.in, st.in.Tree
+	for _, s := range t.PostOrder() {
+		if t.IsClient(s) {
 			continue
 		}
 		if st.inreq[s] > 0 && in.W[s] > 0 {
@@ -88,17 +84,23 @@ func MG(in *core.Instance) (*core.Solution, error) {
 // MB is MixedBest: run all eight heuristics and keep the cheapest valid
 // solution. Because any Closest or Upwards solution is also a Multiple
 // solution, MB is a Multiple-policy heuristic; like MG it always finds a
-// solution when one exists.
+// solution when one exists. It reuses one pooled state across the eight
+// runs and materializes a Solution only when a run improves on the best
+// cost so far.
 func MB(in *core.Instance) (*core.Solution, error) {
+	st := newState(in)
+	defer st.release()
 	var best *core.Solution
 	var bestCost int64
-	for _, h := range All {
-		sol, err := h.Run(in)
-		if err != nil {
+	for i, f := range allFuncs {
+		if i > 0 {
+			st.reset(in)
+		}
+		if f(st) != nil {
 			continue
 		}
-		if c := sol.StorageCost(in); best == nil || c < bestCost {
-			best, bestCost = sol, c
+		if c := st.cost(); best == nil || c < bestCost {
+			best, bestCost = st.materialize(), c
 		}
 	}
 	if best == nil {

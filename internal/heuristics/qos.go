@@ -1,9 +1,8 @@
 package heuristics
 
 import (
-	"sort"
-
 	"repro/internal/core"
+	"repro/internal/tree"
 )
 
 // This file implements QoS-aware variants of three representative
@@ -16,15 +15,15 @@ import (
 
 // CTDAQoS is CTDA with QoS awareness: a node absorbs its subtree only if
 // every pending client in it is within QoS range.
-func CTDAQoS(in *core.Instance) (*core.Solution, error) {
-	st := newState(in)
-	t := in.Tree
+func CTDAQoS(in *core.Instance) (*core.Solution, error) { return run(in, ctdaQoS) }
+
+func ctdaQoS(st *state) error {
+	in, t := st.in, st.in.Tree
 	for {
 		added := false
-		queue := []int{t.Root()}
-		for len(queue) > 0 {
-			s := queue[0]
-			queue = queue[1:]
+		queue := append(st.queue[:0], t.Root())
+		for head := 0; head < len(queue); head++ {
+			s := queue[head]
 			if st.repl[s] {
 				continue
 			}
@@ -58,44 +57,46 @@ func (st *state) qosCovers(s int) bool {
 }
 
 // UBCFQoS is UBCF restricted to QoS-eligible ancestors.
-func UBCFQoS(in *core.Instance) (*core.Solution, error) {
-	t := in.Tree
-	sol := core.NewSolution(t.Len())
-	capLeft := append([]int64(nil), in.W...)
-	clients := append([]int(nil), t.Clients()...)
-	sort.SliceStable(clients, func(a, b int) bool {
-		return in.R[clients[a]] > in.R[clients[b]]
-	})
-	for _, c := range clients {
-		r := in.R[c]
-		if r == 0 {
-			continue
+func UBCFQoS(in *core.Instance) (*core.Solution, error) { return run(in, ubcfQoS) }
+
+func ubcfQoS(st *state) error {
+	in, t := st.in, st.in.Tree
+	copy(st.capLeft, in.W)
+	order := st.order[:0]
+	for _, c := range t.Clients() {
+		if in.R[c] > 0 {
+			order = append(order, c)
 		}
+	}
+	sortByKey(order, in.R, true, st.tmp)
+	for _, c := range order {
+		r := in.R[c]
 		best := -1
-		for _, a := range t.Ancestors(c) {
+		for a := t.Parent(c); a != tree.None; a = t.Parent(a) {
 			if !in.QoSAllows(c, a) {
 				break // ancestors only get farther
 			}
-			if capLeft[a] >= r && (best < 0 || capLeft[a] < capLeft[best]) {
+			if st.capLeft[a] >= r && (best < 0 || st.capLeft[a] < st.capLeft[best]) {
 				best = a
 			}
 		}
 		if best < 0 {
-			return nil, ErrNoSolution
+			return ErrNoSolution
 		}
-		capLeft[best] -= r
-		sol.AddPortion(c, best, r)
+		st.capLeft[best] -= r
+		st.assign(c, best, r)
 	}
-	return sol, nil
+	return nil
 }
 
 // MGQoS is the Multiple greedy with QoS awareness: every node absorbs
 // pending requests up to capacity, serving the clients with the least
 // remaining QoS slack first, and the sweep fails as soon as a pending
 // client's last eligible server has been passed.
-func MGQoS(in *core.Instance) (*core.Solution, error) {
-	st := newState(in)
-	t := in.Tree
+func MGQoS(in *core.Instance) (*core.Solution, error) { return run(in, mgQoS) }
+
+func mgQoS(st *state) error {
+	in, t := st.in, st.in.Tree
 	for _, s := range t.PostOrder() {
 		if t.IsClient(s) {
 			continue
@@ -106,11 +107,10 @@ func MGQoS(in *core.Instance) (*core.Solution, error) {
 		for _, c := range cs {
 			if in.QoSAllows(c, s) {
 				eligible = append(eligible, c)
+				st.key[c] = st.slack(c, s)
 			}
 		}
-		sort.SliceStable(eligible, func(a, b int) bool {
-			return st.slack(eligible[a], s) < st.slack(eligible[b], s)
-		})
+		sortByKey(eligible, st.key, false, st.tmp)
 		budget := in.W[s]
 		for _, c := range eligible {
 			if budget == 0 {
@@ -131,7 +131,7 @@ func MGQoS(in *core.Instance) (*core.Solution, error) {
 		p := t.Parent(s)
 		for _, c := range st.pendingClients(s) {
 			if !in.QoSAllows(c, p) {
-				return nil, ErrNoSolution
+				return ErrNoSolution
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package heuristics
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -77,7 +78,7 @@ func TestMGQoSAgainstBruteForce(t *testing.T) {
 			Internal: 4, Clients: 5, Lambda: 0.5, QoSRange: 2,
 		}, seed+600)
 		sol, err := MGQoS(in)
-		_, bfErr := exact.BruteForce(in, core.Multiple)
+		_, bfErr := exact.BruteForce(context.Background(), in, core.Multiple)
 		if err == nil {
 			if verr := sol.Validate(in, core.Multiple); verr != nil {
 				t.Fatalf("seed %d: invalid MGQoS solution: %v", seed, verr)

@@ -1,9 +1,8 @@
 package heuristics
 
 import (
-	"sort"
-
 	"repro/internal/core"
+	"repro/internal/tree"
 )
 
 // UTD is UpwardsTopDown (Algorithms 7-8): a first depth-first pass makes a
@@ -11,42 +10,34 @@ import (
 // capacity, deleting whole clients (largest first) up to that capacity; a
 // second pass adds non-exhausted servers that absorb everything still
 // pending below them.
-func UTD(in *core.Instance) (*core.Solution, error) {
-	st := newState(in)
-	t := in.Tree
+func UTD(in *core.Instance) (*core.Solution, error) { return run(in, utd) }
 
-	// First pass, depth-first from the root.
-	var pass1 func(s int)
-	pass1 = func(s int) {
+func utd(st *state) error {
+	in, t := st.in, st.in.Tree
+
+	// First pass, depth-first from the root (= preorder over internals).
+	for _, s := range t.PreOrder() {
+		if t.IsClient(s) {
+			continue
+		}
 		if st.inreq[s] >= in.W[s] && st.inreq[s] > 0 {
 			st.repl[s] = true
 			st.deleteSingle(s, in.W[s])
 		}
-		for _, c := range t.Children(s) {
-			if t.IsInternal(c) {
-				pass1(c)
-			}
-		}
 	}
-	pass1(t.Root())
 
-	// Second pass: first non-replica node with pending requests takes all
-	// of them (its capacity suffices: see Section 6.2).
-	var pass2 func(s int)
-	pass2 = func(s int) {
-		if !st.repl[s] && st.inreq[s] > 0 {
+	// Second pass: the first non-replica node of each branch with pending
+	// requests takes all of them (its capacity suffices: see Section 6.2).
+	// Once a node absorbs its subtree, every descendant's inreq is zero,
+	// so the preorder scan is the recursive descent of Algorithm 8.
+	if st.inreq[t.Root()] > 0 {
+		for _, s := range t.PreOrder() {
+			if t.IsClient(s) || st.repl[s] || st.inreq[s] == 0 {
+				continue
+			}
 			st.repl[s] = true
 			st.deleteSingle(s, st.inreq[s])
-			return
 		}
-		for _, c := range t.Children(s) {
-			if t.IsInternal(c) && st.inreq[c] > 0 {
-				pass2(c)
-			}
-		}
-	}
-	if st.inreq[t.Root()] > 0 {
-		pass2(t.Root())
 	}
 	return st.finish()
 }
@@ -54,31 +45,31 @@ func UTD(in *core.Instance) (*core.Solution, error) {
 // UBCF is UpwardsBigClientFirst (Algorithm 9): clients in non-increasing
 // request order each pick, among the ancestors whose remaining capacity
 // fits all their requests, the one with minimal remaining capacity.
-func UBCF(in *core.Instance) (*core.Solution, error) {
-	t := in.Tree
-	sol := core.NewSolution(t.Len())
-	capLeft := append([]int64(nil), in.W...)
+func UBCF(in *core.Instance) (*core.Solution, error) { return run(in, ubcf) }
 
-	clients := append([]int(nil), t.Clients()...)
-	sort.SliceStable(clients, func(a, b int) bool {
-		return in.R[clients[a]] > in.R[clients[b]]
-	})
-	for _, c := range clients {
-		r := in.R[c]
-		if r == 0 {
-			continue
+func ubcf(st *state) error {
+	in, t := st.in, st.in.Tree
+	copy(st.capLeft, in.W)
+	order := st.order[:0]
+	for _, c := range t.Clients() {
+		if in.R[c] > 0 {
+			order = append(order, c)
 		}
+	}
+	sortByKey(order, in.R, true, st.tmp)
+	for _, c := range order {
+		r := in.R[c]
 		best := -1
-		for _, a := range t.Ancestors(c) {
-			if capLeft[a] >= r && (best < 0 || capLeft[a] < capLeft[best]) {
+		for a := t.Parent(c); a != tree.None; a = t.Parent(a) {
+			if st.capLeft[a] >= r && (best < 0 || st.capLeft[a] < st.capLeft[best]) {
 				best = a
 			}
 		}
 		if best < 0 {
-			return nil, ErrNoSolution
+			return ErrNoSolution
 		}
-		capLeft[best] -= r
-		sol.AddPortion(c, best, r)
+		st.capLeft[best] -= r
+		st.assign(c, best, r)
 	}
-	return sol, nil
+	return nil
 }

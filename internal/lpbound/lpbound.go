@@ -11,6 +11,7 @@
 package lpbound
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -78,7 +79,11 @@ const intTol = 1e-6
 // the given policy: minimize Σ s_j x_j with x_j ∈ {0,1} and rational
 // assignment variables. The Multiple policy is the paper's choice for the
 // experimental campaign, but any policy's model can be refined.
-func Refined(in *core.Instance, p core.Policy, opts Options) (Bound, error) {
+//
+// Cancellation of ctx is observed before every branch-and-bound node (each
+// node is an LP solve, the expensive unit of work), so a caller's expired
+// deadline stops the search promptly and returns the context error.
+func Refined(ctx context.Context, in *core.Instance, p core.Policy, opts Options) (Bound, error) {
 	if opts.MaxNodes <= 0 {
 		opts.MaxNodes = 400
 	}
@@ -114,6 +119,9 @@ func Refined(in *core.Instance, p core.Policy, opts Options) (Bound, error) {
 	}
 
 	for len(stack) > 0 {
+		if err := ctx.Err(); err != nil {
+			return Bound{}, err
+		}
 		if nodes >= opts.MaxNodes {
 			// Budget exhausted: valid bound is the min over open nodes and
 			// the incumbent.

@@ -1,6 +1,7 @@
 package lpbound
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -38,8 +39,8 @@ func TestRefinedEqualsMultipleOptimum(t *testing.T) {
 			Lambda:        0.3 + float64(seed%6)/10.0,
 			Heterogeneous: seed%2 == 0,
 		}, seed+500)
-		b, err := Refined(in, core.Multiple, Options{})
-		bf, bferr := exact.BruteForce(in, core.Multiple)
+		b, err := Refined(context.Background(), in, core.Multiple, Options{})
+		bf, bferr := exact.BruteForce(context.Background(), in, core.Multiple)
 		if errors.Is(err, ErrInfeasible) {
 			if bferr == nil {
 				t.Fatalf("seed %d: refined infeasible but brute force solved", seed)
@@ -76,8 +77,8 @@ func TestBoundHierarchy(t *testing.T) {
 		}, seed+900)
 		for _, p := range core.Policies {
 			rat, rerr := Rational(in, p)
-			ref, ferr := Refined(in, p, Options{})
-			opt, oerr := exact.BruteForce(in, p)
+			ref, ferr := Refined(context.Background(), in, p, Options{})
+			opt, oerr := exact.BruteForce(context.Background(), in, p)
 			if rerr != nil || ferr != nil {
 				// Relaxation infeasible implies integer infeasible.
 				if oerr == nil && (errors.Is(rerr, ErrInfeasible) || errors.Is(ferr, ErrInfeasible)) {
@@ -97,14 +98,14 @@ func TestBoundHierarchy(t *testing.T) {
 
 func TestRefinedBudgetTruncation(t *testing.T) {
 	in := gen.Instance(gen.Config{Internal: 10, Clients: 12, Lambda: 0.7, Heterogeneous: true}, 77)
-	full, err := Refined(in, core.Multiple, Options{MaxNodes: 4000})
+	full, err := Refined(context.Background(), in, core.Multiple, Options{MaxNodes: 4000})
 	if errors.Is(err, ErrInfeasible) {
 		t.Skip("instance infeasible")
 	}
 	if err != nil {
 		t.Fatal(err)
 	}
-	trunc, err := Refined(in, core.Multiple, Options{MaxNodes: 3})
+	trunc, err := Refined(context.Background(), in, core.Multiple, Options{MaxNodes: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +135,7 @@ func TestFeasible(t *testing.T) {
 func TestRefinedInfeasible(t *testing.T) {
 	in := core.Figure1('a')
 	in.R[in.Tree.Clients()[0]] = 100
-	if _, err := Refined(in, core.Multiple, Options{}); !errors.Is(err, ErrInfeasible) {
+	if _, err := Refined(context.Background(), in, core.Multiple, Options{}); !errors.Is(err, ErrInfeasible) {
 		t.Errorf("want ErrInfeasible, got %v", err)
 	}
 }
@@ -146,7 +147,7 @@ func TestRefinedRespectsQoSPruning(t *testing.T) {
 		in.Q[i] = core.NoQoS
 	}
 	in.Q[in.Tree.Clients()[0]] = 0
-	if _, err := Refined(in, core.Multiple, Options{}); !errors.Is(err, ErrInfeasible) {
+	if _, err := Refined(context.Background(), in, core.Multiple, Options{}); !errors.Is(err, ErrInfeasible) {
 		t.Errorf("want ErrInfeasible, got %v", err)
 	}
 }
@@ -164,7 +165,7 @@ func TestRefinedEqualsTheorem1Algorithm(t *testing.T) {
 			UnitCosts: true,
 		}, seed+8100)
 		alg, aerr := exact.MultipleHomogeneous(in)
-		b, berr := Refined(in, core.Multiple, Options{MaxNodes: 4000})
+		b, berr := Refined(context.Background(), in, core.Multiple, Options{MaxNodes: 4000})
 		if errors.Is(berr, ErrInfeasible) {
 			if aerr == nil {
 				t.Fatalf("seed %d: LP infeasible but algorithm solved", seed)
@@ -184,5 +185,17 @@ func TestRefinedEqualsTheorem1Algorithm(t *testing.T) {
 			t.Fatalf("seed %d: refined optimum %v != algorithm %d",
 				seed, b.Value, alg.ReplicaCount())
 		}
+	}
+}
+
+// TestRefinedCancellation: an expired context stops the branch-and-bound
+// between nodes and surfaces the context error.
+func TestRefinedCancellation(t *testing.T) {
+	in := gen.Instance(gen.Config{Internal: 20, Clients: 40, Lambda: 0.5}, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Refined(ctx, in, core.Multiple, Options{MaxNodes: 400})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lp"
+	"repro/internal/tree"
 )
 
 // ErrInfeasible is returned by Build when some client has no eligible
@@ -70,7 +71,7 @@ func Build(in *core.Instance, p core.Policy) (*Model, error) {
 		if in.R[c] == 0 {
 			continue
 		}
-		for _, a := range t.Ancestors(c) {
+		for a := t.Parent(c); a != tree.None; a = t.Parent(a) {
 			if !in.QoSAllows(c, a) {
 				continue
 			}
@@ -141,27 +142,14 @@ func Build(in *core.Instance, p core.Policy) (*Model, error) {
 	// Bandwidth rows: for every capped link u -> parent(u),
 	// Σ_{i below u} Σ_{j ∈ Ancestors(u)} load(y_{i,j}) ≤ BW_u.
 	if in.HasBandwidth() {
-		anc := make(map[int]map[int]bool) // vertex -> its strict ancestors
-		ancSet := func(v int) map[int]bool {
-			if s, ok := anc[v]; ok {
-				return s
-			}
-			s := make(map[int]bool)
-			for _, a := range t.Ancestors(v) {
-				s[a] = true
-			}
-			anc[v] = s
-			return s
-		}
 		for u := 0; u < t.Len(); u++ {
 			if u == t.Root() || in.BW[u] == core.NoBandwidth {
 				continue
 			}
-			above := ancSet(u)
 			var terms []lp.Term
 			for _, c := range t.ClientsUnder(u) {
 				for _, yv := range yByClient[c] {
-					if !above[yv.Server] {
+					if !t.IsAncestor(yv.Server, u) {
 						continue
 					}
 					coef := 1.0
@@ -192,7 +180,7 @@ func Build(in *core.Instance, p core.Policy) (*Model, error) {
 					continue
 				}
 				terms := []lp.Term{{Var: yv.Var, Coef: 1}}
-				for _, j2 := range t.Ancestors(j) {
+				for j2 := t.Parent(j); j2 != tree.None; j2 = t.Parent(j2) {
 					if col, ok := yOf[[2]int{c2, j2}]; ok {
 						terms = append(terms, lp.Term{Var: col, Coef: 1})
 					}

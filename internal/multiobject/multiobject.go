@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lp"
+	"repro/internal/tree"
 )
 
 // ErrNoSolution is returned when the solver cannot place all requests.
@@ -210,7 +211,7 @@ func RationalBound(mi *Instance) (float64, error) {
 			if mi.R[o][c] == 0 {
 				continue
 			}
-			for _, a := range t.Ancestors(c) {
+			for a := t.Parent(c); a != tree.None; a = t.Parent(a) {
 				ys = append(ys, yv{o, c, a})
 			}
 		}

@@ -1,6 +1,7 @@
 package reduction
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -152,7 +153,7 @@ func TestReduction3PartitionEquivalence(t *testing.T) {
 		tested++
 		g := BuildUpwards(p)
 		direct := solve3Partition(p) != nil
-		sol, err := exact.BruteForce(g.Instance, core.Upwards)
+		sol, err := exact.BruteForce(context.Background(), g.Instance, core.Upwards)
 		viaGadget := err == nil && sol.StorageCost(g.Instance) <= g.TargetCost
 		if direct != viaGadget {
 			t.Fatalf("a=%v: 3-PARTITION=%v but gadget=%v", a, direct, viaGadget)
@@ -228,7 +229,7 @@ func TestReduction2PartitionEquivalence(t *testing.T) {
 		g := BuildCost(p)
 		direct := solve2Partition(p) != nil
 		for _, pol := range []core.Policy{core.Closest, core.Multiple} {
-			sol, err := exact.BruteForce(g.Instance, pol)
+			sol, err := exact.BruteForce(context.Background(), g.Instance, pol)
 			viaGadget := err == nil && sol.StorageCost(g.Instance) <= g.TargetCost
 			if direct != viaGadget {
 				t.Fatalf("a=%v %v: 2-PARTITION=%v but gadget=%v (cost %v)",

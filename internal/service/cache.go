@@ -13,11 +13,22 @@ type cacheEntry struct {
 	ready chan struct{} // closed when res/err are set
 	res   Result
 	err   error
+	done  bool          // set under cache.mu when the result is published
 	elem  *list.Element // LRU position; nil while in flight or evicted
 }
 
+// SolverCacheStats are the per-solver cache counters: completed-entry
+// hits, misses (owned computations), and single-flight waits coalesced
+// onto an in-flight computation.
+type SolverCacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Coalesced uint64 `json:"coalesced"`
+}
+
 // cache is an LRU solution cache with single-flight de-duplication of
-// concurrent computations for the same key.
+// concurrent computations for the same key, instrumented with global and
+// per-solver hit/miss/coalesced counters.
 type cache struct {
 	mu      sync.Mutex
 	max     int // maximum completed entries retained; <=0 disables retention
@@ -25,21 +36,43 @@ type cache struct {
 	lru     *list.List // of string keys, front = most recent
 
 	hits, misses, evictions uint64
+	perSolver               map[string]*SolverCacheStats
 }
 
 func newCache(max int) *cache {
-	return &cache{max: max, entries: map[string]*cacheEntry{}, lru: list.New()}
+	return &cache{
+		max:       max,
+		entries:   map[string]*cacheEntry{},
+		lru:       list.New(),
+		perSolver: map[string]*SolverCacheStats{},
+	}
+}
+
+func (c *cache) solverStats(solver string) *SolverCacheStats {
+	st := c.perSolver[solver]
+	if st == nil {
+		st = &SolverCacheStats{}
+		c.perSolver[solver] = st
+	}
+	return st
 }
 
 // claim returns the entry for key, creating it when absent. owner
 // reports whether the caller created it and so MUST eventually call
 // complete — otherwise every waiter on the entry blocks forever. A
 // non-owner waits on entry.ready without holding any engine resource.
-func (c *cache) claim(key string) (e *cacheEntry, owner bool) {
+// solver attributes the lookup to a per-solver counter set.
+func (c *cache) claim(key, solver string) (e *cacheEntry, owner bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	st := c.solverStats(solver)
 	if e, ok := c.entries[key]; ok {
 		c.hits++
+		if e.done {
+			st.Hits++
+		} else {
+			st.Coalesced++
+		}
 		if e.elem != nil {
 			c.lru.MoveToFront(e.elem)
 		}
@@ -48,32 +81,37 @@ func (c *cache) claim(key string) (e *cacheEntry, owner bool) {
 	e = &cacheEntry{ready: make(chan struct{})}
 	c.entries[key] = e
 	c.misses++
+	st.Misses++
 	return e, true
 }
 
 // complete publishes the owner's result to all waiters and retains it
 // in the LRU. Failed computations (other than deterministic NoSolution
 // results, which arrive as res) are not retained, so a later request
-// recomputes.
+// recomputes. The index update happens BEFORE ready is closed: a waiter
+// woken by a failed entry and retrying claim() must find either a fresh
+// entry or none, never the published-but-undeleted one (which would make
+// the engine's owner-deadline retry loop spin).
 func (c *cache) complete(key string, e *cacheEntry, res Result, err error) {
 	e.res, e.err = res, err
-	close(e.ready)
 
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	e.done = true
 	if err != nil || c.max <= 0 {
 		if c.entries[key] == e {
 			delete(c.entries, key)
 		}
-		return
+	} else {
+		e.elem = c.lru.PushFront(key)
+		for c.lru.Len() > c.max {
+			tail := c.lru.Back()
+			c.lru.Remove(tail)
+			delete(c.entries, tail.Value.(string))
+			c.evictions++
+		}
 	}
-	e.elem = c.lru.PushFront(key)
-	for c.lru.Len() > c.max {
-		tail := c.lru.Back()
-		c.lru.Remove(tail)
-		delete(c.entries, tail.Value.(string))
-		c.evictions++
-	}
+	c.mu.Unlock()
+	close(e.ready)
 }
 
 // stats returns a consistent snapshot of the cache counters.
@@ -81,4 +119,15 @@ func (c *cache) stats() (hits, misses, evictions uint64, entries int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.evictions, c.lru.Len()
+}
+
+// solverSnapshot returns a copy of the per-solver counters.
+func (c *cache) solverSnapshot() map[string]SolverCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]SolverCacheStats, len(c.perSolver))
+	for name, st := range c.perSolver {
+		out[name] = *st
+	}
+	return out
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,8 +29,9 @@ func (e *ErrUnknownSolver) Error() string {
 type Options struct {
 	// Timeout caps queue wait plus computation for this request; zero
 	// selects the engine default. On expiry the caller gets
-	// context.DeadlineExceeded, but an already-started computation runs
-	// to completion and still populates the cache.
+	// context.DeadlineExceeded. Cancellation-aware backends (brute
+	// force, refined bounds) then stop early and release their worker;
+	// other backends run to completion and still populate the cache.
 	Timeout time.Duration
 	// NoCache bypasses cache lookup and retention for this request.
 	NoCache bool
@@ -96,6 +98,15 @@ type Stats struct {
 	Errors       uint64 `json:"errors"`
 	InFlight     int64  `json:"in_flight"`
 	Workers      int    `json:"workers"`
+	// TreeCacheHits/Misses/Entries track the batch path's topology
+	// interning (preprocessed trees reused across requests).
+	TreeCacheHits    uint64 `json:"tree_cache_hits"`
+	TreeCacheMisses  uint64 `json:"tree_cache_misses"`
+	TreeCacheEntries int    `json:"tree_cache_entries"`
+	// PerSolver breaks the solution-cache counters down by solver name
+	// (hits on completed entries, misses, and waits coalesced onto an
+	// in-flight computation).
+	PerSolver map[string]SolverCacheStats `json:"per_solver,omitempty"`
 }
 
 // EngineOptions configures NewEngine. The zero value selects sensible
@@ -142,6 +153,7 @@ func (o EngineOptions) withDefaults() EngineOptions {
 type Engine struct {
 	opts  EngineOptions
 	cache *cache
+	trees *treeCache
 	jobs  chan *job
 
 	mu     sync.RWMutex // guards closed and the jobs channel close
@@ -177,6 +189,7 @@ func NewEngine(opts EngineOptions) *Engine {
 	e := &Engine{
 		opts:  opts,
 		cache: newCache(opts.CacheSize),
+		trees: newTreeCache(maxInternedTrees),
 		jobs:  make(chan *job, opts.QueueDepth),
 	}
 	for i := 0; i < opts.Workers; i++ {
@@ -192,17 +205,27 @@ func (e *Engine) Registry() *Registry { return e.opts.Registry }
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
 	hits, misses, ev, entries := e.cache.stats()
+	thits, tmisses, tentries := e.trees.stats()
 	return Stats{
-		Requests:     e.requests.Load(),
-		Computations: e.computations.Load(),
-		CacheHits:    hits,
-		CacheMisses:  misses,
-		Evictions:    ev,
-		CacheEntries: entries,
-		Errors:       e.errors.Load(),
-		InFlight:     e.inFlight.Load(),
-		Workers:      e.opts.Workers,
+		Requests:         e.requests.Load(),
+		Computations:     e.computations.Load(),
+		CacheHits:        hits,
+		CacheMisses:      misses,
+		Evictions:        ev,
+		CacheEntries:     entries,
+		Errors:           e.errors.Load(),
+		InFlight:         e.inFlight.Load(),
+		Workers:          e.opts.Workers,
+		TreeCacheHits:    thits,
+		TreeCacheMisses:  tmisses,
+		TreeCacheEntries: tentries,
+		PerSolver:        e.cache.solverSnapshot(),
 	}
+}
+
+// SolverCacheStats returns the cache counters attributed to one solver.
+func (e *Engine) SolverCacheStats(name string) SolverCacheStats {
+	return e.cache.solverSnapshot()[strings.ToLower(strings.TrimSpace(name))]
 }
 
 // Solve schedules the request on the worker pool and waits for its
@@ -252,13 +275,25 @@ func (e *Engine) Solve(ctx context.Context, req Request) (*Response, error) {
 	j := &job{ctx: ctx, solver: solver, in: req.Instance, opt: opt, start: start, done: make(chan struct{})}
 	if !opt.NoCache {
 		j.key = Key(req.Instance, solver.Name, opt)
-		entry, owner := e.cache.claim(j.key)
-		if !owner {
+		for {
+			entry, owner := e.cache.claim(j.key, solver.Name)
+			if owner {
+				j.entry = entry
+				break
+			}
 			// Served by whoever owns the computation — without holding a
 			// worker slot, so duplicate-heavy traffic can't starve the pool.
 			select {
 			case <-entry.ready:
 				if entry.err != nil {
+					if errors.Is(entry.err, context.Canceled) || errors.Is(entry.err, context.DeadlineExceeded) {
+						// The owner's deadline died, not ours:
+						// cancellation-aware backends surface the owner's
+						// context error, which must not poison waiters with
+						// healthier deadlines. The failed entry is already
+						// gone from the cache; re-claim and recompute.
+						continue
+					}
 					e.errors.Add(1)
 					return nil, entry.err
 				}
@@ -267,7 +302,6 @@ func (e *Engine) Solve(ctx context.Context, req Request) (*Response, error) {
 				return nil, ctx.Err()
 			}
 		}
-		j.entry = entry
 	}
 
 	e.mu.RLock()
@@ -328,7 +362,7 @@ func (e *Engine) run(j *job) {
 	}
 
 	e.computations.Add(1)
-	res, err := j.solver.Run(j.in, j.opt)
+	res, err := j.solver.Run(j.ctx, j.in, j.opt)
 	if err == nil && res.Solution != nil {
 		if verr := res.Solution.Validate(j.in, j.solver.Policy); verr != nil {
 			res, err = Result{}, fmt.Errorf("service: solver %s produced an invalid solution: %w", j.solver.Name, verr)

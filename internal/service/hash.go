@@ -16,11 +16,13 @@ import (
 // canonical solver name, and the result-affecting options. Two requests
 // with equal keys are guaranteed to describe the same computation, so
 // the cache may serve one's result for the other.
+//
+// The shape section (parents + client flags) is hashed by the same
+// encoding as ShapeKey, so the tree-interning cache of the batch path and
+// the solution cache agree on what "same topology" means.
 func Key(in *core.Instance, solver string, opt Options) string {
 	h := sha256.New()
-	writeTag(h, "tree")
-	writeInts(h, in.Tree.Parents())
-	writeBools(h, in.Tree.ClientFlags())
+	writeShape(h, in.Tree.Parents(), in.Tree.ClientFlags())
 	writeTag(h, "r")
 	writeInt64s(h, in.R)
 	writeTag(h, "w")
@@ -38,6 +40,21 @@ func Key(in *core.Instance, solver string, opt Options) string {
 	writeTag(h, "opts")
 	writeUint64(h, uint64(opt.BoundNodes))
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ShapeKey returns the canonical key of a tree shape alone — the shape
+// section of Key. The batch path interns preprocessed trees under it, so
+// repeated batches over one topology skip the tree build entirely.
+func ShapeKey(parents []int, isClient []bool) string {
+	h := sha256.New()
+	writeShape(h, parents, isClient)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func writeShape(h hash.Hash, parents []int, isClient []bool) {
+	writeTag(h, "tree")
+	writeInts(h, parents)
+	writeBools(h, isClient)
 }
 
 func writeTag(h hash.Hash, tag string) {

@@ -15,10 +15,14 @@ import (
 
 // NewHandler returns the HTTP API served by cmd/rpserve:
 //
-//	GET  /healthz      liveness plus engine counters
-//	GET  /v1/solvers   the solver registry listing
+//	GET  /healthz      liveness plus engine counters (global and
+//	                   per-solver cache hit/miss/coalesced)
+//	GET  /v1/solvers   the solver registry listing with cache counters
 //	POST /v1/solve     run a solver on an instance
 //	POST /v1/bound     run an LP bound (shorthand for the lp-* solvers)
+//	POST /v1/batch     run one solver over N parameter variations of a
+//	                   single topology, streaming one JSON line per
+//	                   variation as it completes (NDJSON)
 //	POST /v1/generate  build a seeded random instance
 //	POST /v1/campaign  run a Section 7 campaign, streaming one JSON
 //	                   line per λ as it completes (NDJSON)
@@ -32,9 +36,15 @@ func NewHandler(e *Engine) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/solvers", func(w http.ResponseWriter, r *http.Request) {
 		solvers := e.Registry().Solvers()
+		perSolver := e.Stats().PerSolver
 		out := make([]solverInfo, 0, len(solvers))
 		for _, s := range solvers {
-			out = append(out, solverInfo{Name: s.Name, Long: s.Long, Policy: s.Policy.String(), Kind: s.Kind})
+			info := solverInfo{Name: s.Name, Long: s.Long, Policy: s.Policy.String(), Kind: s.Kind}
+			if st, ok := perSolver[s.Name]; ok {
+				st := st
+				info.Cache = &st
+			}
+			out = append(out, info)
 		}
 		writeJSON(w, http.StatusOK, solversPayload{Solvers: out})
 	})
@@ -43,6 +53,9 @@ func NewHandler(e *Engine) http.Handler {
 	})
 	mux.HandleFunc("POST /v1/bound", func(w http.ResponseWriter, r *http.Request) {
 		handleSolve(e, w, r, "lp-")
+	})
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		handleBatch(e, w, r)
 	})
 	mux.HandleFunc("POST /v1/generate", handleGenerate)
 	mux.HandleFunc("POST /v1/campaign", handleCampaign)
@@ -55,10 +68,11 @@ type healthPayload struct {
 }
 
 type solverInfo struct {
-	Name   string `json:"name"`
-	Long   string `json:"long"`
-	Policy string `json:"policy"`
-	Kind   string `json:"kind"`
+	Name   string            `json:"name"`
+	Long   string            `json:"long"`
+	Policy string            `json:"policy"`
+	Kind   string            `json:"kind"`
+	Cache  *SolverCacheStats `json:"cache,omitempty"`
 }
 
 type solversPayload struct {
@@ -147,6 +161,121 @@ func handleSolve(e *Engine, w http.ResponseWriter, r *http.Request, prefix strin
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// batchRequest is the /v1/batch body: one topology, base parameter
+// vectors, and N per-variation overrides. Vector field names match the
+// instance wire format ("requests", "capacities", ...).
+type batchRequest struct {
+	Topology   batchTopology    `json:"topology"`
+	Solver     string           `json:"solver"`
+	Policy     string           `json:"policy"`
+	Options    wireOptions      `json:"options"`
+	Base       BatchVariation   `json:"base"`
+	Variations []BatchVariation `json:"variations"`
+}
+
+type batchTopology struct {
+	Parents  []int  `json:"parents"`
+	IsClient []bool `json:"is_client"`
+}
+
+// batchLine is one streamed NDJSON result line.
+type batchLine struct {
+	Index int `json:"index"`
+	*Response
+	Error string `json:"error,omitempty"`
+}
+
+type batchDone struct {
+	Done      bool    `json:"done"`
+	Items     int     `json:"items"`
+	Failed    int     `json:"failed"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+func handleBatch(e *Engine, w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req batchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Solver == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing solver"))
+		return
+	}
+	policy := core.Multiple
+	if req.Policy != "" {
+		p, ok := core.ParsePolicy(req.Policy)
+		if !ok {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown policy %q", req.Policy))
+			return
+		}
+		policy = p
+	}
+	// Intern the topology: one preprocessed tree for the whole batch,
+	// shared with every earlier batch over the same shape.
+	t, err := e.InternTree(req.Topology.Parents, req.Topology.IsClient)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	n := t.Len()
+	base := &core.Instance{Tree: t, R: req.Base.R, W: req.Base.W, S: req.Base.S,
+		Q: req.Base.Q, Comm: req.Base.Comm, BW: req.Base.BW}
+	if base.R == nil {
+		base.R = make([]int64, n)
+	}
+	if base.W == nil {
+		base.W = make([]int64, n)
+	}
+	if base.S == nil {
+		base.S = make([]int64, n)
+	}
+	if err := base.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	failed := 0
+	err = e.SolveBatch(r.Context(), BatchRequest{
+		Base:       base,
+		Solver:     req.Solver,
+		Policy:     policy,
+		Options:    req.Options.options(),
+		Variations: req.Variations,
+	}, func(item BatchItem) {
+		line := batchLine{Index: item.Index, Response: item.Response}
+		if item.Err != nil {
+			failed++
+			line.Error = item.Err.Error()
+		}
+		enc.Encode(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	if err != nil {
+		// Nothing streamed yet: batch-level validation failures happen
+		// before the first deliver, so plain status errors still apply.
+		var unknown *ErrUnknownSolver
+		if errors.As(err, &unknown) {
+			writeError(w, http.StatusNotFound, err)
+		} else {
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	enc.Encode(batchDone{
+		Done:      true,
+		Items:     len(req.Variations),
+		Failed:    failed,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
 // generateRequest is the /v1/generate body. Config uses the field names
 // of gen.Config (e.g. {"Internal": 10, "Lambda": 0.5}).
 type generateRequest struct {
@@ -204,6 +333,9 @@ func handleCampaign(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	cfg := req.Config
+	// Cancellation applies mid-λ too: the per-tree bound computations
+	// observe the request context between branch-and-bound nodes.
+	cfg.Context = r.Context()
 	rows := 0
 	cfg.Progress = func(row experiments.Row) error {
 		// Abort between λ values once the client is gone (or the stream

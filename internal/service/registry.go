@@ -13,6 +13,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -43,8 +44,10 @@ type Result struct {
 
 // Backend computes a Result for an instance. Implementations must be
 // safe for concurrent use and deterministic in their inputs — the cache
-// relies on both.
-type Backend func(in *core.Instance, opt Options) (Result, error)
+// relies on both. The context carries the request deadline; long-running
+// backends (brute force, refined bounds) observe its cancellation so an
+// abandoned job releases its worker instead of running to completion.
+type Backend func(ctx context.Context, in *core.Instance, opt Options) (Result, error)
 
 // Solver is one registered backend.
 type Solver struct {
@@ -136,16 +139,26 @@ func (r *Registry) Names() []string {
 // solutionBackend lifts a plain solver function into a Backend, mapping
 // the library's no-solution sentinels to Result.NoSolution.
 func solutionBackend(f func(in *core.Instance) (*core.Solution, error)) Backend {
-	return func(in *core.Instance, _ Options) (Result, error) {
-		sol, err := f(in)
-		switch {
-		case err == nil:
-			return Result{Solution: sol}, nil
-		case isNoSolution(err):
-			return Result{NoSolution: true}, nil
-		default:
-			return Result{}, err
-		}
+	return func(_ context.Context, in *core.Instance, _ Options) (Result, error) {
+		return solutionResult(f(in))
+	}
+}
+
+// ctxSolutionBackend is solutionBackend for cancellation-aware solvers.
+func ctxSolutionBackend(f func(ctx context.Context, in *core.Instance) (*core.Solution, error)) Backend {
+	return func(ctx context.Context, in *core.Instance, _ Options) (Result, error) {
+		return solutionResult(f(ctx, in))
+	}
+}
+
+func solutionResult(sol *core.Solution, err error) (Result, error) {
+	switch {
+	case err == nil:
+		return Result{Solution: sol}, nil
+	case isNoSolution(err):
+		return Result{NoSolution: true}, nil
+	default:
+		return Result{}, err
 	}
 }
 
@@ -185,8 +198,8 @@ func NewRegistry() *Registry {
 			Name:   "brute-" + strings.ToLower(p.String()),
 			Long:   "exhaustive search, " + p.String() + " policy (small instances)",
 			Policy: p, Kind: "exact",
-			Run: solutionBackend(func(in *core.Instance) (*core.Solution, error) {
-				return exact.BruteForce(in, p)
+			Run: ctxSolutionBackend(func(ctx context.Context, in *core.Instance) (*core.Solution, error) {
+				return exact.BruteForce(ctx, in, p)
 			}),
 		}))
 	}
@@ -221,7 +234,7 @@ func NewRegistry() *Registry {
 			Name:   "lp-rational-" + strings.ToLower(p.String()),
 			Long:   "fully rational LP relaxation bound, " + p.String() + " policy (Section 5.3)",
 			Policy: p, Kind: "bound",
-			Run: func(in *core.Instance, _ Options) (Result, error) {
+			Run: func(_ context.Context, in *core.Instance, _ Options) (Result, error) {
 				v, err := lpbound.Rational(in, p)
 				if errors.Is(err, lpbound.ErrInfeasible) {
 					return Result{NoSolution: true, HasBound: true}, nil
@@ -236,8 +249,8 @@ func NewRegistry() *Registry {
 			Name:   "lp-refined-" + strings.ToLower(p.String()),
 			Long:   "refined bound (integer placements, rational assignments), " + p.String() + " policy (Section 7.1)",
 			Policy: p, Kind: "bound", BoundBudget: true,
-			Run: func(in *core.Instance, opt Options) (Result, error) {
-				b, err := lpbound.Refined(in, p, lpbound.Options{MaxNodes: opt.BoundNodes})
+			Run: func(ctx context.Context, in *core.Instance, opt Options) (Result, error) {
+				b, err := lpbound.Refined(ctx, in, p, lpbound.Options{MaxNodes: opt.BoundNodes})
 				if errors.Is(err, lpbound.ErrInfeasible) {
 					return Result{NoSolution: true, HasBound: true}, nil
 				}

@@ -32,12 +32,12 @@ func countingRegistry(t testing.TB, delay time.Duration, calls *atomic.Int64) *R
 	r := new(Registry)
 	err := r.Register(Solver{
 		Name: "stub", Long: "counting stub", Policy: core.Multiple, Kind: "heuristic",
-		Run: func(in *core.Instance, opt Options) (Result, error) {
+		Run: func(_ context.Context, in *core.Instance, opt Options) (Result, error) {
 			calls.Add(1)
 			if delay > 0 {
 				time.Sleep(delay)
 			}
-			return solutionBackend(heuristics.MG)(in, opt)
+			return solutionBackend(heuristics.MG)(context.Background(), in, opt)
 		},
 	})
 	if err != nil {
@@ -310,10 +310,10 @@ func TestWaitersDoNotHoldWorkers(t *testing.T) {
 	r := new(Registry)
 	if err := r.Register(Solver{
 		Name: "slow", Policy: core.Multiple, Kind: "heuristic",
-		Run: func(in *core.Instance, opt Options) (Result, error) {
+		Run: func(_ context.Context, in *core.Instance, opt Options) (Result, error) {
 			calls.Add(1)
 			time.Sleep(500 * time.Millisecond)
-			return solutionBackend(heuristics.MG)(in, opt)
+			return solutionBackend(heuristics.MG)(context.Background(), in, opt)
 		},
 	}); err != nil {
 		t.Fatal(err)

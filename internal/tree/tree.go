@@ -6,12 +6,20 @@
 // built (see Builder). All path/ancestor helpers follow the paper's
 // conventions: Ancestors(v) excludes v itself and ends at the root, and the
 // "link" of a non-root vertex v is the edge v -> parent(v).
+//
+// Internally the tree keeps an Euler-tour (preorder-contiguous) layout:
+// every subtree occupies one contiguous interval of the preorder array, and
+// the clients of every subtree occupy one contiguous interval of a single
+// client array. Subtree(v) and ClientsUnder(v) are therefore O(1) slice
+// views over shared backing arrays, and IsAncestor/InSubtree are O(1)
+// interval checks. Hot paths iterate ancestors without allocating:
+//
+//	for p := t.Parent(v); p != tree.None; p = t.Parent(p) { ... }
 package tree
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 )
 
 // None marks the absence of a vertex (e.g. the parent of the root).
@@ -32,8 +40,16 @@ type Tree struct {
 	postOrder []int // all vertices, children before parents
 	preOrder  []int // all vertices, parents before children
 
-	clientsUnder [][]int // per internal vertex: client ids in its subtree
-	subtreeSize  []int   // number of vertices in subtree(v), including v
+	// Euler-tour layout: subtree(v) is preOrder[preIndex[v] :
+	// preIndex[v]+subtreeSize[v]], and the clients of subtree(v) are
+	// clientOrder[clientStart[v] : clientStart[v]+clientCount[v]].
+	preIndex    []int // position of each vertex in preOrder
+	subtreeSize []int // number of vertices in subtree(v), including v
+	clientOrder []int // all clients, in preorder
+	clientStart []int // per vertex: offset of its subtree's clients
+	clientCount []int // per vertex: number of clients in its subtree
+
+	preInternal []int // internal vertices, in preorder
 }
 
 // Len returns the total number of vertices (clients + internal).
@@ -92,8 +108,16 @@ func (t *Tree) PostOrder() []int { return t.postOrder }
 // modified.
 func (t *Tree) PreOrder() []int { return t.preOrder }
 
+// PreOrderInternal returns the internal vertices in preorder — the
+// depth-first sweep the paper's tie-breaks use, without the clients.
+// The returned slice must not be modified.
+func (t *Tree) PreOrderInternal() []int { return t.preInternal }
+
 // Ancestors returns the vertices on the path from v (excluded) to the root
-// (included), closest first — the paper's Ancestors(v).
+// (included), closest first — the paper's Ancestors(v). It allocates; hot
+// paths should iterate with Parent instead:
+//
+//	for p := t.Parent(v); p != tree.None; p = t.Parent(p) { ... }
 func (t *Tree) Ancestors(v int) []int {
 	var out []int
 	for p := t.parent[v]; p != None; p = t.parent[p] {
@@ -102,22 +126,21 @@ func (t *Tree) Ancestors(v int) []int {
 	return out
 }
 
-// IsAncestor reports whether a is a strict ancestor of v.
+// IsAncestor reports whether a is a strict ancestor of v. O(1) via the
+// preorder interval of a's subtree.
 func (t *Tree) IsAncestor(a, v int) bool {
 	if a == v {
 		return false
 	}
-	for p := t.parent[v]; p != None; p = t.parent[p] {
-		if p == a {
-			return true
-		}
-	}
-	return false
+	i := t.preIndex[v]
+	return t.preIndex[a] <= i && i < t.preIndex[a]+t.subtreeSize[a]
 }
 
-// InSubtree reports whether v lies in subtree(s), including v == s.
+// InSubtree reports whether v lies in subtree(s), including v == s. O(1)
+// via the preorder interval of s's subtree.
 func (t *Tree) InSubtree(v, s int) bool {
-	return v == s || t.IsAncestor(s, v)
+	i := t.preIndex[v]
+	return t.preIndex[s] <= i && i < t.preIndex[s]+t.subtreeSize[s]
 }
 
 // Dist returns the number of edges on the path from v up to its ancestor a
@@ -144,10 +167,28 @@ func (t *Tree) PathLinks(v, a int) []int {
 	return out
 }
 
-// ClientsUnder returns the clients in subtree(v) for an internal vertex v,
-// in increasing id order. For a client v it returns {v}. The returned slice
-// must not be modified.
-func (t *Tree) ClientsUnder(v int) []int { return t.clientsUnder[v] }
+// ClientsUnder returns the clients in subtree(v), in preorder (the order
+// their subtrees hang under v). For a client v it returns {v}. The result
+// is an O(1) view over a shared backing array and must not be modified.
+func (t *Tree) ClientsUnder(v int) []int {
+	s := t.clientStart[v]
+	return t.clientOrder[s : s+t.clientCount[v] : s+t.clientCount[v]]
+}
+
+// NumClientsUnder returns the number of clients in subtree(v).
+func (t *Tree) NumClientsUnder(v int) int { return t.clientCount[v] }
+
+// Subtree returns all vertices of subtree(v) (v first, then its
+// descendants in preorder). The result is an O(1) view over the preorder
+// array and must not be modified.
+func (t *Tree) Subtree(v int) []int {
+	i := t.preIndex[v]
+	return t.preOrder[i : i+t.subtreeSize[v] : i+t.subtreeSize[v]]
+}
+
+// PreIndex returns the position of v in PreOrder(). Subtree(v) occupies
+// the interval [PreIndex(v), PreIndex(v)+SubtreeSize(v)).
+func (t *Tree) PreIndex(v int) int { return t.preIndex[v] }
 
 // SubtreeSize returns the number of vertices in subtree(v), including v.
 func (t *Tree) SubtreeSize(v int) int { return t.subtreeSize[v] }
@@ -317,22 +358,35 @@ func FromParents(parent []int, isClient []bool) (*Tree, error) {
 			t.internal = append(t.internal, v)
 		}
 	}
-	// clientsUnder + subtreeSize by post-order accumulation.
-	t.clientsUnder = make([][]int, n)
+	// subtreeSize + clientCount by post-order accumulation.
 	t.subtreeSize = make([]int, n)
+	t.clientCount = make([]int, n)
 	for _, v := range t.postOrder {
 		t.subtreeSize[v] = 1
 		if t.isClient[v] {
-			t.clientsUnder[v] = []int{v}
+			t.clientCount[v] = 1
 			continue
 		}
-		var acc []int
 		for _, c := range t.children[v] {
-			acc = append(acc, t.clientsUnder[c]...)
 			t.subtreeSize[v] += t.subtreeSize[c]
+			t.clientCount[v] += t.clientCount[c]
 		}
-		sort.Ints(acc)
-		t.clientsUnder[v] = acc
+	}
+	// Euler-tour layout: a subtree is a preorder interval, so its clients
+	// are the clients seen before it in preorder onward — one linear pass
+	// yields contiguous per-subtree client views.
+	t.preIndex = make([]int, n)
+	t.clientStart = make([]int, n)
+	t.clientOrder = make([]int, 0, len(t.clients))
+	t.preInternal = make([]int, 0, len(t.internal))
+	for i, v := range t.preOrder {
+		t.preIndex[v] = i
+		t.clientStart[v] = len(t.clientOrder)
+		if t.isClient[v] {
+			t.clientOrder = append(t.clientOrder, v)
+		} else {
+			t.preInternal = append(t.preInternal, v)
+		}
 	}
 	return t, nil
 }

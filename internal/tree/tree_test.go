@@ -318,6 +318,71 @@ func TestQuickInvariants(t *testing.T) {
 	}
 }
 
+// TestEulerLayout cross-checks the O(1) interval-based helpers against
+// naive parent-walk definitions on random trees.
+func TestEulerLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(50)
+		parents, isClient := randomParents(rng, n)
+		tr, err := FromParents(parents, isClient)
+		if err != nil {
+			t.Fatal(err)
+		}
+		walkAncestor := func(a, v int) bool {
+			for p := tr.Parent(v); p != None; p = tr.Parent(p) {
+				if p == a {
+					return true
+				}
+			}
+			return false
+		}
+		for a := 0; a < n; a++ {
+			for v := 0; v < n; v++ {
+				if got, want := tr.IsAncestor(a, v), walkAncestor(a, v); got != want {
+					t.Fatalf("IsAncestor(%d,%d) = %v, want %v", a, v, got, want)
+				}
+				if got, want := tr.InSubtree(v, a), v == a || walkAncestor(a, v); got != want {
+					t.Fatalf("InSubtree(%d,%d) = %v, want %v", v, a, got, want)
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			sub := tr.Subtree(v)
+			if sub[0] != v || len(sub) != tr.SubtreeSize(v) {
+				t.Fatalf("Subtree(%d) = %v", v, sub)
+			}
+			for _, u := range sub {
+				if !tr.InSubtree(u, v) {
+					t.Fatalf("Subtree(%d) contains %d outside the subtree", v, u)
+				}
+			}
+			cu := tr.ClientsUnder(v)
+			if len(cu) != tr.NumClientsUnder(v) {
+				t.Fatalf("ClientsUnder(%d) length %d != count %d", v, len(cu), tr.NumClientsUnder(v))
+			}
+			want := map[int]bool{}
+			for _, c := range tr.Clients() {
+				if tr.InSubtree(c, v) {
+					want[c] = true
+				}
+			}
+			if len(cu) != len(want) {
+				t.Fatalf("ClientsUnder(%d) = %v, want %v", v, cu, want)
+			}
+			for i, c := range cu {
+				if !want[c] {
+					t.Fatalf("ClientsUnder(%d) has stray client %d", v, c)
+				}
+				// Preorder-contiguous: positions strictly increase.
+				if i > 0 && tr.PreIndex(cu[i-1]) >= tr.PreIndex(c) {
+					t.Fatalf("ClientsUnder(%d) not in preorder: %v", v, cu)
+				}
+			}
+		}
+	}
+}
+
 func TestSubtreeSizeSum(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	parents, isClient := randomParents(rng, 40)

@@ -33,6 +33,7 @@
 package replica
 
 import (
+	"context"
 	"io"
 	"net/http"
 
@@ -107,8 +108,9 @@ func OptimalClosestHomogeneous(in *Instance) (*Solution, error) {
 
 // BruteForce computes an optimal solution by exhaustive enumeration
 // (exponential; small instances only — see exact.MaxBruteForceNodes).
-func BruteForce(in *Instance, p Policy) (*Solution, error) {
-	return exact.BruteForce(in, p)
+// Cancellation of ctx stops the enumeration promptly.
+func BruteForce(ctx context.Context, in *Instance, p Policy) (*Solution, error) {
+	return exact.BruteForce(ctx, in, p)
 }
 
 // HeuristicNames lists the Section 6 heuristics plus "MB" (MixedBest).
@@ -149,9 +151,10 @@ func RationalBound(in *Instance, p Policy) (float64, error) {
 
 // LowerBound computes the Section 7.1 refined bound (integer placement
 // variables, rational assignments) via budgeted branch-and-bound; the
-// result is a valid lower bound even when truncated.
-func LowerBound(in *Instance, p Policy, maxNodes int) (value float64, exact bool, err error) {
-	b, err := lpbound.Refined(in, p, lpbound.Options{MaxNodes: maxNodes})
+// result is a valid lower bound even when truncated. Cancellation of ctx
+// stops the search between branch nodes.
+func LowerBound(ctx context.Context, in *Instance, p Policy, maxNodes int) (value float64, exact bool, err error) {
+	b, err := lpbound.Refined(ctx, in, p, lpbound.Options{MaxNodes: maxNodes})
 	if err != nil {
 		return 0, false, err
 	}

@@ -1,6 +1,7 @@
 package replica_test
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -50,7 +51,7 @@ func TestFacadeOptimalSolvers(t *testing.T) {
 	if mu.ReplicaCount() > cl.ReplicaCount() {
 		t.Errorf("Multiple optimum %d above Closest optimum %d", mu.ReplicaCount(), cl.ReplicaCount())
 	}
-	bf, err := replica.BruteForce(in, replica.Upwards)
+	bf, err := replica.BruteForce(context.Background(), in, replica.Upwards)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestFacadeBounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lb, exactB, err := replica.LowerBound(in, replica.Multiple, 100)
+	lb, exactB, err := replica.LowerBound(context.Background(), in, replica.Multiple, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
