@@ -1,26 +1,37 @@
 // Command rpserve runs the replica-placement engine as a long-running
 // HTTP daemon: concurrent solves over every registered solver (exact,
 // heuristics, MixedBest, QoS/bandwidth variants), LP bounds, seeded
-// instance generation and streamed experiment campaigns, with a keyed
-// solution cache in front of the worker pool.
+// instance generation, streamed experiment campaigns and persistent
+// async campaign/batch jobs, with a keyed solution cache in front of
+// the worker pool.
 //
 // Usage:
 //
-//	rpserve -addr :8080 -workers 8 -cache 4096 -timeout 60s
+//	rpserve -addr :8080 -workers 8 -cache 4096 -timeout 60s \
+//	        -jobs-dir /var/lib/rpserve/jobs -job-workers 2
 //
 // Endpoints (all JSON):
 //
 //	GET  /healthz      liveness + engine counters (incl. per-solver cache stats)
+//	GET  /metrics      the same counters in Prometheus text format
 //	GET  /v1/solvers   solver registry listing with cache counters
 //	POST /v1/solve     {"instance": ..., "solver": "MB"}
 //	POST /v1/bound     {"instance": ..., "solver": "refined", "policy": "Multiple"}
 //	POST /v1/batch     {"topology": ..., "solver": ..., "base": ..., "variations": [...]}
 //	                   (one tree, N parameter vectors; streams NDJSON results)
 //	POST /v1/generate  {"config": {"Internal": 10, "Lambda": 0.5}, "seed": 7}
-//	POST /v1/campaign  {"config": {"TreesPerLambda": 10}}   (streams NDJSON rows)
+//	POST /v1/campaign  {"config": {"TreesPerLambda": 10}}   (streams NDJSON rows;
+//	                   503 + Retry-After when its inline slots are saturated)
+//	POST /v1/jobs      {"campaign": {...}} | {"batch": {...}}  (async, 202 + job id)
+//	GET  /v1/jobs[/{id}[/result]] and DELETE /v1/jobs/{id}
 //
-// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, and
-// queued plus in-flight jobs drain within -drain.
+// With -jobs-dir, jobs are persisted (manifest + append-only row log
+// per job) and survive restarts: a job interrupted by shutdown resumes
+// from its last completed row when the daemon comes back.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops,
+// running jobs checkpoint (resumable on restart), and queued plus
+// in-flight solves drain within -drain.
 package main
 
 import (
@@ -40,12 +51,17 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 0, "job queue depth before backpressure (0 = 4x workers)")
-		cache   = flag.Int("cache", 4096, "cached results (negative disables retention)")
-		timeout = flag.Duration("timeout", 60*time.Second, "default per-job deadline")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "job queue depth before backpressure (0 = 4x workers)")
+		cache      = flag.Int("cache", 4096, "cached results (negative disables retention)")
+		cacheBytes = flag.Int64("cache-bytes", 0, "approximate cache footprint limit in bytes (0 = unlimited)")
+		cacheTTL   = flag.Duration("cache-ttl", 0, "cached result lifetime (0 = never expires)")
+		timeout    = flag.Duration("timeout", 60*time.Second, "default per-job deadline")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+		jobsDir    = flag.String("jobs-dir", "", "directory for persistent async jobs (empty = in-memory, jobs die with the process)")
+		jobWorkers = flag.Int("job-workers", 2, "concurrently running async jobs")
+		campaigns  = flag.Int("campaigns", 0, "concurrent inline /v1/campaign streams (0 = default 2, negative = unlimited)")
 	)
 	flag.Parse()
 
@@ -53,11 +69,23 @@ func main() {
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheSize:      *cache,
+		CacheMaxBytes:  *cacheBytes,
+		CacheTTL:       *cacheTTL,
 		DefaultTimeout: *timeout,
 	})
+	manager, err := service.NewJobsManager(engine, *jobsDir, *jobWorkers)
+	if err != nil {
+		fatalf("opening job store: %v", err)
+	}
+	if n := manager.Recovered(); n > 0 {
+		log.Printf("rpserve: resuming %d unfinished job(s) from %s", n, *jobsDir)
+	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           service.NewHandler(engine),
+		Addr: *addr,
+		Handler: service.NewHandlerOpts(engine, service.HandlerOptions{
+			Jobs:               manager,
+			MaxInlineCampaigns: *campaigns,
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -80,6 +108,12 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("rpserve: http shutdown: %v", err)
+	}
+	// Jobs first: running jobs checkpoint (interrupted, resumable on the
+	// next start) and release their engine work before the engine pool
+	// itself drains.
+	if err := manager.Close(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("rpserve: jobs shutdown: %v", err)
 	}
 	if err := engine.Close(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("rpserve: engine shutdown: %v", err)

@@ -70,6 +70,12 @@ type Config struct {
 	// worker count: every tree is generated from its own seed and
 	// aggregated in index order.
 	Parallelism int
+	// StartRow resumes a campaign from a checkpoint: the first StartRow
+	// λ values are skipped entirely and Results.Rows holds only the rows
+	// from that index on. Generation seeds stay tied to the absolute λ
+	// index, so a resumed campaign produces exactly the rows a full run
+	// would have produced from that point.
+	StartRow int
 	// Progress, when non-nil, is called with each aggregated row as soon
 	// as its λ completes, in λ order. It lets callers stream campaign
 	// progress; it has no effect on the produced rows. A non-nil return
@@ -100,23 +106,33 @@ func (c Config) withDefaults() Config {
 	if c.BoundNodes <= 0 {
 		c.BoundNodes = 60
 	}
+	if c.StartRow < 0 {
+		c.StartRow = 0
+	}
 	return c
 }
 
-// Row aggregates one λ value.
+// Normalized returns the config with every default applied, so callers
+// persisting a config (e.g. an async job manifest) can pin the exact
+// sweep — λ values, sizes, seed — a later resume will re-derive.
+func (c Config) Normalized() Config { return c.withDefaults() }
+
+// Row aggregates one λ value. The JSON tags are the wire form used by
+// the service layer (inline campaign streams and persisted job rows
+// share it, so checkpointed rows round-trip losslessly).
 type Row struct {
-	Lambda float64
-	Trees  int
+	Lambda float64 `json:"lambda"`
+	Trees  int     `json:"trees"`
 	// LPSolvable counts trees feasible under the Multiple policy (the
 	// paper's "number of solutions obtained by the linear program").
-	LPSolvable int
+	LPSolvable int `json:"lp_solvable"`
 	// Success counts trees solved per heuristic.
-	Success map[string]int
+	Success map[string]int `json:"success"`
 	// RelCost is the paper's rcost per heuristic: the average over
 	// LP-solvable trees of bound/cost, counting failures as zero.
-	RelCost map[string]float64
+	RelCost map[string]float64 `json:"rel_cost"`
 	// BoundExact counts trees whose refined bound closed within budget.
-	BoundExact int
+	BoundExact int `json:"bound_exact"`
 }
 
 // Results is a full campaign outcome.
@@ -194,7 +210,11 @@ func Run(cfg Config) (*Results, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	res := &Results{Config: cfg}
-	for li, lambda := range cfg.Lambdas {
+	for li := cfg.StartRow; li < len(cfg.Lambdas); li++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		lambda := cfg.Lambdas[li]
 		row := Row{
 			Lambda:  lambda,
 			Trees:   cfg.TreesPerLambda,

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -153,5 +154,41 @@ func TestParallelismInvariance(t *testing.T) {
 	}
 	if a.SuccessTable() != b.SuccessTable() || a.RelCostTable() != b.RelCostTable() {
 		t.Errorf("parallel run differs from serial:\n%s\nvs\n%s", a.SuccessTable(), b.SuccessTable())
+	}
+}
+
+// TestStartRowMatchesFullRun pins the checkpoint/resume contract the
+// async jobs subsystem relies on: a run resumed at row k produces
+// exactly the rows a full run produces from k on, because generation
+// seeds are tied to the absolute λ index.
+func TestStartRowMatchesFullRun(t *testing.T) {
+	full, err := Run(smallConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := smallConfig(false)
+	resumed.StartRow = 1
+	tail, err := Run(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail.Rows) != len(full.Rows)-1 {
+		t.Fatalf("resumed rows = %d, want %d", len(tail.Rows), len(full.Rows)-1)
+	}
+	if !reflect.DeepEqual(tail.Rows, full.Rows[1:]) {
+		t.Fatalf("resumed rows differ from the full run's tail:\ngot  %+v\nwant %+v", tail.Rows, full.Rows[1:])
+	}
+}
+
+// TestStartRowPastEnd is the already-complete resume: no rows, no error.
+func TestStartRowPastEnd(t *testing.T) {
+	cfg := smallConfig(false)
+	cfg.StartRow = len(cfg.Lambdas)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows = %d, want 0", len(res.Rows))
 	}
 }

@@ -1,0 +1,89 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+// CampaignKindName is the Spec.Kind of Section 7 experiment campaigns.
+const CampaignKindName = "campaign"
+
+// CampaignKind executes experiments.Config payloads: one persisted row
+// per λ value, in λ order. Because rows complete in order and every
+// tree is generated from a seed tied to its absolute λ index, the
+// checkpoint is simply the row count — a resumed campaign sets
+// Config.StartRow to len(prior) and recomputes nothing.
+func CampaignKind() Kind {
+	return Kind{
+		Name: CampaignKindName,
+		Prepare: func(payload json.RawMessage) (json.RawMessage, int, error) {
+			cfg, err := decodeCampaign(payload)
+			if err != nil {
+				return nil, 0, err
+			}
+			// Persist the normalized config: defaults (λ sweep, sizes,
+			// seed) are pinned at submit time, so a resume after a restart
+			// — possibly under a binary with different defaults — still
+			// derives the identical sweep.
+			cfg = cfg.Normalized()
+			if cfg.StartRow != 0 {
+				return nil, 0, fmt.Errorf("jobs: campaign jobs manage StartRow themselves; submit without it")
+			}
+			norm, err := json.Marshal(cfg)
+			if err != nil {
+				return nil, 0, err
+			}
+			return norm, len(cfg.Lambdas), nil
+		},
+		Run: func(ctx context.Context, payload json.RawMessage, prior []json.RawMessage, sink func(json.RawMessage) error) error {
+			cfg, err := decodeCampaign(payload)
+			if err != nil {
+				return err
+			}
+			cfg.StartRow = len(prior)
+			if cfg.StartRow >= len(cfg.Lambdas) {
+				return nil // every row already checkpointed
+			}
+			cfg.Context = ctx
+			cfg.Progress = func(row experiments.Row) error {
+				data, err := json.Marshal(row)
+				if err != nil {
+					return err
+				}
+				return sink(data)
+			}
+			_, err = experiments.Run(cfg)
+			return err
+		},
+	}
+}
+
+func decodeCampaign(payload json.RawMessage) (experiments.Config, error) {
+	var cfg experiments.Config
+	if len(payload) == 0 {
+		return cfg, fmt.Errorf("jobs: campaign job without config")
+	}
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return cfg, fmt.Errorf("jobs: bad campaign config: %w", err)
+	}
+	return cfg, nil
+}
+
+// CampaignRows decodes a campaign job's persisted rows.
+func CampaignRows(rows []json.RawMessage) ([]experiments.Row, error) {
+	out := make([]experiments.Row, 0, len(rows))
+	for i, raw := range rows {
+		var row experiments.Row
+		if err := json.Unmarshal(raw, &row); err != nil {
+			return nil, fmt.Errorf("jobs: corrupt campaign row %d: %w", i, err)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,40 @@
+// Package jobs is the async campaign-job subsystem behind the service
+// layer's /v1/jobs API: submitted campaign (and large batch-solve) runs
+// are owned end to end by a Manager — scheduled on a bounded worker
+// pool, cancellable per job, checkpointed row by row, and resumable
+// after a daemon restart.
+//
+// A job is a Spec (a kind name plus an opaque JSON payload) executed by
+// a registered Kind. The Kind's Prepare hook normalizes the payload at
+// submit time and fixes the total row count; its Run hook executes (or
+// resumes) the job, emitting each completed row through a sink. Rows
+// are the checkpoint: on restart, a resumed job is handed its prior
+// rows and continues from there — a campaign restarts from the first
+// λ value without a persisted row, never recomputing completed ones.
+//
+// # Stores
+//
+// The Store interface persists job manifests and row logs. MemStore
+// keeps everything in process memory (jobs die with the daemon).
+// FileStore survives restarts; its on-disk layout under the configured
+// jobs dir is one directory per job:
+//
+//	<jobs-dir>/
+//	  <job-id>/
+//	    manifest.json   # Meta: spec, state, row counts, timestamps
+//	    rows.ndjson     # append-only log, one JSON row per line
+//
+// The manifest is replaced atomically (temp file + rename) on every
+// state change; rows.ndjson is append-only, so a crash can lose at most
+// the trailing partial line (tolerated on load) and never a committed
+// row. The rows file is the source of truth for resume: a job restarts
+// from len(rows), even if the manifest's counters lag behind.
+//
+// # Lifecycle
+//
+// queued → running → succeeded | failed | canceled, with interrupted as
+// the checkpointed-at-shutdown state: Manager.Close cancels running
+// jobs with ErrShutdown, marking them interrupted; a new Manager over
+// the same store re-queues queued/running/interrupted jobs and resumes
+// them from their persisted rows.
+package jobs

@@ -1,0 +1,201 @@
+package jobs
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FileStore persists jobs under one directory per job (see the package
+// doc for the layout): a manifest replaced atomically on every state
+// change, plus an append-only NDJSON row log. Jobs stored here survive
+// a daemon restart and resume from their last committed row.
+type FileStore struct {
+	dir string
+	mu  sync.Mutex // serializes multi-step filesystem operations
+}
+
+const (
+	manifestName = "manifest.json"
+	rowsName     = "rows.ndjson"
+)
+
+// NewFileStore opens (creating if needed) a file store rooted at dir.
+func NewFileStore(dir string) (*FileStore, error) {
+	if dir == "" {
+		return nil, errors.New("jobs: file store needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: creating store dir: %w", err)
+	}
+	return &FileStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *FileStore) Dir() string { return s.dir }
+
+// jobDir validates the id (it becomes a path component) and returns the
+// job's directory. IDs are manager-generated, but Get/Delete also see
+// caller-supplied ids from the HTTP layer, so traversal must be
+// impossible here, not just unlikely.
+func (s *FileStore) jobDir(id string) (string, error) {
+	if id == "" {
+		return "", errors.New("jobs: empty job id")
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+		default:
+			return "", fmt.Errorf("jobs: invalid job id %q", id)
+		}
+	}
+	return filepath.Join(s.dir, id), nil
+}
+
+// Put implements Store: the manifest is written to a temp file and
+// renamed over the old one, so a crash never leaves a torn manifest.
+func (s *FileStore) Put(m Meta) error {
+	dir, err := s.jobDir(m.ID)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, manifestName+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, manifestName))
+}
+
+// Get implements Store.
+func (s *FileStore) Get(id string) (Meta, bool, error) {
+	dir, err := s.jobDir(id)
+	if err != nil {
+		return Meta{}, false, err
+	}
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return Meta{}, false, nil
+	}
+	if err != nil {
+		return Meta{}, false, err
+	}
+	var m Meta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Meta{}, false, fmt.Errorf("jobs: corrupt manifest for %s: %w", id, err)
+	}
+	return m, true, nil
+}
+
+// List implements Store. Directories without a readable manifest (e.g.
+// a job created but crashed before its first Put completed the rename)
+// are skipped, not errors.
+func (s *FileStore) List() ([]Meta, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Meta
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		m, ok, err := s.Get(e.Name())
+		if err != nil || !ok {
+			continue
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// AppendRow implements Store: one JSON line appended with O_APPEND, so
+// committed rows are never rewritten.
+func (s *FileStore) AppendRow(id string, row json.RawMessage) error {
+	dir, err := s.jobDir(id)
+	if err != nil {
+		return err
+	}
+	if !json.Valid(row) {
+		return fmt.Errorf("jobs: row for %s is not valid JSON", id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := os.OpenFile(filepath.Join(dir, rowsName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(append(append([]byte(nil), row...), '\n')); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Rows implements Store. A trailing partial line (a crash mid-append)
+// is dropped; everything before it is intact because rows are
+// append-only.
+func (s *FileStore) Rows(id string) ([]json.RawMessage, error) {
+	dir, err := s.jobDir(id)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(dir, rowsName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []json.RawMessage
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if !json.Valid(line) {
+			break // torn trailing write; ignore it and everything after
+		}
+		out = append(out, append(json.RawMessage(nil), line...))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Delete implements Store.
+func (s *FileStore) Delete(id string) error {
+	dir, err := s.jobDir(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.RemoveAll(dir)
+}

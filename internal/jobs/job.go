@@ -1,0 +1,118 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"time"
+)
+
+// State is a job's position in its lifecycle.
+type State string
+
+const (
+	// StateQueued marks a submitted (or restart-recovered) job waiting
+	// for a worker slot.
+	StateQueued State = "queued"
+	// StateRunning marks a job currently executing on a worker.
+	StateRunning State = "running"
+	// StateSucceeded marks a job that ran to completion; all its rows
+	// are persisted.
+	StateSucceeded State = "succeeded"
+	// StateFailed marks a job whose runner returned an error other than
+	// cancellation; Meta.Error holds it.
+	StateFailed State = "failed"
+	// StateCanceled marks a job canceled by the caller.
+	StateCanceled State = "canceled"
+	// StateInterrupted marks a job checkpointed by Manager.Close: its
+	// completed rows are persisted, and a new Manager over the same
+	// store resumes it.
+	StateInterrupted State = "interrupted"
+)
+
+// Terminal reports whether the state is final: the job will never run
+// again under any manager. Interrupted is NOT terminal — it resumes on
+// restart.
+func (s State) Terminal() bool {
+	return s == StateSucceeded || s == StateFailed || s == StateCanceled
+}
+
+// Spec names what a job computes: a registered kind plus that kind's
+// opaque JSON payload (a campaign config, a batch request, ...).
+type Spec struct {
+	Kind    string          `json:"kind"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Meta is a job's durable record (the manifest of the file store).
+type Meta struct {
+	ID    string `json:"id"`
+	Spec  Spec   `json:"spec"`
+	State State  `json:"state"`
+	// Error is the failure message of a StateFailed job.
+	Error string `json:"error,omitempty"`
+	// RowsTotal is the number of rows a complete run produces, fixed by
+	// the kind's Prepare hook at submit time.
+	RowsTotal int `json:"rows_total"`
+	// RowsDone counts persisted rows. The row log is authoritative;
+	// this counter is reconciled from it when a job (re)starts.
+	RowsDone int `json:"rows_done"`
+	// Resumes counts how many times the job restarted from a non-empty
+	// checkpoint.
+	Resumes   int       `json:"resumes,omitempty"`
+	CreatedAt time.Time `json:"created_at"`
+	// StartedAt is the first transition to running; FinishedAt the
+	// transition to a terminal state (zero while resumable).
+	StartedAt  time.Time `json:"started_at,omitzero"`
+	FinishedAt time.Time `json:"finished_at,omitzero"`
+}
+
+// Progress is the completed fraction, in [0, 1].
+func (m Meta) Progress() float64 {
+	if m.RowsTotal <= 0 {
+		if m.State == StateSucceeded {
+			return 1
+		}
+		return 0
+	}
+	p := float64(m.RowsDone) / float64(m.RowsTotal)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// Kind is one executable job type registered with a Manager.
+type Kind struct {
+	// Name keys Spec.Kind ("campaign", "batch", ...).
+	Name string
+	// Prepare validates and normalizes the payload at submit time and
+	// returns the total number of rows a complete run produces. The
+	// normalized payload is what gets persisted, so defaults applied
+	// here are pinned for every later resume.
+	Prepare func(payload json.RawMessage) (normalized json.RawMessage, totalRows int, err error)
+	// Run executes or resumes the job. prior holds the checkpointed
+	// rows in append order (empty on a fresh run); Run must emit only
+	// the rows after them, each through sink (which persists it). ctx
+	// is canceled on job cancellation and manager shutdown; Run should
+	// return promptly with ctx's error when it fires.
+	Run func(ctx context.Context, payload json.RawMessage, prior []json.RawMessage, sink func(json.RawMessage) error) error
+}
+
+// Sentinel errors.
+var (
+	// ErrCanceled is the cancellation cause of Manager.Cancel.
+	ErrCanceled = errors.New("jobs: canceled by caller")
+	// ErrShutdown is the cancellation cause of Manager.Close; jobs
+	// canceled with it are checkpointed as interrupted, not canceled.
+	ErrShutdown = errors.New("jobs: manager shutting down")
+	// ErrClosed is returned by Submit after Close has begun.
+	ErrClosed = errors.New("jobs: manager closed")
+	// ErrNotFound reports an unknown job id.
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrQueueFull reports that the pending-job queue is at capacity.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrNotTerminal is returned by Delete for a job that could still
+	// run; cancel it first.
+	ErrNotTerminal = errors.New("jobs: job not in a terminal state")
+)

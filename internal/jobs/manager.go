@@ -1,0 +1,417 @@
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Options configures NewManager. The zero value selects an in-memory
+// store, 2 job workers and a 256-deep submit queue.
+type Options struct {
+	// Store persists manifests and rows (default NewMemStore; use a
+	// FileStore for jobs that survive restarts).
+	Store Store
+	// Workers is the number of jobs running concurrently. Campaign jobs
+	// parallelize internally over trees, so this stays small (default 2).
+	Workers int
+	// QueueDepth bounds pending submissions before Submit returns
+	// ErrQueueFull (default 256).
+	QueueDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Store == nil {
+		o.Store = NewMemStore()
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	return o
+}
+
+// Stats is a snapshot of the manager's job-state gauges.
+type Stats struct {
+	Workers     int `json:"workers"`
+	QueueLen    int `json:"queue_len"`
+	Queued      int `json:"queued"`
+	Running     int `json:"running"`
+	Succeeded   int `json:"succeeded"`
+	Failed      int `json:"failed"`
+	Canceled    int `json:"canceled"`
+	Interrupted int `json:"interrupted"`
+}
+
+// Manager owns submitted jobs end to end: it schedules them on a
+// bounded worker pool, checkpoints every completed row through its
+// Store, cancels per job, and — over a persistent store — resumes
+// unfinished jobs when a new Manager opens the same store. All methods
+// are safe for concurrent use.
+type Manager struct {
+	store Store
+	opts  Options
+	kinds map[string]Kind
+	queue chan string
+	wg    sync.WaitGroup
+
+	mu        sync.Mutex
+	metas     map[string]Meta
+	cancels   map[string]context.CancelCauseFunc
+	running   int
+	closed    bool
+	recovered int
+}
+
+// NewManager opens a manager over the store: it registers the kinds,
+// re-queues every unfinished job found in the store (queued, running or
+// interrupted — i.e. jobs from a previous process that never reached a
+// terminal state), and starts the worker pool.
+func NewManager(opts Options, kinds ...Kind) (*Manager, error) {
+	opts = opts.withDefaults()
+	m := &Manager{
+		store:   opts.Store,
+		opts:    opts,
+		kinds:   map[string]Kind{},
+		metas:   map[string]Meta{},
+		cancels: map[string]context.CancelCauseFunc{},
+	}
+	for _, k := range kinds {
+		if k.Name == "" || k.Prepare == nil || k.Run == nil {
+			return nil, fmt.Errorf("jobs: kind %q is incomplete", k.Name)
+		}
+		if _, dup := m.kinds[k.Name]; dup {
+			return nil, fmt.Errorf("jobs: duplicate kind %q", k.Name)
+		}
+		m.kinds[k.Name] = k
+	}
+
+	stored, err := m.store.List()
+	if err != nil {
+		return nil, fmt.Errorf("jobs: loading store: %w", err)
+	}
+	var resume []Meta
+	for _, meta := range stored {
+		if !meta.State.Terminal() {
+			resume = append(resume, meta)
+		}
+		m.metas[meta.ID] = meta
+	}
+	sort.Slice(resume, func(i, j int) bool { return resume[i].CreatedAt.Before(resume[j].CreatedAt) })
+
+	// The queue must hold every recovered job up front (workers have not
+	// started yet), plus the configured headroom for new submissions.
+	m.queue = make(chan string, opts.QueueDepth+len(resume))
+	for _, meta := range resume {
+		if _, ok := m.kinds[meta.Spec.Kind]; !ok {
+			meta.State = StateFailed
+			meta.Error = fmt.Sprintf("jobs: unknown job kind %q", meta.Spec.Kind)
+			meta.FinishedAt = time.Now().UTC()
+			m.metas[meta.ID] = meta
+			m.store.Put(meta)
+			continue
+		}
+		meta.State = StateQueued
+		m.metas[meta.ID] = meta
+		if err := m.store.Put(meta); err != nil {
+			return nil, err
+		}
+		m.queue <- meta.ID
+		m.recovered++
+	}
+
+	for i := 0; i < opts.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// Recovered reports how many unfinished jobs this manager re-queued
+// from its store at startup.
+func (m *Manager) Recovered() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recovered
+}
+
+// Submit validates the spec against its kind, persists the job and
+// queues it. The returned Meta is the job's initial (queued) record.
+func (m *Manager) Submit(spec Spec) (Meta, error) {
+	kind, ok := m.kinds[spec.Kind]
+	if !ok {
+		return Meta{}, fmt.Errorf("jobs: unknown job kind %q", spec.Kind)
+	}
+	payload, total, err := kind.Prepare(spec.Payload)
+	if err != nil {
+		return Meta{}, err
+	}
+	meta := Meta{
+		ID:        newID(),
+		Spec:      Spec{Kind: spec.Kind, Payload: payload},
+		State:     StateQueued,
+		RowsTotal: total,
+		CreatedAt: time.Now().UTC(),
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Meta{}, ErrClosed
+	}
+	if len(m.queue) == cap(m.queue) {
+		return Meta{}, ErrQueueFull
+	}
+	if err := m.store.Put(meta); err != nil {
+		return Meta{}, err
+	}
+	m.metas[meta.ID] = meta
+	m.queue <- meta.ID // cannot block: space checked under mu, only Submit sends
+	return meta, nil
+}
+
+// Get returns a job's current record.
+func (m *Manager) Get(id string) (Meta, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	meta, ok := m.metas[id]
+	return meta, ok
+}
+
+// List returns every job, oldest first.
+func (m *Manager) List() []Meta {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Meta, 0, len(m.metas))
+	for _, meta := range m.metas {
+		out = append(out, meta)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].CreatedAt.Equal(out[j].CreatedAt) {
+			return out[i].CreatedAt.Before(out[j].CreatedAt)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Rows returns the job's persisted rows in append order.
+func (m *Manager) Rows(id string) ([]json.RawMessage, error) {
+	if _, ok := m.Get(id); !ok {
+		return nil, ErrNotFound
+	}
+	return m.store.Rows(id)
+}
+
+// Cancel stops a job. A queued job is marked canceled immediately; a
+// running job's context is canceled and the record transitions to
+// canceled when its runner unwinds (poll Get to observe it). Jobs
+// already in a terminal state return an error.
+func (m *Manager) Cancel(id string) (Meta, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	meta, ok := m.metas[id]
+	if !ok {
+		return Meta{}, ErrNotFound
+	}
+	switch meta.State {
+	case StateQueued, StateInterrupted:
+		meta.State = StateCanceled
+		meta.FinishedAt = time.Now().UTC()
+		m.metas[id] = meta
+		return meta, m.store.Put(meta)
+	case StateRunning:
+		if cancel := m.cancels[id]; cancel != nil {
+			cancel(ErrCanceled)
+		}
+		return meta, nil
+	default:
+		return meta, fmt.Errorf("jobs: job %s already %s", id, meta.State)
+	}
+}
+
+// Delete removes a terminal job's record and rows. Cancel running or
+// queued jobs first (ErrNotTerminal otherwise).
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	meta, ok := m.metas[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if !meta.State.Terminal() {
+		return ErrNotTerminal
+	}
+	delete(m.metas, id)
+	return m.store.Delete(id)
+}
+
+// Stats snapshots the job-state gauges.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Stats{Workers: m.opts.Workers, QueueLen: len(m.queue), Running: m.running}
+	for _, meta := range m.metas {
+		switch meta.State {
+		case StateQueued:
+			st.Queued++
+		case StateSucceeded:
+			st.Succeeded++
+		case StateFailed:
+			st.Failed++
+		case StateCanceled:
+			st.Canceled++
+		case StateInterrupted:
+			st.Interrupted++
+		}
+	}
+	return st
+}
+
+// Close checkpoints and stops the manager: running jobs are canceled
+// with ErrShutdown (their completed rows are already persisted, and
+// they finalize as interrupted), still-queued jobs stay queued in the
+// store, and new submissions fail with ErrClosed. Close returns when
+// the workers have stopped or ctx expires (they then finish in the
+// background).
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	close(m.queue)
+	for _, cancel := range m.cancels {
+		cancel(ErrShutdown)
+	}
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker drains the queue until Close.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for id := range m.queue {
+		m.runJob(id)
+	}
+}
+
+// runJob executes one queued job to a final (or interrupted) state.
+// The claim — cancel registration AND the transition to running —
+// happens in one critical section, so a concurrent Cancel either sees
+// the job still queued (and marks it canceled before the claim, which
+// the claim then observes) or sees it running (and fires the registered
+// cancel func); there is no window where a canceled job is resurrected.
+// While the job runs, this worker is the only writer of its manifest
+// (Cancel on a running job only cancels the context, Delete refuses
+// non-terminal jobs), so store writes happen outside m.mu and never
+// block status polls.
+func (m *Manager) runJob(id string) {
+	m.mu.Lock()
+	if m.closed {
+		// Drained after Close: leave the job queued in the store so the
+		// next manager over it resumes the job.
+		m.mu.Unlock()
+		return
+	}
+	meta, ok := m.metas[id]
+	if !ok || meta.State != StateQueued {
+		m.mu.Unlock()
+		return // canceled (or deleted) while waiting for a worker
+	}
+	kind := m.kinds[meta.Spec.Kind]
+	ctx, cancel := context.WithCancelCause(context.Background())
+	m.cancels[id] = cancel
+	m.running++
+	meta.State = StateRunning
+	if meta.StartedAt.IsZero() {
+		meta.StartedAt = time.Now().UTC()
+	}
+	m.metas[id] = meta
+	m.mu.Unlock()
+	defer cancel(nil)
+
+	prior, err := m.store.Rows(id)
+	if err == nil {
+		m.mu.Lock()
+		meta = m.metas[id]
+		if len(prior) > 0 {
+			meta.Resumes++
+		}
+		// The row log is authoritative; a manifest that lagged a crash
+		// (counter written before the row, or vice versa) reconciles here.
+		meta.RowsDone = len(prior)
+		m.metas[id] = meta
+		m.mu.Unlock()
+		m.store.Put(meta)
+
+		err = kind.Run(ctx, meta.Spec.Payload, prior, func(row json.RawMessage) error {
+			if aerr := m.store.AppendRow(id, row); aerr != nil {
+				return aerr
+			}
+			m.mu.Lock()
+			mm := m.metas[id]
+			mm.RowsDone++
+			m.metas[id] = mm
+			m.mu.Unlock()
+			return m.store.Put(mm)
+		})
+	}
+
+	state := StateSucceeded
+	cause := context.Cause(ctx)
+	switch {
+	case err == nil:
+	case errors.Is(cause, ErrShutdown):
+		state = StateInterrupted
+	case errors.Is(cause, ErrCanceled),
+		errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		state = StateCanceled
+	default:
+		state = StateFailed
+	}
+
+	m.mu.Lock()
+	mm := m.metas[id]
+	mm.State = state
+	if state == StateFailed {
+		mm.Error = err.Error()
+	}
+	if state.Terminal() {
+		mm.FinishedAt = time.Now().UTC()
+	}
+	delete(m.cancels, id)
+	m.running--
+	m.metas[id] = mm
+	m.mu.Unlock()
+	m.store.Put(mm)
+}
+
+// newID returns a fresh, filesystem-safe job id.
+func newID() string {
+	var b [9]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return "j" + hex.EncodeToString(b[:])
+}

@@ -1,0 +1,93 @@
+package jobs
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+)
+
+// Store persists job manifests and append-only row logs. Implementations
+// must be safe for concurrent use. The manager serializes writes per
+// job (one worker owns a running job), but reads — status polls, row
+// fetches — happen concurrently with them.
+type Store interface {
+	// Put creates or replaces a job's manifest.
+	Put(m Meta) error
+	// Get returns a job's manifest; ok is false when the id is unknown.
+	Get(id string) (m Meta, ok bool, err error)
+	// List returns every manifest, in no particular order.
+	List() ([]Meta, error)
+	// AppendRow appends one row to the job's log.
+	AppendRow(id string, row json.RawMessage) error
+	// Rows returns the job's row log in append order (nil when empty).
+	Rows(id string) ([]json.RawMessage, error)
+	// Delete removes the job's manifest and rows.
+	Delete(id string) error
+}
+
+// MemStore is the in-process Store: jobs do not survive a restart.
+type MemStore struct {
+	mu    sync.RWMutex
+	metas map[string]Meta
+	rows  map[string][]json.RawMessage
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{metas: map[string]Meta{}, rows: map[string][]json.RawMessage{}}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(m Meta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metas[m.ID] = m
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(id string) (Meta, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.metas[id]
+	return m, ok, nil
+}
+
+// List implements Store.
+func (s *MemStore) List() ([]Meta, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Meta, 0, len(s.metas))
+	for _, m := range s.metas {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// AppendRow implements Store.
+func (s *MemStore) AppendRow(id string, row json.RawMessage) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rows[id] = append(s.rows[id], append(json.RawMessage(nil), row...))
+	return nil
+}
+
+// Rows implements Store.
+func (s *MemStore) Rows(id string) ([]json.RawMessage, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rows := s.rows[id]
+	out := make([]json.RawMessage, len(rows))
+	copy(out, rows)
+	return out, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.metas, id)
+	delete(s.rows, id)
+	return nil
+}

@@ -3,6 +3,7 @@ package service
 import (
 	"container/list"
 	"sync"
+	"time"
 )
 
 // cacheEntry is one keyed computation. The first requester owns the
@@ -15,6 +16,8 @@ type cacheEntry struct {
 	err   error
 	done  bool          // set under cache.mu when the result is published
 	elem  *list.Element // LRU position; nil while in flight or evicted
+	size  int64         // approximate retained footprint, set at complete
+	stale time.Time     // TTL deadline; zero when the cache has no TTL
 }
 
 // SolverCacheStats are the per-solver cache counters: completed-entry
@@ -28,20 +31,29 @@ type SolverCacheStats struct {
 
 // cache is an LRU solution cache with single-flight de-duplication of
 // concurrent computations for the same key, instrumented with global and
-// per-solver hit/miss/coalesced counters.
+// per-solver hit/miss/coalesced counters. Retention is bounded three
+// ways, each optional: by entry count (max), by the approximate byte
+// footprint of retained results (maxBytes), and by age (ttl — an entry
+// older than it is re-computed on next access).
 type cache struct {
-	mu      sync.Mutex
-	max     int // maximum completed entries retained; <=0 disables retention
-	entries map[string]*cacheEntry
-	lru     *list.List // of string keys, front = most recent
+	mu       sync.Mutex
+	max      int           // maximum completed entries retained; <=0 disables retention
+	maxBytes int64         // maximum retained bytes; <=0 unlimited
+	ttl      time.Duration // entry lifetime; <=0 no expiry
+	entries  map[string]*cacheEntry
+	lru      *list.List // of string keys, front = most recent
+	bytes    int64      // approximate retained footprint
 
-	hits, misses, evictions uint64
-	perSolver               map[string]*SolverCacheStats
+	hits, misses                           uint64
+	evictions, byteEvictions, ttlEvictions uint64
+	perSolver                              map[string]*SolverCacheStats
 }
 
-func newCache(max int) *cache {
+func newCache(max int, maxBytes int64, ttl time.Duration) *cache {
 	return &cache{
 		max:       max,
+		maxBytes:  maxBytes,
+		ttl:       ttl,
 		entries:   map[string]*cacheEntry{},
 		lru:       list.New(),
 		perSolver: map[string]*SolverCacheStats{},
@@ -61,28 +73,46 @@ func (c *cache) solverStats(solver string) *SolverCacheStats {
 // reports whether the caller created it and so MUST eventually call
 // complete — otherwise every waiter on the entry blocks forever. A
 // non-owner waits on entry.ready without holding any engine resource.
-// solver attributes the lookup to a per-solver counter set.
+// solver attributes the lookup to a per-solver counter set. An entry
+// past its TTL is dropped here and the caller becomes the owner of a
+// fresh computation.
 func (c *cache) claim(key, solver string) (e *cacheEntry, owner bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := c.solverStats(solver)
 	if e, ok := c.entries[key]; ok {
-		c.hits++
-		if e.done {
-			st.Hits++
+		if e.done && !e.stale.IsZero() && time.Now().After(e.stale) {
+			c.drop(key, e)
+			c.ttlEvictions++
 		} else {
-			st.Coalesced++
+			c.hits++
+			if e.done {
+				st.Hits++
+			} else {
+				st.Coalesced++
+			}
+			if e.elem != nil {
+				c.lru.MoveToFront(e.elem)
+			}
+			return e, false
 		}
-		if e.elem != nil {
-			c.lru.MoveToFront(e.elem)
-		}
-		return e, false
 	}
 	e = &cacheEntry{ready: make(chan struct{})}
 	c.entries[key] = e
 	c.misses++
 	st.Misses++
 	return e, true
+}
+
+// drop removes a retained entry from the index, LRU and byte account.
+// Callers hold c.mu and count the eviction themselves.
+func (c *cache) drop(key string, e *cacheEntry) {
+	if e.elem != nil {
+		c.lru.Remove(e.elem)
+		e.elem = nil
+	}
+	c.bytes -= e.size
+	delete(c.entries, key)
 }
 
 // complete publishes the owner's result to all waiters and retains it
@@ -102,23 +132,75 @@ func (c *cache) complete(key string, e *cacheEntry, res Result, err error) {
 			delete(c.entries, key)
 		}
 	} else {
+		e.size = resultSize(res)
+		if c.ttl > 0 {
+			e.stale = time.Now().Add(c.ttl)
+		}
 		e.elem = c.lru.PushFront(key)
+		c.bytes += e.size
 		for c.lru.Len() > c.max {
-			tail := c.lru.Back()
-			c.lru.Remove(tail)
-			delete(c.entries, tail.Value.(string))
+			c.evictTail()
 			c.evictions++
+		}
+		for c.maxBytes > 0 && c.bytes > c.maxBytes && c.lru.Len() > 0 {
+			c.evictTail()
+			c.byteEvictions++
 		}
 	}
 	c.mu.Unlock()
 	close(e.ready)
 }
 
-// stats returns a consistent snapshot of the cache counters.
-func (c *cache) stats() (hits, misses, evictions uint64, entries int) {
+// evictTail drops the least-recently-used retained entry. Callers hold
+// c.mu and count the eviction.
+func (c *cache) evictTail() {
+	tail := c.lru.Back()
+	key := tail.Value.(string)
+	c.drop(key, c.entries[key])
+}
+
+// resultSize approximates a retained Result's memory footprint: struct
+// headers plus the solution's per-client portion lists and cached
+// replica set. It deliberately overcounts a little (headers rounded up)
+// rather than under — the byte limit is a safety bound, not an
+// accounting ledger.
+func resultSize(res Result) int64 {
+	const (
+		entryOverhead = 160 // entry + map bucket share + LRU element + key
+		sliceHeader   = 24
+		portionSize   = 16 // core.Portion: int + int64
+	)
+	size := int64(entryOverhead)
+	if sol := res.Solution; sol != nil {
+		size += sliceHeader + int64(len(sol.Assign))*sliceHeader
+		for _, ports := range sol.Assign {
+			size += int64(len(ports)) * portionSize
+		}
+		size += sliceHeader + int64(len(sol.Replicas()))*8
+	}
+	return size
+}
+
+// cacheStats is a consistent snapshot of the cache counters.
+type cacheStats struct {
+	hits, misses                           uint64
+	evictions, byteEvictions, ttlEvictions uint64
+	entries                                int
+	bytes                                  int64
+}
+
+func (c *cache) stats() cacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses, c.evictions, c.lru.Len()
+	return cacheStats{
+		hits:          c.hits,
+		misses:        c.misses,
+		evictions:     c.evictions,
+		byteEvictions: c.byteEvictions,
+		ttlEvictions:  c.ttlEvictions,
+		entries:       c.lru.Len(),
+		bytes:         c.bytes,
+	}
 }
 
 // solverSnapshot returns a copy of the per-solver counters.

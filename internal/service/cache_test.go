@@ -1,0 +1,111 @@
+package service
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// completeEntry claims key as owner and completes it with an empty
+// (NoSolution) result, whose footprint is exactly the entry overhead.
+func completeEntry(t *testing.T, c *cache, key string) {
+	t.Helper()
+	e, owner := c.claim(key, "stub")
+	if !owner {
+		t.Fatalf("claim(%q): expected ownership", key)
+	}
+	c.complete(key, e, Result{NoSolution: true}, nil)
+}
+
+func TestCacheByteLimit(t *testing.T) {
+	perEntry := resultSize(Result{NoSolution: true})
+	// Room for three empty-result entries, not four.
+	c := newCache(100, 3*perEntry, 0)
+	for _, key := range []string{"a", "b", "c"} {
+		completeEntry(t, c, key)
+	}
+	if st := c.stats(); st.entries != 3 || st.bytes != 3*perEntry || st.byteEvictions != 0 {
+		t.Fatalf("under limit: %+v", st)
+	}
+
+	completeEntry(t, c, "d")
+	st := c.stats()
+	if st.entries != 3 || st.bytes != 3*perEntry {
+		t.Fatalf("over limit: entries %d bytes %d", st.entries, st.bytes)
+	}
+	if st.byteEvictions != 1 || st.evictions != 0 {
+		t.Fatalf("eviction accounting: %+v", st)
+	}
+
+	// "a" was the LRU tail — it must be the evicted one.
+	if _, owner := c.claim("a", "stub"); !owner {
+		t.Fatal("evicted key still cached")
+	}
+	if _, owner := c.claim("d", "stub"); owner {
+		t.Fatal("fresh key was evicted instead of the tail")
+	}
+}
+
+func TestCacheByteAccountingOnLRUEviction(t *testing.T) {
+	perEntry := resultSize(Result{NoSolution: true})
+	c := newCache(2, 0, 0) // count-limited only
+	for _, key := range []string{"a", "b", "c"} {
+		completeEntry(t, c, key)
+	}
+	st := c.stats()
+	if st.entries != 2 || st.bytes != 2*perEntry || st.evictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheTTLExpiry(t *testing.T) {
+	c := newCache(100, 0, 20*time.Millisecond)
+	completeEntry(t, c, "k")
+
+	if _, owner := c.claim("k", "stub"); owner {
+		t.Fatal("fresh entry not served")
+	}
+	time.Sleep(40 * time.Millisecond)
+	e, owner := c.claim("k", "stub")
+	if !owner {
+		t.Fatal("expired entry still served")
+	}
+	c.complete("k", e, Result{NoSolution: true}, nil)
+	st := c.stats()
+	if st.ttlEvictions != 1 {
+		t.Fatalf("ttl evictions = %d", st.ttlEvictions)
+	}
+	// The refreshed entry is live again.
+	if _, owner := c.claim("k", "stub"); owner {
+		t.Fatal("refreshed entry not served")
+	}
+}
+
+// TestEngineCacheTTL drives TTL expiry through the engine: the same
+// request recomputes once the cached result ages out.
+func TestEngineCacheTTL(t *testing.T) {
+	e := newTestEngine(t, EngineOptions{Workers: 2, CacheTTL: 30 * time.Millisecond})
+	in := testInstance(t)
+
+	solve := func() *Response {
+		t.Helper()
+		resp, err := e.Solve(context.Background(), Request{Instance: in, Solver: "mb"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	if first := solve(); first.Cached {
+		t.Fatal("first solve cached")
+	}
+	if second := solve(); !second.Cached {
+		t.Fatal("immediate re-solve not cached")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if third := solve(); third.Cached {
+		t.Fatal("expired entry served from cache")
+	}
+	if st := e.Stats(); st.TTLEvictions != 1 {
+		t.Fatalf("engine ttl evictions = %d", st.TTLEvictions)
+	}
+}

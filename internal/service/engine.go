@@ -94,10 +94,19 @@ type Stats struct {
 	CacheHits    uint64 `json:"cache_hits"`
 	CacheMisses  uint64 `json:"cache_misses"`
 	Evictions    uint64 `json:"evictions"`
-	CacheEntries int    `json:"cache_entries"`
-	Errors       uint64 `json:"errors"`
-	InFlight     int64  `json:"in_flight"`
-	Workers      int    `json:"workers"`
+	// ByteEvictions/TTLEvictions count entries dropped by the byte limit
+	// and by expiry; Evictions counts plain LRU capacity evictions.
+	ByteEvictions uint64 `json:"byte_evictions"`
+	TTLEvictions  uint64 `json:"ttl_evictions"`
+	CacheEntries  int    `json:"cache_entries"`
+	// CacheBytes is the approximate footprint of retained results.
+	CacheBytes int64  `json:"cache_bytes"`
+	Errors     uint64 `json:"errors"`
+	InFlight   int64  `json:"in_flight"`
+	Workers    int    `json:"workers"`
+	// QueueLen/QueueCap expose the worker pool's backlog depth.
+	QueueLen int `json:"queue_len"`
+	QueueCap int `json:"queue_cap"`
 	// TreeCacheHits/Misses/Entries track the batch path's topology
 	// interning (preprocessed trees reused across requests).
 	TreeCacheHits    uint64 `json:"tree_cache_hits"`
@@ -121,6 +130,14 @@ type EngineOptions struct {
 	// negative disables retention, keeping only in-flight
 	// de-duplication).
 	CacheSize int
+	// CacheMaxBytes additionally bounds the approximate memory footprint
+	// of retained results (0 = unlimited). Least-recently-used entries
+	// are evicted until the retained footprint fits.
+	CacheMaxBytes int64
+	// CacheTTL expires retained results after this age (0 = never): a
+	// hit on an expired entry recomputes instead. Memory-bounded long
+	// runs use it to shed results that stopped being asked for.
+	CacheTTL time.Duration
 	// DefaultTimeout is the per-job deadline when a request does not set
 	// one (default 60s).
 	DefaultTimeout time.Duration
@@ -188,7 +205,7 @@ func NewEngine(opts EngineOptions) *Engine {
 	opts = opts.withDefaults()
 	e := &Engine{
 		opts:  opts,
-		cache: newCache(opts.CacheSize),
+		cache: newCache(opts.CacheSize, opts.CacheMaxBytes, opts.CacheTTL),
 		trees: newTreeCache(maxInternedTrees),
 		jobs:  make(chan *job, opts.QueueDepth),
 	}
@@ -204,18 +221,23 @@ func (e *Engine) Registry() *Registry { return e.opts.Registry }
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
-	hits, misses, ev, entries := e.cache.stats()
+	cs := e.cache.stats()
 	thits, tmisses, tentries := e.trees.stats()
 	return Stats{
 		Requests:         e.requests.Load(),
 		Computations:     e.computations.Load(),
-		CacheHits:        hits,
-		CacheMisses:      misses,
-		Evictions:        ev,
-		CacheEntries:     entries,
+		CacheHits:        cs.hits,
+		CacheMisses:      cs.misses,
+		Evictions:        cs.evictions,
+		ByteEvictions:    cs.byteEvictions,
+		TTLEvictions:     cs.ttlEvictions,
+		CacheEntries:     cs.entries,
+		CacheBytes:       cs.bytes,
 		Errors:           e.errors.Load(),
 		InFlight:         e.inFlight.Load(),
 		Workers:          e.opts.Workers,
+		QueueLen:         len(e.jobs),
+		QueueCap:         cap(e.jobs),
 		TreeCacheHits:    thits,
 		TreeCacheMisses:  tmisses,
 		TreeCacheEntries: tentries,

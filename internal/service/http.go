@@ -6,17 +6,51 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/gen"
+	"repro/internal/jobs"
 )
 
-// NewHandler returns the HTTP API served by cmd/rpserve:
+// HandlerOptions configures NewHandlerOpts beyond the engine itself.
+type HandlerOptions struct {
+	// Jobs enables the async /v1/jobs endpoints (nil leaves them
+	// registered but answering 501, pointing at the configuration).
+	Jobs *jobs.Manager
+	// MaxInlineCampaigns bounds concurrently streaming /v1/campaign
+	// requests; beyond it the handler answers 503 with a Retry-After
+	// hint instead of queueing unboundedly. 0 selects the default (2);
+	// negative disables the limit.
+	MaxInlineCampaigns int
+}
+
+// defaultInlineCampaigns is the /v1/campaign concurrency limit when
+// HandlerOptions does not set one. A campaign saturates every core by
+// itself, so this stays tiny; big runs belong on /v1/jobs.
+const defaultInlineCampaigns = 2
+
+// campaignRetryAfter is the Retry-After hint (seconds) of a saturated
+// /v1/campaign.
+const campaignRetryAfter = 10
+
+// api holds the handler's state: the engine, the optional job manager,
+// and the inline-campaign slots.
+type api struct {
+	e           *Engine
+	jobs        *jobs.Manager
+	campaignSem chan struct{} // nil = unlimited
+}
+
+// NewHandler returns the HTTP API served by cmd/rpserve, with default
+// options (no async jobs):
 //
 //	GET  /healthz      liveness plus engine counters (global and
 //	                   per-solver cache hit/miss/coalesced)
+//	GET  /metrics      the same counters (plus job-state gauges) in
+//	                   Prometheus text format
 //	GET  /v1/solvers   the solver registry listing with cache counters
 //	POST /v1/solve     run a solver on an instance
 //	POST /v1/bound     run an LP bound (shorthand for the lp-* solvers)
@@ -24,16 +58,45 @@ import (
 //	                   single topology, streaming one JSON line per
 //	                   variation as it completes (NDJSON)
 //	POST /v1/generate  build a seeded random instance
-//	POST /v1/campaign  run a Section 7 campaign, streaming one JSON
-//	                   line per λ as it completes (NDJSON)
+//	POST /v1/campaign  run a Section 7 campaign inline, streaming one
+//	                   JSON line per λ as it completes (NDJSON);
+//	                   answers 503 + Retry-After when its slots are
+//	                   saturated — big runs belong on /v1/jobs
+//	POST   /v1/jobs             submit an async campaign or batch job
+//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs/{id}        job status, progress and rows so far
+//	GET    /v1/jobs/{id}/result final rows (JSON, or ?format=csv)
+//	DELETE /v1/jobs/{id}        cancel a live job / delete a finished one
 //
 // All request and response bodies are JSON. Errors are
 // {"error": "..."} with a matching status code.
-func NewHandler(e *Engine) http.Handler {
+func NewHandler(e *Engine) http.Handler { return NewHandlerOpts(e, HandlerOptions{}) }
+
+// NewHandlerOpts is NewHandler with a job manager and inline-campaign
+// limits.
+func NewHandlerOpts(e *Engine, opts HandlerOptions) http.Handler {
+	return newAPI(e, opts).routes()
+}
+
+func newAPI(e *Engine, opts HandlerOptions) *api {
+	slots := opts.MaxInlineCampaigns
+	if slots == 0 {
+		slots = defaultInlineCampaigns
+	}
+	a := &api{e: e, jobs: opts.Jobs}
+	if slots > 0 {
+		a.campaignSem = make(chan struct{}, slots)
+	}
+	return a
+}
+
+func (a *api) routes() http.Handler {
+	e := a.e
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, healthPayload{Status: "ok", Stats: e.Stats()})
+		writeJSON(w, http.StatusOK, healthPayload{Status: "ok", Stats: e.Stats(), Jobs: a.jobStats()})
 	})
+	mux.HandleFunc("GET /metrics", a.handleMetrics)
 	mux.HandleFunc("GET /v1/solvers", func(w http.ResponseWriter, r *http.Request) {
 		solvers := e.Registry().Solvers()
 		perSolver := e.Stats().PerSolver
@@ -58,13 +121,24 @@ func NewHandler(e *Engine) http.Handler {
 		handleBatch(e, w, r)
 	})
 	mux.HandleFunc("POST /v1/generate", handleGenerate)
-	mux.HandleFunc("POST /v1/campaign", handleCampaign)
+	mux.HandleFunc("POST /v1/campaign", a.handleCampaign)
+	a.registerJobRoutes(mux)
 	return mux
 }
 
+// jobStats snapshots the job manager's gauges, nil without a manager.
+func (a *api) jobStats() *jobs.Stats {
+	if a.jobs == nil {
+		return nil
+	}
+	st := a.jobs.Stats()
+	return &st
+}
+
 type healthPayload struct {
-	Status string `json:"status"`
-	Stats  Stats  `json:"stats"`
+	Status string      `json:"status"`
+	Stats  Stats       `json:"stats"`
+	Jobs   *jobs.Stats `json:"jobs,omitempty"`
 }
 
 type solverInfo struct {
@@ -219,18 +293,7 @@ func handleBatch(e *Engine, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	n := t.Len()
-	base := &core.Instance{Tree: t, R: req.Base.R, W: req.Base.W, S: req.Base.S,
-		Q: req.Base.Q, Comm: req.Base.Comm, BW: req.Base.BW}
-	if base.R == nil {
-		base.R = make([]int64, n)
-	}
-	if base.W == nil {
-		base.W = make([]int64, n)
-	}
-	if base.S == nil {
-		base.S = make([]int64, n)
-	}
+	base := batchBaseInstance(t, req.Base)
 	if err := base.Validate(); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -323,7 +386,23 @@ type campaignDone struct {
 	Rows int  `json:"rows"`
 }
 
-func handleCampaign(w http.ResponseWriter, r *http.Request) {
+func (a *api) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	// An inline campaign monopolizes the whole machine for its duration,
+	// so concurrent streams are capped instead of queued unboundedly:
+	// saturated slots answer 503 with a Retry-After hint. Big runs
+	// should be submitted as async jobs (POST /v1/jobs) — those are
+	// scheduled, persisted and resumable.
+	if a.campaignSem != nil {
+		select {
+		case a.campaignSem <- struct{}{}:
+			defer func() { <-a.campaignSem }()
+		default:
+			w.Header().Set("Retry-After", strconv.Itoa(campaignRetryAfter))
+			writeError(w, http.StatusServiceUnavailable, errors.New(
+				"all inline campaign slots are busy; retry later or submit via POST /v1/jobs"))
+			return
+		}
+	}
 	var req campaignRequest
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)

@@ -1,0 +1,222 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/tree"
+)
+
+// BatchKindName is the jobs.Spec kind of large batch-solve jobs.
+const BatchKindName = "batch"
+
+// NewJobsManager wires the async job subsystem for an engine: a file
+// store under dir (or an in-memory store when dir is empty — jobs then
+// die with the process), the campaign kind, and the engine-backed batch
+// kind. workers bounds concurrently running jobs.
+func NewJobsManager(e *Engine, dir string, workers int) (*jobs.Manager, error) {
+	var store jobs.Store
+	if dir != "" {
+		fs, err := jobs.NewFileStore(dir)
+		if err != nil {
+			return nil, err
+		}
+		store = fs
+	} else {
+		store = jobs.NewMemStore()
+	}
+	return jobs.NewManager(jobs.Options{Store: store, Workers: workers},
+		jobs.CampaignKind(), BatchJobKind(e))
+}
+
+// BatchJobKind executes /v1/batch-shaped payloads as async jobs: one
+// persisted row per variation, in completion order. Rows carry the
+// variation index, so the checkpoint is the set of already-solved
+// indices — a resumed batch job re-submits only the missing ones.
+// Deterministic per-variation failures (validation, proven
+// infeasibility surfaces as a NoSolution response) are persisted as
+// error rows, matching the inline /v1/batch semantics. Transient
+// failures — per-solve deadline expiry under load, engine shutdown, or
+// the job's own cancellation — are never checkpointed: their
+// variations stay missing and the job finishes failed (or interrupted,
+// on shutdown) with every completed row intact, so they are recomputed
+// rather than frozen as permanent errors.
+func BatchJobKind(e *Engine) jobs.Kind {
+	return jobs.Kind{
+		Name: BatchKindName,
+		Prepare: func(payload json.RawMessage) (json.RawMessage, int, error) {
+			req, err := decodeBatchPayload(payload)
+			if err != nil {
+				return nil, 0, err
+			}
+			if _, _, err := req.build(e); err != nil {
+				return nil, 0, err
+			}
+			return payload, len(req.Variations), nil
+		},
+		Run: func(ctx context.Context, payload json.RawMessage, prior []json.RawMessage, sink func(json.RawMessage) error) error {
+			req, err := decodeBatchPayload(payload)
+			if err != nil {
+				return err
+			}
+			base, policy, err := req.build(e)
+			if err != nil {
+				return err
+			}
+			done := make(map[int]bool, len(prior))
+			for _, raw := range prior {
+				var line batchLine
+				if err := json.Unmarshal(raw, &line); err != nil {
+					return fmt.Errorf("service: corrupt batch job row: %w", err)
+				}
+				done[line.Index] = true
+			}
+			var todo []BatchVariation
+			var indices []int
+			for i, v := range req.Variations {
+				if !done[i] {
+					todo = append(todo, v)
+					indices = append(indices, i)
+				}
+			}
+			if len(todo) == 0 {
+				return nil
+			}
+			var sinkErr error
+			transient := 0
+			err = e.SolveBatch(ctx, BatchRequest{
+				Base:       base,
+				Solver:     req.Solver,
+				Policy:     policy,
+				Options:    req.Options.options(),
+				Variations: todo,
+			}, func(item BatchItem) {
+				if sinkErr != nil || ctx.Err() != nil {
+					// The job is over (store failure or cancellation):
+					// persisting more rows — especially context-canceled
+					// error rows — would checkpoint work that never ran.
+					return
+				}
+				if item.Err != nil && isTransientSolveErr(item.Err) {
+					// A per-solve deadline or a draining engine, with the
+					// job itself still live: do not freeze it into the
+					// checkpoint as a permanent error row.
+					transient++
+					return
+				}
+				line := batchLine{Index: indices[item.Index], Response: item.Response}
+				if item.Err != nil {
+					line.Error = item.Err.Error()
+				}
+				data, err := json.Marshal(line)
+				if err == nil {
+					err = sink(data)
+				}
+				if err != nil {
+					sinkErr = err
+				}
+			})
+			if err != nil {
+				return err
+			}
+			if sinkErr != nil {
+				return sinkErr
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if transient > 0 {
+				return fmt.Errorf("service: %d variation(s) failed transiently (deadline/backpressure); completed rows are checkpointed", transient)
+			}
+			return nil
+		},
+	}
+}
+
+// isTransientSolveErr classifies per-variation failures that depend on
+// load or lifecycle rather than on the variation itself.
+func isTransientSolveErr(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, ErrEngineClosed)
+}
+
+// batchJobPayload is the batch job's persisted payload — the exact
+// /v1/batch request body shape.
+type batchJobPayload struct {
+	Topology   batchTopology    `json:"topology"`
+	Solver     string           `json:"solver"`
+	Policy     string           `json:"policy"`
+	Options    wireOptions      `json:"options"`
+	Base       BatchVariation   `json:"base"`
+	Variations []BatchVariation `json:"variations"`
+}
+
+func decodeBatchPayload(payload json.RawMessage) (*batchJobPayload, error) {
+	if len(payload) == 0 {
+		return nil, errors.New("service: batch job without request")
+	}
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	dec.DisallowUnknownFields()
+	var req batchJobPayload
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("service: bad batch job payload: %w", err)
+	}
+	if req.Solver == "" {
+		return nil, errors.New("service: batch job without solver")
+	}
+	if len(req.Variations) == 0 {
+		return nil, errors.New("service: batch job without variations")
+	}
+	return &req, nil
+}
+
+// build validates the payload against the engine: topology, base
+// vectors, solver and policy. The tree is interned, so the job's run
+// shares it with every other request over the same shape.
+func (req *batchJobPayload) build(e *Engine) (*core.Instance, core.Policy, error) {
+	policy := core.Multiple
+	if req.Policy != "" {
+		p, ok := core.ParsePolicy(req.Policy)
+		if !ok {
+			return nil, 0, fmt.Errorf("service: unknown policy %q", req.Policy)
+		}
+		policy = p
+	}
+	if _, ok := e.opts.Registry.Resolve(req.Solver, policy); !ok {
+		return nil, 0, &ErrUnknownSolver{Name: req.Solver}
+	}
+	t, err := e.InternTree(req.Topology.Parents, req.Topology.IsClient)
+	if err != nil {
+		return nil, 0, err
+	}
+	base := batchBaseInstance(t, req.Base)
+	if err := base.Validate(); err != nil {
+		return nil, 0, err
+	}
+	return base, policy, nil
+}
+
+// batchBaseInstance assembles the base instance of a batch over an
+// already-preprocessed tree, defaulting absent mandatory vectors to
+// zeros (shared by the HTTP batch handler and the batch job kind).
+func batchBaseInstance(t *tree.Tree, base BatchVariation) *core.Instance {
+	n := t.Len()
+	in := &core.Instance{Tree: t, R: base.R, W: base.W, S: base.S,
+		Q: base.Q, Comm: base.Comm, BW: base.BW}
+	if in.R == nil {
+		in.R = make([]int64, n)
+	}
+	if in.W == nil {
+		in.W = make([]int64, n)
+	}
+	if in.S == nil {
+		in.S = make([]int64, n)
+	}
+	return in
+}

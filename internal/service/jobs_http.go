@@ -1,0 +1,229 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/jobs"
+)
+
+// jobInfo is the wire form of a job record. Spec payloads are omitted
+// from listings (they can be megabytes for batch jobs); the submit
+// response echoes what was accepted via the id.
+type jobInfo struct {
+	ID         string    `json:"id"`
+	Kind       string    `json:"kind"`
+	State      string    `json:"state"`
+	Error      string    `json:"error,omitempty"`
+	Progress   float64   `json:"progress"`
+	RowsDone   int       `json:"rows_done"`
+	RowsTotal  int       `json:"rows_total"`
+	Resumes    int       `json:"resumes,omitempty"`
+	CreatedAt  time.Time `json:"created_at"`
+	StartedAt  time.Time `json:"started_at,omitzero"`
+	FinishedAt time.Time `json:"finished_at,omitzero"`
+}
+
+func wireJob(m jobs.Meta) jobInfo {
+	return jobInfo{
+		ID:         m.ID,
+		Kind:       m.Spec.Kind,
+		State:      string(m.State),
+		Error:      m.Error,
+		Progress:   m.Progress(),
+		RowsDone:   m.RowsDone,
+		RowsTotal:  m.RowsTotal,
+		Resumes:    m.Resumes,
+		CreatedAt:  m.CreatedAt,
+		StartedAt:  m.StartedAt,
+		FinishedAt: m.FinishedAt,
+	}
+}
+
+// jobSubmitRequest is the POST /v1/jobs body: a kind plus that kind's
+// payload under its own field. The kind may be omitted when exactly one
+// payload field is present.
+type jobSubmitRequest struct {
+	Kind     string          `json:"kind,omitempty"`
+	Campaign json.RawMessage `json:"campaign,omitempty"`
+	Batch    json.RawMessage `json:"batch,omitempty"`
+}
+
+func (req *jobSubmitRequest) spec() (jobs.Spec, error) {
+	payloads := map[string]json.RawMessage{
+		jobs.CampaignKindName: req.Campaign,
+		BatchKindName:         req.Batch,
+	}
+	kind := req.Kind
+	if kind == "" {
+		for name, p := range payloads {
+			if len(p) == 0 {
+				continue
+			}
+			if kind != "" {
+				return jobs.Spec{}, errors.New("multiple payloads given; set \"kind\"")
+			}
+			kind = name
+		}
+		if kind == "" {
+			return jobs.Spec{}, errors.New("missing job payload (\"campaign\" or \"batch\")")
+		}
+	}
+	payload, ok := payloads[kind]
+	if !ok {
+		return jobs.Spec{}, fmt.Errorf("unknown job kind %q", kind)
+	}
+	if len(payload) == 0 {
+		return jobs.Spec{}, fmt.Errorf("job kind %q without its %q payload", kind, kind)
+	}
+	return jobs.Spec{Kind: kind, Payload: payload}, nil
+}
+
+type jobPayload struct {
+	Job  jobInfo           `json:"job"`
+	Rows []json.RawMessage `json:"rows,omitempty"`
+}
+
+type jobListPayload struct {
+	Jobs []jobInfo `json:"jobs"`
+}
+
+func (a *api) registerJobRoutes(mux *http.ServeMux) {
+	if a.jobs == nil {
+		disabled := func(w http.ResponseWriter, r *http.Request) {
+			writeError(w, http.StatusNotImplemented, errors.New(
+				"async jobs are disabled; start rpserve with -jobs-dir (or build the handler with HandlerOptions.Jobs)"))
+		}
+		mux.HandleFunc("/v1/jobs", disabled)
+		mux.HandleFunc("/v1/jobs/", disabled)
+		return
+	}
+	mux.HandleFunc("POST /v1/jobs", a.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", a.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", a.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", a.handleJobResult)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", a.handleJobDelete)
+}
+
+func (a *api) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobSubmitRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := req.spec()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	meta, err := a.jobs.Submit(spec)
+	if err != nil {
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrClosed):
+			w.Header().Set("Retry-After", strconv.Itoa(campaignRetryAfter))
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobPayload{Job: wireJob(meta)})
+}
+
+func (a *api) handleJobList(w http.ResponseWriter, r *http.Request) {
+	metas := a.jobs.List()
+	out := make([]jobInfo, 0, len(metas))
+	for _, m := range metas {
+		out = append(out, wireJob(m))
+	}
+	writeJSON(w, http.StatusOK, jobListPayload{Jobs: out})
+}
+
+func (a *api) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	meta, ok := a.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, jobs.ErrNotFound)
+		return
+	}
+	rows, err := a.jobs.Rows(meta.ID)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobPayload{Job: wireJob(meta), Rows: rows})
+}
+
+func (a *api) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	meta, ok := a.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, jobs.ErrNotFound)
+		return
+	}
+	if meta.State != jobs.StateSucceeded {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("job %s has no result yet (state %s)", meta.ID, meta.State))
+		return
+	}
+	rows, err := a.jobs.Rows(meta.ID)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, jobPayload{Job: wireJob(meta), Rows: rows})
+	case "csv":
+		if meta.Spec.Kind != jobs.CampaignKindName {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("format=csv applies to campaign jobs, not %q", meta.Spec.Kind))
+			return
+		}
+		var cfg experiments.Config
+		if err := json.Unmarshal(meta.Spec.Payload, &cfg); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		campaignRows, err := jobs.CampaignRows(rows)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		res := &experiments.Results{Config: cfg, Rows: campaignRows}
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		res.WriteCSV(w)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q", format))
+	}
+}
+
+// handleJobDelete cancels a live job (queued or running — the record
+// stays, reaching the canceled state) and deletes the record of a
+// finished one.
+func (a *api) handleJobDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	meta, ok := a.jobs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, jobs.ErrNotFound)
+		return
+	}
+	if meta.State.Terminal() {
+		if err := a.jobs.Delete(id); err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"deleted": true, "id": id})
+		return
+	}
+	meta, err := a.jobs.Cancel(id)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobPayload{Job: wireJob(meta)})
+}

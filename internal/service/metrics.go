@@ -1,0 +1,125 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// handleMetrics serves the engine counters (and, when a job manager is
+// attached, the job-state gauges) in the Prometheus text exposition
+// format. The writer is hand-rolled — the format is four line shapes —
+// so the daemon stays dependency-free.
+func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	p := promWriter{&buf}
+	st := a.e.Stats()
+
+	p.family("rp_engine_requests_total", "counter", "Solve requests accepted by the engine.")
+	p.sample("rp_engine_requests_total", "", float64(st.Requests))
+	p.family("rp_engine_computations_total", "counter", "Backend computations actually run (cache misses).")
+	p.sample("rp_engine_computations_total", "", float64(st.Computations))
+	p.family("rp_engine_errors_total", "counter", "Requests that finished with an error.")
+	p.sample("rp_engine_errors_total", "", float64(st.Errors))
+	p.family("rp_engine_workers", "gauge", "Solver worker goroutines.")
+	p.sample("rp_engine_workers", "", float64(st.Workers))
+	p.family("rp_engine_in_flight", "gauge", "Computations running right now.")
+	p.sample("rp_engine_in_flight", "", float64(st.InFlight))
+	p.family("rp_engine_queue_depth", "gauge", "Jobs waiting in the worker-pool queue.")
+	p.sample("rp_engine_queue_depth", "", float64(st.QueueLen))
+	p.family("rp_engine_queue_capacity", "gauge", "Worker-pool queue capacity before backpressure.")
+	p.sample("rp_engine_queue_capacity", "", float64(st.QueueCap))
+
+	p.family("rp_cache_hits_total", "counter", "Solution-cache hits (completed entries plus coalesced waits).")
+	p.sample("rp_cache_hits_total", "", float64(st.CacheHits))
+	p.family("rp_cache_misses_total", "counter", "Solution-cache misses (owned computations).")
+	p.sample("rp_cache_misses_total", "", float64(st.CacheMisses))
+	p.family("rp_cache_evictions_total", "counter", "Solution-cache evictions by reason.")
+	p.sample("rp_cache_evictions_total", `reason="lru"`, float64(st.Evictions))
+	p.sample("rp_cache_evictions_total", `reason="bytes"`, float64(st.ByteEvictions))
+	p.sample("rp_cache_evictions_total", `reason="ttl"`, float64(st.TTLEvictions))
+	p.family("rp_cache_entries", "gauge", "Retained solution-cache entries.")
+	p.sample("rp_cache_entries", "", float64(st.CacheEntries))
+	p.family("rp_cache_bytes", "gauge", "Approximate footprint of retained results.")
+	p.sample("rp_cache_bytes", "", float64(st.CacheBytes))
+
+	p.family("rp_tree_cache_hits_total", "counter", "Interned-topology cache hits.")
+	p.sample("rp_tree_cache_hits_total", "", float64(st.TreeCacheHits))
+	p.family("rp_tree_cache_misses_total", "counter", "Interned-topology cache misses.")
+	p.sample("rp_tree_cache_misses_total", "", float64(st.TreeCacheMisses))
+	p.family("rp_tree_cache_entries", "gauge", "Interned preprocessed trees.")
+	p.sample("rp_tree_cache_entries", "", float64(st.TreeCacheEntries))
+
+	solvers := make([]string, 0, len(st.PerSolver))
+	for name := range st.PerSolver {
+		solvers = append(solvers, name)
+	}
+	sort.Strings(solvers)
+	p.family("rp_solver_cache_hits_total", "counter", "Per-solver solution-cache hits on completed entries.")
+	for _, name := range solvers {
+		p.sample("rp_solver_cache_hits_total", solverLabel(name), float64(st.PerSolver[name].Hits))
+	}
+	p.family("rp_solver_cache_misses_total", "counter", "Per-solver solution-cache misses.")
+	for _, name := range solvers {
+		p.sample("rp_solver_cache_misses_total", solverLabel(name), float64(st.PerSolver[name].Misses))
+	}
+	p.family("rp_solver_cache_coalesced_total", "counter", "Per-solver waits coalesced onto an in-flight computation.")
+	for _, name := range solvers {
+		p.sample("rp_solver_cache_coalesced_total", solverLabel(name), float64(st.PerSolver[name].Coalesced))
+	}
+
+	if js := a.jobStats(); js != nil {
+		p.family("rp_jobs", "gauge", "Async jobs by state.")
+		for _, s := range []struct {
+			state string
+			n     int
+		}{
+			{"queued", js.Queued},
+			{"running", js.Running},
+			{"succeeded", js.Succeeded},
+			{"failed", js.Failed},
+			{"canceled", js.Canceled},
+			{"interrupted", js.Interrupted},
+		} {
+			p.sample("rp_jobs", `state="`+s.state+`"`, float64(s.n))
+		}
+		p.family("rp_job_workers", "gauge", "Concurrent job slots.")
+		p.sample("rp_job_workers", "", float64(js.Workers))
+		p.family("rp_job_queue_depth", "gauge", "Jobs waiting for a job slot.")
+		p.sample("rp_job_queue_depth", "", float64(js.QueueLen))
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}
+
+// promWriter emits the Prometheus text exposition format.
+type promWriter struct{ buf *bytes.Buffer }
+
+func (p promWriter) family(name, typ, help string) {
+	fmt.Fprintf(p.buf, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p promWriter) sample(name, labels string, v float64) {
+	p.buf.WriteString(name)
+	if labels != "" {
+		p.buf.WriteByte('{')
+		p.buf.WriteString(labels)
+		p.buf.WriteByte('}')
+	}
+	p.buf.WriteByte(' ')
+	p.buf.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	p.buf.WriteByte('\n')
+}
+
+// solverLabel renders a solver="..." label pair with the value escaped
+// per the exposition format (registry names are tame, but a custom
+// registered backend could carry anything).
+func solverLabel(name string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return `solver="` + r.Replace(name) + `"`
+}

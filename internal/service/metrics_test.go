@@ -1,0 +1,123 @@
+package service
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/jobs"
+)
+
+var (
+	promComment = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+	promSample  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_]+="(\\.|[^"\\])*"(,[a-zA-Z_]+="(\\.|[^"\\])*")*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$`)
+)
+
+// TestHTTPMetrics: every /metrics line is Prometheus-parsable, and the
+// cache and job gauge families the acceptance criteria name are there
+// with live values.
+func TestHTTPMetrics(t *testing.T) {
+	e := newTestEngine(t, EngineOptions{Workers: 4})
+	srv, m := newJobsServer(t, e, jobs.NewMemStore())
+	defer srv.Close()
+	defer closeJobs(t, m)
+
+	// Generate some signal: one computed solve, one cache hit.
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, srv.URL+"/v1/solve", map[string]any{"instance": testInstance(t), "solver": "mb"})
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("priming solve: status %d", resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	samples := map[string]string{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !promComment.MatchString(line) {
+				t.Errorf("unparsable comment line %q", line)
+			}
+			continue
+		}
+		if !promSample.MatchString(line) {
+			t.Errorf("unparsable sample line %q", line)
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		samples[line[:sp]] = line[sp+1:]
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	for series, want := range map[string]string{
+		"rp_engine_requests_total":                  "2",
+		"rp_engine_computations_total":              "1",
+		"rp_engine_workers":                         "4",
+		"rp_cache_hits_total":                       "1",
+		"rp_cache_misses_total":                     "1",
+		`rp_cache_evictions_total{reason="lru"}`:    "0",
+		`rp_cache_evictions_total{reason="bytes"}`:  "0",
+		`rp_cache_evictions_total{reason="ttl"}`:    "0",
+		"rp_cache_entries":                          "1",
+		`rp_solver_cache_hits_total{solver="mb"}`:   "1",
+		`rp_solver_cache_misses_total{solver="mb"}`: "1",
+		`rp_jobs{state="queued"}`:                   "0",
+		`rp_jobs{state="running"}`:                  "0",
+		`rp_jobs{state="succeeded"}`:                "0",
+		`rp_jobs{state="failed"}`:                   "0",
+		`rp_jobs{state="canceled"}`:                 "0",
+		`rp_jobs{state="interrupted"}`:              "0",
+		"rp_job_workers":                            "1",
+	} {
+		if got, ok := samples[series]; !ok {
+			t.Errorf("series %s missing", series)
+		} else if got != want {
+			t.Errorf("%s = %s, want %s", series, got, want)
+		}
+	}
+	if _, ok := samples["rp_cache_bytes"]; !ok {
+		t.Error("rp_cache_bytes missing")
+	}
+
+	// Without a job manager /metrics still serves the engine families.
+	bare := httptest.NewServer(NewHandler(e))
+	defer bare.Close()
+	bresp, err := http.Get(bare.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bresp.Body.Close()
+	var body strings.Builder
+	sc2 := bufio.NewScanner(bresp.Body)
+	for sc2.Scan() {
+		body.WriteString(sc2.Text())
+		body.WriteByte('\n')
+	}
+	if strings.Contains(body.String(), "rp_jobs{") {
+		t.Error("job gauges served without a manager")
+	}
+	if !strings.Contains(body.String(), "rp_engine_requests_total") {
+		t.Error("engine families missing without a manager")
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gen"
 	"repro/internal/heuristics"
+	"repro/internal/jobs"
 	"repro/internal/lpbound"
 	"repro/internal/optimize"
 	"repro/internal/render"
@@ -248,8 +249,32 @@ type (
 func NewEngine(opts EngineOptions) *Engine { return service.NewEngine(opts) }
 
 // NewServiceHandler returns the engine's HTTP API (the one cmd/rpserve
-// serves), for embedding into an existing server.
+// serves), for embedding into an existing server. Async /v1/jobs
+// endpoints answer 501 here; use NewServiceHandlerOpts with a
+// JobsManager to enable them.
 func NewServiceHandler(e *Engine) http.Handler { return service.NewHandler(e) }
+
+// ServiceHandlerOptions configures NewServiceHandlerOpts (async job
+// manager, inline-campaign limits).
+type ServiceHandlerOptions = service.HandlerOptions
+
+// NewServiceHandlerOpts is NewServiceHandler with options.
+func NewServiceHandlerOpts(e *Engine, opts ServiceHandlerOptions) http.Handler {
+	return service.NewHandlerOpts(e, opts)
+}
+
+// JobsManager owns async campaign/batch jobs end to end: bounded
+// concurrent execution, per-job cancellation, row-by-row checkpoints,
+// and — over a persistent store — resume after a restart.
+type JobsManager = jobs.Manager
+
+// NewJobsManager builds a job manager for the engine. dir selects the
+// persistent file store (empty = in-memory); workers bounds
+// concurrently running jobs. Close it before the engine on shutdown so
+// running jobs checkpoint.
+func NewJobsManager(e *Engine, dir string, workers int) (*JobsManager, error) {
+	return service.NewJobsManager(e, dir, workers)
+}
 
 // RenderTree writes the instance (and optionally a solution's placement)
 // as an ASCII tree.
