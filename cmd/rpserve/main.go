@@ -8,11 +8,28 @@
 // Usage:
 //
 //	rpserve -addr :8080 -workers 8 -cache 4096 -timeout 60s \
-//	        -jobs-dir /var/lib/rpserve/jobs -job-workers 2
+//	        -jobs-dir /var/lib/rpserve/jobs -job-workers 2 -job-ttl 24h
+//
+// Cluster modes:
+//
+//	rpserve -worker -addr :8081
+//	    run as a worker shard: the solve surface plus /v1/worker/ping,
+//	    no job manager, unbounded inline campaigns (the coordinator's
+//	    pool is the admission controller). Equivalent to rpworker.
+//
+//	rpserve -shards host:8081,host:8082 -jobs-dir ./jobs
+//	    run as a coordinator over worker shards: every solver gains an
+//	    "<name>@remote" twin proxied through the shard pool (health
+//	    probing, circuit breaking, bounded in-flight, failover), and
+//	    campaign/batch jobs are executed sharded — λ rows / variation
+//	    indices are partitioned across the workers, merged into the
+//	    same append-only row log, and byte-identical to a
+//	    single-process run. If a worker dies mid-job, only its missing
+//	    rows are resubmitted to the remaining shards.
 //
 // Endpoints (all JSON):
 //
-//	GET  /healthz      liveness + engine counters (incl. per-solver cache stats)
+//	GET  /healthz      liveness + engine counters (+ per-shard health)
 //	GET  /metrics      the same counters in Prometheus text format
 //	GET  /v1/solvers   solver registry listing with cache counters
 //	POST /v1/solve     {"instance": ..., "solver": "MB"}
@@ -23,11 +40,14 @@
 //	POST /v1/campaign  {"config": {"TreesPerLambda": 10}}   (streams NDJSON rows;
 //	                   503 + Retry-After when its inline slots are saturated)
 //	POST /v1/jobs      {"campaign": {...}} | {"batch": {...}}  (async, 202 + job id)
-//	GET  /v1/jobs[/{id}[/result]] and DELETE /v1/jobs/{id}
+//	GET  /v1/jobs      list jobs (?limit=&after= paginates with a "next" cursor)
+//	GET  /v1/jobs/{id}[/result] and DELETE /v1/jobs/{id}
+//	GET  /v1/worker/ping  lightweight liveness probe for shard pools
 //
 // With -jobs-dir, jobs are persisted (manifest + append-only row log
 // per job) and survive restarts: a job interrupted by shutdown resumes
-// from its last completed row when the daemon comes back.
+// from its last completed row when the daemon comes back. -job-ttl
+// prunes finished jobs once they are older than the given age.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops,
 // running jobs checkpoint (resumable on restart), and queued plus
@@ -43,9 +63,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/jobs"
 	"repro/internal/service"
 )
 
@@ -61,9 +84,53 @@ func main() {
 		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
 		jobsDir    = flag.String("jobs-dir", "", "directory for persistent async jobs (empty = in-memory, jobs die with the process)")
 		jobWorkers = flag.Int("job-workers", 2, "concurrently running async jobs")
+		jobTTL     = flag.Duration("job-ttl", 0, "prune finished jobs older than this age (0 = keep until DELETE)")
 		campaigns  = flag.Int("campaigns", 0, "concurrent inline /v1/campaign streams (0 = default 2, negative = unlimited)")
+		worker     = flag.Bool("worker", false, "run as a worker shard: solve surface only, no jobs, unbounded campaigns")
+		shards     = flag.String("shards", "", "comma-separated worker addresses (host:port); enables coordinator mode")
+		shardConc  = flag.Int("shard-inflight", 0, "max in-flight requests per shard (0 = default 4)")
 	)
 	flag.Parse()
+	if *worker {
+		if *shards != "" {
+			fatalf("-worker and -shards are mutually exclusive")
+		}
+		// Fail loudly on flags a worker would silently drop: a worker has
+		// no job manager, so persistent-job settings signal a daemon that
+		// was meant to be a coordinator or standalone.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "jobs-dir", "job-workers", "job-ttl":
+				fatalf("-worker serves no jobs; -%s is meaningless here", f.Name)
+			}
+		})
+	}
+
+	// Coordinator mode: build the shard pool first — the registry grows
+	// an @remote twin per solver and the job kinds become the sharded
+	// ones, everything else is wired identically.
+	var pool *cluster.Pool
+	registry := service.NewRegistry()
+	if *shards != "" {
+		var err error
+		pool, err = cluster.NewPool(strings.Split(*shards, ","), cluster.PoolOptions{MaxInFlight: *shardConc})
+		if err != nil {
+			fatalf("building shard pool: %v", err)
+		}
+		defer pool.Close()
+		if err := cluster.RegisterRemote(registry, pool); err != nil {
+			fatalf("registering remote solvers: %v", err)
+		}
+		pingCtx, pingCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer pingCancel()
+		for addr, err := range pool.Ping(pingCtx) {
+			if err != nil {
+				log.Printf("rpserve: shard %s unreachable at startup (will keep probing): %v", addr, err)
+			} else {
+				log.Printf("rpserve: shard %s up", addr)
+			}
+		}
+	}
 
 	engine := service.NewEngine(service.EngineOptions{
 		Workers:        *workers,
@@ -72,26 +139,58 @@ func main() {
 		CacheMaxBytes:  *cacheBytes,
 		CacheTTL:       *cacheTTL,
 		DefaultTimeout: *timeout,
+		Registry:       registry,
 	})
-	manager, err := service.NewJobsManager(engine, *jobsDir, *jobWorkers)
-	if err != nil {
-		fatalf("opening job store: %v", err)
+
+	handlerOpts := service.HandlerOptions{MaxInlineCampaigns: *campaigns}
+	var manager *jobs.Manager
+	if *worker {
+		// A worker shard serves raw capacity: no job manager, and the
+		// coordinator's pool — not a local slot count — bounds campaigns.
+		handlerOpts.MaxInlineCampaigns = -1
+		if *campaigns != 0 {
+			handlerOpts.MaxInlineCampaigns = *campaigns
+		}
+	} else {
+		var kinds []jobs.Kind // nil = the local pair
+		if pool != nil {
+			kinds = cluster.Kinds(engine, pool)
+		}
+		var err error
+		manager, err = service.NewJobsManagerOpts(engine, service.JobsOptions{
+			Dir:       *jobsDir,
+			Workers:   *jobWorkers,
+			RetainFor: *jobTTL,
+			Kinds:     kinds,
+		})
+		if err != nil {
+			fatalf("opening job store: %v", err)
+		}
+		if n := manager.Recovered(); n > 0 {
+			log.Printf("rpserve: resuming %d unfinished job(s) from %s", n, *jobsDir)
+		}
+		handlerOpts.Jobs = manager
 	}
-	if n := manager.Recovered(); n > 0 {
-		log.Printf("rpserve: resuming %d unfinished job(s) from %s", n, *jobsDir)
+	if pool != nil {
+		handlerOpts.Cluster = pool
 	}
+
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: service.NewHandlerOpts(engine, service.HandlerOptions{
-			Jobs:               manager,
-			MaxInlineCampaigns: *campaigns,
-		}),
+		Addr:              *addr,
+		Handler:           service.NewHandlerOpts(engine, handlerOpts),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("rpserve: listening on %s (%d workers)", *addr, engine.Stats().Workers)
+		mode := "standalone"
+		switch {
+		case *worker:
+			mode = "worker"
+		case pool != nil:
+			mode = fmt.Sprintf("coordinator over %d shard(s)", len(pool.Addrs()))
+		}
+		log.Printf("rpserve: listening on %s (%d workers, %s)", *addr, engine.Stats().Workers, mode)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -112,8 +211,10 @@ func main() {
 	// Jobs first: running jobs checkpoint (interrupted, resumable on the
 	// next start) and release their engine work before the engine pool
 	// itself drains.
-	if err := manager.Close(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("rpserve: jobs shutdown: %v", err)
+	if manager != nil {
+		if err := manager.Close(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("rpserve: jobs shutdown: %v", err)
+		}
 	}
 	if err := engine.Close(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("rpserve: engine shutdown: %v", err)

@@ -1,0 +1,94 @@
+// Command rpworker runs a placement worker shard: the solve surface of
+// rpserve (/v1/solve, /v1/bound, /v1/batch, /v1/generate, /v1/campaign)
+// plus the /v1/worker/ping liveness probe a coordinator's shard pool
+// polls, and nothing else — no async job manager, no shard pool of its
+// own. A coordinator (rpserve -shards) fans solves, sharded campaign
+// rows and batch chunks out to a fleet of these.
+//
+// Usage:
+//
+//	rpworker -addr :8081 -workers 8
+//	rpworker -addr :8082 -workers 8
+//	rpserve  -addr :8080 -shards localhost:8081,localhost:8082 -jobs-dir ./jobs
+//
+// Inline campaign streams are unlimited here (a worker is dedicated
+// capacity — the coordinator's pool is what bounds per-shard traffic),
+// unlike rpserve's public default of 2.
+//
+// SIGINT/SIGTERM drain gracefully within -drain. A coordinator treats a
+// draining worker like a dead one: in-flight work fails over to the
+// remaining shards and the circuit breaker keeps traffic away until the
+// worker returns.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8081", "listen address")
+		workers    = flag.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "job queue depth before backpressure (0 = 4x workers)")
+		cache      = flag.Int("cache", 4096, "cached results (negative disables retention)")
+		cacheBytes = flag.Int64("cache-bytes", 0, "approximate cache footprint limit in bytes (0 = unlimited)")
+		cacheTTL   = flag.Duration("cache-ttl", 0, "cached result lifetime (0 = never expires)")
+		timeout    = flag.Duration("timeout", 60*time.Second, "default per-job deadline")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	engine := service.NewEngine(service.EngineOptions{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cache,
+		CacheMaxBytes:  *cacheBytes,
+		CacheTTL:       *cacheTTL,
+		DefaultTimeout: *timeout,
+	})
+	srv := &http.Server{
+		Addr: *addr,
+		// No job manager: /v1/jobs answers 501 pointing at the
+		// coordinator. Campaign streams are unbounded — the pool that
+		// feeds this worker is the admission controller.
+		Handler:           service.NewHandlerOpts(engine, service.HandlerOptions{MaxInlineCampaigns: -1}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("rpworker: listening on %s (%d workers)", *addr, engine.Stats().Workers)
+		errc <- srv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("rpworker: %v, draining for up to %s", sig, *drain)
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "rpworker: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("rpworker: http shutdown: %v", err)
+	}
+	if err := engine.Close(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("rpworker: engine shutdown: %v", err)
+	}
+	log.Printf("rpworker: bye")
+}

@@ -1,0 +1,142 @@
+#!/usr/bin/env bash
+# Two-worker cluster walkthrough (and multi-process e2e).
+#
+# Starts two rpworker shards and one rpserve coordinator over them,
+# submits a sharded campaign job, waits for it to finish, and compares
+# the merged CSV result byte-for-byte against the same campaign run on
+# a plain single-process rpserve.
+#
+#   ./examples/cluster/run.sh                # plain walkthrough
+#   KILL_WORKER=1 ./examples/cluster/run.sh  # kill worker 1 mid-run:
+#                                            # the job must still finish
+#                                            # on the survivor with an
+#                                            # identical result
+#
+# Needs only bash + curl (+ go to build). Ports via W1_PORT/W2_PORT/
+# COORD_PORT/SINGLE_PORT (defaults 18081/18082/18080/18083).
+set -euo pipefail
+
+cd "$(dirname "$0")/../.."
+
+W1_PORT=${W1_PORT:-18081}
+W2_PORT=${W2_PORT:-18082}
+COORD_PORT=${COORD_PORT:-18080}
+SINGLE_PORT=${SINGLE_PORT:-18083}
+KILL_WORKER=${KILL_WORKER:-0}
+
+BIN=$(mktemp -d)
+JOBS_DIR=$(mktemp -d)
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$BIN" "$JOBS_DIR"
+}
+trap cleanup EXIT
+
+say() { echo "==> $*"; }
+
+say "building rpserve + rpworker"
+go build -o "$BIN/rpserve" ./cmd/rpserve
+go build -o "$BIN/rpworker" ./cmd/rpworker
+
+wait_ready() { # url
+  for _ in $(seq 1 100); do
+    if curl -sf "$1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "daemon at $1 never became ready" >&2
+  return 1
+}
+
+json_field() { # name  (first string occurrence on stdin)
+  sed -n "s/.*\"$1\":\"\\([^\"]*\\)\".*/\\1/p" | head -n1
+}
+json_int() { # name
+  sed -n "s/.*\"$1\":\\([0-9][0-9]*\\).*/\\1/p" | head -n1
+}
+
+say "starting two workers (:$W1_PORT, :$W2_PORT)"
+"$BIN/rpworker" -addr "127.0.0.1:$W1_PORT" &
+W1_PID=$!; PIDS+=("$W1_PID")
+"$BIN/rpworker" -addr "127.0.0.1:$W2_PORT" &
+PIDS+=("$!")
+wait_ready "http://127.0.0.1:$W1_PORT"
+wait_ready "http://127.0.0.1:$W2_PORT"
+
+say "starting the coordinator (:$COORD_PORT) over both shards"
+"$BIN/rpserve" -addr "127.0.0.1:$COORD_PORT" \
+  -shards "127.0.0.1:$W1_PORT,127.0.0.1:$W2_PORT" \
+  -jobs-dir "$JOBS_DIR" -job-ttl 24h &
+PIDS+=("$!")
+COORD="http://127.0.0.1:$COORD_PORT"
+wait_ready "$COORD"
+
+say "remote solver sanity check: optimal@remote through the pool"
+INSTANCE=$(curl -sf "$COORD/v1/generate" \
+  -d '{"config":{"Internal":10,"Clients":20,"Lambda":0.4,"UnitCosts":true},"seed":7}' |
+  sed 's/^{"instance"://; s/,"load".*$//')
+curl -sf "$COORD/v1/solve" -d "{\"instance\":$INSTANCE,\"solver\":\"optimal@remote\"}" |
+  grep -o '"cost":[0-9]*' || { echo "remote solve failed" >&2; exit 1; }
+
+CAMPAIGN='{"Lambdas":[0.1,0.25,0.4,0.55,0.7,0.85],"TreesPerLambda":4,"MinSize":15,"MaxSize":40,"Seed":7,"BoundNodes":30}'
+
+say "submitting a sharded campaign job"
+SUBMIT=$(curl -sf "$COORD/v1/jobs" -d "{\"campaign\":$CAMPAIGN}")
+JOB_ID=$(echo "$SUBMIT" | json_field id)
+[ -n "$JOB_ID" ] || { echo "no job id in: $SUBMIT" >&2; exit 1; }
+say "job $JOB_ID accepted"
+
+if [ "$KILL_WORKER" = "1" ]; then
+  say "waiting for the first checkpointed row, then killing worker 1"
+  for _ in $(seq 1 600); do
+    DONE=$(curl -sf "$COORD/v1/jobs/$JOB_ID" | json_int rows_done)
+    [ "${DONE:-0}" -ge 1 ] && break
+    sleep 0.1
+  done
+  kill -9 "$W1_PID"
+  say "worker 1 (pid $W1_PID) killed mid-run; the survivor must finish the job"
+fi
+
+say "waiting for the job to succeed"
+STATE=""
+for _ in $(seq 1 1200); do
+  STATE=$(curl -sf "$COORD/v1/jobs/$JOB_ID" | json_field state)
+  case "$STATE" in
+    succeeded) break ;;
+    failed) curl -sf "$COORD/v1/jobs/$JOB_ID"; echo; echo "job failed" >&2; exit 1 ;;
+  esac
+  sleep 0.1
+done
+[ "$STATE" = "succeeded" ] || { echo "job stuck in state '$STATE'" >&2; exit 1; }
+curl -sf "$COORD/v1/jobs/$JOB_ID/result?format=csv" > "$BIN/sharded.csv"
+say "sharded result: $(wc -l < "$BIN/sharded.csv") CSV lines"
+
+say "running the same campaign on a single-process rpserve (:$SINGLE_PORT)"
+"$BIN/rpserve" -addr "127.0.0.1:$SINGLE_PORT" &
+PIDS+=("$!")
+SINGLE="http://127.0.0.1:$SINGLE_PORT"
+wait_ready "$SINGLE"
+REF_ID=$(curl -sf "$SINGLE/v1/jobs" -d "{\"campaign\":$CAMPAIGN}" | json_field id)
+for _ in $(seq 1 1200); do
+  STATE=$(curl -sf "$SINGLE/v1/jobs/$REF_ID" | json_field state)
+  case "$STATE" in
+    succeeded) break ;;
+    failed) echo "reference job failed" >&2; exit 1 ;;
+  esac
+  sleep 0.1
+done
+curl -sf "$SINGLE/v1/jobs/$REF_ID/result?format=csv" > "$BIN/single.csv"
+
+say "comparing merged CSVs"
+if ! cmp "$BIN/sharded.csv" "$BIN/single.csv"; then
+  echo "sharded and single-process results differ" >&2
+  exit 1
+fi
+
+say "cluster health after the run:"
+curl -sf "$COORD/healthz" | tr ',' '\n' | grep -E '"addr"|"state"|"failovers"' || true
+
+SUFFIX=""
+[ "$KILL_WORKER" = "1" ] && SUFFIX=" (with a worker killed mid-run)"
+say "OK: sharded campaign result is byte-identical to the single-process run$SUFFIX"

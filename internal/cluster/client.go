@@ -1,0 +1,285 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/service"
+)
+
+// permanentError marks a failure the shard answered deliberately (4xx):
+// retrying it elsewhere would fail identically, so the pool neither
+// fails over nor opens the shard's breaker.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+func isPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// postJSON sends body to the shard and returns the response, mapping
+// transport failures and 5xx statuses to transient errors and 4xx to
+// permanent ones. The caller owns resp.Body on nil error.
+func (p *Pool) postJSON(ctx context.Context, s *shard, path string, body any) (*http.Response, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil, &permanentError{err}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, s.addr+path, bytes.NewReader(data))
+	if err != nil {
+		return nil, &permanentError{err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.opts.Client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s%s: %w", s.addr, path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		msg := readErrorBody(resp.Body)
+		err := fmt.Errorf("cluster: %s%s: status %d: %s", s.addr, path, resp.StatusCode, msg)
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return nil, &permanentError{err}
+		}
+		return nil, err // 5xx and anything exotic: transient, fail over
+	}
+	return resp, nil
+}
+
+// readErrorBody extracts {"error": "..."} from an error response,
+// falling back to the raw (truncated) body.
+func readErrorBody(r io.Reader) string {
+	data, _ := io.ReadAll(io.LimitReader(r, 4<<10))
+	var payload struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &payload) == nil && payload.Error != "" {
+		return payload.Error
+	}
+	return string(bytes.TrimSpace(data))
+}
+
+// ping probes one shard's /v1/worker/ping.
+func (p *Pool) ping(ctx context.Context, s *shard) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.addr+"/v1/worker/ping", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.opts.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: ping %s: status %d", s.addr, resp.StatusCode)
+	}
+	return nil
+}
+
+// Ping probes every shard once (useful at startup to log reachability).
+// It never fails the pool — unreachable shards simply stay open until
+// the prober or live traffic recovers them.
+func (p *Pool) Ping(ctx context.Context) map[string]error {
+	out := make(map[string]error, len(p.shards))
+	for _, s := range p.shards {
+		out[s.addr] = p.ping(ctx, s)
+	}
+	return out
+}
+
+// wireOptions mirrors the /v1/solve options wire shape.
+type wireOptions struct {
+	TimeoutMS       int64 `json:"timeout_ms,omitempty"`
+	NoCache         bool  `json:"no_cache,omitempty"`
+	BoundNodes      int   `json:"bound_nodes,omitempty"`
+	IncludeSolution bool  `json:"include_solution,omitempty"`
+}
+
+// solveWire is the /v1/solve request body.
+type solveWire struct {
+	Instance *core.Instance `json:"instance"`
+	Solver   string         `json:"solver"`
+	Policy   string         `json:"policy"`
+	Options  wireOptions    `json:"options"`
+}
+
+// remoteTimeout derives the worker-side deadline from the caller's
+// context, shaved slightly so the worker's timeout fires first and the
+// coordinator gets a clean answer instead of a cut connection.
+func remoteTimeout(ctx context.Context) int64 {
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	remaining := time.Until(deadline)
+	ms := int64(remaining*9/10) / int64(time.Millisecond)
+	if ms < 1 {
+		// Never 0: omitempty would drop the field and the worker would
+		// fall back to its own (much longer) default deadline.
+		ms = 1
+	}
+	return ms
+}
+
+// Solve runs one request on the cluster: the pool picks a shard, POSTs
+// /v1/solve, and fails over to another shard when one dies mid-call
+// (solves are deterministic, hence idempotent).
+func (p *Pool) Solve(ctx context.Context, in *core.Instance, solver string, policy core.Policy, opt service.Options) (*service.Response, error) {
+	var out *service.Response
+	err := p.do(ctx, true, func(ctx context.Context, s *shard) error {
+		// Built per attempt: a failover retry must carry the deadline
+		// remaining NOW, not the (much longer) one computed before the
+		// first shard burned most of the budget.
+		body := solveWire{
+			Instance: in,
+			Solver:   solver,
+			Policy:   policy.String(),
+			Options: wireOptions{
+				TimeoutMS:       remoteTimeout(ctx),
+				BoundNodes:      opt.BoundNodes,
+				NoCache:         opt.NoCache,
+				IncludeSolution: true, // the coordinator rebuilds a full Result
+			},
+		}
+		resp, err := p.postJSON(ctx, s, "/v1/solve", body)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		var decoded service.Response
+		if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+			return fmt.Errorf("cluster: %s/v1/solve: bad response: %w", s.addr, err)
+		}
+		out = &decoded
+		return nil
+	})
+	return out, err
+}
+
+// campaignWire is the /v1/campaign request body.
+type campaignWire struct {
+	Config experiments.Config `json:"config"`
+}
+
+// CampaignRow computes exactly one λ row of the campaign on a shard,
+// via the StartRow/EndRow slice of the config. Row generation seeds are
+// tied to the absolute index, so the returned row is bit-identical to
+// row `index` of a single-process run, whichever shard computes it —
+// which also makes the call idempotent and safe to fail over.
+func (p *Pool) CampaignRow(ctx context.Context, cfg experiments.Config, index int) (experiments.Row, error) {
+	cfg.Progress, cfg.Context = nil, nil
+	cfg.StartRow, cfg.EndRow = index, index+1
+	var out experiments.Row
+	err := p.do(ctx, true, func(ctx context.Context, s *shard) error {
+		resp, err := p.postJSON(ctx, s, "/v1/campaign", campaignWire{Config: cfg})
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		row, n, err := scanCampaignStream(resp.Body)
+		if err != nil {
+			return fmt.Errorf("cluster: %s/v1/campaign row %d: %w", s.addr, index, err)
+		}
+		if n != 1 {
+			return fmt.Errorf("cluster: %s/v1/campaign row %d: got %d rows, want 1", s.addr, index, n)
+		}
+		out = row
+		return nil
+	})
+	return out, err
+}
+
+// scanCampaignStream reads a worker's campaign NDJSON stream: row lines
+// until a {"done": true} trailer. A missing trailer means the worker
+// died mid-stream; an {"error": ...} line is the campaign's own failure.
+func scanCampaignStream(r io.Reader) (last experiments.Row, rows int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var probe struct {
+			Done  bool   `json:"done"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return last, rows, fmt.Errorf("bad stream line: %w", err)
+		}
+		if probe.Error != "" {
+			return last, rows, errors.New(probe.Error)
+		}
+		if probe.Done {
+			return last, rows, nil
+		}
+		var row experiments.Row
+		if err := json.Unmarshal(line, &row); err != nil {
+			return last, rows, fmt.Errorf("bad row line: %w", err)
+		}
+		last = row
+		rows++
+	}
+	if err := sc.Err(); err != nil {
+		return last, rows, err
+	}
+	return last, rows, errors.New("stream ended without done trailer")
+}
+
+// BatchChunk runs one sub-batch on a single shard, delivering each
+// streamed line (indices are chunk-local) as it arrives. It does NOT
+// fail over internally: lines already delivered are checkpointed by the
+// caller, which re-partitions whatever is still missing — failover at
+// the row set level rather than the call level, so no work is redone.
+func (p *Pool) BatchChunk(ctx context.Context, payload *service.BatchPayload, deliver func(service.BatchLine)) error {
+	return p.do(ctx, false, func(ctx context.Context, s *shard) error {
+		resp, err := p.postJSON(ctx, s, "/v1/batch", payload)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			var probe struct {
+				Done  bool `json:"done"`
+				Index *int `json:"index"`
+			}
+			if err := json.Unmarshal(line, &probe); err != nil {
+				return fmt.Errorf("cluster: %s/v1/batch: bad stream line: %w", s.addr, err)
+			}
+			if probe.Done {
+				return nil
+			}
+			if probe.Index == nil {
+				return fmt.Errorf("cluster: %s/v1/batch: line without index: %s", s.addr, line)
+			}
+			var bl service.BatchLine
+			if err := json.Unmarshal(line, &bl); err != nil {
+				return fmt.Errorf("cluster: %s/v1/batch: bad line: %w", s.addr, err)
+			}
+			deliver(bl)
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("cluster: %s/v1/batch: stream ended without done trailer", s.addr)
+	})
+}

@@ -1,0 +1,372 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+)
+
+// PoolOptions configures NewPool. The zero value selects sensible
+// defaults throughout.
+type PoolOptions struct {
+	// MaxInFlight bounds concurrent requests per shard (default 4).
+	// Work beyond it waits for a slot rather than piling onto a worker
+	// that is already saturated.
+	MaxInFlight int
+	// FailThreshold is the number of consecutive transient failures
+	// that opens a shard's circuit (default 3). A failure in the
+	// half-open state re-opens it immediately.
+	FailThreshold int
+	// OpenFor is how long an open circuit rejects traffic before
+	// admitting a half-open trial request (default 2s).
+	OpenFor time.Duration
+	// ProbeInterval is the background health-probe period: non-closed
+	// shards are pinged (GET /v1/worker/ping) and close their circuit on
+	// success, so idle pools notice recovery without traffic. Default
+	// 1s; negative disables probing.
+	ProbeInterval time.Duration
+	// MaxFailures bounds how many failed executions one pool call
+	// tolerates before giving up (default 2×shards+2). Waiting for a
+	// free slot does not count — only actual failed attempts do.
+	MaxFailures int
+	// RetryBackoff is the pause before re-scanning the shard list when
+	// no shard is currently available (default 25ms).
+	RetryBackoff time.Duration
+	// Client is the HTTP client used for all shard traffic (default a
+	// dedicated client; per-request deadlines come from contexts).
+	Client *http.Client
+}
+
+func (o PoolOptions) withDefaults(shards int) PoolOptions {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 4
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 3
+	}
+	if o.OpenFor <= 0 {
+		o.OpenFor = 2 * time.Second
+	}
+	if o.ProbeInterval == 0 {
+		o.ProbeInterval = time.Second
+	}
+	if o.MaxFailures <= 0 {
+		o.MaxFailures = 2*shards + 2
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 25 * time.Millisecond
+	}
+	if o.Client == nil {
+		// No global response timeout — campaign rows and big solves are
+		// legitimately slow, and per-call deadlines come from contexts —
+		// but connection establishment is bounded and keepalives detect
+		// dead peers, so an unreachable or firewalled shard fails fast
+		// instead of hanging a job.
+		o.Client = &http.Client{Transport: &http.Transport{
+			DialContext: (&net.Dialer{
+				Timeout:   5 * time.Second,
+				KeepAlive: 15 * time.Second,
+			}).DialContext,
+			MaxIdleConnsPerHost: o.MaxInFlight,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	return o
+}
+
+// ErrNoShard is the terminal error of a pool call that never found an
+// available shard (every circuit open, or every attempt failed).
+var ErrNoShard = errors.New("cluster: no healthy shard available")
+
+// breakerState is a shard's circuit position.
+type breakerState int
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// shard is one worker process, its circuit breaker and its counters.
+type shard struct {
+	addr string        // base URL, no trailing slash
+	sem  chan struct{} // in-flight slots
+
+	mu        sync.Mutex
+	state     breakerState
+	fails     int       // consecutive transient failures
+	openUntil time.Time // when an open circuit admits its trial
+
+	requests, failures, failovers uint64
+}
+
+// tryAcquire takes an in-flight slot if the shard has one free and its
+// circuit admits traffic: closed always does; open does once OpenFor
+// has elapsed (the caller becomes the half-open trial); half-open
+// admits nothing while its trial is outstanding.
+func (s *shard) tryAcquire(now time.Time) bool {
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		return false
+	}
+	s.mu.Lock()
+	admitted := false
+	switch s.state {
+	case stateClosed:
+		admitted = true
+	case stateOpen:
+		if now.After(s.openUntil) {
+			s.state = stateHalfOpen
+			admitted = true
+		}
+	case stateHalfOpen:
+		// The trial is in flight; nobody else gets through.
+	}
+	if admitted {
+		s.requests++
+	}
+	s.mu.Unlock()
+	if !admitted {
+		<-s.sem
+	}
+	return admitted
+}
+
+func (s *shard) release() { <-s.sem }
+
+// recordSuccess closes the circuit (a half-open trial that succeeds
+// recovers the shard).
+func (s *shard) recordSuccess() {
+	s.mu.Lock()
+	s.fails = 0
+	s.state = stateClosed
+	s.mu.Unlock()
+}
+
+// recordFailure counts a transient failure; enough of them in a row —
+// or any in the half-open state — open the circuit for OpenFor.
+func (s *shard) recordFailure(openFor time.Duration, threshold int, failedOver bool) {
+	s.mu.Lock()
+	s.failures++
+	if failedOver {
+		s.failovers++
+	}
+	s.fails++
+	if s.state == stateHalfOpen || s.fails >= threshold {
+		s.state = stateOpen
+		s.openUntil = time.Now().Add(openFor)
+	}
+	s.mu.Unlock()
+}
+
+// Pool fans work out over a static list of worker shards. All methods
+// are safe for concurrent use.
+type Pool struct {
+	shards []*shard
+	opts   PoolOptions
+	rr     atomic.Uint64 // round-robin scan offset
+
+	stopProbe chan struct{}
+	probeWG   sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// NewPool builds a pool over the shard addresses ("host:port" or full
+// URLs) and starts its health prober. Close releases the prober.
+func NewPool(addrs []string, opts PoolOptions) (*Pool, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("cluster: pool needs at least one shard address")
+	}
+	p := &Pool{opts: opts.withDefaults(len(addrs)), stopProbe: make(chan struct{})}
+	seen := map[string]bool{}
+	for _, a := range addrs {
+		addr := strings.TrimSpace(a)
+		if addr == "" {
+			return nil, errors.New("cluster: empty shard address")
+		}
+		if !strings.Contains(addr, "://") {
+			addr = "http://" + addr
+		}
+		addr = strings.TrimRight(addr, "/")
+		if seen[addr] {
+			return nil, fmt.Errorf("cluster: duplicate shard address %s", addr)
+		}
+		seen[addr] = true
+		p.shards = append(p.shards, &shard{
+			addr: addr,
+			sem:  make(chan struct{}, p.opts.MaxInFlight),
+		})
+	}
+	if p.opts.ProbeInterval > 0 {
+		p.probeWG.Add(1)
+		go p.probeLoop()
+	}
+	return p, nil
+}
+
+// Close stops the background prober. In-flight calls finish normally.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() { close(p.stopProbe) })
+	p.probeWG.Wait()
+}
+
+// Width is the pool's total admission capacity — shards × per-shard
+// in-flight slots. Fan-out callers size their worker sets to it; more
+// concurrency than this only spins on the acquire loop.
+func (p *Pool) Width() int { return len(p.shards) * p.opts.MaxInFlight }
+
+// Addrs lists the shard base URLs in pool order.
+func (p *Pool) Addrs() []string {
+	out := make([]string, len(p.shards))
+	for i, s := range p.shards {
+		out[i] = s.addr
+	}
+	return out
+}
+
+// ShardStats implements service.ClusterInfo for /healthz and /metrics.
+func (p *Pool) ShardStats() []service.ShardStat {
+	out := make([]service.ShardStat, len(p.shards))
+	for i, s := range p.shards {
+		s.mu.Lock()
+		out[i] = service.ShardStat{
+			Addr:      s.addr,
+			State:     s.state.String(),
+			Healthy:   s.state == stateClosed,
+			InFlight:  len(s.sem),
+			Requests:  s.requests,
+			Failures:  s.failures,
+			Failovers: s.failovers,
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// probeLoop pings every non-closed shard each interval; a successful
+// ping closes its circuit, so recovery is noticed without waiting for
+// live traffic to trickle through the half-open state.
+func (p *Pool) probeLoop() {
+	defer p.probeWG.Done()
+	t := time.NewTicker(p.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stopProbe:
+			return
+		case <-t.C:
+		}
+		for _, s := range p.shards {
+			s.mu.Lock()
+			closed := s.state == stateClosed
+			s.mu.Unlock()
+			if closed {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			err := p.ping(ctx, s)
+			cancel()
+			if err == nil {
+				s.recordSuccess()
+			}
+		}
+	}
+}
+
+// acquire scans the shards round-robin and returns the first one that
+// is not excluded and admits traffic, or nil when none does right now.
+func (p *Pool) acquire(exclude map[*shard]bool) *shard {
+	start := int(p.rr.Add(1))
+	now := time.Now()
+	for i := 0; i < len(p.shards); i++ {
+		s := p.shards[(start+i)%len(p.shards)]
+		if exclude[s] {
+			continue
+		}
+		if s.tryAcquire(now) {
+			return s
+		}
+	}
+	return nil
+}
+
+// do runs f against one shard, with bounded failover. Transient
+// failures (transport errors, 5xx, worker shutdown) open breakers and
+// — for idempotent work — move on to another shard, preferring ones
+// not yet tried this call; permanent failures (4xx: the request itself
+// is bad) return immediately without blaming the shard. Waiting for a
+// free slot is not an attempt: a fully busy pool simply queues here
+// until a slot frees or ctx expires.
+func (p *Pool) do(ctx context.Context, idempotent bool, f func(ctx context.Context, s *shard) error) error {
+	exclude := map[*shard]bool{}
+	var lastErr error
+	failuresLeft := p.opts.MaxFailures
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s := p.acquire(exclude)
+		if s == nil {
+			// Nothing available: forget exclusions (a previously failed
+			// shard may have recovered by the time we rescan) and wait.
+			clear(exclude)
+			select {
+			case <-ctx.Done():
+				if lastErr != nil {
+					return fmt.Errorf("%w (last shard error: %w)", ctx.Err(), lastErr)
+				}
+				return ctx.Err()
+			case <-time.After(p.opts.RetryBackoff):
+			}
+			continue
+		}
+		err := f(ctx, s)
+		s.release()
+		if err == nil {
+			s.recordSuccess()
+			return nil
+		}
+		if ctx.Err() != nil {
+			// Our caller's deadline or cancellation, not the shard's
+			// fault: don't poison its breaker.
+			return ctx.Err()
+		}
+		if isPermanent(err) {
+			s.recordSuccess() // the shard answered; the request was bad
+			return err
+		}
+		lastErr = err
+		failuresLeft--
+		s.recordFailure(p.opts.OpenFor, p.opts.FailThreshold, idempotent && failuresLeft > 0)
+		if !idempotent {
+			return lastErr
+		}
+		if failuresLeft <= 0 {
+			// The failover budget is spent across the whole pool: that is
+			// the "no healthy shard" outcome, tagged so callers can
+			// distinguish cluster exhaustion from a single bad call.
+			return fmt.Errorf("%w after %d failed attempts: %w", ErrNoShard, p.opts.MaxFailures, lastErr)
+		}
+		exclude[s] = true
+	}
+}

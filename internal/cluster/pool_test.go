@@ -1,0 +1,354 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/service"
+)
+
+// newWorker starts an in-process worker shard: the full service handler
+// with unlimited inline campaigns, like rpworker runs.
+func newWorker(t testing.TB, engineWorkers int) (*httptest.Server, *service.Engine) {
+	t.Helper()
+	e := service.NewEngine(service.EngineOptions{Workers: engineWorkers})
+	srv := httptest.NewServer(service.NewHandlerOpts(e, service.HandlerOptions{MaxInlineCampaigns: -1}))
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		e.Close(ctx)
+	})
+	return srv, e
+}
+
+// killServer simulates a worker crash: in-flight connections are cut
+// and the listener stops accepting.
+func killServer(srv *httptest.Server) {
+	srv.CloseClientConnections()
+	srv.Close()
+}
+
+func testInstance(seed int64) *core.Instance {
+	return gen.Instance(gen.Config{Internal: 8, Clients: 16, Lambda: 0.4, UnitCosts: true}, seed)
+}
+
+func newTestPool(t testing.TB, addrs []string, opts PoolOptions) *Pool {
+	t.Helper()
+	p, err := NewPool(addrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestPoolRejectsBadAddrs(t *testing.T) {
+	if _, err := NewPool(nil, PoolOptions{}); err == nil {
+		t.Fatal("empty shard list accepted")
+	}
+	if _, err := NewPool([]string{"a:1", "a:1"}, PoolOptions{}); err == nil {
+		t.Fatal("duplicate shard accepted")
+	}
+	if _, err := NewPool([]string{" "}, PoolOptions{}); err == nil {
+		t.Fatal("blank shard accepted")
+	}
+}
+
+// TestPoolSolveMatchesLocal: a solve proxied through the pool returns
+// the same placement cost as running the solver in-process.
+func TestPoolSolveMatchesLocal(t *testing.T) {
+	srv, e := newWorker(t, 2)
+	p := newTestPool(t, []string{srv.URL}, PoolOptions{ProbeInterval: -1})
+
+	in := testInstance(7)
+	local, err := e.Solve(context.Background(), service.Request{Instance: in, Solver: "mb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := p.Solve(context.Background(), in, "mb", core.Multiple, service.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.Cost != local.Cost || remote.ReplicaCount != local.ReplicaCount {
+		t.Fatalf("remote = cost %d / %d replicas, local = cost %d / %d replicas",
+			remote.Cost, remote.ReplicaCount, local.Cost, local.ReplicaCount)
+	}
+	if remote.Solution == nil {
+		t.Fatal("remote response without the solution the backend needs")
+	}
+}
+
+// TestPoolFailover: with one dead shard in the list, idempotent calls
+// fail over to the live one and the dead shard's circuit opens.
+func TestPoolFailover(t *testing.T) {
+	srv, _ := newWorker(t, 2)
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadAddr := dead.URL
+	killServer(dead)
+
+	p := newTestPool(t, []string{deadAddr, srv.URL}, PoolOptions{
+		ProbeInterval: -1,
+		FailThreshold: 2,
+		OpenFor:       time.Minute,
+	})
+	in := testInstance(3)
+	for i := 0; i < 6; i++ {
+		if _, err := p.Solve(context.Background(), in, "mb", core.Multiple, service.Options{NoCache: true}); err != nil {
+			t.Fatalf("solve %d: %v", i, err)
+		}
+	}
+	var deadStat, liveStat service.ShardStat
+	for _, st := range p.ShardStats() {
+		if st.Addr == deadAddr {
+			deadStat = st
+		} else {
+			liveStat = st
+		}
+	}
+	if deadStat.Failures == 0 || deadStat.Failovers == 0 {
+		t.Fatalf("dead shard stats = %+v, want failures and failovers", deadStat)
+	}
+	if deadStat.State != "open" {
+		t.Fatalf("dead shard state = %s, want open (threshold 2 exceeded)", deadStat.State)
+	}
+	if liveStat.Requests == 0 || liveStat.Failures != 0 {
+		t.Fatalf("live shard stats = %+v", liveStat)
+	}
+}
+
+// TestPoolCircuitTransitions walks one shard's breaker through
+// closed → open → half-open → closed using a handler that fails on
+// demand, with the background prober disabled so every transition is
+// driven by recorded request outcomes.
+func TestPoolCircuitTransitions(t *testing.T) {
+	var failing atomic.Bool
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failing.Load() {
+			http.Error(w, `{"error":"injected"}`, http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer backend.Close()
+
+	const openFor = 80 * time.Millisecond
+	p := newTestPool(t, []string{backend.URL}, PoolOptions{
+		ProbeInterval: -1,
+		FailThreshold: 2,
+		OpenFor:       openFor,
+		MaxFailures:   1, // one failed execution per do() call
+	})
+	s := p.shards[0]
+	state := func() string { return p.ShardStats()[0].State }
+
+	callCtx := func(ctx context.Context) error {
+		return p.do(ctx, true, func(ctx context.Context, sh *shard) error {
+			resp, err := p.postJSON(ctx, sh, "/", nil)
+			if err != nil {
+				return err
+			}
+			resp.Body.Close()
+			return nil
+		})
+	}
+	call := func() error { return callCtx(context.Background()) }
+
+	if err := call(); err != nil || state() != "closed" {
+		t.Fatalf("healthy call: err=%v state=%s", err, state())
+	}
+
+	// Two consecutive failures reach the threshold: closed -> open.
+	failing.Store(true)
+	for i := 0; i < 2; i++ {
+		if err := call(); err == nil {
+			t.Fatal("failing call succeeded")
+		}
+	}
+	if state() != "open" {
+		t.Fatalf("state after threshold = %s, want open", state())
+	}
+
+	// While open, calls find no admissible shard and time out without
+	// ever reaching the backend.
+	before := p.ShardStats()[0].Requests
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	err := callCtx(ctx)
+	cancel()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("open-circuit call: %v, want deadline", err)
+	}
+	if got := p.ShardStats()[0].Requests; got != before {
+		t.Fatalf("open circuit admitted traffic: %d -> %d requests", before, got)
+	}
+
+	// After OpenFor, the next request is the half-open trial; it fails,
+	// re-opening immediately (no threshold counting in half-open).
+	time.Sleep(openFor + 20*time.Millisecond)
+	if err := call(); err == nil {
+		t.Fatal("half-open trial against failing backend succeeded")
+	}
+	if state() != "open" {
+		t.Fatalf("state after failed trial = %s, want open", state())
+	}
+
+	// Heal the backend; the trial after the window closes the circuit.
+	failing.Store(false)
+	time.Sleep(openFor + 20*time.Millisecond)
+	// Observe the half-open admission itself: during tryAcquire the
+	// state flips to half-open before the request runs.
+	s.mu.Lock()
+	st := s.state
+	s.mu.Unlock()
+	if st != stateOpen {
+		t.Fatalf("pre-trial state = %v, want open", st)
+	}
+	if !s.tryAcquire(time.Now()) {
+		t.Fatal("trial not admitted after OpenFor")
+	}
+	if state() != "half-open" {
+		t.Fatalf("state during trial = %s, want half-open", state())
+	}
+	s.release()
+	s.recordSuccess()
+	if state() != "closed" {
+		t.Fatalf("state after successful trial = %s, want closed", state())
+	}
+	if err := call(); err != nil {
+		t.Fatalf("call after recovery: %v", err)
+	}
+}
+
+// TestPoolProbeRecovery: an open circuit closes again via the
+// background prober once the worker is healthy, without live traffic.
+func TestPoolProbeRecovery(t *testing.T) {
+	var failing atomic.Bool
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if failing.Load() {
+			http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer backend.Close()
+
+	p := newTestPool(t, []string{backend.URL}, PoolOptions{
+		ProbeInterval: 20 * time.Millisecond,
+		FailThreshold: 1,
+		OpenFor:       time.Minute, // far longer than the probe period
+		MaxFailures:   1,
+	})
+	failing.Store(true)
+	p.do(context.Background(), true, func(ctx context.Context, s *shard) error {
+		resp, err := p.postJSON(ctx, s, "/", nil)
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		return nil
+	})
+	if st := p.ShardStats()[0].State; st != "open" {
+		t.Fatalf("state after failure = %s, want open", st)
+	}
+
+	failing.Store(false)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.ShardStats()[0].Healthy {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("prober never closed the circuit of a healthy worker")
+}
+
+// TestPoolPermanentErrorNoFailover: a 4xx must neither fail over (the
+// second shard would fail identically) nor open the breaker.
+func TestPoolPermanentErrorNoFailover(t *testing.T) {
+	var hits1, hits2 atomic.Int64
+	bad := func(hits *atomic.Int64) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			hits.Add(1)
+			http.Error(w, `{"error":"no such solver"}`, http.StatusNotFound)
+		}
+	}
+	s1 := httptest.NewServer(bad(&hits1))
+	defer s1.Close()
+	s2 := httptest.NewServer(bad(&hits2))
+	defer s2.Close()
+
+	p := newTestPool(t, []string{s1.URL, s2.URL}, PoolOptions{ProbeInterval: -1})
+	in := testInstance(1)
+	_, err := p.Solve(context.Background(), in, "definitely-not-a-solver", core.Multiple, service.Options{})
+	if err == nil || !isPermanent(err) {
+		t.Fatalf("err = %v, want permanent", err)
+	}
+	if hits1.Load()+hits2.Load() != 1 {
+		t.Fatalf("4xx hit %d shards, want exactly 1 (no failover)", hits1.Load()+hits2.Load())
+	}
+	for _, st := range p.ShardStats() {
+		if !st.Healthy || st.Failures != 0 {
+			t.Fatalf("4xx poisoned shard stats: %+v", st)
+		}
+	}
+}
+
+// TestRegisterRemote: @remote twins resolve through the engine with the
+// cache/validation layers intact, for solution and bound solvers alike.
+func TestRegisterRemote(t *testing.T) {
+	srv, we := newWorker(t, 2)
+	p := newTestPool(t, []string{srv.URL}, PoolOptions{ProbeInterval: -1})
+
+	reg := service.NewRegistry()
+	if err := RegisterRemote(reg, p); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotence guard: a second pass must not try to register
+	// "x@remote@remote" (it would fail on duplicates otherwise).
+	if err := RegisterRemote(service.NewRegistry(), p); err != nil {
+		t.Fatal(err)
+	}
+
+	e := service.NewEngine(service.EngineOptions{Workers: 2, Registry: reg})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		e.Close(ctx)
+	})
+
+	in := testInstance(11)
+	local, err := we.Solve(context.Background(), service.Request{Instance: in, Solver: "optimal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := e.Solve(context.Background(), service.Request{Instance: in, Solver: "optimal@remote"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.Cost != local.Cost {
+		t.Fatalf("optimal@remote cost %d != local %d", remote.Cost, local.Cost)
+	}
+	// The coordinator cache serves the repeat without another HTTP hop.
+	again, err := e.Solve(context.Background(), service.Request{Instance: in, Solver: "optimal@remote"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Fatal("second identical remote solve not served from the coordinator cache")
+	}
+
+	bound, err := e.Solve(context.Background(), service.Request{Instance: in, Solver: "lp-rational-multiple@remote"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound.Bound == nil || bound.Bound.Value <= 0 {
+		t.Fatalf("remote bound = %+v", bound.Bound)
+	}
+}

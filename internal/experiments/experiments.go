@@ -76,6 +76,12 @@ type Config struct {
 	// index, so a resumed campaign produces exactly the rows a full run
 	// would have produced from that point.
 	StartRow int
+	// EndRow, when positive, stops the campaign before that row index
+	// (exclusive). Combined with StartRow it selects an arbitrary slice
+	// of the sweep: {StartRow: i, EndRow: i + 1} computes exactly row i,
+	// bit-identical to row i of a full run — the unit a cluster shard
+	// executes. Zero (or a value past the sweep) means run to the end.
+	EndRow int
 	// Progress, when non-nil, is called with each aggregated row as soon
 	// as its λ completes, in λ order. It lets callers stream campaign
 	// progress; it has no effect on the produced rows. A non-nil return
@@ -108,6 +114,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StartRow < 0 {
 		c.StartRow = 0
+	}
+	if c.EndRow < 0 {
+		c.EndRow = 0
 	}
 	return c
 }
@@ -209,8 +218,12 @@ func Run(cfg Config) (*Results, error) {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	end := len(cfg.Lambdas)
+	if cfg.EndRow > 0 && cfg.EndRow < end {
+		end = cfg.EndRow
+	}
 	res := &Results{Config: cfg}
-	for li := cfg.StartRow; li < len(cfg.Lambdas); li++ {
+	for li := cfg.StartRow; li < end; li++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}

@@ -192,3 +192,59 @@ func TestStartRowPastEnd(t *testing.T) {
 		t.Fatalf("rows = %d, want 0", len(res.Rows))
 	}
 }
+
+// TestStartEndRowSlices: any [StartRow, EndRow) slice of a campaign
+// reproduces exactly those rows of a full run — the contract the
+// cluster subsystem uses to compute single rows on remote shards.
+func TestStartEndRowSlices(t *testing.T) {
+	cfg := Config{
+		Lambdas:        []float64{0.2, 0.4, 0.6, 0.8},
+		TreesPerLambda: 2,
+		MinSize:        15,
+		MaxSize:        22,
+		Seed:           5,
+		BoundNodes:     8,
+	}
+	full, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Rows) != len(cfg.Lambdas) {
+		t.Fatalf("full run rows = %d", len(full.Rows))
+	}
+
+	// One row at a time, stitched back together.
+	for i := range cfg.Lambdas {
+		c := cfg
+		c.StartRow, c.EndRow = i, i+1
+		part, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(part.Rows) != 1 {
+			t.Fatalf("slice [%d,%d) rows = %d", i, i+1, len(part.Rows))
+		}
+		if !reflect.DeepEqual(part.Rows[0], full.Rows[i]) {
+			t.Fatalf("row %d differs:\ngot  %+v\nwant %+v", i, part.Rows[0], full.Rows[i])
+		}
+	}
+
+	// A middle slice, and an EndRow past the sweep (clamped).
+	c := cfg
+	c.StartRow, c.EndRow = 1, 3
+	mid, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mid.Rows) != 2 || !reflect.DeepEqual(mid.Rows, full.Rows[1:3]) {
+		t.Fatalf("slice [1,3) = %+v", mid.Rows)
+	}
+	c.StartRow, c.EndRow = 2, 99
+	tail, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tail.Rows, full.Rows[2:]) {
+		t.Fatalf("slice [2,∞) = %+v", tail.Rows)
+	}
+}

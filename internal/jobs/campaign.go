@@ -30,8 +30,8 @@ func CampaignKind() Kind {
 			// — possibly under a binary with different defaults — still
 			// derives the identical sweep.
 			cfg = cfg.Normalized()
-			if cfg.StartRow != 0 {
-				return nil, 0, fmt.Errorf("jobs: campaign jobs manage StartRow themselves; submit without it")
+			if cfg.StartRow != 0 || cfg.EndRow != 0 {
+				return nil, 0, fmt.Errorf("jobs: campaign jobs manage StartRow/EndRow themselves; submit without them")
 			}
 			norm, err := json.Marshal(cfg)
 			if err != nil {
@@ -43,6 +43,54 @@ func CampaignKind() Kind {
 			cfg, err := decodeCampaign(payload)
 			if err != nil {
 				return err
+			}
+			// Rows written by a cluster coordinator carry an explicit
+			// "index" and land in shard-completion order, so position is
+			// NOT the λ index there. Detect that format and resume by
+			// missing index — a jobs dir can migrate between a standalone
+			// daemon and a coordinator in either direction without
+			// duplicating or skipping rows.
+			indexed := false
+			done := make([]bool, len(cfg.Lambdas))
+			for i, raw := range prior {
+				idx, explicit, err := CampaignRowIndex(raw, i)
+				if err != nil {
+					return err
+				}
+				if explicit {
+					indexed = true
+				}
+				if idx >= 0 && idx < len(done) {
+					done[idx] = true
+				}
+			}
+			if indexed {
+				for idx := range done {
+					if done[idx] {
+						continue
+					}
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					c := cfg
+					c.StartRow, c.EndRow = idx, idx+1
+					c.Context = ctx
+					res, err := experiments.Run(c)
+					if err != nil {
+						return err
+					}
+					if len(res.Rows) != 1 {
+						return fmt.Errorf("jobs: campaign slice [%d,%d) produced %d rows", idx, idx+1, len(res.Rows))
+					}
+					data, err := json.Marshal(IndexedCampaignRow{Index: idx, Row: res.Rows[0]})
+					if err != nil {
+						return err
+					}
+					if err := sink(data); err != nil {
+						return err
+					}
+				}
+				return nil
 			}
 			cfg.StartRow = len(prior)
 			if cfg.StartRow >= len(cfg.Lambdas) {
@@ -60,6 +108,33 @@ func CampaignKind() Kind {
 			return err
 		},
 	}
+}
+
+// IndexedCampaignRow is the persisted form of one sharded campaign row:
+// the plain experiments.Row plus the absolute λ index that keys the
+// checkpoint. The embedding keeps the wire shape a superset of the
+// position-keyed row, so CampaignRows (and the CSV result endpoint)
+// decode both interchangeably.
+type IndexedCampaignRow struct {
+	Index int `json:"index"`
+	experiments.Row
+}
+
+// CampaignRowIndex extracts the absolute λ index of a persisted
+// campaign row. Position-keyed rows (a standalone daemon's, written in
+// λ order) carry no index field — their position IS the index; explicit
+// reports whether the row carried one.
+func CampaignRowIndex(raw json.RawMessage, position int) (idx int, explicit bool, err error) {
+	var probe struct {
+		Index *int `json:"index"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return 0, false, fmt.Errorf("jobs: corrupt checkpointed campaign row %d: %w", position, err)
+	}
+	if probe.Index == nil {
+		return position, false, nil
+	}
+	return *probe.Index, true, nil
 }
 
 func decodeCampaign(payload json.RawMessage) (experiments.Config, error) {

@@ -548,3 +548,289 @@ func TestCampaignKindRejectsBadConfig(t *testing.T) {
 		t.Fatalf("normalization not persisted: %+v", cfg)
 	}
 }
+
+// --- retention / GC ---
+
+// TestRetentionPrune: finished jobs older than RetainFor are removed —
+// at startup for leftovers from earlier runs, and on PruneNow (the
+// background GC's body) for jobs finishing while the manager lives.
+func TestRetentionPrune(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A long-finished job from a "previous daemon".
+	old := Meta{
+		ID:         "jold01",
+		Spec:       Spec{Kind: "count", Payload: json.RawMessage(`{}`)},
+		State:      StateSucceeded,
+		CreatedAt:  time.Now().UTC().Add(-time.Hour),
+		FinishedAt: time.Now().UTC().Add(-time.Hour),
+	}
+	if err := fs.Put(old); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := NewManager(Options{Store: fs, Workers: 1, RetainFor: 50 * time.Millisecond, GCInterval: time.Hour},
+		countKind("count", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeManager(t, m)
+
+	// The stale job went at startup.
+	if _, ok := m.Get(old.ID); ok {
+		t.Fatal("hour-old finished job survived startup pruning")
+	}
+	if _, ok, _ := fs.Get(old.ID); ok {
+		t.Fatal("hour-old finished job survived on disk")
+	}
+	if st := m.Stats(); st.Pruned != 1 {
+		t.Fatalf("pruned = %d, want 1", st.Pruned)
+	}
+
+	// A fresh job survives until it outlives RetainFor.
+	meta, err := m.Submit(Spec{Kind: "count", Payload: json.RawMessage(`{}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m.Get, meta.ID, StateSucceeded)
+	if n := m.PruneNow(); n != 0 {
+		t.Fatalf("pruned a job younger than RetainFor (%d)", n)
+	}
+	time.Sleep(80 * time.Millisecond)
+	if n := m.PruneNow(); n != 1 {
+		t.Fatalf("PruneNow = %d, want 1", n)
+	}
+	if _, ok := m.Get(meta.ID); ok {
+		t.Fatal("expired job still listed")
+	}
+	if st := m.Stats(); st.Pruned != 2 {
+		t.Fatalf("pruned total = %d, want 2", st.Pruned)
+	}
+
+	// Without a retention limit PruneNow is a no-op.
+	m2, err := NewManager(Options{Store: NewMemStore(), Workers: 1}, countKind("count", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeManager(t, m2)
+	if n := m2.PruneNow(); n != 0 {
+		t.Fatalf("retention-less PruneNow = %d", n)
+	}
+}
+
+// --- DELETE vs completion race ---
+
+// gateStore blocks the first terminal-state manifest write until the
+// test releases it, pinning open the window between a job's terminal
+// state becoming visible and its final Put landing on disk.
+type gateStore struct {
+	Store
+	once    sync.Once
+	started chan struct{}
+	release chan struct{}
+}
+
+func (s *gateStore) Put(m Meta) error {
+	if m.State.Terminal() {
+		s.once.Do(func() {
+			close(s.started)
+			<-s.release
+		})
+	}
+	return s.Store.Put(m)
+}
+
+// TestDeleteWaitsForFinalManifestWrite: a DELETE racing the job's final
+// manifest write must not lose — deleting first and letting the write
+// recreate the directory would leave an orphaned manifest/row-log pair
+// that a restarted manager resurrects as a zombie job.
+func TestDeleteWaitsForFinalManifestWrite(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := &gateStore{Store: fs, started: make(chan struct{}), release: make(chan struct{})}
+	m, err := NewManager(Options{Store: gs, Workers: 1}, countKind("count", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeManager(t, m)
+
+	meta, err := m.Submit(Spec{Kind: "count", Payload: json.RawMessage(`{}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-gs.started // terminal state published, final Put now in flight
+
+	deleted := make(chan error, 1)
+	go func() { deleted <- m.Delete(meta.ID) }()
+	select {
+	case err := <-deleted:
+		t.Fatalf("Delete returned (%v) before the final manifest write landed", err)
+	case <-time.After(100 * time.Millisecond):
+		// Good: Delete is waiting out the finalization.
+	}
+
+	close(gs.release)
+	if err := <-deleted; err != nil {
+		t.Fatalf("delete after finalization: %v", err)
+	}
+	if _, ok := m.Get(meta.ID); ok {
+		t.Fatal("deleted job still listed")
+	}
+	if _, ok, _ := fs.Get(meta.ID); ok {
+		t.Fatal("orphaned manifest resurrected after delete")
+	}
+	// A fresh manager over the same store must see nothing to recover.
+	m2, err := NewManager(Options{Store: fs, Workers: 1}, countKind("count", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeManager(t, m2)
+	if got := m2.List(); len(got) != 0 {
+		t.Fatalf("zombie jobs after restart: %+v", got)
+	}
+}
+
+// TestCancelOrDelete covers the DELETE-endpoint decision under each
+// state, including the cancel-vs-completion race resolved atomically.
+func TestCancelOrDelete(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := &gateStore{Store: fs, started: make(chan struct{}), release: make(chan struct{})}
+	m, err := NewManager(Options{Store: gs, Workers: 1}, countKind("count", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeManager(t, m)
+
+	if _, _, err := m.CancelOrDelete("jnope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown id: %v", err)
+	}
+
+	meta, err := m.Submit(Spec{Kind: "count", Payload: json.RawMessage(`{}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The job "finishes concurrently": its terminal state is already
+	// published while the final write hangs. CancelOrDelete must pick
+	// the delete branch, wait, and fully remove it — not error with
+	// "already succeeded" the way Cancel does.
+	<-gs.started
+	done := make(chan struct{})
+	var gotMeta Meta
+	var gotDeleted bool
+	var gotErr error
+	go func() {
+		gotMeta, gotDeleted, gotErr = m.CancelOrDelete(meta.ID)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("CancelOrDelete finished before the final manifest write")
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(gs.release)
+	<-done
+	if gotErr != nil || !gotDeleted || gotMeta.ID != meta.ID {
+		t.Fatalf("CancelOrDelete = (%+v, %v, %v)", gotMeta, gotDeleted, gotErr)
+	}
+	if _, ok, _ := fs.Get(meta.ID); ok {
+		t.Fatal("job survived on disk")
+	}
+}
+
+// TestCampaignKindResumesIndexedCheckpoint: a checkpoint written by a
+// cluster coordinator (index-keyed rows in shard-completion order)
+// resumed by the single-process campaign kind must recompute exactly
+// the missing indices — not blindly continue from len(prior), which
+// would duplicate some rows and skip others.
+func TestCampaignKindResumesIndexedCheckpoint(t *testing.T) {
+	cfg := experiments.Config{
+		Lambdas:        []float64{0.2, 0.4, 0.6, 0.8},
+		TreesPerLambda: 2,
+		MinSize:        15,
+		MaxSize:        22,
+		Seed:           5,
+		BoundNodes:     8,
+	}
+	full, err := experiments.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k := CampaignKind()
+	payload, total, err := k.Prepare(mustJSON(t, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != len(cfg.Lambdas) {
+		t.Fatalf("total = %d", total)
+	}
+
+	// Rows 3 and 0 are checkpointed, out of order, cluster-style.
+	prior := []json.RawMessage{
+		mustJSON(t, IndexedCampaignRow{Index: 3, Row: full.Rows[3]}),
+		mustJSON(t, IndexedCampaignRow{Index: 0, Row: full.Rows[0]}),
+	}
+	var emitted []json.RawMessage
+	sink := func(row json.RawMessage) error {
+		emitted = append(emitted, append(json.RawMessage(nil), row...))
+		return nil
+	}
+	if err := k.Run(context.Background(), payload, prior, sink); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactly the missing indices 1 and 2, in index order, index-keyed.
+	if len(emitted) != 2 {
+		t.Fatalf("emitted %d rows, want 2: %s", len(emitted), emitted)
+	}
+	merged := map[int]experiments.Row{0: full.Rows[0], 3: full.Rows[3]}
+	for _, raw := range emitted {
+		var line IndexedCampaignRow
+		if err := json.Unmarshal(raw, &line); err != nil {
+			t.Fatal(err)
+		}
+		if _, dup := merged[line.Index]; dup {
+			t.Fatalf("resume re-emitted already-checkpointed row %d", line.Index)
+		}
+		merged[line.Index] = line.Row
+	}
+	for i, want := range full.Rows {
+		if !reflect.DeepEqual(merged[i], want) {
+			t.Fatalf("merged row %d differs:\ngot  %+v\nwant %+v", i, merged[i], want)
+		}
+	}
+
+	// Position-keyed checkpoints keep the fast sequential path: resuming
+	// after rows 0 and 1 emits rows 2..3 in order, without index fields.
+	prior = []json.RawMessage{mustJSON(t, full.Rows[0]), mustJSON(t, full.Rows[1])}
+	emitted = nil
+	if err := k.Run(context.Background(), payload, prior, sink); err != nil {
+		t.Fatal(err)
+	}
+	if len(emitted) != 2 {
+		t.Fatalf("sequential resume emitted %d rows", len(emitted))
+	}
+	var plain experiments.Row
+	if err := json.Unmarshal(emitted[0], &plain); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, full.Rows[2]) {
+		t.Fatalf("sequential resume row = %+v, want row 2", plain)
+	}
+}
+
+func mustJSON(t *testing.T, v any) json.RawMessage {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

@@ -24,6 +24,14 @@ type Options struct {
 	// QueueDepth bounds pending submissions before Submit returns
 	// ErrQueueFull (default 256).
 	QueueDepth int
+	// RetainFor prunes finished (terminal) jobs — record and rows — once
+	// their FinishedAt is older than this age. Zero keeps them until an
+	// explicit Delete. Pruning runs at startup and periodically in the
+	// background (see GCInterval).
+	RetainFor time.Duration
+	// GCInterval is the background pruning period when RetainFor is set
+	// (default RetainFor/4, clamped to [1s, 1m]).
+	GCInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -35,6 +43,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 256
+	}
+	if o.RetainFor > 0 && o.GCInterval <= 0 {
+		o.GCInterval = o.RetainFor / 4
+		if o.GCInterval < time.Second {
+			o.GCInterval = time.Second
+		}
+		if o.GCInterval > time.Minute {
+			o.GCInterval = time.Minute
+		}
 	}
 	return o
 }
@@ -49,6 +66,9 @@ type Stats struct {
 	Failed      int `json:"failed"`
 	Canceled    int `json:"canceled"`
 	Interrupted int `json:"interrupted"`
+	// Pruned counts finished jobs removed by age-based retention
+	// (Options.RetainFor) over the manager's lifetime.
+	Pruned uint64 `json:"pruned,omitempty"`
 }
 
 // Manager owns submitted jobs end to end: it schedules them on a
@@ -63,12 +83,20 @@ type Manager struct {
 	queue chan string
 	wg    sync.WaitGroup
 
-	mu        sync.Mutex
-	metas     map[string]Meta
-	cancels   map[string]context.CancelCauseFunc
+	mu      sync.Mutex
+	metas   map[string]Meta
+	cancels map[string]context.CancelCauseFunc
+	// finalize holds, per job whose terminal state is published in metas
+	// but whose final manifest write is still in flight, a channel closed
+	// when that write lands. Delete waits on it so a concurrent DELETE
+	// cannot race the write and leave an orphaned manifest/row-log pair
+	// behind (the write would silently resurrect the directory).
+	finalize  map[string]chan struct{}
 	running   int
 	closed    bool
 	recovered int
+	pruned    uint64
+	gcStop    chan struct{}
 }
 
 // NewManager opens a manager over the store: it registers the kinds,
@@ -78,11 +106,13 @@ type Manager struct {
 func NewManager(opts Options, kinds ...Kind) (*Manager, error) {
 	opts = opts.withDefaults()
 	m := &Manager{
-		store:   opts.Store,
-		opts:    opts,
-		kinds:   map[string]Kind{},
-		metas:   map[string]Meta{},
-		cancels: map[string]context.CancelCauseFunc{},
+		store:    opts.Store,
+		opts:     opts,
+		kinds:    map[string]Kind{},
+		metas:    map[string]Meta{},
+		cancels:  map[string]context.CancelCauseFunc{},
+		finalize: map[string]chan struct{}{},
+		gcStop:   make(chan struct{}),
 	}
 	for _, k := range kinds {
 		if k.Name == "" || k.Prepare == nil || k.Run == nil {
@@ -128,11 +158,64 @@ func NewManager(opts Options, kinds ...Kind) (*Manager, error) {
 		m.recovered++
 	}
 
+	if opts.RetainFor > 0 {
+		m.PruneNow() // stale finished jobs from earlier runs go at startup
+		m.wg.Add(1)
+		go m.gcLoop()
+	}
 	for i := 0; i < opts.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
 	return m, nil
+}
+
+// gcLoop prunes expired finished jobs every GCInterval until Close.
+func (m *Manager) gcLoop() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.opts.GCInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			m.PruneNow()
+		case <-m.gcStop:
+			return
+		}
+	}
+}
+
+// PruneNow deletes every terminal job whose FinishedAt is older than
+// Options.RetainFor, returning how many were removed. It is a no-op
+// without a retention limit. The background GC calls it periodically;
+// it is exported for tests and operational tooling.
+func (m *Manager) PruneNow() int {
+	if m.opts.RetainFor <= 0 {
+		return 0
+	}
+	cutoff := time.Now().UTC().Add(-m.opts.RetainFor)
+	m.mu.Lock()
+	var expired []string
+	for id, meta := range m.metas {
+		if meta.State.Terminal() && !meta.FinishedAt.IsZero() && meta.FinishedAt.Before(cutoff) {
+			expired = append(expired, id)
+		}
+	}
+	m.mu.Unlock()
+	pruned := 0
+	for _, id := range expired {
+		// Delete re-checks state under the lock and waits out any
+		// in-flight finalization, so racing a fresh lookup is safe.
+		if err := m.Delete(id); err == nil {
+			pruned++
+		}
+	}
+	if pruned > 0 {
+		m.mu.Lock()
+		m.pruned += uint64(pruned)
+		m.mu.Unlock()
+	}
+	return pruned
 }
 
 // Recovered reports how many unfinished jobs this manager re-queued
@@ -222,6 +305,13 @@ func (m *Manager) Cancel(id string) (Meta, error) {
 	if !ok {
 		return Meta{}, ErrNotFound
 	}
+	return m.cancelLocked(id, meta)
+}
+
+// cancelLocked is the live-job arm of Cancel and CancelOrDelete; the
+// caller holds m.mu. Terminal states return the "already finished"
+// error — CancelOrDelete handles them before calling here.
+func (m *Manager) cancelLocked(id string, meta Meta) (Meta, error) {
 	switch meta.State {
 	case StateQueued, StateInterrupted:
 		meta.State = StateCanceled
@@ -239,26 +329,68 @@ func (m *Manager) Cancel(id string) (Meta, error) {
 }
 
 // Delete removes a terminal job's record and rows. Cancel running or
-// queued jobs first (ErrNotTerminal otherwise).
+// queued jobs first (ErrNotTerminal otherwise). A Delete that races the
+// job's completion waits for the final manifest write before removing
+// the directory, so the store never keeps an orphaned manifest/row-log
+// pair for a job the manager has forgotten.
 func (m *Manager) Delete(id string) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	meta, ok := m.metas[id]
-	if !ok {
-		return ErrNotFound
-	}
-	if !meta.State.Terminal() {
-		return ErrNotTerminal
+	for {
+		meta, ok := m.metas[id]
+		if !ok {
+			m.mu.Unlock()
+			return ErrNotFound
+		}
+		if !meta.State.Terminal() {
+			m.mu.Unlock()
+			return ErrNotTerminal
+		}
+		ch := m.finalize[id]
+		if ch == nil {
+			break
+		}
+		// The runner published the terminal state but its final store.Put
+		// is still in flight; deleting now would lose the race and leave
+		// the manifest it is about to write. Wait it out and re-check.
+		m.mu.Unlock()
+		<-ch
+		m.mu.Lock()
 	}
 	delete(m.metas, id)
+	m.mu.Unlock()
 	return m.store.Delete(id)
+}
+
+// CancelOrDelete is the DELETE-endpoint semantic as one atomic decision:
+// a terminal job is deleted, a live one is canceled (deleted=false; the
+// record stays and reaches the canceled state). Unlike calling Get then
+// Cancel, a job that finishes concurrently is handled coherently — the
+// completion is observed under the lock and the job is deleted instead
+// of failing with an "already finished" error.
+func (m *Manager) CancelOrDelete(id string) (meta Meta, deleted bool, err error) {
+	m.mu.Lock()
+	meta, ok := m.metas[id]
+	if !ok {
+		m.mu.Unlock()
+		return Meta{}, false, ErrNotFound
+	}
+	if meta.State.Terminal() { // possibly having just beaten us to it
+		m.mu.Unlock()
+		if err := m.Delete(id); err != nil {
+			return meta, false, err
+		}
+		return meta, true, nil
+	}
+	meta, err = m.cancelLocked(id, meta)
+	m.mu.Unlock()
+	return meta, false, err
 }
 
 // Stats snapshots the job-state gauges.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	st := Stats{Workers: m.opts.Workers, QueueLen: len(m.queue), Running: m.running}
+	st := Stats{Workers: m.opts.Workers, QueueLen: len(m.queue), Running: m.running, Pruned: m.pruned}
 	for _, meta := range m.metas {
 		switch meta.State {
 		case StateQueued:
@@ -290,6 +422,7 @@ func (m *Manager) Close(ctx context.Context) error {
 	}
 	m.closed = true
 	close(m.queue)
+	close(m.gcStop)
 	for _, cancel := range m.cancels {
 		cancel(ErrShutdown)
 	}
@@ -403,8 +536,19 @@ func (m *Manager) runJob(id string) {
 	delete(m.cancels, id)
 	m.running--
 	m.metas[id] = mm
+	// Publish the terminal state and the pending final write atomically:
+	// a Delete that sees the new state also sees the finalize channel and
+	// waits for the Put below instead of racing it.
+	fin := make(chan struct{})
+	m.finalize[id] = fin
 	m.mu.Unlock()
+
 	m.store.Put(mm)
+
+	m.mu.Lock()
+	delete(m.finalize, id)
+	m.mu.Unlock()
+	close(fin)
 }
 
 // newID returns a fresh, filesystem-safe job id.

@@ -1,0 +1,30 @@
+package service
+
+// ShardStat is one shard's snapshot as reported on /healthz and
+// /metrics. The type lives here rather than in internal/cluster because
+// the dependency points the other way: cluster implements the service
+// Backend contract (and this one), while the HTTP layer stays ignorant
+// of how shards are managed.
+type ShardStat struct {
+	// Addr is the shard's base URL.
+	Addr string `json:"addr"`
+	// State is the circuit-breaker position: "closed" (healthy),
+	// "open" (failing, traffic suspended) or "half-open" (probing).
+	State string `json:"state"`
+	// Healthy is true when State is "closed".
+	Healthy bool `json:"healthy"`
+	// InFlight is the number of requests on the shard right now.
+	InFlight int `json:"in_flight"`
+	// Requests/Failures count attempts and transient failures against
+	// this shard; Failovers counts requests that were re-run elsewhere
+	// after failing here.
+	Requests  uint64 `json:"requests"`
+	Failures  uint64 `json:"failures"`
+	Failovers uint64 `json:"failovers"`
+}
+
+// ClusterInfo is what the HTTP layer needs from a shard pool to report
+// cluster health. *cluster.Pool implements it.
+type ClusterInfo interface {
+	ShardStats() []ShardStat
+}

@@ -25,6 +25,9 @@ type HandlerOptions struct {
 	// hint instead of queueing unboundedly. 0 selects the default (2);
 	// negative disables the limit.
 	MaxInlineCampaigns int
+	// Cluster, when the daemon fronts a shard pool, feeds the per-shard
+	// health section of /healthz and the rp_cluster_* metrics.
+	Cluster ClusterInfo
 }
 
 // defaultInlineCampaigns is the /v1/campaign concurrency limit when
@@ -37,10 +40,11 @@ const defaultInlineCampaigns = 2
 const campaignRetryAfter = 10
 
 // api holds the handler's state: the engine, the optional job manager,
-// and the inline-campaign slots.
+// the optional shard pool, and the inline-campaign slots.
 type api struct {
 	e           *Engine
 	jobs        *jobs.Manager
+	cluster     ClusterInfo
 	campaignSem chan struct{} // nil = unlimited
 }
 
@@ -63,10 +67,13 @@ type api struct {
 //	                   answers 503 + Retry-After when its slots are
 //	                   saturated — big runs belong on /v1/jobs
 //	POST   /v1/jobs             submit an async campaign or batch job
-//	GET    /v1/jobs             list jobs
+//	GET    /v1/jobs             list jobs (?limit=&after= paginates with
+//	                            a stable order and a "next" cursor)
 //	GET    /v1/jobs/{id}        job status, progress and rows so far
 //	GET    /v1/jobs/{id}/result final rows (JSON, or ?format=csv)
 //	DELETE /v1/jobs/{id}        cancel a live job / delete a finished one
+//	GET  /v1/worker/ping        lightweight liveness probe, polled by a
+//	                            coordinator's shard pool
 //
 // All request and response bodies are JSON. Errors are
 // {"error": "..."} with a matching status code.
@@ -83,7 +90,7 @@ func newAPI(e *Engine, opts HandlerOptions) *api {
 	if slots == 0 {
 		slots = defaultInlineCampaigns
 	}
-	a := &api{e: e, jobs: opts.Jobs}
+	a := &api{e: e, jobs: opts.Jobs, cluster: opts.Cluster}
 	if slots > 0 {
 		a.campaignSem = make(chan struct{}, slots)
 	}
@@ -94,7 +101,18 @@ func (a *api) routes() http.Handler {
 	e := a.e
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, healthPayload{Status: "ok", Stats: e.Stats(), Jobs: a.jobStats()})
+		writeJSON(w, http.StatusOK, healthPayload{Status: "ok", Stats: e.Stats(), Jobs: a.jobStats(), Shards: a.shardStats()})
+	})
+	mux.HandleFunc("GET /v1/worker/ping", func(w http.ResponseWriter, r *http.Request) {
+		// The lightweight liveness probe a cluster pool hits on every
+		// health check: no cache walk, no per-solver map copies.
+		st := e.Stats()
+		writeJSON(w, http.StatusOK, pingPayload{
+			Status:   "ok",
+			Workers:  st.Workers,
+			InFlight: st.InFlight,
+			QueueLen: st.QueueLen,
+		})
 	})
 	mux.HandleFunc("GET /metrics", a.handleMetrics)
 	mux.HandleFunc("GET /v1/solvers", func(w http.ResponseWriter, r *http.Request) {
@@ -135,10 +153,27 @@ func (a *api) jobStats() *jobs.Stats {
 	return &st
 }
 
+// shardStats snapshots the shard pool, nil without one.
+func (a *api) shardStats() []ShardStat {
+	if a.cluster == nil {
+		return nil
+	}
+	return a.cluster.ShardStats()
+}
+
 type healthPayload struct {
 	Status string      `json:"status"`
 	Stats  Stats       `json:"stats"`
 	Jobs   *jobs.Stats `json:"jobs,omitempty"`
+	Shards []ShardStat `json:"shards,omitempty"`
+}
+
+// pingPayload is the GET /v1/worker/ping body.
+type pingPayload struct {
+	Status   string `json:"status"`
+	Workers  int    `json:"workers"`
+	InFlight int64  `json:"in_flight"`
+	QueueLen int    `json:"queue_len"`
 }
 
 type solverInfo struct {
@@ -252,8 +287,8 @@ type batchTopology struct {
 	IsClient []bool `json:"is_client"`
 }
 
-// batchLine is one streamed NDJSON result line.
-type batchLine struct {
+// BatchLine is one streamed NDJSON result line.
+type BatchLine struct {
 	Index int `json:"index"`
 	*Response
 	Error string `json:"error,omitempty"`
@@ -310,7 +345,7 @@ func handleBatch(e *Engine, w http.ResponseWriter, r *http.Request) {
 		Options:    req.Options.options(),
 		Variations: req.Variations,
 	}, func(item BatchItem) {
-		line := batchLine{Index: item.Index, Response: item.Response}
+		line := BatchLine{Index: item.Index, Response: item.Response}
 		if item.Err != nil {
 			failed++
 			line.Error = item.Err.Error()

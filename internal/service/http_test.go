@@ -333,3 +333,21 @@ func TestHTTPConcurrentSolves(t *testing.T) {
 		t.Errorf("computations = %d, want 1", st.Computations)
 	}
 }
+
+// TestHTTPWorkerPing: the lightweight probe a coordinator's shard pool
+// polls is always registered and answers with live gauges.
+func TestHTTPWorkerPing(t *testing.T) {
+	srv, e := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/v1/worker/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ping: status %d", resp.StatusCode)
+	}
+	var ping pingPayload
+	decodeBody(t, resp, &ping)
+	if ping.Status != "ok" || ping.Workers != e.Stats().Workers {
+		t.Fatalf("ping = %+v", ping)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/jobs"
@@ -15,14 +16,35 @@ import (
 // BatchKindName is the jobs.Spec kind of large batch-solve jobs.
 const BatchKindName = "batch"
 
+// JobsOptions configures NewJobsManagerOpts.
+type JobsOptions struct {
+	// Dir selects the persistent file store (empty = in-memory; jobs
+	// then die with the process).
+	Dir string
+	// Workers bounds concurrently running jobs.
+	Workers int
+	// RetainFor prunes finished jobs older than this age (0 = keep until
+	// DELETE); see jobs.Options.RetainFor.
+	RetainFor time.Duration
+	// Kinds overrides the registered job kinds. Nil selects the local
+	// pair — jobs.CampaignKind() and BatchJobKind(e). A cluster
+	// coordinator passes its sharded kinds here instead.
+	Kinds []jobs.Kind
+}
+
 // NewJobsManager wires the async job subsystem for an engine: a file
 // store under dir (or an in-memory store when dir is empty — jobs then
 // die with the process), the campaign kind, and the engine-backed batch
 // kind. workers bounds concurrently running jobs.
 func NewJobsManager(e *Engine, dir string, workers int) (*jobs.Manager, error) {
+	return NewJobsManagerOpts(e, JobsOptions{Dir: dir, Workers: workers})
+}
+
+// NewJobsManagerOpts is NewJobsManager with retention and kind control.
+func NewJobsManagerOpts(e *Engine, opts JobsOptions) (*jobs.Manager, error) {
 	var store jobs.Store
-	if dir != "" {
-		fs, err := jobs.NewFileStore(dir)
+	if opts.Dir != "" {
+		fs, err := jobs.NewFileStore(opts.Dir)
 		if err != nil {
 			return nil, err
 		}
@@ -30,8 +52,15 @@ func NewJobsManager(e *Engine, dir string, workers int) (*jobs.Manager, error) {
 	} else {
 		store = jobs.NewMemStore()
 	}
-	return jobs.NewManager(jobs.Options{Store: store, Workers: workers},
-		jobs.CampaignKind(), BatchJobKind(e))
+	kinds := opts.Kinds
+	if kinds == nil {
+		kinds = []jobs.Kind{jobs.CampaignKind(), BatchJobKind(e)}
+	}
+	return jobs.NewManager(jobs.Options{
+		Store:     store,
+		Workers:   opts.Workers,
+		RetainFor: opts.RetainFor,
+	}, kinds...)
 }
 
 // BatchJobKind executes /v1/batch-shaped payloads as async jobs: one
@@ -50,27 +79,27 @@ func BatchJobKind(e *Engine) jobs.Kind {
 	return jobs.Kind{
 		Name: BatchKindName,
 		Prepare: func(payload json.RawMessage) (json.RawMessage, int, error) {
-			req, err := decodeBatchPayload(payload)
+			req, err := DecodeBatchPayload(payload)
 			if err != nil {
 				return nil, 0, err
 			}
-			if _, _, err := req.build(e); err != nil {
+			if _, _, err := req.Build(e); err != nil {
 				return nil, 0, err
 			}
 			return payload, len(req.Variations), nil
 		},
 		Run: func(ctx context.Context, payload json.RawMessage, prior []json.RawMessage, sink func(json.RawMessage) error) error {
-			req, err := decodeBatchPayload(payload)
+			req, err := DecodeBatchPayload(payload)
 			if err != nil {
 				return err
 			}
-			base, policy, err := req.build(e)
+			base, policy, err := req.Build(e)
 			if err != nil {
 				return err
 			}
 			done := make(map[int]bool, len(prior))
 			for _, raw := range prior {
-				var line batchLine
+				var line BatchLine
 				if err := json.Unmarshal(raw, &line); err != nil {
 					return fmt.Errorf("service: corrupt batch job row: %w", err)
 				}
@@ -109,7 +138,7 @@ func BatchJobKind(e *Engine) jobs.Kind {
 					transient++
 					return
 				}
-				line := batchLine{Index: indices[item.Index], Response: item.Response}
+				line := BatchLine{Index: indices[item.Index], Response: item.Response}
 				if item.Err != nil {
 					line.Error = item.Err.Error()
 				}
@@ -146,9 +175,11 @@ func isTransientSolveErr(err error) bool {
 		errors.Is(err, ErrEngineClosed)
 }
 
-// batchJobPayload is the batch job's persisted payload — the exact
-// /v1/batch request body shape.
-type batchJobPayload struct {
+// BatchPayload is the batch job's persisted payload — the exact
+// /v1/batch request body shape. It is exported (with DecodeBatchPayload
+// and Build) so the cluster's distributed batch kind can validate the
+// same payloads and re-marshal per-shard sub-batches of them.
+type BatchPayload struct {
 	Topology   batchTopology    `json:"topology"`
 	Solver     string           `json:"solver"`
 	Policy     string           `json:"policy"`
@@ -157,13 +188,14 @@ type batchJobPayload struct {
 	Variations []BatchVariation `json:"variations"`
 }
 
-func decodeBatchPayload(payload json.RawMessage) (*batchJobPayload, error) {
+// DecodeBatchPayload strictly decodes a /v1/batch-shaped job payload.
+func DecodeBatchPayload(payload json.RawMessage) (*BatchPayload, error) {
 	if len(payload) == 0 {
 		return nil, errors.New("service: batch job without request")
 	}
 	dec := json.NewDecoder(bytes.NewReader(payload))
 	dec.DisallowUnknownFields()
-	var req batchJobPayload
+	var req BatchPayload
 	if err := dec.Decode(&req); err != nil {
 		return nil, fmt.Errorf("service: bad batch job payload: %w", err)
 	}
@@ -176,10 +208,10 @@ func decodeBatchPayload(payload json.RawMessage) (*batchJobPayload, error) {
 	return &req, nil
 }
 
-// build validates the payload against the engine: topology, base
+// Build validates the payload against the engine: topology, base
 // vectors, solver and policy. The tree is interned, so the job's run
 // shares it with every other request over the same shape.
-func (req *batchJobPayload) build(e *Engine) (*core.Instance, core.Policy, error) {
+func (req *BatchPayload) Build(e *Engine) (*core.Instance, core.Policy, error) {
 	policy := core.Multiple
 	if req.Policy != "" {
 		p, ok := core.ParsePolicy(req.Policy)

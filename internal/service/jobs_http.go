@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -91,6 +92,9 @@ type jobPayload struct {
 
 type jobListPayload struct {
 	Jobs []jobInfo `json:"jobs"`
+	// Next is the cursor for the following page; present only when a
+	// limit was given and more jobs remain. Pass it back as ?after=.
+	Next string `json:"next,omitempty"`
 }
 
 func (a *api) registerJobRoutes(mux *http.ServeMux) {
@@ -135,13 +139,68 @@ func (a *api) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, jobPayload{Job: wireJob(meta)})
 }
 
+// handleJobList lists jobs in the manager's stable (CreatedAt, ID)
+// order. ?limit=N pages the listing: the response carries a "next"
+// cursor whenever more jobs remain, and ?after=<cursor> resumes behind
+// it. The cursor encodes the last item's sort key — not its position —
+// so pages stay coherent while jobs are inserted, pruned or deleted
+// between requests (a deleted cursor job never breaks the walk).
 func (a *api) handleJobList(w http.ResponseWriter, r *http.Request) {
-	metas := a.jobs.List()
+	q := r.URL.Query()
+	limit := 0
+	if s := q.Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", s))
+			return
+		}
+		limit = n
+	}
+	var afterAt time.Time
+	var afterID string
+	if s := q.Get("after"); s != "" {
+		at, id, err := decodeJobCursor(s)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		afterAt, afterID = at, id
+	}
+
+	metas := a.jobs.List() // already sorted by (CreatedAt, ID)
 	out := make([]jobInfo, 0, len(metas))
+	next := ""
 	for _, m := range metas {
+		if !afterAt.IsZero() {
+			if m.CreatedAt.Before(afterAt) || (m.CreatedAt.Equal(afterAt) && m.ID <= afterID) {
+				continue
+			}
+		}
+		if limit > 0 && len(out) == limit {
+			next = encodeJobCursor(out[len(out)-1].CreatedAt, out[len(out)-1].ID)
+			break
+		}
 		out = append(out, wireJob(m))
 	}
-	writeJSON(w, http.StatusOK, jobListPayload{Jobs: out})
+	writeJSON(w, http.StatusOK, jobListPayload{Jobs: out, Next: next})
+}
+
+// encodeJobCursor renders a job's sort key as an opaque-ish cursor:
+// "<created-at unix nanos>~<id>".
+func encodeJobCursor(at time.Time, id string) string {
+	return strconv.FormatInt(at.UnixNano(), 10) + "~" + id
+}
+
+func decodeJobCursor(s string) (time.Time, string, error) {
+	at, id, ok := strings.Cut(s, "~")
+	if !ok {
+		return time.Time{}, "", fmt.Errorf("bad cursor %q", s)
+	}
+	ns, err := strconv.ParseInt(at, 10, 64)
+	if err != nil {
+		return time.Time{}, "", fmt.Errorf("bad cursor %q", s)
+	}
+	return time.Unix(0, ns).UTC(), id, nil
 }
 
 func (a *api) handleJobGet(w http.ResponseWriter, r *http.Request) {
@@ -204,26 +263,20 @@ func (a *api) handleJobResult(w http.ResponseWriter, r *http.Request) {
 
 // handleJobDelete cancels a live job (queued or running — the record
 // stays, reaching the canceled state) and deletes the record of a
-// finished one.
+// finished one. The decision is made atomically by the manager, so a
+// job that finishes concurrently with the DELETE is deleted coherently
+// instead of answering a confusing "already finished" conflict.
 func (a *api) handleJobDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	meta, ok := a.jobs.Get(id)
-	if !ok {
-		writeError(w, http.StatusNotFound, jobs.ErrNotFound)
-		return
-	}
-	if meta.State.Terminal() {
-		if err := a.jobs.Delete(id); err != nil {
-			writeError(w, http.StatusInternalServerError, err)
-			return
-		}
+	meta, deleted, err := a.jobs.CancelOrDelete(id)
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	case deleted:
 		writeJSON(w, http.StatusOK, map[string]any{"deleted": true, "id": id})
-		return
+	default:
+		writeJSON(w, http.StatusAccepted, jobPayload{Job: wireJob(meta)})
 	}
-	meta, err := a.jobs.Cancel(id)
-	if err != nil {
-		writeError(w, http.StatusConflict, err)
-		return
-	}
-	writeJSON(w, http.StatusAccepted, jobPayload{Job: wireJob(meta)})
 }

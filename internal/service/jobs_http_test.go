@@ -284,7 +284,7 @@ func TestHTTPJobsBatch(t *testing.T) {
 	})
 	seen := map[int]bool{}
 	for _, raw := range rows {
-		var line batchLine
+		var line BatchLine
 		if err := json.Unmarshal(raw, &line); err != nil {
 			t.Fatalf("bad row %s: %v", raw, err)
 		}
@@ -460,5 +460,108 @@ func TestHTTPCampaignSaturated(t *testing.T) {
 	}
 	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), `"done"`) {
 		t.Fatalf("freed campaign: status %d body %s", resp.StatusCode, data)
+	}
+}
+
+// TestHTTPJobListPagination: ?limit=&after= walks the listing in stable
+// (CreatedAt, ID) order with a "next" cursor, covering every job exactly
+// once, and stays coherent when the cursor job is deleted mid-walk.
+func TestHTTPJobListPagination(t *testing.T) {
+	e := NewEngine(EngineOptions{Workers: 2})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		e.Close(ctx)
+	})
+	srv, m := newJobsServer(t, e, jobs.NewMemStore())
+	defer srv.Close()
+	defer closeJobs(t, m)
+
+	const n = 5
+	var ids []string
+	for i := 0; i < n; i++ {
+		resp := postJSON(t, srv.URL+"/v1/jobs", map[string]any{"campaign": map[string]any{
+			"Lambdas": []float64{0.2}, "TreesPerLambda": 1, "MinSize": 15, "MaxSize": 18,
+			"Seed": int64(i + 1), "BoundNodes": 5,
+		}})
+		var submitted jobPayload
+		decodeBody(t, resp, &submitted)
+		ids = append(ids, submitted.Job.ID)
+	}
+	for _, id := range ids {
+		pollJob(t, srv.URL, id, func(info jobInfo, rows []json.RawMessage) bool {
+			return info.State == string(jobs.StateSucceeded)
+		})
+	}
+
+	list := func(query string) jobListPayload {
+		resp, err := http.Get(srv.URL + "/v1/jobs" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			t.Fatalf("list %s: status %d: %s", query, resp.StatusCode, body)
+		}
+		var out jobListPayload
+		decodeBody(t, resp, &out)
+		return out
+	}
+
+	// No limit: everything, submission order, no cursor.
+	full := list("")
+	if len(full.Jobs) != n || full.Next != "" {
+		t.Fatalf("unpaginated list = %d jobs, next %q", len(full.Jobs), full.Next)
+	}
+	for i, j := range full.Jobs {
+		if j.ID != ids[i] {
+			t.Fatalf("list order: position %d = %s, want %s", i, j.ID, ids[i])
+		}
+	}
+
+	// Paged walk: 2 + 2 + 1, cursors in between, then exhausted.
+	var walked []string
+	page := list("?limit=2")
+	for {
+		for _, j := range page.Jobs {
+			walked = append(walked, j.ID)
+		}
+		if page.Next == "" {
+			break
+		}
+		if len(page.Jobs) != 2 {
+			t.Fatalf("non-final page has %d jobs", len(page.Jobs))
+		}
+		page = list("?limit=2&after=" + page.Next)
+	}
+	if !reflect.DeepEqual(walked, ids) {
+		t.Fatalf("paged walk = %v, want %v", walked, ids)
+	}
+
+	// Deleting the cursor job must not break the walk: the cursor
+	// encodes the sort key, not the record.
+	first := list("?limit=2")
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+first.Jobs[1].ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	rest := list("?limit=10&after=" + first.Next)
+	if len(rest.Jobs) != n-2 || rest.Jobs[0].ID != ids[2] {
+		t.Fatalf("walk after cursor deletion = %+v", rest.Jobs)
+	}
+
+	// Malformed paging parameters are rejected.
+	for _, q := range []string{"?limit=-1", "?limit=x", "?after=bogus", "?after=12z~j1"} {
+		resp, err := http.Get(srv.URL + "/v1/jobs" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", q, resp.StatusCode)
+		}
 	}
 }

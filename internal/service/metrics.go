@@ -90,6 +90,36 @@ func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.sample("rp_job_workers", "", float64(js.Workers))
 		p.family("rp_job_queue_depth", "gauge", "Jobs waiting for a job slot.")
 		p.sample("rp_job_queue_depth", "", float64(js.QueueLen))
+		p.family("rp_jobs_pruned_total", "counter", "Finished jobs removed by age-based retention.")
+		p.sample("rp_jobs_pruned_total", "", float64(js.Pruned))
+	}
+
+	if a.cluster != nil {
+		shards := a.cluster.ShardStats()
+		p.family("rp_cluster_shard_up", "gauge", "1 when the shard's circuit is closed (healthy).")
+		for _, s := range shards {
+			up := 0.0
+			if s.Healthy {
+				up = 1
+			}
+			p.sample("rp_cluster_shard_up", shardLabel(s.Addr), up)
+		}
+		p.family("rp_cluster_shard_in_flight", "gauge", "Requests on the shard right now.")
+		for _, s := range shards {
+			p.sample("rp_cluster_shard_in_flight", shardLabel(s.Addr), float64(s.InFlight))
+		}
+		p.family("rp_cluster_shard_requests_total", "counter", "Requests attempted against the shard.")
+		for _, s := range shards {
+			p.sample("rp_cluster_shard_requests_total", shardLabel(s.Addr), float64(s.Requests))
+		}
+		p.family("rp_cluster_shard_failures_total", "counter", "Transient failures observed on the shard.")
+		for _, s := range shards {
+			p.sample("rp_cluster_shard_failures_total", shardLabel(s.Addr), float64(s.Failures))
+		}
+		p.family("rp_cluster_shard_failovers_total", "counter", "Requests re-run on another shard after failing here.")
+		for _, s := range shards {
+			p.sample("rp_cluster_shard_failovers_total", shardLabel(s.Addr), float64(s.Failovers))
+		}
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -120,6 +150,12 @@ func (p promWriter) sample(name, labels string, v float64) {
 // per the exposition format (registry names are tame, but a custom
 // registered backend could carry anything).
 func solverLabel(name string) string {
-	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
-	return `solver="` + r.Replace(name) + `"`
+	return `solver="` + labelEscaper.Replace(name) + `"`
 }
+
+// shardLabel renders a shard="..." label pair, escaped likewise.
+func shardLabel(addr string) string {
+	return `shard="` + labelEscaper.Replace(addr) + `"`
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)

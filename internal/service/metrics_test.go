@@ -16,6 +16,16 @@ var (
 	promSample  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_]+="(\\.|[^"\\])*"(,[a-zA-Z_]+="(\\.|[^"\\])*")*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$`)
 )
 
+// fakeCluster feeds the shard families without a real pool.
+type fakeCluster struct{}
+
+func (fakeCluster) ShardStats() []ShardStat {
+	return []ShardStat{
+		{Addr: "http://w1:1", State: "closed", Healthy: true, Requests: 9},
+		{Addr: "http://w2:2", State: "open", Failures: 4, Failovers: 3},
+	}
+}
+
 // TestHTTPMetrics: every /metrics line is Prometheus-parsable, and the
 // cache and job gauge families the acceptance criteria name are there
 // with live values.
@@ -89,6 +99,7 @@ func TestHTTPMetrics(t *testing.T) {
 		`rp_jobs{state="canceled"}`:                 "0",
 		`rp_jobs{state="interrupted"}`:              "0",
 		"rp_job_workers":                            "1",
+		"rp_jobs_pruned_total":                      "0",
 	} {
 		if got, ok := samples[series]; !ok {
 			t.Errorf("series %s missing", series)
@@ -98,6 +109,37 @@ func TestHTTPMetrics(t *testing.T) {
 	}
 	if _, ok := samples["rp_cache_bytes"]; !ok {
 		t.Error("rp_cache_bytes missing")
+	}
+
+	// With a cluster attached, the per-shard families appear, escaped
+	// and parsable like everything else.
+	cl := httptest.NewServer(NewHandlerOpts(e, HandlerOptions{Cluster: fakeCluster{}}))
+	defer cl.Close()
+	cresp, err := http.Get(cl.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdata := new(strings.Builder)
+	sc3 := bufio.NewScanner(cresp.Body)
+	for sc3.Scan() {
+		line := sc3.Text()
+		if line != "" && !strings.HasPrefix(line, "#") && !promSample.MatchString(line) {
+			t.Errorf("unparsable cluster sample line %q", line)
+		}
+		cdata.WriteString(line)
+		cdata.WriteByte('\n')
+	}
+	cresp.Body.Close()
+	for _, series := range []string{
+		`rp_cluster_shard_up{shard="http://w1:1"} 1`,
+		`rp_cluster_shard_up{shard="http://w2:2"} 0`,
+		`rp_cluster_shard_requests_total{shard="http://w1:1"} 9`,
+		`rp_cluster_shard_failures_total{shard="http://w2:2"} 4`,
+		`rp_cluster_shard_failovers_total{shard="http://w2:2"} 3`,
+	} {
+		if !strings.Contains(cdata.String(), series) {
+			t.Errorf("cluster series %q missing from:\n%s", series, cdata.String())
+		}
 	}
 
 	// Without a job manager /metrics still serves the engine families.

@@ -37,6 +37,7 @@ import (
 	"io"
 	"net/http"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/exact"
 	"repro/internal/experiments"
@@ -274,6 +275,51 @@ type JobsManager = jobs.Manager
 // running jobs checkpoint.
 func NewJobsManager(e *Engine, dir string, workers int) (*JobsManager, error) {
 	return service.NewJobsManager(e, dir, workers)
+}
+
+// Cluster subsystem, re-exported: sharded multi-process execution over
+// worker daemons (rpworker, or rpserve -worker) speaking the ordinary
+// HTTP surface.
+type (
+	// ClusterPool fans work out over a static list of worker shards,
+	// with per-shard health probing, circuit breaking, bounded
+	// in-flight requests and retry-with-failover.
+	ClusterPool = cluster.Pool
+	// ClusterPoolOptions configures NewClusterPool; its zero value is
+	// ready to use.
+	ClusterPoolOptions = cluster.PoolOptions
+)
+
+// NewClusterPool builds a shard pool over worker addresses ("host:port"
+// or full URLs) and starts its health prober. Close it when done.
+func NewClusterPool(addrs []string, opts ClusterPoolOptions) (*ClusterPool, error) {
+	return cluster.NewPool(addrs, opts)
+}
+
+// RegisterRemoteSolvers registers, for every solver in the registry, a
+// "<name>@remote" twin whose computation is proxied through the pool.
+// The engine's cache, single-flight and validation apply to the remote
+// twins unchanged.
+func RegisterRemoteSolvers(reg *SolverRegistry, p *ClusterPool) error {
+	return cluster.RegisterRemote(reg, p)
+}
+
+// ClusterJobKinds returns the sharded campaign/batch job kinds a
+// coordinator registers in place of the local ones (see
+// ServiceJobsOptions.Kinds): λ rows and variation indices are
+// partitioned across the pool's shards and merged back into the same
+// append-only row log, byte-identical to a single-process run.
+func ClusterJobKinds(e *Engine, p *ClusterPool) []jobs.Kind {
+	return cluster.Kinds(e, p)
+}
+
+// ServiceJobsOptions configures NewJobsManagerOpts (store directory,
+// concurrency, retention, job kinds).
+type ServiceJobsOptions = service.JobsOptions
+
+// NewJobsManagerOpts is NewJobsManager with retention and kind control.
+func NewJobsManagerOpts(e *Engine, opts ServiceJobsOptions) (*JobsManager, error) {
+	return service.NewJobsManagerOpts(e, opts)
 }
 
 // RenderTree writes the instance (and optionally a solution's placement)
