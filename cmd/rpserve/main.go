@@ -12,20 +12,33 @@
 //
 // Cluster modes:
 //
-//	rpserve -worker -addr :8081
+//	rpserve -worker -addr :8081 [-register http://coord:8080]
 //	    run as a worker shard: the solve surface plus /v1/worker/ping,
 //	    no job manager, unbounded inline campaigns (the coordinator's
 //	    pool is the admission controller). Equivalent to rpworker.
+//	    With -register, the worker joins the coordinator's pool itself
+//	    (POST /v1/cluster/shards), re-registers on a heartbeat, and
+//	    deregisters on graceful shutdown.
 //
 //	rpserve -shards host:8081,host:8082 -jobs-dir ./jobs
+//	rpserve -shards-file ./shards.txt -jobs-dir ./jobs
+//	rpserve -coordinator -jobs-dir ./jobs
 //	    run as a coordinator over worker shards: every solver gains an
 //	    "<name>@remote" twin proxied through the shard pool (health
-//	    probing, circuit breaking, bounded in-flight, failover), and
-//	    campaign/batch jobs are executed sharded — λ rows / variation
-//	    indices are partitioned across the workers, merged into the
-//	    same append-only row log, and byte-identical to a
-//	    single-process run. If a worker dies mid-job, only its missing
-//	    rows are resubmitted to the remaining shards.
+//	    probing, circuit breaking, bounded in-flight, weighted
+//	    placement, failover), inline /v1/batch requests are fanned out
+//	    over the shards (falling back to local execution when none can
+//	    take them), and campaign/batch jobs are executed sharded — λ
+//	    rows / variation indices are partitioned across the workers,
+//	    merged into the same append-only row log, and byte-identical
+//	    to a single-process run. If a worker dies mid-job, only its
+//	    missing rows are resubmitted to the remaining shards.
+//
+//	    Membership is dynamic: besides the static -shards list, shards
+//	    join/leave via POST/DELETE /v1/cluster/shards at runtime, and
+//	    -shards-file ("addr [weight]" per line) is re-read on SIGHUP
+//	    and every -shards-reload. -coordinator starts with an empty
+//	    pool that self-registering workers fill.
 //
 // Endpoints (all JSON):
 //
@@ -74,26 +87,33 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		workers    = flag.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
-		queue      = flag.Int("queue", 0, "job queue depth before backpressure (0 = 4x workers)")
-		cache      = flag.Int("cache", 4096, "cached results (negative disables retention)")
-		cacheBytes = flag.Int64("cache-bytes", 0, "approximate cache footprint limit in bytes (0 = unlimited)")
-		cacheTTL   = flag.Duration("cache-ttl", 0, "cached result lifetime (0 = never expires)")
-		timeout    = flag.Duration("timeout", 60*time.Second, "default per-job deadline")
-		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
-		jobsDir    = flag.String("jobs-dir", "", "directory for persistent async jobs (empty = in-memory, jobs die with the process)")
-		jobWorkers = flag.Int("job-workers", 2, "concurrently running async jobs")
-		jobTTL     = flag.Duration("job-ttl", 0, "prune finished jobs older than this age (0 = keep until DELETE)")
-		campaigns  = flag.Int("campaigns", 0, "concurrent inline /v1/campaign streams (0 = default 2, negative = unlimited)")
-		worker     = flag.Bool("worker", false, "run as a worker shard: solve surface only, no jobs, unbounded campaigns")
-		shards     = flag.String("shards", "", "comma-separated worker addresses (host:port); enables coordinator mode")
-		shardConc  = flag.Int("shard-inflight", 0, "max in-flight requests per shard (0 = default 4)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 0, "job queue depth before backpressure (0 = 4x workers)")
+		cache        = flag.Int("cache", 4096, "cached results (negative disables retention)")
+		cacheBytes   = flag.Int64("cache-bytes", 0, "approximate cache footprint limit in bytes (0 = unlimited)")
+		cacheTTL     = flag.Duration("cache-ttl", 0, "cached result lifetime (0 = never expires)")
+		timeout      = flag.Duration("timeout", 60*time.Second, "default per-job deadline")
+		drain        = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+		jobsDir      = flag.String("jobs-dir", "", "directory for persistent async jobs (empty = in-memory, jobs die with the process)")
+		jobWorkers   = flag.Int("job-workers", 2, "concurrently running async jobs")
+		jobTTL       = flag.Duration("job-ttl", 0, "prune finished jobs older than this age (0 = keep until DELETE)")
+		campaigns    = flag.Int("campaigns", 0, "concurrent inline /v1/campaign streams (0 = default 2, negative = unlimited)")
+		worker       = flag.Bool("worker", false, "run as a worker shard: solve surface only, no jobs, unbounded campaigns")
+		shards       = flag.String("shards", "", "comma-separated worker addresses (host:port); enables coordinator mode")
+		shardsFile   = flag.String("shards-file", "", "file with one \"addr [weight]\" per line; re-read on SIGHUP and every -shards-reload; enables coordinator mode")
+		shardsReload = flag.Duration("shards-reload", 30*time.Second, "periodic -shards-file reload interval (0 = SIGHUP only)")
+		coordinator  = flag.Bool("coordinator", false, "coordinator mode with an initially empty pool (workers join via POST /v1/cluster/shards or -register)")
+		shardConc    = flag.Int("shard-inflight", 0, "max in-flight requests per shard weight unit (0 = default 4)")
+		register     = flag.String("register", "", "worker mode: coordinator URL to self-register with (heartbeat re-registers, graceful shutdown deregisters)")
+		advertise    = flag.String("advertise", "", "worker mode: address the coordinator dials back (default derived from -addr)")
+		registerInt  = flag.Duration("register-interval", 10*time.Second, "worker mode: self-registration heartbeat period")
 	)
 	flag.Parse()
+	coordMode := *shards != "" || *shardsFile != "" || *coordinator
 	if *worker {
-		if *shards != "" {
-			fatalf("-worker and -shards are mutually exclusive")
+		if coordMode {
+			fatalf("-worker and -shards/-shards-file/-coordinator are mutually exclusive")
 		}
 		// Fail loudly on flags a worker would silently drop: a worker has
 		// no job manager, so persistent-job settings signal a daemon that
@@ -104,6 +124,8 @@ func main() {
 				fatalf("-worker serves no jobs; -%s is meaningless here", f.Name)
 			}
 		})
+	} else if *register != "" {
+		fatalf("-register is a worker-mode flag; start this daemon with -worker (coordinators are joined, they don't join)")
 	}
 
 	// Coordinator mode: build the shard pool first — the registry grows
@@ -111,18 +133,27 @@ func main() {
 	// ones, everything else is wired identically.
 	var pool *cluster.Pool
 	registry := service.NewRegistry()
-	if *shards != "" {
+	if coordMode {
+		var addrs []string
+		if *shards != "" {
+			addrs = strings.Split(*shards, ",")
+		}
 		var err error
-		pool, err = cluster.NewPool(strings.Split(*shards, ","), cluster.PoolOptions{MaxInFlight: *shardConc})
+		pool, err = cluster.NewPool(addrs, cluster.PoolOptions{MaxInFlight: *shardConc})
 		if err != nil {
 			fatalf("building shard pool: %v", err)
 		}
 		defer pool.Close()
+		if *shardsFile != "" {
+			if _, _, err := pool.SyncFromFile(*shardsFile); err != nil {
+				fatalf("loading shards file: %v", err)
+			}
+			go reloadShardsLoop(pool, *shardsFile, *shardsReload)
+		}
 		if err := cluster.RegisterRemote(registry, pool); err != nil {
 			fatalf("registering remote solvers: %v", err)
 		}
 		pingCtx, pingCancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer pingCancel()
 		for addr, err := range pool.Ping(pingCtx) {
 			if err != nil {
 				log.Printf("rpserve: shard %s unreachable at startup (will keep probing): %v", addr, err)
@@ -130,6 +161,7 @@ func main() {
 				log.Printf("rpserve: shard %s up", addr)
 			}
 		}
+		pingCancel()
 	}
 
 	engine := service.NewEngine(service.EngineOptions{
@@ -181,6 +213,20 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	var registrar *cluster.Registrar
+	if *worker && *register != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = cluster.DefaultAdvertise(*addr)
+		}
+		registrar = &cluster.Registrar{
+			Coordinator: *register,
+			Advertise:   adv,
+			Interval:    *registerInt,
+			Logf:        func(f string, a ...any) { log.Printf("rpserve: "+f, a...) },
+		}
+	}
+
 	errc := make(chan error, 1)
 	go func() {
 		mode := "standalone"
@@ -191,6 +237,12 @@ func main() {
 			mode = fmt.Sprintf("coordinator over %d shard(s)", len(pool.Addrs()))
 		}
 		log.Printf("rpserve: listening on %s (%d workers, %s)", *addr, engine.Stats().Workers, mode)
+		if registrar != nil {
+			if err := registrar.Start(); err != nil {
+				errc <- err
+				return
+			}
+		}
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -203,6 +255,11 @@ func main() {
 		fatalf("%v", err)
 	}
 
+	// Leave the cluster before the listener closes: the coordinator
+	// stops handing this worker new rows while in-flight ones drain.
+	if registrar != nil {
+		registrar.Stop()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
@@ -220,6 +277,34 @@ func main() {
 		log.Printf("rpserve: engine shutdown: %v", err)
 	}
 	log.Printf("rpserve: bye")
+}
+
+// reloadShardsLoop re-reads the shards file on SIGHUP and, when the
+// interval is positive, periodically — the poor man's config watcher,
+// good enough for a file that changes on operator action.
+func reloadShardsLoop(pool *cluster.Pool, path string, every time.Duration) {
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	var tick <-chan time.Time
+	if every > 0 {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-hup:
+		case <-tick:
+		}
+		added, removed, err := pool.SyncFromFile(path)
+		switch {
+		case err != nil:
+			log.Printf("rpserve: shards file reload: %v", err)
+		case added+removed > 0:
+			log.Printf("rpserve: shards file reload: +%d/-%d shard(s), epoch %d, members %v",
+				added, removed, pool.Epoch(), pool.Addrs())
+		}
+	}
 }
 
 func fatalf(format string, args ...any) {

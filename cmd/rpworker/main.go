@@ -11,6 +11,21 @@
 //	rpworker -addr :8082 -workers 8
 //	rpserve  -addr :8080 -shards localhost:8081,localhost:8082 -jobs-dir ./jobs
 //
+// or, with dynamic membership, let the workers join the pool themselves:
+//
+//	rpserve  -addr :8080 -coordinator -jobs-dir ./jobs
+//	rpworker -addr :8081 -register http://localhost:8080
+//	rpworker -addr :8082 -register http://localhost:8080
+//
+// -register POSTs /v1/cluster/shards at startup, re-registers on a
+// heartbeat (-register-interval) so a restarted coordinator relearns
+// the worker, and deregisters on graceful shutdown. The advertised
+// address defaults from -addr; set -advertise when the coordinator
+// reaches this worker under a different name. The shard's placement
+// weight is discovered from /v1/worker/ping (the solver goroutine
+// count), so a big worker automatically takes a proportionally bigger
+// share of cluster work.
+//
 // Inline campaign streams are unlimited here (a worker is dedicated
 // capacity — the coordinator's pool is what bounds per-shard traffic),
 // unlike rpserve's public default of 2.
@@ -33,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -46,6 +62,9 @@ func main() {
 		cacheTTL   = flag.Duration("cache-ttl", 0, "cached result lifetime (0 = never expires)")
 		timeout    = flag.Duration("timeout", 60*time.Second, "default per-job deadline")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+		register   = flag.String("register", "", "coordinator URL to self-register with (POST /v1/cluster/shards + heartbeat)")
+		advertise  = flag.String("advertise", "", "address the coordinator dials back (default derived from -addr)")
+		regEvery   = flag.Duration("register-interval", 10*time.Second, "self-registration heartbeat period")
 	)
 	flag.Parse()
 
@@ -66,9 +85,29 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	var registrar *cluster.Registrar
+	if *register != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = cluster.DefaultAdvertise(*addr)
+		}
+		registrar = &cluster.Registrar{
+			Coordinator: *register,
+			Advertise:   adv,
+			Interval:    *regEvery,
+			Logf:        func(f string, a ...any) { log.Printf("rpworker: "+f, a...) },
+		}
+	}
+
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("rpworker: listening on %s (%d workers)", *addr, engine.Stats().Workers)
+		if registrar != nil {
+			if err := registrar.Start(); err != nil {
+				errc <- err
+				return
+			}
+		}
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -82,6 +121,11 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Leave the pool first: the coordinator stops handing this worker
+	// new rows while the in-flight ones drain below.
+	if registrar != nil {
+		registrar.Stop()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {

@@ -11,6 +11,16 @@
 #                                            # the job must still finish
 #                                            # on the survivor with an
 #                                            # identical result
+#   JOIN_WORKER=1 ./examples/cluster/run.sh  # dynamic membership e2e:
+#                                            # the coordinator starts over
+#                                            # worker 1 alone; mid-campaign
+#                                            # worker 2 self-registers
+#                                            # (rpworker -register) and
+#                                            # worker 1 is deregistered
+#                                            # (DELETE /v1/cluster/shards)
+#                                            # and killed — the job must
+#                                            # finish on the newcomer with
+#                                            # an identical result
 #
 # Needs only bash + curl (+ go to build). Ports via W1_PORT/W2_PORT/
 # COORD_PORT/SINGLE_PORT (defaults 18081/18082/18080/18083).
@@ -23,6 +33,11 @@ W2_PORT=${W2_PORT:-18082}
 COORD_PORT=${COORD_PORT:-18080}
 SINGLE_PORT=${SINGLE_PORT:-18083}
 KILL_WORKER=${KILL_WORKER:-0}
+JOIN_WORKER=${JOIN_WORKER:-0}
+if [ "$KILL_WORKER" = "1" ] && [ "$JOIN_WORKER" = "1" ]; then
+  echo "KILL_WORKER and JOIN_WORKER are mutually exclusive" >&2
+  exit 1
+fi
 
 BIN=$(mktemp -d)
 JOBS_DIR=$(mktemp -d)
@@ -56,19 +71,32 @@ json_int() { # name
   sed -n "s/.*\"$1\":\\([0-9][0-9]*\\).*/\\1/p" | head -n1
 }
 
-say "starting two workers (:$W1_PORT, :$W2_PORT)"
-"$BIN/rpworker" -addr "127.0.0.1:$W1_PORT" &
-W1_PID=$!; PIDS+=("$W1_PID")
-"$BIN/rpworker" -addr "127.0.0.1:$W2_PORT" &
-PIDS+=("$!")
-wait_ready "http://127.0.0.1:$W1_PORT"
-wait_ready "http://127.0.0.1:$W2_PORT"
+if [ "$JOIN_WORKER" = "1" ]; then
+  say "starting worker 1 only (:$W1_PORT) — worker 2 will hot-join mid-run"
+  "$BIN/rpworker" -addr "127.0.0.1:$W1_PORT" &
+  W1_PID=$!; PIDS+=("$W1_PID")
+  wait_ready "http://127.0.0.1:$W1_PORT"
 
-say "starting the coordinator (:$COORD_PORT) over both shards"
-"$BIN/rpserve" -addr "127.0.0.1:$COORD_PORT" \
-  -shards "127.0.0.1:$W1_PORT,127.0.0.1:$W2_PORT" \
-  -jobs-dir "$JOBS_DIR" -job-ttl 24h &
-PIDS+=("$!")
+  say "starting the coordinator (:$COORD_PORT) over worker 1 alone"
+  "$BIN/rpserve" -addr "127.0.0.1:$COORD_PORT" \
+    -shards "127.0.0.1:$W1_PORT" \
+    -jobs-dir "$JOBS_DIR" -job-ttl 24h &
+  PIDS+=("$!")
+else
+  say "starting two workers (:$W1_PORT, :$W2_PORT)"
+  "$BIN/rpworker" -addr "127.0.0.1:$W1_PORT" &
+  W1_PID=$!; PIDS+=("$W1_PID")
+  "$BIN/rpworker" -addr "127.0.0.1:$W2_PORT" &
+  PIDS+=("$!")
+  wait_ready "http://127.0.0.1:$W1_PORT"
+  wait_ready "http://127.0.0.1:$W2_PORT"
+
+  say "starting the coordinator (:$COORD_PORT) over both shards"
+  "$BIN/rpserve" -addr "127.0.0.1:$COORD_PORT" \
+    -shards "127.0.0.1:$W1_PORT,127.0.0.1:$W2_PORT" \
+    -jobs-dir "$JOBS_DIR" -job-ttl 24h &
+  PIDS+=("$!")
+fi
 COORD="http://127.0.0.1:$COORD_PORT"
 wait_ready "$COORD"
 
@@ -87,15 +115,43 @@ JOB_ID=$(echo "$SUBMIT" | json_field id)
 [ -n "$JOB_ID" ] || { echo "no job id in: $SUBMIT" >&2; exit 1; }
 say "job $JOB_ID accepted"
 
-if [ "$KILL_WORKER" = "1" ]; then
-  say "waiting for the first checkpointed row, then killing worker 1"
+wait_first_row() {
   for _ in $(seq 1 600); do
     DONE=$(curl -sf "$COORD/v1/jobs/$JOB_ID" | json_int rows_done)
-    [ "${DONE:-0}" -ge 1 ] && break
+    [ "${DONE:-0}" -ge 1 ] && return 0
     sleep 0.1
   done
+  echo "job never checkpointed a row" >&2
+  return 1
+}
+
+if [ "$KILL_WORKER" = "1" ]; then
+  say "waiting for the first checkpointed row, then killing worker 1"
+  wait_first_row
   kill -9 "$W1_PID"
   say "worker 1 (pid $W1_PID) killed mid-run; the survivor must finish the job"
+fi
+
+if [ "$JOIN_WORKER" = "1" ]; then
+  say "waiting for the first checkpointed row, then churning the membership"
+  wait_first_row
+
+  say "hot-registering worker 2 (:$W2_PORT) via rpworker -register"
+  "$BIN/rpworker" -addr "127.0.0.1:$W2_PORT" \
+    -register "$COORD" -advertise "127.0.0.1:$W2_PORT" -register-interval 1s &
+  PIDS+=("$!")
+  for _ in $(seq 1 100); do
+    if curl -sf "$COORD/v1/cluster/shards" | grep -q ":$W2_PORT"; then break; fi
+    sleep 0.1
+  done
+  curl -sf "$COORD/v1/cluster/shards" | grep -q ":$W2_PORT" ||
+    { echo "worker 2 never appeared in the membership" >&2; exit 1; }
+  say "worker 2 joined (epoch $(curl -sf "$COORD/v1/cluster/shards" | json_int epoch))"
+
+  say "deregistering and killing worker 1 mid-run"
+  curl -sf -X DELETE "$COORD/v1/cluster/shards?addr=127.0.0.1:$W1_PORT" >/dev/null
+  kill -9 "$W1_PID"
+  say "membership is now worker 2 alone; the job must finish there"
 fi
 
 say "waiting for the job to succeed"
@@ -139,4 +195,5 @@ curl -sf "$COORD/healthz" | tr ',' '\n' | grep -E '"addr"|"state"|"failovers"' |
 
 SUFFIX=""
 [ "$KILL_WORKER" = "1" ] && SUFFIX=" (with a worker killed mid-run)"
+[ "$JOIN_WORKER" = "1" ] && SUFFIX=" (with a worker hot-joined and the original deregistered mid-run)"
 say "OK: sharded campaign result is byte-identical to the single-process run$SUFFIX"

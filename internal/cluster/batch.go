@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+// RouteBatch implements service.BatchRouter: one inline /v1/batch
+// request executed across the cluster. The variation indices are
+// partitioned into chunks sized to the pool's total weight, each chunk
+// runs on one shard (the weighted picker prefers heavier shards), and
+// every streamed line is re-indexed to its absolute position and
+// released to deliver strictly in request order. Work a chunk loses to
+// a dying shard is re-partitioned over the survivors the next round;
+// whatever the cluster cannot take at all — breakers all open, the
+// pool emptied by deregistrations — is computed on the coordinator's
+// own engine, so the inline path degrades to exactly the pre-cluster
+// behavior instead of failing.
+func (p *Pool) RouteBatch(ctx context.Context, e *service.Engine, base *core.Instance, policy core.Policy, req *service.BatchPayload, deliver func(service.BatchLine) error) error {
+	p.batchesRouted.Add(1)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	total := len(req.Variations)
+	var (
+		mu      sync.Mutex
+		pending = map[int]service.BatchLine{} // buffered out-of-order lines
+		next    int                           // lowest index not yet delivered
+		done    = make(map[int]bool, total)
+		sinkErr error
+	)
+	// emit buffers the line and flushes the contiguous prefix, so the
+	// stream is ordered by variation index no matter which shard (or
+	// the local engine) finished first. Callers hold mu.
+	emit := func(line service.BatchLine) {
+		if sinkErr != nil || done[line.Index] {
+			return
+		}
+		done[line.Index] = true
+		pending[line.Index] = line
+		for {
+			l, ok := pending[next]
+			if !ok {
+				return
+			}
+			delete(pending, next)
+			next++
+			if err := deliver(l); err != nil {
+				sinkErr = err
+				cancel() // the client is gone; stop burning shards
+				return
+			}
+		}
+	}
+
+	missing := make([]int, total)
+	for i := range missing {
+		missing[i] = i
+	}
+	remoteSolver := StripRemoteSuffix(req.Solver)
+
+	for round := 0; len(missing) > 0 && p.ShardCount() > 0; {
+		if ctx.Err() != nil {
+			break
+		}
+		var wg sync.WaitGroup
+		for _, chunk := range p.partitionWeighted(missing) {
+			sub := *req
+			sub.Solver = remoteSolver // workers register local names only
+			sub.Variations = make([]service.BatchVariation, len(chunk))
+			for i, abs := range chunk {
+				sub.Variations[i] = req.Variations[abs]
+			}
+			wg.Add(1)
+			go func(chunk []int, sub service.BatchPayload) {
+				defer wg.Done()
+				// Chunk failures are not reported upward: the next round
+				// re-partitions whatever is still missing, and the local
+				// fallback is the terminal safety net.
+				p.BatchChunk(ctx, &sub, func(line service.BatchLine) {
+					if line.Index < 0 || line.Index >= len(chunk) {
+						return // a confused shard must not crash the stream
+					}
+					if line.Error != "" && isTransientLineError(line.Error) {
+						return // leave missing; retried next round or locally
+					}
+					line.Index = chunk[line.Index]
+					mu.Lock()
+					if !done[line.Index] {
+						p.rowsRouted.Add(1)
+					}
+					emit(line)
+					mu.Unlock()
+				})
+			}(chunk, sub)
+		}
+		wg.Wait()
+		mu.Lock()
+		serr := sinkErr
+		remaining := missingIndices(total, done)
+		mu.Unlock()
+		if serr != nil {
+			return serr
+		}
+		if len(remaining) >= len(missing) {
+			round++
+			if round >= batchRounds {
+				break // the cluster is not making progress; go local
+			}
+		} else {
+			round = 0
+		}
+		missing = remaining
+	}
+
+	if err := ctx.Err(); err != nil {
+		mu.Lock()
+		serr := sinkErr
+		mu.Unlock()
+		if serr != nil {
+			return serr
+		}
+		return err
+	}
+
+	// Local fallback for whatever the shards never answered. The solver
+	// name is the stripped one: an @remote twin would loop the work
+	// straight back into the pool that just failed it.
+	mu.Lock()
+	remaining := missingIndices(total, done)
+	mu.Unlock()
+	if len(remaining) > 0 {
+		p.rowsLocalFallback.Add(uint64(len(remaining)))
+		vars := make([]service.BatchVariation, len(remaining))
+		for i, abs := range remaining {
+			vars[i] = req.Variations[abs]
+		}
+		err := e.SolveBatch(ctx, service.BatchRequest{
+			Base:       base,
+			Solver:     remoteSolver,
+			Policy:     policy,
+			Options:    req.EngineOptions(),
+			Variations: vars,
+		}, func(item service.BatchItem) {
+			line := service.BatchLine{Index: remaining[item.Index], Response: item.Response}
+			if item.Err != nil {
+				line.Error = item.Err.Error()
+			}
+			mu.Lock()
+			emit(line)
+			mu.Unlock()
+		})
+		if err != nil {
+			return err
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if sinkErr != nil {
+		return sinkErr
+	}
+	if next != total {
+		// Impossible unless a line was lost to a programming error;
+		// fail loudly rather than truncate a "complete" stream.
+		return fmt.Errorf("cluster: routed batch delivered %d of %d lines", next, total)
+	}
+	return nil
+}
+
+// partitionWeighted splits the indices into chunks for one fan-out
+// round, sized so roughly two chunks exist per unit of total shard
+// weight: heavier pools get more, smaller chunks (less work lost to a
+// dying shard, finer weighted spreading), and chunk size never exceeds
+// maxChunk. Chunks are not pinned to shards — the weighted picker
+// assigns them as capacity frees up, which is what balances a slow
+// shard against a fast one.
+func (p *Pool) partitionWeighted(indices []int) [][]int {
+	if len(indices) == 0 {
+		return nil
+	}
+	slots := 2 * p.TotalWeight()
+	if slots < 2 {
+		slots = 2
+	}
+	size := (len(indices) + slots - 1) / slots
+	if size < 1 {
+		size = 1
+	}
+	if size > maxChunk {
+		size = maxChunk
+	}
+	var out [][]int
+	for start := 0; start < len(indices); start += size {
+		end := start + size
+		if end > len(indices) {
+			end = len(indices)
+		}
+		out = append(out, indices[start:end])
+	}
+	return out
+}
+
+// interface conformance (compile-time).
+var (
+	_ service.ClusterInfo          = (*Pool)(nil)
+	_ service.ClusterMembership    = (*Pool)(nil)
+	_ service.ClusterStatsProvider = (*Pool)(nil)
+	_ service.BatchRouter          = (*Pool)(nil)
+)

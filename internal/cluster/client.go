@@ -71,7 +71,10 @@ func readErrorBody(r io.Reader) string {
 	return string(bytes.TrimSpace(data))
 }
 
-// ping probes one shard's /v1/worker/ping.
+// ping probes one shard's /v1/worker/ping. A healthy answer reports
+// the worker's solver goroutine count; it becomes the shard's placement
+// weight unless the operator pinned one explicitly at registration, so
+// heterogeneous shards weight themselves without configuration.
 func (p *Pool) ping(ctx context.Context, s *shard) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.addr+"/v1/worker/ping", nil)
 	if err != nil {
@@ -81,10 +84,18 @@ func (p *Pool) ping(ctx context.Context, s *shard) error {
 	if err != nil {
 		return err
 	}
-	io.Copy(io.Discard, resp.Body)
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("cluster: ping %s: status %d", s.addr, resp.StatusCode)
+	}
+	var payload struct {
+		Workers int `json:"workers"`
+	}
+	if json.Unmarshal(body, &payload) == nil && payload.Workers > 0 {
+		if s.setWeight(payload.Workers, false, p.opts.MaxInFlight) {
+			p.epoch.Add(1) // a re-weight changes placement like a join does
+		}
 	}
 	return nil
 }
@@ -93,8 +104,9 @@ func (p *Pool) ping(ctx context.Context, s *shard) error {
 // It never fails the pool — unreachable shards simply stay open until
 // the prober or live traffic recovers them.
 func (p *Pool) Ping(ctx context.Context) map[string]error {
-	out := make(map[string]error, len(p.shards))
-	for _, s := range p.shards {
+	shards := p.snapshot()
+	out := make(map[string]error, len(shards))
+	for _, s := range shards {
 		out[s.addr] = p.ping(ctx, s)
 	}
 	return out

@@ -234,6 +234,99 @@ func closeManager(t *testing.T, m *jobs.Manager) {
 	}
 }
 
+// TestShardedCampaignMembershipChurn is the dynamic-membership
+// acceptance e2e: a campaign job starts on shard set {A} alone, worker
+// B hot-joins mid-run, A deregisters (and dies) — and the job completes
+// on B with a merged result byte-identical to a single-process run. As
+// in the kill test, A serves exactly one row and then holds further
+// campaign requests hostage until released, so "mid-run" is
+// deterministic rather than a race against a tiny campaign.
+func TestShardedCampaignMembershipChurn(t *testing.T) {
+	cfg := testCampaignConfig()
+	direct, err := experiments.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wB, _ := newWorker(t, 2)
+
+	eA := service.NewEngine(service.EngineOptions{Workers: 2})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		eA.Close(ctx)
+	})
+	inner := service.NewHandlerOpts(eA, service.HandlerOptions{MaxInlineCampaigns: -1})
+	var served atomic.Int64
+	released := make(chan struct{})
+	firstDone := make(chan struct{})
+	wA := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/campaign" {
+			inner.ServeHTTP(w, r)
+			return
+		}
+		if served.Add(1) > 1 {
+			<-released // the membership change happens with these in flight
+			http.Error(w, `{"error":"worker deregistered"}`, http.StatusInternalServerError)
+			return
+		}
+		inner.ServeHTTP(w, r)
+		close(firstDone)
+	}))
+
+	// The job starts on {A} only; B exists but is not a member yet.
+	p := newTestPool(t, []string{wA.URL}, PoolOptions{
+		ProbeInterval: -1,
+		FailThreshold: 1,
+		OpenFor:       time.Minute,
+	})
+	m, err := jobs.NewManager(jobs.Options{Workers: 1}, CampaignKind(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeManager(t, m)
+
+	startEpoch := p.Epoch()
+	id := submitJob(t, m, jobs.CampaignKindName, cfg)
+	pollMeta(t, m, id, func(meta jobs.Meta) bool { return meta.RowsDone >= 1 })
+	<-firstDone
+
+	// Hot-join B (weight discovered from its ping), then deregister A
+	// while its hostage rows are still in flight — they must fail over
+	// to the new member, not back onto the departed one.
+	if _, joined, err := p.AddShard(wB.URL, 0); err != nil || !joined {
+		t.Fatalf("join mid-run: %v %v", joined, err)
+	}
+	if !p.RemoveShard(wA.URL) {
+		t.Fatal("deregistering A failed")
+	}
+	if p.Epoch() < startEpoch+2 {
+		t.Fatalf("epoch %d after join+leave, want >= %d", p.Epoch(), startEpoch+2)
+	}
+	close(released)
+	killServer(wA)
+
+	final := pollMeta(t, m, id, func(meta jobs.Meta) bool { return meta.State.Terminal() })
+	if final.State != jobs.StateSucceeded {
+		t.Fatalf("job state = %s (%s), want succeeded across the membership change", final.State, final.Error)
+	}
+	raw, err := m.Rows(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := sortedCampaignRows(t, raw, len(cfg.Lambdas))
+	assertByteIdenticalCSV(t, direct, cfg, rows)
+
+	// Membership is {B} alone, and it carried the remaining rows.
+	stats := p.ShardStats()
+	if len(stats) != 1 || stats[0].Addr != wB.URL {
+		t.Fatalf("final membership = %+v, want just B", stats)
+	}
+	if stats[0].Requests == 0 || stats[0].Failures != 0 {
+		t.Fatalf("B's stats = %+v, want traffic and no failures", stats[0])
+	}
+}
+
 // TestShardedCampaignResumeAcrossRestart: the sharded campaign kind has
 // the same checkpoint semantics as the single-process one — a manager
 // closed mid-run leaves an interrupted, file-backed job that a new

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/jobs"
@@ -79,7 +80,13 @@ func CampaignKind(p *Pool) jobs.Kind {
 
 			// A bounded worker set sized to the pool's admission width:
 			// more goroutines than in-flight slots would only spin on the
-			// acquire/backoff loop, not add parallelism.
+			// acquire/backoff loop, not add parallelism. Membership is
+			// dynamic, so a monitor watches the pool epoch and grows the
+			// set when shards join mid-job — a campaign started on one
+			// worker spreads onto a hot-registered second without a
+			// restart. (Shrinking is implicit: surplus goroutines just
+			// wait on the acquire loop, and rows lost to a departed
+			// shard fail over through the pool like any other failure.)
 			var (
 				mu      sync.Mutex
 				wg      sync.WaitGroup
@@ -88,43 +95,87 @@ func CampaignKind(p *Pool) jobs.Kind {
 				failed  int
 			)
 			next := make(chan int)
-			workers := p.Width()
-			if workers > len(missing) {
-				workers = len(missing)
-			}
-			for w := 0; w < workers; w++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for idx := range next {
-						row, err := p.CampaignRow(ctx, cfg, idx)
-						mu.Lock()
-						if err != nil {
-							failed++
-							if rowErr == nil {
-								rowErr = err
-							}
-							mu.Unlock()
-							continue
-						}
-						if sinkErr != nil || ctx.Err() != nil {
-							mu.Unlock()
-							continue // the job is over; don't checkpoint past it
-						}
-						data, err := json.Marshal(jobs.IndexedCampaignRow{Index: idx, Row: row})
-						if err == nil {
-							err = sink(data)
-						}
-						if err != nil {
-							sinkErr = err
+			runWorker := func() {
+				defer wg.Done()
+				for idx := range next {
+					row, err := p.CampaignRow(ctx, cfg, idx)
+					mu.Lock()
+					if err != nil {
+						failed++
+						if rowErr == nil {
+							rowErr = err
 						}
 						mu.Unlock()
+						continue
 					}
-				}()
+					if sinkErr != nil || ctx.Err() != nil {
+						mu.Unlock()
+						continue // the job is over; don't checkpoint past it
+					}
+					data, err := json.Marshal(jobs.IndexedCampaignRow{Index: idx, Row: row})
+					if err == nil {
+						err = sink(data)
+					}
+					if err != nil {
+						sinkErr = err
+					}
+					mu.Unlock()
+				}
 			}
+			targetWorkers := func() int {
+				w := p.Width()
+				if w > len(missing) {
+					w = len(missing)
+				}
+				if w < 1 {
+					w = 1 // an empty pool still fails fast instead of hanging
+				}
+				return w
+			}
+			started := targetWorkers()
+			wg.Add(started)
+			for w := 0; w < started; w++ {
+				go runWorker()
+			}
+			stopGrow := make(chan struct{})
+			var growWG sync.WaitGroup
+			growWG.Add(1)
+			go func() {
+				defer growWG.Done()
+				epoch := p.Epoch()
+				t := time.NewTicker(100 * time.Millisecond)
+				defer t.Stop()
+				for {
+					select {
+					case <-stopGrow:
+						return
+					case <-t.C:
+					}
+					if e := p.Epoch(); e != epoch {
+						epoch = e
+						for started < targetWorkers() {
+							started++
+							wg.Add(1)
+							go runWorker()
+						}
+					}
+				}
+			}()
 			for _, idx := range missing {
-				next <- idx
+				select {
+				case next <- idx:
+				case <-ctx.Done():
+					// Stop feeding; queued workers drain what's left of
+					// the channel (nothing) after close below.
+					close(stopGrow)
+					growWG.Wait()
+					close(next)
+					wg.Wait()
+					return ctx.Err()
+				}
 			}
+			close(stopGrow)
+			growWG.Wait()
 			close(next)
 			wg.Wait()
 			if err := ctx.Err(); err != nil {
@@ -199,7 +250,10 @@ func BatchKind(e *service.Engine, p *Pool) jobs.Kind {
 					wg      sync.WaitGroup
 					callErr error
 				)
-				for _, chunk := range partition(missing, len(p.shards)) {
+				// Re-partitioned per round against the *current* weights
+				// and membership: shards that joined since the last round
+				// get chunks, departed ones stop being counted.
+				for _, chunk := range p.partitionWeighted(missing) {
 					sub := *req
 					// A coordinator registry resolves "<x>@remote" (so the
 					// payload validated), but workers only know local
@@ -289,31 +343,6 @@ func missingIndices(total int, done map[int]bool) []int {
 		if !done[i] {
 			out = append(out, i)
 		}
-	}
-	return out
-}
-
-// partition splits the indices into per-shard chunks: roughly two
-// chunks per shard per round (so a slow shard doesn't serialize the
-// round), capped at maxChunk items each.
-func partition(indices []int, shards int) [][]int {
-	if len(indices) == 0 {
-		return nil
-	}
-	size := (len(indices) + 2*shards - 1) / (2 * shards)
-	if size < 1 {
-		size = 1
-	}
-	if size > maxChunk {
-		size = maxChunk
-	}
-	var out [][]int
-	for start := 0; start < len(indices); start += size {
-		end := start + size
-		if end > len(indices) {
-			end = len(indices)
-		}
-		out = append(out, indices[start:end])
 	}
 	return out
 }

@@ -1,0 +1,287 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ShardEntry is one parsed -shards-file line.
+type ShardEntry struct {
+	// Addr is the worker address ("host:port" or a full URL).
+	Addr string
+	// Weight is the explicit placement weight; 0 means "discover via
+	// ping" (the default weight of 1 until the worker answers).
+	Weight int
+}
+
+// ParseShardsFile reads a shards file: one "addr [weight]" per line,
+// blank lines and #-comments ignored.
+//
+//	# production workers
+//	10.0.0.4:8081 8
+//	10.0.0.5:8081      # weight discovered from the worker's ping
+func ParseShardsFile(r io.Reader) ([]ShardEntry, error) {
+	var out []ShardEntry
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) > 2 {
+			return nil, fmt.Errorf("cluster: shards file line %d: want \"addr [weight]\", got %q", line, sc.Text())
+		}
+		addr, err := normalizeAddr(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shards file line %d: %w", line, err)
+		}
+		if seen[addr] {
+			return nil, fmt.Errorf("cluster: shards file line %d: duplicate shard %s", line, addr)
+		}
+		seen[addr] = true
+		entry := ShardEntry{Addr: addr}
+		if len(fields) == 2 {
+			w, err := strconv.Atoi(fields[1])
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("cluster: shards file line %d: bad weight %q", line, fields[1])
+			}
+			entry.Weight = w
+		}
+		out = append(out, entry)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SyncFile reconciles the pool's file-origin membership against the
+// entries of a freshly read shards file: listed shards are joined (or
+// re-weighted), file-origin shards no longer listed leave. Shards that
+// joined by other paths — the static NewPool list, the registration
+// API — are never touched, so a reload cannot kick a self-registered
+// worker. It returns how many shards joined and left.
+func (p *Pool) SyncFile(entries []ShardEntry) (added, removed int, err error) {
+	want := make(map[string]ShardEntry, len(entries))
+	for _, e := range entries {
+		norm, err := normalizeAddr(e.Addr)
+		if err != nil {
+			return added, removed, err
+		}
+		want[norm] = e
+	}
+	foreign := map[string]bool{} // members the file must not touch
+	for _, s := range p.snapshot() {
+		if s.origin != originFile {
+			foreign[s.addr] = true
+			continue
+		}
+		if _, listed := want[s.addr]; !listed {
+			if p.RemoveShard(s.addr) {
+				removed++
+			}
+		}
+	}
+	for _, e := range entries {
+		norm, _ := normalizeAddr(e.Addr)
+		if foreign[norm] {
+			// Already a member by another path (static list, API,
+			// self-registration): the file neither re-weights nor pins
+			// it — a stale file line must not override what the worker
+			// reports about itself.
+			continue
+		}
+		_, isNew, err := p.addShard(norm, originFile, e.Weight)
+		if err != nil {
+			return added, removed, err
+		}
+		if isNew {
+			added++
+		}
+	}
+	return added, removed, nil
+}
+
+// SyncFromFile is SyncFile over a path.
+func (p *Pool) SyncFromFile(path string) (added, removed int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	entries, err := ParseShardsFile(f)
+	if err != nil {
+		return 0, 0, err
+	}
+	return p.SyncFile(entries)
+}
+
+// Registrar keeps one worker registered with a coordinator: POST
+// /v1/cluster/shards at startup and every Interval thereafter (the
+// heartbeat doubles as re-registration after a coordinator restart,
+// whose empty reloaded pool would otherwise never relearn the worker),
+// and DELETE on Stop so a graceful drain leaves the membership clean.
+// A killed worker skips the DELETE, of course — its circuit opens and
+// it keeps its seat until the operator removes it or it comes back.
+type Registrar struct {
+	// Coordinator is the coordinator base URL ("host:port" ok).
+	Coordinator string
+	// Advertise is the address the coordinator should dial back —
+	// this worker as reachable from the coordinator.
+	Advertise string
+	// Weight is the explicit placement weight; 0 lets the coordinator
+	// discover it from this worker's ping (recommended).
+	Weight int
+	// Interval is the heartbeat period (default 10s).
+	Interval time.Duration
+	// Logf, when set, receives registration outcomes (log.Printf shape).
+	Logf func(format string, args ...any)
+
+	client    *http.Client
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	startOnce sync.Once
+	stopOnce  sync.Once
+}
+
+// joinWire is the POST/DELETE /v1/cluster/shards body.
+type joinWire struct {
+	Addr   string `json:"addr"`
+	Weight int    `json:"weight,omitempty"`
+}
+
+// Start begins the register-and-heartbeat loop. It returns immediately;
+// failures are retried every Interval (and logged via Logf).
+func (r *Registrar) Start() error {
+	coord, err := normalizeAddr(r.Coordinator)
+	if err != nil {
+		return fmt.Errorf("cluster: registrar coordinator: %w", err)
+	}
+	r.Coordinator = coord
+	if _, err := normalizeAddr(r.Advertise); err != nil {
+		return fmt.Errorf("cluster: registrar advertise address: %w", err)
+	}
+	r.startOnce.Do(func() {
+		if r.Interval <= 0 {
+			r.Interval = 10 * time.Second
+		}
+		if r.client == nil {
+			r.client = &http.Client{Timeout: 5 * time.Second}
+		}
+		r.stop = make(chan struct{})
+		r.wg.Add(1)
+		go r.loop()
+	})
+	return nil
+}
+
+func (r *Registrar) loop() {
+	defer r.wg.Done()
+	registered := false
+	register := func() {
+		err := r.send(http.MethodPost)
+		switch {
+		case err == nil && !registered:
+			registered = true
+			r.logf("registered with coordinator %s as %s", r.Coordinator, r.Advertise)
+		case err != nil && registered:
+			registered = false
+			r.logf("re-registration with %s failed (will retry): %v", r.Coordinator, err)
+		case err != nil:
+			r.logf("registration with %s failed (will retry): %v", r.Coordinator, err)
+		}
+	}
+	register()
+	t := time.NewTicker(r.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			register()
+		}
+	}
+}
+
+// Stop halts the heartbeat and deregisters (best effort — a dead
+// coordinator just means the seat expires by breaker instead).
+func (r *Registrar) Stop() {
+	r.stopOnce.Do(func() {
+		if r.stop == nil {
+			return // never started
+		}
+		close(r.stop)
+		r.wg.Wait()
+		if err := r.send(http.MethodDelete); err != nil {
+			r.logf("deregistration from %s failed: %v", r.Coordinator, err)
+		} else {
+			r.logf("deregistered from coordinator %s", r.Coordinator)
+		}
+	})
+}
+
+func (r *Registrar) send(method string) error {
+	body, err := json.Marshal(joinWire{Addr: r.Advertise, Weight: r.Weight})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(method, r.Coordinator+"/v1/cluster/shards", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: %s /v1/cluster/shards: status %d: %s",
+			method, resp.StatusCode, readErrorBody(resp.Body))
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+func (r *Registrar) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// DefaultAdvertise derives a dialable advertise address from a listen
+// address: ":8081", "0.0.0.0:8081" and "[::]:8081" become "<host>:8081"
+// via the machine hostname (falling back to 127.0.0.1 — right for
+// single-host clusters, which is what an unconfigured advertise address
+// implies). Addresses that already name a host pass through unchanged.
+func DefaultAdvertise(listen string) string {
+	host, port, err := net.SplitHostPort(strings.TrimPrefix(listen, "http://"))
+	if err != nil {
+		return listen
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		if h, err := os.Hostname(); err == nil && h != "" {
+			return net.JoinHostPort(h, port)
+		}
+		return "127.0.0.1:" + port
+	}
+	return listen
+}

@@ -1,0 +1,376 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+// TestPoolMembershipEpochs: joins, re-weights and leaves advance the
+// epoch; idempotent re-joins don't.
+func TestPoolMembershipEpochs(t *testing.T) {
+	p := newTestPool(t, []string{"a:1"}, PoolOptions{ProbeInterval: -1})
+	if p.Epoch() != 0 || p.ShardCount() != 1 {
+		t.Fatalf("fresh pool: epoch %d, %d shards", p.Epoch(), p.ShardCount())
+	}
+	st, joined, err := p.AddShard("b:2", 3)
+	if err != nil || !joined {
+		t.Fatalf("join: %v %v", joined, err)
+	}
+	if st.Weight != 3 || st.State != "closed" {
+		t.Fatalf("joined shard stat = %+v", st)
+	}
+	if p.Epoch() != 1 || p.ShardCount() != 2 {
+		t.Fatalf("after join: epoch %d, %d shards", p.Epoch(), p.ShardCount())
+	}
+	// Re-join with the same weight: no-op, epoch unchanged.
+	if _, joined, _ := p.AddShard("http://b:2/", 3); joined {
+		t.Fatal("normalized duplicate treated as a new member")
+	}
+	if p.Epoch() != 1 {
+		t.Fatalf("idempotent re-join advanced the epoch to %d", p.Epoch())
+	}
+	// Re-weight: same member, epoch advances (placement changed).
+	if _, joined, _ := p.AddShard("b:2", 5); joined || p.Epoch() != 2 {
+		t.Fatalf("re-weight: joined=%v epoch=%d", joined, p.Epoch())
+	}
+	if !p.RemoveShard("a:1") || p.Epoch() != 3 || p.ShardCount() != 1 {
+		t.Fatalf("leave: epoch %d, %d shards", p.Epoch(), p.ShardCount())
+	}
+	if p.RemoveShard("a:1") {
+		t.Fatal("removed a shard twice")
+	}
+	if p.Epoch() != 3 {
+		t.Fatalf("no-op removal advanced the epoch to %d", p.Epoch())
+	}
+}
+
+// TestPoolBreakerAcrossMembershipChange: an open breaker survives other
+// members joining (the epoch change must not amnesty a failing shard),
+// while leave + re-join starts the breaker fresh.
+func TestPoolBreakerAcrossMembershipChange(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadAddr := dead.URL
+	killServer(dead)
+	live, _ := newWorker(t, 1)
+
+	p := newTestPool(t, []string{deadAddr}, PoolOptions{
+		ProbeInterval: -1,
+		FailThreshold: 1,
+		OpenFor:       time.Minute,
+		MaxFailures:   1,
+	})
+	in := testInstance(2)
+	if _, err := p.Solve(context.Background(), in, "mb", core.Multiple, service.Options{}); err == nil {
+		t.Fatal("solve against a dead shard succeeded")
+	}
+	if st := p.ShardStats()[0]; st.State != "open" {
+		t.Fatalf("dead shard state = %s, want open", st.State)
+	}
+
+	// A join bumps the epoch; the dead member's breaker must stay open,
+	// and traffic must land on the newcomer without burning a failover
+	// on the open circuit.
+	if _, joined, err := p.AddShard(live.URL, 0); err != nil || !joined {
+		t.Fatalf("join: %v %v", joined, err)
+	}
+	if _, err := p.Solve(context.Background(), in, "mb", core.Multiple, service.Options{}); err != nil {
+		t.Fatalf("solve after join: %v", err)
+	}
+	for _, st := range p.ShardStats() {
+		if st.Addr == deadAddr && st.State != "open" {
+			t.Fatalf("join closed the dead shard's breaker: %+v", st)
+		}
+		if st.Addr == live.URL && (st.Requests == 0 || st.Failures != 0) {
+			t.Fatalf("newcomer stats: %+v", st)
+		}
+	}
+
+	// Leave and re-join: breaker state and counters are discarded.
+	if !p.RemoveShard(deadAddr) {
+		t.Fatal("remove failed")
+	}
+	st, joined, err := p.AddShard(deadAddr, 0)
+	if err != nil || !joined {
+		t.Fatalf("re-join: %v %v", joined, err)
+	}
+	if st.State != "closed" || st.Failures != 0 || st.Requests != 0 {
+		t.Fatalf("re-joined shard kept old breaker state: %+v", st)
+	}
+}
+
+// TestPickOrderWeightedDistribution: over many acquisitions, each shard
+// leads the preference order in proportion to its weight (χ²-style
+// tolerance, though smooth WRR is in fact deterministic).
+func TestPickOrderWeightedDistribution(t *testing.T) {
+	p := newTestPool(t, nil, PoolOptions{ProbeInterval: -1})
+	weights := map[string]int{"w1:1": 1, "w2:1": 2, "w4:1": 4}
+	for addr, w := range weights {
+		if _, _, err := p.AddShard(addr, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const rounds = 700 // 100 full weight cycles of 7
+	firsts := map[string]int{}
+	for i := 0; i < rounds; i++ {
+		order := p.pickOrder()
+		if len(order) != 3 {
+			t.Fatalf("pick order has %d members, want 3", len(order))
+		}
+		firsts[strings.TrimPrefix(order[0].addr, "http://")]++
+	}
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	var chi2 float64
+	for addr, w := range weights {
+		expected := float64(rounds*w) / float64(total)
+		diff := float64(firsts[addr]) - expected
+		chi2 += diff * diff / expected
+		// Per-shard sanity besides the aggregate: within 10% of the
+		// weighted share.
+		if diff < -0.1*expected || diff > 0.1*expected {
+			t.Errorf("shard %s led %d of %d picks, want ~%.0f (weight %d/%d)",
+				addr, firsts[addr], rounds, expected, w, total)
+		}
+	}
+	// 2 degrees of freedom, p=0.01 critical value 9.21.
+	if chi2 > 9.21 {
+		t.Fatalf("χ² = %.2f over critical 9.21; firsts = %v", chi2, firsts)
+	}
+}
+
+// TestPoolWeightFromPing: a shard's weight tracks the worker's
+// self-reported solver goroutine count unless pinned explicitly.
+func TestPoolWeightFromPing(t *testing.T) {
+	srv, _ := newWorker(t, 3)
+	p := newTestPool(t, []string{srv.URL}, PoolOptions{ProbeInterval: -1})
+	if got := p.ShardStats()[0].Weight; got != 1 {
+		t.Fatalf("pre-ping weight = %d, want the default 1", got)
+	}
+	p.Ping(context.Background())
+	if got := p.ShardStats()[0].Weight; got != 3 {
+		t.Fatalf("post-ping weight = %d, want 3 (the worker's goroutines)", got)
+	}
+	if p.Epoch() == 0 {
+		t.Fatal("re-weight did not advance the epoch")
+	}
+	// An explicit weight wins over discovery.
+	if _, _, err := p.AddShard(srv.URL, 8); err != nil {
+		t.Fatal(err)
+	}
+	p.Ping(context.Background())
+	if got := p.ShardStats()[0].Weight; got != 8 {
+		t.Fatalf("ping overrode the pinned weight: %d, want 8", got)
+	}
+}
+
+// TestParseShardsFile covers the accepted grammar and its rejections.
+func TestParseShardsFile(t *testing.T) {
+	entries, err := ParseShardsFile(strings.NewReader(`
+# fleet
+10.0.0.4:8081 8
+10.0.0.5:8081      # discovered weight
+http://10.0.0.6:8081/
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ShardEntry{
+		{Addr: "http://10.0.0.4:8081", Weight: 8},
+		{Addr: "http://10.0.0.5:8081"},
+		{Addr: "http://10.0.0.6:8081"},
+	}
+	if fmt.Sprint(entries) != fmt.Sprint(want) {
+		t.Fatalf("entries = %v, want %v", entries, want)
+	}
+	for _, bad := range []string{
+		"a:1 2 3",   // too many fields
+		"a:1 zero",  // non-numeric weight
+		"a:1 0",     // weight < 1
+		"a:1\na:1/", // duplicate after normalization
+	} {
+		if _, err := ParseShardsFile(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+// TestSyncFileReconcilesOnlyFileOrigin: a reload adds/removes listed
+// shards but never touches static or API-registered members.
+func TestSyncFileReconcilesOnlyFileOrigin(t *testing.T) {
+	p := newTestPool(t, []string{"static:1"}, PoolOptions{ProbeInterval: -1})
+	if _, _, err := p.AddShard("api:1", 2); err != nil {
+		t.Fatal(err)
+	}
+	added, removed, err := p.SyncFile([]ShardEntry{{Addr: "f1:1"}, {Addr: "f2:1", Weight: 4}})
+	if err != nil || added != 2 || removed != 0 {
+		t.Fatalf("first sync: +%d/-%d, %v", added, removed, err)
+	}
+	added, removed, err = p.SyncFile([]ShardEntry{{Addr: "f2:1", Weight: 4}})
+	if err != nil || added != 0 || removed != 1 {
+		t.Fatalf("second sync: +%d/-%d, %v", added, removed, err)
+	}
+	got := map[string]bool{}
+	for _, st := range p.ShardStats() {
+		got[st.Addr] = true
+	}
+	for _, want := range []string{"http://static:1", "http://api:1", "http://f2:1"} {
+		if !got[want] {
+			t.Fatalf("member %s missing after reload; have %v", want, got)
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("membership = %v", got)
+	}
+	// A file line naming a member that joined by another path must not
+	// re-weight (or pin) it: the worker's own report wins over a stale
+	// file entry.
+	if _, _, err := p.SyncFile([]ShardEntry{{Addr: "f2:1", Weight: 4}, {Addr: "api:1", Weight: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range p.ShardStats() {
+		if st.Addr == "http://api:1" && st.Weight != 2 {
+			t.Fatalf("reload re-weighted an API-origin member: %+v", st)
+		}
+	}
+	// An empty file empties only the file-origin members.
+	if _, removed, _ = p.SyncFile(nil); removed != 1 || p.ShardCount() != 2 {
+		t.Fatalf("empty sync removed %d, left %d members", removed, p.ShardCount())
+	}
+}
+
+// TestClusterShardsHTTP: the /v1/cluster/shards surface over a real
+// pool — list, join (idempotent), leave — plus the 501 of a daemon
+// that fronts no cluster.
+func TestClusterShardsHTTP(t *testing.T) {
+	e := service.NewEngine(service.EngineOptions{Workers: 1})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		e.Close(ctx)
+	})
+
+	// No pool: 501 points the operator at coordinator mode.
+	bare := httptest.NewServer(service.NewHandler(e))
+	defer bare.Close()
+	resp, err := http.Get(bare.URL + "/v1/cluster/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("no-cluster GET status = %d, want 501", resp.StatusCode)
+	}
+
+	p := newTestPool(t, nil, PoolOptions{ProbeInterval: -1})
+	srv := httptest.NewServer(service.NewHandlerOpts(e, service.HandlerOptions{Cluster: p}))
+	defer srv.Close()
+
+	type payload struct {
+		Epoch   uint64              `json:"epoch"`
+		Shards  []service.ShardStat `json:"shards"`
+		Joined  *bool               `json:"joined"`
+		Removed *bool               `json:"removed"`
+	}
+	call := func(method, path, body string) (int, payload) {
+		t.Helper()
+		req, err := http.NewRequest(method, srv.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out payload
+		json.NewDecoder(resp.Body).Decode(&out)
+		return resp.StatusCode, out
+	}
+
+	if code, out := call(http.MethodPost, "/v1/cluster/shards", `{"addr":"w1:9001","weight":2}`); code != 200 || out.Joined == nil || !*out.Joined {
+		t.Fatalf("join: %d %+v", code, out)
+	}
+	if code, out := call(http.MethodPost, "/v1/cluster/shards", `{"addr":"w1:9001","weight":2}`); code != 200 || *out.Joined {
+		t.Fatalf("re-join not idempotent: %d %+v", code, out)
+	}
+	if code, _ := call(http.MethodPost, "/v1/cluster/shards", `{"weight":1}`); code != 400 {
+		t.Fatalf("join without addr: %d, want 400", code)
+	}
+	if code, _ := call(http.MethodPost, "/v1/cluster/shards", `{"addr":"w2:1","weight":-1}`); code != 400 {
+		t.Fatalf("negative weight: %d, want 400", code)
+	}
+	code, out := call(http.MethodGet, "/v1/cluster/shards", "")
+	if code != 200 || len(out.Shards) != 1 || out.Shards[0].Weight != 2 {
+		t.Fatalf("list: %d %+v", code, out)
+	}
+	if code, out := call(http.MethodDelete, "/v1/cluster/shards?addr=w1:9001", ""); code != 200 || out.Removed == nil || !*out.Removed {
+		t.Fatalf("leave: %d %+v", code, out)
+	}
+	if code, out := call(http.MethodDelete, "/v1/cluster/shards", `{"addr":"w1:9001"}`); code != 200 || *out.Removed {
+		t.Fatalf("double leave: %d %+v", code, out)
+	}
+	if p.ShardCount() != 0 {
+		t.Fatalf("pool still has %d members", p.ShardCount())
+	}
+}
+
+// TestRegistrarLifecycle: a worker registers itself, the heartbeat
+// restores its seat after the coordinator forgets it, and Stop
+// deregisters it.
+func TestRegistrarLifecycle(t *testing.T) {
+	e := service.NewEngine(service.EngineOptions{Workers: 1})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		e.Close(ctx)
+	})
+	p := newTestPool(t, nil, PoolOptions{ProbeInterval: -1})
+	coord := httptest.NewServer(service.NewHandlerOpts(e, service.HandlerOptions{Cluster: p}))
+	defer coord.Close()
+
+	r := &Registrar{
+		Coordinator: coord.URL,
+		Advertise:   "10.9.9.9:7777",
+		Weight:      5, // explicit: the advertised address is not dialable
+		Interval:    20 * time.Millisecond,
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+
+	waitMembers := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if p.ShardCount() == want {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Fatalf("pool never reached %d member(s); stats %v", want, p.ShardStats())
+	}
+	waitMembers(1)
+	if st := p.ShardStats()[0]; st.Addr != "http://10.9.9.9:7777" || st.Weight != 5 {
+		t.Fatalf("registered shard = %+v", st)
+	}
+
+	// Coordinator forgets the worker (restart, operator slip): the
+	// heartbeat re-registers it.
+	p.RemoveShard("10.9.9.9:7777")
+	waitMembers(1)
+
+	r.Stop()
+	waitMembers(0)
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -17,9 +18,10 @@ import (
 // PoolOptions configures NewPool. The zero value selects sensible
 // defaults throughout.
 type PoolOptions struct {
-	// MaxInFlight bounds concurrent requests per shard (default 4).
-	// Work beyond it waits for a slot rather than piling onto a worker
-	// that is already saturated.
+	// MaxInFlight bounds concurrent requests per shard *per weight
+	// unit* (default 4): a weight-2 shard admits twice what a weight-1
+	// shard does. Work beyond the bound waits for a slot rather than
+	// piling onto a worker that is already saturated.
 	MaxInFlight int
 	// FailThreshold is the number of consecutive transient failures
 	// that opens a shard's circuit (default 3). A failure in the
@@ -34,8 +36,9 @@ type PoolOptions struct {
 	// 1s; negative disables probing.
 	ProbeInterval time.Duration
 	// MaxFailures bounds how many failed executions one pool call
-	// tolerates before giving up (default 2×shards+2). Waiting for a
-	// free slot does not count — only actual failed attempts do.
+	// tolerates before giving up (default 2×shards+2, tracking the
+	// current membership). Waiting for a free slot does not count —
+	// only actual failed attempts do.
 	MaxFailures int
 	// RetryBackoff is the pause before re-scanning the shard list when
 	// no shard is currently available (default 25ms).
@@ -45,7 +48,7 @@ type PoolOptions struct {
 	Client *http.Client
 }
 
-func (o PoolOptions) withDefaults(shards int) PoolOptions {
+func (o PoolOptions) withDefaults() PoolOptions {
 	if o.MaxInFlight <= 0 {
 		o.MaxInFlight = 4
 	}
@@ -58,8 +61,8 @@ func (o PoolOptions) withDefaults(shards int) PoolOptions {
 	if o.ProbeInterval == 0 {
 		o.ProbeInterval = time.Second
 	}
-	if o.MaxFailures <= 0 {
-		o.MaxFailures = 2*shards + 2
+	if o.MaxFailures < 0 {
+		o.MaxFailures = 0 // 0 = track membership size in do()
 	}
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = 25 * time.Millisecond
@@ -83,8 +86,23 @@ func (o PoolOptions) withDefaults(shards int) PoolOptions {
 }
 
 // ErrNoShard is the terminal error of a pool call that never found an
-// available shard (every circuit open, or every attempt failed).
+// available shard (empty membership, every circuit open, or every
+// attempt failed).
 var ErrNoShard = errors.New("cluster: no healthy shard available")
+
+// maxShardWeight caps a shard's placement weight: weights are advisory
+// share ratios, and an absurd self-reported core count must not let one
+// shard monopolize the smooth-WRR picker (or its iteration bound).
+const maxShardWeight = 256
+
+// Shard-membership origins. A shard joined by exactly one path; file
+// reloads reconcile only the file-origin subset, so an operator's
+// static list and API-registered workers survive a reload untouched.
+const (
+	originStatic = "static" // the NewPool address list
+	originFile   = "file"   // a -shards-file entry
+	originAPI    = "api"    // POST /v1/cluster/shards (self-registration)
+)
 
 // breakerState is a shard's circuit position.
 type breakerState int
@@ -108,10 +126,15 @@ func (s breakerState) String() string {
 
 // shard is one worker process, its circuit breaker and its counters.
 type shard struct {
-	addr string        // base URL, no trailing slash
-	sem  chan struct{} // in-flight slots
+	addr   string // base URL, no trailing slash
+	origin string // originStatic / originFile / originAPI
 
 	mu        sync.Mutex
+	weight    int  // placement weight (>= 1)
+	explicit  bool // weight was set by the operator; pings don't override
+	cur       int  // smooth-WRR accumulator
+	inflight  int
+	capacity  int // MaxInFlight × weight
 	state     breakerState
 	fails     int       // consecutive transient failures
 	openUntil time.Time // when an open circuit admits its trial
@@ -124,12 +147,11 @@ type shard struct {
 // has elapsed (the caller becomes the half-open trial); half-open
 // admits nothing while its trial is outstanding.
 func (s *shard) tryAcquire(now time.Time) bool {
-	select {
-	case s.sem <- struct{}{}:
-	default:
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight >= s.capacity {
 		return false
 	}
-	s.mu.Lock()
 	admitted := false
 	switch s.state {
 	case stateClosed:
@@ -143,16 +165,17 @@ func (s *shard) tryAcquire(now time.Time) bool {
 		// The trial is in flight; nobody else gets through.
 	}
 	if admitted {
+		s.inflight++
 		s.requests++
-	}
-	s.mu.Unlock()
-	if !admitted {
-		<-s.sem
 	}
 	return admitted
 }
 
-func (s *shard) release() { <-s.sem }
+func (s *shard) release() {
+	s.mu.Lock()
+	s.inflight--
+	s.mu.Unlock()
+}
 
 // recordSuccess closes the circuit (a half-open trial that succeeds
 // recovers the shard).
@@ -179,43 +202,94 @@ func (s *shard) recordFailure(openFor time.Duration, threshold int, failedOver b
 	s.mu.Unlock()
 }
 
-// Pool fans work out over a static list of worker shards. All methods
-// are safe for concurrent use.
+// setWeight applies a weight change (clamped to [1, maxShardWeight])
+// and rescales the in-flight capacity. explicit weights — set by the
+// operator at registration — stick; discovered ones (ping-reported
+// core counts) track the latest report.
+func (s *shard) setWeight(w int, explicit bool, perUnit int) bool {
+	if w < 1 {
+		w = 1
+	}
+	if w > maxShardWeight {
+		w = maxShardWeight
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.explicit && !explicit {
+		return false
+	}
+	changed := s.weight != w
+	s.weight = w
+	s.explicit = s.explicit || explicit
+	s.capacity = perUnit * w
+	return changed
+}
+
+func (s *shard) stat() service.ShardStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return service.ShardStat{
+		Addr:      s.addr,
+		State:     s.state.String(),
+		Healthy:   s.state == stateClosed,
+		Weight:    s.weight,
+		InFlight:  s.inflight,
+		Requests:  s.requests,
+		Failures:  s.failures,
+		Failovers: s.failovers,
+	}
+}
+
+// Pool fans work out over a mutable set of worker shards: members join
+// and leave at runtime (registration API, file reload) and a smooth
+// weighted-round-robin picker hands work out proportionally to shard
+// weights. All methods are safe for concurrent use.
 type Pool struct {
+	mu     sync.RWMutex // guards shards slice + picker state
 	shards []*shard
+	epoch  atomic.Uint64 // bumped on every membership change
 	opts   PoolOptions
-	rr     atomic.Uint64 // round-robin scan offset
+
+	batchesRouted     atomic.Uint64
+	rowsRouted        atomic.Uint64
+	rowsLocalFallback atomic.Uint64
 
 	stopProbe chan struct{}
 	probeWG   sync.WaitGroup
 	closeOnce sync.Once
 }
 
-// NewPool builds a pool over the shard addresses ("host:port" or full
-// URLs) and starts its health prober. Close releases the prober.
-func NewPool(addrs []string, opts PoolOptions) (*Pool, error) {
-	if len(addrs) == 0 {
-		return nil, errors.New("cluster: pool needs at least one shard address")
+// normalizeAddr canonicalizes a shard address ("host:port" or full URL)
+// to the base-URL form membership is keyed by.
+func normalizeAddr(a string) (string, error) {
+	addr := strings.TrimSpace(a)
+	if addr == "" {
+		return "", errors.New("cluster: empty shard address")
 	}
-	p := &Pool{opts: opts.withDefaults(len(addrs)), stopProbe: make(chan struct{})}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/"), nil
+}
+
+// NewPool builds a pool over the initial shard addresses ("host:port"
+// or full URLs) and starts its health prober. The list may be empty —
+// a coordinator can start bare and let workers register themselves
+// (POST /v1/cluster/shards) or arrive via a -shards-file reload. Close
+// releases the prober.
+func NewPool(addrs []string, opts PoolOptions) (*Pool, error) {
+	p := &Pool{opts: opts.withDefaults(), stopProbe: make(chan struct{})}
 	seen := map[string]bool{}
 	for _, a := range addrs {
-		addr := strings.TrimSpace(a)
-		if addr == "" {
-			return nil, errors.New("cluster: empty shard address")
+		addr, err := normalizeAddr(a)
+		if err != nil {
+			return nil, err
 		}
-		if !strings.Contains(addr, "://") {
-			addr = "http://" + addr
-		}
-		addr = strings.TrimRight(addr, "/")
 		if seen[addr] {
 			return nil, fmt.Errorf("cluster: duplicate shard address %s", addr)
 		}
 		seen[addr] = true
-		p.shards = append(p.shards, &shard{
-			addr: addr,
-			sem:  make(chan struct{}, p.opts.MaxInFlight),
-		})
+		p.shards = append(p.shards, p.newShard(addr, originStatic, 0))
 	}
 	if p.opts.ProbeInterval > 0 {
 		p.probeWG.Add(1)
@@ -224,21 +298,129 @@ func NewPool(addrs []string, opts PoolOptions) (*Pool, error) {
 	return p, nil
 }
 
+// newShard builds a member with a fresh (closed) breaker. weight <= 0
+// selects the default of 1, refreshed by the next successful ping.
+func (p *Pool) newShard(addr, origin string, weight int) *shard {
+	s := &shard{addr: addr, origin: origin}
+	s.setWeight(weight, weight > 0, p.opts.MaxInFlight)
+	return s
+}
+
 // Close stops the background prober. In-flight calls finish normally.
 func (p *Pool) Close() {
 	p.closeOnce.Do(func() { close(p.stopProbe) })
 	p.probeWG.Wait()
 }
 
-// Width is the pool's total admission capacity — shards × per-shard
-// in-flight slots. Fan-out callers size their worker sets to it; more
-// concurrency than this only spins on the acquire loop.
-func (p *Pool) Width() int { return len(p.shards) * p.opts.MaxInFlight }
+// Epoch is the current membership epoch; it increments on every join,
+// leave or reload-driven change. Long-running jobs compare epochs to
+// notice joins mid-run and grow their fan-out.
+func (p *Pool) Epoch() uint64 { return p.epoch.Load() }
 
-// Addrs lists the shard base URLs in pool order.
-func (p *Pool) Addrs() []string {
-	out := make([]string, len(p.shards))
+// AddShard joins a worker at runtime (implements
+// service.ClusterMembership). A known address is not re-added: its
+// weight is updated instead (a worker heartbeat re-registering after a
+// coordinator restart, or an operator re-weighting), and the epoch only
+// advances when membership or weights actually changed.
+func (p *Pool) AddShard(addr string, weight int) (service.ShardStat, bool, error) {
+	return p.addShard(addr, originAPI, weight)
+}
+
+func (p *Pool) addShard(addr, origin string, weight int) (service.ShardStat, bool, error) {
+	norm, err := normalizeAddr(addr)
+	if err != nil {
+		return service.ShardStat{}, false, err
+	}
+	p.mu.Lock()
+	for _, s := range p.shards {
+		if s.addr == norm {
+			p.mu.Unlock()
+			if weight > 0 && s.setWeight(weight, true, p.opts.MaxInFlight) {
+				p.epoch.Add(1)
+			}
+			return s.stat(), false, nil
+		}
+	}
+	s := p.newShard(norm, origin, weight)
+	p.shards = append(p.shards, s)
+	p.mu.Unlock()
+	p.epoch.Add(1)
+	if weight <= 0 {
+		// Learn the real capacity in the background; placement runs on
+		// the default weight of 1 until the worker answers.
+		go p.probeWeight(s)
+	}
+	return s.stat(), true, nil
+}
+
+// RemoveShard leaves a worker (implements service.ClusterMembership).
+// Requests in flight on it finish or fail over normally; its breaker
+// state and counters are discarded, so a later re-join starts fresh.
+func (p *Pool) RemoveShard(addr string) bool {
+	norm, err := normalizeAddr(addr)
+	if err != nil {
+		return false
+	}
+	p.mu.Lock()
 	for i, s := range p.shards {
+		if s.addr == norm {
+			p.shards = append(p.shards[:i], p.shards[i+1:]...)
+			p.mu.Unlock()
+			p.epoch.Add(1)
+			return true
+		}
+	}
+	p.mu.Unlock()
+	return false
+}
+
+// snapshot returns the current member slice (shared pointers, private
+// slice header).
+func (p *Pool) snapshot() []*shard {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]*shard, len(p.shards))
+	copy(out, p.shards)
+	return out
+}
+
+// ShardCount is the current membership size.
+func (p *Pool) ShardCount() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.shards)
+}
+
+// Width is the pool's total admission capacity — the sum over shards of
+// weight × per-unit in-flight slots. Fan-out callers size their worker
+// sets to it; more concurrency than this only spins on the acquire
+// loop. It changes with membership: poll it (or Epoch) mid-job.
+func (p *Pool) Width() int {
+	w := 0
+	for _, s := range p.snapshot() {
+		s.mu.Lock()
+		w += s.capacity
+		s.mu.Unlock()
+	}
+	return w
+}
+
+// TotalWeight sums the member weights (minimum 0 for an empty pool).
+func (p *Pool) TotalWeight() int {
+	w := 0
+	for _, s := range p.snapshot() {
+		s.mu.Lock()
+		w += s.weight
+		s.mu.Unlock()
+	}
+	return w
+}
+
+// Addrs lists the shard base URLs in membership order.
+func (p *Pool) Addrs() []string {
+	shards := p.snapshot()
+	out := make([]string, len(shards))
+	for i, s := range shards {
 		out[i] = s.addr
 	}
 	return out
@@ -246,26 +428,30 @@ func (p *Pool) Addrs() []string {
 
 // ShardStats implements service.ClusterInfo for /healthz and /metrics.
 func (p *Pool) ShardStats() []service.ShardStat {
-	out := make([]service.ShardStat, len(p.shards))
-	for i, s := range p.shards {
-		s.mu.Lock()
-		out[i] = service.ShardStat{
-			Addr:      s.addr,
-			State:     s.state.String(),
-			Healthy:   s.state == stateClosed,
-			InFlight:  len(s.sem),
-			Requests:  s.requests,
-			Failures:  s.failures,
-			Failovers: s.failovers,
-		}
-		s.mu.Unlock()
+	shards := p.snapshot()
+	out := make([]service.ShardStat, len(shards))
+	for i, s := range shards {
+		out[i] = s.stat()
 	}
 	return out
 }
 
-// probeLoop pings every non-closed shard each interval; a successful
-// ping closes its circuit, so recovery is noticed without waiting for
-// live traffic to trickle through the half-open state.
+// ClusterStats implements service.ClusterStatsProvider.
+func (p *Pool) ClusterStats() service.ClusterStats {
+	return service.ClusterStats{
+		Epoch:             p.epoch.Load(),
+		BatchesRouted:     p.batchesRouted.Load(),
+		RowsRouted:        p.rowsRouted.Load(),
+		RowsLocalFallback: p.rowsLocalFallback.Load(),
+	}
+}
+
+// probeLoop pings every shard each interval. For a non-closed shard a
+// successful ping closes its circuit, so recovery is noticed without
+// waiting for live traffic to trickle through the half-open state; for
+// a healthy shard the ping's side effect keeps the discovered weight
+// fresh — a worker whose one join-time probe raced its own listener
+// coming up would otherwise serve at the default weight forever.
 func (p *Pool) probeLoop() {
 	defer p.probeWG.Done()
 	t := time.NewTicker(p.opts.ProbeInterval)
@@ -276,30 +462,82 @@ func (p *Pool) probeLoop() {
 			return
 		case <-t.C:
 		}
-		for _, s := range p.shards {
-			s.mu.Lock()
-			closed := s.state == stateClosed
-			s.mu.Unlock()
-			if closed {
-				continue
-			}
+		for _, s := range p.snapshot() {
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			err := p.ping(ctx, s)
 			cancel()
-			if err == nil {
+			if err != nil {
+				continue // breakers open on request outcomes, not probes
+			}
+			s.mu.Lock()
+			closed := s.state == stateClosed
+			s.mu.Unlock()
+			if !closed {
 				s.recordSuccess()
 			}
 		}
 	}
 }
 
-// acquire scans the shards round-robin and returns the first one that
-// is not excluded and admits traffic, or nil when none does right now.
+// probeWeight pings a just-joined shard once to learn its self-reported
+// capacity (ping updates the weight as a side effect).
+func (p *Pool) probeWeight(s *shard) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	p.ping(ctx, s)
+}
+
+// pickOrder returns the members in this acquisition's preference order.
+// The leader comes from one smooth-weighted-round-robin step — across
+// consecutive calls each shard leads in exact proportion to its weight,
+// interleaved rather than bursty — and the rest follow by descending
+// accumulator, i.e. "most underserved first". Shards the caller cannot
+// use (busy, open circuit, excluded) are simply tried later in the
+// order; the WRR charge stays on the leader, which is the standard
+// (slightly lossy, entirely harmless) treatment.
+func (p *Pool) pickOrder() []*shard {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.shards)
+	if n == 0 {
+		return nil
+	}
+	type ranked struct {
+		s   *shard
+		cur int
+	}
+	order := make([]ranked, n)
+	total := 0
+	for i, s := range p.shards {
+		s.mu.Lock()
+		s.cur += s.weight
+		total += s.weight
+		order[i] = ranked{s, s.cur}
+		s.mu.Unlock()
+	}
+	best := 0
+	for i := 1; i < n; i++ {
+		if order[i].cur > order[best].cur {
+			best = i
+		}
+	}
+	order[best].s.mu.Lock()
+	order[best].s.cur -= total
+	order[best].s.mu.Unlock()
+	order[best].cur += maxShardWeight * (n + 1) // rank the leader first
+	sort.Slice(order, func(i, j int) bool { return order[i].cur > order[j].cur })
+	out := make([]*shard, n)
+	for i, r := range order {
+		out[i] = r.s
+	}
+	return out
+}
+
+// acquire returns the first shard in weighted preference order that is
+// not excluded and admits traffic, or nil when none does right now.
 func (p *Pool) acquire(exclude map[*shard]bool) *shard {
-	start := int(p.rr.Add(1))
 	now := time.Now()
-	for i := 0; i < len(p.shards); i++ {
-		s := p.shards[(start+i)%len(p.shards)]
+	for _, s := range p.pickOrder() {
 		if exclude[s] {
 			continue
 		}
@@ -310,20 +548,35 @@ func (p *Pool) acquire(exclude map[*shard]bool) *shard {
 	return nil
 }
 
+// maxFailures is the per-call failover budget under the current
+// membership.
+func (p *Pool) maxFailures() int {
+	if p.opts.MaxFailures > 0 {
+		return p.opts.MaxFailures
+	}
+	return 2*p.ShardCount() + 2
+}
+
 // do runs f against one shard, with bounded failover. Transient
 // failures (transport errors, 5xx, worker shutdown) open breakers and
 // — for idempotent work — move on to another shard, preferring ones
 // not yet tried this call; permanent failures (4xx: the request itself
 // is bad) return immediately without blaming the shard. Waiting for a
 // free slot is not an attempt: a fully busy pool simply queues here
-// until a slot frees or ctx expires.
+// until a slot frees or ctx expires. Because membership is re-read on
+// every acquisition, a shard that joins mid-wait is picked up and one
+// that leaves stops being offered — an empty pool is the one terminal
+// case, failing fast with ErrNoShard.
 func (p *Pool) do(ctx context.Context, idempotent bool, f func(ctx context.Context, s *shard) error) error {
 	exclude := map[*shard]bool{}
 	var lastErr error
-	failuresLeft := p.opts.MaxFailures
+	failuresLeft := p.maxFailures()
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		if p.ShardCount() == 0 {
+			return fmt.Errorf("%w: pool has no members", ErrNoShard)
 		}
 		s := p.acquire(exclude)
 		if s == nil {
@@ -365,7 +618,7 @@ func (p *Pool) do(ctx context.Context, idempotent bool, f func(ctx context.Conte
 			// The failover budget is spent across the whole pool: that is
 			// the "no healthy shard" outcome, tagged so callers can
 			// distinguish cluster exhaustion from a single bad call.
-			return fmt.Errorf("%w after %d failed attempts: %w", ErrNoShard, p.opts.MaxFailures, lastErr)
+			return fmt.Errorf("%w after %d failed attempts: %w", ErrNoShard, p.maxFailures(), lastErr)
 		}
 		exclude[s] = true
 	}

@@ -51,8 +51,16 @@ func newTestPool(t testing.TB, addrs []string, opts PoolOptions) *Pool {
 }
 
 func TestPoolRejectsBadAddrs(t *testing.T) {
-	if _, err := NewPool(nil, PoolOptions{}); err == nil {
-		t.Fatal("empty shard list accepted")
+	// An empty list is legal since membership went dynamic — a bare
+	// coordinator waits for workers to register — but its calls fail
+	// fast instead of queueing forever.
+	p, err := NewPool(nil, PoolOptions{ProbeInterval: -1})
+	if err != nil {
+		t.Fatalf("empty pool rejected: %v", err)
+	}
+	defer p.Close()
+	if _, err := p.Solve(context.Background(), testInstance(1), "mb", core.Multiple, service.Options{}); !errors.Is(err, ErrNoShard) {
+		t.Fatalf("empty-pool solve err = %v, want ErrNoShard", err)
 	}
 	if _, err := NewPool([]string{"a:1", "a:1"}, PoolOptions{}); err == nil {
 		t.Fatal("duplicate shard accepted")

@@ -62,9 +62,13 @@ type Meta struct {
 	Resumes   int       `json:"resumes,omitempty"`
 	CreatedAt time.Time `json:"created_at"`
 	// StartedAt is the first transition to running; FinishedAt the
-	// transition to a terminal state (zero while resumable).
-	StartedAt  time.Time `json:"started_at,omitzero"`
-	FinishedAt time.Time `json:"finished_at,omitzero"`
+	// transition to a terminal state (zero while resumable). Plain tags
+	// rather than `omitzero` (a Go 1.24+ option that 1.23 ignores):
+	// this only shapes the persisted manifest, where an explicit zero
+	// round-trips fine and identical bytes across toolchains are worth
+	// more than two omitted fields.
+	StartedAt  time.Time `json:"started_at"`
+	FinishedAt time.Time `json:"finished_at"`
 }
 
 // Progress is the completed fraction, in [0, 1].

@@ -1,5 +1,11 @@
 package service
 
+import (
+	"context"
+
+	"repro/internal/core"
+)
+
 // ShardStat is one shard's snapshot as reported on /healthz and
 // /metrics. The type lives here rather than in internal/cluster because
 // the dependency points the other way: cluster implements the service
@@ -13,6 +19,10 @@ type ShardStat struct {
 	State string `json:"state"`
 	// Healthy is true when State is "closed".
 	Healthy bool `json:"healthy"`
+	// Weight is the shard's placement weight (typically its solver
+	// goroutine count, self-reported on /v1/worker/ping or set at
+	// registration). The weighted picker hands out work proportionally.
+	Weight int `json:"weight"`
 	// InFlight is the number of requests on the shard right now.
 	InFlight int `json:"in_flight"`
 	// Requests/Failures count attempts and transient failures against
@@ -23,8 +33,57 @@ type ShardStat struct {
 	Failovers uint64 `json:"failovers"`
 }
 
+// ClusterStats are pool-level counters beyond the per-shard ones.
+type ClusterStats struct {
+	// Epoch increments on every membership change (join, leave, file
+	// reload). Long-running jobs watch it to notice joins mid-run.
+	Epoch uint64 `json:"epoch"`
+	// BatchesRouted counts inline /v1/batch requests fanned out over
+	// the shards; RowsRouted the variations computed remotely by them;
+	// RowsLocalFallback the variations computed on the coordinator
+	// because no shard could (breakers open, pool empty or drained).
+	BatchesRouted     uint64 `json:"batches_routed"`
+	RowsRouted        uint64 `json:"rows_routed"`
+	RowsLocalFallback uint64 `json:"rows_local_fallback"`
+}
+
 // ClusterInfo is what the HTTP layer needs from a shard pool to report
 // cluster health. *cluster.Pool implements it.
 type ClusterInfo interface {
 	ShardStats() []ShardStat
+}
+
+// ClusterMembership extends ClusterInfo with dynamic join/leave — the
+// contract behind POST/DELETE /v1/cluster/shards. *cluster.Pool
+// implements it; the HTTP layer answers 501 for pools that don't.
+type ClusterMembership interface {
+	ClusterInfo
+	// AddShard joins (or, for a known address, re-weights) a shard.
+	// weight <= 0 selects the default (1, refreshed by the next ping).
+	// The bool reports whether the address was new.
+	AddShard(addr string, weight int) (ShardStat, bool, error)
+	// RemoveShard leaves a shard; in-flight requests on it finish (or
+	// fail over) normally. The bool reports whether it was a member.
+	RemoveShard(addr string) bool
+	// Epoch is the current membership epoch.
+	Epoch() uint64
+}
+
+// ClusterStatsProvider is implemented by pools that track pool-level
+// counters for /healthz and /metrics.
+type ClusterStatsProvider interface {
+	ClusterStats() ClusterStats
+}
+
+// BatchRouter is implemented by pools that can execute an inline
+// /v1/batch request across their shards. The handler prefers it over
+// the local engine whenever the daemon fronts a cluster; base and
+// policy are the caller's already-validated req.Build(e) results (the
+// handler needs them for its pre-stream status codes anyway, and the
+// router must not pay for a second build). deliver is called with
+// lines in request (index) order, and implementations fall back to
+// computing on the engine locally for whatever the shards cannot take,
+// so a coordinator with every worker down still answers.
+type BatchRouter interface {
+	RouteBatch(ctx context.Context, e *Engine, base *core.Instance, policy core.Policy, req *BatchPayload, deliver func(BatchLine) error) error
 }

@@ -101,7 +101,8 @@ func (a *api) routes() http.Handler {
 	e := a.e
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, healthPayload{Status: "ok", Stats: e.Stats(), Jobs: a.jobStats(), Shards: a.shardStats()})
+		writeJSON(w, http.StatusOK, healthPayload{Status: "ok", Stats: e.Stats(), Jobs: a.jobStats(),
+			Shards: a.shardStats(), Cluster: a.clusterStats()})
 	})
 	mux.HandleFunc("GET /v1/worker/ping", func(w http.ResponseWriter, r *http.Request) {
 		// The lightweight liveness probe a cluster pool hits on every
@@ -135,13 +136,111 @@ func (a *api) routes() http.Handler {
 	mux.HandleFunc("POST /v1/bound", func(w http.ResponseWriter, r *http.Request) {
 		handleSolve(e, w, r, "lp-")
 	})
-	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
-		handleBatch(e, w, r)
-	})
+	mux.HandleFunc("POST /v1/batch", a.handleBatch)
 	mux.HandleFunc("POST /v1/generate", handleGenerate)
 	mux.HandleFunc("POST /v1/campaign", a.handleCampaign)
+	mux.HandleFunc("GET /v1/cluster/shards", a.handleClusterList)
+	mux.HandleFunc("POST /v1/cluster/shards", a.handleClusterJoin)
+	mux.HandleFunc("DELETE /v1/cluster/shards", a.handleClusterLeave)
 	a.registerJobRoutes(mux)
 	return mux
+}
+
+// membership returns the pool's join/leave surface, nil when the daemon
+// fronts no cluster (or a read-only ClusterInfo implementation).
+func (a *api) membership() ClusterMembership {
+	m, _ := a.cluster.(ClusterMembership)
+	return m
+}
+
+// clusterStats snapshots the pool-level counters, nil without a pool
+// that tracks them.
+func (a *api) clusterStats() *ClusterStats {
+	if p, ok := a.cluster.(ClusterStatsProvider); ok {
+		st := p.ClusterStats()
+		return &st
+	}
+	return nil
+}
+
+// shardChangeWire is the POST/DELETE /v1/cluster/shards body.
+type shardChangeWire struct {
+	Addr   string `json:"addr"`
+	Weight int    `json:"weight"`
+}
+
+// clusterPayload answers the cluster membership endpoints.
+type clusterPayload struct {
+	Epoch   uint64      `json:"epoch"`
+	Shards  []ShardStat `json:"shards"`
+	Joined  *bool       `json:"joined,omitempty"`  // POST: was the address new
+	Removed *bool       `json:"removed,omitempty"` // DELETE: was it a member
+}
+
+var errNoCluster = errors.New("this daemon fronts no shard pool; start it as a coordinator (-shards, -shards-file or -coordinator)")
+
+func (a *api) handleClusterList(w http.ResponseWriter, r *http.Request) {
+	m := a.membership()
+	if m == nil {
+		writeError(w, http.StatusNotImplemented, errNoCluster)
+		return
+	}
+	writeJSON(w, http.StatusOK, clusterPayload{Epoch: m.Epoch(), Shards: m.ShardStats()})
+}
+
+// handleClusterJoin registers (or re-weights) a worker shard. Workers
+// self-register here on a heartbeat, so the handler is idempotent: a
+// known address answers 200 with joined=false.
+func (a *api) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
+	m := a.membership()
+	if m == nil {
+		writeError(w, http.StatusNotImplemented, errNoCluster)
+		return
+	}
+	var req shardChangeWire
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Addr == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing addr"))
+		return
+	}
+	if req.Weight < 0 {
+		writeError(w, http.StatusBadRequest, errors.New("negative weight"))
+		return
+	}
+	_, joined, err := m.AddShard(req.Addr, req.Weight)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, clusterPayload{Epoch: m.Epoch(), Shards: m.ShardStats(), Joined: &joined})
+}
+
+// handleClusterLeave deregisters a shard. The address comes from the
+// JSON body ({"addr": ...}) or, for curl-friendliness, ?addr=. Unknown
+// addresses answer 200 with removed=false — deregistration races a
+// coordinator restart, and the loser should not read it as a failure.
+func (a *api) handleClusterLeave(w http.ResponseWriter, r *http.Request) {
+	m := a.membership()
+	if m == nil {
+		writeError(w, http.StatusNotImplemented, errNoCluster)
+		return
+	}
+	addr := r.URL.Query().Get("addr")
+	if addr == "" {
+		var req shardChangeWire
+		if err := decodeJSON(r, &req); err == nil {
+			addr = req.Addr
+		}
+	}
+	if addr == "" {
+		writeError(w, http.StatusBadRequest, errors.New("missing addr (JSON body or ?addr=)"))
+		return
+	}
+	removed := m.RemoveShard(addr)
+	writeJSON(w, http.StatusOK, clusterPayload{Epoch: m.Epoch(), Shards: m.ShardStats(), Removed: &removed})
 }
 
 // jobStats snapshots the job manager's gauges, nil without a manager.
@@ -162,10 +261,11 @@ func (a *api) shardStats() []ShardStat {
 }
 
 type healthPayload struct {
-	Status string      `json:"status"`
-	Stats  Stats       `json:"stats"`
-	Jobs   *jobs.Stats `json:"jobs,omitempty"`
-	Shards []ShardStat `json:"shards,omitempty"`
+	Status  string        `json:"status"`
+	Stats   Stats         `json:"stats"`
+	Jobs    *jobs.Stats   `json:"jobs,omitempty"`
+	Shards  []ShardStat   `json:"shards,omitempty"`
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
 // pingPayload is the GET /v1/worker/ping body.
@@ -270,18 +370,6 @@ func handleSolve(e *Engine, w http.ResponseWriter, r *http.Request, prefix strin
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// batchRequest is the /v1/batch body: one topology, base parameter
-// vectors, and N per-variation overrides. Vector field names match the
-// instance wire format ("requests", "capacities", ...).
-type batchRequest struct {
-	Topology   batchTopology    `json:"topology"`
-	Solver     string           `json:"solver"`
-	Policy     string           `json:"policy"`
-	Options    wireOptions      `json:"options"`
-	Base       BatchVariation   `json:"base"`
-	Variations []BatchVariation `json:"variations"`
-}
-
 type batchTopology struct {
 	Parents  []int  `json:"parents"`
 	IsClient []bool `json:"is_client"`
@@ -301,9 +389,10 @@ type batchDone struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
-func handleBatch(e *Engine, w http.ResponseWriter, r *http.Request) {
+func (a *api) handleBatch(w http.ResponseWriter, r *http.Request) {
+	e := a.e
 	start := time.Now()
-	var req batchRequest
+	var req BatchPayload
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -312,52 +401,19 @@ func handleBatch(e *Engine, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("missing solver"))
 		return
 	}
-	policy := core.Multiple
-	if req.Policy != "" {
-		p, ok := core.ParsePolicy(req.Policy)
-		if !ok {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown policy %q", req.Policy))
-			return
-		}
-		policy = p
-	}
-	// Intern the topology: one preprocessed tree for the whole batch,
-	// shared with every earlier batch over the same shape.
-	t, err := e.InternTree(req.Topology.Parents, req.Topology.IsClient)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if len(req.Variations) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("missing variations"))
 		return
 	}
-	base := batchBaseInstance(t, req.Base)
-	if err := base.Validate(); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if len(req.Variations) > MaxBatchVariations {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch limited to %d variations, got %d",
+			MaxBatchVariations, len(req.Variations)))
 		return
 	}
-
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
-	failed := 0
-	err = e.SolveBatch(r.Context(), BatchRequest{
-		Base:       base,
-		Solver:     req.Solver,
-		Policy:     policy,
-		Options:    req.Options.options(),
-		Variations: req.Variations,
-	}, func(item BatchItem) {
-		line := BatchLine{Index: item.Index, Response: item.Response}
-		if item.Err != nil {
-			failed++
-			line.Error = item.Err.Error()
-		}
-		enc.Encode(line)
-		if flusher != nil {
-			flusher.Flush()
-		}
-	})
+	// Full validation (topology interning, base vectors, solver/policy
+	// resolution) before the status line is committed.
+	base, policy, err := req.Build(e)
 	if err != nil {
-		// Nothing streamed yet: batch-level validation failures happen
-		// before the first deliver, so plain status errors still apply.
 		var unknown *ErrUnknownSolver
 		if errors.As(err, &unknown) {
 			writeError(w, http.StatusNotFound, err)
@@ -365,6 +421,58 @@ func handleBatch(e *Engine, w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, err)
 		}
 		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	failed := 0
+	emit := func(line BatchLine) error {
+		if line.Error != "" {
+			failed++
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+
+	if router, ok := a.cluster.(BatchRouter); ok {
+		// A coordinator routes the inline batch across its shards:
+		// weighted chunks, lines streamed back in index order, and a
+		// local-engine fallback for whatever the cluster cannot take —
+		// a pool with every breaker open degrades to exactly the
+		// standalone path. Mid-stream failures (the client went away,
+		// the request context expired) are reported in-stream like the
+		// campaign endpoint's.
+		if err := router.RouteBatch(r.Context(), e, base, policy, &req, emit); err != nil {
+			enc.Encode(map[string]string{"error": err.Error()})
+			return
+		}
+	} else {
+		err = e.SolveBatch(r.Context(), BatchRequest{
+			Base:       base,
+			Solver:     req.Solver,
+			Policy:     policy,
+			Options:    req.Options.options(),
+			Variations: req.Variations,
+		}, func(item BatchItem) {
+			line := BatchLine{Index: item.Index, Response: item.Response}
+			if item.Err != nil {
+				line.Error = item.Err.Error()
+			}
+			emit(line)
+		})
+		if err != nil {
+			// SolveBatch re-validates cheaply; nothing can fail here that
+			// Build did not already catch, but keep the belt-and-braces
+			// in-stream report rather than a broken trailer.
+			enc.Encode(map[string]string{"error": err.Error()})
+			return
+		}
 	}
 	enc.Encode(batchDone{
 		Done:      true,

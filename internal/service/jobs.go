@@ -188,6 +188,10 @@ type BatchPayload struct {
 	Variations []BatchVariation `json:"variations"`
 }
 
+// EngineOptions converts the payload's wire options to engine Options
+// (exported for the cluster's routed-batch local fallback).
+func (req *BatchPayload) EngineOptions() Options { return req.Options.options() }
+
 // DecodeBatchPayload strictly decodes a /v1/batch-shaped job payload.
 func DecodeBatchPayload(payload json.RawMessage) (*BatchPayload, error) {
 	if len(payload) == 0 {

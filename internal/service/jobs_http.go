@@ -17,17 +17,21 @@ import (
 // from listings (they can be megabytes for batch jobs); the submit
 // response echoes what was accepted via the id.
 type jobInfo struct {
-	ID         string    `json:"id"`
-	Kind       string    `json:"kind"`
-	State      string    `json:"state"`
-	Error      string    `json:"error,omitempty"`
-	Progress   float64   `json:"progress"`
-	RowsDone   int       `json:"rows_done"`
-	RowsTotal  int       `json:"rows_total"`
-	Resumes    int       `json:"resumes,omitempty"`
-	CreatedAt  time.Time `json:"created_at"`
-	StartedAt  time.Time `json:"started_at,omitzero"`
-	FinishedAt time.Time `json:"finished_at,omitzero"`
+	ID        string    `json:"id"`
+	Kind      string    `json:"kind"`
+	State     string    `json:"state"`
+	Error     string    `json:"error,omitempty"`
+	Progress  float64   `json:"progress"`
+	RowsDone  int       `json:"rows_done"`
+	RowsTotal int       `json:"rows_total"`
+	Resumes   int       `json:"resumes,omitempty"`
+	CreatedAt time.Time `json:"created_at"`
+	// Pointers rather than `omitzero` tags: that option is Go 1.24+
+	// and silently ignored by Go 1.23's encoding/json, and this module
+	// supports both toolchains — the wire format must not depend on
+	// which one built the daemon.
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
 }
 
 func wireJob(m jobs.Meta) jobInfo {
@@ -41,9 +45,17 @@ func wireJob(m jobs.Meta) jobInfo {
 		RowsTotal:  m.RowsTotal,
 		Resumes:    m.Resumes,
 		CreatedAt:  m.CreatedAt,
-		StartedAt:  m.StartedAt,
-		FinishedAt: m.FinishedAt,
+		StartedAt:  wireTime(m.StartedAt),
+		FinishedAt: wireTime(m.FinishedAt),
 	}
+}
+
+// wireTime maps the zero time ("not yet") to an omitted field.
+func wireTime(t time.Time) *time.Time {
+	if t.IsZero() {
+		return nil
+	}
+	return &t
 }
 
 // jobSubmitRequest is the POST /v1/jobs body: a kind plus that kind's

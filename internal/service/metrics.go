@@ -95,6 +95,16 @@ func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if a.cluster != nil {
+		if cs := a.clusterStats(); cs != nil {
+			p.family("rp_cluster_epoch", "gauge", "Shard membership epoch (increments on join/leave/re-weight).")
+			p.sample("rp_cluster_epoch", "", float64(cs.Epoch))
+			p.family("rp_cluster_batches_routed_total", "counter", "Inline batches fanned out over the shards.")
+			p.sample("rp_cluster_batches_routed_total", "", float64(cs.BatchesRouted))
+			p.family("rp_cluster_batch_rows_routed_total", "counter", "Inline batch variations computed on shards.")
+			p.sample("rp_cluster_batch_rows_routed_total", "", float64(cs.RowsRouted))
+			p.family("rp_cluster_batch_rows_local_total", "counter", "Inline batch variations computed locally because no shard could take them.")
+			p.sample("rp_cluster_batch_rows_local_total", "", float64(cs.RowsLocalFallback))
+		}
 		shards := a.cluster.ShardStats()
 		p.family("rp_cluster_shard_up", "gauge", "1 when the shard's circuit is closed (healthy).")
 		for _, s := range shards {
@@ -103,6 +113,10 @@ func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				up = 1
 			}
 			p.sample("rp_cluster_shard_up", shardLabel(s.Addr), up)
+		}
+		p.family("rp_cluster_shard_weight", "gauge", "Placement weight of the shard (self-reported capacity).")
+		for _, s := range shards {
+			p.sample("rp_cluster_shard_weight", shardLabel(s.Addr), float64(s.Weight))
 		}
 		p.family("rp_cluster_shard_in_flight", "gauge", "Requests on the shard right now.")
 		for _, s := range shards {

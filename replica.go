@@ -281,19 +281,36 @@ func NewJobsManager(e *Engine, dir string, workers int) (*JobsManager, error) {
 // worker daemons (rpworker, or rpserve -worker) speaking the ordinary
 // HTTP surface.
 type (
-	// ClusterPool fans work out over a static list of worker shards,
+	// ClusterPool fans work out over a dynamic set of worker shards,
 	// with per-shard health probing, circuit breaking, bounded
-	// in-flight requests and retry-with-failover.
+	// in-flight requests, load-weighted placement and
+	// retry-with-failover. Membership changes at runtime via
+	// AddShard/RemoveShard (the POST/DELETE /v1/cluster/shards API),
+	// SyncFile (a shards-file reload) or a worker's ClusterRegistrar.
 	ClusterPool = cluster.Pool
 	// ClusterPoolOptions configures NewClusterPool; its zero value is
 	// ready to use.
 	ClusterPoolOptions = cluster.PoolOptions
+	// ClusterShardEntry is one parsed shards-file line (address plus
+	// optional explicit weight).
+	ClusterShardEntry = cluster.ShardEntry
+	// ClusterRegistrar keeps a worker registered with a coordinator:
+	// POST at startup, heartbeat re-registration, DELETE on Stop.
+	ClusterRegistrar = cluster.Registrar
 )
 
 // NewClusterPool builds a shard pool over worker addresses ("host:port"
-// or full URLs) and starts its health prober. Close it when done.
+// or full URLs) and starts its health prober. The list may be empty —
+// workers can join a running pool later. Close it when done.
 func NewClusterPool(addrs []string, opts ClusterPoolOptions) (*ClusterPool, error) {
 	return cluster.NewPool(addrs, opts)
+}
+
+// ParseClusterShardsFile parses a shards file: one "addr [weight]" per
+// line, #-comments allowed. Feed the entries to ClusterPool.SyncFile
+// to reconcile a running pool's file-managed membership.
+func ParseClusterShardsFile(r io.Reader) ([]ClusterShardEntry, error) {
+	return cluster.ParseShardsFile(r)
 }
 
 // RegisterRemoteSolvers registers, for every solver in the registry, a
