@@ -65,6 +65,12 @@
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops,
 // running jobs checkpoint (resumable on restart), and queued plus
 // in-flight solves drain within -drain.
+//
+// Observability: logs are structured (-log-format text|json, -log-level
+// debug|info|warn|error) and every request-scoped line carries the
+// request's trace ID (X-RP-Trace-Id, generated when absent). Requests
+// slower than -slow-request are logged at warn. -pprof mounts
+// net/http/pprof under /debug/pprof/ (off by default).
 package main
 
 import (
@@ -72,7 +78,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -82,6 +88,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -108,8 +115,21 @@ func main() {
 		register     = flag.String("register", "", "worker mode: coordinator URL to self-register with (heartbeat re-registers, graceful shutdown deregisters)")
 		advertise    = flag.String("advertise", "", "worker mode: address the coordinator dials back (default derived from -addr)")
 		registerInt  = flag.Duration("register-interval", 10*time.Second, "worker mode: self-registration heartbeat period")
+		logFormat    = flag.String("log-format", "text", "log output format: text or json")
+		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		slowReq      = flag.Duration("slow-request", 0, "log requests slower than this at warn level (0 = disabled)")
+		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	logger = logger.With("daemon", "rpserve")
 	coordMode := *shards != "" || *shardsFile != "" || *coordinator
 	if *worker {
 		if coordMode {
@@ -139,7 +159,7 @@ func main() {
 			addrs = strings.Split(*shards, ",")
 		}
 		var err error
-		pool, err = cluster.NewPool(addrs, cluster.PoolOptions{MaxInFlight: *shardConc})
+		pool, err = cluster.NewPool(addrs, cluster.PoolOptions{MaxInFlight: *shardConc, Logger: logger})
 		if err != nil {
 			fatalf("building shard pool: %v", err)
 		}
@@ -148,7 +168,7 @@ func main() {
 			if _, _, err := pool.SyncFromFile(*shardsFile); err != nil {
 				fatalf("loading shards file: %v", err)
 			}
-			go reloadShardsLoop(pool, *shardsFile, *shardsReload)
+			go reloadShardsLoop(pool, *shardsFile, *shardsReload, logger)
 		}
 		if err := cluster.RegisterRemote(registry, pool); err != nil {
 			fatalf("registering remote solvers: %v", err)
@@ -156,9 +176,9 @@ func main() {
 		pingCtx, pingCancel := context.WithTimeout(context.Background(), 5*time.Second)
 		for addr, err := range pool.Ping(pingCtx) {
 			if err != nil {
-				log.Printf("rpserve: shard %s unreachable at startup (will keep probing): %v", addr, err)
+				logger.Warn("shard unreachable at startup; will keep probing", "shard", addr, "error", err)
 			} else {
-				log.Printf("rpserve: shard %s up", addr)
+				logger.Info("shard up", "shard", addr)
 			}
 		}
 		pingCancel()
@@ -172,9 +192,14 @@ func main() {
 		CacheTTL:       *cacheTTL,
 		DefaultTimeout: *timeout,
 		Registry:       registry,
+		Logger:         logger,
 	})
 
-	handlerOpts := service.HandlerOptions{MaxInlineCampaigns: *campaigns}
+	handlerOpts := service.HandlerOptions{
+		MaxInlineCampaigns: *campaigns,
+		Logger:             logger,
+		SlowRequest:        *slowReq,
+	}
 	var manager *jobs.Manager
 	if *worker {
 		// A worker shard serves raw capacity: no job manager, and the
@@ -194,12 +219,13 @@ func main() {
 			Workers:   *jobWorkers,
 			RetainFor: *jobTTL,
 			Kinds:     kinds,
+			Logger:    logger,
 		})
 		if err != nil {
 			fatalf("opening job store: %v", err)
 		}
 		if n := manager.Recovered(); n > 0 {
-			log.Printf("rpserve: resuming %d unfinished job(s) from %s", n, *jobsDir)
+			logger.Info("resuming unfinished jobs", "count", n, "dir", *jobsDir)
 		}
 		handlerOpts.Jobs = manager
 	}
@@ -207,10 +233,24 @@ func main() {
 		handlerOpts.Cluster = pool
 	}
 
+	var handler http.Handler = service.NewHandlerOpts(engine, handlerOpts)
+	if *pprofOn {
+		// An outer mux keeps pprof off the instrumented API mux (profile
+		// downloads would drown the latency histograms) and far away from
+		// http.DefaultServeMux.
+		root := http.NewServeMux()
+		root.Handle("/", handler)
+		obs.RegisterPprof(root)
+		handler = root
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewHandlerOpts(engine, handlerOpts),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
+		// net/http's own complaints (TLS handshake noise, panics) flow
+		// through the structured logger too, so json mode stays json.
+		ErrorLog: slog.NewLogLogger(logger.Handler(), slog.LevelError),
 	}
 
 	var registrar *cluster.Registrar
@@ -223,7 +263,7 @@ func main() {
 			Coordinator: *register,
 			Advertise:   adv,
 			Interval:    *registerInt,
-			Logf:        func(f string, a ...any) { log.Printf("rpserve: "+f, a...) },
+			Logger:      logger,
 		}
 	}
 
@@ -236,7 +276,7 @@ func main() {
 		case pool != nil:
 			mode = fmt.Sprintf("coordinator over %d shard(s)", len(pool.Addrs()))
 		}
-		log.Printf("rpserve: listening on %s (%d workers, %s)", *addr, engine.Stats().Workers, mode)
+		logger.Info("listening", "addr", *addr, "workers", engine.Stats().Workers, "mode", mode)
 		if registrar != nil {
 			if err := registrar.Start(); err != nil {
 				errc <- err
@@ -250,7 +290,7 @@ func main() {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("rpserve: %v, draining for up to %s", sig, *drain)
+		logger.Info("shutting down", "signal", sig.String(), "drain", drain.String())
 	case err := <-errc:
 		fatalf("%v", err)
 	}
@@ -263,26 +303,26 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("rpserve: http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err)
 	}
 	// Jobs first: running jobs checkpoint (interrupted, resumable on the
 	// next start) and release their engine work before the engine pool
 	// itself drains.
 	if manager != nil {
 		if err := manager.Close(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-			log.Printf("rpserve: jobs shutdown: %v", err)
+			logger.Warn("jobs shutdown", "error", err)
 		}
 	}
 	if err := engine.Close(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("rpserve: engine shutdown: %v", err)
+		logger.Warn("engine shutdown", "error", err)
 	}
-	log.Printf("rpserve: bye")
+	logger.Info("bye")
 }
 
 // reloadShardsLoop re-reads the shards file on SIGHUP and, when the
 // interval is positive, periodically — the poor man's config watcher,
 // good enough for a file that changes on operator action.
-func reloadShardsLoop(pool *cluster.Pool, path string, every time.Duration) {
+func reloadShardsLoop(pool *cluster.Pool, path string, every time.Duration, logger *slog.Logger) {
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	var tick <-chan time.Time
@@ -299,10 +339,10 @@ func reloadShardsLoop(pool *cluster.Pool, path string, every time.Duration) {
 		added, removed, err := pool.SyncFromFile(path)
 		switch {
 		case err != nil:
-			log.Printf("rpserve: shards file reload: %v", err)
+			logger.Warn("shards file reload failed", "path", path, "error", err)
 		case added+removed > 0:
-			log.Printf("rpserve: shards file reload: +%d/-%d shard(s), epoch %d, members %v",
-				added, removed, pool.Epoch(), pool.Addrs())
+			logger.Info("shards file reloaded", "added", added, "removed", removed,
+				"epoch", pool.Epoch(), "members", fmt.Sprintf("%v", pool.Addrs()))
 		}
 	}
 }

@@ -41,7 +41,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -65,8 +66,21 @@ func main() {
 		register   = flag.String("register", "", "coordinator URL to self-register with (POST /v1/cluster/shards + heartbeat)")
 		advertise  = flag.String("advertise", "", "address the coordinator dials back (default derived from -addr)")
 		regEvery   = flag.Duration("register-interval", 10*time.Second, "self-registration heartbeat period")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		slowReq    = flag.Duration("slow-request", 0, "log requests slower than this at warn level (0 = disabled)")
+		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, level)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	logger = logger.With("daemon", "rpworker")
 
 	engine := service.NewEngine(service.EngineOptions{
 		Workers:        *workers,
@@ -75,14 +89,28 @@ func main() {
 		CacheMaxBytes:  *cacheBytes,
 		CacheTTL:       *cacheTTL,
 		DefaultTimeout: *timeout,
+		Logger:         logger,
 	})
+	// No job manager: /v1/jobs answers 501 pointing at the coordinator.
+	// Campaign streams are unbounded — the pool that feeds this worker
+	// is the admission controller.
+	var handler http.Handler = service.NewHandlerOpts(engine, service.HandlerOptions{
+		MaxInlineCampaigns: -1,
+		Logger:             logger,
+		SlowRequest:        *slowReq,
+	})
+	if *pprofOn {
+		root := http.NewServeMux()
+		root.Handle("/", handler)
+		obs.RegisterPprof(root)
+		handler = root
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
 	srv := &http.Server{
-		Addr: *addr,
-		// No job manager: /v1/jobs answers 501 pointing at the
-		// coordinator. Campaign streams are unbounded — the pool that
-		// feeds this worker is the admission controller.
-		Handler:           service.NewHandlerOpts(engine, service.HandlerOptions{MaxInlineCampaigns: -1}),
+		Addr:              *addr,
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
+		ErrorLog:          slog.NewLogLogger(logger.Handler(), slog.LevelError),
 	}
 
 	var registrar *cluster.Registrar
@@ -95,13 +123,13 @@ func main() {
 			Coordinator: *register,
 			Advertise:   adv,
 			Interval:    *regEvery,
-			Logf:        func(f string, a ...any) { log.Printf("rpworker: "+f, a...) },
+			Logger:      logger,
 		}
 	}
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("rpworker: listening on %s (%d workers)", *addr, engine.Stats().Workers)
+		logger.Info("listening", "addr", *addr, "workers", engine.Stats().Workers)
 		if registrar != nil {
 			if err := registrar.Start(); err != nil {
 				errc <- err
@@ -115,10 +143,9 @@ func main() {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("rpworker: %v, draining for up to %s", sig, *drain)
+		logger.Info("shutting down", "signal", sig.String(), "drain", drain.String())
 	case err := <-errc:
-		fmt.Fprintf(os.Stderr, "rpworker: %v\n", err)
-		os.Exit(1)
+		fatalf("%v", err)
 	}
 
 	// Leave the pool first: the coordinator stops handing this worker
@@ -129,10 +156,15 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("rpworker: http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err)
 	}
 	if err := engine.Close(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("rpworker: engine shutdown: %v", err)
+		logger.Warn("engine shutdown", "error", err)
 	}
-	log.Printf("rpworker: bye")
+	logger.Info("bye")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "rpworker: "+format+"\n", args...)
+	os.Exit(1)
 }

@@ -1,0 +1,200 @@
+// Command obscheck is the observability sidekick of the cluster
+// example (examples/cluster/run.sh) and of CI: it validates what the
+// daemons emit, using the same strict exposition parser the unit tests
+// use, so a malformed metric or a stray unstructured log line fails
+// the walkthrough instead of scrolling by.
+//
+// Modes (the first argument):
+//
+//	obscheck logs FILE...
+//	    every non-empty line of every file must parse as a JSON object
+//	    (what -log-format json promises). Prints a per-file line count.
+//
+//	obscheck metrics URL...
+//	    GET each URL's /metrics and strictly parse the Prometheus text
+//	    exposition — HELP/TYPE pairing, label escaping, histogram
+//	    bucket invariants. Prints family/sample counts.
+//
+//	obscheck latency URL
+//	    GET URL/metrics and print a human latency summary: per-shard
+//	    RTT (rp_cluster_shard_rtt_seconds), batch chunk and reorder
+//	    waits, and per-solver compute times, each as count + mean.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fail("usage: obscheck logs FILE... | metrics URL... | latency URL")
+	}
+	mode, args := os.Args[1], os.Args[2:]
+	switch mode {
+	case "logs":
+		if len(args) == 0 {
+			fail("obscheck logs: no files given")
+		}
+		for _, path := range args {
+			n, err := checkJSONLog(path)
+			if err != nil {
+				fail("obscheck logs: %s: %v", path, err)
+			}
+			fmt.Printf("obscheck: %s: %d JSON log line(s)\n", path, n)
+		}
+	case "metrics":
+		if len(args) == 0 {
+			fail("obscheck metrics: no URLs given")
+		}
+		for _, url := range args {
+			fams, samples, err := checkMetrics(url)
+			if err != nil {
+				fail("obscheck metrics: %s: %v", url, err)
+			}
+			fmt.Printf("obscheck: %s/metrics: %d families, %d samples, exposition OK\n", url, fams, samples)
+		}
+	case "latency":
+		if len(args) != 1 {
+			fail("obscheck latency: want exactly one URL")
+		}
+		if err := printLatency(args[0]); err != nil {
+			fail("obscheck latency: %s: %v", args[0], err)
+		}
+	default:
+		fail("obscheck: unknown mode %q (want logs|metrics|latency)", mode)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+// checkJSONLog requires every non-empty line to be one JSON object —
+// the contract of -log-format json (including http.Server.ErrorLog,
+// which the daemons route through the structured handler).
+func checkJSONLog(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	n, lineNo := 0, 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var record map[string]any
+		if err := json.Unmarshal([]byte(line), &record); err != nil {
+			return n, fmt.Errorf("line %d is not a JSON object: %q", lineNo, line)
+		}
+		for _, key := range []string{"time", "level", "msg"} {
+			if _, ok := record[key]; !ok {
+				return n, fmt.Errorf("line %d lacks the %q field: %q", lineNo, key, line)
+			}
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("no log lines at all")
+	}
+	return n, nil
+}
+
+func scrape(url string) (map[string]*obs.Family, error) {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	return obs.ParseExposition(resp.Body)
+}
+
+func checkMetrics(url string) (families, samples int, err error) {
+	fams, err := scrape(url)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, f := range fams {
+		families++
+		samples += len(f.Samples)
+	}
+	if families == 0 {
+		return 0, 0, fmt.Errorf("exposition is empty")
+	}
+	return families, samples, nil
+}
+
+// printLatency renders the coordinator's latency histograms as
+// count + mean per series — the post-campaign summary run.sh prints.
+func printLatency(url string) error {
+	fams, err := scrape(url)
+	if err != nil {
+		return err
+	}
+	series := func(family, label string) {
+		f := fams[family]
+		if f == nil {
+			return
+		}
+		type agg struct{ sum, count float64 }
+		byKey := map[string]*agg{}
+		for _, s := range f.Samples {
+			key := s.Label(label)
+			a := byKey[key]
+			if a == nil {
+				a = &agg{}
+				byKey[key] = a
+			}
+			switch {
+			case strings.HasSuffix(s.Name, "_sum"):
+				a.sum += s.Value
+			case strings.HasSuffix(s.Name, "_count"):
+				a.count += s.Value
+			}
+		}
+		keys := make([]string, 0, len(byKey))
+		for k := range byKey {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			a := byKey[k]
+			name := family
+			if k != "" {
+				name = fmt.Sprintf("%s{%s=%q}", family, label, k)
+			}
+			if a.count == 0 {
+				fmt.Printf("  %-70s no observations\n", name)
+				continue
+			}
+			fmt.Printf("  %-70s n=%-6.0f mean=%.3fms\n", name, a.count, a.sum/a.count*1000)
+		}
+	}
+	fmt.Printf("latency summary for %s:\n", url)
+	series("rp_cluster_shard_rtt_seconds", "shard")
+	series("rp_cluster_batch_chunk_seconds", "")
+	series("rp_cluster_batch_reorder_wait_seconds", "")
+	series("rp_engine_solve_seconds", "solver")
+	series("rp_engine_queue_wait_seconds", "solver")
+	series("rp_jobs_duration_seconds", "")
+	return nil
+}

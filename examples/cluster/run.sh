@@ -22,6 +22,12 @@
 #                                            # finish on the newcomer with
 #                                            # an identical result
 #
+# Every daemon runs with -log-format json; at the end the obscheck
+# helper asserts every emitted log line is valid structured JSON,
+# scrapes /metrics from the coordinator and a worker through the strict
+# exposition parser, and prints a per-shard latency summary from the
+# rp_cluster_shard_rtt_seconds histograms.
+#
 # Needs only bash + curl (+ go to build). Ports via W1_PORT/W2_PORT/
 # COORD_PORT/SINGLE_PORT (defaults 18081/18082/18080/18083).
 set -euo pipefail
@@ -51,9 +57,14 @@ trap cleanup EXIT
 
 say() { echo "==> $*"; }
 
-say "building rpserve + rpworker"
+say "building rpserve + rpworker + obscheck"
 go build -o "$BIN/rpserve" ./cmd/rpserve
 go build -o "$BIN/rpworker" ./cmd/rpworker
+go build -o "$BIN/obscheck" ./examples/cluster/obscheck
+
+LOGS="$BIN/logs"
+mkdir -p "$LOGS"
+OBS_FLAGS=(-log-format json -slow-request 2s)
 
 wait_ready() { # url
   for _ in $(seq 1 100); do
@@ -73,20 +84,20 @@ json_int() { # name
 
 if [ "$JOIN_WORKER" = "1" ]; then
   say "starting worker 1 only (:$W1_PORT) — worker 2 will hot-join mid-run"
-  "$BIN/rpworker" -addr "127.0.0.1:$W1_PORT" &
+  "$BIN/rpworker" -addr "127.0.0.1:$W1_PORT" "${OBS_FLAGS[@]}" 2>"$LOGS/w1.log" &
   W1_PID=$!; PIDS+=("$W1_PID")
   wait_ready "http://127.0.0.1:$W1_PORT"
 
   say "starting the coordinator (:$COORD_PORT) over worker 1 alone"
   "$BIN/rpserve" -addr "127.0.0.1:$COORD_PORT" \
     -shards "127.0.0.1:$W1_PORT" \
-    -jobs-dir "$JOBS_DIR" -job-ttl 24h &
+    -jobs-dir "$JOBS_DIR" -job-ttl 24h "${OBS_FLAGS[@]}" 2>"$LOGS/coord.log" &
   PIDS+=("$!")
 else
   say "starting two workers (:$W1_PORT, :$W2_PORT)"
-  "$BIN/rpworker" -addr "127.0.0.1:$W1_PORT" &
+  "$BIN/rpworker" -addr "127.0.0.1:$W1_PORT" "${OBS_FLAGS[@]}" 2>"$LOGS/w1.log" &
   W1_PID=$!; PIDS+=("$W1_PID")
-  "$BIN/rpworker" -addr "127.0.0.1:$W2_PORT" &
+  "$BIN/rpworker" -addr "127.0.0.1:$W2_PORT" "${OBS_FLAGS[@]}" 2>"$LOGS/w2.log" &
   PIDS+=("$!")
   wait_ready "http://127.0.0.1:$W1_PORT"
   wait_ready "http://127.0.0.1:$W2_PORT"
@@ -94,7 +105,7 @@ else
   say "starting the coordinator (:$COORD_PORT) over both shards"
   "$BIN/rpserve" -addr "127.0.0.1:$COORD_PORT" \
     -shards "127.0.0.1:$W1_PORT,127.0.0.1:$W2_PORT" \
-    -jobs-dir "$JOBS_DIR" -job-ttl 24h &
+    -jobs-dir "$JOBS_DIR" -job-ttl 24h "${OBS_FLAGS[@]}" 2>"$LOGS/coord.log" &
   PIDS+=("$!")
 fi
 COORD="http://127.0.0.1:$COORD_PORT"
@@ -138,7 +149,8 @@ if [ "$JOIN_WORKER" = "1" ]; then
 
   say "hot-registering worker 2 (:$W2_PORT) via rpworker -register"
   "$BIN/rpworker" -addr "127.0.0.1:$W2_PORT" \
-    -register "$COORD" -advertise "127.0.0.1:$W2_PORT" -register-interval 1s &
+    -register "$COORD" -advertise "127.0.0.1:$W2_PORT" -register-interval 1s \
+    "${OBS_FLAGS[@]}" 2>"$LOGS/w2.log" &
   PIDS+=("$!")
   for _ in $(seq 1 100); do
     if curl -sf "$COORD/v1/cluster/shards" | grep -q ":$W2_PORT"; then break; fi
@@ -168,8 +180,14 @@ done
 curl -sf "$COORD/v1/jobs/$JOB_ID/result?format=csv" > "$BIN/sharded.csv"
 say "sharded result: $(wc -l < "$BIN/sharded.csv") CSV lines"
 
+say "per-shard latency summary from the coordinator's histograms"
+"$BIN/obscheck" latency "$COORD"
+
+say "scraping /metrics through the strict exposition parser"
+"$BIN/obscheck" metrics "$COORD" "http://127.0.0.1:$W2_PORT"
+
 say "running the same campaign on a single-process rpserve (:$SINGLE_PORT)"
-"$BIN/rpserve" -addr "127.0.0.1:$SINGLE_PORT" &
+"$BIN/rpserve" -addr "127.0.0.1:$SINGLE_PORT" "${OBS_FLAGS[@]}" 2>"$LOGS/single.log" &
 PIDS+=("$!")
 SINGLE="http://127.0.0.1:$SINGLE_PORT"
 wait_ready "$SINGLE"
@@ -192,6 +210,18 @@ fi
 
 say "cluster health after the run:"
 curl -sf "$COORD/healthz" | tr ',' '\n' | grep -E '"addr"|"state"|"failovers"' || true
+
+# Every line each daemon wrote to stderr must be structured JSON —
+# including net/http's own error logging, which the daemons route
+# through the slog handler. Worker 1's log is skipped in the modes that
+# SIGKILL it: a kill can tear its final line mid-write.
+say "validating structured JSON logs"
+LOG_FILES=("$LOGS/coord.log" "$LOGS/single.log")
+if [ "$KILL_WORKER" = "0" ] && [ "$JOIN_WORKER" = "0" ]; then
+  LOG_FILES+=("$LOGS/w1.log")
+fi
+[ -f "$LOGS/w2.log" ] && LOG_FILES+=("$LOGS/w2.log")
+"$BIN/obscheck" logs "${LOG_FILES[@]}"
 
 SUFFIX=""
 [ "$KILL_WORKER" = "1" ] && SUFFIX=" (with a worker killed mid-run)"

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/service"
@@ -27,22 +28,28 @@ func (p *Pool) RouteBatch(ctx context.Context, e *service.Engine, base *core.Ins
 	defer cancel()
 
 	total := len(req.Variations)
+	type bufferedLine struct {
+		line service.BatchLine
+		at   time.Time // when the line completed and entered the buffer
+	}
 	var (
 		mu      sync.Mutex
-		pending = map[int]service.BatchLine{} // buffered out-of-order lines
-		next    int                           // lowest index not yet delivered
+		pending = map[int]bufferedLine{} // buffered out-of-order lines
+		next    int                      // lowest index not yet delivered
 		done    = make(map[int]bool, total)
 		sinkErr error
 	)
 	// emit buffers the line and flushes the contiguous prefix, so the
 	// stream is ordered by variation index no matter which shard (or
-	// the local engine) finished first. Callers hold mu.
+	// the local engine) finished first. The buffered time feeds the
+	// reorder-wait histogram: how long finished lines sat waiting for
+	// earlier indices. Callers hold mu.
 	emit := func(line service.BatchLine) {
 		if sinkErr != nil || done[line.Index] {
 			return
 		}
 		done[line.Index] = true
-		pending[line.Index] = line
+		pending[line.Index] = bufferedLine{line: line, at: time.Now()}
 		for {
 			l, ok := pending[next]
 			if !ok {
@@ -50,7 +57,8 @@ func (p *Pool) RouteBatch(ctx context.Context, e *service.Engine, base *core.Ins
 			}
 			delete(pending, next)
 			next++
-			if err := deliver(l); err != nil {
+			p.reorderWait.Observe(time.Since(l.at))
+			if err := deliver(l.line); err != nil {
 				sinkErr = err
 				cancel() // the client is gone; stop burning shards
 				return
@@ -82,7 +90,8 @@ func (p *Pool) RouteBatch(ctx context.Context, e *service.Engine, base *core.Ins
 				// Chunk failures are not reported upward: the next round
 				// re-partitions whatever is still missing, and the local
 				// fallback is the terminal safety net.
-				p.BatchChunk(ctx, &sub, func(line service.BatchLine) {
+				chunkStart := time.Now()
+				err := p.BatchChunk(ctx, &sub, func(line service.BatchLine) {
 					if line.Index < 0 || line.Index >= len(chunk) {
 						return // a confused shard must not crash the stream
 					}
@@ -97,6 +106,9 @@ func (p *Pool) RouteBatch(ctx context.Context, e *service.Engine, base *core.Ins
 					emit(line)
 					mu.Unlock()
 				})
+				if err == nil {
+					p.batchChunk.Observe(time.Since(chunkStart))
+				}
 			}(chunk, sub)
 		}
 		wg.Wait()
@@ -211,4 +223,5 @@ var (
 	_ service.ClusterMembership    = (*Pool)(nil)
 	_ service.ClusterStatsProvider = (*Pool)(nil)
 	_ service.BatchRouter          = (*Pool)(nil)
+	_ service.ClusterLatencies     = (*Pool)(nil)
 )

@@ -13,6 +13,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -42,10 +44,20 @@ func (p *Pool) postJSON(ctx context.Context, s *shard, path string, body any) (*
 		return nil, &permanentError{err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if id := obs.Trace(ctx); id != "" {
+		// Propagate the coordinator's trace to the shard: its access log
+		// and error bodies then carry the same ID as the originating
+		// request (HTTP requests, and job runs via the manager's context).
+		req.Header.Set(obs.TraceHeader, id)
+	}
+	start := time.Now()
 	resp, err := p.opts.Client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %s%s: %w", s.addr, path, err)
 	}
+	// Headers are back, so this is the shard's round-trip (body streaming
+	// is accounted by the caller — chunk timing, scan loops).
+	p.shardRTT.Observe(s.addr, time.Since(start))
 	if resp.StatusCode != http.StatusOK {
 		defer resp.Body.Close()
 		msg := readErrorBody(resp.Body)
@@ -196,6 +208,7 @@ func (p *Pool) CampaignRow(ctx context.Context, cfg experiments.Config, index in
 	cfg.StartRow, cfg.EndRow = index, index+1
 	var out experiments.Row
 	err := p.do(ctx, true, func(ctx context.Context, s *shard) error {
+		jobs.PostEvent(ctx, jobs.EventDispatch, fmt.Sprintf("campaign row %d on %s", index, s.addr))
 		resp, err := p.postJSON(ctx, s, "/v1/campaign", campaignWire{Config: cfg})
 		if err != nil {
 			return err
@@ -258,6 +271,8 @@ func scanCampaignStream(r io.Reader) (last experiments.Row, rows int, err error)
 // the row set level rather than the call level, so no work is redone.
 func (p *Pool) BatchChunk(ctx context.Context, payload *service.BatchPayload, deliver func(service.BatchLine)) error {
 	return p.do(ctx, false, func(ctx context.Context, s *shard) error {
+		jobs.PostEvent(ctx, jobs.EventDispatch,
+			fmt.Sprintf("batch chunk of %d on %s", len(payload.Variations), s.addr))
 		resp, err := p.postJSON(ctx, s, "/v1/batch", payload)
 		if err != nil {
 			return err

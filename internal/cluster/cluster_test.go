@@ -47,7 +47,7 @@ func submitJob(t *testing.T, m *jobs.Manager, kind string, payload any) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	meta, err := m.Submit(jobs.Spec{Kind: kind, Payload: raw})
+	meta, err := m.Submit(context.Background(), jobs.Spec{Kind: kind, Payload: raw})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -497,7 +497,7 @@ func TestShardedKindsRejectResumeFields(t *testing.T) {
 	defer closeManager(t, m)
 	for _, bad := range []map[string]any{{"StartRow": 2}, {"EndRow": 1}} {
 		raw, _ := json.Marshal(bad)
-		if _, err := m.Submit(jobs.Spec{Kind: jobs.CampaignKindName, Payload: raw}); err == nil {
+		if _, err := m.Submit(context.Background(), jobs.Spec{Kind: jobs.CampaignKindName, Payload: raw}); err == nil {
 			t.Fatalf("submit with %v accepted", bad)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -13,6 +14,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ShardEntry is one parsed -shards-file line.
@@ -151,8 +154,8 @@ type Registrar struct {
 	Weight int
 	// Interval is the heartbeat period (default 10s).
 	Interval time.Duration
-	// Logf, when set, receives registration outcomes (log.Printf shape).
-	Logf func(format string, args ...any)
+	// Logger, when set, receives registration outcomes (nil discards).
+	Logger *slog.Logger
 
 	client    *http.Client
 	stop      chan struct{}
@@ -182,6 +185,9 @@ func (r *Registrar) Start() error {
 		if r.Interval <= 0 {
 			r.Interval = 10 * time.Second
 		}
+		if r.Logger == nil {
+			r.Logger = obs.NopLogger()
+		}
 		if r.client == nil {
 			r.client = &http.Client{Timeout: 5 * time.Second}
 		}
@@ -200,12 +206,15 @@ func (r *Registrar) loop() {
 		switch {
 		case err == nil && !registered:
 			registered = true
-			r.logf("registered with coordinator %s as %s", r.Coordinator, r.Advertise)
+			r.Logger.Info("registered with coordinator",
+				"coordinator", r.Coordinator, "advertise", r.Advertise)
 		case err != nil && registered:
 			registered = false
-			r.logf("re-registration with %s failed (will retry): %v", r.Coordinator, err)
+			r.Logger.Warn("re-registration failed; will retry",
+				"coordinator", r.Coordinator, "error", err)
 		case err != nil:
-			r.logf("registration with %s failed (will retry): %v", r.Coordinator, err)
+			r.Logger.Warn("registration failed; will retry",
+				"coordinator", r.Coordinator, "error", err)
 		}
 	}
 	register()
@@ -231,9 +240,9 @@ func (r *Registrar) Stop() {
 		close(r.stop)
 		r.wg.Wait()
 		if err := r.send(http.MethodDelete); err != nil {
-			r.logf("deregistration from %s failed: %v", r.Coordinator, err)
+			r.Logger.Warn("deregistration failed", "coordinator", r.Coordinator, "error", err)
 		} else {
-			r.logf("deregistered from coordinator %s", r.Coordinator)
+			r.Logger.Info("deregistered from coordinator", "coordinator", r.Coordinator)
 		}
 	})
 }
@@ -259,12 +268,6 @@ func (r *Registrar) send(method string) error {
 	}
 	io.Copy(io.Discard, resp.Body)
 	return nil
-}
-
-func (r *Registrar) logf(format string, args ...any) {
-	if r.Logf != nil {
-		r.Logf(format, args...)
-	}
 }
 
 // DefaultAdvertise derives a dialable advertise address from a listen

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"sort"
@@ -12,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -46,6 +48,9 @@ type PoolOptions struct {
 	// Client is the HTTP client used for all shard traffic (default a
 	// dedicated client; per-request deadlines come from contexts).
 	Client *http.Client
+	// Logger receives membership changes and circuit-breaker transitions
+	// (nil discards).
+	Logger *slog.Logger
 }
 
 func (o PoolOptions) withDefaults() PoolOptions {
@@ -66,6 +71,9 @@ func (o PoolOptions) withDefaults() PoolOptions {
 	}
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = 25 * time.Millisecond
+	}
+	if o.Logger == nil {
+		o.Logger = obs.NopLogger()
 	}
 	if o.Client == nil {
 		// No global response timeout — campaign rows and big solves are
@@ -128,6 +136,7 @@ func (s breakerState) String() string {
 type shard struct {
 	addr   string // base URL, no trailing slash
 	origin string // originStatic / originFile / originAPI
+	log    *slog.Logger
 
 	mu        sync.Mutex
 	weight    int  // placement weight (>= 1)
@@ -181,9 +190,13 @@ func (s *shard) release() {
 // recovers the shard).
 func (s *shard) recordSuccess() {
 	s.mu.Lock()
+	recovered := s.state != stateClosed
 	s.fails = 0
 	s.state = stateClosed
 	s.mu.Unlock()
+	if recovered {
+		s.log.Info("shard circuit closed", "shard", s.addr)
+	}
 }
 
 // recordFailure counts a transient failure; enough of them in a row —
@@ -195,11 +208,18 @@ func (s *shard) recordFailure(openFor time.Duration, threshold int, failedOver b
 		s.failovers++
 	}
 	s.fails++
+	opened := false
 	if s.state == stateHalfOpen || s.fails >= threshold {
+		opened = s.state != stateOpen
 		s.state = stateOpen
 		s.openUntil = time.Now().Add(openFor)
 	}
+	fails := s.fails
 	s.mu.Unlock()
+	if opened {
+		s.log.Warn("shard circuit opened",
+			"shard", s.addr, "consecutive_failures", fails, "open_for", openFor.String())
+	}
 }
 
 // setWeight applies a weight change (clamped to [1, maxShardWeight])
@@ -254,6 +274,15 @@ type Pool struct {
 	rowsRouted        atomic.Uint64
 	rowsLocalFallback atomic.Uint64
 
+	// Latency histograms exposed via service.ClusterLatencies: shard
+	// HTTP round-trips per shard, routed-batch chunk dispatch-to-done,
+	// and reorder-buffer wait of completed lines.
+	shardRTT    *obs.HistogramVec
+	batchChunk  *obs.Histogram
+	reorderWait *obs.Histogram
+
+	log *slog.Logger
+
 	stopProbe chan struct{}
 	probeWG   sync.WaitGroup
 	closeOnce sync.Once
@@ -278,7 +307,14 @@ func normalizeAddr(a string) (string, error) {
 // (POST /v1/cluster/shards) or arrive via a -shards-file reload. Close
 // releases the prober.
 func NewPool(addrs []string, opts PoolOptions) (*Pool, error) {
-	p := &Pool{opts: opts.withDefaults(), stopProbe: make(chan struct{})}
+	p := &Pool{
+		opts:        opts.withDefaults(),
+		stopProbe:   make(chan struct{}),
+		shardRTT:    obs.NewHistogramVec(nil),
+		batchChunk:  obs.NewHistogram(nil),
+		reorderWait: obs.NewHistogram(nil),
+	}
+	p.log = p.opts.Logger
 	seen := map[string]bool{}
 	for _, a := range addrs {
 		addr, err := normalizeAddr(a)
@@ -301,7 +337,7 @@ func NewPool(addrs []string, opts PoolOptions) (*Pool, error) {
 // newShard builds a member with a fresh (closed) breaker. weight <= 0
 // selects the default of 1, refreshed by the next successful ping.
 func (p *Pool) newShard(addr, origin string, weight int) *shard {
-	s := &shard{addr: addr, origin: origin}
+	s := &shard{addr: addr, origin: origin, log: p.opts.Logger}
 	s.setWeight(weight, weight > 0, p.opts.MaxInFlight)
 	return s
 }
@@ -345,6 +381,7 @@ func (p *Pool) addShard(addr, origin string, weight int) (service.ShardStat, boo
 	p.shards = append(p.shards, s)
 	p.mu.Unlock()
 	p.epoch.Add(1)
+	p.log.Info("shard joined", "shard", norm, "origin", origin, "weight", weight, "epoch", p.epoch.Load())
 	if weight <= 0 {
 		// Learn the real capacity in the background; placement runs on
 		// the default weight of 1 until the worker answers.
@@ -367,6 +404,7 @@ func (p *Pool) RemoveShard(addr string) bool {
 			p.shards = append(p.shards[:i], p.shards[i+1:]...)
 			p.mu.Unlock()
 			p.epoch.Add(1)
+			p.log.Info("shard left", "shard", norm, "epoch", p.epoch.Load())
 			return true
 		}
 	}
@@ -443,6 +481,15 @@ func (p *Pool) ClusterStats() service.ClusterStats {
 		BatchesRouted:     p.batchesRouted.Load(),
 		RowsRouted:        p.rowsRouted.Load(),
 		RowsLocalFallback: p.rowsLocalFallback.Load(),
+	}
+}
+
+// ClusterHistograms implements service.ClusterLatencies for /metrics.
+func (p *Pool) ClusterHistograms() service.ClusterHistograms {
+	return service.ClusterHistograms{
+		ShardRTT:    p.shardRTT.Snapshot(),
+		BatchChunk:  p.batchChunk.Snapshot(),
+		ReorderWait: p.reorderWait.Snapshot(),
 	}
 }
 

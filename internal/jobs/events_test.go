@@ -1,0 +1,183 @@
+package jobs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestJobEventsLifecycle: a job's timeline is recorded queued → started
+// → checkpointed... → finished, every event stamped with the submitting
+// request's trace ID, and the terminal job feeds the duration histogram.
+func TestJobEventsLifecycle(t *testing.T) {
+	m, err := NewManager(Options{Workers: 1}, countKind("count", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeManager(t, m)
+
+	ctx := obs.WithTrace(t.Context(), "trace-events-1")
+	meta, err := m.Submit(ctx, Spec{Kind: "count"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.TraceID != "trace-events-1" {
+		t.Fatalf("manifest trace = %q, want trace-events-1", meta.TraceID)
+	}
+	waitState(t, m.Get, meta.ID, StateSucceeded)
+
+	events, err := m.Events(meta.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var types []string
+	for _, ev := range events {
+		types = append(types, ev.Type)
+		if ev.TraceID != "trace-events-1" {
+			t.Errorf("event %s trace = %q, want trace-events-1", ev.Type, ev.TraceID)
+		}
+		if ev.Time.IsZero() {
+			t.Errorf("event %s without a timestamp", ev.Type)
+		}
+	}
+	want := []string{EventQueued, EventStarted, EventCheckpoint, EventCheckpoint, EventCheckpoint, EventFinished}
+	if len(types) != len(want) {
+		t.Fatalf("event types = %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("event types = %v, want %v", types, want)
+		}
+	}
+	if last := events[len(events)-1]; last.Detail != string(StateSucceeded) {
+		t.Errorf("finished detail = %q, want %q", last.Detail, StateSucceeded)
+	}
+
+	if d := m.Durations(); d.Count != 1 {
+		t.Errorf("duration histogram count = %d, want 1", d.Count)
+	}
+}
+
+// TestJobEventsUntracedSubmit: no trace on the submitting context means
+// no trace_id on the manifest or the timeline — not a generated one.
+func TestJobEventsUntracedSubmit(t *testing.T) {
+	m, err := NewManager(Options{Workers: 1}, countKind("count", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeManager(t, m)
+
+	meta, err := m.Submit(t.Context(), Spec{Kind: "count"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.TraceID != "" {
+		t.Fatalf("manifest trace = %q, want empty", meta.TraceID)
+	}
+	waitState(t, m.Get, meta.ID, StateSucceeded)
+	events, err := m.Events(meta.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if ev.TraceID != "" {
+			t.Errorf("event %s trace = %q, want empty", ev.Type, ev.TraceID)
+		}
+	}
+}
+
+// TestFileStoreEvents: the timeline round-trips through the file store,
+// survives restarts, drops a torn trailing line, and dies with Delete.
+func TestFileStoreEvents(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Meta{ID: "j1", State: StateRunning, CreatedAt: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	at := time.Now().UTC().Truncate(time.Second)
+	for _, ev := range []Event{
+		{Time: at, Type: EventQueued, TraceID: "tr1"},
+		{Time: at.Add(time.Second), Type: EventStarted, Detail: "resumes=0", TraceID: "tr1"},
+	} {
+		if err := s.AppendEvent("j1", ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate a crash mid-append: a trailing partial line.
+	f, err := os.OpenFile(filepath.Join(dir, "j1", eventsName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"type":"fini`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// A fresh store over the same dir (a restart) reads the same timeline.
+	s2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := s2.Events("j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %+v, want 2", events)
+	}
+	if events[0].Type != EventQueued || events[1].Type != EventStarted {
+		t.Fatalf("event order = %s, %s", events[0].Type, events[1].Type)
+	}
+	if events[1].Detail != "resumes=0" || events[1].TraceID != "tr1" {
+		t.Fatalf("event payload = %+v", events[1])
+	}
+	if !events[0].Time.Equal(at) {
+		t.Fatalf("event time = %v, want %v", events[0].Time, at)
+	}
+
+	if err := s2.Delete("j1"); err != nil {
+		t.Fatal(err)
+	}
+	if evs, _ := s2.Events("j1"); len(evs) != 0 {
+		t.Fatalf("events survived delete: %+v", evs)
+	}
+}
+
+// TestMemStoreEvents: the in-memory store mirrors the file semantics.
+func TestMemStoreEvents(t *testing.T) {
+	s := NewMemStore()
+	if err := s.Put(Meta{ID: "j1", State: StateQueued, CreatedAt: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendEvent("j1", Event{Time: time.Now(), Type: EventQueued}); err != nil {
+		t.Fatal(err)
+	}
+	events, err := s.Events("j1")
+	if err != nil || len(events) != 1 || events[0].Type != EventQueued {
+		t.Fatalf("events = %+v, err %v", events, err)
+	}
+	// The returned slice is a copy: mutating it must not corrupt the store.
+	events[0].Type = "mutated"
+	again, _ := s.Events("j1")
+	if again[0].Type != EventQueued {
+		t.Fatal("Events returned an aliased slice")
+	}
+	if err := s.Delete("j1"); err != nil {
+		t.Fatal(err)
+	}
+	if evs, _ := s.Events("j1"); len(evs) != 0 {
+		t.Fatalf("events survived delete: %+v", evs)
+	}
+}
+
+// PostEvent without a sink in the context is a silent no-op — cluster
+// kinds call it unconditionally.
+func TestPostEventWithoutSink(t *testing.T) {
+	PostEvent(t.Context(), EventDispatch, "nowhere")
+}

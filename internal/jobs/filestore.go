@@ -23,6 +23,7 @@ type FileStore struct {
 const (
 	manifestName = "manifest.json"
 	rowsName     = "rows.ndjson"
+	eventsName   = "events.ndjson"
 )
 
 // NewFileStore opens (creating if needed) a file store rooted at dir.
@@ -182,6 +183,65 @@ func (s *FileStore) Rows(id string) ([]json.RawMessage, error) {
 			break // torn trailing write; ignore it and everything after
 		}
 		out = append(out, append(json.RawMessage(nil), line...))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AppendEvent implements Store. Unlike rows, events are appended
+// without fsync: they are advisory observability data, never read back
+// by resume logic, and a per-row fsync here would double the row path's
+// disk cost for no correctness gain.
+func (s *FileStore) AppendEvent(id string, ev Event) error {
+	dir, err := s.jobDir(id)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := os.OpenFile(filepath.Join(dir, eventsName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(append(data, '\n'))
+	return err
+}
+
+// Events implements Store. Like Rows, a torn trailing line (crash
+// mid-append) is dropped silently.
+func (s *FileStore) Events(id string) ([]Event, error) {
+	dir, err := s.jobDir(id)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(dir, eventsName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []Event
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			break // torn trailing write; ignore it and everything after
+		}
+		out = append(out, ev)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

@@ -59,7 +59,13 @@ type Meta struct {
 	RowsDone int `json:"rows_done"`
 	// Resumes counts how many times the job restarted from a non-empty
 	// checkpoint.
-	Resumes   int       `json:"resumes,omitempty"`
+	Resumes int `json:"resumes,omitempty"`
+	// TraceID is the trace of the HTTP request that submitted the job,
+	// recorded on the manifest so an operator can walk from a slow job
+	// back to the coordinator and shard log lines that served it (and
+	// forward: the job's run context re-carries it, so shard calls made
+	// on the job's behalf propagate the same ID).
+	TraceID   string    `json:"trace_id,omitempty"`
 	CreatedAt time.Time `json:"created_at"`
 	// StartedAt is the first transition to running; FinishedAt the
 	// transition to a terminal state (zero while resumable). Plain tags
@@ -101,6 +107,54 @@ type Kind struct {
 	// is canceled on job cancellation and manager shutdown; Run should
 	// return promptly with ctx's error when it fires.
 	Run func(ctx context.Context, payload json.RawMessage, prior []json.RawMessage, sink func(json.RawMessage) error) error
+}
+
+// Event is one entry of a job's timeline: a timestamped lifecycle
+// marker persisted alongside the row log (events.ndjson in the file
+// store) and served at GET /v1/jobs/{id}/events. Events are advisory —
+// appended without fsync, never read back by resume logic — so they
+// cost almost nothing per row and losing a tail on a crash is fine.
+type Event struct {
+	Time time.Time `json:"time"`
+	// Type is one of the Event* constants.
+	Type string `json:"type"`
+	// Detail is a human-readable elaboration ("chunk of 12 dispatched
+	// to http://w1:8081", "row 3/10", ...).
+	Detail string `json:"detail,omitempty"`
+	// TraceID is the trace active when the event was recorded.
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// Event types emitted by the manager (and, via PostEvent, by kinds).
+const (
+	// EventQueued: the job was accepted by Submit.
+	EventQueued = "queued"
+	// EventStarted: a worker picked the job up (fresh or resumed).
+	EventStarted = "started"
+	// EventDispatch: a kind handed work to a shard (cluster kinds emit
+	// one per chunk/row dispatch, naming the shard).
+	EventDispatch = "dispatch"
+	// EventCheckpoint: one row was persisted.
+	EventCheckpoint = "checkpointed"
+	// EventFinished: the job reached a terminal or interrupted state.
+	EventFinished = "finished"
+)
+
+// eventSinkKey carries the running job's event recorder in its context.
+type eventSinkKey struct{}
+
+// withEventSink returns ctx carrying an event recorder for PostEvent.
+func withEventSink(ctx context.Context, fn func(typ, detail string)) context.Context {
+	return context.WithValue(ctx, eventSinkKey{}, fn)
+}
+
+// PostEvent records a timeline event for the job owning ctx. Kinds call
+// it from Run (the manager installs the recorder); outside a job run it
+// is a no-op, so shared code paths need no guards.
+func PostEvent(ctx context.Context, typ, detail string) {
+	if fn, ok := ctx.Value(eventSinkKey{}).(func(typ, detail string)); ok {
+		fn(typ, detail)
+	}
 }
 
 // Sentinel errors.

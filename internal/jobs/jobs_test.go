@@ -187,7 +187,7 @@ func TestManagerLifecycle(t *testing.T) {
 	}
 	defer closeManager(t, m)
 
-	meta, err := m.Submit(Spec{Kind: "count"})
+	meta, err := m.Submit(context.Background(), Spec{Kind: "count"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +220,7 @@ func TestManagerLifecycle(t *testing.T) {
 		t.Fatal("job survived delete")
 	}
 
-	if _, err := m.Submit(Spec{Kind: "nope"}); err == nil {
+	if _, err := m.Submit(context.Background(), Spec{Kind: "nope"}); err == nil {
 		t.Fatal("unknown kind accepted")
 	}
 }
@@ -251,14 +251,14 @@ func TestManagerCancelRunningAndQueued(t *testing.T) {
 	}
 	defer closeManager(t, m)
 
-	blocker, err := m.Submit(Spec{Kind: "block"})
+	blocker, err := m.Submit(context.Background(), Spec{Kind: "block"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	<-started
 
 	// The single worker is occupied: this one is canceled while queued.
-	queued, err := m.Submit(Spec{Kind: "count"})
+	queued, err := m.Submit(context.Background(), Spec{Kind: "count"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +278,7 @@ func TestManagerCancelRunningAndQueued(t *testing.T) {
 	}
 
 	// The worker must be reclaimed: a fresh job runs to completion.
-	again, err := m.Submit(Spec{Kind: "count"})
+	again, err := m.Submit(context.Background(), Spec{Kind: "count"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +296,7 @@ func TestManagerDeleteRefusesLiveJobs(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer closeManager(t, m)
-	meta, err := m.Submit(Spec{Kind: "block"})
+	meta, err := m.Submit(context.Background(), Spec{Kind: "block"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,7 +361,7 @@ func TestManagerRestartResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	meta, err := m1.Submit(Spec{Kind: "steps"})
+	meta, err := m1.Submit(context.Background(), Spec{Kind: "steps"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -451,7 +451,7 @@ func TestCampaignJobResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	meta, err := m1.Submit(Spec{Kind: CampaignKindName, Payload: payload})
+	meta, err := m1.Submit(context.Background(), Spec{Kind: CampaignKindName, Payload: payload})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -590,7 +590,7 @@ func TestRetentionPrune(t *testing.T) {
 	}
 
 	// A fresh job survives until it outlives RetainFor.
-	meta, err := m.Submit(Spec{Kind: "count", Payload: json.RawMessage(`{}`)})
+	meta, err := m.Submit(context.Background(), Spec{Kind: "count", Payload: json.RawMessage(`{}`)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -658,7 +658,7 @@ func TestDeleteWaitsForFinalManifestWrite(t *testing.T) {
 	}
 	defer closeManager(t, m)
 
-	meta, err := m.Submit(Spec{Kind: "count", Payload: json.RawMessage(`{}`)})
+	meta, err := m.Submit(context.Background(), Spec{Kind: "count", Payload: json.RawMessage(`{}`)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -712,7 +712,7 @@ func TestCancelOrDelete(t *testing.T) {
 		t.Fatalf("unknown id: %v", err)
 	}
 
-	meta, err := m.Submit(Spec{Kind: "count", Payload: json.RawMessage(`{}`)})
+	meta, err := m.Submit(context.Background(), Spec{Kind: "count", Payload: json.RawMessage(`{}`)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,9 +7,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Options configures NewManager. The zero value selects an in-memory
@@ -32,6 +35,9 @@ type Options struct {
 	// GCInterval is the background pruning period when RetainFor is set
 	// (default RetainFor/4, clamped to [1s, 1m]).
 	GCInterval time.Duration
+	// Logger receives job lifecycle transitions (default: discard). Log
+	// lines carry the job's trace ID when the submitting request had one.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -52,6 +58,9 @@ func (o Options) withDefaults() Options {
 		if o.GCInterval > time.Minute {
 			o.GCInterval = time.Minute
 		}
+	}
+	if o.Logger == nil {
+		o.Logger = obs.NopLogger()
 	}
 	return o
 }
@@ -82,6 +91,10 @@ type Manager struct {
 	kinds map[string]Kind
 	queue chan string
 	wg    sync.WaitGroup
+	log   *slog.Logger
+	// durations observes terminal jobs' wall time (StartedAt→FinishedAt),
+	// exposed on /metrics as rp_jobs_duration_seconds.
+	durations *obs.Histogram
 
 	mu      sync.Mutex
 	metas   map[string]Meta
@@ -106,13 +119,15 @@ type Manager struct {
 func NewManager(opts Options, kinds ...Kind) (*Manager, error) {
 	opts = opts.withDefaults()
 	m := &Manager{
-		store:    opts.Store,
-		opts:     opts,
-		kinds:    map[string]Kind{},
-		metas:    map[string]Meta{},
-		cancels:  map[string]context.CancelCauseFunc{},
-		finalize: map[string]chan struct{}{},
-		gcStop:   make(chan struct{}),
+		store:     opts.Store,
+		opts:      opts,
+		kinds:     map[string]Kind{},
+		metas:     map[string]Meta{},
+		cancels:   map[string]context.CancelCauseFunc{},
+		finalize:  map[string]chan struct{}{},
+		gcStop:    make(chan struct{}),
+		log:       opts.Logger,
+		durations: obs.NewHistogram(nil),
 	}
 	for _, k := range kinds {
 		if k.Name == "" || k.Prepare == nil || k.Run == nil {
@@ -228,7 +243,11 @@ func (m *Manager) Recovered() int {
 
 // Submit validates the spec against its kind, persists the job and
 // queues it. The returned Meta is the job's initial (queued) record.
-func (m *Manager) Submit(spec Spec) (Meta, error) {
+// The trace ID carried by ctx (the submitting HTTP request's) is
+// recorded on the manifest and re-attached to the job's run context, so
+// log lines and downstream shard calls made on the job's behalf carry
+// the same ID as the request that created it.
+func (m *Manager) Submit(ctx context.Context, spec Spec) (Meta, error) {
 	kind, ok := m.kinds[spec.Kind]
 	if !ok {
 		return Meta{}, fmt.Errorf("jobs: unknown job kind %q", spec.Kind)
@@ -242,23 +261,43 @@ func (m *Manager) Submit(spec Spec) (Meta, error) {
 		Spec:      Spec{Kind: spec.Kind, Payload: payload},
 		State:     StateQueued,
 		RowsTotal: total,
+		TraceID:   obs.Trace(ctx),
 		CreatedAt: time.Now().UTC(),
 	}
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
+		m.mu.Unlock()
 		return Meta{}, ErrClosed
 	}
 	if len(m.queue) == cap(m.queue) {
+		m.mu.Unlock()
 		return Meta{}, ErrQueueFull
 	}
 	if err := m.store.Put(meta); err != nil {
+		m.mu.Unlock()
 		return Meta{}, err
 	}
 	m.metas[meta.ID] = meta
 	m.queue <- meta.ID // cannot block: space checked under mu, only Submit sends
+	m.mu.Unlock()
+
+	m.event(meta, EventQueued, fmt.Sprintf("kind %s, %d rows", meta.Spec.Kind, meta.RowsTotal))
+	m.log.InfoContext(ctx, "job queued",
+		"job", meta.ID, "kind", meta.Spec.Kind, "rows_total", meta.RowsTotal)
 	return meta, nil
+}
+
+// event appends one timeline entry for the job, stamping the time and
+// the job's trace. Failures are deliberately dropped: the timeline is
+// advisory and must never fail a row or a state transition.
+func (m *Manager) event(meta Meta, typ, detail string) {
+	m.store.AppendEvent(meta.ID, Event{
+		Time:    time.Now().UTC(),
+		Type:    typ,
+		Detail:  detail,
+		TraceID: meta.TraceID,
+	})
 }
 
 // Get returns a job's current record.
@@ -292,6 +331,20 @@ func (m *Manager) Rows(id string) ([]json.RawMessage, error) {
 		return nil, ErrNotFound
 	}
 	return m.store.Rows(id)
+}
+
+// Events returns the job's timeline in append order.
+func (m *Manager) Events(id string) ([]Event, error) {
+	if _, ok := m.Get(id); !ok {
+		return nil, ErrNotFound
+	}
+	return m.store.Events(id)
+}
+
+// Durations snapshots the job wall-time histogram (terminal jobs'
+// StartedAt→FinishedAt, seconds).
+func (m *Manager) Durations() obs.HistogramSnapshot {
+	return m.durations.Snapshot()
 }
 
 // Cancel stops a job. A queued job is marked canceled immediately; a
@@ -484,6 +537,15 @@ func (m *Manager) runJob(id string) {
 	m.mu.Unlock()
 	defer cancel(nil)
 
+	// Re-carry the submitting request's trace and install the event
+	// recorder, so a kind's Run (and anything it calls — shard requests,
+	// engine solves) logs and propagates under the job's trace ID.
+	ctx = obs.WithTrace(ctx, meta.TraceID)
+	ctx = withEventSink(ctx, func(typ, detail string) { m.event(meta, typ, detail) })
+
+	m.event(meta, EventStarted, fmt.Sprintf("resumes=%d", meta.Resumes))
+	m.log.InfoContext(ctx, "job started", "job", id, "kind", meta.Spec.Kind)
+
 	prior, err := m.store.Rows(id)
 	if err == nil {
 		m.mu.Lock()
@@ -507,7 +569,11 @@ func (m *Manager) runJob(id string) {
 			mm.RowsDone++
 			m.metas[id] = mm
 			m.mu.Unlock()
-			return m.store.Put(mm)
+			if perr := m.store.Put(mm); perr != nil {
+				return perr
+			}
+			m.event(mm, EventCheckpoint, fmt.Sprintf("row %d/%d", mm.RowsDone, mm.RowsTotal))
+			return nil
 		})
 	}
 
@@ -549,6 +615,18 @@ func (m *Manager) runJob(id string) {
 	delete(m.finalize, id)
 	m.mu.Unlock()
 	close(fin)
+
+	m.event(mm, EventFinished, string(state))
+	if state.Terminal() && !mm.StartedAt.IsZero() {
+		m.durations.Observe(mm.FinishedAt.Sub(mm.StartedAt))
+	}
+	switch state {
+	case StateFailed:
+		m.log.ErrorContext(ctx, "job failed", "job", id, "kind", mm.Spec.Kind, "error", mm.Error)
+	default:
+		m.log.InfoContext(ctx, "job finished",
+			"job", id, "kind", mm.Spec.Kind, "state", string(state), "rows_done", mm.RowsDone)
+	}
 }
 
 // newID returns a fresh, filesystem-safe job id.

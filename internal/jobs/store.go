@@ -21,20 +21,32 @@ type Store interface {
 	AppendRow(id string, row json.RawMessage) error
 	// Rows returns the job's row log in append order (nil when empty).
 	Rows(id string) ([]json.RawMessage, error)
-	// Delete removes the job's manifest and rows.
+	// AppendEvent appends one timeline event to the job's event log.
+	// Events are advisory (operator-facing observability, never read by
+	// resume logic), so implementations may trade durability for cost.
+	AppendEvent(id string, ev Event) error
+	// Events returns the job's event log in append order (nil when
+	// empty).
+	Events(id string) ([]Event, error)
+	// Delete removes the job's manifest, rows, and events.
 	Delete(id string) error
 }
 
 // MemStore is the in-process Store: jobs do not survive a restart.
 type MemStore struct {
-	mu    sync.RWMutex
-	metas map[string]Meta
-	rows  map[string][]json.RawMessage
+	mu     sync.RWMutex
+	metas  map[string]Meta
+	rows   map[string][]json.RawMessage
+	events map[string][]Event
 }
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore {
-	return &MemStore{metas: map[string]Meta{}, rows: map[string][]json.RawMessage{}}
+	return &MemStore{
+		metas:  map[string]Meta{},
+		rows:   map[string][]json.RawMessage{},
+		events: map[string][]Event{},
+	}
 }
 
 // Put implements Store.
@@ -83,11 +95,30 @@ func (s *MemStore) Rows(id string) ([]json.RawMessage, error) {
 	return out, nil
 }
 
+// AppendEvent implements Store.
+func (s *MemStore) AppendEvent(id string, ev Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events[id] = append(s.events[id], ev)
+	return nil
+}
+
+// Events implements Store.
+func (s *MemStore) Events(id string) ([]Event, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	evs := s.events[id]
+	out := make([]Event, len(evs))
+	copy(out, evs)
+	return out, nil
+}
+
 // Delete implements Store.
 func (s *MemStore) Delete(id string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.metas, id)
 	delete(s.rows, id)
+	delete(s.events, id)
 	return nil
 }

@@ -1,0 +1,376 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Family is one parsed metric family of a Prometheus text exposition.
+type Family struct {
+	Name string
+	Help string
+	Type string // "counter", "gauge", "histogram", "untyped"
+	// Samples are the family's lines in exposition order. Histogram
+	// families carry their _bucket/_sum/_count samples here.
+	Samples []Sample
+}
+
+// Sample is one exposition sample line.
+type Sample struct {
+	// Name is the full sample name (for histograms: name_bucket,
+	// name_sum or name_count).
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns the sample's value for one label name ("" if absent).
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// ParseExposition strictly parses a Prometheus text-format exposition
+// and validates its structure:
+//
+//   - every sample belongs to a # HELP + # TYPE family declared before
+//     it, HELP first, names matching;
+//   - family names are unique, metric and label names well-formed,
+//     label values correctly escaped (\\, \", \n only), no duplicate
+//     label names within a sample;
+//   - histogram families satisfy the bucket invariants: every _bucket
+//     has an le label, cumulative counts are non-decreasing over
+//     ascending le, the last bucket is le="+Inf" and equals the
+//     matching _count, and each labeled series has exactly one _sum and
+//     _count.
+//
+// It returns the families keyed by name so callers can assert specific
+// values on top of the structural checks.
+func ParseExposition(r io.Reader) (map[string]*Family, error) {
+	fams := map[string]*Family{}
+	var cur *Family         // family samples currently attach to
+	var pendingHelp *Family // HELP seen, TYPE not yet
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, ok := parseComment(line)
+			if !ok {
+				continue // plain comment, allowed by the format
+			}
+			switch kind {
+			case "HELP":
+				if pendingHelp != nil {
+					return nil, fmt.Errorf("line %d: HELP %s follows HELP %s without a TYPE", lineNo, name, pendingHelp.Name)
+				}
+				if _, dup := fams[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate family %s", lineNo, name)
+				}
+				if !validMetricName(name) {
+					return nil, fmt.Errorf("line %d: bad metric name %q", lineNo, name)
+				}
+				if rest == "" {
+					return nil, fmt.Errorf("line %d: HELP %s without help text", lineNo, name)
+				}
+				pendingHelp = &Family{Name: name, Help: rest}
+			case "TYPE":
+				if pendingHelp == nil || pendingHelp.Name != name {
+					return nil, fmt.Errorf("line %d: TYPE %s without a preceding HELP %s", lineNo, name, name)
+				}
+				switch rest {
+				case "counter", "gauge", "histogram", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unsupported metric type %q for %s", lineNo, rest, name)
+				}
+				pendingHelp.Type = rest
+				fams[name] = pendingHelp
+				cur = pendingHelp
+				pendingHelp = nil
+			}
+			continue
+		}
+		if pendingHelp != nil {
+			return nil, fmt.Errorf("line %d: sample follows HELP %s without a TYPE", lineNo, pendingHelp.Name)
+		}
+		sample, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if cur == nil || !sampleBelongs(cur, sample.Name) {
+			return nil, fmt.Errorf("line %d: sample %s outside its HELP/TYPE family", lineNo, sample.Name)
+		}
+		cur.Samples = append(cur.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if pendingHelp != nil {
+		return nil, fmt.Errorf("HELP %s without a TYPE", pendingHelp.Name)
+	}
+	for _, f := range fams {
+		if f.Type == "histogram" {
+			if err := validateHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// parseComment splits "# HELP name rest" / "# TYPE name rest". ok is
+// false for plain comments.
+func parseComment(line string) (kind, name, rest string, ok bool) {
+	body, found := strings.CutPrefix(line, "# ")
+	if !found {
+		return "", "", "", false
+	}
+	kind, body, found = strings.Cut(body, " ")
+	if !found || (kind != "HELP" && kind != "TYPE") {
+		return "", "", "", false
+	}
+	name, rest, _ = strings.Cut(body, " ")
+	return kind, name, strings.TrimSpace(rest), true
+}
+
+// sampleBelongs reports whether a sample name is legal inside the
+// family: the bare name for scalar types, plus the _bucket/_sum/_count
+// suffixed forms for histograms.
+func sampleBelongs(f *Family, sample string) bool {
+	if sample == f.Name {
+		return f.Type != "histogram" // a histogram has no bare-name samples
+	}
+	if f.Type != "histogram" {
+		return false
+	}
+	suffix, found := strings.CutPrefix(sample, f.Name)
+	if !found {
+		return false
+	}
+	return suffix == "_bucket" || suffix == "_sum" || suffix == "_count"
+}
+
+// parseSample parses one "name{labels} value [timestamp]" line.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	s.Name = line[:i]
+	if !validMetricName(s.Name) {
+		return s, fmt.Errorf("bad sample name in %q", line)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		var err error
+		rest, err = parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, fmt.Errorf("%w in %q", err, line)
+		}
+	}
+	if !strings.HasPrefix(rest, " ") {
+		return s, fmt.Errorf("missing value separator in %q", line)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 {
+		return s, fmt.Errorf("want \"value [timestamp]\" after name in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q in %q", fields[0], line)
+	}
+	s.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q in %q", fields[1], line)
+		}
+	}
+	return s, nil
+}
+
+// parseLabels consumes a "{name=\"value\",...}" block from the front of
+// s, filling labels, and returns the remainder.
+func parseLabels(s string, labels map[string]string) (string, error) {
+	s = s[1:] // consume '{'
+	for {
+		i := 0
+		for i < len(s) && isNameChar(s[i], i == 0) {
+			i++
+		}
+		name := s[:i]
+		if name == "" || !validLabelName(name) {
+			return s, fmt.Errorf("bad label name")
+		}
+		if _, dup := labels[name]; dup {
+			return s, fmt.Errorf("duplicate label %s", name)
+		}
+		s = s[i:]
+		if !strings.HasPrefix(s, `="`) {
+			return s, fmt.Errorf("label %s without =\"value\"", name)
+		}
+		s = s[2:]
+		var val strings.Builder
+		for {
+			if len(s) == 0 {
+				return s, fmt.Errorf("unterminated value for label %s", name)
+			}
+			c := s[0]
+			if c == '"' {
+				s = s[1:]
+				break
+			}
+			if c == '\\' {
+				if len(s) < 2 {
+					return s, fmt.Errorf("dangling escape in label %s", name)
+				}
+				switch s[1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return s, fmt.Errorf("bad escape \\%c in label %s", s[1], name)
+				}
+				s = s[2:]
+				continue
+			}
+			val.WriteByte(c)
+			s = s[1:]
+		}
+		labels[name] = val.String()
+		switch {
+		case strings.HasPrefix(s, ","):
+			s = s[1:]
+		case strings.HasPrefix(s, "}"):
+			return s[1:], nil
+		default:
+			return s, fmt.Errorf("bad separator after label %s", name)
+		}
+	}
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	// Same shape as metric names minus the colon (reserved).
+	if s == "" || strings.Contains(s, ":") {
+		return false
+	}
+	return validMetricName(s)
+}
+
+// validateHistogram checks the bucket invariants of one histogram
+// family, per labeled series (the label set minus le).
+func validateHistogram(f *Family) error {
+	type series struct {
+		les    []float64
+		counts []float64
+		sum    int
+		count  float64
+		hasCnt bool
+	}
+	bySeries := map[string]*series{}
+	get := func(labels map[string]string) *series {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var sig strings.Builder
+		for _, k := range keys {
+			sig.WriteString(k)
+			sig.WriteByte('=')
+			sig.WriteString(labels[k])
+			sig.WriteByte(';')
+		}
+		s := bySeries[sig.String()]
+		if s == nil {
+			s = &series{}
+			bySeries[sig.String()] = s
+		}
+		return s
+	}
+	for _, s := range f.Samples {
+		ser := get(s.Labels)
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %s: bucket without le label", f.Name)
+			}
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				return fmt.Errorf("histogram %s: bad le %q", f.Name, leStr)
+			}
+			ser.les = append(ser.les, le)
+			ser.counts = append(ser.counts, s.Value)
+		case strings.HasSuffix(s.Name, "_sum"):
+			ser.sum++
+		case strings.HasSuffix(s.Name, "_count"):
+			if ser.hasCnt {
+				return fmt.Errorf("histogram %s: duplicate _count in one series", f.Name)
+			}
+			ser.hasCnt, ser.count = true, s.Value
+		}
+	}
+	for _, ser := range bySeries {
+		if len(ser.les) == 0 {
+			return fmt.Errorf("histogram %s: series without buckets", f.Name)
+		}
+		for i := 1; i < len(ser.les); i++ {
+			if ser.les[i] <= ser.les[i-1] {
+				return fmt.Errorf("histogram %s: le values not ascending", f.Name)
+			}
+			if ser.counts[i] < ser.counts[i-1] {
+				return fmt.Errorf("histogram %s: cumulative bucket counts decrease", f.Name)
+			}
+		}
+		if !math.IsInf(ser.les[len(ser.les)-1], +1) {
+			return fmt.Errorf("histogram %s: last bucket is not le=\"+Inf\"", f.Name)
+		}
+		if ser.sum != 1 {
+			return fmt.Errorf("histogram %s: series has %d _sum samples, want 1", f.Name, ser.sum)
+		}
+		if !ser.hasCnt {
+			return fmt.Errorf("histogram %s: series without _count", f.Name)
+		}
+		if ser.counts[len(ser.counts)-1] != ser.count {
+			return fmt.Errorf("histogram %s: +Inf bucket (%g) != _count (%g)", f.Name,
+				ser.counts[len(ser.counts)-1], ser.count)
+		}
+	}
+	return nil
+}

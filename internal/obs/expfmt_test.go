@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodExposition = `# HELP rp_requests_total Requests served.
+# TYPE rp_requests_total counter
+rp_requests_total 42
+# HELP rp_up Liveness.
+# TYPE rp_up gauge
+rp_up{shard="http://w1:1",quoted="a\"b\\c\nd"} 1
+rp_up{shard="http://w2:2"} 0
+# HELP rp_solve_seconds Solve latency.
+# TYPE rp_solve_seconds histogram
+rp_solve_seconds_bucket{solver="mb",le="0.005"} 2
+rp_solve_seconds_bucket{solver="mb",le="0.1"} 3
+rp_solve_seconds_bucket{solver="mb",le="+Inf"} 4
+rp_solve_seconds_sum{solver="mb"} 1.5
+rp_solve_seconds_count{solver="mb"} 4
+rp_solve_seconds_bucket{solver="opt",le="0.005"} 0
+rp_solve_seconds_bucket{solver="opt",le="0.1"} 0
+rp_solve_seconds_bucket{solver="opt",le="+Inf"} 1
+rp_solve_seconds_sum{solver="opt"} 9.25
+rp_solve_seconds_count{solver="opt"} 1
+`
+
+func TestParseExpositionGood(t *testing.T) {
+	fams, err := ParseExposition(strings.NewReader(goodExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("families = %d, want 3", len(fams))
+	}
+	if f := fams["rp_requests_total"]; f.Type != "counter" || f.Samples[0].Value != 42 {
+		t.Fatalf("counter family = %+v", f)
+	}
+	up := fams["rp_up"]
+	if got := up.Samples[0].Label("quoted"); got != "a\"b\\c\nd" {
+		t.Fatalf("unescaped label = %q", got)
+	}
+	if up.Samples[1].Label("shard") != "http://w2:2" {
+		t.Fatalf("shard label = %q", up.Samples[1].Label("shard"))
+	}
+	h := fams["rp_solve_seconds"]
+	if h.Type != "histogram" || len(h.Samples) != 10 {
+		t.Fatalf("histogram family = %+v", h)
+	}
+}
+
+func TestParseExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without family": `rp_x 1` + "\n",
+		"TYPE without HELP":     "# TYPE rp_x counter\nrp_x 1\n",
+		"HELP without TYPE":     "# HELP rp_x help\nrp_x 1\n",
+		"mismatched TYPE name":  "# HELP rp_x help\n# TYPE rp_y counter\nrp_y 1\n",
+		"duplicate family":      "# HELP rp_x h\n# TYPE rp_x counter\nrp_x 1\n# HELP rp_x h\n# TYPE rp_x counter\nrp_x 2\n",
+		"foreign sample":        "# HELP rp_x h\n# TYPE rp_x counter\nrp_other 1\n",
+		"bad escape":            "# HELP rp_x h\n# TYPE rp_x gauge\nrp_x{l=\"a\\tb\"} 1\n",
+		"unterminated label":    "# HELP rp_x h\n# TYPE rp_x gauge\nrp_x{l=\"a} 1\n",
+		"duplicate label":       "# HELP rp_x h\n# TYPE rp_x gauge\nrp_x{l=\"a\",l=\"b\"} 1\n",
+		"bad value":             "# HELP rp_x h\n# TYPE rp_x gauge\nrp_x one\n",
+		"bad metric name":       "# HELP rp_x h\n# TYPE rp_x gauge\nrp_x{} 1\n# HELP 9bad h\n# TYPE 9bad gauge\n",
+		"summary type":          "# HELP rp_x h\n# TYPE rp_x summary\nrp_x 1\n",
+		"histogram bare sample": "# HELP rp_h h\n# TYPE rp_h histogram\nrp_h 1\n",
+		"bucket without le":     "# HELP rp_h h\n# TYPE rp_h histogram\nrp_h_bucket 1\nrp_h_sum 1\nrp_h_count 1\n",
+		"non-monotonic buckets": "# HELP rp_h h\n# TYPE rp_h histogram\n" +
+			"rp_h_bucket{le=\"1\"} 5\nrp_h_bucket{le=\"+Inf\"} 3\nrp_h_sum 1\nrp_h_count 3\n",
+		"le not ascending": "# HELP rp_h h\n# TYPE rp_h histogram\n" +
+			"rp_h_bucket{le=\"2\"} 1\nrp_h_bucket{le=\"1\"} 2\nrp_h_bucket{le=\"+Inf\"} 2\nrp_h_sum 1\nrp_h_count 2\n",
+		"missing +Inf": "# HELP rp_h h\n# TYPE rp_h histogram\n" +
+			"rp_h_bucket{le=\"1\"} 1\nrp_h_bucket{le=\"2\"} 2\nrp_h_sum 1\nrp_h_count 2\n",
+		"Inf != count": "# HELP rp_h h\n# TYPE rp_h histogram\n" +
+			"rp_h_bucket{le=\"+Inf\"} 2\nrp_h_sum 1\nrp_h_count 3\n",
+		"missing sum": "# HELP rp_h h\n# TYPE rp_h histogram\n" +
+			"rp_h_bucket{le=\"+Inf\"} 2\nrp_h_count 2\n",
+		"missing count": "# HELP rp_h h\n# TYPE rp_h histogram\n" +
+			"rp_h_bucket{le=\"+Inf\"} 2\nrp_h_sum 1\n",
+	}
+	for name, input := range cases {
+		if _, err := ParseExposition(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: parser accepted invalid exposition:\n%s", name, input)
+		}
+	}
+}
+
+func TestParseExpositionTimestampAndComments(t *testing.T) {
+	in := "# a plain comment survives\n" +
+		"# HELP rp_x h\n# TYPE rp_x gauge\nrp_x 1 1700000000000\n"
+	fams, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fams["rp_x"].Samples[0].Value != 1 {
+		t.Fatalf("value = %g", fams["rp_x"].Samples[0].Value)
+	}
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default latency bounds in seconds: 500µs to 60s,
+// roughly geometric. They cover everything from a cached solve (~µs,
+// landing in the first bucket) to a branch-and-bound campaign row.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram is a fixed-bucket latency histogram: lock-free Observe
+// (atomic adds only, zero allocations), snapshot on demand. The bounds
+// are upper edges in seconds; observations above the last bound land in
+// the implicit +Inf bucket.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Int64    // nanoseconds
+}
+
+// NewHistogram builds a histogram over the given ascending bounds
+// (seconds); nil selects DefBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && s > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, internally
+// consistent by construction: Count is the sum of Counts, so the
+// rendered +Inf cumulative bucket always equals _count.
+type HistogramSnapshot struct {
+	// Bounds are the ascending bucket upper edges in seconds; the +Inf
+	// bucket is implied.
+	Bounds []float64
+	// Counts holds per-bucket (non-cumulative) observation counts,
+	// len(Bounds)+1 with the overflow bucket last.
+	Counts []uint64
+	// Count is the total number of observations.
+	Count uint64
+	// Sum is the total observed time in seconds.
+	Sum float64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    time.Duration(h.sum.Load()).Seconds(),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// HistogramVec is a set of Histograms keyed by one label value (solver
+// name, shard address, ...). The hot path — an existing label — takes a
+// read lock and allocates nothing.
+type HistogramVec struct {
+	bounds []float64
+	mu     sync.RWMutex
+	m      map[string]*Histogram
+}
+
+// NewHistogramVec builds an empty labeled histogram family over the
+// given bounds (nil = DefBuckets).
+func NewHistogramVec(bounds []float64) *HistogramVec {
+	return &HistogramVec{bounds: bounds, m: map[string]*Histogram{}}
+}
+
+// Observe records one duration under the label.
+func (v *HistogramVec) Observe(label string, d time.Duration) {
+	v.mu.RLock()
+	h := v.m[label]
+	v.mu.RUnlock()
+	if h == nil {
+		v.mu.Lock()
+		h = v.m[label]
+		if h == nil {
+			h = NewHistogram(v.bounds)
+			v.m[label] = h
+		}
+		v.mu.Unlock()
+	}
+	h.Observe(d)
+}
+
+// Snapshot copies every label's histogram.
+func (v *HistogramVec) Snapshot() map[string]HistogramSnapshot {
+	v.mu.RLock()
+	hs := make(map[string]*Histogram, len(v.m))
+	for k, h := range v.m {
+		hs[k] = h
+	}
+	v.mu.RUnlock()
+	out := make(map[string]HistogramSnapshot, len(hs))
+	for k, h := range hs {
+		out[k] = h.Snapshot()
+	}
+	return out
+}

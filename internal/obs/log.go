@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// ParseLevel maps a -log-level flag value ("debug", "info", "warn",
+// "error", case-insensitive) to a slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(s)); err != nil {
+		return 0, fmt.Errorf("obs: bad log level %q (want debug|info|warn|error)", s)
+	}
+	return l, nil
+}
+
+// NewLogger builds the daemons' logger: format is "text" or "json"
+// (the -log-format flag), and every record emitted with a context that
+// carries a trace ID gains a trace_id attribute automatically.
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch format {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: bad log format %q (want text|json)", format)
+	}
+	return slog.New(traceHandler{h}), nil
+}
+
+// traceHandler decorates records with the context's trace ID, so call
+// sites never thread it by hand.
+type traceHandler struct{ inner slog.Handler }
+
+func (t traceHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return t.inner.Enabled(ctx, level)
+}
+
+func (t traceHandler) Handle(ctx context.Context, r slog.Record) error {
+	if id := Trace(ctx); id != "" {
+		r.AddAttrs(slog.String("trace_id", id))
+	}
+	return t.inner.Handle(ctx, r)
+}
+
+func (t traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return traceHandler{t.inner.WithAttrs(attrs)}
+}
+
+func (t traceHandler) WithGroup(name string) slog.Handler {
+	return traceHandler{t.inner.WithGroup(name)}
+}
+
+// NopLogger returns a logger that discards everything — the default
+// wherever a Logger option is left nil, so library code can log
+// unconditionally. (slog.DiscardHandler is Go 1.24+; this module still
+// builds with 1.23.)
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }
+
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }

@@ -1,0 +1,67 @@
+// Package obs is the service's dependency-free observability layer:
+// request/trace identity carried through context.Context and the
+// X-RP-Trace-Id header, cheap fixed-bucket latency histograms rendered
+// in the Prometheus exposition format, slog-based structured logging
+// that stamps every record with the active trace, a strict exposition
+// parser (shared by tests and the e2e tooling), and opt-in pprof
+// registration. Everything here is stdlib-only by design — the daemons
+// ship without a single third-party dependency.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// TraceHeader is the HTTP header carrying a request's trace ID: set on
+// every response, accepted on requests (so an external caller or an
+// upstream proxy can supply its own ID), and propagated on every
+// coordinator→shard call so one logical request is greppable across
+// the whole cluster.
+const TraceHeader = "X-RP-Trace-Id"
+
+type traceKey struct{}
+
+// NewTraceID returns a fresh 16-hex-character trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithTrace returns ctx carrying the trace ID. An empty id returns ctx
+// unchanged.
+func WithTrace(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// Trace returns the trace ID carried by ctx, "" when there is none.
+func Trace(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
+// SanitizeTraceID validates a caller-supplied trace ID (a header is
+// attacker-controlled input that ends up in logs and error bodies):
+// 1-64 characters of [A-Za-z0-9._-], anything else rejected as "".
+func SanitizeTraceID(s string) string {
+	if len(s) == 0 || len(s) > 64 {
+		return ""
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return s
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceContext(t *testing.T) {
+	ctx := context.Background()
+	if got := Trace(ctx); got != "" {
+		t.Fatalf("empty ctx trace = %q", got)
+	}
+	ctx = WithTrace(ctx, "abc123")
+	if got := Trace(ctx); got != "abc123" {
+		t.Fatalf("trace = %q, want abc123", got)
+	}
+	if WithTrace(ctx, "") != ctx {
+		t.Fatal("WithTrace(\"\") should return ctx unchanged")
+	}
+	a, b := NewTraceID(), NewTraceID()
+	if a == b {
+		t.Fatalf("two trace IDs collided: %s", a)
+	}
+	if len(a) != 16 || SanitizeTraceID(a) != a {
+		t.Fatalf("generated ID %q is not 16 sanitized hex chars", a)
+	}
+}
+
+func TestSanitizeTraceID(t *testing.T) {
+	for in, want := range map[string]string{
+		"abc-DEF_123.z":           "abc-DEF_123.z",
+		"":                        "",
+		"has space":               "",
+		"quote\"":                 "",
+		"newline\n":               "",
+		strings.Repeat("a", 64):   strings.Repeat("a", 64),
+		strings.Repeat("a", 65):   "",
+		"curl/8.0 injection{x=1}": "",
+	} {
+		if got := SanitizeTraceID(in); got != want {
+			t.Errorf("SanitizeTraceID(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1})
+	h.Observe(500 * time.Microsecond) // bucket 0
+	h.Observe(5 * time.Millisecond)   // bucket 1
+	h.Observe(5 * time.Millisecond)   // bucket 1
+	h.Observe(time.Second)            // +Inf
+	h.Observe(-time.Second)           // clamped to 0, bucket 0
+
+	s := h.Snapshot()
+	if want := []uint64{2, 2, 0, 1}; len(s.Counts) != 4 ||
+		s.Counts[0] != want[0] || s.Counts[1] != want[1] || s.Counts[2] != want[2] || s.Counts[3] != want[3] {
+		t.Fatalf("counts = %v, want %v", s.Counts, want)
+	}
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	wantSum := (500*time.Microsecond + 10*time.Millisecond + time.Second).Seconds()
+	if diff := s.Sum - wantSum; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("sum = %g, want %g", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	v := NewHistogramVec(nil)
+	v.Observe("mb", time.Millisecond)
+	v.Observe("mb", time.Millisecond)
+	v.Observe("optimal", time.Second)
+	snap := v.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("labels = %d, want 2", len(snap))
+	}
+	if snap["mb"].Count != 2 || snap["optimal"].Count != 1 {
+		t.Fatalf("counts: mb=%d optimal=%d", snap["mb"].Count, snap["optimal"].Count)
+	}
+	if len(snap["mb"].Bounds) != len(DefBuckets) {
+		t.Fatalf("nil bounds should select DefBuckets")
+	}
+}
+
+func TestHistogramObserveAllocs(t *testing.T) {
+	v := NewHistogramVec(nil)
+	v.Observe("mb", time.Millisecond) // create the label outside the measurement
+	if n := testing.AllocsPerRun(100, func() { v.Observe("mb", time.Millisecond) }); n != 0 {
+		t.Fatalf("HistogramVec.Observe allocates %v/op on the hot path, want 0", n)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "INFO": slog.LevelInfo,
+		"warn": slog.LevelWarn, "error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(\"loud\") should fail")
+	}
+}
+
+func TestLoggerTraceAttr(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "json", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := WithTrace(context.Background(), "t-123")
+	lg.InfoContext(ctx, "hello", "k", "v")
+	lg.InfoContext(context.Background(), "untraced")
+	lg.DebugContext(ctx, "filtered out")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line not JSON: %v", err)
+	}
+	if rec["trace_id"] != "t-123" || rec["msg"] != "hello" || rec["k"] != "v" {
+		t.Fatalf("record = %v", rec)
+	}
+	var rec2 map[string]any
+	json.Unmarshal([]byte(lines[1]), &rec2)
+	if _, has := rec2["trace_id"]; has {
+		t.Fatal("untraced record must not carry trace_id")
+	}
+
+	if _, err := NewLogger(&buf, "xml", slog.LevelInfo); err == nil {
+		t.Fatal("bad format should error")
+	}
+}
+
+func TestLoggerWithAttrsKeepsTrace(t *testing.T) {
+	var buf bytes.Buffer
+	lg, _ := NewLogger(&buf, "json", slog.LevelInfo)
+	lg = lg.With("component", "engine")
+	lg.InfoContext(WithTrace(context.Background(), "abc"), "m")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["trace_id"] != "abc" || rec["component"] != "engine" {
+		t.Fatalf("record = %v", rec)
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	lg := NopLogger()
+	if lg.Enabled(context.Background(), slog.LevelError) {
+		t.Fatal("nop logger should be disabled at every level")
+	}
+	lg.Info("goes nowhere") // must not panic
+}

@@ -1,0 +1,19 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// RegisterPprof mounts net/http/pprof's handlers on mux under
+// /debug/pprof/. The daemons call it only behind the -pprof flag and
+// register the handlers explicitly — nothing here touches
+// http.DefaultServeMux, so an un-flagged daemon exposes no profiling
+// surface at all.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // ShardStat is one shard's snapshot as reported on /healthz and
@@ -73,6 +74,25 @@ type ClusterMembership interface {
 // counters for /healthz and /metrics.
 type ClusterStatsProvider interface {
 	ClusterStats() ClusterStats
+}
+
+// ClusterHistograms is a snapshot of a pool's latency distributions,
+// rendered on /metrics as the rp_cluster_*_seconds histogram families.
+type ClusterHistograms struct {
+	// ShardRTT is the round-trip time of shard HTTP requests, per shard
+	// base URL.
+	ShardRTT map[string]obs.HistogramSnapshot
+	// BatchChunk is the dispatch-to-response time of routed inline batch
+	// chunks; ReorderWait the time completed lines sat in the reorder
+	// buffer waiting for earlier indices before streaming to the client.
+	BatchChunk  obs.HistogramSnapshot
+	ReorderWait obs.HistogramSnapshot
+}
+
+// ClusterLatencies is implemented by pools that track latency
+// histograms for /metrics.
+type ClusterLatencies interface {
+	ClusterHistograms() ClusterHistograms
 }
 
 // BatchRouter is implemented by pools that can execute an inline

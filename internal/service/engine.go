@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"strings"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // ErrEngineClosed is returned by Solve after Close has begun.
@@ -143,6 +145,9 @@ type EngineOptions struct {
 	DefaultTimeout time.Duration
 	// Registry overrides the solver set (default NewRegistry()).
 	Registry *Registry
+	// Logger receives per-computation debug lines and solver-fault
+	// warnings; lines carry the request's trace ID. Nil discards.
+	Logger *slog.Logger
 }
 
 func (o EngineOptions) withDefaults() EngineOptions {
@@ -160,6 +165,9 @@ func (o EngineOptions) withDefaults() EngineOptions {
 	}
 	if o.Registry == nil {
 		o.Registry = NewRegistry()
+	}
+	if o.Logger == nil {
+		o.Logger = obs.NopLogger()
 	}
 	return o
 }
@@ -179,6 +187,14 @@ type Engine struct {
 
 	requests, computations, errors atomic.Uint64
 	inFlight                       atomic.Int64
+
+	log *slog.Logger
+	// solveHist/queueHist split each computation's latency per solver:
+	// time inside the backend vs. time spent waiting for a worker slot.
+	// Exposed on /metrics as rp_engine_solve_seconds and
+	// rp_engine_queue_wait_seconds.
+	solveHist *obs.HistogramVec
+	queueHist *obs.HistogramVec
 }
 
 type job struct {
@@ -204,10 +220,13 @@ const defaultBoundNodes = 400
 func NewEngine(opts EngineOptions) *Engine {
 	opts = opts.withDefaults()
 	e := &Engine{
-		opts:  opts,
-		cache: newCache(opts.CacheSize, opts.CacheMaxBytes, opts.CacheTTL),
-		trees: newTreeCache(maxInternedTrees),
-		jobs:  make(chan *job, opts.QueueDepth),
+		opts:      opts,
+		cache:     newCache(opts.CacheSize, opts.CacheMaxBytes, opts.CacheTTL),
+		trees:     newTreeCache(maxInternedTrees),
+		jobs:      make(chan *job, opts.QueueDepth),
+		log:       opts.Logger,
+		solveHist: obs.NewHistogramVec(nil),
+		queueHist: obs.NewHistogramVec(nil),
 	}
 	for i := 0; i < opts.Workers; i++ {
 		e.wg.Add(1)
@@ -248,6 +267,12 @@ func (e *Engine) Stats() Stats {
 // SolverCacheStats returns the cache counters attributed to one solver.
 func (e *Engine) SolverCacheStats(name string) SolverCacheStats {
 	return e.cache.solverSnapshot()[strings.ToLower(strings.TrimSpace(name))]
+}
+
+// SolveHistograms snapshots the per-solver latency histograms: backend
+// compute time and worker-slot queue wait, keyed by solver name.
+func (e *Engine) SolveHistograms() (solve, queueWait map[string]obs.HistogramSnapshot) {
+	return e.solveHist.Snapshot(), e.queueHist.Snapshot()
 }
 
 // Solve schedules the request on the worker pool and waits for its
@@ -383,8 +408,22 @@ func (e *Engine) run(j *job) {
 		return
 	}
 
+	// j.start was stamped at enqueue, so this is pure queue wait; the
+	// compute timer starts only now that a worker owns the job.
+	e.queueHist.Observe(j.solver.Name, time.Since(j.start))
+
 	e.computations.Add(1)
+	computeStart := time.Now()
 	res, err := j.solver.Run(j.ctx, j.in, j.opt)
+	compute := time.Since(computeStart)
+	e.solveHist.Observe(j.solver.Name, compute)
+	if err != nil {
+		e.log.DebugContext(j.ctx, "solve failed",
+			"solver", j.solver.Name, "duration_ms", float64(compute)/float64(time.Millisecond), "error", err)
+	} else if e.log.Enabled(j.ctx, slog.LevelDebug) {
+		e.log.DebugContext(j.ctx, "solve computed",
+			"solver", j.solver.Name, "duration_ms", float64(compute)/float64(time.Millisecond))
+	}
 	if err == nil && res.Solution != nil {
 		if verr := res.Solution.Validate(j.in, j.solver.Policy); verr != nil {
 			res, err = Result{}, fmt.Errorf("service: solver %s produced an invalid solution: %w", j.solver.Name, verr)

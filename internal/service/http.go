@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gen"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 )
 
 // HandlerOptions configures NewHandlerOpts beyond the engine itself.
@@ -28,6 +30,14 @@ type HandlerOptions struct {
 	// Cluster, when the daemon fronts a shard pool, feeds the per-shard
 	// health section of /healthz and the rp_cluster_* metrics.
 	Cluster ClusterInfo
+	// Logger receives the handler's request logs: a warn line for every
+	// request slower than SlowRequest, plus per-request debug lines when
+	// the level admits them. Every line carries the request's trace ID.
+	// Nil discards.
+	Logger *slog.Logger
+	// SlowRequest is the latency threshold above which a completed
+	// request is logged at warn level. Zero disables the slow log.
+	SlowRequest time.Duration
 }
 
 // defaultInlineCampaigns is the /v1/campaign concurrency limit when
@@ -46,6 +56,8 @@ type api struct {
 	jobs        *jobs.Manager
 	cluster     ClusterInfo
 	campaignSem chan struct{} // nil = unlimited
+	log         *slog.Logger
+	slowReq     time.Duration
 }
 
 // NewHandler returns the HTTP API served by cmd/rpserve, with default
@@ -90,7 +102,11 @@ func newAPI(e *Engine, opts HandlerOptions) *api {
 	if slots == 0 {
 		slots = defaultInlineCampaigns
 	}
-	a := &api{e: e, jobs: opts.Jobs, cluster: opts.Cluster}
+	a := &api{e: e, jobs: opts.Jobs, cluster: opts.Cluster,
+		log: opts.Logger, slowReq: opts.SlowRequest}
+	if a.log == nil {
+		a.log = obs.NopLogger()
+	}
 	if slots > 0 {
 		a.campaignSem = make(chan struct{}, slots)
 	}
@@ -101,7 +117,8 @@ func (a *api) routes() http.Handler {
 	e := a.e
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, healthPayload{Status: "ok", Stats: e.Stats(), Jobs: a.jobStats(),
+		writeJSON(w, http.StatusOK, healthPayload{Status: "ok", Version: buildVersion(),
+			Stats: e.Stats(), Jobs: a.jobStats(),
 			Shards: a.shardStats(), Cluster: a.clusterStats()})
 	})
 	mux.HandleFunc("GET /v1/worker/ping", func(w http.ResponseWriter, r *http.Request) {
@@ -143,7 +160,7 @@ func (a *api) routes() http.Handler {
 	mux.HandleFunc("POST /v1/cluster/shards", a.handleClusterJoin)
 	mux.HandleFunc("DELETE /v1/cluster/shards", a.handleClusterLeave)
 	a.registerJobRoutes(mux)
-	return mux
+	return a.instrument(mux)
 }
 
 // membership returns the pool's join/leave surface, nil when the daemon
@@ -262,6 +279,7 @@ func (a *api) shardStats() []ShardStat {
 
 type healthPayload struct {
 	Status  string        `json:"status"`
+	Version string        `json:"version,omitempty"`
 	Stats   Stats         `json:"stats"`
 	Jobs    *jobs.Stats   `json:"jobs,omitempty"`
 	Shards  []ShardStat   `json:"shards,omitempty"`
@@ -602,6 +620,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// writeError answers {"error": ..., "trace_id": ...}. The trace ID is
+// read back from the response header the instrument middleware set, so
+// every error body names the ID the client can quote when reporting it
+// (and that the server logged the request under).
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	body := map[string]string{"error": err.Error()}
+	if id := w.Header().Get(obs.TraceHeader); id != "" {
+		body["trace_id"] = id
+	}
+	writeJSON(w, status, body)
 }

@@ -1,0 +1,81 @@
+package service
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// instrument wraps the API mux with the request-observability layer:
+//
+//   - every request gets a trace ID — the client's X-RP-Trace-Id when it
+//     sent a well-formed one (so a coordinator's ID survives into its
+//     shards), a fresh one otherwise — carried in the request context
+//     and echoed on the response header before any handler runs, which
+//     is what lets writeError embed it in error bodies;
+//   - requests slower than HandlerOptions.SlowRequest are logged at warn
+//     with method, path, status and duration;
+//   - at debug level every request is logged the same way.
+func (a *api) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := obs.SanitizeTraceID(r.Header.Get(obs.TraceHeader))
+		if id == "" {
+			id = obs.NewTraceID()
+		}
+		ctx := obs.WithTrace(r.Context(), id)
+		r = r.WithContext(ctx)
+		w.Header().Set(obs.TraceHeader, id)
+
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		d := time.Since(start)
+
+		switch {
+		case a.slowReq > 0 && d >= a.slowReq:
+			a.log.LogAttrs(ctx, slog.LevelWarn, "slow request", requestAttrs(r, sw.status, d)...)
+		case a.log.Enabled(ctx, slog.LevelDebug):
+			a.log.LogAttrs(ctx, slog.LevelDebug, "request", requestAttrs(r, sw.status, d)...)
+		}
+	})
+}
+
+func requestAttrs(r *http.Request, status int, d time.Duration) []slog.Attr {
+	return []slog.Attr{
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.Float64("duration_ms", float64(d)/float64(time.Millisecond)),
+	}
+}
+
+// statusWriter records the response status for the request log while
+// forwarding Flush (the NDJSON streaming endpoints depend on it) and
+// exposing the wrapped writer via Unwrap for http.ResponseController.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (s *statusWriter) WriteHeader(code int) {
+	if !s.wrote {
+		s.status, s.wrote = code, true
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusWriter) Write(b []byte) (int, error) {
+	s.wrote = true
+	return s.ResponseWriter.Write(b)
+}
+
+func (s *statusWriter) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *statusWriter) Unwrap() http.ResponseWriter { return s.ResponseWriter }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"repro/internal/core"
@@ -30,6 +31,8 @@ type JobsOptions struct {
 	// pair — jobs.CampaignKind() and BatchJobKind(e). A cluster
 	// coordinator passes its sharded kinds here instead.
 	Kinds []jobs.Kind
+	// Logger receives the manager's job lifecycle logs (nil discards).
+	Logger *slog.Logger
 }
 
 // NewJobsManager wires the async job subsystem for an engine: a file
@@ -60,6 +63,7 @@ func NewJobsManagerOpts(e *Engine, opts JobsOptions) (*jobs.Manager, error) {
 		Store:     store,
 		Workers:   opts.Workers,
 		RetainFor: opts.RetainFor,
+		Logger:    opts.Logger,
 	}, kinds...)
 }
 

@@ -25,6 +25,7 @@ type jobInfo struct {
 	RowsDone  int       `json:"rows_done"`
 	RowsTotal int       `json:"rows_total"`
 	Resumes   int       `json:"resumes,omitempty"`
+	TraceID   string    `json:"trace_id,omitempty"`
 	CreatedAt time.Time `json:"created_at"`
 	// Pointers rather than `omitzero` tags: that option is Go 1.24+
 	// and silently ignored by Go 1.23's encoding/json, and this module
@@ -44,6 +45,7 @@ func wireJob(m jobs.Meta) jobInfo {
 		RowsDone:   m.RowsDone,
 		RowsTotal:  m.RowsTotal,
 		Resumes:    m.Resumes,
+		TraceID:    m.TraceID,
 		CreatedAt:  m.CreatedAt,
 		StartedAt:  wireTime(m.StartedAt),
 		FinishedAt: wireTime(m.FinishedAt),
@@ -123,6 +125,7 @@ func (a *api) registerJobRoutes(mux *http.ServeMux) {
 	mux.HandleFunc("GET /v1/jobs", a.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", a.handleJobGet)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", a.handleJobResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", a.handleJobEvents)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", a.handleJobDelete)
 }
 
@@ -137,7 +140,7 @@ func (a *api) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	meta, err := a.jobs.Submit(spec)
+	meta, err := a.jobs.Submit(r.Context(), spec)
 	if err != nil {
 		switch {
 		case errors.Is(err, jobs.ErrQueueFull), errors.Is(err, jobs.ErrClosed):
@@ -270,6 +273,31 @@ func (a *api) handleJobResult(w http.ResponseWriter, r *http.Request) {
 		res.WriteCSV(w)
 	default:
 		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q", format))
+	}
+}
+
+// jobEventsPayload answers GET /v1/jobs/{id}/events.
+type jobEventsPayload struct {
+	ID     string       `json:"id"`
+	Events []jobs.Event `json:"events"`
+}
+
+// handleJobEvents serves the job's persisted timeline: queued, started,
+// per-chunk dispatches (for sharded kinds), row checkpoints, finished —
+// each stamped with the job's trace ID.
+func (a *api) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	events, err := a.jobs.Events(id)
+	switch {
+	case errors.Is(err, jobs.ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		if events == nil {
+			events = []jobs.Event{}
+		}
+		writeJSON(w, http.StatusOK, jobEventsPayload{ID: id, Events: events})
 	}
 }
 

@@ -4,9 +4,14 @@ import (
 	"bytes"
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+
+	"repro/internal/obs"
 )
 
 // handleMetrics serves the engine counters (and, when a job manager is
@@ -17,6 +22,10 @@ func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var buf bytes.Buffer
 	p := promWriter{&buf}
 	st := a.e.Stats()
+
+	p.family("rp_build_info", "gauge", "Build metadata; the value is always 1.")
+	p.sample("rp_build_info",
+		`version="`+labelEscaper.Replace(buildVersion())+`",go_version="`+labelEscaper.Replace(runtime.Version())+`"`, 1)
 
 	p.family("rp_engine_requests_total", "counter", "Solve requests accepted by the engine.")
 	p.sample("rp_engine_requests_total", "", float64(st.Requests))
@@ -71,6 +80,12 @@ func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.sample("rp_solver_cache_coalesced_total", solverLabel(name), float64(st.PerSolver[name].Coalesced))
 	}
 
+	solveHist, queueHist := a.e.SolveHistograms()
+	p.family("rp_engine_solve_seconds", "histogram", "Backend compute time per solver (excludes queue wait).")
+	p.histogramVec("rp_engine_solve_seconds", "solver", solveHist)
+	p.family("rp_engine_queue_wait_seconds", "histogram", "Time a request waited for a solver worker slot, per solver.")
+	p.histogramVec("rp_engine_queue_wait_seconds", "solver", queueHist)
+
 	if js := a.jobStats(); js != nil {
 		p.family("rp_jobs", "gauge", "Async jobs by state.")
 		for _, s := range []struct {
@@ -92,6 +107,8 @@ func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.sample("rp_job_queue_depth", "", float64(js.QueueLen))
 		p.family("rp_jobs_pruned_total", "counter", "Finished jobs removed by age-based retention.")
 		p.sample("rp_jobs_pruned_total", "", float64(js.Pruned))
+		p.family("rp_jobs_duration_seconds", "histogram", "Wall time of terminal jobs (started to finished).")
+		p.histogram("rp_jobs_duration_seconds", "", a.jobs.Durations())
 	}
 
 	if a.cluster != nil {
@@ -134,6 +151,15 @@ func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		for _, s := range shards {
 			p.sample("rp_cluster_shard_failovers_total", shardLabel(s.Addr), float64(s.Failovers))
 		}
+		if lat, ok := a.cluster.(ClusterLatencies); ok {
+			h := lat.ClusterHistograms()
+			p.family("rp_cluster_shard_rtt_seconds", "histogram", "Round-trip time of shard requests, per shard.")
+			p.histogramVec("rp_cluster_shard_rtt_seconds", "shard", h.ShardRTT)
+			p.family("rp_cluster_batch_chunk_seconds", "histogram", "Dispatch-to-response time of routed inline batch chunks.")
+			p.histogram("rp_cluster_batch_chunk_seconds", "", h.BatchChunk)
+			p.family("rp_cluster_batch_reorder_wait_seconds", "histogram", "Time completed batch lines waited in the reorder buffer before streaming.")
+			p.histogram("rp_cluster_batch_reorder_wait_seconds", "", h.ReorderWait)
+		}
 	}
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -159,6 +185,59 @@ func (p promWriter) sample(name, labels string, v float64) {
 	p.buf.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
 	p.buf.WriteByte('\n')
 }
+
+// histogram renders one histogram series in exposition form: cumulative
+// le buckets ending at +Inf, then _sum and _count. labels is the
+// series' non-le label pairs ("" for an unlabeled family).
+func (p promWriter) histogram(name, labels string, s obs.HistogramSnapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		p.sample(name+"_bucket", labels+sep+`le="`+strconv.FormatFloat(b, 'g', -1, 64)+`"`, float64(cum))
+	}
+	cum += s.Counts[len(s.Bounds)]
+	p.sample(name+"_bucket", labels+sep+`le="+Inf"`, float64(cum))
+	p.sample(name+"_sum", labels, s.Sum)
+	p.sample(name+"_count", labels, float64(cum))
+}
+
+// histogramVec renders every series of a labeled histogram family in
+// sorted label order. The caller has already emitted the family header.
+func (p promWriter) histogramVec(name, labelName string, series map[string]obs.HistogramSnapshot) {
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p.histogram(name, labelName+`="`+labelEscaper.Replace(k)+`"`, series[k])
+	}
+}
+
+// buildVersion resolves the binary's version once: the VCS revision
+// when the build embedded one, else the module version, else "unknown".
+var buildVersion = sync.OnceValue(func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			if len(s.Value) > 12 {
+				return s.Value[:12]
+			}
+			return s.Value
+		}
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	return "unknown"
+})
 
 // solverLabel renders a solver="..." label pair with the value escaped
 // per the exposition format (registry names are tame, but a custom

@@ -1,22 +1,21 @@
 package service
 
 import (
-	"bufio"
+	"io"
 	"net/http"
 	"net/http/httptest"
-	"regexp"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/obs"
 )
 
-var (
-	promComment = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
-	promSample  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_]+="(\\.|[^"\\])*"(,[a-zA-Z_]+="(\\.|[^"\\])*")*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$`)
-)
-
-// fakeCluster feeds the shard families without a real pool.
+// fakeCluster feeds the shard families without a real pool (the service
+// tests cannot import internal/cluster — it imports this package), so
+// the latency histograms are synthetic obs histograms.
 type fakeCluster struct{}
 
 func (fakeCluster) ShardStats() []ShardStat {
@@ -26,9 +25,96 @@ func (fakeCluster) ShardStats() []ShardStat {
 	}
 }
 
-// TestHTTPMetrics: every /metrics line is Prometheus-parsable, and the
-// cache and job gauge families the acceptance criteria name are there
-// with live values.
+func (fakeCluster) ClusterHistograms() ClusterHistograms {
+	rtt := obs.NewHistogramVec(nil)
+	rtt.Observe("http://w1:1", 3*time.Millisecond)
+	rtt.Observe("http://w1:1", 40*time.Millisecond)
+	rtt.Observe("http://w2:2", 7*time.Millisecond)
+	chunk := obs.NewHistogram(nil)
+	chunk.Observe(120 * time.Millisecond)
+	reorder := obs.NewHistogram(nil)
+	reorder.Observe(500 * time.Microsecond)
+	return ClusterHistograms{
+		ShardRTT:    rtt.Snapshot(),
+		BatchChunk:  chunk.Snapshot(),
+		ReorderWait: reorder.Snapshot(),
+	}
+}
+
+var _ ClusterLatencies = fakeCluster{}
+
+// scrape GETs /metrics and strictly parses the exposition — any
+// malformed line, family ordering violation, or histogram bucket
+// invariant breach fails the test here.
+func scrape(t *testing.T, url string) map[string]*obs.Family {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	fams, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	return fams
+}
+
+// sampleValue finds the one sample of a family whose labels include the
+// given subset, failing if it is absent.
+func sampleValue(t *testing.T, fams map[string]*obs.Family, family string, labels map[string]string) float64 {
+	t.Helper()
+	f, ok := fams[family]
+	if !ok {
+		t.Fatalf("family %s missing", family)
+	}
+	for _, s := range f.Samples {
+		match := s.Name == family
+		for k, v := range labels {
+			if s.Label(k) != v {
+				match = false
+			}
+		}
+		if match {
+			return s.Value
+		}
+	}
+	t.Fatalf("family %s has no sample with labels %v", family, labels)
+	return 0
+}
+
+// histogramCount returns the _count of one labeled series of a
+// histogram family ("" selects the unlabeled series).
+func histogramCount(t *testing.T, fams map[string]*obs.Family, family, labelName, labelValue string) float64 {
+	t.Helper()
+	f, ok := fams[family]
+	if !ok {
+		t.Fatalf("histogram family %s missing", family)
+	}
+	if f.Type != "histogram" {
+		t.Fatalf("family %s has type %q, want histogram", family, f.Type)
+	}
+	for _, s := range f.Samples {
+		if s.Name != family+"_count" {
+			continue
+		}
+		if labelName == "" || s.Label(labelName) == labelValue {
+			return s.Value
+		}
+	}
+	t.Fatalf("histogram %s: no _count for %s=%q", family, labelName, labelValue)
+	return 0
+}
+
+// TestHTTPMetrics: the full /metrics exposition parses strictly, and
+// the counter, gauge and histogram families the acceptance criteria
+// name are present with live values.
 func TestHTTPMetrics(t *testing.T) {
 	e := newTestEngine(t, EngineOptions{Workers: 4})
 	srv, m := newJobsServer(t, e, jobs.NewMemStore())
@@ -38,128 +124,123 @@ func TestHTTPMetrics(t *testing.T) {
 	// Generate some signal: one computed solve, one cache hit.
 	for i := 0; i < 2; i++ {
 		resp := postJSON(t, srv.URL+"/v1/solve", map[string]any{"instance": testInstance(t), "solver": "mb"})
+		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("priming solve: status %d", resp.StatusCode)
 		}
 	}
 
-	resp, err := http.Get(srv.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status %d", resp.StatusCode)
-	}
-	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
-		t.Fatalf("content type = %q", ct)
-	}
+	fams := scrape(t, srv.URL)
 
-	samples := map[string]string{}
-	sc := bufio.NewScanner(resp.Body)
-	for sc.Scan() {
-		line := sc.Text()
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			if !promComment.MatchString(line) {
-				t.Errorf("unparsable comment line %q", line)
-			}
-			continue
-		}
-		if !promSample.MatchString(line) {
-			t.Errorf("unparsable sample line %q", line)
-			continue
-		}
-		sp := strings.LastIndexByte(line, ' ')
-		samples[line[:sp]] = line[sp+1:]
-	}
-	if err := sc.Err(); err != nil {
-		t.Fatal(err)
-	}
-
-	for series, want := range map[string]string{
-		"rp_engine_requests_total":                  "2",
-		"rp_engine_computations_total":              "1",
-		"rp_engine_workers":                         "4",
-		"rp_cache_hits_total":                       "1",
-		"rp_cache_misses_total":                     "1",
-		`rp_cache_evictions_total{reason="lru"}`:    "0",
-		`rp_cache_evictions_total{reason="bytes"}`:  "0",
-		`rp_cache_evictions_total{reason="ttl"}`:    "0",
-		"rp_cache_entries":                          "1",
-		`rp_solver_cache_hits_total{solver="mb"}`:   "1",
-		`rp_solver_cache_misses_total{solver="mb"}`: "1",
-		`rp_jobs{state="queued"}`:                   "0",
-		`rp_jobs{state="running"}`:                  "0",
-		`rp_jobs{state="succeeded"}`:                "0",
-		`rp_jobs{state="failed"}`:                   "0",
-		`rp_jobs{state="canceled"}`:                 "0",
-		`rp_jobs{state="interrupted"}`:              "0",
-		"rp_job_workers":                            "1",
-		"rp_jobs_pruned_total":                      "0",
+	for _, tc := range []struct {
+		family string
+		labels map[string]string
+		want   float64
+	}{
+		{"rp_engine_requests_total", nil, 2},
+		{"rp_engine_computations_total", nil, 1},
+		{"rp_engine_workers", nil, 4},
+		{"rp_cache_hits_total", nil, 1},
+		{"rp_cache_misses_total", nil, 1},
+		{"rp_cache_evictions_total", map[string]string{"reason": "lru"}, 0},
+		{"rp_cache_evictions_total", map[string]string{"reason": "bytes"}, 0},
+		{"rp_cache_evictions_total", map[string]string{"reason": "ttl"}, 0},
+		{"rp_cache_entries", nil, 1},
+		{"rp_solver_cache_hits_total", map[string]string{"solver": "mb"}, 1},
+		{"rp_solver_cache_misses_total", map[string]string{"solver": "mb"}, 1},
+		{"rp_jobs", map[string]string{"state": "queued"}, 0},
+		{"rp_jobs", map[string]string{"state": "running"}, 0},
+		{"rp_jobs", map[string]string{"state": "succeeded"}, 0},
+		{"rp_jobs", map[string]string{"state": "failed"}, 0},
+		{"rp_jobs", map[string]string{"state": "canceled"}, 0},
+		{"rp_jobs", map[string]string{"state": "interrupted"}, 0},
+		{"rp_job_workers", nil, 1},
+		{"rp_jobs_pruned_total", nil, 0},
 	} {
-		if got, ok := samples[series]; !ok {
-			t.Errorf("series %s missing", series)
-		} else if got != want {
-			t.Errorf("%s = %s, want %s", series, got, want)
+		if got := sampleValue(t, fams, tc.family, tc.labels); got != tc.want {
+			t.Errorf("%s%v = %g, want %g", tc.family, tc.labels, got, tc.want)
 		}
 	}
-	if _, ok := samples["rp_cache_bytes"]; !ok {
+	if _, ok := fams["rp_cache_bytes"]; !ok {
 		t.Error("rp_cache_bytes missing")
 	}
 
-	// With a cluster attached, the per-shard families appear, escaped
-	// and parsable like everything else.
+	// Build info: constant 1, carrying the running Go version.
+	if got := sampleValue(t, fams, "rp_build_info", map[string]string{"go_version": runtime.Version()}); got != 1 {
+		t.Errorf("rp_build_info = %g, want 1", got)
+	}
+	for _, s := range fams["rp_build_info"].Samples {
+		if s.Label("version") == "" {
+			t.Error("rp_build_info without a version label")
+		}
+	}
+
+	// The engine latency histograms observed the primed solve: one
+	// computation, so one sample each in the mb series (the cache hit
+	// never reaches the pool).
+	if got := histogramCount(t, fams, "rp_engine_solve_seconds", "solver", "mb"); got != 1 {
+		t.Errorf("rp_engine_solve_seconds{solver=mb} count = %g, want 1", got)
+	}
+	if got := histogramCount(t, fams, "rp_engine_queue_wait_seconds", "solver", "mb"); got != 1 {
+		t.Errorf("rp_engine_queue_wait_seconds{solver=mb} count = %g, want 1", got)
+	}
+	// The jobs duration histogram is present (empty — no jobs ran).
+	if got := histogramCount(t, fams, "rp_jobs_duration_seconds", "", ""); got != 0 {
+		t.Errorf("rp_jobs_duration_seconds count = %g, want 0", got)
+	}
+
+	// With a cluster attached the per-shard families appear, including
+	// the three cluster latency histograms — five histogram families on
+	// one exposition, all passing the parser's bucket invariants.
 	cl := httptest.NewServer(NewHandlerOpts(e, HandlerOptions{Cluster: fakeCluster{}}))
 	defer cl.Close()
-	cresp, err := http.Get(cl.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	cdata := new(strings.Builder)
-	sc3 := bufio.NewScanner(cresp.Body)
-	for sc3.Scan() {
-		line := sc3.Text()
-		if line != "" && !strings.HasPrefix(line, "#") && !promSample.MatchString(line) {
-			t.Errorf("unparsable cluster sample line %q", line)
-		}
-		cdata.WriteString(line)
-		cdata.WriteByte('\n')
-	}
-	cresp.Body.Close()
-	for _, series := range []string{
-		`rp_cluster_shard_up{shard="http://w1:1"} 1`,
-		`rp_cluster_shard_up{shard="http://w2:2"} 0`,
-		`rp_cluster_shard_requests_total{shard="http://w1:1"} 9`,
-		`rp_cluster_shard_failures_total{shard="http://w2:2"} 4`,
-		`rp_cluster_shard_failovers_total{shard="http://w2:2"} 3`,
+	cfams := scrape(t, cl.URL)
+	for _, tc := range []struct {
+		family string
+		labels map[string]string
+		want   float64
+	}{
+		{"rp_cluster_shard_up", map[string]string{"shard": "http://w1:1"}, 1},
+		{"rp_cluster_shard_up", map[string]string{"shard": "http://w2:2"}, 0},
+		{"rp_cluster_shard_requests_total", map[string]string{"shard": "http://w1:1"}, 9},
+		{"rp_cluster_shard_failures_total", map[string]string{"shard": "http://w2:2"}, 4},
+		{"rp_cluster_shard_failovers_total", map[string]string{"shard": "http://w2:2"}, 3},
 	} {
-		if !strings.Contains(cdata.String(), series) {
-			t.Errorf("cluster series %q missing from:\n%s", series, cdata.String())
+		if got := sampleValue(t, cfams, tc.family, tc.labels); got != tc.want {
+			t.Errorf("%s%v = %g, want %g", tc.family, tc.labels, got, tc.want)
 		}
+	}
+	if got := histogramCount(t, cfams, "rp_cluster_shard_rtt_seconds", "shard", "http://w1:1"); got != 2 {
+		t.Errorf("rp_cluster_shard_rtt_seconds{shard=w1} count = %g, want 2", got)
+	}
+	if got := histogramCount(t, cfams, "rp_cluster_shard_rtt_seconds", "shard", "http://w2:2"); got != 1 {
+		t.Errorf("rp_cluster_shard_rtt_seconds{shard=w2} count = %g, want 1", got)
+	}
+	if got := histogramCount(t, cfams, "rp_cluster_batch_chunk_seconds", "", ""); got != 1 {
+		t.Errorf("rp_cluster_batch_chunk_seconds count = %g, want 1", got)
+	}
+	if got := histogramCount(t, cfams, "rp_cluster_batch_reorder_wait_seconds", "", ""); got != 1 {
+		t.Errorf("rp_cluster_batch_reorder_wait_seconds count = %g, want 1", got)
+	}
+	histFamilies := 0
+	for _, f := range cfams {
+		if f.Type == "histogram" {
+			histFamilies++
+		}
+	}
+	if histFamilies < 4 {
+		t.Errorf("cluster exposition has %d histogram families, want >= 4", histFamilies)
 	}
 
 	// Without a job manager /metrics still serves the engine families.
 	bare := httptest.NewServer(NewHandler(e))
 	defer bare.Close()
-	bresp, err := http.Get(bare.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer bresp.Body.Close()
-	var body strings.Builder
-	sc2 := bufio.NewScanner(bresp.Body)
-	for sc2.Scan() {
-		body.WriteString(sc2.Text())
-		body.WriteByte('\n')
-	}
-	if strings.Contains(body.String(), "rp_jobs{") {
+	bfams := scrape(t, bare.URL)
+	if _, ok := bfams["rp_jobs"]; ok {
 		t.Error("job gauges served without a manager")
 	}
-	if !strings.Contains(body.String(), "rp_engine_requests_total") {
+	if _, ok := bfams["rp_engine_requests_total"]; !ok {
 		t.Error("engine families missing without a manager")
 	}
 }
