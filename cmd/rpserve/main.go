@@ -87,6 +87,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/cluster/wire"
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/service"
@@ -112,6 +113,10 @@ func main() {
 		shardsReload = flag.Duration("shards-reload", 30*time.Second, "periodic -shards-file reload interval (0 = SIGHUP only)")
 		coordinator  = flag.Bool("coordinator", false, "coordinator mode with an initially empty pool (workers join via POST /v1/cluster/shards or -register)")
 		shardConc    = flag.Int("shard-inflight", 0, "max in-flight requests per shard weight unit (0 = default 4)")
+		shardExpire  = flag.Int("shard-expire", 0, "expire file-/API-registered shards after this many consecutive failed health probes (0 = never)")
+		routeCache   = flag.Int("route-cache", 0, "routed batch rows memoized on the coordinator (0 = default 4096, negative disables)")
+		clusterSec   = flag.String("cluster-secret", "", "shared secret: required on POST/DELETE /v1/cluster/shards here, and presented when self-registering (empty = open)")
+		wireOn       = flag.Bool("wire", true, "speak the binary rp-wire/1 transport for cluster traffic (serve GET /v1/wire; dial it on shards)")
 		register     = flag.String("register", "", "worker mode: coordinator URL to self-register with (heartbeat re-registers, graceful shutdown deregisters)")
 		advertise    = flag.String("advertise", "", "worker mode: address the coordinator dials back (default derived from -addr)")
 		registerInt  = flag.Duration("register-interval", 10*time.Second, "worker mode: self-registration heartbeat period")
@@ -159,7 +164,13 @@ func main() {
 			addrs = strings.Split(*shards, ",")
 		}
 		var err error
-		pool, err = cluster.NewPool(addrs, cluster.PoolOptions{MaxInFlight: *shardConc, Logger: logger})
+		pool, err = cluster.NewPool(addrs, cluster.PoolOptions{
+			MaxInFlight:    *shardConc,
+			ExpireAfter:    *shardExpire,
+			DisableWire:    !*wireOn,
+			RouteCacheSize: *routeCache,
+			Logger:         logger,
+		})
 		if err != nil {
 			fatalf("building shard pool: %v", err)
 		}
@@ -197,8 +208,14 @@ func main() {
 
 	handlerOpts := service.HandlerOptions{
 		MaxInlineCampaigns: *campaigns,
+		ClusterSecret:      *clusterSec,
 		Logger:             logger,
 		SlowRequest:        *slowReq,
+	}
+	var wireSrv *wire.Server
+	if *wireOn {
+		wireSrv = wire.NewServer(engine, logger)
+		handlerOpts.Wire = wireSrv
 	}
 	var manager *jobs.Manager
 	if *worker {
@@ -262,6 +279,7 @@ func main() {
 		registrar = &cluster.Registrar{
 			Coordinator: *register,
 			Advertise:   adv,
+			Secret:      *clusterSec,
 			Interval:    *registerInt,
 			Logger:      logger,
 		}
@@ -304,6 +322,11 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		logger.Warn("http shutdown", "error", err)
+	}
+	// Hijacked wire connections are invisible to srv.Shutdown: close
+	// them explicitly so coordinators fail over instead of hanging.
+	if wireSrv != nil {
+		wireSrv.Close()
 	}
 	// Jobs first: running jobs checkpoint (interrupted, resumable on the
 	// next start) and release their engine work before the engine pool

@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/cluster/wire"
 	"repro/internal/obs"
 	"repro/internal/service"
 )
@@ -66,6 +67,8 @@ func main() {
 		register   = flag.String("register", "", "coordinator URL to self-register with (POST /v1/cluster/shards + heartbeat)")
 		advertise  = flag.String("advertise", "", "address the coordinator dials back (default derived from -addr)")
 		regEvery   = flag.Duration("register-interval", 10*time.Second, "self-registration heartbeat period")
+		clusterSec = flag.String("cluster-secret", "", "shared secret presented when self-registering (must match the coordinator's -cluster-secret)")
+		wireOn     = flag.Bool("wire", true, "serve the binary rp-wire/1 transport on GET /v1/wire")
 		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		slowReq    = flag.Duration("slow-request", 0, "log requests slower than this at warn level (0 = disabled)")
@@ -94,11 +97,17 @@ func main() {
 	// No job manager: /v1/jobs answers 501 pointing at the coordinator.
 	// Campaign streams are unbounded — the pool that feeds this worker
 	// is the admission controller.
-	var handler http.Handler = service.NewHandlerOpts(engine, service.HandlerOptions{
+	handlerOpts := service.HandlerOptions{
 		MaxInlineCampaigns: -1,
 		Logger:             logger,
 		SlowRequest:        *slowReq,
-	})
+	}
+	var wireSrv *wire.Server
+	if *wireOn {
+		wireSrv = wire.NewServer(engine, logger)
+		handlerOpts.Wire = wireSrv
+	}
+	var handler http.Handler = service.NewHandlerOpts(engine, handlerOpts)
 	if *pprofOn {
 		root := http.NewServeMux()
 		root.Handle("/", handler)
@@ -122,6 +131,7 @@ func main() {
 		registrar = &cluster.Registrar{
 			Coordinator: *register,
 			Advertise:   adv,
+			Secret:      *clusterSec,
 			Interval:    *regEvery,
 			Logger:      logger,
 		}
@@ -157,6 +167,11 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		logger.Warn("http shutdown", "error", err)
+	}
+	// Hijacked wire connections are invisible to srv.Shutdown: close
+	// them explicitly so the coordinator fails over instead of hanging.
+	if wireSrv != nil {
+		wireSrv.Close()
 	}
 	if err := engine.Close(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		logger.Warn("engine shutdown", "error", err)

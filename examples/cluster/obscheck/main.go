@@ -19,6 +19,14 @@
 //	    GET URL/metrics and print a human latency summary: per-shard
 //	    RTT (rp_cluster_shard_rtt_seconds), batch chunk and reorder
 //	    waits, and per-solver compute times, each as count + mean.
+//
+//	obscheck assert URL METRIC MIN
+//	    GET URL/metrics and fail unless the samples of family METRIC
+//	    (summed across label sets) total at least MIN. run.sh uses it
+//	    to pin behavior — e.g. that the binary wire transport actually
+//	    carried rows (rp_cluster_wire_rows_total ≥ 1) and that a
+//	    repeated batch short-circuited through the coordinator cache
+//	    (rp_cluster_batch_cache_short_circuit_total ≥ 1).
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/obs"
@@ -68,8 +77,24 @@ func main() {
 		if err := printLatency(args[0]); err != nil {
 			fail("obscheck latency: %s: %v", args[0], err)
 		}
+	case "assert":
+		if len(args) != 3 {
+			fail("obscheck assert: want URL METRIC MIN")
+		}
+		min, err := strconv.ParseFloat(args[2], 64)
+		if err != nil {
+			fail("obscheck assert: bad minimum %q: %v", args[2], err)
+		}
+		total, err := sumMetric(args[0], args[1])
+		if err != nil {
+			fail("obscheck assert: %s: %v", args[0], err)
+		}
+		if total < min {
+			fail("obscheck assert: %s: %s = %g, want >= %g", args[0], args[1], total, min)
+		}
+		fmt.Printf("obscheck: %s: %s = %g (>= %g)\n", args[0], args[1], total, min)
 	default:
-		fail("obscheck: unknown mode %q (want logs|metrics|latency)", mode)
+		fail("obscheck: unknown mode %q (want logs|metrics|latency|assert)", mode)
 	}
 }
 
@@ -141,6 +166,28 @@ func checkMetrics(url string) (families, samples int, err error) {
 		return 0, 0, fmt.Errorf("exposition is empty")
 	}
 	return families, samples, nil
+}
+
+// sumMetric totals the family's plain samples (counter/gauge values —
+// not histogram _sum/_count derivatives) across all label sets. An
+// absent family counts as 0, so assertions read naturally against
+// daemons that never exercised the code path.
+func sumMetric(url, name string) (float64, error) {
+	fams, err := scrape(url)
+	if err != nil {
+		return 0, err
+	}
+	f := fams[name]
+	if f == nil {
+		return 0, nil
+	}
+	total := 0.0
+	for _, s := range f.Samples {
+		if s.Name == name {
+			total += s.Value
+		}
+	}
+	return total, nil
 }
 
 // printLatency renders the coordinator's latency histograms as

@@ -22,6 +22,13 @@
 #                                            # finish on the newcomer with
 #                                            # an identical result
 #
+# The walkthrough also exercises the binary wire transport and the
+# membership auth: cluster traffic runs over rp-wire/1 (asserted via
+# rp_cluster_wire_rows_total), a repeated inline batch must be served
+# from the coordinator's caches without re-contacting a shard
+# (rp_cluster_batch_cache_short_circuit_total), and membership changes
+# require the shared -cluster-secret (an unauthenticated POST must 401).
+#
 # Every daemon runs with -log-format json; at the end the obscheck
 # helper asserts every emitted log line is valid structured JSON,
 # scrapes /metrics from the coordinator and a worker through the strict
@@ -40,6 +47,7 @@ COORD_PORT=${COORD_PORT:-18080}
 SINGLE_PORT=${SINGLE_PORT:-18083}
 KILL_WORKER=${KILL_WORKER:-0}
 JOIN_WORKER=${JOIN_WORKER:-0}
+SECRET=${SECRET:-walkthrough-secret}
 if [ "$KILL_WORKER" = "1" ] && [ "$JOIN_WORKER" = "1" ]; then
   echo "KILL_WORKER and JOIN_WORKER are mutually exclusive" >&2
   exit 1
@@ -81,6 +89,9 @@ json_field() { # name  (first string occurrence on stdin)
 json_int() { # name
   sed -n "s/.*\"$1\":\\([0-9][0-9]*\\).*/\\1/p" | head -n1
 }
+json_array() { # name  (first flat-array occurrence on stdin)
+  sed -n "s/.*\"$1\":\\(\\[[^]]*\\]\\).*/\\1/p" | head -n1
+}
 
 if [ "$JOIN_WORKER" = "1" ]; then
   say "starting worker 1 only (:$W1_PORT) — worker 2 will hot-join mid-run"
@@ -90,7 +101,7 @@ if [ "$JOIN_WORKER" = "1" ]; then
 
   say "starting the coordinator (:$COORD_PORT) over worker 1 alone"
   "$BIN/rpserve" -addr "127.0.0.1:$COORD_PORT" \
-    -shards "127.0.0.1:$W1_PORT" \
+    -shards "127.0.0.1:$W1_PORT" -cluster-secret "$SECRET" \
     -jobs-dir "$JOBS_DIR" -job-ttl 24h "${OBS_FLAGS[@]}" 2>"$LOGS/coord.log" &
   PIDS+=("$!")
 else
@@ -104,7 +115,7 @@ else
 
   say "starting the coordinator (:$COORD_PORT) over both shards"
   "$BIN/rpserve" -addr "127.0.0.1:$COORD_PORT" \
-    -shards "127.0.0.1:$W1_PORT,127.0.0.1:$W2_PORT" \
+    -shards "127.0.0.1:$W1_PORT,127.0.0.1:$W2_PORT" -cluster-secret "$SECRET" \
     -jobs-dir "$JOBS_DIR" -job-ttl 24h "${OBS_FLAGS[@]}" 2>"$LOGS/coord.log" &
   PIDS+=("$!")
 fi
@@ -117,6 +128,25 @@ INSTANCE=$(curl -sf "$COORD/v1/generate" \
   sed 's/^{"instance"://; s/,"load".*$//')
 curl -sf "$COORD/v1/solve" -d "{\"instance\":$INSTANCE,\"solver\":\"optimal@remote\"}" |
   grep -o '"cost":[0-9]*' || { echo "remote solve failed" >&2; exit 1; }
+
+say "membership endpoints require the shared secret (expect 401 without it)"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$COORD/v1/cluster/shards" \
+  -d '{"addr":"127.0.0.1:1"}')
+[ "$CODE" = "401" ] || { echo "unauthenticated membership POST got $CODE, want 401" >&2; exit 1; }
+
+say "inline batch over the binary wire transport"
+PARENTS=$(echo "$INSTANCE" | json_array parents)
+ISCLIENT=$(echo "$INSTANCE" | json_array is_client)
+REQS=$(echo "$INSTANCE" | json_array requests)
+CAPS=$(echo "$INSTANCE" | json_array capacities)
+STOR=$(echo "$INSTANCE" | json_array storage_costs)
+BATCH="{\"topology\":{\"parents\":$PARENTS,\"is_client\":$ISCLIENT},\"solver\":\"mb@remote\",\"base\":{\"requests\":$REQS,\"capacities\":$CAPS,\"storage_costs\":$STOR},\"variations\":[{},{},{}]}"
+curl -sf "$COORD/v1/batch" -d "$BATCH" >/dev/null
+"$BIN/obscheck" assert "$COORD" rp_cluster_wire_rows_total 1
+
+say "repeating the identical batch: served from the coordinator's caches"
+curl -sf "$COORD/v1/batch" -d "$BATCH" >/dev/null
+"$BIN/obscheck" assert "$COORD" rp_cluster_batch_cache_short_circuit_total 1
 
 CAMPAIGN='{"Lambdas":[0.1,0.25,0.4,0.55,0.7,0.85],"TreesPerLambda":4,"MinSize":15,"MaxSize":40,"Seed":7,"BoundNodes":30}'
 
@@ -150,6 +180,7 @@ if [ "$JOIN_WORKER" = "1" ]; then
   say "hot-registering worker 2 (:$W2_PORT) via rpworker -register"
   "$BIN/rpworker" -addr "127.0.0.1:$W2_PORT" \
     -register "$COORD" -advertise "127.0.0.1:$W2_PORT" -register-interval 1s \
+    -cluster-secret "$SECRET" \
     "${OBS_FLAGS[@]}" 2>"$LOGS/w2.log" &
   PIDS+=("$!")
   for _ in $(seq 1 100); do
@@ -161,7 +192,8 @@ if [ "$JOIN_WORKER" = "1" ]; then
   say "worker 2 joined (epoch $(curl -sf "$COORD/v1/cluster/shards" | json_int epoch))"
 
   say "deregistering and killing worker 1 mid-run"
-  curl -sf -X DELETE "$COORD/v1/cluster/shards?addr=127.0.0.1:$W1_PORT" >/dev/null
+  curl -sf -X DELETE -H "X-RP-Cluster-Secret: $SECRET" \
+    "$COORD/v1/cluster/shards?addr=127.0.0.1:$W1_PORT" >/dev/null
   kill -9 "$W1_PID"
   say "membership is now worker 2 alone; the job must finish there"
 fi

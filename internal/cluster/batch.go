@@ -66,11 +66,51 @@ func (p *Pool) RouteBatch(ctx context.Context, e *service.Engine, base *core.Ins
 		}
 	}
 
-	missing := make([]int, total)
-	for i := range missing {
-		missing[i] = i
-	}
 	remoteSolver := StripRemoteSuffix(req.Solver)
+
+	// Cache-aware routing: before any variation ships to a shard, probe
+	// the coordinator's own caches — the engine's solution cache (rows
+	// this process once solved locally) and the routed raw-row cache
+	// (rows a shard solved and the coordinator relayed without
+	// decoding). Hits are emitted straight into the reorder buffer and
+	// only the misses are partitioned, so a batch that repeats work the
+	// cluster has seen costs no network at all for the repeats. The
+	// canonical key of every miss is kept: when its row comes back over
+	// the wire, the raw bytes are memoized under it.
+	keys := make([]string, total)
+	if !req.Options.NoCache {
+		engineOpts := req.EngineOptions()
+		for i := range req.Variations {
+			key, resp, ok := e.CacheProbe(service.Request{
+				Instance: req.Variations[i].Apply(base),
+				Solver:   remoteSolver,
+				Policy:   policy,
+				Options:  engineOpts,
+			})
+			keys[i] = key
+			if ok {
+				p.batchCacheShort.Add(1)
+				mu.Lock()
+				emit(service.BatchLine{Index: i, Response: resp})
+				mu.Unlock()
+				continue
+			}
+			if body, hit := p.routeCache.get(key); hit {
+				p.batchCacheShort.Add(1)
+				mu.Lock()
+				emit(service.BatchLine{Index: i, Raw: body})
+				mu.Unlock()
+			}
+		}
+	}
+
+	mu.Lock()
+	if sinkErr != nil {
+		defer mu.Unlock()
+		return sinkErr
+	}
+	missing := missingIndices(total, done)
+	mu.Unlock()
 
 	for round := 0; len(missing) > 0 && p.ShardCount() > 0; {
 		if ctx.Err() != nil {
@@ -102,6 +142,11 @@ func (p *Pool) RouteBatch(ctx context.Context, e *service.Engine, base *core.Ins
 					mu.Lock()
 					if !done[line.Index] {
 						p.rowsRouted.Add(1)
+						if line.Error == "" && len(line.Raw) > 0 {
+							// Memoize the raw row so a repeated inline
+							// batch short-circuits instead of re-shipping.
+							p.routeCache.add(keys[line.Index], line.Raw)
+						}
 					}
 					emit(line)
 					mu.Unlock()

@@ -67,6 +67,24 @@ func localBatchCosts(t testing.TB, e *service.Engine, in *core.Instance, solver 
 	return out
 }
 
+// lineCost reads a line's cost through its rendered JSON: a routed line
+// carries raw bytes (BatchLine.Raw), a local one a decoded Response,
+// and AppendJSON is the one path both take to the client.
+func lineCost(t testing.TB, line *service.BatchLine) int64 {
+	t.Helper()
+	data, err := line.AppendJSON(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var row struct {
+		Cost int64 `json:"cost"`
+	}
+	if err := json.Unmarshal(data, &row); err != nil {
+		t.Fatal(err)
+	}
+	return row.Cost
+}
+
 // collectRouted runs RouteBatch and asserts the in-order delivery
 // contract while collecting the lines.
 func collectRouted(t *testing.T, p *Pool, e *service.Engine, req *service.BatchPayload) []service.BatchLine {
@@ -123,13 +141,18 @@ func TestRouteBatchMatchesLocalInOrder(t *testing.T) {
 		if line.Error != "" {
 			t.Fatalf("variation %d failed: %s", i, line.Error)
 		}
-		if line.Cost != want[i] {
-			t.Fatalf("variation %d: routed cost %d != local %d", i, line.Cost, want[i])
+		if cost := lineCost(t, &line); cost != want[i] {
+			t.Fatalf("variation %d: routed cost %d != local %d", i, cost, want[i])
 		}
 	}
 	st := p.ClusterStats()
 	if st.BatchesRouted != 1 || st.RowsRouted != n || st.RowsLocalFallback != 0 {
 		t.Fatalf("cluster stats = %+v, want %d rows all routed", st, n)
+	}
+	// The rows must have traveled the binary transport, not the JSON
+	// fallback — this is the equivalence test's transport assertion.
+	if st.WireRows != n || st.WireFallbacks != 0 || st.WireConnections == 0 {
+		t.Fatalf("wire stats = %+v, want all %d rows framed over rp-wire/1", st, n)
 	}
 }
 
@@ -164,8 +187,8 @@ func TestRouteBatchFallsBackLocal(t *testing.T) {
 			}
 			want := localBatchCosts(t, e, in, "mb", n)
 			for i, line := range lines {
-				if line.Error != "" || line.Cost != want[i] {
-					t.Fatalf("variation %d = cost %d err %q, want cost %d", i, line.Cost, line.Error, want[i])
+				if cost := lineCost(t, &line); line.Error != "" || cost != want[i] {
+					t.Fatalf("variation %d = cost %d err %q, want cost %d", i, cost, line.Error, want[i])
 				}
 			}
 			if st := p.ClusterStats(); st.RowsLocalFallback != n || st.RowsRouted != 0 {
@@ -342,4 +365,56 @@ func BenchmarkRouteBatchInline(b *testing.B) {
 	for _, shards := range []int{1, 2} {
 		b.Run(fmt.Sprintf("cluster=%d", shards), func(b *testing.B) { run(b, shards) })
 	}
+
+	// The transport pair isolates what the wire protocol buys: many
+	// cheap rows with full solutions attached, where encode/decode and
+	// per-call HTTP overhead — not solving — dominate. Same worker,
+	// same batch, binary vs JSON in the same run; the acceptance bar is
+	// wire ≥ 1.5x the JSON ns/op.
+	tin := gen.Instance(gen.Config{Internal: 30, Clients: 120, Lambda: 0.5, UnitCosts: true}, 9)
+	runTransport := func(b *testing.B, disableWire bool) {
+		e := service.NewEngine(service.EngineOptions{Workers: 1, CacheSize: -1})
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			e.Close(ctx)
+		}()
+		srv, _ := newWorker(b, 4)
+		p, err := NewPool([]string{srv.URL}, PoolOptions{
+			ProbeInterval: -1, MaxInFlight: 4, DisableWire: disableWire,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer p.Close()
+
+		req := routedBatchPayload(b, tin, "mb", 256)
+		req.Options.IncludeSolution = true
+		base, policy, err := req.Build(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			err := p.RouteBatch(context.Background(), e, base, policy, req, func(line service.BatchLine) error {
+				if line.Error != "" {
+					b.Fatalf("line %d: %s", line.Index, line.Error)
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := p.ClusterStats()
+		if disableWire && st.WireRequests != 0 {
+			b.Fatalf("json run issued %d wire requests", st.WireRequests)
+		}
+		if !disableWire && st.WireRows == 0 {
+			b.Fatal("wire run carried no rows over the binary transport")
+		}
+	}
+	b.Run("transport=wire", func(b *testing.B) { runTransport(b, false) })
+	b.Run("transport=json", func(b *testing.B) { runTransport(b, true) })
 }

@@ -109,6 +109,12 @@ func (p *Pool) ping(ctx context.Context, s *shard) error {
 			p.epoch.Add(1) // a re-weight changes placement like a join does
 		}
 	}
+	// A live worker resets the expiry clock and earns a fresh wire
+	// upgrade attempt (a restart may have turned the transport on).
+	s.mu.Lock()
+	s.missedProbes = 0
+	s.mu.Unlock()
+	s.wireUp()
 	return nil
 }
 
@@ -209,6 +215,20 @@ func (p *Pool) CampaignRow(ctx context.Context, cfg experiments.Config, index in
 	var out experiments.Row
 	err := p.do(ctx, true, func(ctx context.Context, s *shard) error {
 		jobs.PostEvent(ctx, jobs.EventDispatch, fmt.Sprintf("campaign row %d on %s", index, s.addr))
+		if p.wireEnabled(s) {
+			row, n, err := p.wireCampaignRow(ctx, s, cfg)
+			if !errors.Is(err, errWireUnsupported) {
+				if err != nil {
+					return err
+				}
+				if n != 1 {
+					return fmt.Errorf("cluster: %s wire campaign row %d: got %d rows, want 1", s.addr, index, n)
+				}
+				out = row
+				return nil
+			}
+			p.recordWireFallback(s)
+		}
 		resp, err := p.postJSON(ctx, s, "/v1/campaign", campaignWire{Config: cfg})
 		if err != nil {
 			return err
@@ -273,6 +293,13 @@ func (p *Pool) BatchChunk(ctx context.Context, payload *service.BatchPayload, de
 	return p.do(ctx, false, func(ctx context.Context, s *shard) error {
 		jobs.PostEvent(ctx, jobs.EventDispatch,
 			fmt.Sprintf("batch chunk of %d on %s", len(payload.Variations), s.addr))
+		if p.wireEnabled(s) {
+			err := p.wireBatchChunk(ctx, s, payload, deliver)
+			if !errors.Is(err, errWireUnsupported) {
+				return err
+			}
+			p.recordWireFallback(s)
+		}
 		resp, err := p.postJSON(ctx, s, "/v1/batch", payload)
 		if err != nil {
 			return err

@@ -288,7 +288,10 @@ func BatchKind(e *service.Engine, p *Pool) jobs.Kind {
 								return // leave missing; the next round recomputes it
 							}
 							line.Index = abs
-							data, err := json.Marshal(line)
+							// AppendJSON, not Marshal: wire-routed lines
+							// carry their body as raw bytes (BatchLine.Raw)
+							// that a plain Marshal would drop.
+							data, err := line.AppendJSON(nil)
 							if err == nil {
 								err = sink(data)
 							}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/service"
 )
 
 // ShardEntry is one parsed -shards-file line.
@@ -152,6 +153,10 @@ type Registrar struct {
 	// Weight is the explicit placement weight; 0 lets the coordinator
 	// discover it from this worker's ping (recommended).
 	Weight int
+	// Secret, when non-empty, is sent as the cluster-secret header on
+	// every registration call; it must match the coordinator's
+	// -cluster-secret or registrations are rejected with 401.
+	Secret string
 	// Interval is the heartbeat period (default 10s).
 	Interval time.Duration
 	// Logger, when set, receives registration outcomes (nil discards).
@@ -257,6 +262,9 @@ func (r *Registrar) send(method string) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if r.Secret != "" {
+		req.Header.Set(service.ClusterSecretHeader, r.Secret)
+	}
 	resp, err := r.client.Do(req)
 	if err != nil {
 		return err

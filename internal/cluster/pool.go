@@ -45,6 +45,25 @@ type PoolOptions struct {
 	// RetryBackoff is the pause before re-scanning the shard list when
 	// no shard is currently available (default 25ms).
 	RetryBackoff time.Duration
+	// ExpireAfter is the number of consecutive failed health probes
+	// after which a file- or API-origin shard is expired from the
+	// membership entirely (its breaker state and counters discarded), so
+	// a worker that was killed without deregistering stops occupying a
+	// seat forever. Shards from the static NewPool list never expire —
+	// the operator put them there explicitly. 0 (the default) disables
+	// expiry; expiry also requires probing to be enabled.
+	ExpireAfter int
+	// DisableWire forces all shard traffic onto the per-call JSON/HTTP
+	// path. By default the pool upgrades each shard's links to the
+	// persistent binary wire transport (falling back per shard when a
+	// worker doesn't speak it).
+	DisableWire bool
+	// RouteCacheSize bounds the coordinator's routed-row cache — raw
+	// result bytes of wire-routed batch variations, keyed by canonical
+	// request hash, served without re-contacting a shard when an inline
+	// batch repeats a variation. 0 selects the default of 4096 entries;
+	// negative disables the cache.
+	RouteCacheSize int
 	// Client is the HTTP client used for all shard traffic (default a
 	// dedicated client; per-request deadlines come from contexts).
 	Client *http.Client
@@ -71,6 +90,12 @@ func (o PoolOptions) withDefaults() PoolOptions {
 	}
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = 25 * time.Millisecond
+	}
+	if o.ExpireAfter < 0 {
+		o.ExpireAfter = 0
+	}
+	if o.RouteCacheSize == 0 {
+		o.RouteCacheSize = 4096
 	}
 	if o.Logger == nil {
 		o.Logger = obs.NopLogger()
@@ -138,17 +163,20 @@ type shard struct {
 	origin string // originStatic / originFile / originAPI
 	log    *slog.Logger
 
-	mu        sync.Mutex
-	weight    int  // placement weight (>= 1)
-	explicit  bool // weight was set by the operator; pings don't override
-	cur       int  // smooth-WRR accumulator
-	inflight  int
-	capacity  int // MaxInFlight × weight
-	state     breakerState
-	fails     int       // consecutive transient failures
-	openUntil time.Time // when an open circuit admits its trial
+	mu           sync.Mutex
+	weight       int  // placement weight (>= 1)
+	explicit     bool // weight was set by the operator; pings don't override
+	cur          int  // smooth-WRR accumulator
+	inflight     int
+	capacity     int // MaxInFlight × weight
+	state        breakerState
+	fails        int       // consecutive transient failures
+	openUntil    time.Time // when an open circuit admits its trial
+	missedProbes int       // consecutive failed health probes (expiry)
 
 	requests, failures, failovers uint64
+
+	wire shardWire // persistent wire-transport links (its own lock)
 }
 
 // tryAcquire takes an in-flight slot if the shard has one free and its
@@ -273,6 +301,16 @@ type Pool struct {
 	batchesRouted     atomic.Uint64
 	rowsRouted        atomic.Uint64
 	rowsLocalFallback atomic.Uint64
+	batchCacheShort   atomic.Uint64 // routed variations served from coordinator caches
+	shardsExpired     atomic.Uint64
+	wireConns         atomic.Uint64 // wire connections dialed
+	wireReqs          atomic.Uint64 // requests sent over the wire transport
+	wireRows          atomic.Uint64 // row frames received
+	wireFallbacks     atomic.Uint64 // upgrades refused → JSON fallback
+
+	// routeCache holds raw wire-routed row bytes by canonical request
+	// key (nil when disabled).
+	routeCache *rawCache
 
 	// Latency histograms exposed via service.ClusterLatencies: shard
 	// HTTP round-trips per shard, routed-batch chunk dispatch-to-done,
@@ -314,6 +352,7 @@ func NewPool(addrs []string, opts PoolOptions) (*Pool, error) {
 		batchChunk:  obs.NewHistogram(nil),
 		reorderWait: obs.NewHistogram(nil),
 	}
+	p.routeCache = newRawCache(p.opts.RouteCacheSize)
 	p.log = p.opts.Logger
 	seen := map[string]bool{}
 	for _, a := range addrs {
@@ -342,10 +381,15 @@ func (p *Pool) newShard(addr, origin string, weight int) *shard {
 	return s
 }
 
-// Close stops the background prober. In-flight calls finish normally.
+// Close stops the background prober and tears down every shard's
+// persistent wire connections. In-flight calls finish normally (a call
+// holding a wire connection keeps it; it just won't be parked again).
 func (p *Pool) Close() {
 	p.closeOnce.Do(func() { close(p.stopProbe) })
 	p.probeWG.Wait()
+	for _, s := range p.snapshot() {
+		s.wireClose()
+	}
 }
 
 // Epoch is the current membership epoch; it increments on every join,
@@ -403,6 +447,7 @@ func (p *Pool) RemoveShard(addr string) bool {
 		if s.addr == norm {
 			p.shards = append(p.shards[:i], p.shards[i+1:]...)
 			p.mu.Unlock()
+			s.wireClose()
 			p.epoch.Add(1)
 			p.log.Info("shard left", "shard", norm, "epoch", p.epoch.Load())
 			return true
@@ -477,10 +522,16 @@ func (p *Pool) ShardStats() []service.ShardStat {
 // ClusterStats implements service.ClusterStatsProvider.
 func (p *Pool) ClusterStats() service.ClusterStats {
 	return service.ClusterStats{
-		Epoch:             p.epoch.Load(),
-		BatchesRouted:     p.batchesRouted.Load(),
-		RowsRouted:        p.rowsRouted.Load(),
-		RowsLocalFallback: p.rowsLocalFallback.Load(),
+		Epoch:                   p.epoch.Load(),
+		BatchesRouted:           p.batchesRouted.Load(),
+		RowsRouted:              p.rowsRouted.Load(),
+		RowsLocalFallback:       p.rowsLocalFallback.Load(),
+		BatchCacheShortCircuits: p.batchCacheShort.Load(),
+		ShardsExpired:           p.shardsExpired.Load(),
+		WireConnections:         p.wireConns.Load(),
+		WireRequests:            p.wireReqs.Load(),
+		WireRows:                p.wireRows.Load(),
+		WireFallbacks:           p.wireFallbacks.Load(),
 	}
 }
 
@@ -514,7 +565,11 @@ func (p *Pool) probeLoop() {
 			err := p.ping(ctx, s)
 			cancel()
 			if err != nil {
-				continue // breakers open on request outcomes, not probes
+				// Breakers open on request outcomes, not probes — but
+				// enough missed probes in a row expire a dynamic member
+				// outright (see PoolOptions.ExpireAfter).
+				p.recordMissedProbe(s)
+				continue
 			}
 			s.mu.Lock()
 			closed := s.state == stateClosed
@@ -523,6 +578,26 @@ func (p *Pool) probeLoop() {
 				s.recordSuccess()
 			}
 		}
+	}
+}
+
+// recordMissedProbe counts one failed health probe and expires the
+// shard once ExpireAfter of them accumulate — dynamic members only:
+// a shard from the operator's static list keeps its seat no matter how
+// long it is gone.
+func (p *Pool) recordMissedProbe(s *shard) {
+	s.mu.Lock()
+	s.missedProbes++
+	missed := s.missedProbes
+	origin := s.origin
+	s.mu.Unlock()
+	if p.opts.ExpireAfter <= 0 || origin == originStatic || missed < p.opts.ExpireAfter {
+		return
+	}
+	if p.RemoveShard(s.addr) {
+		p.shardsExpired.Add(1)
+		p.log.Warn("shard expired after missed probes",
+			"shard", s.addr, "origin", origin, "missed_probes", missed)
 	}
 }
 

@@ -5,18 +5,49 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/cluster/wire"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/service"
 )
 
+// wireServers maps each test worker to its wire.Server so killServer
+// can sever hijacked wire connections too: httptest untracks a conn
+// once it is hijacked, so CloseClientConnections alone would leave a
+// "crashed" worker's wire sessions alive and the failover tests
+// vacuous.
+var wireServers sync.Map // *httptest.Server -> *wire.Server
+
 // newWorker starts an in-process worker shard: the full service handler
-// with unlimited inline campaigns, like rpworker runs.
+// with unlimited inline campaigns and the binary wire transport
+// mounted, like rpworker runs.
 func newWorker(t testing.TB, engineWorkers int) (*httptest.Server, *service.Engine) {
+	t.Helper()
+	e := service.NewEngine(service.EngineOptions{Workers: engineWorkers})
+	ws := wire.NewServer(e, nil)
+	srv := httptest.NewServer(service.NewHandlerOpts(e, service.HandlerOptions{
+		MaxInlineCampaigns: -1,
+		Wire:               ws,
+	}))
+	wireServers.Store(srv, ws)
+	t.Cleanup(func() {
+		killServer(srv)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		e.Close(ctx)
+	})
+	return srv, e
+}
+
+// newJSONWorker starts a worker without the wire transport mounted —
+// the "older worker / plain HTTP shard" a coordinator must fall back
+// to JSON for.
+func newJSONWorker(t testing.TB, engineWorkers int) (*httptest.Server, *service.Engine) {
 	t.Helper()
 	e := service.NewEngine(service.EngineOptions{Workers: engineWorkers})
 	srv := httptest.NewServer(service.NewHandlerOpts(e, service.HandlerOptions{MaxInlineCampaigns: -1}))
@@ -29,9 +60,13 @@ func newWorker(t testing.TB, engineWorkers int) (*httptest.Server, *service.Engi
 	return srv, e
 }
 
-// killServer simulates a worker crash: in-flight connections are cut
+// killServer simulates a worker crash: in-flight connections are cut —
+// including hijacked wire sessions, which httptest no longer tracks —
 // and the listener stops accepting.
 func killServer(srv *httptest.Server) {
+	if ws, ok := wireServers.LoadAndDelete(srv); ok {
+		ws.(*wire.Server).Close()
+	}
 	srv.CloseClientConnections()
 	srv.Close()
 }

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"container/list"
+	"sync"
+)
+
+// rawCache memoizes routed batch rows the coordinator relays without
+// decoding: canonical request key (service.Key of the variation's
+// instance) → the worker's raw JSON response body. Routed rows never
+// enter the engine's solution cache — the whole point of the binary
+// relay is that the coordinator does not parse them — so without this,
+// a repeated inline batch would re-ship every variation the cluster
+// just solved. A nil *rawCache (cache disabled) is valid and misses
+// everything.
+type rawCache struct {
+	mu      sync.Mutex
+	max     int
+	lru     *list.List
+	entries map[string]*list.Element
+}
+
+type rawEntry struct {
+	key  string
+	body []byte
+}
+
+// newRawCache builds a cache bounded to max entries; max <= 0 returns
+// nil (disabled).
+func newRawCache(max int) *rawCache {
+	if max <= 0 {
+		return nil
+	}
+	return &rawCache{max: max, lru: list.New(), entries: map[string]*list.Element{}}
+}
+
+func (c *rawCache) get(key string) ([]byte, bool) {
+	if c == nil || key == "" {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*rawEntry).body, true
+}
+
+func (c *rawCache) add(key string, body []byte) {
+	if c == nil || key == "" || len(body) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&rawEntry{key: key, body: body})
+	if c.lru.Len() > c.max {
+		el := c.lru.Back()
+		c.lru.Remove(el)
+		delete(c.entries, el.Value.(*rawEntry).key)
+	}
+}
+
+func (c *rawCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}

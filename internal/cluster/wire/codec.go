@@ -1,0 +1,301 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/service"
+)
+
+// The batch chunk request encoding. JSON spends most of a chunk's bytes
+// re-spelling field names and base-10 vectors; this packs the same
+// BatchPayload as varints:
+//
+//	solver, policy        uvarint length + bytes
+//	options               flags byte (noCache, includeSolution),
+//	                      zigzag timeout_ms, zigzag bound_nodes
+//	topology              uvarint n, n zigzag parents,
+//	                      ceil(n/8) is_client bitmap bytes
+//	base variation        see below
+//	uvarint #variations, then each variation:
+//	  presence byte       bit per vector (R,W,S,Q,Comm,BW); an absent
+//	                      vector inherits the base's, exactly like a
+//	                      JSON-omitted one
+//	  per present vector  uvarint length + zigzag elements
+//
+// Every length is validated against the remaining payload before
+// allocation, so a hostile peer cannot make the decoder allocate more
+// than it sent.
+
+const (
+	optNoCache         = 0x01
+	optIncludeSolution = 0x02
+)
+
+const (
+	vecR = 1 << iota
+	vecW
+	vecS
+	vecQ
+	vecComm
+	vecBW
+)
+
+// AppendBatchRequest appends the binary encoding of req to buf.
+func AppendBatchRequest(buf []byte, req *service.BatchPayload) []byte {
+	buf = appendString(buf, req.Solver)
+	buf = appendString(buf, req.Policy)
+	var flags byte
+	if req.Options.NoCache {
+		flags |= optNoCache
+	}
+	if req.Options.IncludeSolution {
+		flags |= optIncludeSolution
+	}
+	buf = append(buf, flags)
+	buf = appendZigzag(buf, req.Options.TimeoutMS)
+	buf = appendZigzag(buf, int64(req.Options.BoundNodes))
+
+	n := len(req.Topology.Parents)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	for _, p := range req.Topology.Parents {
+		buf = appendZigzag(buf, int64(p))
+	}
+	bits := make([]byte, (n+7)/8)
+	for i, c := range req.Topology.IsClient {
+		if i >= n {
+			break // malformed payload; Build would reject it anyway
+		}
+		if c {
+			bits[i/8] |= 1 << (i % 8)
+		}
+	}
+	buf = append(buf, bits...)
+
+	buf = appendVariation(buf, &req.Base)
+	buf = binary.AppendUvarint(buf, uint64(len(req.Variations)))
+	for i := range req.Variations {
+		buf = appendVariation(buf, &req.Variations[i])
+	}
+	return buf
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendZigzag(buf []byte, v int64) []byte {
+	return binary.AppendUvarint(buf, uint64((v<<1)^(v>>63)))
+}
+
+func appendVariation(buf []byte, v *service.BatchVariation) []byte {
+	var present byte
+	if v.R != nil {
+		present |= vecR
+	}
+	if v.W != nil {
+		present |= vecW
+	}
+	if v.S != nil {
+		present |= vecS
+	}
+	if v.Q != nil {
+		present |= vecQ
+	}
+	if v.Comm != nil {
+		present |= vecComm
+	}
+	if v.BW != nil {
+		present |= vecBW
+	}
+	buf = append(buf, present)
+	buf = appendVec64(buf, v.R, v.R != nil)
+	buf = appendVec64(buf, v.W, v.W != nil)
+	buf = appendVec64(buf, v.S, v.S != nil)
+	if v.Q != nil {
+		buf = binary.AppendUvarint(buf, uint64(len(v.Q)))
+		for _, q := range v.Q {
+			buf = appendZigzag(buf, int64(q))
+		}
+	}
+	buf = appendVec64(buf, v.Comm, v.Comm != nil)
+	buf = appendVec64(buf, v.BW, v.BW != nil)
+	return buf
+}
+
+func appendVec64(buf []byte, v []int64, present bool) []byte {
+	if !present {
+		return buf
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(v)))
+	for _, x := range v {
+		buf = appendZigzag(buf, x)
+	}
+	return buf
+}
+
+// DecodeBatchRequest decodes a FrameBatch payload. Malformed input —
+// truncated, oversized lengths, garbage — returns an error, never
+// panics and never allocates beyond the payload's own size.
+func DecodeBatchRequest(p []byte) (*service.BatchPayload, error) {
+	d := &decoder{p: p}
+	req := &service.BatchPayload{}
+	req.Solver = d.str()
+	req.Policy = d.str()
+	flags := d.byte()
+	req.Options.NoCache = flags&optNoCache != 0
+	req.Options.IncludeSolution = flags&optIncludeSolution != 0
+	req.Options.TimeoutMS = d.zigzag()
+	req.Options.BoundNodes = d.int()
+
+	n := d.length()
+	if n > 0 {
+		req.Topology.Parents = make([]int, n)
+		for i := range req.Topology.Parents {
+			req.Topology.Parents[i] = d.int()
+		}
+		bits := d.bytes((n + 7) / 8)
+		req.Topology.IsClient = make([]bool, n)
+		for i := range req.Topology.IsClient {
+			if len(bits) > i/8 {
+				req.Topology.IsClient[i] = bits[i/8]&(1<<(i%8)) != 0
+			}
+		}
+	}
+
+	d.variation(&req.Base)
+	nvars := d.length()
+	if nvars > service.MaxBatchVariations {
+		return nil, fmt.Errorf("wire: batch request with %d variations exceeds the %d limit",
+			nvars, service.MaxBatchVariations)
+	}
+	if d.err == nil && nvars > 0 {
+		req.Variations = make([]service.BatchVariation, nvars)
+		for i := range req.Variations {
+			d.variation(&req.Variations[i])
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.p) != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after batch request", len(d.p))
+	}
+	return req, nil
+}
+
+// decoder consumes the payload front to back, latching the first error:
+// every accessor after a failure returns zero values, so decode code
+// reads straight-line and checks d.err once.
+type decoder struct {
+	p   []byte
+	err error
+}
+
+func (d *decoder) fail(msg string) {
+	if d.err == nil {
+		d.err = errors.New("wire: " + msg)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.p)
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.p = d.p[n:]
+	return v
+}
+
+func (d *decoder) zigzag() int64 {
+	u := d.uvarint()
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+func (d *decoder) int() int {
+	v := d.zigzag()
+	if v > math.MaxInt32 || v < math.MinInt32 {
+		d.fail("integer out of range")
+		return 0
+	}
+	return int(v)
+}
+
+// length reads a collection length, bounded by the bytes actually left
+// in the payload (every element costs at least one byte).
+func (d *decoder) length() int {
+	v := d.uvarint()
+	if d.err == nil && v > uint64(len(d.p)) {
+		d.fail("length exceeds remaining payload")
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) byte() byte {
+	b := d.bytes(1)
+	if len(b) == 0 {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.p) {
+		d.fail("truncated payload")
+		return nil
+	}
+	out := d.p[:n]
+	d.p = d.p[n:]
+	return out
+}
+
+func (d *decoder) str() string { return string(d.bytes(d.length())) }
+
+func (d *decoder) vec64() []int64 {
+	n := d.length()
+	if d.err != nil || n == 0 {
+		return []int64{}
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = d.zigzag()
+	}
+	return out
+}
+
+func (d *decoder) variation(v *service.BatchVariation) {
+	present := d.byte()
+	if present&vecR != 0 {
+		v.R = d.vec64()
+	}
+	if present&vecW != 0 {
+		v.W = d.vec64()
+	}
+	if present&vecS != 0 {
+		v.S = d.vec64()
+	}
+	if present&vecQ != 0 {
+		n := d.length()
+		v.Q = make([]int, n)
+		for i := range v.Q {
+			v.Q[i] = d.int()
+		}
+	}
+	if present&vecComm != 0 {
+		v.Comm = d.vec64()
+	}
+	if present&vecBW != 0 {
+		v.BW = d.vec64()
+	}
+}

@@ -1,0 +1,264 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// Server is the worker-side end of the wire transport: an http.Handler
+// for GET /v1/wire that hijacks the connection after a protocol upgrade
+// and then serves batch chunks and campaign rows as frames over it.
+// Mount it via service.HandlerOptions.Wire.
+type Server struct {
+	e   *service.Engine
+	log *slog.Logger
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewServer returns a wire server over the engine. logger may be nil.
+func NewServer(e *service.Engine, logger *slog.Logger) *Server {
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
+	return &Server{e: e, log: logger, conns: map[net.Conn]struct{}{}}
+}
+
+// Close tears down every live wire connection. In-flight solves observe
+// their canceled contexts and stop; the engine's own Close drains what
+// remains. New upgrades are refused afterwards.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (s *Server) track(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// ServeHTTP negotiates the upgrade. Anything but an exact protocol
+// match answers a plain HTTP error, which the coordinator reads as
+// "this shard speaks JSON only" — that is the whole version handshake:
+// new coordinators fall back, old coordinators never call here.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !strings.EqualFold(r.Header.Get("Upgrade"), ProtocolName) ||
+		!headerContainsToken(r.Header, "Connection", "upgrade") {
+		w.Header().Set("Upgrade", ProtocolName)
+		http.Error(w, "this endpoint speaks "+ProtocolName+" only", http.StatusUpgradeRequired)
+		return
+	}
+	// ResponseController follows Unwrap through middleware wrappers (the
+	// tracing statusWriter is not itself a Hijacker).
+	conn, rw, err := http.NewResponseController(w).Hijack()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if !s.track(conn) {
+		conn.Close()
+		return
+	}
+	defer s.untrack(conn)
+	defer conn.Close()
+	conn.SetDeadline(time.Time{}) // the server's read timeouts no longer apply
+
+	rw.Writer.WriteString("HTTP/1.1 101 Switching Protocols\r\nUpgrade: " +
+		ProtocolName + "\r\nConnection: Upgrade\r\n\r\n")
+	if err := rw.Writer.Flush(); err != nil {
+		return
+	}
+	s.log.Debug("wire session open", "remote", conn.RemoteAddr().String())
+	err = s.session(rw.Reader, conn)
+	if err != nil && !errors.Is(err, io.EOF) {
+		s.log.Debug("wire session closed", "remote", conn.RemoteAddr().String(), "error", err)
+	}
+}
+
+// session serves one connection: request frames in, row streams out,
+// until the peer closes or a protocol error poisons the framing.
+func (s *Server) session(br *bufio.Reader, conn net.Conn) error {
+	r := NewReader(br)
+	bw := bufio.NewWriter(conn)
+	w := NewWriter(bw)
+	for {
+		f, err := r.Next()
+		if err != nil {
+			return err
+		}
+		switch f.Type {
+		case FrameBatch:
+			err = s.serveBatch(w, bw, f)
+		case FrameCampaign:
+			err = s.serveCampaign(w, bw, f)
+		default:
+			return errors.New("wire: unexpected frame type")
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// fail reports a request-level failure and keeps the connection alive —
+// frame boundaries are intact, only this stream is over.
+func (w *Writer) fail(bw *bufio.Writer, stream uint32, permanent bool, err error) error {
+	var flags byte
+	if permanent {
+		flags = FlagPermanent
+	}
+	if werr := w.WriteFrame(FrameError, flags, stream, []byte(err.Error())); werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+func (s *Server) serveBatch(w *Writer, bw *bufio.Writer, f Frame) error {
+	req, err := DecodeBatchRequest(f.Payload)
+	if err != nil {
+		return w.fail(bw, f.Stream, true, err)
+	}
+	base, policy, err := req.Build(s.e)
+	if err != nil {
+		return w.fail(bw, f.Stream, true, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var rowBuf []byte
+	failed, werr := 0, error(nil)
+	err = s.e.SolveBatch(ctx, service.BatchRequest{
+		Base:       base,
+		Solver:     req.Solver,
+		Policy:     policy,
+		Options:    req.EngineOptions(),
+		Variations: req.Variations,
+	}, func(item service.BatchItem) {
+		if werr != nil {
+			return // the peer is gone; remaining solves are being canceled
+		}
+		var msg string
+		var body []byte
+		if item.Err != nil {
+			msg = item.Err.Error()
+			failed++
+		} else {
+			body, werr = json.Marshal(item.Response)
+			if werr != nil {
+				cancel()
+				return
+			}
+		}
+		rowBuf = AppendRow(rowBuf[:0], item.Index, msg, body)
+		if werr = w.WriteFrame(FrameRow, 0, f.Stream, rowBuf); werr == nil {
+			werr = bw.Flush()
+		}
+		if werr != nil {
+			cancel() // stop burning workers on a dead stream
+		}
+	})
+	if err != nil {
+		// SolveBatch-level failures are validation-shaped (Build caught
+		// most already); report in-stream like the HTTP handler does.
+		return w.fail(bw, f.Stream, true, err)
+	}
+	if werr != nil {
+		return werr
+	}
+	if err := w.WriteFrame(FrameDone, 0, f.Stream, AppendDone(nil, len(req.Variations), failed)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func (s *Server) serveCampaign(w *Writer, bw *bufio.Writer, f Frame) error {
+	var req struct {
+		Config experiments.Config `json:"config"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(f.Payload))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return w.fail(bw, f.Stream, true, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := req.Config
+	cfg.Context = ctx
+
+	var rowBuf []byte
+	rows, werr := 0, error(nil)
+	cfg.Progress = func(row experiments.Row) error {
+		body, err := json.Marshal(row)
+		if err != nil {
+			return err
+		}
+		rowBuf = AppendRow(rowBuf[:0], rows, "", body)
+		rows++
+		if werr = w.WriteFrame(FrameRow, 0, f.Stream, rowBuf); werr == nil {
+			werr = bw.Flush()
+		}
+		return werr
+	}
+	if _, err := experiments.Run(cfg); err != nil {
+		if werr != nil {
+			return werr // the stream write failed; the conn is poisoned
+		}
+		// The campaign itself failed (bad config, engine draining):
+		// transient unless proven otherwise — another shard may be
+		// healthier.
+		return w.fail(bw, f.Stream, false, err)
+	}
+	if err := w.WriteFrame(FrameDone, 0, f.Stream, AppendDone(nil, rows, 0)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// headerContainsToken reports whether any comma-separated value of the
+// header contains the token (case-insensitive) — the lenient Connection
+// header match net/http's own upgrade detection uses.
+func headerContainsToken(h http.Header, name, token string) bool {
+	for _, v := range h.Values(name) {
+		for _, part := range strings.Split(v, ",") {
+			if strings.EqualFold(strings.TrimSpace(part), token) {
+				return true
+			}
+		}
+	}
+	return false
+}

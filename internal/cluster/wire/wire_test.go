@@ -1,0 +1,235 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"repro/internal/service"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	frames := []Frame{
+		{Type: FrameBatch, Flags: 0, Stream: 1, Payload: []byte("hello")},
+		{Type: FrameRow, Flags: 0, Stream: 7, Payload: bytes.Repeat([]byte{0xAB}, 1<<16)},
+		{Type: FrameDone, Flags: 0, Stream: 7, Payload: nil},
+		{Type: FrameError, Flags: FlagPermanent, Stream: 0xFFFFFFFF, Payload: []byte("boom")},
+	}
+	for _, f := range frames {
+		if err := w.WriteFrame(f.Type, f.Flags, f.Stream, f.Payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	for i, want := range frames {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.Flags != want.Flags || got.Stream != want.Stream ||
+			!bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+func TestWriteFrameRejectsOversizedPayload(t *testing.T) {
+	w := NewWriter(io.Discard)
+	// Don't allocate 64 MiB: an over-limit length with a short slice
+	// would be caught the same way, but WriteFrame checks len() first,
+	// so build the smallest slice that trips it via a huge cap trick is
+	// impossible — just allocate once.
+	if err := w.WriteFrame(FrameRow, 0, 1, make([]byte, MaxFrame+1)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestReaderRejectsMalformedStreams(t *testing.T) {
+	// A header announcing a payload beyond MaxFrame must error before
+	// allocating it.
+	hdr := make([]byte, headerLen)
+	hdr[0] = FrameRow
+	hdr[6], hdr[7], hdr[8], hdr[9] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := NewReader(bytes.NewReader(hdr)).Next(); err == nil {
+		t.Fatal("oversized frame length accepted")
+	}
+
+	// A connection cut mid-header or mid-payload is not a clean EOF.
+	if _, err := NewReader(bytes.NewReader(hdr[:3])).Next(); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("short header: err = %v, want a non-EOF error", err)
+	}
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).WriteFrame(FrameRow, 0, 1, []byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()-3]
+	if _, err := NewReader(bytes.NewReader(truncated)).Next(); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("truncated payload: err = %v, want a non-EOF error", err)
+	}
+}
+
+func TestRowRoundTrip(t *testing.T) {
+	cases := []struct {
+		index int
+		msg   string
+		body  string
+	}{
+		{0, "", `{"index":0,"cost":42}`},
+		{17, "solver exploded", ""},
+		{1 << 20, "", ""},
+	}
+	for _, c := range cases {
+		p := AppendRow(nil, c.index, c.msg, []byte(c.body))
+		idx, msg, body, err := ParseRow(p)
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		if idx != c.index || msg != c.msg || string(body) != c.body {
+			t.Fatalf("round trip: got (%d, %q, %q), want %+v", idx, msg, body, c)
+		}
+	}
+	for _, bad := range [][]byte{
+		{},           // no index
+		{0x80},       // unterminated varint
+		{0x01},       // index but no error length
+		{0x01, 0x05}, // error length beyond the payload
+	} {
+		if _, _, _, err := ParseRow(bad); err == nil {
+			t.Fatalf("ParseRow(%v) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestDoneRoundTrip(t *testing.T) {
+	p := AppendDone(nil, 64, 3)
+	items, failed, err := ParseDone(p)
+	if err != nil || items != 64 || failed != 3 {
+		t.Fatalf("got (%d, %d, %v), want (64, 3, nil)", items, failed, err)
+	}
+	for _, bad := range [][]byte{{}, {0x80}, {0x05}} {
+		if _, _, err := ParseDone(bad); err == nil {
+			t.Fatalf("ParseDone(%v) accepted malformed input", bad)
+		}
+	}
+}
+
+func testBatchPayload() *service.BatchPayload {
+	return &service.BatchPayload{
+		Topology: service.BatchTopology{
+			Parents:  []int{-1, 0, 0, 1, 1, 2, 2},
+			IsClient: []bool{false, false, false, true, true, true, true},
+		},
+		Solver: "mb",
+		Policy: "multiple",
+		Options: service.RequestOptions{
+			TimeoutMS:       2500,
+			NoCache:         true,
+			BoundNodes:      30,
+			IncludeSolution: true,
+		},
+		Base: service.BatchVariation{
+			R: []int64{0, 0, 0, 3, 1, 4, 1},
+			W: []int64{5, 9, 2, 0, 0, 0, 0},
+			S: []int64{1, 1, 1, 1, 1, 1, 1},
+		},
+		Variations: []service.BatchVariation{
+			{}, // inherits the base wholesale
+			{R: []int64{0, 0, 0, 5, 5, 5, 5}},
+			{
+				R:    []int64{0, 0, 0, -1, 2, 7, 1},
+				W:    []int64{8, 8, 8, 0, 0, 0, 0},
+				S:    []int64{2, 3, 4, 5, 6, 7, 8},
+				Q:    []int{0, 0, 0, 2, 2, 2, 2},
+				Comm: []int64{0, 1, 1, 2, 2, 2, 2},
+				BW:   []int64{100, 50, 50, 10, 10, 10, 10},
+			},
+		},
+	}
+}
+
+func TestBatchRequestRoundTrip(t *testing.T) {
+	want := testBatchPayload()
+	got, err := DecodeBatchRequest(AppendBatchRequest(nil, want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestDecodeBatchRequestRejectsMalformed(t *testing.T) {
+	good := AppendBatchRequest(nil, testBatchPayload())
+
+	// Every strict prefix must fail as truncated, never panic.
+	for i := 0; i < len(good); i++ {
+		if _, err := DecodeBatchRequest(good[:i]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes accepted", i, len(good))
+		}
+	}
+	if _, err := DecodeBatchRequest(append(append([]byte{}, good...), 0x00)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+
+	// A variation count beyond the service cap is rejected before any
+	// allocation proportional to it.
+	huge := appendString(nil, "mb")
+	huge = appendString(huge, "")
+	huge = append(huge, 0)          // options flags
+	huge = appendZigzag(huge, 0)    // timeout
+	huge = appendZigzag(huge, 0)    // bound nodes
+	huge = append(huge, 0)          // topology size 0
+	huge = append(huge, 0)          // base presence byte
+	huge = append(huge, 0xFF, 0xFF) // variation count varint...
+	huge = append(huge, make([]byte, 64<<10)...)
+	if _, err := DecodeBatchRequest(huge); err == nil {
+		t.Fatal("oversized variation count accepted")
+	}
+}
+
+func FuzzDecodeBatchRequest(f *testing.F) {
+	f.Add(AppendBatchRequest(nil, testBatchPayload()))
+	f.Add([]byte{})
+	f.Add([]byte{0x02, 'm', 'b'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := DecodeBatchRequest(data)
+		if err == nil && req == nil {
+			t.Fatal("nil payload without error")
+		}
+	})
+}
+
+func FuzzParseRow(f *testing.F) {
+	f.Add(AppendRow(nil, 3, "oops", []byte(`{"cost":1}`)))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		idx, _, _, err := ParseRow(data)
+		if err == nil && idx < 0 {
+			t.Fatal("negative index without error")
+		}
+	})
+}
+
+func FuzzReaderNext(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteFrame(FrameRow, 0, 1, AppendRow(nil, 0, "", []byte("{}")))
+	w.WriteFrame(FrameDone, 0, 1, AppendDone(nil, 1, 0))
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < 1024; i++ {
+			if _, err := r.Next(); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,336 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cluster/wire"
+	"repro/internal/experiments"
+	"repro/internal/service"
+)
+
+// errWireUnsupported marks a shard that answered the upgrade with plain
+// HTTP (an older worker, a TLS endpoint, -wire=false): the caller falls
+// back to the JSON path and remembers the verdict until a successful
+// ping invites a retry.
+var errWireUnsupported = errors.New("cluster: shard does not speak " + wire.ProtocolName)
+
+// maxIdleWireConns bounds the per-shard idle connection pool. Beyond
+// it, finished connections are closed instead of parked — enough to
+// cover a busy shard's in-flight slots without hoarding sockets.
+const maxIdleWireConns = 16
+
+// wireConn is one persistent upgraded connection to a shard. A
+// connection serves one request at a time (concurrency comes from
+// pooling connections), so its reader, writer and stream counter need
+// no locking.
+type wireConn struct {
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	r      *wire.Reader
+	w      *wire.Writer
+	stream uint32
+}
+
+// watch closes the connection when ctx is canceled, unblocking any
+// read in flight; the returned stop releases the watcher.
+func (wc *wireConn) watch(ctx context.Context) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			wc.conn.Close()
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
+}
+
+// shardWire is a shard's wire-transport state: parked idle connections
+// plus the "speaks JSON only" verdict. It has its own lock — wire
+// checkouts must not contend with the breaker path.
+type shardWire struct {
+	mu     sync.Mutex
+	idle   []*wireConn
+	down   bool // upgrade refused; cleared by a successful ping
+	closed bool // the shard left the pool; park nothing, close everything
+}
+
+// dialWire opens a TCP connection to the shard and upgrades it to the
+// wire protocol. Anything but a clean 101 with the matching Upgrade
+// token is errWireUnsupported — the version handshake is exactly "both
+// ends name rp-wire/1 or we speak JSON".
+func dialWire(ctx context.Context, addr string) (*wireConn, error) {
+	u, err := url.Parse(addr)
+	if err != nil || u.Host == "" {
+		return nil, &permanentError{fmt.Errorf("cluster: bad shard address %q", addr)}
+	}
+	if u.Scheme != "http" {
+		return nil, errWireUnsupported // TLS shards stay on the JSON path
+	}
+	d := net.Dialer{Timeout: 5 * time.Second, KeepAlive: 15 * time.Second}
+	conn, err := d.DialContext(ctx, "tcp", u.Host)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodGet, addr+"/v1/wire", nil)
+	if err != nil {
+		conn.Close()
+		return nil, &permanentError{err}
+	}
+	req.Header.Set("Upgrade", wire.ProtocolName)
+	req.Header.Set("Connection", "Upgrade")
+	conn.SetDeadline(time.Now().Add(5 * time.Second)) // the handshake only
+	if err := req.Write(conn); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, req)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusSwitchingProtocols ||
+		!strings.EqualFold(resp.Header.Get("Upgrade"), wire.ProtocolName) {
+		conn.Close()
+		return nil, errWireUnsupported
+	}
+	conn.SetDeadline(time.Time{})
+	bw := bufio.NewWriter(conn)
+	return &wireConn{conn: conn, br: br, bw: bw, r: wire.NewReader(br), w: wire.NewWriter(bw)}, nil
+}
+
+// wireEnabled reports whether this shard should be tried over the wire
+// transport right now.
+func (p *Pool) wireEnabled(s *shard) bool {
+	if p.opts.DisableWire {
+		return false
+	}
+	s.wire.mu.Lock()
+	defer s.wire.mu.Unlock()
+	return !s.wire.down && !s.wire.closed
+}
+
+// wireCheckout hands out an idle connection or dials a fresh one.
+// reused tells the caller whether a pre-response failure may just be a
+// stale keep-alive (retry on a fresh dial) or a real shard problem.
+func (p *Pool) wireCheckout(ctx context.Context, s *shard) (wc *wireConn, reused bool, err error) {
+	s.wire.mu.Lock()
+	if !s.wire.closed {
+		if n := len(s.wire.idle); n > 0 {
+			wc = s.wire.idle[n-1]
+			s.wire.idle = s.wire.idle[:n-1]
+			s.wire.mu.Unlock()
+			return wc, true, nil
+		}
+	}
+	s.wire.mu.Unlock()
+	wc, err = dialWire(ctx, s.addr)
+	if err != nil {
+		return nil, false, err
+	}
+	p.wireConns.Add(1)
+	return wc, false, nil
+}
+
+// wireCheckin parks a healthy connection for reuse.
+func (s *shard) wireCheckin(wc *wireConn) {
+	s.wire.mu.Lock()
+	defer s.wire.mu.Unlock()
+	if s.wire.closed || s.wire.down || len(s.wire.idle) >= maxIdleWireConns {
+		wc.conn.Close()
+		return
+	}
+	s.wire.idle = append(s.wire.idle, wc)
+}
+
+// wireDown records an upgrade refusal and drops the idle pool. The
+// shard serves JSON until a successful ping clears the flag — so a
+// worker restarted with the wire enabled is rediscovered within one
+// probe interval.
+func (s *shard) wireDown() {
+	s.wire.mu.Lock()
+	s.wire.down = true
+	idle := s.wire.idle
+	s.wire.idle = nil
+	s.wire.mu.Unlock()
+	for _, wc := range idle {
+		wc.conn.Close()
+	}
+}
+
+// wireUp clears the JSON-only verdict (called on every successful
+// ping, bounding fruitless upgrade retries to one per probe interval).
+func (s *shard) wireUp() {
+	s.wire.mu.Lock()
+	s.wire.down = false
+	s.wire.mu.Unlock()
+}
+
+// wireClose tears down the shard's wire state for good (it left the
+// pool, or the pool is closing).
+func (s *shard) wireClose() {
+	s.wire.mu.Lock()
+	s.wire.closed = true
+	idle := s.wire.idle
+	s.wire.idle = nil
+	s.wire.mu.Unlock()
+	for _, wc := range idle {
+		wc.conn.Close()
+	}
+}
+
+// recordWireFallback notes a refused upgrade: the shard is marked
+// JSON-only (until a successful ping clears it) and the fallback
+// counter feeds rp_cluster_wire_fallback_total.
+func (p *Pool) recordWireFallback(s *shard) {
+	p.wireFallbacks.Add(1)
+	s.wireDown()
+	p.log.Info("shard declined wire upgrade; using JSON transport", "shard", s.addr)
+}
+
+// wireDo runs one request/response exchange over the shard's wire
+// transport, calling onRow per row frame. A reused connection that
+// dies before yielding a single frame is presumed a stale keep-alive
+// and retried once on a fresh dial; all other failures surface to the
+// pool's normal failover machinery.
+func (p *Pool) wireDo(ctx context.Context, s *shard, typ byte, payload []byte, onRow func(index int, errMsg string, body []byte) error) error {
+	for attempt := 0; ; attempt++ {
+		wc, reused, err := p.wireCheckout(ctx, s)
+		if err != nil {
+			return err
+		}
+		retryable, err := p.wireExchange(ctx, s, wc, typ, payload, onRow)
+		if err == nil {
+			return nil
+		}
+		if reused && retryable && attempt == 0 && ctx.Err() == nil {
+			continue
+		}
+		return err
+	}
+}
+
+// wireExchange is one framed request on one connection. retryable is
+// true only when the connection failed before producing any frame —
+// the one case where the request provably never started.
+func (p *Pool) wireExchange(ctx context.Context, s *shard, wc *wireConn, typ byte, payload []byte, onRow func(int, string, []byte) error) (retryable bool, err error) {
+	stop := wc.watch(ctx)
+	healthy := false
+	defer func() {
+		stop()
+		if healthy {
+			s.wireCheckin(wc)
+		} else {
+			wc.conn.Close()
+		}
+	}()
+	p.wireReqs.Add(1)
+	start := time.Now()
+	wc.stream++
+	if err := wc.w.WriteFrame(typ, 0, wc.stream, payload); err != nil {
+		return true, err
+	}
+	if err := wc.bw.Flush(); err != nil {
+		return true, err
+	}
+	gotFrame := false
+	for {
+		f, err := wc.r.Next()
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return false, cerr
+			}
+			return !gotFrame, fmt.Errorf("cluster: %s wire: %w", s.addr, err)
+		}
+		gotFrame = true
+		if f.Stream != wc.stream {
+			return false, fmt.Errorf("cluster: %s wire: frame for stream %d, want %d", s.addr, f.Stream, wc.stream)
+		}
+		switch f.Type {
+		case wire.FrameRow:
+			idx, msg, body, err := wire.ParseRow(f.Payload)
+			if err != nil {
+				return false, fmt.Errorf("cluster: %s wire: %w", s.addr, err)
+			}
+			p.wireRows.Add(1)
+			if err := onRow(idx, msg, body); err != nil {
+				return false, err
+			}
+		case wire.FrameDone:
+			if _, _, err := wire.ParseDone(f.Payload); err != nil {
+				return false, fmt.Errorf("cluster: %s wire: %w", s.addr, err)
+			}
+			// The full exchange on a persistent connection is the wire
+			// path's analogue of the HTTP round-trip.
+			p.shardRTT.Observe(s.addr, time.Since(start))
+			healthy = true
+			return false, nil
+		case wire.FrameError:
+			// Frame boundaries are intact — the request failed, the
+			// connection did not.
+			healthy = true
+			p.shardRTT.Observe(s.addr, time.Since(start))
+			ferr := fmt.Errorf("cluster: %s wire: %s", s.addr, f.Payload)
+			if f.Flags&wire.FlagPermanent != 0 {
+				return false, &permanentError{ferr}
+			}
+			return false, ferr
+		default:
+			return false, fmt.Errorf("cluster: %s wire: unexpected frame type 0x%02x", s.addr, f.Type)
+		}
+	}
+}
+
+// wireBatchChunk is BatchChunk's binary path: the chunk is shipped as
+// one varint-packed frame and every row comes back as raw JSON bytes
+// the caller relays without decoding (BatchLine.Raw).
+func (p *Pool) wireBatchChunk(ctx context.Context, s *shard, payload *service.BatchPayload, deliver func(service.BatchLine)) error {
+	buf := wire.AppendBatchRequest(nil, payload)
+	return p.wireDo(ctx, s, wire.FrameBatch, buf, func(idx int, msg string, body []byte) error {
+		line := service.BatchLine{Index: idx, Error: msg}
+		if msg == "" {
+			line.Raw = body // freshly allocated per frame; safe to retain
+		}
+		deliver(line)
+		return nil
+	})
+}
+
+// wireCampaignRow is CampaignRow's persistent-connection path. The
+// config rides as JSON (campaign rows are seconds of compute each; the
+// win is skipping connection setup, not payload bytes), rows come back
+// as framed JSON bodies.
+func (p *Pool) wireCampaignRow(ctx context.Context, s *shard, cfg experiments.Config) (experiments.Row, int, error) {
+	body, err := json.Marshal(campaignWire{Config: cfg})
+	if err != nil {
+		return experiments.Row{}, 0, &permanentError{err}
+	}
+	var out experiments.Row
+	rows := 0
+	err = p.wireDo(ctx, s, wire.FrameCampaign, body, func(_ int, msg string, body []byte) error {
+		if msg != "" {
+			return fmt.Errorf("cluster: %s wire campaign row: %s", s.addr, msg)
+		}
+		var row experiments.Row
+		if err := json.Unmarshal(body, &row); err != nil {
+			return fmt.Errorf("cluster: %s wire campaign row: %w", s.addr, err)
+		}
+		out = row
+		rows++
+		return nil
+	})
+	return out, rows, err
+}

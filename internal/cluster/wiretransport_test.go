@@ -1,0 +1,314 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/service"
+)
+
+// newCoordinatorEngine builds the engine a coordinator runs: a registry
+// with @remote twins over the pool.
+func newCoordinatorEngine(t testing.TB, p *Pool, workers int) *service.Engine {
+	t.Helper()
+	reg := service.NewRegistry()
+	if err := RegisterRemote(reg, p); err != nil {
+		t.Fatal(err)
+	}
+	ce := service.NewEngine(service.EngineOptions{Workers: workers, Registry: reg})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		ce.Close(ctx)
+	})
+	return ce
+}
+
+// Timing and cache provenance are the only legitimate differences
+// between a routed row and a locally computed one.
+var volatileRowFields = regexp.MustCompile(`"(elapsed_ms|cached)":[^,}]*`)
+
+func normalizeRow(t *testing.T, line *service.BatchLine) string {
+	t.Helper()
+	data, err := line.AppendJSON(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return volatileRowFields.ReplaceAllString(string(data), `"$1":x`)
+}
+
+// TestRouteBatchBinaryBytesMatchLocal pins the zero-copy relay
+// contract: the NDJSON a client reads from a batch routed over the
+// binary wire is byte-identical to what local execution would have
+// produced — same encoder, same field order, same values — modulo the
+// elapsed_ms/cached fields, which legitimately differ per run.
+func TestRouteBatchBinaryBytesMatchLocal(t *testing.T) {
+	srv, _ := newWorker(t, 2)
+	p := newTestPool(t, []string{srv.URL}, PoolOptions{ProbeInterval: -1})
+	ce := newCoordinatorEngine(t, p, 1)
+
+	in := gen.Instance(gen.Config{Internal: 6, Clients: 12, Lambda: 0.4, UnitCosts: true}, 11)
+	const n = 8
+	req := routedBatchPayload(t, in, "mb@remote", n)
+	routed := collectRouted(t, p, ce, req)
+	if len(routed) != n {
+		t.Fatalf("got %d routed lines, want %d", len(routed), n)
+	}
+	if st := p.ClusterStats(); st.WireRows != n || st.WireFallbacks != 0 {
+		t.Fatalf("wire stats = %+v, want all %d rows over the binary transport", st, n)
+	}
+
+	// The same batch through a plain local engine, rendered by the same
+	// NDJSON emitter the non-cluster handler uses.
+	le := service.NewEngine(service.EngineOptions{Workers: 2})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		le.Close(ctx)
+	})
+	lreq := *req
+	lreq.Solver = "mb" // the local engine has no @remote twins
+	base, policy, err := lreq.Build(le)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := make([]*service.BatchLine, n)
+	err = le.SolveBatch(context.Background(), service.BatchRequest{
+		Base: base, Solver: "mb", Policy: policy,
+		Options:    req.EngineOptions(),
+		Variations: req.Variations,
+	}, func(item service.BatchItem) {
+		if item.Err != nil {
+			t.Errorf("local variation %d: %v", item.Index, item.Err)
+			return
+		}
+		local[item.Index] = &service.BatchLine{Index: item.Index, Response: item.Response}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range routed {
+		if len(routed[i].Raw) == 0 {
+			t.Fatalf("routed line %d carries no raw body: the relay re-encoded it", i)
+		}
+		got := normalizeRow(t, &routed[i])
+		want := normalizeRow(t, local[i])
+		if got != want {
+			t.Fatalf("row %d differs:\nrouted %s\nlocal  %s", i, got, want)
+		}
+	}
+}
+
+// TestRouteBatchCacheShortCircuit: a repeated inline batch is answered
+// from the coordinator's routed-row cache — no shard round-trips, same
+// bytes, and the short-circuit counter advances.
+func TestRouteBatchCacheShortCircuit(t *testing.T) {
+	srv, _ := newWorker(t, 2)
+	p := newTestPool(t, []string{srv.URL}, PoolOptions{ProbeInterval: -1})
+	ce := newCoordinatorEngine(t, p, 1)
+
+	in := gen.Instance(gen.Config{Internal: 6, Clients: 12, Lambda: 0.4, UnitCosts: true}, 13)
+	const n = 6
+	req := routedBatchPayload(t, in, "mb@remote", n)
+	req.Options.NoCache = false // cacheable, unlike the transport tests
+
+	first := collectRouted(t, p, ce, req)
+	st := p.ClusterStats()
+	if len(first) != n || st.RowsRouted != n || st.BatchCacheShortCircuits != 0 {
+		t.Fatalf("first run: %d lines, stats %+v", len(first), st)
+	}
+
+	second := collectRouted(t, p, ce, req)
+	st = p.ClusterStats()
+	if st.BatchCacheShortCircuits != n {
+		t.Fatalf("short circuits = %d, want %d (every repeated variation)", st.BatchCacheShortCircuits, n)
+	}
+	if st.RowsRouted != n {
+		t.Fatalf("rows routed grew to %d: the repeat went back to the shards", st.RowsRouted)
+	}
+	for i := range second {
+		if normalizeRow(t, &second[i]) != normalizeRow(t, &first[i]) {
+			t.Fatalf("cached row %d differs from the routed original", i)
+		}
+	}
+}
+
+// TestRouteBatchJSONFallback: a shard that doesn't serve /v1/wire (an
+// older worker, a plain HTTP server) is detected once and served over
+// the JSON path — the batch still completes, rows still route.
+func TestRouteBatchJSONFallback(t *testing.T) {
+	srv, _ := newJSONWorker(t, 2)
+	p := newTestPool(t, []string{srv.URL}, PoolOptions{ProbeInterval: -1})
+	ce := newCoordinatorEngine(t, p, 1)
+
+	in := gen.Instance(gen.Config{Internal: 6, Clients: 12, Lambda: 0.4, UnitCosts: true}, 17)
+	const n = 6
+	req := routedBatchPayload(t, in, "mb@remote", n)
+	lines := collectRouted(t, p, ce, req)
+	if len(lines) != n {
+		t.Fatalf("got %d lines, want %d", len(lines), n)
+	}
+	st := p.ClusterStats()
+	if st.WireFallbacks == 0 {
+		t.Fatal("no wire fallback recorded against a JSON-only shard")
+	}
+	if st.WireRows != 0 {
+		t.Fatalf("%d rows claimed to travel a wire that doesn't exist", st.WireRows)
+	}
+	if st.RowsRouted != n || st.RowsLocalFallback != 0 {
+		t.Fatalf("cluster stats = %+v, want all %d rows routed over JSON", st, n)
+	}
+}
+
+// TestPoolWireDisabled: PoolOptions.DisableWire keeps everything on
+// JSON without ever dialing /v1/wire, even against a wire-capable
+// worker.
+func TestPoolWireDisabled(t *testing.T) {
+	srv, _ := newWorker(t, 2)
+	p := newTestPool(t, []string{srv.URL}, PoolOptions{ProbeInterval: -1, DisableWire: true})
+	ce := newCoordinatorEngine(t, p, 1)
+
+	in := gen.Instance(gen.Config{Internal: 6, Clients: 12, Lambda: 0.4, UnitCosts: true}, 19)
+	const n = 4
+	lines := collectRouted(t, p, ce, routedBatchPayload(t, in, "mb@remote", n))
+	if len(lines) != n {
+		t.Fatalf("got %d lines, want %d", len(lines), n)
+	}
+	st := p.ClusterStats()
+	if st.WireConnections != 0 || st.WireRequests != 0 || st.WireFallbacks != 0 {
+		t.Fatalf("wire stats %+v, want no wire activity at all", st)
+	}
+}
+
+// TestPoolExpiresStaleShards: a dynamically joined worker that dies
+// without deregistering loses its seat after ExpireAfter consecutive
+// failed probes; a static-list shard never does.
+func TestPoolExpiresStaleShards(t *testing.T) {
+	srv, _ := newWorker(t, 1)
+	p := newTestPool(t, nil, PoolOptions{
+		ProbeInterval: 20 * time.Millisecond,
+		ExpireAfter:   2,
+	})
+	if _, joined, err := p.AddShard(srv.URL, 2); err != nil || !joined {
+		t.Fatalf("join: %v joined=%v", err, joined)
+	}
+	killServer(srv)
+	deadline := time.Now().Add(10 * time.Second)
+	for p.ShardCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("dead dynamic shard still holds its seat after %d missed probes allowed", 2)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := p.ClusterStats(); st.ShardsExpired != 1 {
+		t.Fatalf("ShardsExpired = %d, want 1", st.ShardsExpired)
+	}
+
+	// A shard from the operator's static list keeps its seat no matter
+	// how many probes it misses.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadAddr := dead.URL
+	killServer(dead)
+	ps := newTestPool(t, []string{deadAddr}, PoolOptions{
+		ProbeInterval: 10 * time.Millisecond,
+		ExpireAfter:   1,
+	})
+	time.Sleep(150 * time.Millisecond)
+	if ps.ShardCount() != 1 {
+		t.Fatal("static shard was expired; only dynamic members may be")
+	}
+	if st := ps.ClusterStats(); st.ShardsExpired != 0 {
+		t.Fatalf("static pool ShardsExpired = %d, want 0", st.ShardsExpired)
+	}
+}
+
+// TestClusterMembershipSecret: with ClusterSecret set, mutating
+// membership calls need the shared-secret header — reads stay open —
+// and a Registrar configured with the secret registers fine.
+func TestClusterMembershipSecret(t *testing.T) {
+	e := service.NewEngine(service.EngineOptions{Workers: 1})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		e.Close(ctx)
+	})
+	p := newTestPool(t, nil, PoolOptions{ProbeInterval: -1})
+	srv := httptest.NewServer(service.NewHandlerOpts(e, service.HandlerOptions{
+		Cluster:       p,
+		ClusterSecret: "hunter2",
+	}))
+	defer srv.Close()
+
+	call := func(method, path, body, secret string) int {
+		t.Helper()
+		req, err := http.NewRequest(method, srv.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if secret != "" {
+			req.Header.Set(service.ClusterSecretHeader, secret)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := call(http.MethodGet, "/v1/cluster/shards", "", ""); code != 200 {
+		t.Fatalf("read-only GET without secret: %d, want 200", code)
+	}
+	join := `{"addr":"w1:9001","weight":2}`
+	if code := call(http.MethodPost, "/v1/cluster/shards", join, ""); code != 401 {
+		t.Fatalf("POST without secret: %d, want 401", code)
+	}
+	if code := call(http.MethodPost, "/v1/cluster/shards", join, "hunter3"); code != 401 {
+		t.Fatalf("POST with wrong secret: %d, want 401", code)
+	}
+	if p.ShardCount() != 0 {
+		t.Fatal("unauthorized POST changed the membership")
+	}
+	if code := call(http.MethodPost, "/v1/cluster/shards", join, "hunter2"); code != 200 {
+		t.Fatalf("POST with secret: %d, want 200", code)
+	}
+	if code := call(http.MethodDelete, "/v1/cluster/shards?addr=w1:9001", "", ""); code != 401 {
+		t.Fatalf("DELETE without secret: %d, want 401", code)
+	}
+	if p.ShardCount() != 1 {
+		t.Fatal("unauthorized DELETE changed the membership")
+	}
+	if code := call(http.MethodDelete, "/v1/cluster/shards?addr=w1:9001", "", "hunter2"); code != 200 {
+		t.Fatalf("DELETE with secret: %d, want 200", code)
+	}
+
+	// A registrar carrying the secret joins and leaves cleanly.
+	r := &Registrar{
+		Coordinator: srv.URL,
+		Advertise:   "10.9.9.9:7777",
+		Weight:      3,
+		Secret:      "hunter2",
+		Interval:    time.Hour,
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.ShardCount() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("registrar with secret never joined")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	r.Stop()
+	if p.ShardCount() != 0 {
+		t.Fatal("registrar Stop did not deregister")
+	}
+}

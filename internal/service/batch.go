@@ -103,6 +103,13 @@ func (e *Engine) SolveBatch(ctx context.Context, req BatchRequest, deliver func(
 	return nil
 }
 
+// Apply builds the variation's instance over the base — exported for
+// the cluster router, which probes the coordinator cache per variation
+// before deciding what to ship to the shards.
+func (v *BatchVariation) Apply(base *core.Instance) *core.Instance {
+	return v.instance(base)
+}
+
 // instance builds the variation's instance over the base, sharing the
 // preprocessed tree and every vector the variation does not override.
 func (v *BatchVariation) instance(base *core.Instance) *core.Instance {

@@ -104,6 +104,32 @@ func (c *cache) claim(key, solver string) (e *cacheEntry, owner bool) {
 	return e, true
 }
 
+// peek returns the completed, unexpired result for key without claiming
+// anything: in-flight entries, failed entries and TTL-expired entries
+// all report a miss (expired ones are dropped, like claim does). A hit
+// counts into the global and per-solver hit counters and refreshes the
+// LRU position; a miss counts nothing — a peek declines to compute, so
+// it must not inflate the miss rate.
+func (c *cache) peek(key, solver string) (Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || !e.done || e.err != nil {
+		return Result{}, false
+	}
+	if !e.stale.IsZero() && time.Now().After(e.stale) {
+		c.drop(key, e)
+		c.ttlEvictions++
+		return Result{}, false
+	}
+	c.hits++
+	c.solverStats(solver).Hits++
+	if e.elem != nil {
+		c.lru.MoveToFront(e.elem)
+	}
+	return e.res, true
+}
+
 // drop removes a retained entry from the index, LRU and byte account.
 // Callers hold c.mu and count the eviction themselves.
 func (c *cache) drop(key string, e *cacheEntry) {

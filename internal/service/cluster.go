@@ -46,6 +46,22 @@ type ClusterStats struct {
 	BatchesRouted     uint64 `json:"batches_routed"`
 	RowsRouted        uint64 `json:"rows_routed"`
 	RowsLocalFallback uint64 `json:"rows_local_fallback"`
+	// BatchCacheShortCircuits counts routed-batch variations served from
+	// the coordinator's caches (engine solution cache or the routed-row
+	// cache) without a shard round trip.
+	BatchCacheShortCircuits uint64 `json:"batch_cache_short_circuits"`
+	// ShardsExpired counts file-/registration-origin members removed by
+	// stale-shard expiry (PoolOptions.ExpireAfter missed probes).
+	ShardsExpired uint64 `json:"shards_expired"`
+	// WireConnections counts binary transport connections dialed;
+	// WireRequests the batch chunks and campaign rows shipped over them;
+	// WireRows the row frames relayed back; WireFallbacks the requests
+	// that fell back to JSON/HTTP because a shard doesn't speak the wire
+	// protocol (or the upgrade failed).
+	WireConnections uint64 `json:"wire_connections"`
+	WireRequests    uint64 `json:"wire_requests"`
+	WireRows        uint64 `json:"wire_rows"`
+	WireFallbacks   uint64 `json:"wire_fallbacks"`
 }
 
 // ClusterInfo is what the HTTP layer needs from a shard pool to report

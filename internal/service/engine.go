@@ -379,6 +379,48 @@ func (e *Engine) Solve(ctx context.Context, req Request) (*Response, error) {
 	}
 }
 
+// CacheProbe computes the request's canonical cache key and answers it
+// from the solution cache if — and only if — a completed, unexpired
+// entry exists. It never blocks, never claims a computation, and never
+// joins an in-flight one: a miss just returns (key, nil, false). An
+// Options.NoCache request or an unknown solver returns an empty key —
+// there is nothing coherent to probe or memoize under. The cluster's
+// batch router uses the probe to short-circuit routed variations the
+// coordinator has already solved, and the key to memoize routed raw
+// rows it never decodes. A hit counts as a cache hit and refreshes the
+// entry's LRU position, like any other hit.
+func (e *Engine) CacheProbe(req Request) (key string, resp *Response, ok bool) {
+	if req.Options.NoCache || req.Instance == nil {
+		return "", nil, false
+	}
+	solver, found := e.opts.Registry.Resolve(req.Solver, req.Policy)
+	if !found {
+		return "", nil, false
+	}
+	// Mirror Solve's key normalization: only budgeted bound solvers
+	// consume BoundNodes.
+	opt := req.Options
+	if !solver.BoundBudget {
+		opt.BoundNodes = 0
+	} else if opt.BoundNodes <= 0 {
+		opt.BoundNodes = defaultBoundNodes
+	}
+	key = Key(req.Instance, solver.Name, opt)
+	res, found := e.cache.peek(key, solver.Name)
+	if !found {
+		return key, nil, false
+	}
+	j := &job{solver: solver, in: req.Instance, opt: opt, start: time.Now()}
+	return key, e.buildResponse(j, res, true), true
+}
+
+// CachePeek is CacheProbe without the key, for callers that only want
+// the answer.
+func (e *Engine) CachePeek(req Request) (*Response, bool) {
+	_, resp, ok := e.CacheProbe(req)
+	return resp, ok
+}
+
 // abandon releases a claimed cache entry whose job never reached a
 // worker, so waiters don't block forever. The error is not retained, so
 // the next request recomputes.

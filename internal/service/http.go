@@ -2,6 +2,8 @@ package service
 
 import (
 	"context"
+	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -30,6 +32,17 @@ type HandlerOptions struct {
 	// Cluster, when the daemon fronts a shard pool, feeds the per-shard
 	// health section of /healthz and the rp_cluster_* metrics.
 	Cluster ClusterInfo
+	// ClusterSecret, when non-empty, is the shared secret required (as
+	// the X-RP-Cluster-Secret header, compared in constant time) by the
+	// mutating membership endpoints POST/DELETE /v1/cluster/shards.
+	// Requests without it answer 401. Empty leaves them open — fine on a
+	// trusted network, and the pre-secret behavior.
+	ClusterSecret string
+	// Wire, when set, is mounted at GET /v1/wire: the binary streaming
+	// transport's upgrade endpoint (see internal/cluster/wire). Workers
+	// set it; a daemon without it answers 404 there, which a coordinator
+	// reads as "speak JSON/HTTP to this shard".
+	Wire http.Handler
 	// Logger receives the handler's request logs: a warn line for every
 	// request slower than SlowRequest, plus per-request debug lines when
 	// the level admits them. Every line carries the request's trace ID.
@@ -55,6 +68,8 @@ type api struct {
 	e           *Engine
 	jobs        *jobs.Manager
 	cluster     ClusterInfo
+	secret      string        // shared secret guarding membership writes
+	wire        http.Handler  // binary transport upgrade endpoint
 	campaignSem chan struct{} // nil = unlimited
 	log         *slog.Logger
 	slowReq     time.Duration
@@ -103,6 +118,7 @@ func newAPI(e *Engine, opts HandlerOptions) *api {
 		slots = defaultInlineCampaigns
 	}
 	a := &api{e: e, jobs: opts.Jobs, cluster: opts.Cluster,
+		secret: opts.ClusterSecret, wire: opts.Wire,
 		log: opts.Logger, slowReq: opts.SlowRequest}
 	if a.log == nil {
 		a.log = obs.NopLogger()
@@ -159,6 +175,9 @@ func (a *api) routes() http.Handler {
 	mux.HandleFunc("GET /v1/cluster/shards", a.handleClusterList)
 	mux.HandleFunc("POST /v1/cluster/shards", a.handleClusterJoin)
 	mux.HandleFunc("DELETE /v1/cluster/shards", a.handleClusterLeave)
+	if a.wire != nil {
+		mux.Handle("GET /v1/wire", a.wire)
+	}
 	a.registerJobRoutes(mux)
 	return a.instrument(mux)
 }
@@ -196,6 +215,28 @@ type clusterPayload struct {
 
 var errNoCluster = errors.New("this daemon fronts no shard pool; start it as a coordinator (-shards, -shards-file or -coordinator)")
 
+// ClusterSecretHeader carries the shared membership secret on
+// POST/DELETE /v1/cluster/shards (and on the registrar's heartbeats).
+const ClusterSecretHeader = "X-RP-Cluster-Secret"
+
+// authorizeClusterChange enforces the shared-secret check on the
+// mutating membership endpoints. The comparison is constant-time so the
+// secret can't be probed byte by byte off response latency.
+func (a *api) authorizeClusterChange(w http.ResponseWriter, r *http.Request) bool {
+	if a.secret == "" {
+		return true
+	}
+	// Hash both sides first: ConstantTimeCompare is only constant-time
+	// for equal lengths, and the digest makes the lengths equal.
+	got := sha256.Sum256([]byte(r.Header.Get(ClusterSecretHeader)))
+	want := sha256.Sum256([]byte(a.secret))
+	if subtle.ConstantTimeCompare(got[:], want[:]) == 1 {
+		return true
+	}
+	writeError(w, http.StatusUnauthorized, fmt.Errorf("missing or wrong %s header", ClusterSecretHeader))
+	return false
+}
+
 func (a *api) handleClusterList(w http.ResponseWriter, r *http.Request) {
 	m := a.membership()
 	if m == nil {
@@ -212,6 +253,9 @@ func (a *api) handleClusterJoin(w http.ResponseWriter, r *http.Request) {
 	m := a.membership()
 	if m == nil {
 		writeError(w, http.StatusNotImplemented, errNoCluster)
+		return
+	}
+	if !a.authorizeClusterChange(w, r) {
 		return
 	}
 	var req shardChangeWire
@@ -243,6 +287,9 @@ func (a *api) handleClusterLeave(w http.ResponseWriter, r *http.Request) {
 	m := a.membership()
 	if m == nil {
 		writeError(w, http.StatusNotImplemented, errNoCluster)
+		return
+	}
+	if !a.authorizeClusterChange(w, r) {
 		return
 	}
 	addr := r.URL.Query().Get("addr")
@@ -306,15 +353,18 @@ type solversPayload struct {
 	Solvers []solverInfo `json:"solvers"`
 }
 
-// wireOptions is the JSON form of Options (times in milliseconds).
-type wireOptions struct {
+// RequestOptions is the JSON form of Options (times in milliseconds).
+// It is exported (with BatchTopology) so the cluster's binary wire codec
+// can decode a batch chunk straight into a BatchPayload without a JSON
+// round trip.
+type RequestOptions struct {
 	TimeoutMS       int64 `json:"timeout_ms,omitempty"`
 	NoCache         bool  `json:"no_cache,omitempty"`
 	BoundNodes      int   `json:"bound_nodes,omitempty"`
 	IncludeSolution bool  `json:"include_solution,omitempty"`
 }
 
-func (wo wireOptions) options() Options {
+func (wo RequestOptions) options() Options {
 	return Options{
 		Timeout:         time.Duration(wo.TimeoutMS) * time.Millisecond,
 		NoCache:         wo.NoCache,
@@ -330,7 +380,7 @@ type solveRequest struct {
 	Instance *core.Instance `json:"instance"`
 	Solver   string         `json:"solver"`
 	Policy   string         `json:"policy"`
-	Options  wireOptions    `json:"options"`
+	Options  RequestOptions `json:"options"`
 }
 
 func handleSolve(e *Engine, w http.ResponseWriter, r *http.Request, prefix string) {
@@ -388,7 +438,8 @@ func handleSolve(e *Engine, w http.ResponseWriter, r *http.Request, prefix strin
 	writeJSON(w, http.StatusOK, resp)
 }
 
-type batchTopology struct {
+// BatchTopology is the topology section of a /v1/batch body.
+type BatchTopology struct {
 	Parents  []int  `json:"parents"`
 	IsClient []bool `json:"is_client"`
 }
@@ -398,6 +449,38 @@ type BatchLine struct {
 	Index int `json:"index"`
 	*Response
 	Error string `json:"error,omitempty"`
+	// Raw, when set, is the already-encoded JSON object of everything
+	// but the index — a successful Response as serialized by the worker
+	// that computed it. The binary wire transport relays these bytes
+	// through the coordinator untouched; AppendJSON splices the index in
+	// textually, so the hot path never re-decodes a routed row.
+	Raw []byte `json:"-"`
+}
+
+// AppendJSON appends the line's NDJSON form (no trailing newline) to
+// buf. Raw lines are spliced — `{"index":N,` + the worker's bytes —
+// which is byte-identical to marshaling the equivalent struct because
+// both sides use encoding/json over the same Response type.
+func (l *BatchLine) AppendJSON(buf []byte) ([]byte, error) {
+	if len(l.Raw) > 0 && l.Error == "" {
+		if l.Raw[0] != '{' || l.Raw[len(l.Raw)-1] != '}' {
+			return buf, fmt.Errorf("service: malformed raw batch line (%d bytes)", len(l.Raw))
+		}
+		buf = append(buf, `{"index":`...)
+		buf = strconv.AppendInt(buf, int64(l.Index), 10)
+		if len(l.Raw) > 2 {
+			buf = append(buf, ',')
+			buf = append(buf, l.Raw[1:]...)
+		} else {
+			buf = append(buf, '}')
+		}
+		return buf, nil
+	}
+	data, err := json.Marshal(l)
+	if err != nil {
+		return buf, err
+	}
+	return append(buf, data...), nil
 }
 
 type batchDone struct {
@@ -445,11 +528,17 @@ func (a *api) handleBatch(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	failed := 0
+	var lineBuf []byte
 	emit := func(line BatchLine) error {
 		if line.Error != "" {
 			failed++
 		}
-		if err := enc.Encode(line); err != nil {
+		buf, err := line.AppendJSON(lineBuf[:0])
+		if err != nil {
+			return err
+		}
+		lineBuf = append(buf, '\n')
+		if _, err := w.Write(lineBuf); err != nil {
 			return err
 		}
 		if flusher != nil {

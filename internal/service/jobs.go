@@ -184,10 +184,10 @@ func isTransientSolveErr(err error) bool {
 // and Build) so the cluster's distributed batch kind can validate the
 // same payloads and re-marshal per-shard sub-batches of them.
 type BatchPayload struct {
-	Topology   batchTopology    `json:"topology"`
+	Topology   BatchTopology    `json:"topology"`
 	Solver     string           `json:"solver"`
 	Policy     string           `json:"policy"`
-	Options    wireOptions      `json:"options"`
+	Options    RequestOptions   `json:"options"`
 	Base       BatchVariation   `json:"base"`
 	Variations []BatchVariation `json:"variations"`
 }
