@@ -115,6 +115,7 @@ func main() {
 		shardConc    = flag.Int("shard-inflight", 0, "max in-flight requests per shard weight unit (0 = default 4)")
 		shardExpire  = flag.Int("shard-expire", 0, "expire file-/API-registered shards after this many consecutive failed health probes (0 = never)")
 		routeCache   = flag.Int("route-cache", 0, "routed batch rows memoized on the coordinator (0 = default 4096, negative disables)")
+		routeCacheB  = flag.Int64("route-cache-bytes", 0, "approximate byte bound of the routed-row cache (0 = default 256 MiB, negative removes the bound)")
 		clusterSec   = flag.String("cluster-secret", "", "shared secret: required on POST/DELETE /v1/cluster/shards here, and presented when self-registering (empty = open)")
 		wireOn       = flag.Bool("wire", true, "speak the binary rp-wire/1 transport for cluster traffic (serve GET /v1/wire; dial it on shards)")
 		register     = flag.String("register", "", "worker mode: coordinator URL to self-register with (heartbeat re-registers, graceful shutdown deregisters)")
@@ -165,11 +166,12 @@ func main() {
 		}
 		var err error
 		pool, err = cluster.NewPool(addrs, cluster.PoolOptions{
-			MaxInFlight:    *shardConc,
-			ExpireAfter:    *shardExpire,
-			DisableWire:    !*wireOn,
-			RouteCacheSize: *routeCache,
-			Logger:         logger,
+			MaxInFlight:        *shardConc,
+			ExpireAfter:        *shardExpire,
+			DisableWire:        !*wireOn,
+			RouteCacheSize:     *routeCache,
+			RouteCacheMaxBytes: *routeCacheB,
+			Logger:             logger,
 		})
 		if err != nil {
 			fatalf("building shard pool: %v", err)

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
@@ -9,6 +10,24 @@ import (
 	"repro/internal/core"
 	"repro/internal/service"
 )
+
+// replayRouteRow rehydrates a memoized raw row for a short-circuited
+// variation. First-time rows relay the worker's bytes verbatim, but a
+// replay must not impersonate a fresh solve: the client should see
+// cached:true and no stale worker timing, exactly like an engine-cache
+// hit. Decoding here costs nothing that matters — the replay path does
+// no network, so it is already orders of magnitude cheaper than a
+// shard hop. A body that fails to parse reports a miss, and the row
+// ships to a shard like any other.
+func replayRouteRow(body []byte) *service.Response {
+	var resp service.Response
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil
+	}
+	resp.Cached = true
+	resp.ElapsedMS = 0
+	return &resp
+}
 
 // RouteBatch implements service.BatchRouter: one inline /v1/batch
 // request executed across the cluster. The variation indices are
@@ -75,8 +94,12 @@ func (p *Pool) RouteBatch(ctx context.Context, e *service.Engine, base *core.Ins
 	// decoding). Hits are emitted straight into the reorder buffer and
 	// only the misses are partitioned, so a batch that repeats work the
 	// cluster has seen costs no network at all for the repeats. The
-	// canonical key of every miss is kept: when its row comes back over
-	// the wire, the raw bytes are memoized under it.
+	// raw-row key of every miss is kept: when its row comes back over
+	// the wire, the raw bytes are memoized under it. Unlike the engine
+	// cache — which stores a Result and shapes the Response per request
+	// — the raw cache stores serialized bytes, whose content depends on
+	// IncludeSolution; routeKey folds that flag in so the two body
+	// shapes never answer for each other.
 	keys := make([]string, total)
 	if !req.Options.NoCache {
 		engineOpts := req.EngineOptions()
@@ -87,7 +110,7 @@ func (p *Pool) RouteBatch(ctx context.Context, e *service.Engine, base *core.Ins
 				Policy:   policy,
 				Options:  engineOpts,
 			})
-			keys[i] = key
+			keys[i] = routeKey(key, engineOpts.IncludeSolution)
 			if ok {
 				p.batchCacheShort.Add(1)
 				mu.Lock()
@@ -95,11 +118,13 @@ func (p *Pool) RouteBatch(ctx context.Context, e *service.Engine, base *core.Ins
 				mu.Unlock()
 				continue
 			}
-			if body, hit := p.routeCache.get(key); hit {
-				p.batchCacheShort.Add(1)
-				mu.Lock()
-				emit(service.BatchLine{Index: i, Raw: body})
-				mu.Unlock()
+			if body, hit := p.routeCache.get(keys[i]); hit {
+				if resp := replayRouteRow(body); resp != nil {
+					p.batchCacheShort.Add(1)
+					mu.Lock()
+					emit(service.BatchLine{Index: i, Response: resp})
+					mu.Unlock()
+				}
 			}
 		}
 	}

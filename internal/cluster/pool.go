@@ -64,6 +64,12 @@ type PoolOptions struct {
 	// batch repeats a variation. 0 selects the default of 4096 entries;
 	// negative disables the cache.
 	RouteCacheSize int
+	// RouteCacheMaxBytes additionally bounds the routed-row cache's
+	// approximate retained footprint, mirroring the engine cache's byte
+	// limit: include_solution rows can be large, so an entry count alone
+	// does not bound memory. 0 selects the default of 256 MiB; negative
+	// removes the byte bound (entry count still applies).
+	RouteCacheMaxBytes int64
 	// Client is the HTTP client used for all shard traffic (default a
 	// dedicated client; per-request deadlines come from contexts).
 	Client *http.Client
@@ -96,6 +102,9 @@ func (o PoolOptions) withDefaults() PoolOptions {
 	}
 	if o.RouteCacheSize == 0 {
 		o.RouteCacheSize = 4096
+	}
+	if o.RouteCacheMaxBytes == 0 {
+		o.RouteCacheMaxBytes = 256 << 20
 	}
 	if o.Logger == nil {
 		o.Logger = obs.NopLogger()
@@ -352,7 +361,7 @@ func NewPool(addrs []string, opts PoolOptions) (*Pool, error) {
 		batchChunk:  obs.NewHistogram(nil),
 		reorderWait: obs.NewHistogram(nil),
 	}
-	p.routeCache = newRawCache(p.opts.RouteCacheSize)
+	p.routeCache = newRawCache(p.opts.RouteCacheSize, p.opts.RouteCacheMaxBytes)
 	p.log = p.opts.Logger
 	seen := map[string]bool{}
 	for _, a := range addrs {

@@ -11,13 +11,18 @@ import (
 // enter the engine's solution cache — the whole point of the binary
 // relay is that the coordinator does not parse them — so without this,
 // a repeated inline batch would re-ship every variation the cluster
-// just solved. A nil *rawCache (cache disabled) is valid and misses
+// just solved. Retention is bounded both by entry count and by the
+// approximate byte footprint of the stored bodies: include_solution
+// rows can be large, and the coordinator must not hoard an unbounded
+// heap of them. A nil *rawCache (cache disabled) is valid and misses
 // everything.
 type rawCache struct {
-	mu      sync.Mutex
-	max     int
-	lru     *list.List
-	entries map[string]*list.Element
+	mu       sync.Mutex
+	max      int
+	maxBytes int64 // <= 0: no byte bound
+	bytes    int64 // approximate retained footprint
+	lru      *list.List
+	entries  map[string]*list.Element
 }
 
 type rawEntry struct {
@@ -25,13 +30,39 @@ type rawEntry struct {
 	body []byte
 }
 
-// newRawCache builds a cache bounded to max entries; max <= 0 returns
-// nil (disabled).
-func newRawCache(max int) *rawCache {
+// rawEntryOverhead approximates an entry's bookkeeping cost beyond the
+// body itself: the LRU element, map bucket share, and the (hex hash)
+// key stored twice. Rounded up, like the engine cache's resultSize —
+// the byte limit is a safety bound, not an accounting ledger.
+const rawEntryOverhead = 256
+
+func (e *rawEntry) size() int64 { return int64(len(e.body)) + rawEntryOverhead }
+
+// routeKey derives the raw-row memoization key from a request's
+// canonical cache key. The canonical key deliberately excludes options
+// that do not change the computed result — but the serialized body DOES
+// depend on IncludeSolution (the worker only attaches the assignment
+// when asked), and raw bytes cannot be reshaped per request the way the
+// engine cache's Result can. Qualifying the key keeps rows with and
+// without the solution from answering for each other.
+func routeKey(key string, includeSolution bool) string {
+	if key == "" {
+		return ""
+	}
+	if includeSolution {
+		return key + "+sol"
+	}
+	return key
+}
+
+// newRawCache builds a cache bounded to max entries and maxBytes of
+// approximate body footprint (maxBytes <= 0 removes the byte bound);
+// max <= 0 returns nil (disabled).
+func newRawCache(max int, maxBytes int64) *rawCache {
 	if max <= 0 {
 		return nil
 	}
-	return &rawCache{max: max, lru: list.New(), entries: map[string]*list.Element{}}
+	return &rawCache{max: max, maxBytes: maxBytes, lru: list.New(), entries: map[string]*list.Element{}}
 }
 
 func (c *rawCache) get(key string) ([]byte, bool) {
@@ -58,12 +89,27 @@ func (c *rawCache) add(key string, body []byte) {
 		c.lru.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.lru.PushFront(&rawEntry{key: key, body: body})
-	if c.lru.Len() > c.max {
-		el := c.lru.Back()
-		c.lru.Remove(el)
-		delete(c.entries, el.Value.(*rawEntry).key)
+	e := &rawEntry{key: key, body: body}
+	c.entries[key] = c.lru.PushFront(e)
+	c.bytes += e.size()
+	for c.lru.Len() > c.max {
+		c.evictTail()
 	}
+	// A single body larger than the whole budget evicts everything,
+	// itself included — exactly how the engine cache's byte bound
+	// behaves.
+	for c.maxBytes > 0 && c.bytes > c.maxBytes && c.lru.Len() > 0 {
+		c.evictTail()
+	}
+}
+
+// evictTail drops the least-recently-used entry. Callers hold c.mu.
+func (c *rawCache) evictTail() {
+	el := c.lru.Back()
+	c.lru.Remove(el)
+	e := el.Value.(*rawEntry)
+	c.bytes -= e.size()
+	delete(c.entries, e.key)
 }
 
 func (c *rawCache) len() int {
@@ -73,4 +119,14 @@ func (c *rawCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.lru.Len()
+}
+
+// size reports the approximate retained byte footprint.
+func (c *rawCache) size() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }

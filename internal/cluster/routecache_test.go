@@ -1,0 +1,73 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestRouteKeyQualifiesIncludeSolution(t *testing.T) {
+	const key = "abc123"
+	plain := routeKey(key, false)
+	withSol := routeKey(key, true)
+	if plain != key {
+		t.Fatalf("routeKey(%q, false) = %q, want the canonical key unchanged", key, plain)
+	}
+	if withSol == plain {
+		t.Fatal("include_solution and plain rows share a raw-cache key: a repeat differing only in include_solution would be served the wrong body")
+	}
+	if routeKey("", true) != "" || routeKey("", false) != "" {
+		t.Fatal("an empty canonical key must stay empty (nothing coherent to memoize under)")
+	}
+}
+
+func TestRawCacheEvictsByBytes(t *testing.T) {
+	body := bytes.Repeat([]byte("x"), 1024)
+	perEntry := int64(len(body)) + rawEntryOverhead
+	// Room for exactly 3 bodies; the entry bound (100) never binds.
+	c := newRawCache(100, 3*perEntry)
+
+	for i := 0; i < 5; i++ {
+		c.add(fmt.Sprintf("k%d", i), body)
+	}
+	if n := c.len(); n != 3 {
+		t.Fatalf("cache holds %d entries, want 3 (byte bound %d)", n, 3*perEntry)
+	}
+	if b := c.size(); b > 3*perEntry {
+		t.Fatalf("cache retains %d bytes, bound is %d", b, 3*perEntry)
+	}
+	// LRU order: k0 and k1 were evicted, the newest three remain.
+	if _, hit := c.get("k0"); hit {
+		t.Fatal("oldest entry survived byte eviction")
+	}
+	for i := 2; i < 5; i++ {
+		if _, hit := c.get(fmt.Sprintf("k%d", i)); !hit {
+			t.Fatalf("recent entry k%d was evicted while over-old entries should have gone first", i)
+		}
+	}
+
+	// A single body larger than the whole budget must not wedge the
+	// cache: everything (itself included) is evicted and the accounting
+	// returns to zero.
+	c.add("huge", bytes.Repeat([]byte("y"), int(4*perEntry)))
+	if n, b := c.len(), c.size(); n != 0 || b != 0 {
+		t.Fatalf("after oversized add: %d entries / %d bytes retained, want 0/0", n, b)
+	}
+	c.add("after", body)
+	if _, hit := c.get("after"); !hit {
+		t.Fatal("cache stopped accepting entries after an oversized body")
+	}
+}
+
+func TestRawCacheEvictsByEntries(t *testing.T) {
+	c := newRawCache(2, 0) // no byte bound
+	c.add("a", []byte("1"))
+	c.add("b", []byte("2"))
+	c.add("c", []byte("3"))
+	if n := c.len(); n != 2 {
+		t.Fatalf("cache holds %d entries, want 2", n)
+	}
+	if _, hit := c.get("a"); hit {
+		t.Fatal("LRU entry survived the entry bound")
+	}
+}

@@ -204,10 +204,13 @@ func (p *Pool) recordWireFallback(s *shard) {
 // wireDo runs one request/response exchange over the shard's wire
 // transport, calling onRow per row frame. A reused connection that
 // dies before yielding a single frame is presumed a stale keep-alive
-// and retried once on a fresh dial; all other failures surface to the
-// pool's normal failover machinery.
+// and retried; a worker restart can leave a whole pool of stale parked
+// connections (up to maxIdleWireConns), and each failed attempt
+// consumes one, so the loop drains them and terminates at the first
+// fresh dial — whose failure is a real shard problem and surfaces to
+// the pool's normal failover machinery.
 func (p *Pool) wireDo(ctx context.Context, s *shard, typ byte, payload []byte, onRow func(index int, errMsg string, body []byte) error) error {
-	for attempt := 0; ; attempt++ {
+	for {
 		wc, reused, err := p.wireCheckout(ctx, s)
 		if err != nil {
 			return err
@@ -216,7 +219,7 @@ func (p *Pool) wireDo(ctx context.Context, s *shard, typ byte, payload []byte, o
 		if err == nil {
 			return nil
 		}
-		if reused && retryable && attempt == 0 && ctx.Err() == nil {
+		if reused && retryable && ctx.Err() == nil {
 			continue
 		}
 		return err

@@ -1,7 +1,10 @@
 package cluster
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
@@ -9,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster/wire"
 	"repro/internal/gen"
 	"repro/internal/service"
 )
@@ -137,6 +141,136 @@ func TestRouteBatchCacheShortCircuit(t *testing.T) {
 		if normalizeRow(t, &second[i]) != normalizeRow(t, &first[i]) {
 			t.Fatalf("cached row %d differs from the routed original", i)
 		}
+		// A replay must say so: cached:true, no stale worker timing, no
+		// verbatim raw relay pretending to be a fresh solve.
+		if second[i].Response == nil || !second[i].Response.Cached || len(second[i].Raw) != 0 {
+			t.Fatalf("replayed row %d does not report itself as cached", i)
+		}
+	}
+}
+
+// hasSolution reads a line's rendered JSON (raw or decoded, the one
+// path both take to the client) and reports whether the full
+// assignment rode along.
+func hasSolution(t *testing.T, line *service.BatchLine) bool {
+	t.Helper()
+	data, err := line.AppendJSON(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var row struct {
+		Solution json.RawMessage `json:"solution"`
+	}
+	if err := json.Unmarshal(data, &row); err != nil {
+		t.Fatal(err)
+	}
+	return len(row.Solution) > 0 && string(row.Solution) != "null"
+}
+
+// TestRouteCacheSolutionFidelity pins the raw-row cache's key contract:
+// the serialized body depends on include_solution, so a repeat that
+// differs only in that flag must NOT be served the memoized bytes — the
+// solution must never be silently missing when requested, nor leaked
+// when not.
+func TestRouteCacheSolutionFidelity(t *testing.T) {
+	srv, _ := newWorker(t, 2)
+	p := newTestPool(t, []string{srv.URL}, PoolOptions{ProbeInterval: -1})
+	ce := newCoordinatorEngine(t, p, 1)
+
+	in := gen.Instance(gen.Config{Internal: 6, Clients: 12, Lambda: 0.4, UnitCosts: true}, 23)
+	const n = 4
+	req := routedBatchPayload(t, in, "mb@remote", n)
+	req.Options.NoCache = false
+
+	// Run 1: no solutions asked for; rows memoize under the plain key.
+	for i, line := range collectRouted(t, p, ce, req) {
+		if hasSolution(t, &line) {
+			t.Fatalf("run 1 row %d carries a solution nobody asked for", i)
+		}
+	}
+
+	// Run 2 repeats the batch asking for solutions: the memoized
+	// solution-less bodies must not answer it — every row ships out
+	// again and comes back with the assignment attached.
+	req.Options.IncludeSolution = true
+	lines := collectRouted(t, p, ce, req)
+	st := p.ClusterStats()
+	if st.BatchCacheShortCircuits != 0 {
+		t.Fatalf("short circuits = %d: solution-less cached rows answered an include_solution repeat", st.BatchCacheShortCircuits)
+	}
+	if st.RowsRouted != 2*n {
+		t.Fatalf("rows routed = %d, want %d (the include_solution repeat must re-ship)", st.RowsRouted, 2*n)
+	}
+	for i := range lines {
+		if !hasSolution(t, &lines[i]) {
+			t.Fatalf("run 2 row %d is missing its solution", i)
+		}
+	}
+
+	// Run 3 repeats run 2: solution-bearing bodies are now memoized
+	// under their own key, so the repeat short-circuits — and the
+	// replay keeps the solution while reporting itself cached.
+	lines = collectRouted(t, p, ce, req)
+	st = p.ClusterStats()
+	if st.BatchCacheShortCircuits != n || st.RowsRouted != 2*n {
+		t.Fatalf("run 3: short circuits = %d rows routed = %d, want %d short circuits and no new shard trips",
+			st.BatchCacheShortCircuits, st.RowsRouted, n)
+	}
+	for i := range lines {
+		if !hasSolution(t, &lines[i]) {
+			t.Fatalf("replayed row %d lost its solution", i)
+		}
+		if lines[i].Response == nil || !lines[i].Response.Cached {
+			t.Fatalf("replayed row %d does not report cached:true", i)
+		}
+	}
+}
+
+// deadWireConn fabricates a parked connection whose peer is already
+// gone — what every idle entry looks like after a worker restart.
+func deadWireConn() *wireConn {
+	c1, c2 := net.Pipe()
+	c1.Close()
+	c2.Close()
+	br := bufio.NewReader(c1)
+	bw := bufio.NewWriter(c1)
+	return &wireConn{conn: c1, br: br, bw: bw, r: wire.NewReader(br), w: wire.NewWriter(bw)}
+}
+
+// TestWireDoDrainsStaleIdleConns: a single wire exchange against a
+// shard whose idle pool is full of dead keep-alives must drain them
+// all and succeed on a fresh dial — not give up after one retry.
+func TestWireDoDrainsStaleIdleConns(t *testing.T) {
+	srv, _ := newWorker(t, 2)
+	p := newTestPool(t, []string{srv.URL}, PoolOptions{ProbeInterval: -1})
+	p.mu.RLock()
+	s := p.shards[0]
+	p.mu.RUnlock()
+
+	s.wire.mu.Lock()
+	for i := 0; i < 3; i++ {
+		s.wire.idle = append(s.wire.idle, deadWireConn())
+	}
+	s.wire.mu.Unlock()
+
+	in := gen.Instance(gen.Config{Internal: 6, Clients: 12, Lambda: 0.4, UnitCosts: true}, 29)
+	const n = 2
+	req := routedBatchPayload(t, in, "mb", n)
+	rows := 0
+	err := p.wireBatchChunk(context.Background(), s, req, func(line service.BatchLine) {
+		if line.Error != "" {
+			t.Errorf("row %d: %s", line.Index, line.Error)
+		}
+		rows++
+	})
+	if err != nil {
+		t.Fatalf("chunk failed over a shard with stale parked connections: %v", err)
+	}
+	if rows != n {
+		t.Fatalf("got %d rows, want %d", rows, n)
+	}
+	if idle := func() int { s.wire.mu.Lock(); defer s.wire.mu.Unlock(); return len(s.wire.idle) }(); idle != 1 {
+		t.Fatalf("idle pool holds %d connections, want just the fresh one (stale entries drained)", idle)
 	}
 }
 
