@@ -125,6 +125,8 @@ func main() {
 		logLevel     = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		slowReq      = flag.Duration("slow-request", 0, "log requests slower than this at warn level (0 = disabled)")
 		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		traceSample  = flag.Float64("trace-sample", 1.0, "fraction of requests recording span traces (slow requests are always retained)")
+		traceBuffer  = flag.Int("trace-buffer", obs.DefaultSpanCapacity, "spans held in the in-process flight recorder (0 = default, negative disables tracing)")
 	)
 	flag.Parse()
 	level, err := obs.ParseLevel(*logLevel)
@@ -208,15 +210,22 @@ func main() {
 		Logger:         logger,
 	})
 
+	var spans *obs.SpanStore
+	if *traceBuffer >= 0 {
+		spans = obs.NewSpanStore(*traceBuffer)
+	}
 	handlerOpts := service.HandlerOptions{
 		MaxInlineCampaigns: *campaigns,
 		ClusterSecret:      *clusterSec,
 		Logger:             logger,
 		SlowRequest:        *slowReq,
+		Spans:              spans,
+		TraceSample:        *traceSample,
 	}
 	var wireSrv *wire.Server
 	if *wireOn {
 		wireSrv = wire.NewServer(engine, logger)
+		wireSrv.Spans = spans
 		handlerOpts.Wire = wireSrv
 	}
 	var manager *jobs.Manager
@@ -239,6 +248,7 @@ func main() {
 			RetainFor: *jobTTL,
 			Kinds:     kinds,
 			Logger:    logger,
+			Spans:     spans,
 		})
 		if err != nil {
 			fatalf("opening job store: %v", err)

@@ -56,23 +56,25 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8081", "listen address")
-		workers    = flag.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
-		queue      = flag.Int("queue", 0, "job queue depth before backpressure (0 = 4x workers)")
-		cache      = flag.Int("cache", 4096, "cached results (negative disables retention)")
-		cacheBytes = flag.Int64("cache-bytes", 0, "approximate cache footprint limit in bytes (0 = unlimited)")
-		cacheTTL   = flag.Duration("cache-ttl", 0, "cached result lifetime (0 = never expires)")
-		timeout    = flag.Duration("timeout", 60*time.Second, "default per-job deadline")
-		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
-		register   = flag.String("register", "", "coordinator URL to self-register with (POST /v1/cluster/shards + heartbeat)")
-		advertise  = flag.String("advertise", "", "address the coordinator dials back (default derived from -addr)")
-		regEvery   = flag.Duration("register-interval", 10*time.Second, "self-registration heartbeat period")
-		clusterSec = flag.String("cluster-secret", "", "shared secret presented when self-registering (must match the coordinator's -cluster-secret)")
-		wireOn     = flag.Bool("wire", true, "serve the binary rp-wire/1 transport on GET /v1/wire")
-		logFormat  = flag.String("log-format", "text", "log output format: text or json")
-		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
-		slowReq    = flag.Duration("slow-request", 0, "log requests slower than this at warn level (0 = disabled)")
-		pprofOn    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		addr        = flag.String("addr", ":8081", "listen address")
+		workers     = flag.Int("workers", 0, "solver goroutines (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 0, "job queue depth before backpressure (0 = 4x workers)")
+		cache       = flag.Int("cache", 4096, "cached results (negative disables retention)")
+		cacheBytes  = flag.Int64("cache-bytes", 0, "approximate cache footprint limit in bytes (0 = unlimited)")
+		cacheTTL    = flag.Duration("cache-ttl", 0, "cached result lifetime (0 = never expires)")
+		timeout     = flag.Duration("timeout", 60*time.Second, "default per-job deadline")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful shutdown budget")
+		register    = flag.String("register", "", "coordinator URL to self-register with (POST /v1/cluster/shards + heartbeat)")
+		advertise   = flag.String("advertise", "", "address the coordinator dials back (default derived from -addr)")
+		regEvery    = flag.Duration("register-interval", 10*time.Second, "self-registration heartbeat period")
+		clusterSec  = flag.String("cluster-secret", "", "shared secret presented when self-registering (must match the coordinator's -cluster-secret)")
+		wireOn      = flag.Bool("wire", true, "serve the binary rp-wire/1 transport on GET /v1/wire")
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		slowReq     = flag.Duration("slow-request", 0, "log requests slower than this at warn level (0 = disabled)")
+		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		traceSample = flag.Float64("trace-sample", 1.0, "fraction of requests recording span traces (slow requests are always retained)")
+		traceBuffer = flag.Int("trace-buffer", obs.DefaultSpanCapacity, "spans held in the in-process flight recorder (0 = default, negative disables tracing)")
 	)
 	flag.Parse()
 	level, err := obs.ParseLevel(*logLevel)
@@ -97,14 +99,21 @@ func main() {
 	// No job manager: /v1/jobs answers 501 pointing at the coordinator.
 	// Campaign streams are unbounded — the pool that feeds this worker
 	// is the admission controller.
+	var spans *obs.SpanStore
+	if *traceBuffer >= 0 {
+		spans = obs.NewSpanStore(*traceBuffer)
+	}
 	handlerOpts := service.HandlerOptions{
 		MaxInlineCampaigns: -1,
 		Logger:             logger,
 		SlowRequest:        *slowReq,
+		Spans:              spans,
+		TraceSample:        *traceSample,
 	}
 	var wireSrv *wire.Server
 	if *wireOn {
 		wireSrv = wire.NewServer(engine, logger)
+		wireSrv.Spans = spans
 		handlerOpts.Wire = wireSrv
 	}
 	var handler http.Handler = service.NewHandlerOpts(engine, handlerOpts)

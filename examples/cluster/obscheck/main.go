@@ -27,6 +27,14 @@
 //	    carried rows (rp_cluster_wire_rows_total ≥ 1) and that a
 //	    repeated batch short-circuited through the coordinator cache
 //	    (rp_cluster_batch_cache_short_circuit_total ≥ 1).
+//
+//	obscheck trace URL TRACE_ID SPAN_NAME...
+//	    GET URL/v1/traces/TRACE_ID and fail unless the assembled span
+//	    tree has a single root and contains every named span. run.sh
+//	    uses it to pin distributed tracing: a wire-routed batch must
+//	    assemble coordinator spans (http.request, cluster.route_batch,
+//	    cluster.wire_exchange) and worker spans shipped back over the
+//	    wire (wire.batch, engine.solve) under the client's trace ID.
 package main
 
 import (
@@ -38,6 +46,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -77,6 +86,13 @@ func main() {
 		if err := printLatency(args[0]); err != nil {
 			fail("obscheck latency: %s: %v", args[0], err)
 		}
+	case "trace":
+		if len(args) < 2 {
+			fail("obscheck trace: want URL TRACE_ID SPAN_NAME...")
+		}
+		if err := checkTrace(args[0], args[1], args[2:]); err != nil {
+			fail("obscheck trace: %s: %v", args[1], err)
+		}
 	case "assert":
 		if len(args) != 3 {
 			fail("obscheck assert: want URL METRIC MIN")
@@ -94,7 +110,7 @@ func main() {
 		}
 		fmt.Printf("obscheck: %s: %s = %g (>= %g)\n", args[0], args[1], total, min)
 	default:
-		fail("obscheck: unknown mode %q (want logs|metrics|latency|assert)", mode)
+		fail("obscheck: unknown mode %q (want logs|metrics|latency|assert|trace)", mode)
 	}
 }
 
@@ -188,6 +204,86 @@ func sumMetric(url, name string) (float64, error) {
 		}
 	}
 	return total, nil
+}
+
+// spanNode mirrors the service's traceNode JSON: one span plus its
+// children, recursively.
+type spanNode struct {
+	Span struct {
+		TraceID string `json:"trace_id"`
+		Name    string `json:"name"`
+	} `json:"span"`
+	Children []spanNode `json:"children"`
+}
+
+// checkTrace fetches one assembled trace and requires a single root
+// containing every named span. The root span lands in the flight
+// recorder a hair after the traced response's body, and worker spans
+// ride the next FrameDone, so the fetch retries briefly.
+func checkTrace(url, id string, names []string) error {
+	var lastErr error
+	for attempt := 0; attempt < 50; attempt++ {
+		if attempt > 0 {
+			time.Sleep(100 * time.Millisecond)
+		}
+		resp, err := http.Get(url + "/v1/traces/" + id)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("GET /v1/traces/%s: status %d", id, resp.StatusCode)
+			continue
+		}
+		var tree struct {
+			TraceID string     `json:"trace_id"`
+			Spans   int        `json:"spans"`
+			Roots   []spanNode `json:"roots"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&tree)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		seen := map[string]int{}
+		var walk func(n spanNode) error
+		walk = func(n spanNode) error {
+			if n.Span.TraceID != id {
+				return fmt.Errorf("span %s carries trace %q, want %q", n.Span.Name, n.Span.TraceID, id)
+			}
+			seen[n.Span.Name]++
+			for _, c := range n.Children {
+				if err := walk(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, r := range tree.Roots {
+			if err := walk(r); err != nil {
+				return err
+			}
+		}
+		lastErr = nil
+		if len(tree.Roots) != 1 {
+			lastErr = fmt.Errorf("%d roots, want 1 fully stitched tree", len(tree.Roots))
+		}
+		for _, want := range names {
+			if seen[want] == 0 && lastErr == nil {
+				lastErr = fmt.Errorf("span %q missing from the tree (have %v)", want, seen)
+			}
+		}
+		if lastErr == nil {
+			fmt.Printf("obscheck: trace %s: %d spans in one tree", id, tree.Spans)
+			if len(names) > 0 {
+				fmt.Printf(", all of %s present", strings.Join(names, ", "))
+			}
+			fmt.Println()
+			return nil
+		}
+	}
+	return lastErr
 }
 
 // printLatency renders the coordinator's latency histograms as

@@ -23,11 +23,16 @@
 #                                            # an identical result
 #
 # The walkthrough also exercises the binary wire transport and the
-# membership auth: cluster traffic runs over rp-wire/1 (asserted via
+# membership auth: cluster traffic runs over rp-wire/2 (asserted via
 # rp_cluster_wire_rows_total), a repeated inline batch must be served
 # from the coordinator's caches without re-contacting a shard
 # (rp_cluster_batch_cache_short_circuit_total), and membership changes
 # require the shared -cluster-secret (an unauthenticated POST must 401).
+#
+# Distributed tracing rides along: the inline batch is submitted under
+# an explicit X-RP-Trace-Id, and obscheck fetches GET /v1/traces/{id}
+# from the coordinator asserting one assembled span tree containing
+# both coordinator spans and worker spans shipped back over the wire.
 #
 # Every daemon runs with -log-format json; at the end the obscheck
 # helper asserts every emitted log line is valid structured JSON,
@@ -134,15 +139,21 @@ CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$COORD/v1/cluster/shards"
   -d '{"addr":"127.0.0.1:1"}')
 [ "$CODE" = "401" ] || { echo "unauthenticated membership POST got $CODE, want 401" >&2; exit 1; }
 
-say "inline batch over the binary wire transport"
+say "inline batch over the binary wire transport (traced)"
 PARENTS=$(echo "$INSTANCE" | json_array parents)
 ISCLIENT=$(echo "$INSTANCE" | json_array is_client)
 REQS=$(echo "$INSTANCE" | json_array requests)
 CAPS=$(echo "$INSTANCE" | json_array capacities)
 STOR=$(echo "$INSTANCE" | json_array storage_costs)
 BATCH="{\"topology\":{\"parents\":$PARENTS,\"is_client\":$ISCLIENT},\"solver\":\"mb@remote\",\"base\":{\"requests\":$REQS,\"capacities\":$CAPS,\"storage_costs\":$STOR},\"variations\":[{},{},{}]}"
-curl -sf "$COORD/v1/batch" -d "$BATCH" >/dev/null
+TRACE_ID="walkthrough-batch-$$"
+curl -sf -H "X-RP-Trace-Id: $TRACE_ID" "$COORD/v1/batch" -d "$BATCH" >/dev/null
 "$BIN/obscheck" assert "$COORD" rp_cluster_wire_rows_total 1
+
+say "assembled span tree for trace $TRACE_ID (coordinator + worker spans)"
+"$BIN/obscheck" trace "$COORD" "$TRACE_ID" \
+  http.request cluster.route_batch cluster.batch_chunk \
+  cluster.wire_exchange wire.batch engine.solve
 
 say "repeating the identical batch: served from the coordinator's caches"
 curl -sf "$COORD/v1/batch" -d "$BATCH" >/dev/null

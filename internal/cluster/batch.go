@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -40,13 +41,17 @@ func replayRouteRow(body []byte) *service.Response {
 // pool emptied by deregistrations — is computed on the coordinator's
 // own engine, so the inline path degrades to exactly the pre-cluster
 // behavior instead of failing.
-func (p *Pool) RouteBatch(ctx context.Context, e *service.Engine, base *core.Instance, policy core.Policy, req *service.BatchPayload, deliver func(service.BatchLine) error) error {
+func (p *Pool) RouteBatch(ctx context.Context, e *service.Engine, base *core.Instance, policy core.Policy, req *service.BatchPayload, deliver func(service.BatchLine) error) (rerr error) {
 	p.batchesRouted.Add(1)
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	total := len(req.Variations)
+	ctx, span := obs.StartSpan(ctx, "cluster.route_batch")
+	span.SetAttr("solver", req.Solver)
+	span.SetAttrInt("variations", total)
+	defer func() { span.SetError(rerr); span.End() }()
 	type bufferedLine struct {
 		line service.BatchLine
 		at   time.Time // when the line completed and entered the buffer
@@ -102,6 +107,8 @@ func (p *Pool) RouteBatch(ctx context.Context, e *service.Engine, base *core.Ins
 	// shapes never answer for each other.
 	keys := make([]string, total)
 	if !req.Options.NoCache {
+		probeSpan := obs.StartLeaf(ctx, "cluster.cache_probe")
+		hits := 0
 		engineOpts := req.EngineOptions()
 		for i := range req.Variations {
 			key, resp, ok := e.CacheProbe(service.Request{
@@ -113,6 +120,7 @@ func (p *Pool) RouteBatch(ctx context.Context, e *service.Engine, base *core.Ins
 			keys[i] = routeKey(key, engineOpts.IncludeSolution)
 			if ok {
 				p.batchCacheShort.Add(1)
+				hits++
 				mu.Lock()
 				emit(service.BatchLine{Index: i, Response: resp})
 				mu.Unlock()
@@ -121,12 +129,15 @@ func (p *Pool) RouteBatch(ctx context.Context, e *service.Engine, base *core.Ins
 			if body, hit := p.routeCache.get(keys[i]); hit {
 				if resp := replayRouteRow(body); resp != nil {
 					p.batchCacheShort.Add(1)
+					hits++
 					mu.Lock()
 					emit(service.BatchLine{Index: i, Response: resp})
 					mu.Unlock()
 				}
 			}
 		}
+		probeSpan.SetAttrInt("hits", hits)
+		probeSpan.End()
 	}
 
 	mu.Lock()
@@ -155,8 +166,10 @@ func (p *Pool) RouteBatch(ctx context.Context, e *service.Engine, base *core.Ins
 				// Chunk failures are not reported upward: the next round
 				// re-partitions whatever is still missing, and the local
 				// fallback is the terminal safety net.
+				cctx, chunkSpan := obs.StartSpan(ctx, "cluster.batch_chunk")
+				chunkSpan.SetAttrInt("rows", len(chunk))
 				chunkStart := time.Now()
-				err := p.BatchChunk(ctx, &sub, func(line service.BatchLine) {
+				err := p.BatchChunk(cctx, &sub, func(line service.BatchLine) {
 					if line.Index < 0 || line.Index >= len(chunk) {
 						return // a confused shard must not crash the stream
 					}
@@ -176,6 +189,8 @@ func (p *Pool) RouteBatch(ctx context.Context, e *service.Engine, base *core.Ins
 					emit(line)
 					mu.Unlock()
 				})
+				chunkSpan.SetError(err)
+				chunkSpan.End()
 				if err == nil {
 					p.batchChunk.Observe(time.Since(chunkStart))
 				}

@@ -50,6 +50,11 @@ func (p *Pool) postJSON(ctx context.Context, s *shard, path string, body any) (*
 		// request (HTTP requests, and job runs via the manager's context).
 		req.Header.Set(obs.TraceHeader, id)
 	}
+	if parent := obs.ParentSpan(ctx); parent != 0 {
+		// The active span ID rides along so the shard's spans parent
+		// under the coordinator span that issued this call.
+		req.Header.Set(obs.ParentSpanHeader, obs.FormatSpanID(parent))
+	}
 	start := time.Now()
 	resp, err := p.opts.Client.Do(req)
 	if err != nil {

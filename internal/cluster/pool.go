@@ -283,6 +283,9 @@ func (s *shard) setWeight(w int, explicit bool, perUnit int) bool {
 }
 
 func (s *shard) stat() service.ShardStat {
+	s.wire.mu.Lock()
+	wireIdle := len(s.wire.idle)
+	s.wire.mu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return service.ShardStat{
@@ -294,6 +297,7 @@ func (s *shard) stat() service.ShardStat {
 		Requests:  s.requests,
 		Failures:  s.failures,
 		Failovers: s.failovers,
+		WireIdle:  wireIdle,
 	}
 }
 

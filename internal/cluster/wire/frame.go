@@ -34,6 +34,18 @@ const Version = 1
 // ProtocolName is the Upgrade token ("rp-wire/<version>").
 const ProtocolName = "rp-wire/1"
 
+// VersionTraced is the protocol revision that adds trace context:
+// request frames may carry FlagTraced (a trace/parent-span prefix
+// before the request payload) and FrameDone may carry the worker's
+// spans after its two counters. Negotiation stays the HTTP upgrade: a
+// client offers rp-wire/2 first; a v1-only server refuses with its 426
+// (whose Upgrade header names rp-wire/1), telling the client to redial
+// at v1 — so an old worker still interoperates, it just loses spans.
+const VersionTraced = 2
+
+// ProtocolV2 is the Upgrade token for VersionTraced.
+const ProtocolV2 = "rp-wire/2"
+
 // Frame types. Requests flow coordinator→worker, the rest worker→
 // coordinator.
 const (
@@ -59,6 +71,14 @@ const (
 // FlagPermanent on FrameError marks a deterministic, don't-fail-over
 // failure — the binary analogue of an HTTP 4xx.
 const FlagPermanent byte = 0x01
+
+// FlagTraced on a request frame (rp-wire/2 only) marks a trace-context
+// prefix ahead of the request payload: the binary analogue of the
+// X-RP-Trace-Id and X-RP-Parent-Span headers. The prefix lives at the
+// frame layer — not inside the batch codec, whose decoder rejects
+// trailing bytes by design — so the request encodings themselves are
+// identical across versions.
+const FlagTraced byte = 0x02
 
 // MaxFrame bounds a frame payload, mirroring the HTTP layer's 64 MiB
 // request cap. A length beyond it is a protocol error, not an
@@ -170,7 +190,9 @@ func AppendDone(buf []byte, items, failed int) []byte {
 	return binary.AppendUvarint(buf, uint64(failed))
 }
 
-// ParseDone decodes a FrameDone payload.
+// ParseDone decodes a FrameDone payload. Trailing bytes (the rp-wire/2
+// span block) are deliberately ignored — use ParseDoneSpans to read
+// them.
 func ParseDone(p []byte) (items, failed int, err error) {
 	i, n := binary.Uvarint(p)
 	if n <= 0 || i > 1<<31 {
@@ -182,4 +204,77 @@ func ParseDone(p []byte) (items, failed int, err error) {
 		return 0, 0, errors.New("wire: bad done failed count")
 	}
 	return int(i), int(f), nil
+}
+
+// maxTraceLen bounds the trace ID in a FlagTraced prefix, mirroring the
+// HTTP layer's SanitizeTraceID cap.
+const maxTraceLen = 64
+
+// AppendTraceContext appends a FlagTraced request prefix to buf:
+// uvarint-length-prefixed trace ID, then uvarint parent span ID. The
+// request payload follows the prefix unchanged.
+func AppendTraceContext(buf []byte, traceID string, parentSpan uint64) []byte {
+	if len(traceID) > maxTraceLen {
+		traceID = traceID[:maxTraceLen]
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(traceID)))
+	buf = append(buf, traceID...)
+	return binary.AppendUvarint(buf, parentSpan)
+}
+
+// ParseTraceContext decodes a FlagTraced prefix and returns the rest of
+// the payload (aliasing p).
+func ParseTraceContext(p []byte) (traceID string, parentSpan uint64, rest []byte, err error) {
+	tlen, n := binary.Uvarint(p)
+	if n <= 0 || tlen > maxTraceLen || tlen > uint64(len(p)-n) {
+		return "", 0, nil, errors.New("wire: bad trace context")
+	}
+	p = p[n:]
+	traceID = string(p[:tlen])
+	p = p[tlen:]
+	parentSpan, n = binary.Uvarint(p)
+	if n <= 0 {
+		return "", 0, nil, errors.New("wire: bad trace parent span")
+	}
+	return traceID, parentSpan, p[n:], nil
+}
+
+// maxDoneSpans bounds the span block a FrameDone may carry — a defense
+// bound well above the worker's own per-request collection cap.
+const maxDoneSpans = 4 << 20
+
+// AppendDoneSpans appends a FrameDone payload carrying the worker's
+// spans for the request: the two AppendDone counters, then a
+// uvarint-length-prefixed JSON array of spans. A v1 peer's ParseDone
+// skips the block untouched, which is what makes shipping spans inside
+// FrameDone backward-compatible.
+func AppendDoneSpans(buf []byte, items, failed int, spansJSON []byte) []byte {
+	buf = AppendDone(buf, items, failed)
+	if len(spansJSON) == 0 || len(spansJSON) > maxDoneSpans {
+		return buf
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(spansJSON)))
+	return append(buf, spansJSON...)
+}
+
+// ParseDoneSpans returns the span block of a FrameDone payload, nil
+// when the peer sent none (a v1 worker, or spans disabled). The bytes
+// alias p.
+func ParseDoneSpans(p []byte) ([]byte, error) {
+	// Skip the two counters ParseDone validated.
+	for i := 0; i < 2; i++ {
+		_, n := binary.Uvarint(p)
+		if n <= 0 {
+			return nil, errors.New("wire: bad done payload")
+		}
+		p = p[n:]
+	}
+	if len(p) == 0 {
+		return nil, nil
+	}
+	slen, n := binary.Uvarint(p)
+	if n <= 0 || slen == 0 || slen > maxDoneSpans || slen > uint64(len(p)-n) {
+		return nil, errors.New("wire: bad done span block")
+	}
+	return p[n : n+int(slen)], nil
 }

@@ -27,6 +27,11 @@ type Server struct {
 	e   *service.Engine
 	log *slog.Logger
 
+	// Spans, when set, is the worker's flight recorder: traced requests
+	// record their server-side spans here and ship a copy back to the
+	// coordinator inside FrameDone.
+	Spans *obs.SpanStore
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
@@ -72,13 +77,22 @@ func (s *Server) untrack(c net.Conn) {
 	s.mu.Unlock()
 }
 
-// ServeHTTP negotiates the upgrade. Anything but an exact protocol
-// match answers a plain HTTP error, which the coordinator reads as
-// "this shard speaks JSON only" — that is the whole version handshake:
-// new coordinators fall back, old coordinators never call here.
+// ServeHTTP negotiates the upgrade. The server speaks both rp-wire/2
+// (trace context) and rp-wire/1, echoing whichever token the client
+// offered; anything else answers a plain HTTP 426 naming rp-wire/1 —
+// which a v2 coordinator reads as "redial at v1" and an old
+// coordinator reads as "this shard speaks JSON only". That is the
+// whole version handshake.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if !strings.EqualFold(r.Header.Get("Upgrade"), ProtocolName) ||
-		!headerContainsToken(r.Header, "Connection", "upgrade") {
+	offered := r.Header.Get("Upgrade")
+	version := 0
+	switch {
+	case strings.EqualFold(offered, ProtocolV2):
+		version = VersionTraced
+	case strings.EqualFold(offered, ProtocolName):
+		version = Version
+	}
+	if version == 0 || !headerContainsToken(r.Header, "Connection", "upgrade") {
 		w.Header().Set("Upgrade", ProtocolName)
 		http.Error(w, "this endpoint speaks "+ProtocolName+" only", http.StatusUpgradeRequired)
 		return
@@ -98,13 +112,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	defer conn.Close()
 	conn.SetDeadline(time.Time{}) // the server's read timeouts no longer apply
 
+	token := ProtocolName
+	if version == VersionTraced {
+		token = ProtocolV2
+	}
 	rw.Writer.WriteString("HTTP/1.1 101 Switching Protocols\r\nUpgrade: " +
-		ProtocolName + "\r\nConnection: Upgrade\r\n\r\n")
+		token + "\r\nConnection: Upgrade\r\n\r\n")
 	if err := rw.Writer.Flush(); err != nil {
 		return
 	}
-	s.log.Debug("wire session open", "remote", conn.RemoteAddr().String())
-	err = s.session(rw.Reader, conn)
+	s.log.Debug("wire session open", "remote", conn.RemoteAddr().String(), "version", version)
+	err = s.session(rw.Reader, conn, version)
 	if err != nil && !errors.Is(err, io.EOF) {
 		s.log.Debug("wire session closed", "remote", conn.RemoteAddr().String(), "error", err)
 	}
@@ -112,7 +130,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // session serves one connection: request frames in, row streams out,
 // until the peer closes or a protocol error poisons the framing.
-func (s *Server) session(br *bufio.Reader, conn net.Conn) error {
+func (s *Server) session(br *bufio.Reader, conn net.Conn, version int) error {
 	r := NewReader(br)
 	bw := bufio.NewWriter(conn)
 	w := NewWriter(bw)
@@ -123,9 +141,9 @@ func (s *Server) session(br *bufio.Reader, conn net.Conn) error {
 		}
 		switch f.Type {
 		case FrameBatch:
-			err = s.serveBatch(w, bw, f)
+			err = s.serveBatch(w, bw, f, version)
 		case FrameCampaign:
-			err = s.serveCampaign(w, bw, f)
+			err = s.serveCampaign(w, bw, f, version)
 		default:
 			return errors.New("wire: unexpected frame type")
 		}
@@ -148,8 +166,56 @@ func (w *Writer) fail(bw *bufio.Writer, stream uint32, permanent bool, err error
 	return bw.Flush()
 }
 
-func (s *Server) serveBatch(w *Writer, bw *bufio.Writer, f Frame) error {
-	req, err := DecodeBatchRequest(f.Payload)
+// requestContext builds one request's context: cancelation plus, on a
+// v2 traced frame, the caller's trace identity and a span collector so
+// the request's spans can ride back in FrameDone. The returned payload
+// is the frame payload with any trace prefix stripped.
+func (s *Server) requestContext(f Frame, version int) (ctx context.Context, cancel context.CancelFunc, payload []byte, coll *obs.Collector, err error) {
+	ctx, cancel = context.WithCancel(context.Background())
+	payload = f.Payload
+	if version < VersionTraced || f.Flags&FlagTraced == 0 {
+		return ctx, cancel, payload, nil, nil
+	}
+	traceID, parentSpan, rest, perr := ParseTraceContext(f.Payload)
+	if perr != nil {
+		return ctx, cancel, nil, nil, perr
+	}
+	payload = rest
+	if id := obs.SanitizeTraceID(traceID); id != "" {
+		ctx = obs.WithTrace(ctx, id)
+	}
+	ctx = obs.WithSpans(ctx, s.Spans)
+	// A zero parent span means the coordinator is not assembling a tree
+	// (tracing sampled out there); spans stay in the local recorder and
+	// FrameDone carries none back.
+	if parentSpan != 0 {
+		coll = &obs.Collector{}
+		ctx = obs.WithCollector(ctx, coll)
+		ctx = obs.WithParentSpan(ctx, parentSpan)
+	}
+	return ctx, cancel, payload, coll, nil
+}
+
+// doneSpans renders the collector's spans for the FrameDone payload,
+// nil when the request was untraced.
+func doneSpans(coll *obs.Collector) []byte {
+	if coll == nil {
+		return nil
+	}
+	data, err := json.Marshal(coll)
+	if err != nil || string(data) == "[]" {
+		return nil
+	}
+	return data
+}
+
+func (s *Server) serveBatch(w *Writer, bw *bufio.Writer, f Frame, version int) error {
+	ctx, cancel, payload, coll, err := s.requestContext(f, version)
+	defer cancel()
+	if err != nil {
+		return w.fail(bw, f.Stream, true, err)
+	}
+	req, err := DecodeBatchRequest(payload)
 	if err != nil {
 		return w.fail(bw, f.Stream, true, err)
 	}
@@ -157,8 +223,9 @@ func (s *Server) serveBatch(w *Writer, bw *bufio.Writer, f Frame) error {
 	if err != nil {
 		return w.fail(bw, f.Stream, true, err)
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
+	ctx, span := obs.StartSpan(ctx, "wire.batch")
+	span.SetAttr("solver", req.Solver)
+	span.SetAttrInt("variations", len(req.Variations))
 
 	var rowBuf []byte
 	failed, werr := 0, error(nil)
@@ -192,6 +259,8 @@ func (s *Server) serveBatch(w *Writer, bw *bufio.Writer, f Frame) error {
 			cancel() // stop burning workers on a dead stream
 		}
 	})
+	span.SetError(err)
+	span.End()
 	if err != nil {
 		// SolveBatch-level failures are validation-shaped (Build caught
 		// most already); report in-stream like the HTTP handler does.
@@ -200,23 +269,28 @@ func (s *Server) serveBatch(w *Writer, bw *bufio.Writer, f Frame) error {
 	if werr != nil {
 		return werr
 	}
-	if err := w.WriteFrame(FrameDone, 0, f.Stream, AppendDone(nil, len(req.Variations), failed)); err != nil {
+	done := AppendDoneSpans(nil, len(req.Variations), failed, doneSpans(coll))
+	if err := w.WriteFrame(FrameDone, 0, f.Stream, done); err != nil {
 		return err
 	}
 	return bw.Flush()
 }
 
-func (s *Server) serveCampaign(w *Writer, bw *bufio.Writer, f Frame) error {
+func (s *Server) serveCampaign(w *Writer, bw *bufio.Writer, f Frame, version int) error {
+	ctx, cancel, payload, coll, err := s.requestContext(f, version)
+	defer cancel()
+	if err != nil {
+		return w.fail(bw, f.Stream, true, err)
+	}
 	var req struct {
 		Config experiments.Config `json:"config"`
 	}
-	dec := json.NewDecoder(bytes.NewReader(f.Payload))
+	dec := json.NewDecoder(bytes.NewReader(payload))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		return w.fail(bw, f.Stream, true, err)
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
+	ctx, span := obs.StartSpan(ctx, "wire.campaign")
 	cfg := req.Config
 	cfg.Context = ctx
 
@@ -234,7 +308,11 @@ func (s *Server) serveCampaign(w *Writer, bw *bufio.Writer, f Frame) error {
 		}
 		return werr
 	}
-	if _, err := experiments.Run(cfg); err != nil {
+	_, err = experiments.Run(cfg)
+	span.SetAttrInt("rows", rows)
+	span.SetError(err)
+	span.End()
+	if err != nil {
 		if werr != nil {
 			return werr // the stream write failed; the conn is poisoned
 		}
@@ -243,7 +321,8 @@ func (s *Server) serveCampaign(w *Writer, bw *bufio.Writer, f Frame) error {
 		// healthier.
 		return w.fail(bw, f.Stream, false, err)
 	}
-	if err := w.WriteFrame(FrameDone, 0, f.Stream, AppendDone(nil, rows, 0)); err != nil {
+	done := AppendDoneSpans(nil, rows, 0, doneSpans(coll))
+	if err := w.WriteFrame(FrameDone, 0, f.Stream, done); err != nil {
 		return err
 	}
 	return bw.Flush()

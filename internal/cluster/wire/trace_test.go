@@ -1,0 +1,92 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	inner := []byte("request-payload-bytes")
+	buf := AppendTraceContext(nil, "trace-42", 0xdeadbeef)
+	buf = append(buf, inner...)
+
+	traceID, parent, rest, err := ParseTraceContext(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traceID != "trace-42" || parent != 0xdeadbeef || !bytes.Equal(rest, inner) {
+		t.Fatalf("got (%q, %#x, %q)", traceID, parent, rest)
+	}
+
+	// Empty trace + zero parent is legal (the encoding is symmetric).
+	buf = AppendTraceContext(nil, "", 0)
+	traceID, parent, rest, err = ParseTraceContext(buf)
+	if err != nil || traceID != "" || parent != 0 || len(rest) != 0 {
+		t.Fatalf("empty context: (%q, %d, %q, %v)", traceID, parent, rest, err)
+	}
+
+	// An oversized trace ID is truncated at append, and rejected at
+	// parse when hand-rolled.
+	long := strings.Repeat("x", 200)
+	buf = AppendTraceContext(nil, long, 1)
+	traceID, _, _, err = ParseTraceContext(buf)
+	if err != nil || len(traceID) != maxTraceLen {
+		t.Fatalf("oversized trace: len %d, err %v", len(traceID), err)
+	}
+	for _, bad := range [][]byte{{}, {0x80}, {0x05, 'a'}, {200, 'a', 'b'}} {
+		if _, _, _, err := ParseTraceContext(bad); err == nil {
+			t.Fatalf("ParseTraceContext(%v) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestDoneSpansRoundTrip(t *testing.T) {
+	spans := []byte(`[{"trace_id":"t","id":"00000000000000ff","name":"wire.batch"}]`)
+	p := AppendDoneSpans(nil, 10, 2, spans)
+
+	// A v1 peer's ParseDone must read the counters and ignore the block.
+	items, failed, err := ParseDone(p)
+	if err != nil || items != 10 || failed != 2 {
+		t.Fatalf("ParseDone on span-bearing payload: (%d, %d, %v)", items, failed, err)
+	}
+	got, err := ParseDoneSpans(p)
+	if err != nil || !bytes.Equal(got, spans) {
+		t.Fatalf("ParseDoneSpans: (%q, %v)", got, err)
+	}
+
+	// No block → nil, no error (a v1 worker's FrameDone).
+	got, err = ParseDoneSpans(AppendDone(nil, 5, 0))
+	if err != nil || got != nil {
+		t.Fatalf("spanless payload: (%q, %v)", got, err)
+	}
+
+	// Empty span JSON is omitted entirely.
+	p = AppendDoneSpans(nil, 5, 0, nil)
+	if !bytes.Equal(p, AppendDone(nil, 5, 0)) {
+		t.Fatalf("empty spans must not add a block: %v", p)
+	}
+
+	// Truncated block is an error, not a panic.
+	p = AppendDoneSpans(nil, 1, 0, spans)
+	if _, err := ParseDoneSpans(p[:len(p)-3]); err == nil {
+		t.Fatal("truncated span block accepted")
+	}
+}
+
+func FuzzParseTraceContext(f *testing.F) {
+	f.Add(AppendTraceContext(nil, "trace", 99))
+	f.Add([]byte{})
+	f.Add([]byte{0x80, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ParseTraceContext(data) // must never panic
+	})
+}
+
+func FuzzParseDoneSpans(f *testing.F) {
+	f.Add(AppendDoneSpans(nil, 3, 1, []byte(`[]`)))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ParseDoneSpans(data) // must never panic
+	})
+}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cluster/wire"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -34,12 +35,13 @@ const maxIdleWireConns = 16
 // pooling connections), so its reader, writer and stream counter need
 // no locking.
 type wireConn struct {
-	conn   net.Conn
-	br     *bufio.Reader
-	bw     *bufio.Writer
-	r      *wire.Reader
-	w      *wire.Writer
-	stream uint32
+	conn    net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	r       *wire.Reader
+	w       *wire.Writer
+	stream  uint32
+	version int // negotiated protocol revision (wire.Version or wire.VersionTraced)
 }
 
 // watch closes the connection when ctx is canceled, unblocking any
@@ -67,10 +69,29 @@ type shardWire struct {
 }
 
 // dialWire opens a TCP connection to the shard and upgrades it to the
-// wire protocol. Anything but a clean 101 with the matching Upgrade
-// token is errWireUnsupported — the version handshake is exactly "both
-// ends name rp-wire/1 or we speak JSON".
+// wire protocol, offering rp-wire/2 first. A worker that only knows
+// rp-wire/1 refuses the v2 token with its standard 426 — whose Upgrade
+// header names rp-wire/1 — and we redial at v1 (the connection is dead
+// after an upgrade refusal: http.Error closes it). Anything but a
+// clean 101 with a protocol token is errWireUnsupported — the version
+// handshake is exactly "both ends name a protocol or we speak JSON".
 func dialWire(ctx context.Context, addr string) (*wireConn, error) {
+	wc, err := dialWireVersion(ctx, addr, wire.ProtocolV2, wire.VersionTraced)
+	if errors.Is(err, errWireDowngrade) {
+		wc, err = dialWireVersion(ctx, addr, wire.ProtocolName, wire.Version)
+	}
+	if errors.Is(err, errWireDowngrade) {
+		return nil, errWireUnsupported
+	}
+	return wc, err
+}
+
+// errWireDowngrade is dialWireVersion's "the shard named rp-wire/1
+// instead" verdict: retry once at v1 before declaring the shard
+// JSON-only.
+var errWireDowngrade = errors.New("cluster: shard offered " + wire.ProtocolName)
+
+func dialWireVersion(ctx context.Context, addr, token string, version int) (*wireConn, error) {
 	u, err := url.Parse(addr)
 	if err != nil || u.Host == "" {
 		return nil, &permanentError{fmt.Errorf("cluster: bad shard address %q", addr)}
@@ -88,7 +109,7 @@ func dialWire(ctx context.Context, addr string) (*wireConn, error) {
 		conn.Close()
 		return nil, &permanentError{err}
 	}
-	req.Header.Set("Upgrade", wire.ProtocolName)
+	req.Header.Set("Upgrade", token)
 	req.Header.Set("Connection", "Upgrade")
 	conn.SetDeadline(time.Now().Add(5 * time.Second)) // the handshake only
 	if err := req.Write(conn); err != nil {
@@ -103,13 +124,18 @@ func dialWire(ctx context.Context, addr string) (*wireConn, error) {
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusSwitchingProtocols ||
-		!strings.EqualFold(resp.Header.Get("Upgrade"), wire.ProtocolName) {
+		!strings.EqualFold(resp.Header.Get("Upgrade"), token) {
+		downgrade := token != wire.ProtocolName &&
+			strings.EqualFold(resp.Header.Get("Upgrade"), wire.ProtocolName)
 		conn.Close()
+		if downgrade {
+			return nil, errWireDowngrade
+		}
 		return nil, errWireUnsupported
 	}
 	conn.SetDeadline(time.Time{})
 	bw := bufio.NewWriter(conn)
-	return &wireConn{conn: conn, br: br, bw: bw, r: wire.NewReader(br), w: wire.NewWriter(bw)}, nil
+	return &wireConn{conn: conn, br: br, bw: bw, r: wire.NewReader(br), w: wire.NewWriter(bw), version: version}, nil
 }
 
 // wireEnabled reports whether this shard should be tried over the wire
@@ -241,9 +267,23 @@ func (p *Pool) wireExchange(ctx context.Context, s *shard, wc *wireConn, typ byt
 		}
 	}()
 	p.wireReqs.Add(1)
+	span := obs.StartLeaf(ctx, "cluster.wire_exchange")
+	span.SetAttr("shard", s.addr)
+	defer func() { span.SetError(err); span.End() }()
+	// On an rp-wire/2 connection the request frame carries the trace
+	// context the JSON path puts in headers — this is what keeps the
+	// "one trace ID end-to-end" contract on the binary transport.
+	var flags byte
+	if wc.version >= wire.VersionTraced {
+		if trace := obs.Trace(ctx); trace != "" {
+			framed := wire.AppendTraceContext(make([]byte, 0, len(payload)+len(trace)+16), trace, obs.ParentSpan(ctx))
+			payload = append(framed, payload...)
+			flags = wire.FlagTraced
+		}
+	}
 	start := time.Now()
 	wc.stream++
-	if err := wc.w.WriteFrame(typ, 0, wc.stream, payload); err != nil {
+	if err := wc.w.WriteFrame(typ, flags, wc.stream, payload); err != nil {
 		return true, err
 	}
 	if err := wc.bw.Flush(); err != nil {
@@ -276,6 +316,7 @@ func (p *Pool) wireExchange(ctx context.Context, s *shard, wc *wireConn, typ byt
 			if _, _, err := wire.ParseDone(f.Payload); err != nil {
 				return false, fmt.Errorf("cluster: %s wire: %w", s.addr, err)
 			}
+			p.importDoneSpans(ctx, f.Payload)
 			// The full exchange on a persistent connection is the wire
 			// path's analogue of the HTTP round-trip.
 			p.shardRTT.Observe(s.addr, time.Since(start))
@@ -294,6 +335,28 @@ func (p *Pool) wireExchange(ctx context.Context, s *shard, wc *wireConn, typ byt
 		default:
 			return false, fmt.Errorf("cluster: %s wire: unexpected frame type 0x%02x", s.addr, f.Type)
 		}
+	}
+}
+
+// importDoneSpans copies the worker's spans (the rp-wire/2 span block
+// of a FrameDone payload) into this process's flight recorder, so the
+// coordinator holds the whole cross-process trace. Malformed blocks
+// are dropped, never fatal — spans are diagnostics, not data.
+func (p *Pool) importDoneSpans(ctx context.Context, done []byte) {
+	store := obs.SpansFrom(ctx)
+	if store == nil {
+		return
+	}
+	block, err := wire.ParseDoneSpans(done)
+	if err != nil || block == nil {
+		return
+	}
+	var spans []obs.Span
+	if err := json.Unmarshal(block, &spans); err != nil {
+		return
+	}
+	for _, sp := range spans {
+		store.AddSpan(sp)
 	}
 }
 

@@ -38,6 +38,10 @@ type Options struct {
 	// Logger receives job lifecycle transitions (default: discard). Log
 	// lines carry the job's trace ID when the submitting request had one.
 	Logger *slog.Logger
+	// Spans, when set, records a span per job run (plus whatever the
+	// kind's Run traces beneath it) into the process flight recorder,
+	// under the submitting request's trace ID.
+	Spans *obs.SpanStore
 }
 
 func (o Options) withDefaults() Options {
@@ -542,6 +546,10 @@ func (m *Manager) runJob(id string) {
 	// engine solves) logs and propagates under the job's trace ID.
 	ctx = obs.WithTrace(ctx, meta.TraceID)
 	ctx = withEventSink(ctx, func(typ, detail string) { m.event(meta, typ, detail) })
+	ctx = obs.WithSpans(ctx, m.opts.Spans)
+	ctx, span := obs.StartSpan(ctx, "job.run")
+	span.SetAttr("job", id)
+	span.SetAttr("kind", meta.Spec.Kind)
 
 	m.event(meta, EventStarted, fmt.Sprintf("resumes=%d", meta.Resumes))
 	m.log.InfoContext(ctx, "job started", "job", id, "kind", meta.Spec.Kind)
@@ -589,6 +597,11 @@ func (m *Manager) runJob(id string) {
 	default:
 		state = StateFailed
 	}
+	span.SetAttr("state", string(state))
+	if state == StateFailed {
+		span.SetError(err)
+	}
+	span.End()
 
 	m.mu.Lock()
 	mm := m.metas[id]

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// GoRuntimeStats is the slice of Go runtime state exported on /metrics:
+// live goroutines, heap bytes, and the cumulative GC pause distribution
+// re-bucketed onto DefBuckets so it renders through the same histogram
+// writer as the latency families.
+type GoRuntimeStats struct {
+	Goroutines int64
+	HeapBytes  int64
+	GCPause    HistogramSnapshot
+}
+
+// runtimeSamples are the runtime/metrics names we read. The GC pause
+// name moved across Go releases; readGoRuntime probes the modern name
+// first and falls back.
+var runtimeSamples = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/sched/pauses/total/gc:seconds",
+	"/gc/pauses:seconds",
+}
+
+// ReadGoRuntime samples the Go runtime. It never fails: metrics the
+// runtime doesn't publish simply stay zero.
+func ReadGoRuntime() GoRuntimeStats {
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	for i, name := range runtimeSamples {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+
+	out := GoRuntimeStats{GCPause: HistogramSnapshot{
+		Bounds: DefBuckets,
+		Counts: make([]uint64, len(DefBuckets)+1),
+	}}
+	gotPauses := false
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			switch s.Name {
+			case "/sched/goroutines:goroutines":
+				out.Goroutines = int64(s.Value.Uint64())
+			case "/memory/classes/heap/objects:bytes":
+				out.HeapBytes = int64(s.Value.Uint64())
+			}
+		case metrics.KindFloat64Histogram:
+			if !gotPauses {
+				gotPauses = true
+				out.GCPause = rebucket(s.Value.Float64Histogram(), DefBuckets)
+			}
+		}
+	}
+	return out
+}
+
+// rebucket folds a runtime/metrics histogram (hundreds of fine-grained
+// buckets) into our coarse bounds so the exposition stays small and the
+// strict-parser invariants (ascending le, +Inf == _count, one _sum)
+// hold by construction. Each source bucket lands in the target bucket
+// containing its midpoint; the sum is approximated the same way.
+func rebucket(h *metrics.Float64Histogram, bounds []float64) HistogramSnapshot {
+	snap := HistogramSnapshot{
+		Bounds: bounds,
+		Counts: make([]uint64, len(bounds)+1),
+	}
+	if h == nil {
+		return snap
+	}
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := midpoint(lo, hi)
+		j := 0
+		for j < len(bounds) && mid > bounds[j] {
+			j++
+		}
+		snap.Counts[j] += c
+		snap.Count += c
+		snap.Sum += float64(c) * mid
+	}
+	return snap
+}
+
+// midpoint picks a representative value for a source bucket, tolerating
+// the runtime's ±Inf edge buckets.
+func midpoint(lo, hi float64) float64 {
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return 0
+	case math.IsInf(lo, -1):
+		return hi
+	case math.IsInf(hi, 1):
+		return lo
+	default:
+		return (lo + hi) / 2
+	}
+}

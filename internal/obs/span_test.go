@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestStartSpanParentsAndRecords(t *testing.T) {
+	st := NewSpanStore(16)
+	ctx := WithTrace(context.Background(), "trace-1")
+	ctx = WithSpans(ctx, st)
+
+	ctx2, root := StartSpan(ctx, "root")
+	if root == nil {
+		t.Fatal("StartSpan returned nil on a recording context")
+	}
+	rootID := root.ID
+	if ParentSpan(ctx2) != rootID {
+		t.Fatalf("derived ctx parent = %d, want root %d", ParentSpan(ctx2), rootID)
+	}
+
+	child := StartLeaf(ctx2, "child")
+	child.SetAttr("k", "v")
+	child.SetAttrInt("n", 7)
+	child.SetError(errors.New("boom"))
+	childID := child.ID
+	child.End()
+	root.End()
+
+	spans := st.TraceSpans("trace-1")
+	if len(spans) != 2 {
+		t.Fatalf("TraceSpans = %d spans, want 2", len(spans))
+	}
+	byID := map[uint64]Span{}
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	r, c := byID[rootID], byID[childID]
+	if r.Parent != 0 || r.Name != "root" {
+		t.Fatalf("root span = %+v", r)
+	}
+	if c.Parent != rootID || c.Name != "child" || c.Error != "boom" {
+		t.Fatalf("child span = %+v", c)
+	}
+	attrs := c.Attrs()
+	if len(attrs) != 2 || attrs[0] != (Attr{"k", "v"}) || attrs[1] != (Attr{"n", "7"}) {
+		t.Fatalf("child attrs = %v", attrs)
+	}
+}
+
+func TestSpanDisabledContextIsNilSafe(t *testing.T) {
+	ctx := context.Background()
+	ctx2, s := StartSpan(ctx, "x")
+	if s != nil || ctx2 != ctx {
+		t.Fatal("non-recording StartSpan must return (ctx, nil)")
+	}
+	leaf := StartLeaf(ctx, "y")
+	if leaf != nil {
+		t.Fatal("non-recording StartLeaf must return nil")
+	}
+	// All methods nil-safe.
+	leaf.SetAttr("a", "b")
+	leaf.SetAttrInt("n", 1)
+	leaf.SetError(errors.New("x"))
+	leaf.End()
+	RecordSpan(ctx, "z", time.Now(), time.Millisecond)
+}
+
+func TestStartLeafZeroAlloc(t *testing.T) {
+	st := NewSpanStore(1024)
+	ctx := WithSpans(WithTrace(context.Background(), "alloc-trace"), st)
+	allocs := testing.AllocsPerRun(1000, func() {
+		s := StartLeaf(ctx, "hot")
+		s.SetAttr("cached", "true")
+		s.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("StartLeaf+SetAttr+End allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestSpanStoreWrapAndRetain(t *testing.T) {
+	st := NewSpanStore(8)
+	ctx := WithSpans(WithTrace(context.Background(), "keep"), st)
+	StartLeaf(ctx, "slow-op").End()
+	st.Retain("keep")
+
+	// Wrap the main ring completely with other traffic.
+	for i := 0; i < 20; i++ {
+		c := WithSpans(WithTrace(context.Background(), fmt.Sprintf("t%d", i)), st)
+		StartLeaf(c, "noise").End()
+	}
+	spans := st.TraceSpans("keep")
+	if len(spans) != 1 || spans[0].Name != "slow-op" {
+		t.Fatalf("retained trace lost after wrap: %v", spans)
+	}
+	// The same span still in both rings must not duplicate.
+	st2 := NewSpanStore(8)
+	c := WithSpans(WithTrace(context.Background(), "dup"), st2)
+	StartLeaf(c, "op").End()
+	st2.Retain("dup")
+	if got := st2.TraceSpans("dup"); len(got) != 1 {
+		t.Fatalf("span duplicated across rings: %d copies", len(got))
+	}
+}
+
+func TestSpanStoreDropsUnderContention(t *testing.T) {
+	st := NewSpanStore(8)
+	st.mu.Lock()
+	var s Span
+	s.TraceID, s.ID, s.Name = "t", 1, "contended"
+	st.add(&s)
+	st.mu.Unlock()
+	added, dropped := st.Stats()
+	if added != 0 || dropped != 1 {
+		t.Fatalf("Stats = (%d added, %d dropped), want (0, 1)", added, dropped)
+	}
+}
+
+func TestSpanStoreTraces(t *testing.T) {
+	st := NewSpanStore(32)
+	ctx := WithTrace(context.Background(), "sum-1")
+	ctx = WithSpans(ctx, st)
+	ctx2, root := StartSpan(ctx, "http.request")
+	StartLeaf(ctx2, "engine.solve").End()
+	time.Sleep(time.Millisecond)
+	root.End()
+
+	traces := st.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("Traces = %d, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.TraceID != "sum-1" || tr.Name != "http.request" || tr.Spans != 2 {
+		t.Fatalf("summary = %+v", tr)
+	}
+	if tr.Duration <= 0 || tr.DurationMS <= 0 {
+		t.Fatalf("summary duration not populated: %+v", tr)
+	}
+}
+
+func TestSpanJSONRoundTrip(t *testing.T) {
+	s := Span{
+		TraceID:  "abc",
+		ID:       0xdeadbeefcafef00d,
+		Parent:   0x1122334455667788,
+		Name:     "wire.batch",
+		Start:    time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC),
+		Duration: 1500 * time.Microsecond,
+		Error:    "nope",
+	}
+	s.SetAttr("shard", "http://w1")
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Span
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TraceID != s.TraceID || back.ID != s.ID || back.Parent != s.Parent ||
+		back.Name != s.Name || !back.Start.Equal(s.Start) || back.Error != s.Error {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, s)
+	}
+	if d := back.Duration - s.Duration; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("duration drifted: %v vs %v", back.Duration, s.Duration)
+	}
+	if a := back.Attrs(); len(a) != 1 || a[0] != (Attr{"shard", "http://w1"}) {
+		t.Fatalf("attrs lost: %v", a)
+	}
+	if err := json.Unmarshal([]byte(`{"name":"x"}`), &back); err == nil {
+		t.Fatal("span without id must not decode")
+	}
+}
+
+func TestSpanIDFormatParse(t *testing.T) {
+	for _, id := range []uint64{1, 0xdeadbeef, ^uint64(0)} {
+		s := FormatSpanID(id)
+		if len(s) != 16 {
+			t.Fatalf("FormatSpanID(%d) = %q", id, s)
+		}
+		if got := ParseSpanID(s); got != id {
+			t.Fatalf("ParseSpanID(%q) = %d, want %d", s, got, id)
+		}
+	}
+	if FormatSpanID(0) != "" {
+		t.Fatal("zero ID must format empty")
+	}
+	for _, bad := range []string{"", "xyz", "123", "zzzzzzzzzzzzzzzz", "00112233445566778"} {
+		if ParseSpanID(bad) != 0 {
+			t.Fatalf("ParseSpanID(%q) != 0", bad)
+		}
+	}
+}
+
+func TestCollectorGathersSpans(t *testing.T) {
+	var coll Collector
+	st := NewSpanStore(8)
+	ctx := WithTrace(context.Background(), "w-trace")
+	ctx = WithSpans(ctx, st)
+	ctx = WithCollector(ctx, &coll)
+	ctx2, root := StartSpan(ctx, "wire.batch")
+	StartLeaf(ctx2, "engine.solve").End()
+	root.End()
+
+	got := coll.Spans()
+	if len(got) != 2 {
+		t.Fatalf("collector has %d spans, want 2", len(got))
+	}
+	for _, s := range got {
+		if s.TraceID != "w-trace" {
+			t.Fatalf("collected span lost trace: %+v", s)
+		}
+	}
+	// Also recorded locally.
+	if local := st.TraceSpans("w-trace"); len(local) != 2 {
+		t.Fatalf("store has %d spans, want 2", len(local))
+	}
+	data, err := json.Marshal(&coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Span
+	if err := json.Unmarshal(data, &back); err != nil || len(back) != 2 {
+		t.Fatalf("collector JSON round trip: %v, %d spans", err, len(back))
+	}
+}
+
+func TestRecordSpanAndAddSpan(t *testing.T) {
+	st := NewSpanStore(8)
+	ctx := WithSpans(WithTrace(context.Background(), "r"), st)
+	start := time.Now().Add(-time.Second)
+	RecordSpan(ctx, "engine.queue_wait", start, 250*time.Millisecond, Attr{"solver", "greedy"})
+	spans := st.TraceSpans("r")
+	if len(spans) != 1 || spans[0].Name != "engine.queue_wait" || spans[0].Duration != 250*time.Millisecond {
+		t.Fatalf("RecordSpan: %v", spans)
+	}
+
+	// AddSpan imports a remote span verbatim.
+	st.AddSpan(Span{TraceID: "r", ID: 42, Parent: spans[0].ID, Name: "wire.batch"})
+	spans = st.TraceSpans("r")
+	if len(spans) != 2 {
+		t.Fatalf("AddSpan not visible: %v", spans)
+	}
+}
+
+func TestWithParentSpanSplicesRemoteContext(t *testing.T) {
+	st := NewSpanStore(8)
+	ctx := WithSpans(WithTrace(context.Background(), "x"), st)
+	ctx = WithParentSpan(ctx, 99)
+	s := StartLeaf(ctx, "child")
+	if s.Parent != 99 {
+		t.Fatalf("parent = %d, want 99", s.Parent)
+	}
+	s.End()
+	if WithParentSpan(ctx, 0) != ctx {
+		t.Fatal("WithParentSpan(0) must be a no-op")
+	}
+}
+
+func TestReadGoRuntime(t *testing.T) {
+	stats := ReadGoRuntime()
+	if stats.Goroutines <= 0 {
+		t.Fatalf("goroutines = %d", stats.Goroutines)
+	}
+	if stats.HeapBytes <= 0 {
+		t.Fatalf("heap bytes = %d", stats.HeapBytes)
+	}
+	gp := stats.GCPause
+	if len(gp.Bounds) == 0 || len(gp.Counts) != len(gp.Bounds)+1 {
+		t.Fatalf("GC pause snapshot malformed: %d bounds, %d counts", len(gp.Bounds), len(gp.Counts))
+	}
+	var total uint64
+	for _, c := range gp.Counts {
+		total += c
+	}
+	if total != gp.Count {
+		t.Fatalf("GC pause counts sum %d != Count %d", total, gp.Count)
+	}
+}

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanStore is the process flight recorder: a bounded ring of the most
+// recent spans, cheap enough to leave on in production. Writes use
+// TryLock — under contention a span is dropped and counted rather than
+// making the hot path wait, so the recorder can never become the
+// bottleneck it is meant to diagnose. A smaller secondary ring holds
+// retained traces (slow requests) that must survive ring pressure.
+type SpanStore struct {
+	mu   sync.Mutex
+	ring []Span
+	next int // ring write cursor
+	n    int // spans in ring (≤ len(ring))
+
+	// retained holds spans of traces pinned by Retain — slow-request
+	// traces survive even when the main ring has long since wrapped.
+	retained     []Span
+	retainedNext int
+	retainedN    int
+
+	added   atomic.Uint64
+	dropped atomic.Uint64
+}
+
+// DefaultSpanCapacity is the default flight-recorder size.
+const DefaultSpanCapacity = 4096
+
+// NewSpanStore returns a flight recorder holding the most recent
+// capacity spans (DefaultSpanCapacity when capacity <= 0), plus a
+// retained ring a quarter that size for pinned traces.
+func NewSpanStore(capacity int) *SpanStore {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	retained := capacity / 4
+	if retained < 64 {
+		retained = 64
+	}
+	return &SpanStore{
+		ring:     make([]Span, capacity),
+		retained: make([]Span, retained),
+	}
+}
+
+// add copies the span into the ring. Contended writes drop instead of
+// blocking.
+func (st *SpanStore) add(s *Span) {
+	if !st.mu.TryLock() {
+		st.dropped.Add(1)
+		return
+	}
+	st.ring[st.next] = *s
+	st.ring[st.next].ref = spanRef{}
+	st.next = (st.next + 1) % len(st.ring)
+	if st.n < len(st.ring) {
+		st.n++
+	}
+	st.mu.Unlock()
+	st.added.Add(1)
+}
+
+// AddSpan records an externally produced span (one shipped back from a
+// worker over the wire) into the recorder. Unlike the hot-path add it
+// waits for the lock — imports are rare and must not be lossy.
+func (st *SpanStore) AddSpan(s Span) {
+	s.ref = spanRef{}
+	st.mu.Lock()
+	st.ring[st.next] = s
+	st.next = (st.next + 1) % len(st.ring)
+	if st.n < len(st.ring) {
+		st.n++
+	}
+	st.mu.Unlock()
+	st.added.Add(1)
+}
+
+// Retain pins a trace: its spans currently in the main ring are copied
+// into the retained ring, where only other retained traces can evict
+// them. Used for slow requests, which must stay inspectable long after
+// ordinary traffic has wrapped the recorder.
+func (st *SpanStore) Retain(traceID string) {
+	if traceID == "" {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for i := 0; i < st.n; i++ {
+		s := &st.ring[st.ringIndex(i)]
+		if s.TraceID != traceID {
+			continue
+		}
+		st.retained[st.retainedNext] = *s
+		st.retainedNext = (st.retainedNext + 1) % len(st.retained)
+		if st.retainedN < len(st.retained) {
+			st.retainedN++
+		}
+	}
+}
+
+// ringIndex maps age order (0 = oldest live span) to a ring offset.
+func (st *SpanStore) ringIndex(i int) int {
+	return (st.next - st.n + i + len(st.ring)) % len(st.ring)
+}
+
+// TraceSpans returns every recorded span of the trace — main ring and
+// retained ring merged, deduplicated by span ID, ordered by start time.
+func (st *SpanStore) TraceSpans(traceID string) []Span {
+	if traceID == "" {
+		return nil
+	}
+	var out []Span
+	seen := make(map[uint64]bool)
+	st.mu.Lock()
+	for i := 0; i < st.n; i++ {
+		s := &st.ring[st.ringIndex(i)]
+		if s.TraceID == traceID && !seen[s.ID] {
+			seen[s.ID] = true
+			out = append(out, *s)
+		}
+	}
+	for i := 0; i < st.retainedN; i++ {
+		s := &st.retained[i]
+		if s.TraceID == traceID && !seen[s.ID] {
+			seen[s.ID] = true
+			out = append(out, *s)
+		}
+	}
+	st.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// TraceSummary is one trace as listed by Traces: identity plus the
+// shape of its root (or earliest) span.
+type TraceSummary struct {
+	TraceID  string        `json:"trace_id"`
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"-"`
+	Spans    int           `json:"spans"`
+	Error    bool          `json:"error,omitempty"`
+
+	// DurationMS mirrors Duration for the JSON form.
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// Traces summarizes the recorder's distinct traces, most recent first.
+// The summary's name and duration come from the trace's root span when
+// one is recorded (a span with no parent), else its longest span.
+func (st *SpanStore) Traces() []TraceSummary {
+	byTrace := make(map[string]*TraceSummary)
+	rooted := make(map[string]bool)
+	seen := make(map[uint64]bool) // a retained span may still sit in the main ring too
+	var order []string
+	collect := func(s *Span) {
+		if s.TraceID == "" || seen[s.ID] {
+			return
+		}
+		seen[s.ID] = true
+		sum := byTrace[s.TraceID]
+		if sum == nil {
+			sum = &TraceSummary{TraceID: s.TraceID, Name: s.Name, Start: s.Start, Duration: s.Duration}
+			byTrace[s.TraceID] = sum
+			order = append(order, s.TraceID)
+		}
+		sum.Spans++
+		if s.Error != "" {
+			sum.Error = true
+		}
+		if s.Start.Before(sum.Start) {
+			sum.Start = s.Start
+		}
+		// The root span names the trace; without one, the longest span
+		// is the best stand-in.
+		switch {
+		case s.Parent == 0:
+			rooted[s.TraceID] = true
+			sum.Name = s.Name
+			sum.Duration = s.Duration
+		case !rooted[s.TraceID] && s.Duration > sum.Duration:
+			sum.Name = s.Name
+			sum.Duration = s.Duration
+		}
+	}
+	st.mu.Lock()
+	for i := 0; i < st.retainedN; i++ {
+		collect(&st.retained[i])
+	}
+	for i := 0; i < st.n; i++ {
+		collect(&st.ring[st.ringIndex(i)])
+	}
+	st.mu.Unlock()
+	out := make([]TraceSummary, 0, len(order))
+	for _, id := range order {
+		sum := byTrace[id]
+		sum.DurationMS = float64(sum.Duration) / float64(time.Millisecond)
+		out = append(out, *sum)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	return out
+}
+
+// Record is the store-direct form of RecordSpan for callers that hold
+// the store but no recording context.
+func (st *SpanStore) Record(s Span) {
+	if s.ID == 0 {
+		s.ID = newSpanID()
+	}
+	st.AddSpan(s)
+}
+
+// Stats returns the recorder's lifetime added and dropped counts —
+// dropped feeds rp_obs_spans_dropped_total.
+func (st *SpanStore) Stats() (added, dropped uint64) {
+	return st.added.Load(), st.dropped.Load()
+}

@@ -32,6 +32,9 @@ type ShardStat struct {
 	Requests  uint64 `json:"requests"`
 	Failures  uint64 `json:"failures"`
 	Failovers uint64 `json:"failovers"`
+	// WireIdle is the number of idle pooled wire-transport connections
+	// parked for this shard (rp_cluster_wire_idle_conns).
+	WireIdle int `json:"wire_idle_conns"`
 }
 
 // ClusterStats are pool-level counters beyond the per-shard ones.

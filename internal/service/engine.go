@@ -280,6 +280,20 @@ func (e *Engine) SolveHistograms() (solve, queueWait map[string]obs.HistogramSna
 // share one backend computation; identical repeated requests are served
 // from the cache.
 func (e *Engine) Solve(ctx context.Context, req Request) (*Response, error) {
+	span := obs.StartLeaf(ctx, "engine.solve")
+	resp, err := e.solve(ctx, req)
+	if span != nil {
+		span.SetAttr("solver", req.Solver)
+		if resp != nil && resp.Cached {
+			span.SetAttr("cached", "true")
+		}
+		span.SetError(err)
+		span.End()
+	}
+	return resp, err
+}
+
+func (e *Engine) solve(ctx context.Context, req Request) (*Response, error) {
 	e.requests.Add(1)
 	e.mu.RLock()
 	closed := e.closed
@@ -452,7 +466,9 @@ func (e *Engine) run(j *job) {
 
 	// j.start was stamped at enqueue, so this is pure queue wait; the
 	// compute timer starts only now that a worker owns the job.
-	e.queueHist.Observe(j.solver.Name, time.Since(j.start))
+	wait := time.Since(j.start)
+	e.queueHist.Observe(j.solver.Name, wait)
+	obs.RecordSpan(j.ctx, "engine.queue_wait", j.start, wait, obs.Attr{Key: "solver", Value: j.solver.Name})
 
 	e.computations.Add(1)
 	computeStart := time.Now()

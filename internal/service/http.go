@@ -51,6 +51,15 @@ type HandlerOptions struct {
 	// SlowRequest is the latency threshold above which a completed
 	// request is logged at warn level. Zero disables the slow log.
 	SlowRequest time.Duration
+	// Spans, when set, is the process flight recorder: sampled requests
+	// record span trees into it, queried via GET /v1/traces/{id} and
+	// GET /debug/traces. Nil disables span tracing (the endpoints answer
+	// 501).
+	Spans *obs.SpanStore
+	// TraceSample is the fraction of requests recording spans (1 =
+	// every request, the default when Spans is set and TraceSample is
+	// 0). Slow requests are retained regardless of sampling.
+	TraceSample float64
 }
 
 // defaultInlineCampaigns is the /v1/campaign concurrency limit when
@@ -73,6 +82,8 @@ type api struct {
 	campaignSem chan struct{} // nil = unlimited
 	log         *slog.Logger
 	slowReq     time.Duration
+	spans       *obs.SpanStore
+	traceSample float64
 }
 
 // NewHandler returns the HTTP API served by cmd/rpserve, with default
@@ -119,9 +130,13 @@ func newAPI(e *Engine, opts HandlerOptions) *api {
 	}
 	a := &api{e: e, jobs: opts.Jobs, cluster: opts.Cluster,
 		secret: opts.ClusterSecret, wire: opts.Wire,
-		log: opts.Logger, slowReq: opts.SlowRequest}
+		log: opts.Logger, slowReq: opts.SlowRequest,
+		spans: opts.Spans, traceSample: opts.TraceSample}
 	if a.log == nil {
 		a.log = obs.NopLogger()
+	}
+	if a.traceSample == 0 {
+		a.traceSample = 1
 	}
 	if slots > 0 {
 		a.campaignSem = make(chan struct{}, slots)
@@ -175,6 +190,8 @@ func (a *api) routes() http.Handler {
 	mux.HandleFunc("GET /v1/cluster/shards", a.handleClusterList)
 	mux.HandleFunc("POST /v1/cluster/shards", a.handleClusterJoin)
 	mux.HandleFunc("DELETE /v1/cluster/shards", a.handleClusterLeave)
+	mux.HandleFunc("GET /v1/traces/{id}", a.handleTrace)
+	mux.HandleFunc("GET /debug/traces", a.handleTraceList)
 	if a.wire != nil {
 		mux.Handle("GET /v1/wire", a.wire)
 	}

@@ -2,7 +2,9 @@ package service
 
 import (
 	"log/slog"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/obs"
@@ -15,8 +17,16 @@ import (
 //     shards), a fresh one otherwise — carried in the request context
 //     and echoed on the response header before any handler runs, which
 //     is what lets writeError embed it in error bodies;
+//   - when a SpanStore is configured, sampled requests run under a root
+//     "http.request" span (child spans across the engine, router and
+//     wire transport hang off it), and an X-RP-Parent-Span header from
+//     an upstream coordinator splices this process's spans under the
+//     caller's tree;
 //   - requests slower than HandlerOptions.SlowRequest are logged at warn
-//     with method, path, status and duration;
+//     with method, path, status and duration, and their traces are
+//     retained in the flight recorder past ring pressure — an unsampled
+//     slow request still gets a synthetic root span, so every slow
+//     request is inspectable via /v1/traces/{id};
 //   - at debug level every request is logged the same way.
 func (a *api) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -25,21 +35,63 @@ func (a *api) instrument(next http.Handler) http.Handler {
 			id = obs.NewTraceID()
 		}
 		ctx := obs.WithTrace(r.Context(), id)
-		r = r.WithContext(ctx)
 		w.Header().Set(obs.TraceHeader, id)
+
+		sampled := a.spans != nil && sampleTrace(a.traceSample)
+		var root *obs.Span
+		if sampled {
+			ctx = obs.WithSpans(ctx, a.spans)
+			if parent := obs.ParseSpanID(r.Header.Get(obs.ParentSpanHeader)); parent != 0 {
+				ctx = obs.WithParentSpan(ctx, parent)
+			}
+			ctx, root = obs.StartSpan(ctx, "http.request")
+			root.SetAttr("method", r.Method)
+			root.SetAttr("path", r.URL.Path)
+		}
+		r = r.WithContext(ctx)
 
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
 		d := time.Since(start)
 
+		if root != nil {
+			root.SetAttr("status", strconv.Itoa(sw.status))
+			root.End()
+		}
+		slow := a.slowReq > 0 && d >= a.slowReq
+		if slow && a.spans != nil {
+			if !sampled {
+				// Sampling skipped this request, but slow requests must stay
+				// inspectable: give the trace a synthetic root after the fact.
+				a.spans.Record(obs.Span{
+					TraceID:  id,
+					Name:     "http.request",
+					Start:    start,
+					Duration: d,
+				})
+			}
+			a.spans.Retain(id)
+		}
 		switch {
-		case a.slowReq > 0 && d >= a.slowReq:
+		case slow:
 			a.log.LogAttrs(ctx, slog.LevelWarn, "slow request", requestAttrs(r, sw.status, d)...)
 		case a.log.Enabled(ctx, slog.LevelDebug):
 			a.log.LogAttrs(ctx, slog.LevelDebug, "request", requestAttrs(r, sw.status, d)...)
 		}
 	})
+}
+
+// sampleTrace decides whether a request records spans: rate ≥ 1 is
+// always, ≤ 0 never, otherwise a Bernoulli draw per request.
+func sampleTrace(rate float64) bool {
+	if rate >= 1 {
+		return true
+	}
+	if rate <= 0 {
+		return false
+	}
+	return rand.Float64() < rate
 }
 
 func requestAttrs(r *http.Request, status int, d time.Duration) []slog.Attr {

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/tree"
 )
 
@@ -33,6 +34,9 @@ type JobsOptions struct {
 	Kinds []jobs.Kind
 	// Logger receives the manager's job lifecycle logs (nil discards).
 	Logger *slog.Logger
+	// Spans, when set, records a span per job run into the process
+	// flight recorder; see jobs.Options.Spans.
+	Spans *obs.SpanStore
 }
 
 // NewJobsManager wires the async job subsystem for an engine: a file
@@ -64,6 +68,7 @@ func NewJobsManagerOpts(e *Engine, opts JobsOptions) (*jobs.Manager, error) {
 		Workers:   opts.Workers,
 		RetainFor: opts.RetainFor,
 		Logger:    opts.Logger,
+		Spans:     opts.Spans,
 	}, kinds...)
 }
 

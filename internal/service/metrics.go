@@ -86,6 +86,22 @@ func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.family("rp_engine_queue_wait_seconds", "histogram", "Time a request waited for a solver worker slot, per solver.")
 	p.histogramVec("rp_engine_queue_wait_seconds", "solver", queueHist)
 
+	rt := obs.ReadGoRuntime()
+	p.family("rp_go_goroutines", "gauge", "Live goroutines in the process.")
+	p.sample("rp_go_goroutines", "", float64(rt.Goroutines))
+	p.family("rp_go_heap_bytes", "gauge", "Bytes of live heap objects.")
+	p.sample("rp_go_heap_bytes", "", float64(rt.HeapBytes))
+	p.family("rp_go_gc_pause_seconds", "histogram", "Cumulative GC stop-the-world pause distribution.")
+	p.histogram("rp_go_gc_pause_seconds", "", rt.GCPause)
+
+	if a.spans != nil {
+		added, dropped := a.spans.Stats()
+		p.family("rp_obs_spans_recorded_total", "counter", "Spans recorded into the flight recorder.")
+		p.sample("rp_obs_spans_recorded_total", "", float64(added))
+		p.family("rp_obs_spans_dropped_total", "counter", "Spans dropped because the flight recorder was contended.")
+		p.sample("rp_obs_spans_dropped_total", "", float64(dropped))
+	}
+
 	if js := a.jobStats(); js != nil {
 		p.family("rp_jobs", "gauge", "Async jobs by state.")
 		for _, s := range []struct {
@@ -162,6 +178,10 @@ func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.family("rp_cluster_shard_failovers_total", "counter", "Requests re-run on another shard after failing here.")
 		for _, s := range shards {
 			p.sample("rp_cluster_shard_failovers_total", shardLabel(s.Addr), float64(s.Failovers))
+		}
+		p.family("rp_cluster_wire_idle_conns", "gauge", "Idle pooled wire-transport connections to the shard.")
+		for _, s := range shards {
+			p.sample("rp_cluster_wire_idle_conns", shardLabel(s.Addr), float64(s.WireIdle))
 		}
 		if lat, ok := a.cluster.(ClusterLatencies); ok {
 			h := lat.ClusterHistograms()

@@ -20,7 +20,7 @@ type fakeCluster struct{}
 
 func (fakeCluster) ShardStats() []ShardStat {
 	return []ShardStat{
-		{Addr: "http://w1:1", State: "closed", Healthy: true, Requests: 9},
+		{Addr: "http://w1:1", State: "closed", Healthy: true, Requests: 9, WireIdle: 5},
 		{Addr: "http://w2:2", State: "open", Failures: 4, Failovers: 3},
 	}
 }
@@ -190,6 +190,17 @@ func TestHTTPMetrics(t *testing.T) {
 		t.Errorf("rp_jobs_duration_seconds count = %g, want 0", got)
 	}
 
+	// Go runtime families ride every exposition: live gauges plus a GC
+	// pause histogram that satisfies the parser's bucket invariants even
+	// before the first collection.
+	if got := sampleValue(t, fams, "rp_go_goroutines", nil); got < 1 {
+		t.Errorf("rp_go_goroutines = %g, want >= 1", got)
+	}
+	if got := sampleValue(t, fams, "rp_go_heap_bytes", nil); got <= 0 {
+		t.Errorf("rp_go_heap_bytes = %g, want > 0", got)
+	}
+	histogramCount(t, fams, "rp_go_gc_pause_seconds", "", "")
+
 	// With a cluster attached the per-shard families appear, including
 	// the three cluster latency histograms — five histogram families on
 	// one exposition, all passing the parser's bucket invariants.
@@ -206,6 +217,8 @@ func TestHTTPMetrics(t *testing.T) {
 		{"rp_cluster_shard_requests_total", map[string]string{"shard": "http://w1:1"}, 9},
 		{"rp_cluster_shard_failures_total", map[string]string{"shard": "http://w2:2"}, 4},
 		{"rp_cluster_shard_failovers_total", map[string]string{"shard": "http://w2:2"}, 3},
+		{"rp_cluster_wire_idle_conns", map[string]string{"shard": "http://w1:1"}, 5},
+		{"rp_cluster_wire_idle_conns", map[string]string{"shard": "http://w2:2"}, 0},
 	} {
 		if got := sampleValue(t, cfams, tc.family, tc.labels); got != tc.want {
 			t.Errorf("%s%v = %g, want %g", tc.family, tc.labels, got, tc.want)
@@ -242,5 +255,24 @@ func TestHTTPMetrics(t *testing.T) {
 	}
 	if _, ok := bfams["rp_engine_requests_total"]; !ok {
 		t.Error("engine families missing without a manager")
+	}
+	if _, ok := bfams["rp_obs_spans_recorded_total"]; ok {
+		t.Error("span counters served without a flight recorder")
+	}
+
+	// With a flight recorder attached the span accounting counters
+	// appear, and a sampled request moves them.
+	spans := obs.NewSpanStore(256)
+	ts := httptest.NewServer(NewHandlerOpts(e, HandlerOptions{Spans: spans}))
+	defer ts.Close()
+	resp := postJSON(t, ts.URL+"/v1/solve", map[string]any{"instance": testInstance(t), "solver": "mb"})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	sfams := scrape(t, ts.URL)
+	if got := sampleValue(t, sfams, "rp_obs_spans_recorded_total", nil); got < 1 {
+		t.Errorf("rp_obs_spans_recorded_total = %g after a sampled request, want >= 1", got)
+	}
+	if got := sampleValue(t, sfams, "rp_obs_spans_dropped_total", nil); got != 0 {
+		t.Errorf("rp_obs_spans_dropped_total = %g, want 0 under zero contention", got)
 	}
 }

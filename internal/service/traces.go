@@ -1,0 +1,136 @@
+package service
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// errTracingDisabled answers the trace endpoints on a daemon running
+// without a flight recorder.
+var errTracingDisabled = errors.New("service: span tracing is not enabled (start the daemon with a trace buffer)")
+
+// traceNode is one span in the assembled tree returned by
+// GET /v1/traces/{id}: the span itself plus its children, recursively,
+// ordered by start time.
+type traceNode struct {
+	Span     obs.Span    `json:"span"`
+	Children []traceNode `json:"children,omitempty"`
+}
+
+// tracePayload is the GET /v1/traces/{id} response: one trace
+// assembled into a forest of span trees. A fully stitched distributed
+// trace has a single root (the coordinator's http.request span);
+// orphans — spans whose parent was dropped under ring pressure, or
+// arrived from a worker before tracing saw the parent — surface as
+// additional roots rather than disappearing.
+type tracePayload struct {
+	TraceID string      `json:"trace_id"`
+	Spans   int         `json:"spans"`
+	Roots   []traceNode `json:"roots"`
+}
+
+// assembleTrace builds the span forest: children under their parents,
+// unknown parents promoted to roots, everything ordered by start time.
+func assembleTrace(traceID string, spans []obs.Span) tracePayload {
+	byID := make(map[uint64]bool, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = true
+	}
+	children := make(map[uint64][]obs.Span)
+	var rootSpans []obs.Span
+	for _, s := range spans {
+		if s.Parent != 0 && byID[s.Parent] {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			rootSpans = append(rootSpans, s)
+		}
+	}
+	var build func(s obs.Span) traceNode
+	build = func(s obs.Span) traceNode {
+		kids := children[s.ID]
+		node := traceNode{Span: s}
+		for _, k := range kids {
+			node.Children = append(node.Children, build(k))
+		}
+		return node
+	}
+	out := tracePayload{TraceID: traceID, Spans: len(spans)}
+	for _, s := range rootSpans {
+		out.Roots = append(out.Roots, build(s))
+	}
+	return out
+}
+
+// handleTrace serves GET /v1/traces/{id}: the assembled span tree of
+// one trace from the flight recorder.
+func (a *api) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if a.spans == nil {
+		writeError(w, http.StatusNotImplemented, errTracingDisabled)
+		return
+	}
+	id := obs.SanitizeTraceID(r.PathValue("id"))
+	if id == "" {
+		writeError(w, http.StatusBadRequest, errors.New("service: malformed trace id"))
+		return
+	}
+	spans := a.spans.TraceSpans(id)
+	if len(spans) == 0 {
+		writeError(w, http.StatusNotFound, errors.New("service: trace not found (expired from the flight recorder, or never sampled)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, assembleTrace(id, spans))
+}
+
+// handleTraceList serves GET /debug/traces?min_ms=&name=&limit=: recent
+// traces from the flight recorder, most recent first.
+func (a *api) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	if a.spans == nil {
+		writeError(w, http.StatusNotImplemented, errTracingDisabled)
+		return
+	}
+	q := r.URL.Query()
+	minMS := 0.0
+	if v := q.Get("min_ms"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 {
+			writeError(w, http.StatusBadRequest, errors.New("service: bad min_ms"))
+			return
+		}
+		minMS = f
+	}
+	limit := 100
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, errors.New("service: bad limit"))
+			return
+		}
+		limit = n
+	}
+	name := q.Get("name")
+
+	traces := a.spans.Traces()
+	out := make([]obs.TraceSummary, 0, limit)
+	for _, tr := range traces {
+		if tr.Duration < time.Duration(minMS*float64(time.Millisecond)) {
+			continue
+		}
+		if name != "" && tr.Name != name {
+			continue
+		}
+		out = append(out, tr)
+		if len(out) >= limit {
+			break
+		}
+	}
+	added, dropped := a.spans.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"traces":        out,
+		"spans_added":   added,
+		"spans_dropped": dropped,
+	})
+}

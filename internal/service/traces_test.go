@@ -1,0 +1,246 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// tracedSolve posts one /v1/solve under the given trace ID.
+func tracedSolve(t *testing.T, url, trace string) {
+	t.Helper()
+	data, err := json.Marshal(map[string]any{"instance": testInstance(t), "solver": "mb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/solve", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(obs.TraceHeader, trace)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: status %d", resp.StatusCode)
+	}
+}
+
+// getTrace polls GET /v1/traces/{id} until the root http.request span
+// lands (the middleware ends it a hair after the response body).
+func getTrace(t *testing.T, url, trace string) tracePayload {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url + "/v1/traces/" + trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tree tracePayload
+		ok := resp.StatusCode == http.StatusOK
+		if ok {
+			if err := json.NewDecoder(resp.Body).Decode(&tree); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			io.Copy(io.Discard, resp.Body)
+		}
+		resp.Body.Close()
+		if ok && len(tree.Roots) > 0 && tree.Roots[0].Span.Name == "http.request" {
+			return tree
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s never assembled (last status ok=%v, roots=%d)", trace, ok, len(tree.Roots))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestTraceHTTPEndpoints covers the trace query surface: 501 without a
+// flight recorder, 400/404 contracts, the assembled tree for a sampled
+// request, and the /debug/traces filters.
+func TestTraceHTTPEndpoints(t *testing.T) {
+	e := newTestEngine(t, EngineOptions{Workers: 2})
+
+	// No flight recorder: the endpoints exist but answer 501.
+	bare := httptest.NewServer(NewHandler(e))
+	defer bare.Close()
+	for _, path := range []string{"/v1/traces/some-id", "/debug/traces"} {
+		if code := getStatus(t, bare.URL+path); code != http.StatusNotImplemented {
+			t.Fatalf("GET %s without tracing: status %d, want 501", path, code)
+		}
+	}
+
+	spans := obs.NewSpanStore(512)
+	srv := httptest.NewServer(NewHandlerOpts(e, HandlerOptions{Spans: spans}))
+	defer srv.Close()
+
+	const trace = "endpoint-trace-01"
+	tracedSolve(t, srv.URL, trace)
+
+	tree := getTrace(t, srv.URL, trace)
+	if tree.TraceID != trace {
+		t.Fatalf("trace_id = %q, want %q", tree.TraceID, trace)
+	}
+	if len(tree.Roots) != 1 {
+		t.Fatalf("%d roots, want 1 (every span parents into http.request)", len(tree.Roots))
+	}
+	names := map[string]int{}
+	var walk func(n traceNode)
+	walk = func(n traceNode) {
+		names[n.Span.Name]++
+		if n.Span.TraceID != trace {
+			t.Fatalf("span %s trace = %q", n.Span.Name, n.Span.TraceID)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range tree.Roots {
+		walk(r)
+	}
+	if names["engine.solve"] != 1 || names["engine.queue_wait"] != 1 {
+		t.Fatalf("span names = %v, want engine.solve and engine.queue_wait under the root", names)
+	}
+
+	// Contract errors: malformed ID, unknown ID.
+	if code := getStatus(t, srv.URL+"/v1/traces/bad%20id"); code != http.StatusBadRequest {
+		t.Fatalf("malformed trace id: status %d, want 400", code)
+	}
+	if code := getStatus(t, srv.URL+"/v1/traces/nosuchtrace"); code != http.StatusNotFound {
+		t.Fatalf("unknown trace id: status %d, want 404", code)
+	}
+
+	// The index lists the trace; the filters can hide it.
+	var list struct {
+		Traces      []obs.TraceSummary `json:"traces"`
+		SpansAdded  uint64             `json:"spans_added"`
+		SpansDroppd uint64             `json:"spans_dropped"`
+	}
+	listWith := func(query string) int {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/debug/traces" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /debug/traces%s: status %d", query, resp.StatusCode)
+		}
+		list.Traces = nil
+		if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+			t.Fatal(err)
+		}
+		hits := 0
+		for _, tr := range list.Traces {
+			if tr.TraceID == trace {
+				hits++
+				if tr.Name != "http.request" {
+					t.Fatalf("summary name = %q, want the root span name", tr.Name)
+				}
+			}
+		}
+		return hits
+	}
+	if got := listWith(""); got != 1 {
+		t.Fatalf("unfiltered list shows the trace %d times, want 1", got)
+	}
+	if list.SpansAdded == 0 {
+		t.Fatal("spans_added = 0 after a recorded trace")
+	}
+	if got := listWith("?name=http.request"); got != 1 {
+		t.Fatalf("name=http.request filter hid the trace (hits %d)", got)
+	}
+	if got := listWith("?name=no.such.span"); got != 0 {
+		t.Fatalf("name filter passed a non-matching trace (%d hits)", got)
+	}
+	if got := listWith("?min_ms=60000"); got != 0 {
+		t.Fatalf("min_ms=60000 kept a sub-minute trace (%d hits)", got)
+	}
+	for _, q := range []string{"?min_ms=abc", "?min_ms=-1", "?limit=0", "?limit=x"} {
+		if code := getStatus(t, srv.URL+"/debug/traces"+q); code != http.StatusBadRequest {
+			t.Fatalf("GET /debug/traces%s: status %d, want 400", q, code)
+		}
+	}
+}
+
+// TestSlowRequestAlwaysTraced: with sampling effectively off, a request
+// slower than -slow-request still lands in the flight recorder — as a
+// synthetic root span — and survives ring pressure via the retained
+// ring.
+func TestSlowRequestAlwaysTraced(t *testing.T) {
+	e := newTestEngine(t, EngineOptions{Workers: 2})
+	spans := obs.NewSpanStore(64)
+	srv := httptest.NewServer(NewHandlerOpts(e, HandlerOptions{
+		Spans:       spans,
+		TraceSample: -1, // never sample
+		SlowRequest: time.Nanosecond,
+	}))
+	defer srv.Close()
+
+	const trace = "slow-req-trace"
+	tracedSolve(t, srv.URL, trace)
+
+	tree := getTrace(t, srv.URL, trace)
+	if len(tree.Roots) != 1 || tree.Spans != 1 {
+		t.Fatalf("slow unsampled request recorded %d spans in %d roots, want the 1 synthetic root",
+			tree.Spans, len(tree.Roots))
+	}
+	root := tree.Roots[0].Span
+	if root.Duration <= 0 {
+		t.Fatal("synthetic root span carries no duration")
+	}
+}
+
+// TestSolveCacheHitSpanZeroAlloc pins the observability tax on the
+// hottest path: a cache-hit Solve under a recording trace context must
+// allocate nothing beyond what the untraced hit already does.
+func TestSolveCacheHitSpanZeroAlloc(t *testing.T) {
+	e := newTestEngine(t, EngineOptions{Workers: 2})
+	req := Request{Instance: testInstance(t), Solver: "mb"}
+	if _, err := e.Solve(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := e.Solve(context.Background(), req)
+	if err != nil || !resp.Cached {
+		t.Fatalf("second solve not a cache hit (err %v, cached %v)", err, resp != nil && resp.Cached)
+	}
+
+	base := testing.AllocsPerRun(500, func() {
+		if _, err := e.Solve(context.Background(), req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	store := obs.NewSpanStore(4096)
+	ctx := obs.WithSpans(obs.WithTrace(context.Background(), "alloc-pin"), store)
+	traced := testing.AllocsPerRun(500, func() {
+		if _, err := e.Solve(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if traced > base {
+		t.Fatalf("cache-hit allocs grew from %.1f to %.1f under tracing; the span fast path must be alloc-free", base, traced)
+	}
+}
