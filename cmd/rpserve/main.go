@@ -56,6 +56,11 @@
 //	GET  /v1/jobs      list jobs (?limit=&after= paginates with a "next" cursor)
 //	GET  /v1/jobs/{id}[/result] and DELETE /v1/jobs/{id}
 //	GET  /v1/worker/ping  lightweight liveness probe for shard pools
+//	GET  /v1/cluster/metrics  one merged Prometheus exposition for the
+//	                   whole cluster (coordinator modes; every series
+//	                   carries a shard label)
+//	GET  /v1/alerts    SLO verdict, budgets, burn rates, firing alerts
+//	GET  /debug/events cluster event journal (?type=&since=&limit=)
 //
 // With -jobs-dir, jobs are persisted (manifest + append-only row log
 // per job) and survive restarts: a job interrupted by shutdown resumes
@@ -127,6 +132,11 @@ func main() {
 		pprofOn      = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		traceSample  = flag.Float64("trace-sample", 1.0, "fraction of requests recording span traces (slow requests are always retained)")
 		traceBuffer  = flag.Int("trace-buffer", obs.DefaultSpanCapacity, "spans held in the in-process flight recorder (0 = default, negative disables tracing)")
+		eventBuffer  = flag.Int("event-buffer", obs.DefaultEventCapacity, "cluster events held in the in-process journal at /debug/events (0 = default, negative disables)")
+		sloAvail     = flag.Float64("slo-availability", 0, "availability objective as a success ratio, e.g. 0.999 (0 disables the availability SLO)")
+		sloLatency   = flag.Duration("slo-latency-p99", 0, "latency objective: 99% of SLO-counted requests finish within this duration (0 disables the latency SLO)")
+		sloWindow    = flag.Duration("slo-window", 6*time.Hour, "SLO error-budget window (also the longest burn-rate lookback)")
+		federateInt  = flag.Duration("federate-interval", 5*time.Second, "coordinator mode: per-shard /metrics scrape period feeding GET /v1/cluster/metrics (negative disables federation)")
 	)
 	flag.Parse()
 	level, err := obs.ParseLevel(*logLevel)
@@ -138,6 +148,23 @@ func main() {
 		fatalf("%v", err)
 	}
 	logger = logger.With("daemon", "rpserve")
+
+	// Control-plane state shared across the layers: the event journal
+	// (membership, circuit, wire, job and alert transitions; served at
+	// /debug/events) and the SLO burn-rate engine (fed by the request
+	// middleware, surfaced via /v1/alerts, /metrics and the /healthz
+	// verdict). Both are nil-safe everywhere they are handed to.
+	var events *obs.EventRing
+	if *eventBuffer >= 0 {
+		events = obs.NewEventRing(*eventBuffer, logger)
+	}
+	slo := obs.NewSLO(obs.SLOOptions{
+		Availability: *sloAvail,
+		LatencyP99:   *sloLatency,
+		Window:       *sloWindow,
+		Events:       events,
+	})
+
 	coordMode := *shards != "" || *shardsFile != "" || *coordinator
 	if *worker {
 		if coordMode {
@@ -173,6 +200,8 @@ func main() {
 			DisableWire:        !*wireOn,
 			RouteCacheSize:     *routeCache,
 			RouteCacheMaxBytes: *routeCacheB,
+			FederateInterval:   *federateInt,
+			Events:             events,
 			Logger:             logger,
 		})
 		if err != nil {
@@ -221,6 +250,8 @@ func main() {
 		SlowRequest:        *slowReq,
 		Spans:              spans,
 		TraceSample:        *traceSample,
+		SLO:                slo,
+		Events:             events,
 	}
 	var wireSrv *wire.Server
 	if *wireOn {
@@ -249,6 +280,7 @@ func main() {
 			Kinds:     kinds,
 			Logger:    logger,
 			Spans:     spans,
+			Events:    events,
 		})
 		if err != nil {
 			fatalf("opening job store: %v", err)

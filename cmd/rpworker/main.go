@@ -75,6 +75,7 @@ func main() {
 		pprofOn     = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		traceSample = flag.Float64("trace-sample", 1.0, "fraction of requests recording span traces (slow requests are always retained)")
 		traceBuffer = flag.Int("trace-buffer", obs.DefaultSpanCapacity, "spans held in the in-process flight recorder (0 = default, negative disables tracing)")
+		eventBuffer = flag.Int("event-buffer", obs.DefaultEventCapacity, "events held in the in-process journal at /debug/events (0 = default, negative disables)")
 	)
 	flag.Parse()
 	level, err := obs.ParseLevel(*logLevel)
@@ -103,12 +104,17 @@ func main() {
 	if *traceBuffer >= 0 {
 		spans = obs.NewSpanStore(*traceBuffer)
 	}
+	var events *obs.EventRing
+	if *eventBuffer >= 0 {
+		events = obs.NewEventRing(*eventBuffer, logger)
+	}
 	handlerOpts := service.HandlerOptions{
 		MaxInlineCampaigns: -1,
 		Logger:             logger,
 		SlowRequest:        *slowReq,
 		Spans:              spans,
 		TraceSample:        *traceSample,
+		Events:             events,
 	}
 	var wireSrv *wire.Server
 	if *wireOn {

@@ -35,6 +35,26 @@
 //	    assemble coordinator spans (http.request, cluster.route_batch,
 //	    cluster.wire_exchange) and worker spans shipped back over the
 //	    wire (wire.batch, engine.solve) under the client's trace ID.
+//
+//	obscheck federate URL [SHARDS]
+//	    GET URL/v1/cluster/metrics — the coordinator's merged cluster
+//	    exposition — and strictly parse it. Every series must carry a
+//	    `shard` label; with SHARDS given, retry briefly until exactly
+//	    that many distinct non-coordinator shard values are present
+//	    (the federation cache fills one scrape interval after a worker
+//	    joins, and a killed worker's series leave with its membership).
+//
+//	obscheck alerts URL [VERDICT]
+//	    GET URL/v1/alerts and print the SLO verdict plus any firing
+//	    alerts. With VERDICT given (ok|degraded|critical), retry
+//	    briefly until the verdict matches — run.sh uses it to pin that
+//	    a latency-SLO breach flips the daemon to "degraded".
+//
+//	obscheck event URL TYPE
+//	    GET URL/debug/events?type=TYPE and fail unless at least one
+//	    matching event is journaled, retrying briefly (membership
+//	    expiry lands a probe interval after the kill). Prints the
+//	    newest matching event.
 package main
 
 import (
@@ -109,8 +129,41 @@ func main() {
 			fail("obscheck assert: %s: %s = %g, want >= %g", args[0], args[1], total, min)
 		}
 		fmt.Printf("obscheck: %s: %s = %g (>= %g)\n", args[0], args[1], total, min)
+	case "federate":
+		if len(args) != 1 && len(args) != 2 {
+			fail("obscheck federate: want URL [SHARDS]")
+		}
+		want := -1
+		if len(args) == 2 {
+			n, err := strconv.Atoi(args[1])
+			if err != nil || n < 0 {
+				fail("obscheck federate: bad shard count %q", args[1])
+			}
+			want = n
+		}
+		if err := checkFederation(args[0], want); err != nil {
+			fail("obscheck federate: %s: %v", args[0], err)
+		}
+	case "alerts":
+		if len(args) != 1 && len(args) != 2 {
+			fail("obscheck alerts: want URL [VERDICT]")
+		}
+		verdict := ""
+		if len(args) == 2 {
+			verdict = args[1]
+		}
+		if err := checkAlerts(args[0], verdict); err != nil {
+			fail("obscheck alerts: %s: %v", args[0], err)
+		}
+	case "event":
+		if len(args) != 2 {
+			fail("obscheck event: want URL TYPE")
+		}
+		if err := checkEvent(args[0], args[1]); err != nil {
+			fail("obscheck event: %s: %v", args[0], err)
+		}
 	default:
-		fail("obscheck: unknown mode %q (want logs|metrics|latency|assert|trace)", mode)
+		fail("obscheck: unknown mode %q (want logs|metrics|latency|assert|trace|federate|alerts|event)", mode)
 	}
 }
 
@@ -282,6 +335,154 @@ func checkTrace(url, id string, names []string) error {
 			fmt.Println()
 			return nil
 		}
+	}
+	return lastErr
+}
+
+// checkFederation fetches the merged cluster exposition, parses it with
+// the same strict parser /metrics goes through, and requires a `shard`
+// label on every single series. want < 0 checks shape only; otherwise
+// the set of distinct non-coordinator shard values must reach exactly
+// want, retried briefly because the probe loop fills (and empties) the
+// federation cache asynchronously.
+func checkFederation(url string, want int) error {
+	var lastErr error
+	for attempt := 0; attempt < 50; attempt++ {
+		if attempt > 0 {
+			time.Sleep(100 * time.Millisecond)
+		}
+		resp, err := http.Get(url + "/v1/cluster/metrics")
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("GET /v1/cluster/metrics: status %d", resp.StatusCode)
+			continue
+		}
+		fams, err := obs.ParseExposition(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			// A malformed merge is a bug, not a timing artifact.
+			return fmt.Errorf("merged exposition invalid: %w", err)
+		}
+		shards := map[string]bool{}
+		samples := 0
+		lastErr = nil
+		for _, f := range fams {
+			for _, s := range f.Samples {
+				samples++
+				v := s.Label("shard")
+				if v == "" {
+					return fmt.Errorf("series %s has no shard label", s.Name)
+				}
+				if v != "coordinator" {
+					shards[v] = true
+				}
+			}
+		}
+		if want >= 0 && len(shards) != want {
+			names := make([]string, 0, len(shards))
+			for s := range shards {
+				names = append(names, s)
+			}
+			sort.Strings(names)
+			lastErr = fmt.Errorf("%d federated shard(s) %v, want %d", len(shards), names, want)
+			continue
+		}
+		fmt.Printf("obscheck: %s/v1/cluster/metrics: %d families, %d samples, %d federated shard(s), every series shard-labeled\n",
+			url, len(fams), samples, len(shards))
+		return nil
+	}
+	return lastErr
+}
+
+// checkAlerts fetches the SLO evaluation. With a wanted verdict it
+// retries briefly — the burn windows move one observation interval at a
+// time, so a just-breached daemon may need a beat to flip.
+func checkAlerts(url, want string) error {
+	var lastErr error
+	for attempt := 0; attempt < 50; attempt++ {
+		if attempt > 0 {
+			time.Sleep(100 * time.Millisecond)
+		}
+		resp, err := http.Get(url + "/v1/alerts")
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("GET /v1/alerts: status %d", resp.StatusCode)
+			continue
+		}
+		var st struct {
+			Verdict string `json:"verdict"`
+			Firing  []struct {
+				Name     string `json:"name"`
+				Severity string `json:"severity"`
+			} `json:"firing"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if want != "" && st.Verdict != want {
+			lastErr = fmt.Errorf("verdict %q, want %q (%d alert(s) firing)", st.Verdict, want, len(st.Firing))
+			continue
+		}
+		names := make([]string, 0, len(st.Firing))
+		for _, a := range st.Firing {
+			names = append(names, a.Name+"/"+a.Severity)
+		}
+		fmt.Printf("obscheck: %s/v1/alerts: verdict %s, firing %v\n", url, st.Verdict, names)
+		return nil
+	}
+	return lastErr
+}
+
+// checkEvent requires at least one journaled event of the given type,
+// retrying briefly: shard expiry, for instance, lands only after the
+// probe loop has missed enough pings.
+func checkEvent(url, typ string) error {
+	var lastErr error
+	for attempt := 0; attempt < 100; attempt++ {
+		if attempt > 0 {
+			time.Sleep(100 * time.Millisecond)
+		}
+		resp, err := http.Get(url + "/debug/events?type=" + typ)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("GET /debug/events: status %d", resp.StatusCode)
+			continue
+		}
+		var body struct {
+			Events []struct {
+				Type    string            `json:"type"`
+				Msg     string            `json:"msg"`
+				TraceID string            `json:"trace_id"`
+				Attrs   map[string]string `json:"attrs"`
+			} `json:"events"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if len(body.Events) == 0 {
+			lastErr = fmt.Errorf("no %q events journaled", typ)
+			continue
+		}
+		last := body.Events[len(body.Events)-1]
+		fmt.Printf("obscheck: %s/debug/events: %d %q event(s), newest: %s %v\n",
+			url, len(body.Events), typ, last.Msg, last.Attrs)
+		return nil
 	}
 	return lastErr
 }

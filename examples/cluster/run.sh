@@ -40,8 +40,17 @@
 # exposition parser, and prints a per-shard latency summary from the
 # rp_cluster_shard_rtt_seconds histograms.
 #
+# The default mode also walks the cluster control plane: one scrape of
+# GET /v1/cluster/metrics must cover every live shard (validated by the
+# strict parser, every series shard-labeled), a hot-joined worker must
+# enter the federation and — after a SIGKILL — expire back out of it
+# with a shard_expired event in /debug/events, and a dedicated daemon
+# with a deliberately impossible latency SLO must flip /healthz to
+# "degraded" with a burn-rate alert firing in /v1/alerts.
+#
 # Needs only bash + curl (+ go to build). Ports via W1_PORT/W2_PORT/
-# COORD_PORT/SINGLE_PORT (defaults 18081/18082/18080/18083).
+# COORD_PORT/SINGLE_PORT/W3_PORT/SLO_PORT (defaults 18081/18082/18080/
+# 18083/18084/18085).
 set -euo pipefail
 
 cd "$(dirname "$0")/../.."
@@ -50,6 +59,8 @@ W1_PORT=${W1_PORT:-18081}
 W2_PORT=${W2_PORT:-18082}
 COORD_PORT=${COORD_PORT:-18080}
 SINGLE_PORT=${SINGLE_PORT:-18083}
+W3_PORT=${W3_PORT:-18084}
+SLO_PORT=${SLO_PORT:-18085}
 KILL_WORKER=${KILL_WORKER:-0}
 JOIN_WORKER=${JOIN_WORKER:-0}
 SECRET=${SECRET:-walkthrough-secret}
@@ -121,6 +132,7 @@ else
   say "starting the coordinator (:$COORD_PORT) over both shards"
   "$BIN/rpserve" -addr "127.0.0.1:$COORD_PORT" \
     -shards "127.0.0.1:$W1_PORT,127.0.0.1:$W2_PORT" -cluster-secret "$SECRET" \
+    -federate-interval 300ms -shard-expire 2 \
     -jobs-dir "$JOBS_DIR" -job-ttl 24h "${OBS_FLAGS[@]}" 2>"$LOGS/coord.log" &
   PIDS+=("$!")
 fi
@@ -229,6 +241,43 @@ say "per-shard latency summary from the coordinator's histograms"
 say "scraping /metrics through the strict exposition parser"
 "$BIN/obscheck" metrics "$COORD" "http://127.0.0.1:$W2_PORT"
 
+if [ "$KILL_WORKER" = "0" ] && [ "$JOIN_WORKER" = "0" ]; then
+  say "federated cluster metrics: one scrape must cover both shards"
+  "$BIN/obscheck" federate "$COORD" 2
+
+  say "hot-joining worker 3 (:$W3_PORT): it must enter the federation"
+  "$BIN/rpworker" -addr "127.0.0.1:$W3_PORT" \
+    -register "$COORD" -advertise "127.0.0.1:$W3_PORT" -register-interval 1s \
+    -cluster-secret "$SECRET" "${OBS_FLAGS[@]}" 2>"$LOGS/w3.log" &
+  W3_PID=$!; PIDS+=("$W3_PID")
+  "$BIN/obscheck" federate "$COORD" 3
+  "$BIN/obscheck" event "$COORD" shard_joined
+
+  say "SIGKILLing worker 3: it must expire out of membership and federation"
+  kill -9 "$W3_PID"
+  "$BIN/obscheck" event "$COORD" shard_expired
+  "$BIN/obscheck" federate "$COORD" 2
+
+  say "latency-SLO breach on a dedicated daemon (:$SLO_PORT, p99 objective 100µs)"
+  "$BIN/rpserve" -addr "127.0.0.1:$SLO_PORT" \
+    -slo-availability 0.999 -slo-latency-p99 100us \
+    "${OBS_FLAGS[@]}" 2>"$LOGS/slo.log" &
+  PIDS+=("$!")
+  SLO="http://127.0.0.1:$SLO_PORT"
+  wait_ready "$SLO"
+  "$BIN/obscheck" alerts "$SLO" ok
+  say "20 solves against a 100µs objective: the burn rate must page"
+  for _ in $(seq 1 20); do
+    curl -sf "$SLO/v1/solve" -d "{\"instance\":$INSTANCE,\"solver\":\"optimal\"}" >/dev/null
+  done
+  "$BIN/obscheck" alerts "$SLO" degraded
+  "$BIN/obscheck" event "$SLO" alert_fired
+  "$BIN/obscheck" assert "$SLO" rp_slo_alerts_firing 1
+  curl -sf "$SLO/healthz" | grep -q '"status":"degraded"' ||
+    { echo "healthz verdict did not degrade under a breached latency SLO" >&2; exit 1; }
+  say "healthz reports degraded, alert journaled and exported"
+fi
+
 say "running the same campaign on a single-process rpserve (:$SINGLE_PORT)"
 "$BIN/rpserve" -addr "127.0.0.1:$SINGLE_PORT" "${OBS_FLAGS[@]}" 2>"$LOGS/single.log" &
 PIDS+=("$!")
@@ -261,7 +310,7 @@ curl -sf "$COORD/healthz" | tr ',' '\n' | grep -E '"addr"|"state"|"failovers"' |
 say "validating structured JSON logs"
 LOG_FILES=("$LOGS/coord.log" "$LOGS/single.log")
 if [ "$KILL_WORKER" = "0" ] && [ "$JOIN_WORKER" = "0" ]; then
-  LOG_FILES+=("$LOGS/w1.log")
+  LOG_FILES+=("$LOGS/w1.log" "$LOGS/slo.log")
 fi
 [ -f "$LOGS/w2.log" ] && LOG_FILES+=("$LOGS/w2.log")
 "$BIN/obscheck" logs "${LOG_FILES[@]}"

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// federateStaleFactor: a shard whose last good scrape is older than
+// this many FederateIntervals ages out of the federated merge — its
+// numbers describe a worker that has stopped answering, and serving
+// them would make a dead shard look alive to whatever scrapes the
+// coordinator.
+const federateStaleFactor = 3
+
+// maybeFederate scrapes the shard's /metrics into its federation cache
+// when the cached copy is due for refresh. Called from the probe loop
+// after a successful ping, so a dead shard never delays the sweep with
+// a second timeout.
+func (p *Pool) maybeFederate(s *shard) {
+	if p.opts.FederateInterval <= 0 {
+		return
+	}
+	s.fedMu.Lock()
+	due := time.Since(s.fedAt) >= p.opts.FederateInterval
+	s.fedMu.Unlock()
+	if !due {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := p.scrapeMetrics(ctx, s); err != nil {
+		// The stale cache ages out on its own; a scrape failure right
+		// after a successful ping is worth a log line, not a breaker.
+		p.log.Debug("shard metrics scrape failed", "shard", s.addr, "error", err)
+	}
+}
+
+// scrapeMetrics fetches one shard's /metrics and strictly validates it
+// with obs.ParseExposition before caching — a malformed exposition is
+// rejected here so the federated merge can never propagate it.
+func (p *Pool) scrapeMetrics(ctx context.Context, s *shard) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.addr+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.opts.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	fams, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		return fmt.Errorf("invalid exposition: %w", err)
+	}
+	s.fedMu.Lock()
+	s.fedFams = fams
+	s.fedAt = time.Now()
+	s.fedMu.Unlock()
+	return nil
+}
+
+// FederatedExpositions implements service.MetricsFederator: the cached
+// parsed exposition of every current member with a fresh-enough scrape.
+// Members that left (or were expired) drop out with the membership
+// itself; members that stopped answering age out after
+// federateStaleFactor scrape intervals.
+func (p *Pool) FederatedExpositions() []service.ShardExposition {
+	if p.opts.FederateInterval <= 0 {
+		return nil
+	}
+	// Scrapes ride the probe loop, so the effective refresh period is
+	// the slower of the two intervals — a FederateInterval below the
+	// probe period must not make fresh caches look stale.
+	refresh := p.opts.FederateInterval
+	if p.opts.ProbeInterval > refresh {
+		refresh = p.opts.ProbeInterval
+	}
+	staleAfter := federateStaleFactor * refresh
+	var out []service.ShardExposition
+	for _, s := range p.snapshot() {
+		s.fedMu.Lock()
+		fams, at := s.fedFams, s.fedAt
+		s.fedMu.Unlock()
+		if fams == nil {
+			continue
+		}
+		age := time.Since(at)
+		if age > staleAfter {
+			continue
+		}
+		out = append(out, service.ShardExposition{Addr: s.addr, Age: age, Families: fams})
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// newFakeMetricsShard starts a minimal shard: a ping endpoint the probe
+// loop needs (federation scrapes only ride successful pings) and a
+// handcrafted — but strictly valid — /metrics exposition.
+func newFakeMetricsShard(t testing.TB, exposition string) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/worker/ping", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"status":"ok","workers":1}`)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, exposition)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+const fakeExpoA = `# HELP rp_fake_solves_total Fake per-shard counter.
+# TYPE rp_fake_solves_total counter
+rp_fake_solves_total 3
+`
+
+const fakeExpoB = `# HELP rp_fake_solves_total Fake per-shard counter.
+# TYPE rp_fake_solves_total counter
+rp_fake_solves_total 5
+# HELP rp_fake_queue Fake gauge with a pre-existing shard label.
+# TYPE rp_fake_queue gauge
+rp_fake_queue{shard="inner"} 2
+`
+
+// waitFederated polls until the pool's federation cache holds exactly
+// want shard expositions.
+func waitFederated(t testing.TB, p *Pool, want int) []service.ShardExposition {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got := p.FederatedExpositions()
+		if len(got) == want {
+			return got
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("federation cache holds %d exposition(s), want %d", len(got), want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPoolFederationScrapeAndStaleness: the probe loop fills the
+// federation cache from live shards' /metrics, and a shard that stops
+// answering ages out of the merge without leaving the membership.
+func TestPoolFederationScrapeAndStaleness(t *testing.T) {
+	a := newFakeMetricsShard(t, fakeExpoA)
+	b := newFakeMetricsShard(t, fakeExpoB)
+	p := newTestPool(t, []string{a.URL, b.URL}, PoolOptions{
+		ProbeInterval:    20 * time.Millisecond,
+		FederateInterval: 10 * time.Millisecond,
+	})
+
+	shards := waitFederated(t, p, 2)
+	byAddr := map[string]service.ShardExposition{}
+	for _, se := range shards {
+		byAddr[se.Addr] = se
+	}
+	fa, ok := byAddr[a.URL]
+	if !ok {
+		t.Fatalf("shard %s missing from federation (have %v)", a.URL, shards)
+	}
+	f := fa.Families["rp_fake_solves_total"]
+	if f == nil || len(f.Samples) != 1 || f.Samples[0].Value != 3 {
+		t.Fatalf("shard A cached family = %+v, want one sample of 3", f)
+	}
+	if fb := byAddr[b.URL]; fb.Families["rp_fake_queue"] == nil {
+		t.Fatalf("shard B cached families lack rp_fake_queue: %v", fb.Families)
+	}
+
+	// Shard B dies. It stays a (static-origin) member, but its cached
+	// exposition must age out of the federation: serving week-old
+	// numbers would make a dead shard look alive.
+	b.Close()
+	waitFederated(t, p, 1)
+	if got := p.FederatedExpositions(); got[0].Addr != a.URL {
+		t.Fatalf("survivor = %s, want %s", got[0].Addr, a.URL)
+	}
+}
+
+// TestPoolFederationRejectsMalformed: a shard serving a broken
+// exposition must never enter the federation cache — the strict parse
+// happens at scrape time, so the merge endpoint can't propagate it.
+func TestPoolFederationRejectsMalformed(t *testing.T) {
+	bad := newFakeMetricsShard(t, "# TYPE rp_orphan counter\nrp_other 1\n")
+	p := newTestPool(t, []string{bad.URL}, PoolOptions{
+		ProbeInterval:    20 * time.Millisecond,
+		FederateInterval: 10 * time.Millisecond,
+	})
+	time.Sleep(150 * time.Millisecond)
+	if got := p.FederatedExpositions(); len(got) != 0 {
+		t.Fatalf("malformed exposition entered the cache: %v", got)
+	}
+}
+
+// TestFederationEndpointMerge: GET /v1/cluster/metrics on a coordinator
+// handler merges the coordinator's own exposition with every cached
+// shard exposition; the result re-parses strictly and every series
+// carries a shard label.
+func TestFederationEndpointMerge(t *testing.T) {
+	a := newFakeMetricsShard(t, fakeExpoA)
+	b := newFakeMetricsShard(t, fakeExpoB)
+	p := newTestPool(t, []string{a.URL, b.URL}, PoolOptions{
+		ProbeInterval:    20 * time.Millisecond,
+		FederateInterval: 10 * time.Millisecond,
+	})
+	waitFederated(t, p, 2)
+
+	e := service.NewEngine(service.EngineOptions{Workers: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		e.Close(ctx)
+	}()
+	coord := httptest.NewServer(service.NewHandlerOpts(e, service.HandlerOptions{Cluster: p}))
+	defer coord.Close()
+
+	resp, err := http.Get(coord.URL + "/v1/cluster/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/cluster/metrics: status %d", resp.StatusCode)
+	}
+	fams, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("merged exposition does not re-parse: %v", err)
+	}
+
+	sources := map[string]bool{}
+	for _, f := range fams {
+		for _, s := range f.Samples {
+			v := s.Label("shard")
+			if v == "" {
+				t.Fatalf("series %s{%v} has no shard label", s.Name, s.Labels)
+			}
+			sources[v] = true
+		}
+	}
+	for _, want := range []string{"coordinator", a.URL, b.URL} {
+		if !sources[want] {
+			t.Fatalf("no series labeled shard=%q in the merge (have %v)", want, sources)
+		}
+	}
+
+	// The fake family merged one sample per shard, each attributed.
+	f := fams["rp_fake_solves_total"]
+	if f == nil || len(f.Samples) != 2 {
+		t.Fatalf("rp_fake_solves_total = %+v, want 2 samples", f)
+	}
+	got := map[string]float64{}
+	for _, s := range f.Samples {
+		got[s.Label("shard")] = s.Value
+	}
+	if got[a.URL] != 3 || got[b.URL] != 5 {
+		t.Fatalf("merged values by shard = %v", got)
+	}
+
+	// Shard B's pre-existing shard="inner" label moved aside instead of
+	// colliding with the federation label.
+	q := fams["rp_fake_queue"]
+	if q == nil || len(q.Samples) != 1 {
+		t.Fatalf("rp_fake_queue = %+v, want 1 sample", q)
+	}
+	if s := q.Samples[0]; s.Label("shard") != b.URL || s.Label("origin_shard") != "inner" {
+		t.Fatalf("relabeled sample = %v, want shard=%s origin_shard=inner", s.Labels, b.URL)
+	}
+
+	// Freshness telemetry: one age series per live shard.
+	age := fams["rp_federation_shard_age_seconds"]
+	if age == nil || len(age.Samples) != 2 {
+		t.Fatalf("rp_federation_shard_age_seconds = %+v, want 2 samples", age)
+	}
+
+	// Coordinator-local series kept their own identity.
+	if up := fams["rp_up"]; up != nil {
+		for _, s := range up.Samples {
+			if !strings.Contains(s.Label("shard"), "coordinator") {
+				t.Fatalf("local rp_up mislabeled: %v", s.Labels)
+			}
+		}
+	}
+}
+
+// TestFederationEndpointWithoutPool: a daemon fronting no shard pool
+// answers 501, mirroring the other coordinator-only surfaces.
+func TestFederationEndpointWithoutPool(t *testing.T) {
+	e := service.NewEngine(service.EngineOptions{Workers: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		e.Close(ctx)
+	}()
+	srv := httptest.NewServer(service.NewHandlerOpts(e, service.HandlerOptions{}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/cluster/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("status = %d, want 501", resp.StatusCode)
+	}
+}

@@ -70,12 +70,22 @@ type PoolOptions struct {
 	// does not bound memory. 0 selects the default of 256 MiB; negative
 	// removes the byte bound (entry count still applies).
 	RouteCacheMaxBytes int64
+	// FederateInterval is how often the probe loop additionally scrapes
+	// each healthy shard's /metrics for the federated
+	// GET /v1/cluster/metrics view (default 5s; negative disables
+	// federation). A shard whose last good scrape is older than three
+	// intervals ages out of the merge; scraping requires probing to be
+	// enabled.
+	FederateInterval time.Duration
 	// Client is the HTTP client used for all shard traffic (default a
 	// dedicated client; per-request deadlines come from contexts).
 	Client *http.Client
 	// Logger receives membership changes and circuit-breaker transitions
 	// (nil discards).
 	Logger *slog.Logger
+	// Events, when set, receives the cluster event journal: shard
+	// join/leave/expire, circuit transitions, wire fallback and redial.
+	Events *obs.EventRing
 }
 
 func (o PoolOptions) withDefaults() PoolOptions {
@@ -102,6 +112,9 @@ func (o PoolOptions) withDefaults() PoolOptions {
 	}
 	if o.RouteCacheSize == 0 {
 		o.RouteCacheSize = 4096
+	}
+	if o.FederateInterval == 0 {
+		o.FederateInterval = 5 * time.Second
 	}
 	if o.RouteCacheMaxBytes == 0 {
 		o.RouteCacheMaxBytes = 256 << 20
@@ -171,6 +184,14 @@ type shard struct {
 	addr   string // base URL, no trailing slash
 	origin string // originStatic / originFile / originAPI
 	log    *slog.Logger
+	events *obs.EventRing // cluster event journal (nil-safe)
+
+	// fedMu guards the federated-metrics cache: the shard's last
+	// successfully scraped-and-parsed /metrics families and when they
+	// were taken.
+	fedMu   sync.Mutex
+	fedFams map[string]*obs.Family
+	fedAt   time.Time
 
 	mu           sync.Mutex
 	weight       int  // placement weight (>= 1)
@@ -194,17 +215,18 @@ type shard struct {
 // admits nothing while its trial is outstanding.
 func (s *shard) tryAcquire(now time.Time) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.inflight >= s.capacity {
+		s.mu.Unlock()
 		return false
 	}
-	admitted := false
+	admitted, halfOpened := false, false
 	switch s.state {
 	case stateClosed:
 		admitted = true
 	case stateOpen:
 		if now.After(s.openUntil) {
 			s.state = stateHalfOpen
+			halfOpened = true
 			admitted = true
 		}
 	case stateHalfOpen:
@@ -213,6 +235,11 @@ func (s *shard) tryAcquire(now time.Time) bool {
 	if admitted {
 		s.inflight++
 		s.requests++
+	}
+	s.mu.Unlock()
+	if halfOpened {
+		s.events.Emit(context.Background(), "circuit_half_open",
+			"shard circuit half-open: trial request admitted", "shard", s.addr)
 	}
 	return admitted
 }
@@ -233,6 +260,8 @@ func (s *shard) recordSuccess() {
 	s.mu.Unlock()
 	if recovered {
 		s.log.Info("shard circuit closed", "shard", s.addr)
+		s.events.Emit(context.Background(), "circuit_closed",
+			"shard circuit closed: shard recovered", "shard", s.addr)
 	}
 }
 
@@ -256,6 +285,9 @@ func (s *shard) recordFailure(openFor time.Duration, threshold int, failedOver b
 	if opened {
 		s.log.Warn("shard circuit opened",
 			"shard", s.addr, "consecutive_failures", fails, "open_for", openFor.String())
+		s.events.Emit(context.Background(), "circuit_open",
+			"shard circuit opened after consecutive failures",
+			"shard", s.addr, "consecutive_failures", fmt.Sprint(fails))
 	}
 }
 
@@ -389,7 +421,7 @@ func NewPool(addrs []string, opts PoolOptions) (*Pool, error) {
 // newShard builds a member with a fresh (closed) breaker. weight <= 0
 // selects the default of 1, refreshed by the next successful ping.
 func (p *Pool) newShard(addr, origin string, weight int) *shard {
-	s := &shard{addr: addr, origin: origin, log: p.opts.Logger}
+	s := &shard{addr: addr, origin: origin, log: p.opts.Logger, events: p.opts.Events}
 	s.setWeight(weight, weight > 0, p.opts.MaxInFlight)
 	return s
 }
@@ -439,6 +471,8 @@ func (p *Pool) addShard(addr, origin string, weight int) (service.ShardStat, boo
 	p.mu.Unlock()
 	p.epoch.Add(1)
 	p.log.Info("shard joined", "shard", norm, "origin", origin, "weight", weight, "epoch", p.epoch.Load())
+	p.opts.Events.Emit(context.Background(), "shard_joined", "shard joined the pool",
+		"shard", norm, "origin", origin)
 	if weight <= 0 {
 		// Learn the real capacity in the background; placement runs on
 		// the default weight of 1 until the worker answers.
@@ -451,6 +485,16 @@ func (p *Pool) addShard(addr, origin string, weight int) (service.ShardStat, boo
 // Requests in flight on it finish or fail over normally; its breaker
 // state and counters are discarded, so a later re-join starts fresh.
 func (p *Pool) RemoveShard(addr string) bool {
+	if !p.removeShard(addr) {
+		return false
+	}
+	p.opts.Events.Emit(context.Background(), "shard_left", "shard left the pool", "shard", addr)
+	return true
+}
+
+// removeShard is RemoveShard without the shard_left event — probe-driven
+// expiry journals shard_expired instead of a voluntary departure.
+func (p *Pool) removeShard(addr string) bool {
 	norm, err := normalizeAddr(addr)
 	if err != nil {
 		return false
@@ -590,6 +634,7 @@ func (p *Pool) probeLoop() {
 			if !closed {
 				s.recordSuccess()
 			}
+			p.maybeFederate(s)
 		}
 	}
 }
@@ -607,10 +652,13 @@ func (p *Pool) recordMissedProbe(s *shard) {
 	if p.opts.ExpireAfter <= 0 || origin == originStatic || missed < p.opts.ExpireAfter {
 		return
 	}
-	if p.RemoveShard(s.addr) {
+	if p.removeShard(s.addr) {
 		p.shardsExpired.Add(1)
 		p.log.Warn("shard expired after missed probes",
 			"shard", s.addr, "origin", origin, "missed_probes", missed)
+		p.opts.Events.Emit(context.Background(), "shard_expired",
+			"shard expired after missed health probes",
+			"shard", s.addr, "origin", origin, "missed_probes", fmt.Sprint(missed))
 	}
 }
 

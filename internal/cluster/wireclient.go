@@ -62,10 +62,11 @@ func (wc *wireConn) watch(ctx context.Context) (stop func()) {
 // plus the "speaks JSON only" verdict. It has its own lock — wire
 // checkouts must not contend with the breaker path.
 type shardWire struct {
-	mu     sync.Mutex
-	idle   []*wireConn
-	down   bool // upgrade refused; cleared by a successful ping
-	closed bool // the shard left the pool; park nothing, close everything
+	mu       sync.Mutex
+	idle     []*wireConn
+	down     bool // upgrade refused; cleared by a successful ping
+	closed   bool // the shard left the pool; park nothing, close everything
+	v1Logged bool // the rp-wire/1 redial was journaled; cleared by wireUp
 }
 
 // dialWire opens a TCP connection to the shard and upgrades it to the
@@ -168,6 +169,21 @@ func (p *Pool) wireCheckout(ctx context.Context, s *shard) (wc *wireConn, reused
 		return nil, false, err
 	}
 	p.wireConns.Add(1)
+	if wc.version < wire.VersionTraced {
+		// The shard refused rp-wire/2 and the dial succeeded only after
+		// the v1 redial. Journal that once per downgrade episode (the
+		// flag resets when a ping clears the wire state, so a worker
+		// upgraded in place is re-announced if it regresses).
+		s.wire.mu.Lock()
+		logged := s.wire.v1Logged
+		s.wire.v1Logged = true
+		s.wire.mu.Unlock()
+		if !logged {
+			p.opts.Events.Emit(ctx, "wire_redial",
+				"shard speaks rp-wire/1 only; redialed at the downgraded version",
+				"shard", s.addr)
+		}
+	}
 	return wc, false, nil
 }
 
@@ -202,6 +218,7 @@ func (s *shard) wireDown() {
 func (s *shard) wireUp() {
 	s.wire.mu.Lock()
 	s.wire.down = false
+	s.wire.v1Logged = false
 	s.wire.mu.Unlock()
 }
 
@@ -225,6 +242,8 @@ func (p *Pool) recordWireFallback(s *shard) {
 	p.wireFallbacks.Add(1)
 	s.wireDown()
 	p.log.Info("shard declined wire upgrade; using JSON transport", "shard", s.addr)
+	p.opts.Events.Emit(context.Background(), "wire_fallback",
+		"shard declined the wire upgrade; traffic falls back to JSON", "shard", s.addr)
 }
 
 // wireDo runs one request/response exchange over the shard's wire

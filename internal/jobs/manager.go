@@ -42,6 +42,9 @@ type Options struct {
 	// kind's Run traces beneath it) into the process flight recorder,
 	// under the submitting request's trace ID.
 	Spans *obs.SpanStore
+	// Events, when set, receives a job_failed entry in the cluster
+	// event journal whenever a job reaches StateFailed.
+	Events *obs.EventRing
 }
 
 func (o Options) withDefaults() Options {
@@ -636,6 +639,8 @@ func (m *Manager) runJob(id string) {
 	switch state {
 	case StateFailed:
 		m.log.ErrorContext(ctx, "job failed", "job", id, "kind", mm.Spec.Kind, "error", mm.Error)
+		m.opts.Events.Emit(ctx, "job_failed", "job reached a failed terminal state",
+			"job", id, "kind", mm.Spec.Kind, "error", mm.Error)
 	default:
 		m.log.InfoContext(ctx, "job finished",
 			"job", id, "kind", mm.Spec.Kind, "state", string(state), "rows_done", mm.RowsDone)

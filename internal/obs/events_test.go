@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestEventRingNil(t *testing.T) {
+	var r *EventRing
+	r.Emit(context.Background(), "x", "must not panic")
+	if got := r.Events(EventFilter{}); got != nil {
+		t.Fatalf("nil ring Events = %v, want nil", got)
+	}
+	if got := r.Counts(); got != nil {
+		t.Fatalf("nil ring Counts = %v, want nil", got)
+	}
+}
+
+func TestEventRingOverflow(t *testing.T) {
+	r := NewEventRing(4, nil)
+	for i := 0; i < 10; i++ {
+		r.Emit(context.Background(), "tick", "event")
+	}
+	evs := r.Events(EventFilter{})
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want capacity 4", len(evs))
+	}
+	// The survivors are the newest four, oldest first, and their
+	// sequence numbers expose the evicted history.
+	for i, ev := range evs {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, want)
+		}
+	}
+	if r.Counts()["tick"] != 10 {
+		t.Fatalf("counts[tick] = %d, want 10 (lifetime total survives eviction)", r.Counts()["tick"])
+	}
+}
+
+func TestEventRingFiltering(t *testing.T) {
+	r := NewEventRing(16, nil)
+	r.Emit(context.Background(), "shard_joined", "w1 joined", "shard", "w1")
+	r.Emit(context.Background(), "circuit_open", "w1 circuit opened")
+	r.Emit(context.Background(), "shard_joined", "w2 joined", "shard", "w2")
+
+	byType := r.Events(EventFilter{Type: "shard_joined"})
+	if len(byType) != 2 {
+		t.Fatalf("type filter kept %d events, want 2", len(byType))
+	}
+	if byType[0].Attrs["shard"] != "w1" || byType[1].Attrs["shard"] != "w2" {
+		t.Fatalf("type filter order/attrs wrong: %+v", byType)
+	}
+
+	limited := r.Events(EventFilter{Limit: 1})
+	if len(limited) != 1 || limited[0].Type != "shard_joined" || limited[0].Attrs["shard"] != "w2" {
+		t.Fatalf("limit should keep the newest event, got %+v", limited)
+	}
+
+	if got := r.Events(EventFilter{Since: time.Now().Add(time.Hour)}); len(got) != 0 {
+		t.Fatalf("future since kept %d events", len(got))
+	}
+	if got := r.Events(EventFilter{Since: time.Now().Add(-time.Hour)}); len(got) != 3 {
+		t.Fatalf("past since kept %d events, want 3", len(got))
+	}
+}
+
+func TestEventRingTraceID(t *testing.T) {
+	r := NewEventRing(4, nil)
+	ctx := WithTrace(context.Background(), "deadbeef")
+	r.Emit(ctx, "job_failed", "job j1 failed")
+	evs := r.Events(EventFilter{})
+	if len(evs) != 1 || evs[0].TraceID != "deadbeef" {
+		t.Fatalf("trace ID not captured: %+v", evs)
+	}
+}

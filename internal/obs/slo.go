@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The Google-SRE multi-window burn-rate pairs: an alert pair fires only
+// when BOTH its windows burn error budget faster than the threshold —
+// the long window proves the problem is real, the short window proves
+// it is still happening (and lets the alert resolve quickly once the
+// bleeding stops). A burn rate of 1 consumes exactly the whole budget
+// over the accounting window; 14.4 consumes a 30-day budget in 2 days.
+var burnPairs = []burnPair{
+	{severity: "page", short: 5 * time.Minute, long: time.Hour, threshold: 14.4},
+	{severity: "ticket", short: 30 * time.Minute, long: 6 * time.Hour, threshold: 6},
+}
+
+type burnPair struct {
+	severity  string
+	short     time.Duration
+	long      time.Duration
+	threshold float64
+}
+
+// sloBurnWindows are the distinct lookbacks rendered as
+// rp_slo_burn_rate{window=...}.
+var sloBurnWindows = []time.Duration{5 * time.Minute, 30 * time.Minute, time.Hour, 6 * time.Hour}
+
+// SLOOptions configures NewSLO.
+type SLOOptions struct {
+	// Availability is the target non-5xx ratio (e.g. 0.999). <= 0
+	// disables the availability objective.
+	Availability float64
+	// LatencyP99 is the per-request latency threshold; the latency
+	// objective demands that LatencyTarget of requests beat it. <= 0
+	// disables the latency objective.
+	LatencyP99 time.Duration
+	// LatencyTarget is the fraction of requests that must finish within
+	// LatencyP99 (default 0.99 — hence the flag's name).
+	LatencyTarget float64
+	// Window is the error-budget accounting window (default 6h). The
+	// underlying ring always spans at least the longest burn window.
+	Window time.Duration
+	// Interval is the ring bucket granularity (default 10s).
+	Interval time.Duration
+	// MinEvents is the request volume an alert pair's long window must
+	// hold before the pair may fire — burn rates over a handful of
+	// requests are noise, not signal (default 10).
+	MinEvents uint64
+	// Now is the clock (nil = time.Now); injectable for tests.
+	Now func() time.Time
+	// Events, when set, receives alert_fired / alert_resolved events.
+	Events *EventRing
+}
+
+// sloObjective is one tracked objective: a target ratio plus the
+// sliding window classifying its requests as good or bad.
+type sloObjective struct {
+	name   string
+	target float64
+	window *Window
+}
+
+// SLO evaluates availability and latency objectives over sliding
+// windows. Observe is called per request from the instrumentation
+// middleware (two mutex-guarded integer adds — no goroutines, no
+// allocation); Evaluate computes burn rates and advances alert state,
+// and runs on the scrape/health path only.
+type SLO struct {
+	objectives []sloObjective
+	latencyP99 time.Duration
+	window     time.Duration
+	minEvents  uint64
+	now        func() time.Time
+	events     *EventRing
+
+	mu       sync.Mutex
+	firing   map[string]*Alert // keyed objective/severity
+	resolved []Alert           // bounded history, oldest first
+}
+
+// maxResolvedAlerts bounds the resolved-alert history.
+const maxResolvedAlerts = 64
+
+// NewSLO builds the engine; returns nil when every objective is
+// disabled, and every method is safe on a nil receiver.
+func NewSLO(opts SLOOptions) *SLO {
+	if opts.Availability <= 0 && opts.LatencyP99 <= 0 {
+		return nil
+	}
+	if opts.LatencyTarget <= 0 || opts.LatencyTarget >= 1 {
+		opts.LatencyTarget = 0.99
+	}
+	if opts.Window <= 0 {
+		opts.Window = 6 * time.Hour
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 10 * time.Second
+	}
+	if opts.MinEvents == 0 {
+		opts.MinEvents = 10
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	span := opts.Window
+	for _, w := range sloBurnWindows {
+		if w > span {
+			span = w
+		}
+	}
+	s := &SLO{
+		latencyP99: opts.LatencyP99,
+		window:     opts.Window,
+		minEvents:  opts.MinEvents,
+		now:        opts.Now,
+		events:     opts.Events,
+		firing:     make(map[string]*Alert),
+	}
+	if opts.Availability > 0 {
+		s.objectives = append(s.objectives, sloObjective{
+			name:   "availability",
+			target: min(opts.Availability, 0.999999),
+			window: NewWindow(span, opts.Interval, opts.Now),
+		})
+	}
+	if opts.LatencyP99 > 0 {
+		s.objectives = append(s.objectives, sloObjective{
+			name:   "latency",
+			target: opts.LatencyTarget,
+			window: NewWindow(span, opts.Interval, opts.Now),
+		})
+	}
+	return s
+}
+
+// Observe classifies one finished request against every objective:
+// availability counts 5xx responses as bad, latency counts responses
+// over the threshold as bad.
+func (s *SLO) Observe(status int, d time.Duration) {
+	if s == nil {
+		return
+	}
+	for i := range s.objectives {
+		o := &s.objectives[i]
+		var bad uint64
+		switch o.name {
+		case "availability":
+			if status >= 500 {
+				bad = 1
+			}
+		case "latency":
+			if d > s.latencyP99 {
+				bad = 1
+			}
+		}
+		o.window.Add(1, bad)
+	}
+}
+
+// Alert is one burn-rate alert, firing or resolved.
+type Alert struct {
+	// Name is objective-severity, e.g. "availability-page".
+	Name      string  `json:"name"`
+	Objective string  `json:"objective"`
+	Severity  string  `json:"severity"` // page (fast pair) or ticket (slow pair)
+	Threshold float64 `json:"threshold"`
+	// ShortWindow/LongWindow are the pair's lookbacks ("5m", "1h").
+	ShortWindow string `json:"short_window"`
+	LongWindow  string `json:"long_window"`
+	// ShortBurn/LongBurn are the burn rates at the last evaluation.
+	ShortBurn  float64    `json:"short_burn"`
+	LongBurn   float64    `json:"long_burn"`
+	FiredAt    time.Time  `json:"fired_at"`
+	ResolvedAt *time.Time `json:"resolved_at,omitempty"`
+}
+
+// SLOObjectiveStatus is one objective's state at evaluation time.
+type SLOObjectiveStatus struct {
+	Name   string  `json:"name"`
+	Target float64 `json:"target"`
+	// BudgetRemaining is the unspent fraction of the error budget over
+	// the accounting window: 1 = untouched, 0 = spent, negative =
+	// overspent. With no traffic the budget is intact.
+	BudgetRemaining float64 `json:"budget_remaining"`
+	// Burn maps window label ("5m", "1h", ...) to the burn rate there.
+	Burn     map[string]float64 `json:"burn"`
+	Requests uint64             `json:"requests"`
+	Bad      uint64             `json:"bad"`
+}
+
+// SLOStatus is a full evaluation: the health verdict, per-objective
+// numbers, alerts currently firing and recently resolved.
+type SLOStatus struct {
+	Verdict    string               `json:"verdict"` // ok, degraded or critical
+	Objectives []SLOObjectiveStatus `json:"objectives"`
+	Firing     []Alert              `json:"firing"`
+	Resolved   []Alert              `json:"resolved,omitempty"`
+}
+
+// windowLabel renders a lookback the way the metrics label does.
+func windowLabel(d time.Duration) string {
+	if d >= time.Hour && d%time.Hour == 0 {
+		return fmt.Sprintf("%dh", int(d/time.Hour))
+	}
+	return fmt.Sprintf("%dm", int(d/time.Minute))
+}
+
+// Evaluate recomputes burn rates, fires and resolves alerts, and
+// returns the full status. An alert pair fires when both windows
+// exceed the threshold (and the long window has seen MinEvents
+// requests); it resolves as soon as the short window drops back under —
+// the hysteresis that keeps a recovered system from paging forever on
+// its long-window tail. Safe on a nil receiver (status "ok").
+func (s *SLO) Evaluate() SLOStatus {
+	if s == nil {
+		return SLOStatus{Verdict: "ok"}
+	}
+	st := SLOStatus{Verdict: "ok"}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.objectives {
+		o := &s.objectives[i]
+		budget := 1 - o.target // allowed bad ratio
+		total, bad := o.window.Sum(s.window)
+		os := SLOObjectiveStatus{
+			Name:            o.name,
+			Target:          o.target,
+			BudgetRemaining: 1,
+			Burn:            make(map[string]float64, len(sloBurnWindows)),
+			Requests:        total,
+			Bad:             bad,
+		}
+		if total > 0 {
+			os.BudgetRemaining = 1 - (float64(bad)/float64(total))/budget
+		}
+		for _, w := range sloBurnWindows {
+			os.Burn[windowLabel(w)] = o.window.Ratio(w) / budget
+		}
+		for _, p := range burnPairs {
+			key := o.name + "/" + p.severity
+			shortBurn := o.window.Ratio(p.short) / budget
+			longBurn := o.window.Ratio(p.long) / budget
+			longTotal, _ := o.window.Sum(p.long)
+			a := s.firing[key]
+			switch {
+			case a == nil && shortBurn >= p.threshold && longBurn >= p.threshold && longTotal >= s.minEvents:
+				a = &Alert{
+					Name:        o.name + "-" + p.severity,
+					Objective:   o.name,
+					Severity:    p.severity,
+					Threshold:   p.threshold,
+					ShortWindow: windowLabel(p.short),
+					LongWindow:  windowLabel(p.long),
+					ShortBurn:   shortBurn,
+					LongBurn:    longBurn,
+					FiredAt:     s.now(),
+				}
+				s.firing[key] = a
+				s.events.Emit(context.Background(), "alert_fired",
+					a.Name+" burn-rate alert fired",
+					"objective", o.name, "severity", p.severity,
+					"short_burn", fmt.Sprintf("%.2f", shortBurn),
+					"long_burn", fmt.Sprintf("%.2f", longBurn))
+			case a != nil && shortBurn < p.threshold:
+				at := s.now()
+				a.ShortBurn, a.LongBurn = shortBurn, longBurn
+				a.ResolvedAt = &at
+				delete(s.firing, key)
+				s.resolved = append(s.resolved, *a)
+				if len(s.resolved) > maxResolvedAlerts {
+					s.resolved = s.resolved[len(s.resolved)-maxResolvedAlerts:]
+				}
+				s.events.Emit(context.Background(), "alert_resolved",
+					a.Name+" burn-rate alert resolved",
+					"objective", o.name, "severity", p.severity)
+			case a != nil:
+				a.ShortBurn, a.LongBurn = shortBurn, longBurn
+			}
+		}
+		st.Objectives = append(st.Objectives, os)
+	}
+	for _, a := range s.firing {
+		st.Firing = append(st.Firing, *a)
+		if st.Verdict == "ok" {
+			st.Verdict = "degraded"
+		}
+		// Serving errors is worse than serving slowly: only the
+		// availability fast pair escalates the verdict to critical.
+		if a.Objective == "availability" && a.Severity == "page" {
+			st.Verdict = "critical"
+		}
+	}
+	sort.Slice(st.Firing, func(i, j int) bool { return st.Firing[i].Name < st.Firing[j].Name })
+	st.Resolved = append(st.Resolved, s.resolved...)
+	return st
+}

@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func newTestSLO(clk *fakeClock, events *EventRing) *SLO {
+	return NewSLO(SLOOptions{
+		Availability: 0.999,
+		LatencyP99:   50 * time.Millisecond,
+		Window:       6 * time.Hour,
+		Interval:     time.Second,
+		Now:          clk.now,
+		Events:       events,
+	})
+}
+
+func TestSLODisabled(t *testing.T) {
+	if s := NewSLO(SLOOptions{}); s != nil {
+		t.Fatal("no objectives should yield a nil engine")
+	}
+	var s *SLO
+	s.Observe(500, time.Second) // must not panic
+	if st := s.Evaluate(); st.Verdict != "ok" {
+		t.Fatalf("nil engine verdict = %q, want ok", st.Verdict)
+	}
+}
+
+func TestSLOEmptyWindow(t *testing.T) {
+	clk := newFakeClock()
+	s := newTestSLO(clk, nil)
+	st := s.Evaluate()
+	if st.Verdict != "ok" {
+		t.Fatalf("verdict = %q, want ok", st.Verdict)
+	}
+	if len(st.Firing) != 0 {
+		t.Fatalf("alerts firing on an empty window: %+v", st.Firing)
+	}
+	for _, o := range st.Objectives {
+		if o.BudgetRemaining != 1 {
+			t.Fatalf("%s budget = %v, want 1 (untouched with no traffic)", o.Name, o.BudgetRemaining)
+		}
+		for w, b := range o.Burn {
+			if b != 0 {
+				t.Fatalf("%s burn[%s] = %v, want 0", o.Name, w, b)
+			}
+		}
+	}
+}
+
+func TestSLOHealthyTraffic(t *testing.T) {
+	clk := newFakeClock()
+	s := newTestSLO(clk, nil)
+	for i := 0; i < 1000; i++ {
+		s.Observe(200, time.Millisecond)
+	}
+	st := s.Evaluate()
+	if st.Verdict != "ok" || len(st.Firing) != 0 {
+		t.Fatalf("healthy traffic: verdict %q, firing %d", st.Verdict, len(st.Firing))
+	}
+	for _, o := range st.Objectives {
+		if o.BudgetRemaining != 1 {
+			t.Fatalf("%s budget = %v, want 1", o.Name, o.BudgetRemaining)
+		}
+	}
+}
+
+func TestSLOLatencyBreachDegraded(t *testing.T) {
+	clk := newFakeClock()
+	events := NewEventRing(16, nil)
+	s := newTestSLO(clk, events)
+	// All requests succeed but blow the latency threshold: the latency
+	// pairs fire, availability stays clean, verdict is degraded — never
+	// critical, which is reserved for availability pages.
+	for i := 0; i < 100; i++ {
+		s.Observe(200, time.Second)
+	}
+	st := s.Evaluate()
+	if st.Verdict != "degraded" {
+		t.Fatalf("verdict = %q, want degraded", st.Verdict)
+	}
+	if len(st.Firing) == 0 {
+		t.Fatal("no alerts firing after 100% slow requests")
+	}
+	for _, a := range st.Firing {
+		if a.Objective != "latency" {
+			t.Fatalf("unexpected %s alert firing: %+v", a.Objective, a)
+		}
+		if a.FiredAt.IsZero() || a.ResolvedAt != nil {
+			t.Fatalf("firing alert has bad timestamps: %+v", a)
+		}
+	}
+	if evs := events.Events(EventFilter{Type: "alert_fired"}); len(evs) == 0 {
+		t.Fatal("alert_fired event missing from the journal")
+	}
+}
+
+func TestSLOAvailabilityCritical(t *testing.T) {
+	clk := newFakeClock()
+	s := newTestSLO(clk, nil)
+	for i := 0; i < 100; i++ {
+		s.Observe(500, time.Millisecond)
+	}
+	st := s.Evaluate()
+	if st.Verdict != "critical" {
+		t.Fatalf("verdict = %q, want critical (availability page firing)", st.Verdict)
+	}
+}
+
+func TestSLOBudgetExhaustion(t *testing.T) {
+	clk := newFakeClock()
+	s := newTestSLO(clk, nil)
+	// 1 bad in 1000 exactly spends a 99.9% budget; 10 bad overspends it.
+	for i := 0; i < 990; i++ {
+		s.Observe(200, time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		s.Observe(500, time.Millisecond)
+	}
+	st := s.Evaluate()
+	for _, o := range st.Objectives {
+		if o.Name != "availability" {
+			continue
+		}
+		if o.BudgetRemaining > -8.9 {
+			t.Fatalf("budget remaining = %v, want about -9 (10x the allowance spent)", o.BudgetRemaining)
+		}
+		if o.Requests != 1000 || o.Bad != 10 {
+			t.Fatalf("requests/bad = %d/%d, want 1000/10", o.Requests, o.Bad)
+		}
+	}
+}
+
+func TestSLOMinEvents(t *testing.T) {
+	clk := newFakeClock()
+	s := newTestSLO(clk, nil)
+	// A handful of failures is noise, not an incident: below MinEvents
+	// (default 10) nothing may fire even at a huge burn rate.
+	for i := 0; i < 5; i++ {
+		s.Observe(500, time.Second)
+	}
+	if st := s.Evaluate(); len(st.Firing) != 0 {
+		t.Fatalf("alerts fired on %d requests, below the volume floor: %+v", 5, st.Firing)
+	}
+}
+
+func TestSLOHysteresisFireThenResolve(t *testing.T) {
+	clk := newFakeClock()
+	events := NewEventRing(16, nil)
+	s := newTestSLO(clk, events)
+	for i := 0; i < 100; i++ {
+		s.Observe(500, time.Millisecond)
+	}
+	if st := s.Evaluate(); st.Verdict != "critical" {
+		t.Fatalf("setup: verdict %q, want critical", st.Verdict)
+	}
+	// The outage ends. Six minutes of clean traffic pushes the bad
+	// requests out of the 5m short window; its burn drops under the
+	// threshold and the page resolves even though the 1h long window
+	// still remembers the errors.
+	for i := 0; i < 36; i++ {
+		clk.advance(10 * time.Second)
+		for j := 0; j < 10; j++ {
+			s.Observe(200, time.Millisecond)
+		}
+	}
+	st := s.Evaluate()
+	for _, a := range st.Firing {
+		if a.Severity == "page" {
+			t.Fatalf("page still firing after recovery: %+v (short burn %v)", a, a.ShortBurn)
+		}
+	}
+	var sawResolved bool
+	for _, a := range st.Resolved {
+		if a.Objective == "availability" && a.Severity == "page" {
+			sawResolved = true
+			if a.ResolvedAt == nil || a.ResolvedAt.Before(a.FiredAt) {
+				t.Fatalf("resolved alert has bad timestamps: %+v", a)
+			}
+		}
+	}
+	if !sawResolved {
+		t.Fatal("resolved page alert missing from history")
+	}
+	if evs := events.Events(EventFilter{Type: "alert_resolved"}); len(evs) == 0 {
+		t.Fatal("alert_resolved event missing from the journal")
+	}
+	// The ticket pair (30m short window) still sees the incident.
+	// Another half hour of clean traffic resolves everything.
+	for i := 0; i < 180; i++ {
+		clk.advance(10 * time.Second)
+		for j := 0; j < 5; j++ {
+			s.Observe(200, time.Millisecond)
+		}
+	}
+	if st := s.Evaluate(); len(st.Firing) != 0 || st.Verdict != "ok" {
+		t.Fatalf("after full recovery: verdict %q, %d firing", st.Verdict, len(st.Firing))
+	}
+}

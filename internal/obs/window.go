@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// windowBucket is one interval's worth of counts. idx is the absolute
+// interval index (unix time / interval) the slot currently belongs to —
+// a slot whose idx is out of date is logically empty and is reset lazily
+// the next time it is written or read.
+type windowBucket struct {
+	idx   int64
+	total uint64
+	bad   uint64
+}
+
+// Window is a sliding-window pair of counters (total events, bad
+// events) held as a ring of per-interval buckets. There is no
+// background goroutine: buckets are advanced lazily under the lock on
+// Add and Sum, so an idle window costs nothing. Add is a mutex plus two
+// integer adds — cheap enough for the request hot path — and Sum walks
+// at most len(ring) buckets.
+//
+// The zero value is not usable; build one with NewWindow.
+type Window struct {
+	mu       sync.Mutex
+	interval time.Duration
+	buckets  []windowBucket
+	now      func() time.Time
+}
+
+// NewWindow builds a window retaining span worth of history at interval
+// granularity. now is the clock (nil = time.Now) — injectable so tests
+// can advance time deterministically. The ring holds one extra bucket
+// so a full span lookback still has complete data while the newest
+// bucket is filling.
+func NewWindow(span, interval time.Duration, now func() time.Time) *Window {
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	if span < interval {
+		span = interval
+	}
+	if now == nil {
+		now = time.Now
+	}
+	n := int(span/interval) + 1
+	return &Window{
+		interval: interval,
+		buckets:  make([]windowBucket, n),
+		now:      now,
+	}
+}
+
+// Span is the window's usable lookback horizon.
+func (w *Window) Span() time.Duration {
+	return time.Duration(len(w.buckets)-1) * w.interval
+}
+
+// Add records total events of which bad were bad, in the current
+// interval bucket.
+func (w *Window) Add(total, bad uint64) {
+	idx := w.now().UnixNano() / int64(w.interval)
+	slot := int(idx % int64(len(w.buckets)))
+	w.mu.Lock()
+	b := &w.buckets[slot]
+	if b.idx != idx {
+		b.idx, b.total, b.bad = idx, 0, 0
+	}
+	b.total += total
+	b.bad += bad
+	w.mu.Unlock()
+}
+
+// Sum totals the events of the trailing lookback duration (clamped to
+// the window's span). The bucket straddling now is included, so a
+// lookback of one interval sees between one and two intervals of data —
+// the usual sliding-window approximation.
+func (w *Window) Sum(lookback time.Duration) (total, bad uint64) {
+	if lookback <= 0 {
+		return 0, 0
+	}
+	if max := w.Span(); lookback > max {
+		lookback = max
+	}
+	idx := w.now().UnixNano() / int64(w.interval)
+	n := int64((lookback + w.interval - 1) / w.interval) // buckets to cover lookback
+	oldest := idx - n                                    // include the partially-filled current bucket
+	w.mu.Lock()
+	for i := range w.buckets {
+		b := &w.buckets[i]
+		if b.idx >= oldest && b.idx <= idx {
+			total += b.total
+			bad += b.bad
+		}
+	}
+	w.mu.Unlock()
+	return total, bad
+}
+
+// Ratio is Sum expressed as bad/total over the lookback; a window with
+// no events reports 0 (nothing observed is not an error condition).
+func (w *Window) Ratio(lookback time.Duration) float64 {
+	total, bad := w.Sum(lookback)
+	if total == 0 {
+		return 0
+	}
+	return float64(bad) / float64(total)
+}

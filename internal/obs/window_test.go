@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable clock for window/SLO tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func TestWindowEmpty(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindow(time.Hour, time.Second, clk.now)
+	if total, bad := w.Sum(time.Hour); total != 0 || bad != 0 {
+		t.Fatalf("empty window Sum = (%d, %d), want zeros", total, bad)
+	}
+	if r := w.Ratio(time.Hour); r != 0 {
+		t.Fatalf("empty window Ratio = %v, want 0 (no traffic is not an error)", r)
+	}
+}
+
+func TestWindowAddAndSum(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindow(time.Minute, time.Second, clk.now)
+	w.Add(10, 2)
+	clk.advance(time.Second)
+	w.Add(5, 5)
+	total, bad := w.Sum(time.Minute)
+	if total != 15 || bad != 7 {
+		t.Fatalf("Sum = (%d, %d), want (15, 7)", total, bad)
+	}
+	// After one more tick, a 1s lookback covers the (empty) straddling
+	// bucket plus one full bucket — the first Add has aged out.
+	clk.advance(time.Second)
+	total, bad = w.Sum(time.Second)
+	if total != 5 || bad != 5 {
+		t.Fatalf("1s Sum = (%d, %d), want (5, 5) (oldest bucket outside lookback)", total, bad)
+	}
+}
+
+func TestWindowExpiry(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindow(10*time.Second, time.Second, clk.now)
+	w.Add(100, 100)
+	clk.advance(30 * time.Second) // far past the span: every bucket is stale
+	if total, _ := w.Sum(10 * time.Second); total != 0 {
+		t.Fatalf("stale buckets leaked into Sum: total = %d", total)
+	}
+	// Writing after the gap reuses slots without resurrecting old counts.
+	w.Add(1, 0)
+	if total, bad := w.Sum(10 * time.Second); total != 1 || bad != 0 {
+		t.Fatalf("post-gap Sum = (%d, %d), want (1, 0)", total, bad)
+	}
+}
+
+func TestWindowLookbackClamped(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindow(10*time.Second, time.Second, clk.now)
+	w.Add(3, 1)
+	if total, _ := w.Sum(time.Hour); total != 3 {
+		t.Fatalf("over-long lookback Sum total = %d, want 3 (clamped to span)", total)
+	}
+	if total, _ := w.Sum(0); total != 0 {
+		t.Fatalf("zero lookback Sum total = %d, want 0", total)
+	}
+}
+
+func TestWindowRatio(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindow(time.Minute, time.Second, clk.now)
+	w.Add(4, 1)
+	if r := w.Ratio(time.Minute); r != 0.25 {
+		t.Fatalf("Ratio = %v, want 0.25", r)
+	}
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -112,6 +113,26 @@ type ClusterHistograms struct {
 // histograms for /metrics.
 type ClusterLatencies interface {
 	ClusterHistograms() ClusterHistograms
+}
+
+// ShardExposition is one shard's last successfully scraped-and-parsed
+// /metrics exposition, as cached by the pool's probe loop for the
+// federated GET /v1/cluster/metrics view.
+type ShardExposition struct {
+	// Addr is the shard's base URL — the value of the `shard` label
+	// stamped on every series federated from it.
+	Addr string
+	// Age is how old the scrape is.
+	Age time.Duration
+	// Families is the parsed exposition, keyed by family name.
+	Families map[string]*obs.Family
+}
+
+// MetricsFederator is implemented by pools whose probe loop scrapes
+// shard /metrics endpoints. FederatedExpositions returns the current
+// per-shard caches, live members only, stale scrapes already aged out.
+type MetricsFederator interface {
+	FederatedExpositions() []ShardExposition
 }
 
 // BatchRouter is implemented by pools that can execute an inline

@@ -1,0 +1,279 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// newControlPlaneServer starts a handler with the SLO engine and event
+// journal wired, like rpserve does with the -slo-* and -event-buffer
+// flags set.
+func newControlPlaneServer(t *testing.T, slo *obs.SLO, events *obs.EventRing) *httptest.Server {
+	t.Helper()
+	e := NewEngine(EngineOptions{Workers: 2})
+	srv := httptest.NewServer(NewHandlerOpts(e, HandlerOptions{SLO: slo, Events: events}))
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		e.Close(ctx)
+	})
+	return srv
+}
+
+// TestSLOBreachDegradesHealthz: with an impossible latency objective,
+// real traffic must flip the /healthz verdict to "degraded" and surface
+// a firing latency alert in /v1/alerts — the same end-to-end contract
+// run.sh pins against a live daemon.
+func TestSLOBreachDegradesHealthz(t *testing.T) {
+	slo := obs.NewSLO(obs.SLOOptions{
+		Availability: 0.999,
+		LatencyP99:   time.Nanosecond, // every request breaches
+	})
+	srv := newControlPlaneServer(t, slo, obs.NewEventRing(16, nil))
+
+	// /healthz itself is SLO-exempt: polling it must not move the
+	// objective it reports.
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	var hp healthPayload
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, &hp)
+	if hp.Status != "ok" {
+		t.Fatalf("verdict before traffic = %q, want ok", hp.Status)
+	}
+
+	// Twenty SLO-counted requests, all slower than a nanosecond.
+	for i := 0; i < 20; i++ {
+		resp, err := http.Get(srv.URL + "/v1/solvers")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp = healthPayload{}
+	decodeBody(t, resp, &hp)
+	if hp.Status != "degraded" {
+		t.Fatalf("verdict after breach = %q, want degraded (slo = %+v)", hp.Status, hp.SLO)
+	}
+	if hp.SLO == nil || len(hp.SLO.Firing) == 0 {
+		t.Fatalf("healthz carries no firing alerts: %+v", hp.SLO)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st obs.SLOStatus
+	decodeBody(t, resp, &st)
+	if st.Verdict != "degraded" {
+		t.Fatalf("alerts verdict = %q, want degraded", st.Verdict)
+	}
+	found := false
+	for _, a := range st.Firing {
+		if a.Objective == "latency" {
+			found = true
+			if a.FiredAt.IsZero() {
+				t.Fatalf("firing alert lacks a timestamp: %+v", a)
+			}
+		}
+		if a.Objective == "availability" {
+			t.Fatalf("availability alert fired on 200s: %+v", a)
+		}
+	}
+	if !found {
+		t.Fatalf("no latency alert in %+v", st.Firing)
+	}
+
+	// The SLO families must be exported for scrapers too.
+	fams := scrapeMetricsT(t, srv.URL)
+	for _, name := range []string{"rp_slo_error_budget_remaining", "rp_slo_burn_rate", "rp_slo_alerts_firing"} {
+		if fams[name] == nil {
+			t.Fatalf("family %s missing from /metrics", name)
+		}
+	}
+}
+
+// TestControlPlaneDisabled: without the SLO engine and journal, the
+// surfaces answer 501 and /healthz stays a plain "ok".
+func TestControlPlaneDisabled(t *testing.T) {
+	srv := newControlPlaneServer(t, nil, nil)
+	for _, path := range []string{"/v1/alerts", "/debug/events"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotImplemented {
+			t.Fatalf("GET %s = %d, want 501", path, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hp healthPayload
+	decodeBody(t, resp, &hp)
+	if hp.Status != "ok" || hp.SLO != nil {
+		t.Fatalf("health without SLO = %+v", hp)
+	}
+}
+
+// TestREDMetrics: request counts and latency land under the mux's
+// coarse route patterns — never the raw path, even for unmatched
+// attacker-chosen URLs.
+func TestREDMetrics(t *testing.T) {
+	srv := newControlPlaneServer(t, nil, nil)
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(srv.URL + "/v1/solvers")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err := http.Get(srv.URL + "/secret/../raw/path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	fams := scrapeMetricsT(t, srv.URL)
+	req := fams["rp_http_requests_total"]
+	if req == nil {
+		t.Fatal("rp_http_requests_total missing")
+	}
+	byRoute := map[string]float64{}
+	for _, s := range req.Samples {
+		route := s.Label("route")
+		byRoute[route] += s.Value
+		if s.Label("code") == "" {
+			t.Fatalf("sample without code label: %v", s.Labels)
+		}
+	}
+	if byRoute["/v1/solvers"] < 3 {
+		t.Fatalf("route /v1/solvers count = %v", byRoute)
+	}
+	if byRoute["unmatched"] < 1 {
+		t.Fatalf("unmatched requests not bucketed: %v", byRoute)
+	}
+	for route := range byRoute {
+		if route == "/secret/../raw/path" || route == "/raw/path" {
+			t.Fatalf("raw path leaked into route labels: %v", byRoute)
+		}
+	}
+	lat := fams["rp_http_request_seconds"]
+	if lat == nil || lat.Type != "histogram" {
+		t.Fatalf("rp_http_request_seconds = %+v, want a histogram", lat)
+	}
+
+	// The lifetime gauges ride along on every exposition.
+	if fams["rp_start_time_seconds"] == nil || fams["rp_uptime_seconds"] == nil {
+		t.Fatal("start-time/uptime gauges missing")
+	}
+}
+
+// TestDebugEventsEndpoint: journaled events come back oldest-first with
+// lifetime counts, filterable by type, since and limit.
+func TestDebugEventsEndpoint(t *testing.T) {
+	ring := obs.NewEventRing(16, nil)
+	srv := newControlPlaneServer(t, nil, ring)
+
+	ring.Emit(context.Background(), "shard_joined", "w1 joined", "shard", "w1")
+	ring.Emit(context.Background(), "shard_joined", "w2 joined", "shard", "w2")
+	ring.Emit(context.Background(), "circuit_open", "w1 tripped", "shard", "w1")
+
+	var body struct {
+		Events []obs.Event       `json:"events"`
+		Counts map[string]uint64 `json:"counts"`
+	}
+	resp, err := http.Get(srv.URL + "/debug/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, &body)
+	if len(body.Events) != 3 {
+		t.Fatalf("%d events, want 3", len(body.Events))
+	}
+	if body.Events[0].Msg != "w1 joined" || body.Events[2].Type != "circuit_open" {
+		t.Fatalf("wrong order: %+v", body.Events)
+	}
+	if body.Counts["shard_joined"] != 2 {
+		t.Fatalf("counts = %v", body.Counts)
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/events?type=circuit_open&limit=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body.Events = nil
+	decodeBody(t, resp, &body)
+	if len(body.Events) != 1 || body.Events[0].Attrs["shard"] != "w1" {
+		t.Fatalf("filtered events = %+v", body.Events)
+	}
+}
+
+// TestDebugEventsBadQueries: malformed query parameters answer 400, the
+// same loud-failure contract /debug/traces enforces.
+func TestDebugEventsBadQueries(t *testing.T) {
+	srv := newControlPlaneServer(t, nil, obs.NewEventRing(4, nil))
+	for _, tc := range []struct {
+		query string
+		want  int
+	}{
+		{"", http.StatusOK},
+		{"?type=shard_joined", http.StatusOK},
+		{"?since=" + time.Now().Add(-time.Hour).Format("2006-01-02T15:04:05Z"), http.StatusOK},
+		{"?since=1700000000", http.StatusOK},
+		{"?since=-5", http.StatusBadRequest},
+		{"?since=yesterday", http.StatusBadRequest},
+		{"?limit=10", http.StatusOK},
+		{"?limit=0", http.StatusBadRequest},
+		{"?limit=-1", http.StatusBadRequest},
+		{"?limit=many", http.StatusBadRequest},
+	} {
+		resp, err := http.Get(srv.URL + "/debug/events" + tc.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("GET /debug/events%s = %d, want %d", tc.query, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// scrapeMetricsT fetches and strictly parses the handler's /metrics.
+func scrapeMetricsT(t *testing.T, base string) map[string]*obs.Family {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	fams, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	return fams
+}

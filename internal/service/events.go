@@ -1,0 +1,74 @@
+package service
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// errEventsDisabled answers /debug/events on a daemon running without
+// an event journal.
+var errEventsDisabled = errors.New("service: the event journal is not enabled (start the daemon with an event buffer)")
+
+// errAlertsDisabled answers /v1/alerts on a daemon running without SLO
+// objectives.
+var errAlertsDisabled = errors.New("service: no SLO objectives configured (set -slo-availability and/or -slo-latency-p99)")
+
+// handleEvents serves GET /debug/events?type=&since=&limit=: the
+// cluster event journal, oldest first. since accepts RFC 3339 or unix
+// seconds; malformed or negative values answer 400 — the same contract
+// /debug/traces enforces, so a broken dashboard query fails loudly
+// instead of silently returning everything.
+func (a *api) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if a.events == nil {
+		writeError(w, http.StatusNotImplemented, errEventsDisabled)
+		return
+	}
+	q := r.URL.Query()
+	var f obs.EventFilter
+	f.Type = q.Get("type")
+	if v := q.Get("since"); v != "" {
+		sec, err := strconv.ParseFloat(v, 64)
+		switch {
+		case err == nil && sec >= 0:
+			f.Since = time.Unix(0, int64(sec*float64(time.Second)))
+		case err == nil:
+			writeError(w, http.StatusBadRequest, errors.New("service: bad since"))
+			return
+		default:
+			t, terr := time.Parse(time.RFC3339, v)
+			if terr != nil {
+				writeError(w, http.StatusBadRequest, errors.New("service: bad since"))
+				return
+			}
+			f.Since = t
+		}
+	}
+	f.Limit = 100
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeError(w, http.StatusBadRequest, errors.New("service: bad limit"))
+			return
+		}
+		f.Limit = n
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"events": a.events.Events(f),
+		"counts": a.events.Counts(),
+	})
+}
+
+// handleAlerts serves GET /v1/alerts: the SLO engine's full evaluation —
+// verdict, per-objective budget and burn rates, alerts firing now and
+// recently resolved (each with fired/resolved timestamps).
+func (a *api) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	if a.slo == nil {
+		writeError(w, http.StatusNotImplemented, errAlertsDisabled)
+		return
+	}
+	writeJSON(w, http.StatusOK, a.slo.Evaluate())
+}

@@ -1,0 +1,174 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// coordinatorShardLabel is the `shard` label value stamped on the
+// coordinator's own series in the federated exposition. Shard base
+// URLs always contain "://", so the value cannot collide with a real
+// member address.
+const coordinatorShardLabel = "coordinator"
+
+// handleFederate serves GET /v1/cluster/metrics: one merged Prometheus
+// exposition covering the coordinator and every live shard, each series
+// carrying a `shard` label naming its source. The shard expositions
+// come from the pool's probe-loop scrape cache (strictly validated at
+// scrape time), so this endpoint does no fan-out I/O of its own — one
+// external scrape of a coordinator covers the whole elastic cluster at
+// cache freshness, and stale or departed shards age out of the merge
+// with the membership.
+func (a *api) handleFederate(w http.ResponseWriter, r *http.Request) {
+	fed, ok := a.cluster.(MetricsFederator)
+	if !ok {
+		writeError(w, http.StatusNotImplemented,
+			errors.New("this daemon federates no shard metrics; start it as a coordinator (-shards, -shards-file or -coordinator)"))
+		return
+	}
+
+	// The coordinator's own exposition joins the merge through the same
+	// parser the shard scrapes went through, so every source is shaped
+	// identically.
+	var local bytes.Buffer
+	a.renderMetrics(&local)
+	localFams, err := obs.ParseExposition(&local)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("local exposition invalid: %w", err))
+		return
+	}
+
+	shards := fed.FederatedExpositions()
+	sort.Slice(shards, func(i, j int) bool { return shards[i].Addr < shards[j].Addr })
+
+	// Freshness of each federated source, synthesized into the local
+	// family set: it guarantees at least one series per live shard in
+	// the merge (obscheck federate counts these) and tells the scraper
+	// how old each shard's numbers are.
+	if len(shards) > 0 {
+		age := &obs.Family{
+			Name: "rp_federation_shard_age_seconds",
+			Help: "Age of the shard's last validated /metrics scrape in the federation cache.",
+			Type: "gauge",
+		}
+		for _, se := range shards {
+			age.Samples = append(age.Samples, obs.Sample{
+				Name:   age.Name,
+				Labels: map[string]string{"shard": se.Addr},
+				Value:  se.Age.Seconds(),
+			})
+		}
+		localFams[age.Name] = age
+	}
+
+	type fedSource struct {
+		label string
+		fams  map[string]*obs.Family
+	}
+	sources := make([]fedSource, 0, 1+len(shards))
+	sources = append(sources, fedSource{coordinatorShardLabel, localFams})
+	for _, se := range shards {
+		sources = append(sources, fedSource{se.Addr, se.Families})
+	}
+
+	// Family order is the sorted union of names; HELP/TYPE come from the
+	// first source holding the family (the coordinator wins ties). A
+	// source whose family re-declares the name at a different type is
+	// skipped for that family — merging a counter into a histogram
+	// would corrupt both.
+	names := map[string]bool{}
+	for _, src := range sources {
+		for name := range src.fams {
+			names[name] = true
+		}
+	}
+	ordered := make([]string, 0, len(names))
+	for name := range names {
+		ordered = append(ordered, name)
+	}
+	sort.Strings(ordered)
+
+	var buf bytes.Buffer
+	p := promWriter{&buf}
+	for _, name := range ordered {
+		var typ, help string
+		for _, src := range sources {
+			if f := src.fams[name]; f != nil {
+				typ, help = f.Type, f.Help
+				break
+			}
+		}
+		p.family(name, typ, help)
+		for _, src := range sources {
+			f := src.fams[name]
+			if f == nil {
+				continue
+			}
+			if f.Type != typ {
+				a.log.Debug("federation: family type conflict; source skipped",
+					"family", name, "shard", src.label, "type", f.Type, "want", typ)
+				continue
+			}
+			local := src.label == coordinatorShardLabel
+			for _, s := range f.Samples {
+				writeFederatedSample(p, s, src.label, local)
+			}
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}
+
+// writeFederatedSample re-renders one parsed sample with the federation
+// `shard` label applied. Coordinator-local series keep a shard label
+// they already carry (the rp_cluster_shard_* families attribute a shard
+// themselves); every other local series gains shard="coordinator". A
+// federated series always gets shard=<source addr> — if it already had
+// a shard label (a tiered coordinator scraped as a shard), the original
+// moves to origin_shard so no two sources can collide on one series.
+func writeFederatedSample(p promWriter, s obs.Sample, source string, local bool) {
+	labels := make(map[string]string, len(s.Labels)+1)
+	for k, v := range s.Labels {
+		labels[k] = v
+	}
+	if local {
+		if _, ok := labels["shard"]; !ok {
+			labels["shard"] = coordinatorShardLabel
+		}
+	} else {
+		if prev, ok := labels["shard"]; ok {
+			labels["origin_shard"] = prev
+		}
+		labels["shard"] = source
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var lb bytes.Buffer
+	for i, k := range keys {
+		if i > 0 {
+			lb.WriteByte(',')
+		}
+		lb.WriteString(k)
+		lb.WriteString(`="`)
+		lb.WriteString(labelEscaper.Replace(labels[k]))
+		lb.WriteByte('"')
+	}
+	p.buf.WriteString(s.Name)
+	p.buf.WriteByte('{')
+	p.buf.Write(lb.Bytes())
+	p.buf.WriteByte('}')
+	p.buf.WriteByte(' ')
+	p.buf.WriteString(strconv.FormatFloat(s.Value, 'g', -1, 64))
+	p.buf.WriteByte('\n')
+}

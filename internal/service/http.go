@@ -60,6 +60,16 @@ type HandlerOptions struct {
 	// every request, the default when Spans is set and TraceSample is
 	// 0). Slow requests are retained regardless of sampling.
 	TraceSample float64
+	// SLO, when set, tracks availability and latency objectives over the
+	// handler's traffic: the instrumentation middleware feeds it, its
+	// verdict folds into /healthz, and GET /v1/alerts serves its alert
+	// state. Nil leaves /v1/alerts answering 501 and /healthz always
+	// "ok".
+	SLO *obs.SLO
+	// Events, when set, is the cluster event journal served at
+	// GET /debug/events and counted in rp_cluster_events_total. Nil
+	// leaves the endpoint answering 501.
+	Events *obs.EventRing
 }
 
 // defaultInlineCampaigns is the /v1/campaign concurrency limit when
@@ -84,6 +94,9 @@ type api struct {
 	slowReq     time.Duration
 	spans       *obs.SpanStore
 	traceSample float64
+	slo         *obs.SLO       // nil = no SLO tracking
+	events      *obs.EventRing // nil = no event journal
+	red         *redMetrics    // per-route request counts and latency
 }
 
 // NewHandler returns the HTTP API served by cmd/rpserve, with default
@@ -131,7 +144,8 @@ func newAPI(e *Engine, opts HandlerOptions) *api {
 	a := &api{e: e, jobs: opts.Jobs, cluster: opts.Cluster,
 		secret: opts.ClusterSecret, wire: opts.Wire,
 		log: opts.Logger, slowReq: opts.SlowRequest,
-		spans: opts.Spans, traceSample: opts.TraceSample}
+		spans: opts.Spans, traceSample: opts.TraceSample,
+		slo: opts.SLO, events: opts.Events, red: newRedMetrics()}
 	if a.log == nil {
 		a.log = obs.NopLogger()
 	}
@@ -148,9 +162,19 @@ func (a *api) routes() http.Handler {
 	e := a.e
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, healthPayload{Status: "ok", Version: buildVersion(),
+		// The SLO verdict folds into the liveness answer: status stays a
+		// 200 (the process is up and answering) but flips from "ok" to
+		// "degraded"/"critical" when burn-rate alerts are firing, so a
+		// plain healthz poll doubles as the cluster health signal.
+		payload := healthPayload{Status: "ok", Version: buildVersion(),
 			Stats: e.Stats(), Jobs: a.jobStats(),
-			Shards: a.shardStats(), Cluster: a.clusterStats()})
+			Shards: a.shardStats(), Cluster: a.clusterStats()}
+		if a.slo != nil {
+			st := a.slo.Evaluate()
+			payload.Status = st.Verdict
+			payload.SLO = &st
+		}
+		writeJSON(w, http.StatusOK, payload)
 	})
 	mux.HandleFunc("GET /v1/worker/ping", func(w http.ResponseWriter, r *http.Request) {
 		// The lightweight liveness probe a cluster pool hits on every
@@ -190,8 +214,11 @@ func (a *api) routes() http.Handler {
 	mux.HandleFunc("GET /v1/cluster/shards", a.handleClusterList)
 	mux.HandleFunc("POST /v1/cluster/shards", a.handleClusterJoin)
 	mux.HandleFunc("DELETE /v1/cluster/shards", a.handleClusterLeave)
+	mux.HandleFunc("GET /v1/cluster/metrics", a.handleFederate)
+	mux.HandleFunc("GET /v1/alerts", a.handleAlerts)
 	mux.HandleFunc("GET /v1/traces/{id}", a.handleTrace)
 	mux.HandleFunc("GET /debug/traces", a.handleTraceList)
+	mux.HandleFunc("GET /debug/events", a.handleEvents)
 	if a.wire != nil {
 		mux.Handle("GET /v1/wire", a.wire)
 	}
@@ -342,12 +369,13 @@ func (a *api) shardStats() []ShardStat {
 }
 
 type healthPayload struct {
-	Status  string        `json:"status"`
-	Version string        `json:"version,omitempty"`
-	Stats   Stats         `json:"stats"`
-	Jobs    *jobs.Stats   `json:"jobs,omitempty"`
-	Shards  []ShardStat   `json:"shards,omitempty"`
-	Cluster *ClusterStats `json:"cluster,omitempty"`
+	Status  string         `json:"status"`
+	Version string         `json:"version,omitempty"`
+	Stats   Stats          `json:"stats"`
+	Jobs    *jobs.Stats    `json:"jobs,omitempty"`
+	Shards  []ShardStat    `json:"shards,omitempty"`
+	Cluster *ClusterStats  `json:"cluster,omitempty"`
+	SLO     *obs.SLOStatus `json:"slo,omitempty"`
 }
 
 // pingPayload is the GET /v1/worker/ping body.

@@ -55,6 +55,16 @@ func (a *api) instrument(next http.Handler) http.Handler {
 		next.ServeHTTP(sw, r)
 		d := time.Since(start)
 
+		// The mux recorded its matched pattern on the request during
+		// routing, so the RED metrics see the coarse route, never the
+		// raw path. Monitoring routes are RED-counted but exempt from
+		// SLO accounting (see sloExempt).
+		route := routePattern(r)
+		a.red.observe(route, sw.status, d)
+		if a.slo != nil && !sloExempt(route) {
+			a.slo.Observe(sw.status, d)
+		}
+
 		if root != nil {
 			root.SetAttr("status", strconv.Itoa(sw.status))
 			root.End()

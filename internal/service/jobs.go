@@ -37,6 +37,9 @@ type JobsOptions struct {
 	// Spans, when set, records a span per job run into the process
 	// flight recorder; see jobs.Options.Spans.
 	Spans *obs.SpanStore
+	// Events, when set, records a job_failed event per job that reaches
+	// a failed terminal state; see jobs.Options.Events.
+	Events *obs.EventRing
 }
 
 // NewJobsManager wires the async job subsystem for an engine: a file
@@ -69,6 +72,7 @@ func NewJobsManagerOpts(e *Engine, opts JobsOptions) (*jobs.Manager, error) {
 		RetainFor: opts.RetainFor,
 		Logger:    opts.Logger,
 		Spans:     opts.Spans,
+		Events:    opts.Events,
 	}, kinds...)
 }
 

@@ -10,9 +10,16 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/obs"
 )
+
+// processStart pins the daemon's start instant for the
+// rp_start_time_seconds / rp_uptime_seconds gauges — alert math wants
+// to know how long the process has been collecting, and federation
+// freshness checks want a per-shard epoch.
+var processStart = time.Now()
 
 // handleMetrics serves the engine counters (and, when a job manager is
 // attached, the job-state gauges) in the Prometheus text exposition
@@ -20,12 +27,27 @@ import (
 // so the daemon stays dependency-free.
 func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var buf bytes.Buffer
-	p := promWriter{&buf}
+	a.renderMetrics(&buf)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}
+
+// renderMetrics writes the full local exposition into buf. It is the
+// body of GET /metrics, and the federation endpoint reuses it so the
+// coordinator's own series appear in the merged cluster view.
+func (a *api) renderMetrics(buf *bytes.Buffer) {
+	p := promWriter{buf}
 	st := a.e.Stats()
 
 	p.family("rp_build_info", "gauge", "Build metadata; the value is always 1.")
 	p.sample("rp_build_info",
 		`version="`+labelEscaper.Replace(buildVersion())+`",go_version="`+labelEscaper.Replace(runtime.Version())+`"`, 1)
+
+	p.family("rp_start_time_seconds", "gauge", "Unix time the process started.")
+	p.sample("rp_start_time_seconds", "", float64(processStart.UnixNano())/1e9)
+	p.family("rp_uptime_seconds", "gauge", "Seconds since the process started.")
+	p.sample("rp_uptime_seconds", "", time.Since(processStart).Seconds())
 
 	p.family("rp_engine_requests_total", "counter", "Solve requests accepted by the engine.")
 	p.sample("rp_engine_requests_total", "", float64(st.Requests))
@@ -85,6 +107,66 @@ func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.histogramVec("rp_engine_solve_seconds", "solver", solveHist)
 	p.family("rp_engine_queue_wait_seconds", "histogram", "Time a request waited for a solver worker slot, per solver.")
 	p.histogramVec("rp_engine_queue_wait_seconds", "solver", queueHist)
+
+	// HTTP-layer RED metrics: coarse mux routes only, so label
+	// cardinality is bounded by the route table.
+	red := a.red.snapshot()
+	routes := make([]string, 0, len(red))
+	for route := range red {
+		routes = append(routes, route)
+	}
+	sort.Strings(routes)
+	p.family("rp_http_requests_total", "counter", "HTTP requests by coarse route pattern and status code.")
+	for _, route := range routes {
+		codes := make([]int, 0, len(red[route]))
+		for code := range red[route] {
+			codes = append(codes, code)
+		}
+		sort.Ints(codes)
+		for _, code := range codes {
+			p.sample("rp_http_requests_total",
+				`route="`+labelEscaper.Replace(route)+`",code="`+statusCodeLabel(code)+`"`,
+				float64(red[route][code]))
+		}
+	}
+	p.family("rp_http_request_seconds", "histogram", "HTTP request latency by coarse route pattern.")
+	p.histogramVec("rp_http_request_seconds", "route", a.red.latency.Snapshot())
+
+	if a.slo != nil {
+		slo := a.slo.Evaluate()
+		p.family("rp_slo_error_budget_remaining", "gauge", "Unspent fraction of the objective's error budget over the accounting window (1 = untouched, <= 0 = exhausted).")
+		for _, o := range slo.Objectives {
+			p.sample("rp_slo_error_budget_remaining", `objective="`+labelEscaper.Replace(o.Name)+`"`, o.BudgetRemaining)
+		}
+		p.family("rp_slo_burn_rate", "gauge", "Error-budget burn rate per objective and lookback window (1 = spending exactly the budget).")
+		for _, o := range slo.Objectives {
+			windows := make([]string, 0, len(o.Burn))
+			for w := range o.Burn {
+				windows = append(windows, w)
+			}
+			sort.Strings(windows)
+			for _, w := range windows {
+				p.sample("rp_slo_burn_rate",
+					`objective="`+labelEscaper.Replace(o.Name)+`",window="`+labelEscaper.Replace(w)+`"`,
+					o.Burn[w])
+			}
+		}
+		p.family("rp_slo_alerts_firing", "gauge", "Burn-rate alerts currently firing.")
+		p.sample("rp_slo_alerts_firing", "", float64(len(slo.Firing)))
+	}
+
+	if a.events != nil {
+		counts := a.events.Counts()
+		types := make([]string, 0, len(counts))
+		for t := range counts {
+			types = append(types, t)
+		}
+		sort.Strings(types)
+		p.family("rp_cluster_events_total", "counter", "Cluster events journaled, by type.")
+		for _, t := range types {
+			p.sample("rp_cluster_events_total", `type="`+labelEscaper.Replace(t)+`"`, float64(counts[t]))
+		}
+	}
 
 	rt := obs.ReadGoRuntime()
 	p.family("rp_go_goroutines", "gauge", "Live goroutines in the process.")
@@ -193,10 +275,6 @@ func (a *api) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			p.histogram("rp_cluster_batch_reorder_wait_seconds", "", h.ReorderWait)
 		}
 	}
-
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	w.Write(buf.Bytes())
 }
 
 // promWriter emits the Prometheus text exposition format.

@@ -1,0 +1,92 @@
+package service
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// redMetrics is the HTTP-layer RED view: request counts by route and
+// status code (rp_http_requests_total) and a latency histogram per
+// route (rp_http_request_seconds). Routes are the mux's coarse
+// patterns — "/v1/solve", "/v1/jobs/{id}" — never raw request paths,
+// so cardinality is bounded by the route table, not by traffic.
+type redMetrics struct {
+	mu       sync.Mutex
+	requests map[string]map[int]uint64 // route → status code → count
+	latency  *obs.HistogramVec         // by route
+}
+
+func newRedMetrics() *redMetrics {
+	return &redMetrics{
+		requests: make(map[string]map[int]uint64),
+		latency:  obs.NewHistogramVec(nil),
+	}
+}
+
+// observe records one finished request.
+func (m *redMetrics) observe(route string, status int, d time.Duration) {
+	m.mu.Lock()
+	byCode := m.requests[route]
+	if byCode == nil {
+		byCode = make(map[int]uint64)
+		m.requests[route] = byCode
+	}
+	byCode[status]++
+	m.mu.Unlock()
+	m.latency.Observe(route, d)
+}
+
+// snapshot copies the request counts for rendering.
+func (m *redMetrics) snapshot() map[string]map[int]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]map[int]uint64, len(m.requests))
+	for route, byCode := range m.requests {
+		cp := make(map[int]uint64, len(byCode))
+		for code, n := range byCode {
+			cp[code] = n
+		}
+		out[route] = cp
+	}
+	return out
+}
+
+// routePattern derives the RED route label from the request after the
+// mux has routed it: Go 1.23's ServeMux records the matched pattern on
+// the request itself. The method prefix is stripped ("GET /healthz" →
+// "/healthz"); an unmatched request (404/405 from the mux) gets the
+// catch-all label so raw attacker-chosen paths never become label
+// values.
+func routePattern(r *http.Request) string {
+	pat := r.Pattern
+	if i := strings.IndexByte(pat, ' '); i >= 0 {
+		pat = pat[i+1:]
+	}
+	if pat == "" {
+		return "unmatched"
+	}
+	return pat
+}
+
+// sloExempt reports whether the route is monitoring/introspection
+// surface rather than user-facing traffic. Exempt routes still count in
+// the RED metrics, but they must not feed the SLO windows: a storm of
+// fast 200 healthz polls would dilute a real latency breach, and a
+// scrape of a degraded daemon must not move the very objective it is
+// reading.
+func sloExempt(route string) bool {
+	switch route {
+	case "/healthz", "/metrics", "/v1/worker/ping",
+		"/v1/alerts", "/v1/cluster/metrics", "/v1/traces/{id}", "unmatched":
+		return true
+	}
+	return strings.HasPrefix(route, "/debug/")
+}
+
+// statusCodeLabel renders the code label value.
+func statusCodeLabel(code int) string { return strconv.Itoa(code) }
