@@ -96,6 +96,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/session"
 )
 
 func main() {
@@ -133,6 +134,8 @@ func main() {
 		traceSample  = flag.Float64("trace-sample", 1.0, "fraction of requests recording span traces (slow requests are always retained)")
 		traceBuffer  = flag.Int("trace-buffer", obs.DefaultSpanCapacity, "spans held in the in-process flight recorder (0 = default, negative disables tracing)")
 		eventBuffer  = flag.Int("event-buffer", obs.DefaultEventCapacity, "cluster events held in the in-process journal at /debug/events (0 = default, negative disables)")
+		sessionsMax  = flag.Int("sessions", 0, "max live placement sessions under /v1/instances (0 = default 1024, negative disables sessions)")
+		sessionTTL   = flag.Duration("session-ttl", 0, "expire placement sessions idle longer than this (0 = never; sessions with watchers don't expire)")
 		sloAvail     = flag.Float64("slo-availability", 0, "availability objective as a success ratio, e.g. 0.999 (0 disables the availability SLO)")
 		sloLatency   = flag.Duration("slo-latency-p99", 0, "latency objective: 99% of SLO-counted requests finish within this duration (0 disables the latency SLO)")
 		sloWindow    = flag.Duration("slo-window", 6*time.Hour, "SLO error-budget window (also the longest burn-rate lookback)")
@@ -177,6 +180,8 @@ func main() {
 			switch f.Name {
 			case "jobs-dir", "job-workers", "job-ttl":
 				fatalf("-worker serves no jobs; -%s is meaningless here", f.Name)
+			case "sessions", "session-ttl":
+				fatalf("-worker serves no placement sessions; -%s is meaningless here", f.Name)
 			}
 		})
 	} else if *register != "" {
@@ -293,6 +298,18 @@ func main() {
 	if pool != nil {
 		handlerOpts.Cluster = pool
 	}
+	var sessionMgr *session.Manager
+	if !*worker && *sessionsMax >= 0 {
+		// Placement sessions live on daemons and coordinators; worker
+		// shards serve stateless solve capacity only.
+		sessionMgr = session.NewManager(session.Options{
+			Resolve:     service.SessionResolver(engine.Registry()),
+			MaxSessions: *sessionsMax,
+			TTL:         *sessionTTL,
+			Logger:      logger,
+		})
+		handlerOpts.Sessions = sessionMgr
+	}
 
 	var handler http.Handler = service.NewHandlerOpts(engine, handlerOpts)
 	if *pprofOn {
@@ -361,6 +378,12 @@ func main() {
 	// stops handing this worker new rows while in-flight ones drain.
 	if registrar != nil {
 		registrar.Stop()
+	}
+	// Session watchers are long-lived streaming responses that would
+	// otherwise pin connections for Shutdown's whole drain; closing the
+	// manager first ends their streams cleanly.
+	if sessionMgr != nil {
+		sessionMgr.Close()
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

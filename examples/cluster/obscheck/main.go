@@ -55,10 +55,21 @@
 //	    matching event is journaled, retrying briefly (membership
 //	    expiry lands a probe interval after the kill). Prints the
 //	    newest matching event.
+//
+//	obscheck session URL ID WATCH_FILE WANT_REV
+//	    Close the placement-session loop: fold the NDJSON diff stream
+//	    captured from GET /v1/instances/ID/watch?from_rev=0 (revisions
+//	    must be contiguous, no double-add, no unknown drop), require
+//	    the fold to reach WANT_REV, and compare the folded replica set
+//	    and cost against (a) the session's own status and (b) a cold
+//	    POST /v1/solve of the mutated instance fetched back with
+//	    ?include_instance=1. run.sh uses it to pin that a hundred
+//	    watched deltas land exactly where a from-scratch solve does.
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -162,8 +173,19 @@ func main() {
 		if err := checkEvent(args[0], args[1]); err != nil {
 			fail("obscheck event: %s: %v", args[0], err)
 		}
+	case "session":
+		if len(args) != 4 {
+			fail("obscheck session: want URL ID WATCH_FILE WANT_REV")
+		}
+		wantRev, err := strconv.ParseUint(args[3], 10, 64)
+		if err != nil {
+			fail("obscheck session: bad revision %q: %v", args[3], err)
+		}
+		if err := checkSession(args[0], args[1], args[2], wantRev); err != nil {
+			fail("obscheck session: %s: %v", args[1], err)
+		}
 	default:
-		fail("obscheck: unknown mode %q (want logs|metrics|latency|assert|trace|federate|alerts|event)", mode)
+		fail("obscheck: unknown mode %q (want logs|metrics|latency|assert|trace|federate|alerts|event|session)", mode)
 	}
 }
 
@@ -541,4 +563,159 @@ func printLatency(url string) error {
 	series("rp_engine_queue_wait_seconds", "solver")
 	series("rp_jobs_duration_seconds", "")
 	return nil
+}
+
+// checkSession folds a captured watch stream and requires the result to
+// match both the session's status and a cold solve of the instance the
+// session mutated — the end-to-end form of the per-delta equivalence
+// the unit tests pin.
+func checkSession(url, id, watchFile string, wantRev uint64) error {
+	rev, cost, replicas, lines, err := foldWatch(watchFile)
+	if err != nil {
+		return err
+	}
+	if rev != wantRev {
+		return fmt.Errorf("watch fold ended at rev %d, want %d", rev, wantRev)
+	}
+
+	// The session's own view of where the deltas landed.
+	resp, err := http.Get(url + "/v1/instances/" + id + "?include_instance=1")
+	if err != nil {
+		return err
+	}
+	var status struct {
+		Solver   string          `json:"solver"`
+		Policy   string          `json:"policy"`
+		Rev      uint64          `json:"rev"`
+		Cost     int64           `json:"cost"`
+		Replicas []int           `json:"replicas"`
+		Instance json.RawMessage `json:"instance"`
+	}
+	code := resp.StatusCode
+	err = json.NewDecoder(resp.Body).Decode(&status)
+	resp.Body.Close()
+	if code != http.StatusOK {
+		return fmt.Errorf("GET /v1/instances/%s: status %d", id, code)
+	}
+	if err != nil {
+		return err
+	}
+	if status.Rev != wantRev {
+		return fmt.Errorf("session sits at rev %d, want %d", status.Rev, wantRev)
+	}
+	if cost != status.Cost || !equalInts(replicas, status.Replicas) {
+		return fmt.Errorf("watch fold (cost %d, replicas %v) != session status (cost %d, replicas %v)",
+			cost, replicas, status.Cost, status.Replicas)
+	}
+	if len(status.Instance) == 0 {
+		return fmt.Errorf("status carries no instance despite include_instance=1")
+	}
+
+	// A from-scratch solve of the mutated instance must land on the
+	// exact same placement the watcher folded together.
+	body, err := json.Marshal(map[string]any{
+		"instance": json.RawMessage(status.Instance),
+		"solver":   status.Solver,
+		"policy":   status.Policy,
+	})
+	if err != nil {
+		return err
+	}
+	solveResp, err := http.Post(url+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var cold struct {
+		NoSolution bool  `json:"no_solution"`
+		Cost       int64 `json:"cost"`
+		Replicas   []int `json:"replicas"`
+	}
+	code = solveResp.StatusCode
+	err = json.NewDecoder(solveResp.Body).Decode(&cold)
+	solveResp.Body.Close()
+	if code != http.StatusOK {
+		return fmt.Errorf("cold /v1/solve: status %d", code)
+	}
+	if err != nil {
+		return err
+	}
+	if cold.NoSolution {
+		return fmt.Errorf("cold solve of the mutated instance found no solution")
+	}
+	if cost != cold.Cost || !equalInts(replicas, cold.Replicas) {
+		return fmt.Errorf("watch fold (cost %d, replicas %v) != cold solve (cost %d, replicas %v)",
+			cost, replicas, cold.Cost, cold.Replicas)
+	}
+	fmt.Printf("obscheck: session %s: %d watched diffs fold to rev %d, cost %d, %d replicas == cold %s solve\n",
+		id, lines, rev, cost, len(replicas), status.Solver)
+	return nil
+}
+
+// foldWatch replays a watch capture: revisions must be contiguous, an
+// added server must not already hold a replica, a dropped one must.
+// Returns the final revision, cost and sorted replica set.
+func foldWatch(path string) (rev uint64, cost int64, replicas []int, lines int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, nil, 0, err
+	}
+	defer f.Close()
+	have := map[int]bool{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var d struct {
+			Rev  uint64 `json:"rev"`
+			Add  []int  `json:"add"`
+			Drop []int  `json:"drop"`
+			Cost int64  `json:"cost"`
+		}
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			return 0, 0, nil, 0, fmt.Errorf("line %d: %v", lines+1, err)
+		}
+		if lines > 0 && d.Rev != rev+1 {
+			return 0, 0, nil, 0, fmt.Errorf("line %d: rev %d after rev %d (diffs must be contiguous)", lines+1, d.Rev, rev)
+		}
+		for _, v := range d.Add {
+			if have[v] {
+				return 0, 0, nil, 0, fmt.Errorf("rev %d adds server %d twice", d.Rev, v)
+			}
+			have[v] = true
+		}
+		for _, v := range d.Drop {
+			if !have[v] {
+				return 0, 0, nil, 0, fmt.Errorf("rev %d drops server %d which holds no replica", d.Rev, v)
+			}
+			delete(have, v)
+		}
+		rev, cost = d.Rev, d.Cost
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		return 0, 0, nil, 0, err
+	}
+	if lines == 0 {
+		return 0, 0, nil, 0, fmt.Errorf("empty watch capture")
+	}
+	for v := range have {
+		replicas = append(replicas, v)
+	}
+	sort.Ints(replicas)
+	return rev, cost, replicas, lines, nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -40,6 +40,14 @@
 # exposition parser, and prints a per-shard latency summary from the
 # rp_cluster_shard_rtt_seconds histograms.
 #
+# The default mode also closes the placement-session loop end to end:
+# it registers the walkthrough instance as a live session (solver mg),
+# attaches a watcher from revision 0, streams a hundred set_rate deltas
+# through PATCH /v1/instances/{id}, and has obscheck fold the captured
+# NDJSON diffs — asserting the folded replica set and cost are
+# byte-identical to a cold /v1/solve of the mutated instance fetched
+# back with ?include_instance=1.
+#
 # The default mode also walks the cluster control plane: one scrape of
 # GET /v1/cluster/metrics must cover every live shard (validated by the
 # strict parser, every series shard-labeled), a hot-joined worker must
@@ -298,6 +306,45 @@ say "comparing merged CSVs"
 if ! cmp "$BIN/sharded.csv" "$BIN/single.csv"; then
   echo "sharded and single-process results differ" >&2
   exit 1
+fi
+
+if [ "$KILL_WORKER" = "0" ] && [ "$JOIN_WORKER" = "0" ]; then
+  N_DELTAS=100
+  say "placement session e2e: $N_DELTAS watched deltas vs a cold solve"
+  SID=$(curl -sf "$SINGLE/v1/instances" \
+    -d "{\"instance\":$INSTANCE,\"solver\":\"mg\"}" | json_field id)
+  [ -n "$SID" ] || { echo "session registration returned no id" >&2; exit 1; }
+
+  WATCH="$BIN/watch.ndjson"
+  curl -sN "$SINGLE/v1/instances/$SID/watch?from_rev=0" > "$WATCH" &
+  WATCH_PID=$!; PIDS+=("$WATCH_PID")
+
+  # Client vertex ids from the instance's is_client vector (0-based).
+  mapfile -t SESSION_CLIENTS < <(echo "$ISCLIENT" | tr -d '[] ' | tr ',' '\n' |
+    awk '$1 == "true" {print NR - 1}')
+  NC=${#SESSION_CLIENTS[@]}
+  [ "$NC" -ge 1 ] || { echo "no clients parsed from $ISCLIENT" >&2; exit 1; }
+
+  say "patching session $SID: set_rate over $NC clients"
+  for i in $(seq 1 "$N_DELTAS"); do
+    V=${SESSION_CLIENTS[$(( i % NC ))]}
+    RATE=$(( (i * 7) % 23 + 1 ))
+    curl -sf -X PATCH "$SINGLE/v1/instances/$SID" \
+      -d "{\"ops\":[{\"op\":\"set_rate\",\"vertex\":$V,\"value\":$RATE}]}" >/dev/null
+  done
+
+  WANT_REV=$(( N_DELTAS + 1 ))
+  for _ in $(seq 1 100); do
+    grep -q "\"rev\":$WANT_REV" "$WATCH" 2>/dev/null && break
+    sleep 0.1
+  done
+  grep -q "\"rev\":$WANT_REV" "$WATCH" ||
+    { echo "watch stream never delivered rev $WANT_REV" >&2; exit 1; }
+  kill "$WATCH_PID" 2>/dev/null || true
+
+  "$BIN/obscheck" session "$SINGLE" "$SID" "$WATCH" "$WANT_REV"
+  "$BIN/obscheck" assert "$SINGLE" rp_session_deltas_total "$N_DELTAS"
+  curl -sf -X DELETE "$SINGLE/v1/instances/$SID" >/dev/null || true
 fi
 
 say "cluster health after the run:"

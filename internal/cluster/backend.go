@@ -3,9 +3,11 @@ package cluster
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/multiobject"
 	"repro/internal/service"
 )
 
@@ -56,6 +58,17 @@ func resultFromResponse(resp *service.Response) (service.Result, error) {
 		return service.Result{NoSolution: true, HasBound: resp.Bound != nil}, nil
 	case resp.Bound != nil:
 		return service.Result{HasBound: true, Bound: resp.Bound.Value, BoundExact: resp.Bound.Exact}, nil
+	case len(resp.PerObject) > 0:
+		// Multi-object placement: the wire carries one solution per
+		// object (the coordinator asked for IncludeSolution above).
+		ms := &multiobject.Solution{PerObject: make([]*core.Solution, len(resp.PerObject))}
+		for i, op := range resp.PerObject {
+			if op.Solution == nil {
+				return service.Result{}, fmt.Errorf("cluster: worker multi-object response misses object %d's solution", op.Object)
+			}
+			ms.PerObject[i] = op.Solution
+		}
+		return service.Result{MultiSolution: ms}, nil
 	case resp.Solution != nil:
 		return service.Result{Solution: resp.Solution}, nil
 	default:

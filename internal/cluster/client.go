@@ -137,10 +137,11 @@ func (p *Pool) Ping(ctx context.Context) map[string]error {
 
 // wireOptions mirrors the /v1/solve options wire shape.
 type wireOptions struct {
-	TimeoutMS       int64 `json:"timeout_ms,omitempty"`
-	NoCache         bool  `json:"no_cache,omitempty"`
-	BoundNodes      int   `json:"bound_nodes,omitempty"`
-	IncludeSolution bool  `json:"include_solution,omitempty"`
+	TimeoutMS       int64                   `json:"timeout_ms,omitempty"`
+	NoCache         bool                    `json:"no_cache,omitempty"`
+	BoundNodes      int                     `json:"bound_nodes,omitempty"`
+	IncludeSolution bool                    `json:"include_solution,omitempty"`
+	Objects         []service.ObjectVectors `json:"objects,omitempty"`
 }
 
 // solveWire is the /v1/solve request body.
@@ -187,6 +188,7 @@ func (p *Pool) Solve(ctx context.Context, in *core.Instance, solver string, poli
 				BoundNodes:      opt.BoundNodes,
 				NoCache:         opt.NoCache,
 				IncludeSolution: true, // the coordinator rebuilds a full Result
+				Objects:         opt.Objects,
 			},
 		}
 		resp, err := p.postJSON(ctx, s, "/v1/solve", body)

@@ -43,6 +43,11 @@ type Options struct {
 	// IncludeSolution asks for the full assignment in the response, not
 	// just the replica set and cost.
 	IncludeSolution bool
+	// Objects carries the per-object request/cost vectors of a
+	// multi-object request (solvers with MultiObject set; required
+	// there, rejected as a 400 elsewhere by the HTTP layer and zeroed
+	// here so a stray value cannot split the cache key space).
+	Objects []ObjectVectors
 }
 
 // Request names one computation: a solver (or solver family, resolved
@@ -72,6 +77,9 @@ type Response struct {
 	Replicas     []int `json:"replicas,omitempty"`
 	// Solution is the full assignment (Options.IncludeSolution).
 	Solution *core.Solution `json:"solution,omitempty"`
+	// PerObject carries a multi-object solver's per-object placements;
+	// Cost is then the total across objects.
+	PerObject []ObjectPlacement `json:"per_object,omitempty"`
 	// Bound carries a bound backend's result.
 	Bound *BoundPayload `json:"bound,omitempty"`
 	// Cached reports that the response was served from the cache or an
@@ -331,6 +339,15 @@ func (e *Engine) solve(ctx context.Context, req Request) (*Response, error) {
 	} else if opt.BoundNodes <= 0 {
 		opt.BoundNodes = defaultBoundNodes
 	}
+	// Same guard for the per-object vectors: only multi-object backends
+	// consume them. They must arrive for those (the backend has nothing
+	// to run on otherwise), and the up-front shape check keeps malformed
+	// vectors out of the cache key.
+	if !solver.MultiObject {
+		opt.Objects = nil
+	} else if _, err := buildMultiInstance(req.Instance, opt.Objects); err != nil {
+		return nil, err
+	}
 
 	start := time.Now()
 	j := &job{ctx: ctx, solver: solver, in: req.Instance, opt: opt, start: start, done: make(chan struct{})}
@@ -419,6 +436,11 @@ func (e *Engine) CacheProbe(req Request) (key string, resp *Response, ok bool) {
 	} else if opt.BoundNodes <= 0 {
 		opt.BoundNodes = defaultBoundNodes
 	}
+	if !solver.MultiObject {
+		opt.Objects = nil
+	} else if len(opt.Objects) == 0 {
+		return "", nil, false // Solve would reject it; nothing cacheable
+	}
 	key = Key(req.Instance, solver.Name, opt)
 	res, found := e.cache.peek(key, solver.Name)
 	if !found {
@@ -487,6 +509,15 @@ func (e *Engine) run(j *job) {
 			res, err = Result{}, fmt.Errorf("service: solver %s produced an invalid solution: %w", j.solver.Name, verr)
 		}
 	}
+	if err == nil && res.MultiSolution != nil {
+		// The vectors passed normalization in Solve, so a failure here
+		// is the backend's fault, not the request's.
+		if mi, merr := buildMultiInstance(j.in, j.opt.Objects); merr != nil {
+			res, err = Result{}, merr
+		} else if verr := res.MultiSolution.Validate(mi, j.solver.Policy); verr != nil {
+			res, err = Result{}, fmt.Errorf("service: solver %s produced an invalid multi-object solution: %w", j.solver.Name, verr)
+		}
+	}
 	if j.entry != nil {
 		e.cache.complete(j.key, j.entry, res, err)
 	}
@@ -517,6 +548,21 @@ func (e *Engine) buildResponse(j *job, res Result, cached bool) *Response {
 		resp.Replicas = res.Solution.Replicas()
 		if j.opt.IncludeSolution {
 			resp.Solution = res.Solution
+		}
+	}
+	if res.MultiSolution != nil {
+		for k, sol := range res.MultiSolution.PerObject {
+			op := ObjectPlacement{
+				Object:       k,
+				Cost:         objectCost(sol, j.opt.Objects[k].S),
+				ReplicaCount: sol.ReplicaCount(),
+				Replicas:     sol.Replicas(),
+			}
+			if j.opt.IncludeSolution {
+				op.Solution = sol
+			}
+			resp.Cost += op.Cost
+			resp.PerObject = append(resp.PerObject, op)
 		}
 	}
 	return resp

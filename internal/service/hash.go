@@ -39,6 +39,18 @@ func Key(in *core.Instance, solver string, opt Options) string {
 	writeTag(h, strings.ToLower(strings.TrimSpace(solver)))
 	writeTag(h, "opts")
 	writeUint64(h, uint64(opt.BoundNodes))
+	if len(opt.Objects) > 0 {
+		// Multi-object requests key on the per-object vectors too: the
+		// same base instance under different object sets is a different
+		// computation. Single-object requests skip the section entirely,
+		// so their keys are unchanged by this extension.
+		writeTag(h, "objects")
+		writeUint64(h, uint64(len(opt.Objects)))
+		for _, ov := range opt.Objects {
+			writeInt64s(h, ov.R)
+			writeInt64s(h, ov.S)
+		}
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/jobs"
 	"repro/internal/obs"
+	"repro/internal/session"
 )
 
 // HandlerOptions configures NewHandlerOpts beyond the engine itself.
@@ -70,6 +71,11 @@ type HandlerOptions struct {
 	// GET /debug/events and counted in rp_cluster_events_total. Nil
 	// leaves the endpoint answering 501.
 	Events *obs.EventRing
+	// Sessions enables the placement-session endpoints under
+	// /v1/instances (nil leaves them registered but answering 501,
+	// pointing at the configuration). Build one with session.NewManager
+	// and SessionResolver.
+	Sessions *session.Manager
 }
 
 // defaultInlineCampaigns is the /v1/campaign concurrency limit when
@@ -94,9 +100,10 @@ type api struct {
 	slowReq     time.Duration
 	spans       *obs.SpanStore
 	traceSample float64
-	slo         *obs.SLO       // nil = no SLO tracking
-	events      *obs.EventRing // nil = no event journal
-	red         *redMetrics    // per-route request counts and latency
+	slo         *obs.SLO         // nil = no SLO tracking
+	events      *obs.EventRing   // nil = no event journal
+	sessions    *session.Manager // nil = placement sessions disabled
+	red         *redMetrics      // per-route request counts and latency
 }
 
 // NewHandler returns the HTTP API served by cmd/rpserve, with default
@@ -125,6 +132,16 @@ type api struct {
 //	DELETE /v1/jobs/{id}        cancel a live job / delete a finished one
 //	GET  /v1/worker/ping        lightweight liveness probe, polled by a
 //	                            coordinator's shard pool
+//	POST   /v1/instances            register a placement session (JSON, or
+//	                                streaming NDJSON for very large trees)
+//	GET    /v1/instances            list live sessions
+//	GET    /v1/instances/{id}       session status (?include_solution=1,
+//	                                ?include_instance=1)
+//	PATCH  /v1/instances/{id}       apply a batch of typed delta ops
+//	                                atomically, bumping the revision
+//	DELETE /v1/instances/{id}       delete the session, ending watchers
+//	GET    /v1/instances/{id}/watch stream placement diffs as NDJSON,
+//	                                resumable with ?from_rev=N
 //
 // All request and response bodies are JSON. Errors are
 // {"error": "..."} with a matching status code.
@@ -145,7 +162,8 @@ func newAPI(e *Engine, opts HandlerOptions) *api {
 		secret: opts.ClusterSecret, wire: opts.Wire,
 		log: opts.Logger, slowReq: opts.SlowRequest,
 		spans: opts.Spans, traceSample: opts.TraceSample,
-		slo: opts.SLO, events: opts.Events, red: newRedMetrics()}
+		slo: opts.SLO, events: opts.Events, sessions: opts.Sessions,
+		red: newRedMetrics()}
 	if a.log == nil {
 		a.log = obs.NopLogger()
 	}
@@ -223,6 +241,7 @@ func (a *api) routes() http.Handler {
 		mux.Handle("GET /v1/wire", a.wire)
 	}
 	a.registerJobRoutes(mux)
+	a.registerSessionRoutes(mux)
 	return a.instrument(mux)
 }
 
@@ -407,6 +426,9 @@ type RequestOptions struct {
 	NoCache         bool  `json:"no_cache,omitempty"`
 	BoundNodes      int   `json:"bound_nodes,omitempty"`
 	IncludeSolution bool  `json:"include_solution,omitempty"`
+	// Objects carries the per-object vectors of a multi-object request
+	// (solvers mo-greedy and lp-mo-rational / bound method mo-rational).
+	Objects []ObjectVectors `json:"objects,omitempty"`
 }
 
 func (wo RequestOptions) options() Options {
@@ -415,6 +437,7 @@ func (wo RequestOptions) options() Options {
 		NoCache:         wo.NoCache,
 		BoundNodes:      wo.BoundNodes,
 		IncludeSolution: wo.IncludeSolution,
+		Objects:         wo.Objects,
 	}
 }
 
@@ -455,6 +478,10 @@ func handleSolve(e *Engine, w http.ResponseWriter, r *http.Request, prefix strin
 		solver = prefix + solver
 	} else if solver == "" {
 		writeError(w, http.StatusBadRequest, errors.New("missing solver"))
+		return
+	}
+	if err := validateObjects(e.Registry(), solver, policy, req.Instance, req.Options.Objects); err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	resp, err := e.Solve(r.Context(), Request{

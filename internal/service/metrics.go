@@ -209,6 +209,29 @@ func (a *api) renderMetrics(buf *bytes.Buffer) {
 		p.histogram("rp_jobs_duration_seconds", "", a.jobs.Durations())
 	}
 
+	if a.sessions != nil {
+		ss := a.sessions.Stats()
+		p.family("rp_sessions", "gauge", "Live placement sessions.")
+		p.sample("rp_sessions", "", float64(ss.Live))
+		p.family("rp_session_watchers", "gauge", "Watchers attached across all placement sessions.")
+		p.sample("rp_session_watchers", "", float64(ss.Watchers))
+		p.family("rp_sessions_created_total", "counter", "Placement sessions registered.")
+		p.sample("rp_sessions_created_total", "", float64(ss.Created))
+		p.family("rp_sessions_deleted_total", "counter", "Placement sessions deleted by request.")
+		p.sample("rp_sessions_deleted_total", "", float64(ss.Deleted))
+		p.family("rp_sessions_expired_total", "counter", "Placement sessions expired by the idle TTL.")
+		p.sample("rp_sessions_expired_total", "", float64(ss.Expired))
+		p.family("rp_session_deltas_total", "counter", "Delta batches applied across all placement sessions.")
+		p.sample("rp_session_deltas_total", "", float64(ss.Deltas))
+		p.family("rp_session_ops_total", "counter", "Individual delta operations applied.")
+		p.sample("rp_session_ops_total", "", float64(ss.Ops))
+		p.family("rp_session_solves_total", "counter", "Re-solves triggered by deltas, by mode.")
+		p.sample("rp_session_solves_total", `mode="incremental"`, float64(ss.IncrementalSolves))
+		p.sample("rp_session_solves_total", `mode="full"`, float64(ss.FullSolves))
+		p.family("rp_session_apply_seconds", "histogram", "Delta batch apply latency (validate, re-solve, diff).")
+		p.histogram("rp_session_apply_seconds", "", ss.Apply)
+	}
+
 	if a.cluster != nil {
 		if cs := a.clusterStats(); cs != nil {
 			p.family("rp_cluster_epoch", "gauge", "Shard membership epoch (increments on join/leave/re-weight).")

@@ -1,0 +1,123 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/multiobject"
+)
+
+// ObjectVectors is one object's per-vertex data in a multi-object
+// request: request rates (clients only) and per-node storage costs. The
+// shared tree, capacities and optional QoS/Comm/BW vectors come from the
+// request's base instance.
+type ObjectVectors struct {
+	R []int64 `json:"requests"`
+	S []int64 `json:"storage_costs"`
+}
+
+// ObjectPlacement is one object's slice of a multi-object response.
+type ObjectPlacement struct {
+	Object       int            `json:"object"`
+	Cost         int64          `json:"cost"`
+	ReplicaCount int            `json:"replica_count"`
+	Replicas     []int          `json:"replicas,omitempty"`
+	Solution     *core.Solution `json:"solution,omitempty"`
+}
+
+// buildMultiInstance assembles and validates the multiobject.Instance a
+// multi-object backend runs on: the base instance supplies tree, shared
+// capacities and the optional constraint vectors; objects supply the
+// per-object rates and costs.
+func buildMultiInstance(in *core.Instance, objects []ObjectVectors) (*multiobject.Instance, error) {
+	if len(objects) == 0 {
+		return nil, errors.New("service: multi-object solver needs options.objects (one requests/storage_costs pair per object)")
+	}
+	mi := &multiobject.Instance{
+		Base: in,
+		R:    make([][]int64, len(objects)),
+		S:    make([][]int64, len(objects)),
+	}
+	for k, ov := range objects {
+		mi.R[k] = ov.R
+		mi.S[k] = ov.S
+	}
+	if err := mi.Validate(); err != nil {
+		return nil, err
+	}
+	return mi, nil
+}
+
+// objectCost is object k's share of a multi-object placement's storage
+// cost (Σ S[k][j] over its replicas) — Solution.Cost summed per object.
+func objectCost(sol *core.Solution, s []int64) int64 {
+	var cost int64
+	for _, j := range sol.Replicas() {
+		cost += s[j]
+	}
+	return cost
+}
+
+// registerMultiObject adds the Section 8 multi-object backends: the
+// joint greedy placement and its rational LP lower bound. Both consume
+// Options.Objects; the engine folds those vectors into the cache key.
+func registerMultiObject(r *Registry, must func(error)) {
+	must(r.Register(Solver{
+		Name: "mo-greedy", Long: "multi-object joint greedy placement, shared capacities (Section 8)",
+		Policy: core.Multiple, Kind: "multiobject", MultiObject: true,
+		Run: func(_ context.Context, in *core.Instance, opt Options) (Result, error) {
+			mi, err := buildMultiInstance(in, opt.Objects)
+			if err != nil {
+				return Result{}, err
+			}
+			sol, err := multiobject.GreedyMultiple(mi)
+			if isNoSolution(err) {
+				return Result{NoSolution: true}, nil
+			}
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{MultiSolution: sol}, nil
+		},
+	}))
+	must(r.Register(Solver{
+		Name: "lp-mo-rational", Long: "multi-object fully rational LP relaxation bound, shared capacities",
+		Policy: core.Multiple, Kind: "bound", MultiObject: true,
+		Run: func(_ context.Context, in *core.Instance, opt Options) (Result, error) {
+			mi, err := buildMultiInstance(in, opt.Objects)
+			if err != nil {
+				return Result{}, err
+			}
+			v, err := multiobject.RationalBound(mi)
+			if isNoSolution(err) {
+				return Result{NoSolution: true, HasBound: true}, nil
+			}
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{HasBound: true, Bound: v, BoundExact: true}, nil
+		},
+	}))
+}
+
+// validateObjects is the HTTP layer's pre-engine check, turning
+// object-shape mistakes into 400s with a pointed message instead of
+// opaque engine errors.
+func validateObjects(reg *Registry, solverName string, policy core.Policy, in *core.Instance, objects []ObjectVectors) error {
+	s, ok := reg.Resolve(solverName, policy)
+	if !ok {
+		return nil // the engine reports unknown solvers itself (404)
+	}
+	if !s.MultiObject {
+		if len(objects) > 0 {
+			return fmt.Errorf("solver %q is single-object; options.objects only applies to multi-object solvers (mo-greedy, lp-mo-rational)", s.Name)
+		}
+		return nil
+	}
+	if _, err := buildMultiInstance(in, objects); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/multiobject"
+)
+
+// moInstance builds a base instance with ample shared capacity plus two
+// object vector sets derived from it.
+func moInstance(t *testing.T) (*core.Instance, []ObjectVectors) {
+	t.Helper()
+	in := gen.Instance(gen.Config{Internal: 12, Clients: 30, Lambda: 0.3}, 21)
+	// Double every capacity so two objects of the base demand fit.
+	for _, v := range in.Tree.Internal() {
+		in.W[v] *= 2
+	}
+	n := in.Tree.Len()
+	obj2R := make([]int64, n)
+	obj2S := make([]int64, n)
+	for v := 0; v < n; v++ {
+		obj2R[v] = in.R[v] / 2
+		obj2S[v] = in.S[v] + 1
+	}
+	for _, v := range in.Tree.Clients() {
+		if obj2R[v] == 0 {
+			obj2R[v] = 1
+		}
+	}
+	return in, []ObjectVectors{{R: in.R, S: in.S}, {R: obj2R, S: obj2S}}
+}
+
+func TestEngineMultiObjectSolveAndBound(t *testing.T) {
+	in, objects := moInstance(t)
+	e := newTestEngine(t, EngineOptions{Workers: 4})
+
+	resp, err := e.Solve(context.Background(), Request{
+		Instance: in, Solver: "mo-greedy",
+		Options: Options{Objects: objects, IncludeSolution: true},
+	})
+	if err != nil {
+		t.Fatalf("mo-greedy: %v", err)
+	}
+	if resp.NoSolution {
+		t.Fatal("mo-greedy found no solution on a feasible instance")
+	}
+	if len(resp.PerObject) != 2 {
+		t.Fatalf("per_object has %d entries, want 2", len(resp.PerObject))
+	}
+	var total int64
+	for k, op := range resp.PerObject {
+		if op.Object != k || len(op.Replicas) == 0 || op.Solution == nil {
+			t.Fatalf("object %d placement: %+v", k, op)
+		}
+		total += op.Cost
+	}
+	if resp.Cost != total {
+		t.Fatalf("top-level cost %d != per-object sum %d", resp.Cost, total)
+	}
+	// Cross-check against the library's own cost accounting.
+	mi, err := buildMultiInstance(in, objects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := &multiobject.Solution{PerObject: make([]*core.Solution, len(resp.PerObject))}
+	for i, op := range resp.PerObject {
+		ms.PerObject[i] = op.Solution
+	}
+	if want := ms.Cost(mi); total != want {
+		t.Fatalf("summed cost %d, multiobject.Cost %d", total, want)
+	}
+
+	bound, err := e.Solve(context.Background(), Request{
+		Instance: in, Solver: "lp-mo-rational",
+		Options: Options{Objects: objects},
+	})
+	if err != nil {
+		t.Fatalf("lp-mo-rational: %v", err)
+	}
+	if bound.Bound == nil {
+		t.Fatal("lp-mo-rational returned no bound")
+	}
+	if bound.Bound.Value > float64(resp.Cost)+1e-6 {
+		t.Fatalf("LP bound %.3f exceeds greedy cost %d", bound.Bound.Value, resp.Cost)
+	}
+}
+
+// TestEngineMultiObjectCacheKey pins that the object vectors are part of
+// the cache key: same base instance, different objects, different key —
+// and single-object keys ignore stray Objects.
+func TestEngineMultiObjectCacheKey(t *testing.T) {
+	in, objects := moInstance(t)
+	k1 := Key(in, "mo-greedy", Options{Objects: objects})
+	k2 := Key(in, "mo-greedy", Options{Objects: objects[:1]})
+	if k1 == k2 {
+		t.Fatal("different object sets produced one cache key")
+	}
+	mutated := []ObjectVectors{{R: objects[0].R, S: objects[1].S}, objects[1]}
+	if Key(in, "mo-greedy", Options{Objects: mutated}) == k1 {
+		t.Fatal("changed object cost vector kept the key")
+	}
+	if Key(in, "mb", Options{}) != Key(in, "mb", Options{}) {
+		t.Fatal("key not deterministic")
+	}
+}
+
+func TestHTTPMultiObject(t *testing.T) {
+	srv, _ := newTestServer(t)
+	in, objects := moInstance(t)
+
+	// Happy path through /v1/solve.
+	resp := postJSON(t, srv.URL+"/v1/solve", map[string]any{
+		"instance": in, "solver": "mo-greedy",
+		"options": map[string]any{"objects": objects},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mo-greedy via HTTP: status %d", resp.StatusCode)
+	}
+	var out Response
+	decodeBody(t, resp, &out)
+	if len(out.PerObject) != 2 || out.Cost == 0 {
+		t.Fatalf("mo-greedy response: %+v", out)
+	}
+
+	// The bound family name "mo-rational" rides the /v1/bound lp- prefix.
+	resp = postJSON(t, srv.URL+"/v1/bound", map[string]any{
+		"instance": in, "solver": "mo-rational",
+		"options": map[string]any{"objects": objects},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mo-rational via /v1/bound: status %d", resp.StatusCode)
+	}
+	var bout Response
+	decodeBody(t, resp, &bout)
+	if bout.Bound == nil || bout.Bound.Value <= 0 {
+		t.Fatalf("mo-rational bound: %+v", bout)
+	}
+
+	// Contract: objects on a single-object solver, and a multi-object
+	// solver without (or with malformed) objects, are 400s.
+	for name, body := range map[string]map[string]any{
+		"objects on single-object solver": {
+			"instance": in, "solver": "mg",
+			"options": map[string]any{"objects": objects},
+		},
+		"multi-object solver without objects": {
+			"instance": in, "solver": "mo-greedy",
+		},
+		"short object vector": {
+			"instance": in, "solver": "mo-greedy",
+			"options": map[string]any{"objects": []ObjectVectors{{R: []int64{1}, S: []int64{1}}}},
+		},
+	} {
+		resp := postJSON(t, srv.URL+"/v1/solve", body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}

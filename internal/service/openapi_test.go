@@ -1,0 +1,115 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// muxPattern matches Go 1.22 method-qualified ServeMux registrations,
+// e.g. mux.HandleFunc("POST /v1/solve", ...). Method-less registrations
+// (the 501 "disabled" placeholders) deliberately do not match: the spec
+// documents the enabled surface.
+var muxPattern = regexp.MustCompile(`(?:HandleFunc|Handle)\("([A-Z]+) ([^"]+)"`)
+
+// specPaths parses just the paths section of the OpenAPI document with a
+// hand-rolled indentation scanner (the repo carries no YAML dependency):
+// 2-space-indented keys under "paths:" are route paths, 4-space-indented
+// keys below each are HTTP methods.
+func specPaths(t *testing.T, doc string) map[string]map[string]bool {
+	t.Helper()
+	paths := make(map[string]map[string]bool)
+	inPaths := false
+	current := ""
+	for _, line := range strings.Split(doc, "\n") {
+		trimmed := strings.TrimRight(line, " \t")
+		if trimmed == "" || strings.HasPrefix(strings.TrimSpace(trimmed), "#") {
+			continue
+		}
+		indent := len(trimmed) - len(strings.TrimLeft(trimmed, " "))
+		key := strings.TrimSpace(trimmed)
+		switch {
+		case indent == 0:
+			inPaths = key == "paths:"
+		case !inPaths:
+		case indent == 2 && strings.HasSuffix(key, ":"):
+			current = strings.TrimSuffix(key, ":")
+			paths[current] = make(map[string]bool)
+		case indent == 4 && strings.HasSuffix(key, ":") && current != "":
+			method := strings.TrimSuffix(key, ":")
+			switch method {
+			case "get", "post", "put", "patch", "delete", "head", "options":
+				paths[current][method] = true
+			}
+		}
+	}
+	if len(paths) == 0 {
+		t.Fatal("parsed zero paths from openapi.yaml")
+	}
+	return paths
+}
+
+// TestOpenAPICoversMuxRoutes pins api/openapi.yaml to the code: every
+// method-qualified route this package registers on its ServeMux must
+// appear in the spec with the same path template and method. Adding an
+// endpoint without documenting it fails here.
+func TestOpenAPICoversMuxRoutes(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "api", "openapi.yaml"))
+	if err != nil {
+		t.Fatalf("read spec: %v", err)
+	}
+	spec := specPaths(t, string(raw))
+
+	sources, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := 0
+	for _, src := range sources {
+		if strings.HasSuffix(src, "_test.go") {
+			continue
+		}
+		code, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range muxPattern.FindAllStringSubmatch(string(code), -1) {
+			method, path := m[1], m[2]
+			routes++
+			ops, ok := spec[path]
+			if !ok {
+				t.Errorf("%s: route %q missing from api/openapi.yaml paths", src, path)
+				continue
+			}
+			if !ops[strings.ToLower(method)] {
+				t.Errorf("%s: %s %s registered but the spec documents no %s operation",
+					src, method, path, strings.ToLower(method))
+			}
+		}
+	}
+	if routes < 20 {
+		t.Fatalf("scanned only %d method-qualified routes; the mux regex has likely rotted", routes)
+	}
+
+	// The reverse direction, softer: a spec path nothing registers is
+	// stale documentation.
+	registered := make(map[string]bool)
+	for _, src := range sources {
+		if strings.HasSuffix(src, "_test.go") {
+			continue
+		}
+		code, _ := os.ReadFile(src)
+		for _, m := range muxPattern.FindAllStringSubmatch(string(code), -1) {
+			registered[m[2]+" "+strings.ToLower(m[1])] = true
+		}
+	}
+	for path, ops := range spec {
+		for method := range ops {
+			if !registered[path+" "+method] {
+				t.Errorf("spec documents %s %s but no handler registers it", method, path)
+			}
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/exact"
 	"repro/internal/heuristics"
 	"repro/internal/lpbound"
+	"repro/internal/multiobject"
 )
 
 // Result is the outcome of one backend computation: a placement for
@@ -40,6 +41,9 @@ type Result struct {
 	HasBound   bool
 	Bound      float64
 	BoundExact bool
+	// MultiSolution is the per-object placement of a multi-object
+	// backend (Kind "multiobject"); Solution stays nil there.
+	MultiSolution *multiobject.Solution
 }
 
 // Backend computes a Result for an instance. Implementations must be
@@ -67,6 +71,11 @@ type Solver struct {
 	// all others the engine zeroes the budget before cache keying so a
 	// stray value cannot split the key space.
 	BoundBudget bool
+	// MultiObject marks backends that consume Options.Objects (the
+	// per-object request/cost vectors); for all others the engine
+	// zeroes Objects before cache keying, and the HTTP layer rejects
+	// requests that carry them.
+	MultiObject bool
 	// Run executes the backend.
 	Run Backend
 }
@@ -163,7 +172,8 @@ func solutionResult(sol *core.Solution, err error) (Result, error) {
 }
 
 func isNoSolution(err error) bool {
-	return errors.Is(err, exact.ErrNoSolution) || errors.Is(err, heuristics.ErrNoSolution)
+	return errors.Is(err, exact.ErrNoSolution) || errors.Is(err, heuristics.ErrNoSolution) ||
+		errors.Is(err, multiobject.ErrNoSolution)
 }
 
 // NewRegistry builds the full default registry: the exact solvers, the
@@ -261,5 +271,6 @@ func NewRegistry() *Registry {
 			},
 		}))
 	}
+	registerMultiObject(r, must)
 	return r
 }

@@ -66,13 +66,14 @@ func TestRegistryDefaultSet(t *testing.T) {
 		"ctda-qos", "ubcf-qos", "mg-qos", "ctda-bw", "ubcf-bw", "mg-bw",
 		"lp-rational-closest", "lp-rational-upwards", "lp-rational-multiple",
 		"lp-refined-closest", "lp-refined-upwards", "lp-refined-multiple",
+		"mo-greedy", "lp-mo-rational",
 	} {
 		if _, ok := r.Lookup(name); !ok {
 			t.Errorf("missing solver %q", name)
 		}
 	}
-	if got := len(r.Solvers()); got != 27 {
-		t.Errorf("registry has %d solvers, want 27", got)
+	if got := len(r.Solvers()); got != 29 {
+		t.Errorf("registry has %d solvers, want 29", got)
 	}
 }
 
@@ -162,7 +163,13 @@ func TestEngineSolveEverySolver(t *testing.T) {
 	in := testInstance(t)
 	e := newTestEngine(t, EngineOptions{Workers: 4})
 	for _, s := range e.Registry().Solvers() {
-		resp, err := e.Solve(context.Background(), Request{Instance: in, Solver: s.Name})
+		req := Request{Instance: in, Solver: s.Name}
+		if s.MultiObject {
+			// One object carrying the base vectors: the single-object
+			// problem phrased multi-object.
+			req.Options.Objects = []ObjectVectors{{R: in.R, S: in.S}}
+		}
+		resp, err := e.Solve(context.Background(), req)
 		if err != nil {
 			t.Errorf("%s: %v", s.Name, err)
 			continue

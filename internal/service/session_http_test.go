@@ -1,0 +1,389 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/session"
+)
+
+// newSessionServer starts a handler with placement sessions enabled.
+func newSessionServer(t *testing.T, sopts session.Options) (*httptest.Server, *session.Manager) {
+	t.Helper()
+	e := NewEngine(EngineOptions{Workers: 4})
+	sopts.Resolve = SessionResolver(e.Registry())
+	m := session.NewManager(sopts)
+	srv := httptest.NewServer(NewHandlerOpts(e, HandlerOptions{Sessions: m}))
+	t.Cleanup(func() {
+		srv.Close()
+		m.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		e.Close(ctx)
+	})
+	return srv, m
+}
+
+func createInstance(t *testing.T, srv *httptest.Server, in *core.Instance, solver string) instancePayload {
+	t.Helper()
+	resp := postJSON(t, srv.URL+"/v1/instances", instanceCreateRequest{Instance: in, Solver: solver})
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("create: status %d: %s", resp.StatusCode, b)
+	}
+	var out instancePayload
+	decodeBody(t, resp, &out)
+	return out
+}
+
+func doRequest(t *testing.T, method, url string, body any) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestSessionHTTPLifecycle(t *testing.T) {
+	srv, _ := newSessionServer(t, session.Options{})
+	in := gen.Instance(gen.Config{Internal: 60, Clients: 180}, 7)
+
+	created := createInstance(t, srv, in, "mg")
+	if created.ID == "" || created.Rev != 1 || len(created.Replicas) == 0 {
+		t.Fatalf("create payload: %+v", created)
+	}
+
+	// List shows it.
+	var list instanceListPayload
+	resp, err := http.Get(srv.URL + "/v1/instances")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, resp, &list)
+	if len(list.Instances) != 1 || list.Instances[0].ID != created.ID {
+		t.Fatalf("list: %+v", list)
+	}
+
+	// PATCH a delta and read the diff.
+	c := in.Tree.Clients()[0]
+	resp = doRequest(t, http.MethodPatch, srv.URL+"/v1/instances/"+created.ID, patchRequest{
+		Ops: []session.Op{{Op: session.OpSetRate, Vertex: c, Value: in.R[c] + 5}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("patch status %d", resp.StatusCode)
+	}
+	var ar session.ApplyResult
+	decodeBody(t, resp, &ar)
+	if ar.Rev != 2 || ar.Mode != "incremental" {
+		t.Fatalf("apply result: %+v", ar)
+	}
+
+	// GET with solution and instance included.
+	resp, err = http.Get(srv.URL + "/v1/instances/" + created.ID + "?include_solution=1&include_instance=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got instancePayload
+	decodeBody(t, resp, &got)
+	if got.Rev != 2 || got.Solution == nil || got.Instance == nil {
+		t.Fatalf("get payload: rev=%d solution=%v instance=%v", got.Rev, got.Solution != nil, got.Instance != nil)
+	}
+	if got.Instance.R[c] != in.R[c]+5 {
+		t.Fatalf("returned instance misses the delta: R[%d] = %d", c, got.Instance.R[c])
+	}
+
+	// DELETE, then everything 404s.
+	resp = doRequest(t, http.MethodDelete, srv.URL+"/v1/instances/"+created.ID, nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/v1/instances/" + created.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after delete: status %d", resp.StatusCode)
+	}
+}
+
+// TestSessionHTTPStreamingCreate drives the NDJSON create path and checks
+// it builds the same instance (and placement) as the JSON one-shot.
+func TestSessionHTTPStreamingCreate(t *testing.T) {
+	srv, _ := newSessionServer(t, session.Options{})
+
+	var buf bytes.Buffer
+	// Root, one interior node, three clients: two under the interior
+	// node, one under the root.
+	fmt.Fprintln(&buf, `{"solver":"mg","policy":"multiple"}`)
+	fmt.Fprintln(&buf, `{"kind":"node","parent":-1,"capacity":100}`)
+	fmt.Fprintln(&buf, `{"kind":"node","parent":0,"capacity":10,"storage":3}`)
+	fmt.Fprintln(&buf, `{"kind":"client","parent":1,"rate":4}`)
+	fmt.Fprintln(&buf, `{"kind":"client","parent":1,"rate":9}`)
+	fmt.Fprintln(&buf, `{"kind":"client","parent":0,"rate":2}`)
+
+	resp, err := http.Post(srv.URL+"/v1/instances", "application/x-ndjson", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("stream create: status %d: %s", resp.StatusCode, b)
+	}
+	var created instancePayload
+	decodeBody(t, resp, &created)
+	if created.Vertices != 5 || created.Clients != 3 {
+		t.Fatalf("streamed instance shape: %+v", created.Status)
+	}
+
+	// The same instance as JSON must solve identically.
+	resp, err = http.Get(srv.URL + "/v1/instances/" + created.ID + "?include_instance=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got instancePayload
+	decodeBody(t, resp, &got)
+	want := &core.Instance{
+		R: []int64{0, 0, 4, 9, 2},
+		W: []int64{100, 10, 0, 0, 0},
+		S: []int64{100, 3, 0, 0, 0},
+	}
+	if fmt.Sprint(got.Instance.R) != fmt.Sprint(want.R) ||
+		fmt.Sprint(got.Instance.W) != fmt.Sprint(want.W) ||
+		fmt.Sprint(got.Instance.S) != fmt.Sprint(want.S) {
+		t.Fatalf("streamed instance vectors:\nR=%v W=%v S=%v\nwant\nR=%v W=%v S=%v",
+			got.Instance.R, got.Instance.W, got.Instance.S, want.R, want.W, want.S)
+	}
+}
+
+func TestSessionHTTPStreamingCreateErrors(t *testing.T) {
+	srv, _ := newSessionServer(t, session.Options{})
+	bad := []string{
+		// Missing header entirely (first line is a vertex → no solver).
+		`{"kind":"node","parent":-1,"capacity":1}`,
+		// Root with a parent.
+		"{\"solver\":\"mg\"}\n{\"kind\":\"node\",\"parent\":3,\"capacity\":1}",
+		// Forward reference.
+		"{\"solver\":\"mg\"}\n{\"kind\":\"node\",\"parent\":-1,\"capacity\":1}\n{\"kind\":\"client\",\"parent\":5,\"rate\":1}",
+		// Client as a parent.
+		"{\"solver\":\"mg\"}\n{\"kind\":\"node\",\"parent\":-1,\"capacity\":9}\n{\"kind\":\"client\",\"parent\":0,\"rate\":1}\n{\"kind\":\"client\",\"parent\":1,\"rate\":1}",
+		// Unknown kind.
+		"{\"solver\":\"mg\"}\n{\"kind\":\"router\",\"parent\":-1}",
+		// No vertices at all.
+		`{"solver":"mg"}`,
+	}
+	for i, body := range bad {
+		resp, err := http.Post(srv.URL+"/v1/instances", "application/x-ndjson", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad stream %d: status %d, want 400", i, resp.StatusCode)
+		}
+	}
+}
+
+// TestSessionHTTPContract is the table-driven error-path contract: wrong
+// methods, malformed ops, unknown ids, stale/future resume points.
+func TestSessionHTTPContract(t *testing.T) {
+	srv, _ := newSessionServer(t, session.Options{DiffRetention: 2})
+	in := gen.Instance(gen.Config{Internal: 10, Clients: 30}, 2)
+	created := createInstance(t, srv, in, "mg")
+	id := created.ID
+
+	// Push enough revisions that rev 1 falls out of the retention ring.
+	c := in.Tree.Clients()[0]
+	for i := 0; i < 6; i++ {
+		resp := doRequest(t, http.MethodPatch, srv.URL+"/v1/instances/"+id, patchRequest{
+			Ops: []session.Op{{Op: session.OpSetRate, Vertex: c, Value: int64(i + 1)}},
+		})
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed patch %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   any
+		want   int
+	}{
+		{"create missing instance", http.MethodPost, "/v1/instances", map[string]any{"solver": "mg"}, 400},
+		{"create missing solver", http.MethodPost, "/v1/instances", map[string]any{"instance": in}, 400},
+		{"create unknown solver", http.MethodPost, "/v1/instances", instanceCreateRequest{Instance: in, Solver: "nope"}, 404},
+		{"create bound solver", http.MethodPost, "/v1/instances", instanceCreateRequest{Instance: in, Solver: "lp-rational"}, 400},
+		{"create bad policy", http.MethodPost, "/v1/instances", map[string]any{"instance": in, "solver": "mg", "policy": "sideways"}, 400},
+		{"get unknown", http.MethodGet, "/v1/instances/pi-ffffffffffffffff", nil, 404},
+		{"patch unknown", http.MethodPatch, "/v1/instances/pi-ffffffffffffffff", patchRequest{Ops: []session.Op{{Op: session.OpSetRate, Vertex: c, Value: 1}}}, 404},
+		{"delete unknown", http.MethodDelete, "/v1/instances/pi-ffffffffffffffff", nil, 404},
+		{"watch unknown", http.MethodGet, "/v1/instances/pi-ffffffffffffffff/watch", nil, 404},
+		{"patch empty ops", http.MethodPatch, "/v1/instances/" + id, patchRequest{}, 400},
+		{"patch unknown op", http.MethodPatch, "/v1/instances/" + id, patchRequest{Ops: []session.Op{{Op: "transmogrify", Vertex: c}}}, 400},
+		{"patch rate on internal", http.MethodPatch, "/v1/instances/" + id, patchRequest{Ops: []session.Op{{Op: session.OpSetRate, Vertex: in.Tree.Root(), Value: 1}}}, 400},
+		{"patch negative capacity", http.MethodPatch, "/v1/instances/" + id, patchRequest{Ops: []session.Op{{Op: session.OpSetCapacity, Vertex: in.Tree.Root(), Value: -1}}}, 400},
+		{"patch vertex out of range", http.MethodPatch, "/v1/instances/" + id, patchRequest{Ops: []session.Op{{Op: session.OpSetRate, Vertex: 10_000, Value: 1}}}, 400},
+		{"patch malformed json", http.MethodPatch, "/v1/instances/" + id, "{{{", 400},
+		{"watch stale from_rev", http.MethodGet, "/v1/instances/" + id + "/watch?from_rev=1", nil, 409},
+		{"watch future from_rev", http.MethodGet, "/v1/instances/" + id + "/watch?from_rev=99", nil, 400},
+		{"watch unparseable from_rev", http.MethodGet, "/v1/instances/" + id + "/watch?from_rev=banana", nil, 400},
+		{"method not allowed put", http.MethodPut, "/v1/instances/" + id, patchRequest{}, 405},
+		{"method not allowed post on id", http.MethodPost, "/v1/instances/" + id, patchRequest{}, 405},
+		{"method not allowed delete on list", http.MethodDelete, "/v1/instances", nil, 405},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := doRequest(t, tc.method, srv.URL+tc.path, tc.body)
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				b, _ := io.ReadAll(resp.Body)
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.want, b)
+			}
+		})
+	}
+
+	// The failed batches above must not have bumped the revision.
+	resp, err := http.Get(srv.URL + "/v1/instances/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got instancePayload
+	decodeBody(t, resp, &got)
+	if got.Rev != 7 {
+		t.Fatalf("rev = %d after rejected batches, want 7", got.Rev)
+	}
+}
+
+func TestSessionHTTPDisabled(t *testing.T) {
+	e := NewEngine(EngineOptions{Workers: 2})
+	srv := httptest.NewServer(NewHandler(e))
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		e.Close(ctx)
+	})
+	for _, path := range []string{"/v1/instances", "/v1/instances/pi-00", "/v1/instances/pi-00/watch"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotImplemented {
+			t.Fatalf("GET %s without sessions: status %d, want 501", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestSessionHTTPWatchStream exercises the NDJSON watch wire format:
+// replay from rev 0, then a live diff.
+func TestSessionHTTPWatchStream(t *testing.T) {
+	srv, _ := newSessionServer(t, session.Options{})
+	in := gen.Instance(gen.Config{Internal: 10, Clients: 30}, 8)
+	created := createInstance(t, srv, in, "mg")
+	id := created.ID
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/v1/instances/"+id+"/watch?from_rev=0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("watch content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	readDiff := func() session.Diff {
+		t.Helper()
+		if !sc.Scan() {
+			t.Fatalf("watch stream ended early: %v", sc.Err())
+		}
+		var d session.Diff
+		if err := json.Unmarshal(sc.Bytes(), &d); err != nil {
+			t.Fatalf("bad watch line %q: %v", sc.Text(), err)
+		}
+		return d
+	}
+	if d := readDiff(); d.Rev != 1 || len(d.Add) == 0 {
+		t.Fatalf("first watch line: %+v", d)
+	}
+
+	c := in.Tree.Clients()[1]
+	pr := doRequest(t, http.MethodPatch, srv.URL+"/v1/instances/"+id, patchRequest{
+		Ops: []session.Op{{Op: session.OpSetRate, Vertex: c, Value: in.R[c] + 7}},
+	})
+	pr.Body.Close()
+	if d := readDiff(); d.Rev != 2 {
+		t.Fatalf("live watch line: %+v", d)
+	}
+}
+
+// TestSessionMetricsExposed checks the rp_session_* families appear once
+// a manager is attached.
+func TestSessionMetricsExposed(t *testing.T) {
+	srv, _ := newSessionServer(t, session.Options{})
+	// Big enough that one client's root path stays under the dirty
+	// threshold: the delta below must count as an incremental solve.
+	in := gen.Instance(gen.Config{Internal: 60, Clients: 180}, 8)
+	created := createInstance(t, srv, in, "mg")
+	pr := doRequest(t, http.MethodPatch, srv.URL+"/v1/instances/"+created.ID, patchRequest{
+		Ops: []session.Op{{Op: session.OpSetRate, Vertex: in.Tree.Clients()[0], Value: 3}},
+	})
+	pr.Body.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"rp_sessions 1",
+		"rp_sessions_created_total 1",
+		"rp_session_deltas_total 1",
+		`rp_session_solves_total{mode="incremental"} 1`,
+		"rp_session_apply_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package session
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// BenchmarkSessionApplyDelta measures the steady-state cost of one
+// set_rate delta through a live mg session — validate, mutate, dirty
+// the root path, incremental re-solve, diff — across tree sizes from
+// 10³ to 10⁶ leaves. The 1e3–1e5 sizes are held to BENCH_baseline.json
+// by the CI regression gate (cmd/benchgate); 1e6 runs in the smoke
+// lane only, pinning that per-delta work stays near-logarithmic in
+// tree size rather than linear (a cold re-solve per delta would be).
+func BenchmarkSessionApplyDelta(b *testing.B) {
+	for _, leaves := range []int{1_000, 10_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("leaves=%d", leaves), func(b *testing.B) {
+			in := gen.Instance(gen.Config{
+				Internal: leaves / 4,
+				Clients:  leaves,
+				Lambda:   0.4,
+			}, 7)
+			m := NewManager(Options{Resolve: testResolver})
+			defer m.Close()
+			s, err := m.Create(context.Background(), in, "mg", core.Multiple)
+			if err != nil {
+				b.Fatal(err)
+			}
+			clients := in.Tree.Clients()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op := Op{
+					Op:     OpSetRate,
+					Vertex: clients[i%len(clients)],
+					Value:  int64(i%47 + 1),
+				}
+				if _, err := s.Apply(context.Background(), []Op{op}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -45,9 +45,11 @@ import (
 	"repro/internal/heuristics"
 	"repro/internal/jobs"
 	"repro/internal/lpbound"
+	"repro/internal/multiobject"
 	"repro/internal/optimize"
 	"repro/internal/render"
 	"repro/internal/service"
+	"repro/internal/session"
 	"repro/internal/tree"
 )
 
@@ -337,6 +339,66 @@ type ServiceJobsOptions = service.JobsOptions
 // NewJobsManagerOpts is NewJobsManager with retention and kind control.
 func NewJobsManagerOpts(e *Engine, opts ServiceJobsOptions) (*JobsManager, error) {
 	return service.NewJobsManagerOpts(e, opts)
+}
+
+// Placement sessions, re-exported: a registered instance that stays
+// live on the server, absorbs typed delta ops (set_rate, set_capacity,
+// add_client, remove_client) and re-solves — incrementally for the
+// subtree-local heuristics — emitting watchable placement diffs. The
+// HTTP surface is /v1/instances (see api/openapi.yaml).
+type (
+	// SessionManager owns the live sessions: creation against a solver
+	// resolver, lookup, deletion, idle expiry, aggregate stats.
+	SessionManager = session.Manager
+	// SessionManagerOptions configures NewSessionManager; the zero
+	// value resolves nothing, so set Resolve (ServiceSessionResolver
+	// adapts a SolverRegistry).
+	SessionManagerOptions = session.Options
+	// PlacementSession is one live session: Apply ops, read Status,
+	// Replicas and Solution, Watch diffs.
+	PlacementSession = session.Session
+	// SessionOp is one typed delta op of an Apply batch.
+	SessionOp = session.Op
+	// SessionDiff is one revision's placement diff (add/drop/cost).
+	SessionDiff = session.Diff
+)
+
+// NewSessionManager builds a session manager. Close it before the
+// engine on shutdown so watch streams end and sessions release.
+func NewSessionManager(opts SessionManagerOptions) *SessionManager {
+	return session.NewManager(opts)
+}
+
+// ServiceSessionResolver adapts a solver registry into the resolver a
+// SessionManager needs, marking the incremental-capable heuristics
+// (mg, cbu) and rejecting bound-only and multi-object solvers.
+func ServiceSessionResolver(reg *SolverRegistry) session.ResolveFunc {
+	return service.SessionResolver(reg)
+}
+
+// Multi-object placement (paper Section 8), re-exported: K objects
+// placed jointly under shared server capacities. Through the engine the
+// same models run as the "mo-greedy" and "lp-mo-rational" solvers with
+// per-object vectors in Options.Objects.
+type (
+	// MultiObjectInstance couples a base instance with per-object
+	// request and storage-cost vectors.
+	MultiObjectInstance = multiobject.Instance
+	// MultiObjectSolution holds one placement per object.
+	MultiObjectSolution = multiobject.Solution
+)
+
+// SolveMultiObject places every object of mi jointly under the Multiple
+// policy, greedily splitting the shared capacities.
+func SolveMultiObject(mi *MultiObjectInstance) (*MultiObjectSolution, error) {
+	return multiobject.GreedyMultiple(mi)
+}
+
+// MultiObjectLowerBound is the fully rational LP relaxation of the
+// joint placement problem — a certified lower bound on any integral
+// multi-object placement cost.
+func MultiObjectLowerBound(mi *MultiObjectInstance) (float64, error) {
+	return multiobject.RationalBound(mi)
 }
 
 // RenderTree writes the instance (and optionally a solution's placement)
