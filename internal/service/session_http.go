@@ -73,8 +73,9 @@ func (a *api) registerSessionRoutes(mux *http.ServeMux) {
 	mux.HandleFunc("GET /v1/instances/{id}/watch", a.handleInstanceWatch)
 }
 
-// sessionError maps the session package's sentinels to HTTP statuses;
-// anything unmapped is a 400 (every remaining failure mode is bad input:
+// sessionError maps the session package's sentinels to HTTP statuses.
+// Server-side solve failures (backend faults, solve timeouts) are 5xx;
+// anything unmapped is a 400 (the remaining failure modes are bad input:
 // unknown solver, invalid instance, malformed ops).
 func sessionError(w http.ResponseWriter, err error) {
 	var unknown *ErrUnknownSolver
@@ -89,6 +90,12 @@ func sessionError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusBadRequest, err)
 	case errors.Is(err, session.ErrTooManySessions):
 		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, session.ErrSolverFault):
+		writeError(w, http.StatusInternalServerError, err)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// The solve timed out or the request died mid-solve: the session
+		// rolled back, but the failure is not the client's input.
+		writeError(w, http.StatusGatewayTimeout, err)
 	default:
 		writeError(w, http.StatusBadRequest, err)
 	}

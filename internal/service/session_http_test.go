@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -283,6 +284,32 @@ func TestSessionHTTPContract(t *testing.T) {
 	decodeBody(t, resp, &got)
 	if got.Rev != 7 {
 		t.Fatalf("rev = %d after rejected batches, want 7", got.Rev)
+	}
+}
+
+// TestSessionErrorStatusMapping pins the status classes: solver faults
+// and solve timeouts are server-side 5xx, not 400; only bad input is 400.
+func TestSessionErrorStatusMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{session.ErrSolverFault, 500},
+		{fmt.Errorf("%w: solver mg produced an invalid solution: root overloaded", session.ErrSolverFault), 500},
+		{context.DeadlineExceeded, 504},
+		{fmt.Errorf("solve: %w", context.DeadlineExceeded), 504},
+		{context.Canceled, 504},
+		{session.ErrTooManySessions, 503},
+		{session.ErrNotFound, 404},
+		{session.ErrStaleRev, 409},
+		{errors.New("session: op 0 (set_rate): negative rate -1"), 400},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		sessionError(rec, tc.err)
+		if rec.Code != tc.want {
+			t.Errorf("sessionError(%v) = %d, want %d", tc.err, rec.Code, tc.want)
+		}
 	}
 }
 

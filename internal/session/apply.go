@@ -2,6 +2,7 @@ package session
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -177,15 +178,20 @@ func (s *Session) solveFull(ctx context.Context) (outcome, error) {
 	defer cancel()
 	sol, noSol, err := s.solver.Solve(ctx, s.in)
 	if err != nil {
-		return outcome{}, err
+		// Context errors (the solve timeout, a gone client) pass through
+		// for their own status mapping; everything else is a backend fault.
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return outcome{}, err
+		}
+		return outcome{}, fmt.Errorf("%w: solver %s: %w", ErrSolverFault, s.solver.Name, err)
 	}
 	out := outcome{noSolution: noSol, sol: sol}
 	if !noSol {
 		if sol == nil {
-			return outcome{}, fmt.Errorf("session: solver %s returned neither a solution nor infeasibility", s.solver.Name)
+			return outcome{}, fmt.Errorf("%w: solver %s returned neither a solution nor infeasibility", ErrSolverFault, s.solver.Name)
 		}
 		if verr := sol.Validate(s.in, s.solver.Policy); verr != nil {
-			return outcome{}, fmt.Errorf("session: solver %s produced an invalid solution: %w", s.solver.Name, verr)
+			return outcome{}, fmt.Errorf("%w: solver %s produced an invalid solution: %w", ErrSolverFault, s.solver.Name, verr)
 		}
 		out.cost = sol.StorageCost(s.in)
 		out.replicas = sol.Replicas()
@@ -320,17 +326,17 @@ func (s *Session) Apply(ctx context.Context, ops []Op) (*ApplyResult, error) {
 	s.notify = make(chan struct{})
 	close(old)
 
+	// Manager counters are atomics: taking m.mu here (under s.mu) would
+	// invert the Manager lock order and deadlock against Stats/janitor.
 	s.deltas++
 	m := s.m
-	m.mu.Lock()
-	m.deltas++
-	m.ops += uint64(len(ops))
+	m.deltas.Add(1)
+	m.ops.Add(uint64(len(ops)))
 	if mode == "incremental" {
-		m.incSolves++
+		m.incSolves.Add(1)
 	} else {
-		m.fullSolves++
+		m.fullSolves.Add(1)
 	}
-	m.mu.Unlock()
 	m.applyHist.Observe(time.Since(start))
 
 	res := &ApplyResult{Diff: d, Mode: mode, AddedClients: addedClients}

@@ -21,6 +21,7 @@ import (
 	"log/slog"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -42,6 +43,10 @@ var (
 	// ErrFutureRev reports a watch resume point ahead of the current
 	// revision.
 	ErrFutureRev = errors.New("session: from_rev is ahead of the current revision")
+	// ErrSolverFault marks a server-side solve failure (a backend error or
+	// an invalid solution), as opposed to bad client input. The service
+	// layer maps it to a 5xx status.
+	ErrSolverFault = errors.New("session: solver fault")
 )
 
 // SolveFunc is a cold full solve: it returns the placement, or
@@ -126,16 +131,21 @@ type Stats struct {
 }
 
 // Manager owns the live placement sessions.
+//
+// Lock order: m.mu may be taken alone or before a Session's mu; nothing
+// may take m.mu while holding a Session's mu (Session.Apply runs under
+// s.mu, so the per-delta counters below are atomics, not m.mu fields).
 type Manager struct {
 	opts Options
 
 	mu       sync.Mutex
 	sessions map[string]*Session
+	pending  int // Create reservations not yet in sessions
 	closed   bool
 
 	created, deleted, expired uint64
-	deltas, ops               uint64
-	incSolves, fullSolves     uint64
+	deltas, ops               atomic.Uint64
+	incSolves, fullSolves     atomic.Uint64
 	applyHist                 *obs.Histogram
 	stopJanitor               chan struct{}
 }
@@ -209,22 +219,27 @@ func (m *Manager) janitor() {
 	}
 }
 
-// Stats snapshots the manager counters.
+// Stats snapshots the manager counters. Session locks are only touched
+// after m.mu is released (see the Manager lock order).
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	st := Stats{
-		Live:              len(m.sessions),
-		Created:           m.created,
-		Deleted:           m.deleted,
-		Expired:           m.expired,
-		Deltas:            m.deltas,
-		Ops:               m.ops,
-		IncrementalSolves: m.incSolves,
-		FullSolves:        m.fullSolves,
-		Apply:             m.applyHist.Snapshot(),
+		Live:    len(m.sessions),
+		Created: m.created,
+		Deleted: m.deleted,
+		Expired: m.expired,
 	}
+	live := make([]*Session, 0, len(m.sessions))
 	for _, s := range m.sessions {
+		live = append(live, s)
+	}
+	m.mu.Unlock()
+	st.Deltas = m.deltas.Load()
+	st.Ops = m.ops.Load()
+	st.IncrementalSolves = m.incSolves.Load()
+	st.FullSolves = m.fullSolves.Load()
+	st.Apply = m.applyHist.Snapshot()
+	for _, s := range live {
 		st.Watchers += s.watcherCount()
 	}
 	return st
@@ -244,6 +259,21 @@ func (m *Manager) Create(ctx context.Context, in *core.Instance, solverName stri
 	if err != nil {
 		return nil, err
 	}
+	// Reserve a session slot before the initial solve (potentially a long
+	// cold solve on a huge tree) so MaxSessions bounds in-flight create
+	// work too, not just live instances.
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if len(m.sessions)+m.pending >= m.opts.MaxSessions {
+		m.mu.Unlock()
+		return nil, ErrTooManySessions
+	}
+	m.pending++
+	m.mu.Unlock()
+
 	s := &Session{
 		m:       m,
 		id:      newID(),
@@ -260,22 +290,22 @@ func (m *Manager) Create(ctx context.Context, in *core.Instance, solverName stri
 		s.inc = newBottomUp(solver.Incremental)
 	}
 	if err := s.initialSolve(ctx); err != nil {
+		m.mu.Lock()
+		m.pending--
+		m.mu.Unlock()
 		return nil, err
 	}
 
 	m.mu.Lock()
+	m.pending--
 	if m.closed {
 		m.mu.Unlock()
 		return nil, ErrClosed
 	}
-	if len(m.sessions) >= m.opts.MaxSessions {
-		m.mu.Unlock()
-		return nil, ErrTooManySessions
-	}
 	m.sessions[s.id] = s
 	m.created++
-	m.fullSolves++
 	m.mu.Unlock()
+	m.fullSolves.Add(1)
 	m.opts.Logger.Info("session created", "id", s.id, "solver", solver.Name,
 		"vertices", in.Tree.Len(), "clients", in.Tree.NumClients())
 	return s, nil

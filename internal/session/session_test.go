@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"reflect"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -365,6 +367,109 @@ func TestSessionRollbackOnSolverFault(t *testing.T) {
 	fail = false
 	if _, err := s.Apply(context.Background(), []Op{{Op: OpSetRate, Vertex: c, Value: 5}}); err != nil {
 		t.Fatalf("session unusable after rollback: %v", err)
+	}
+}
+
+// TestSessionStatsApplyNoDeadlock: Stats and the janitor take m.mu
+// before a session's mu, while Apply updates manager counters from under
+// s.mu — the counters are atomics precisely so that edge never inverts
+// the lock order. Hammer both paths concurrently; an inversion deadlocks
+// here.
+func TestSessionStatsApplyNoDeadlock(t *testing.T) {
+	m := newTestManager(t, Options{})
+	in := gen.Instance(gen.Config{Internal: 8, Clients: 16}, 3)
+	s, err := m.Create(context.Background(), in, "mg", core.Multiple)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := in.Tree.Clients()[0]
+	const deltas = 200
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		applied := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			defer close(applied)
+			for i := 0; i < deltas; i++ {
+				if _, err := s.Apply(context.Background(), []Op{{Op: OpSetRate, Vertex: c, Value: int64(i)}}); err != nil {
+					t.Errorf("apply %d: %v", i, err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for {
+				m.Stats()
+				select {
+				case <-applied:
+					return
+				default:
+				}
+			}
+		}()
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("concurrent Apply and Stats deadlocked")
+	}
+	if st := m.Stats(); st.Deltas != deltas {
+		t.Fatalf("Stats.Deltas = %d, want %d", st.Deltas, deltas)
+	}
+}
+
+// TestSessionCreateCapBoundsPending: MaxSessions must bound in-flight
+// create work, not just live instances — a second create arriving while
+// the first is still inside its initial solve is rejected up front
+// instead of running an expensive solve that is then discarded.
+func TestSessionCreateCapBoundsPending(t *testing.T) {
+	started := make(chan struct{}, 2)
+	release := make(chan struct{})
+	var solves atomic.Int32
+	resolve := func(name string, p core.Policy) (Solver, error) {
+		return Solver{
+			Name: "slow", Policy: core.Multiple,
+			Solve: func(_ context.Context, in *core.Instance) (*core.Solution, bool, error) {
+				solves.Add(1)
+				started <- struct{}{}
+				<-release
+				sol, err := heuristics.MG(in)
+				return sol, false, err
+			},
+		}, nil
+	}
+	m := newTestManager(t, Options{Resolve: resolve, MaxSessions: 1})
+	in := gen.Instance(gen.Config{Internal: 4, Clients: 8}, 1)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := m.Create(context.Background(), in, "slow", core.Multiple)
+		errc <- err
+	}()
+	<-started // the first create is inside its initial solve
+	if _, err := m.Create(context.Background(), in, "slow", core.Multiple); !errors.Is(err, ErrTooManySessions) {
+		t.Fatalf("create during in-flight solve: err = %v, want ErrTooManySessions", err)
+	}
+	close(release)
+	if err := <-errc; err != nil {
+		t.Fatalf("first create: %v", err)
+	}
+	if n := solves.Load(); n != 1 {
+		t.Fatalf("the cap did not bound solve work: %d solves ran, want 1", n)
+	}
+	// The slot freed by a failed create is reusable: delete the live
+	// session and create again.
+	for _, st := range m.List() {
+		if err := m.Delete(st.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Create(context.Background(), in, "slow", core.Multiple); err != nil {
+		t.Fatalf("create after delete: %v", err)
 	}
 }
 
